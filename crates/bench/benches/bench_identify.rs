@@ -1,0 +1,30 @@
+//! Criterion bench for E1/Fig. 2: the identify workflow at tutorial scale,
+//! and the KNN-Shapley scoring step alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nde::api::{knn_shapley_values, LettersEncoding};
+use nde::scenario::load_recommendation_letters;
+use nde::workflows::identify::{run, IdentifyConfig};
+
+fn bench_identify(c: &mut Criterion) {
+    let scenario = load_recommendation_letters(250, 1);
+    c.bench_function("fig2_identify_workflow_n250", |b| {
+        b.iter(|| run(&scenario, &IdentifyConfig::default()).expect("workflow runs"))
+    });
+    c.bench_function("knn_shapley_values_n150", |b| {
+        b.iter(|| knn_shapley_values(&scenario.train, &scenario.valid).expect("scores"))
+    });
+    c.bench_function("letters_encoding_n150", |b| {
+        b.iter(|| {
+            let enc = LettersEncoding::fit(&scenario.train).expect("fits");
+            enc.dataset(&scenario.train).expect("encodes")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_identify
+}
+criterion_main!(benches);

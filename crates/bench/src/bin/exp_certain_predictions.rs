@@ -1,0 +1,17 @@
+//! E8 — certain-prediction coverage vs missing rate (CP, VLDB'20).
+use nde_bench::experiments::certain_predictions;
+use nde_bench::report::{f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = certain_predictions::run(300, 150, &[0.0, 0.02, 0.05, 0.1, 0.2, 0.3], 9)?;
+    println!("E8 — 1-NN certain-prediction coverage vs missingness\n");
+    let mut t = TextTable::new(&["missing frac", "coverage", "certain accuracy"]);
+    for p in &r.points {
+        t.row(vec![format!("{:.2}", p.missing_fraction), f(p.coverage), f(p.certain_accuracy)]);
+    }
+    println!("{}", t.render());
+    let agreement = certain_predictions::sampled_world_agreement(200, 0.1, 10)?;
+    println!("Certain verdicts vs sampled worlds agreement: {agreement:.4}\n");
+    println!("{}", nde_bench::report::to_json(&r));
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! E7 — cleaning-budget curves and the debugging-challenge leaderboard.
+use nde_bench::experiments::cleaning;
+use nde_bench::report::{f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = cleaning::run(300, 0.15, 8)?;
+    println!("E7 — prioritized cleaning curves (validation accuracy)\n");
+    for c in &r.curves {
+        let mut t = TextTable::new(&["cleaned", "accuracy"]);
+        for (n, a) in c.cleaned.iter().zip(&c.accuracy) {
+            t.row(vec![n.to_string(), f(*a)]);
+        }
+        println!("strategy: {}\n{}", c.strategy, t.render());
+    }
+    println!("Challenge leaderboard (hidden test set):\n{}", r.leaderboard);
+    println!("{}", nde_bench::report::to_json(&r));
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! E4 — regenerate the Fig. 1 "Quality Metric Results" panel.
+use nde_bench::experiments::fig1_metrics;
+use nde_bench::report::{f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = fig1_metrics::run(600, 0.15, 1)?;
+    println!("E4 / Fig. 1 — quality metric results (15% label errors)\n");
+    let mut t = TextTable::new(&["metric", "value"]);
+    t.row(vec!["accuracy".into(), f(r.accuracy)]);
+    t.row(vec!["f1 score".into(), f(r.f1)]);
+    t.row(vec!["equalized odds".into(), f(r.equalized_odds)]);
+    t.row(vec!["predictive parity".into(), f(r.predictive_parity)]);
+    t.row(vec!["entropy".into(), f(r.entropy)]);
+    println!("{}", t.render());
+    println!("{}", nde_bench::report::to_json(&r));
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! E3 — regenerate Fig. 4: maximum worst-case loss vs missing percentage.
+use nde_bench::experiments::fig4_zorro;
+use nde_bench::report::{f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = fig4_zorro::run(500, 4)?;
+    println!("E3 / Fig. 4 — Zorro worst-case loss vs MNAR missingness\n");
+    let mut t = TextTable::new(&["missing %", "max worst-case loss", "baseline mse"]);
+    for p in &r.points {
+        t.row(vec![
+            format!("{}", p.percentage),
+            f(p.max_worst_case_loss),
+            f(p.baseline_mse),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Curve monotone non-decreasing: {}\n", r.monotone);
+    println!("{}", nde_bench::report::to_json(&r));
+    Ok(())
+}

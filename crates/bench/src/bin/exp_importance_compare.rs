@@ -1,0 +1,18 @@
+//! E5 — detection quality of the importance-method lineup.
+use nde_bench::experiments::importance_compare;
+use nde_bench::report::{f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = importance_compare::run(240, 0.1, 5)?;
+    println!(
+        "E5 — label-error detection precision@k (n={}, k={})\n",
+        r.n_train, r.n_errors
+    );
+    let mut t = TextTable::new(&["method", "precision@k"]);
+    for m in &r.methods {
+        t.row(vec![m.method.clone(), f(m.precision_at_k)]);
+    }
+    println!("{}", t.render());
+    println!("{}", nde_bench::report::to_json(&r));
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! E9 — prediction flip rate under dataset multiplicity.
+use nde_bench::experiments::multiplicity;
+use nde_bench::report::{f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = multiplicity::run(120, 80, &[0, 2, 4, 8, 12, 16, 24], 11)?;
+    println!("E9 — flip rate vs number of uncertain labels\n");
+    let mut t = TextTable::new(&["uncertain labels", "flip rate", "worlds"]);
+    for p in &r.points {
+        t.row(vec![p.uncertain_labels.to_string(), f(p.flip_rate), p.worlds.to_string()]);
+    }
+    println!("{}", t.render());
+    println!("{}", nde_bench::report::to_json(&r));
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! E10 — provenance tracking overhead of the hiring pipeline.
+use nde_bench::experiments::provenance_overhead;
+use nde_bench::report::TextTable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = provenance_overhead::run(&[200, 500, 1000, 2000], 5, 14)?;
+    println!("E10 — pipeline execution with vs without provenance ({} reps)\n", r.reps);
+    let mut t = TextTable::new(&["n", "plain s", "provenance s", "overhead x"]);
+    for p in &r.points {
+        t.row(vec![
+            p.n.to_string(),
+            format!("{:.5}", p.plain_secs),
+            format!("{:.5}", p.provenance_secs),
+            format!("{:.2}", p.overhead_factor),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("{}", nde_bench::report::to_json(&r));
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! E12 — Zorro prediction ranges vs imputation point predictions.
+use nde_bench::experiments::zorro_vs_imputation;
+use nde_bench::report::{f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = zorro_vs_imputation::run(500, &[0.0, 5.0, 10.0, 15.0, 20.0, 25.0], 13)?;
+    println!("E12 — prediction ranges vs mean-imputation baseline\n");
+    let mut t = TextTable::new(&["missing %", "mean range width", "baseline containment", "decided fraction"]);
+    for p in &r.points {
+        t.row(vec![
+            format!("{}", p.percentage),
+            f(p.mean_range_width),
+            f(p.baseline_containment),
+            f(p.decided_fraction),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("{}", nde_bench::report::to_json(&r));
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Run every experiment (E1–E12) back to back; used to regenerate
+//! EXPERIMENTS.md numbers in one go. Prefer `--release`.
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        "exp_fig1_metrics",
+        "exp_fig2_identify",
+        "exp_fig3_pipeline",
+        "exp_fig4_zorro",
+        "exp_importance_compare",
+        "exp_shapley_scaling",
+        "exp_cleaning_challenge",
+        "exp_certain_predictions",
+        "exp_multiplicity",
+        "exp_certain_models",
+        "exp_zorro_vs_imputation",
+        "exp_provenance_overhead",
+        "exp_ablations",
+    ];
+    let me = std::env::current_exe().expect("current exe resolvable");
+    let dir = me.parent().expect("exe has a parent dir");
+    for exp in exps {
+        println!("\n=== {exp} ===============================================\n");
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed");
+    }
+}

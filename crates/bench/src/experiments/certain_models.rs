@@ -1,0 +1,117 @@
+//! E11 — §2.3 (Zhen et al., SIGMOD'24): how often does a certain or
+//! approximately-certain model exist, as the missing rate grows?
+//!
+//! Expected shape: with missingness confined to an *irrelevant* feature a
+//! certain model (almost) always exists; with missingness in a *relevant*
+//! feature the certain fraction collapses quickly as the rate grows.
+
+use nde::data::rng::{sample_indices, seeded};
+use nde::uncertain::certain_models::{certain_model_check, CertainModelConfig, ModelCertainty};
+use nde::uncertain::symbolic::SymbolicMatrix;
+use nde::uncertain::Interval;
+use nde::NdeError;
+use rand::Rng;
+use serde::Serialize;
+
+/// One point of the curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct CertainModelPoint {
+    /// Fraction of rows with a missing value.
+    pub missing_fraction: f64,
+    /// Fraction of trials with a certain/approximately-certain model when
+    /// the missing feature is irrelevant to the target.
+    pub certain_irrelevant: f64,
+    /// Same, when the missing feature drives the target.
+    pub certain_relevant: f64,
+}
+
+/// Report for E11.
+#[derive(Debug, Clone, Serialize)]
+pub struct CertainModelReport {
+    /// Trials per point.
+    pub trials: usize,
+    /// The curve, in sweep order.
+    pub points: Vec<CertainModelPoint>,
+}
+
+fn trial(
+    n: usize,
+    missing_fraction: f64,
+    relevant: bool,
+    seed: u64,
+) -> Result<bool, NdeError> {
+    let mut rng = seeded(seed);
+    // Two features; the target uses only feature 0.
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x0: f64 = rng.gen_range(-1.0..1.0);
+        let x1: f64 = rng.gen_range(-1.0..1.0);
+        rows.push(vec![Interval::point(x0), Interval::point(x1)]);
+        y.push(1.5 * x0 - 0.5);
+    }
+    let k = (n as f64 * missing_fraction).round() as usize;
+    let col = usize::from(!relevant); // relevant ⇒ feature 0, else feature 1
+    for r in sample_indices(n, k, &mut rng) {
+        rows[r][col] = Interval::new(-1.0, 1.0);
+    }
+    let sym = SymbolicMatrix::from_rows(rows)?;
+    let verdict = certain_model_check(
+        &sym,
+        &y,
+        &CertainModelConfig {
+            eps: 5e-2,
+            ..Default::default()
+        },
+    )?;
+    Ok(!matches!(verdict, ModelCertainty::NotCertain { .. }))
+}
+
+/// Run E11 over the given missing fractions.
+pub fn run(
+    n: usize,
+    fractions: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Result<CertainModelReport, NdeError> {
+    let mut points = Vec::with_capacity(fractions.len());
+    for &frac in fractions {
+        let mut certain_irrelevant = 0usize;
+        let mut certain_relevant = 0usize;
+        for t in 0..trials {
+            let s = seed
+                .wrapping_mul(31)
+                .wrapping_add(t as u64)
+                .wrapping_add((frac * 1000.0) as u64);
+            if trial(n, frac, false, s)? {
+                certain_irrelevant += 1;
+            }
+            if trial(n, frac, true, s ^ 0x11)? {
+                certain_relevant += 1;
+            }
+        }
+        points.push(CertainModelPoint {
+            missing_fraction: frac,
+            certain_irrelevant: certain_irrelevant as f64 / trials as f64,
+            certain_relevant: certain_relevant as f64 / trials as f64,
+        });
+    }
+    Ok(CertainModelReport { trials, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irrelevant_feature_stays_certain_relevant_does_not() {
+        let r = run(60, &[0.0, 0.1, 0.3], 3, 29).unwrap();
+        // No missingness: always certain, both ways.
+        assert_eq!(r.points[0].certain_irrelevant, 1.0);
+        assert_eq!(r.points[0].certain_relevant, 1.0);
+        // Missing irrelevant feature: certainty survives.
+        assert!(r.points[2].certain_irrelevant >= 0.9, "{:?}", r.points);
+        // Missing relevant feature: certainty collapses.
+        assert!(r.points[2].certain_relevant <= 0.4, "{:?}", r.points);
+    }
+}

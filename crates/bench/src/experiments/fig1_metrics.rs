@@ -1,0 +1,106 @@
+//! E4 — Fig. 1's "Quality Metric Results" table.
+//!
+//! The figure motivates the tutorial with a metric panel over a dirty
+//! pipeline: correctness (accuracy 0.87, F1 0.65), fairness (equalized odds
+//! 0.84, predictive parity 0.58) and stability (entropy 0.16). We reproduce
+//! the *panel*: train the reference classifier on error-injected letters and
+//! compute the same five metrics, with seniority (years of experience above
+//! the median) as the sensitive group attribute.
+
+use nde::api::LettersEncoding;
+use nde::data::inject::flip_labels;
+use nde::data::generate::hiring::LABEL_COLUMN;
+use nde::ml::metrics::{quality_report, QualityReport};
+use nde::ml::model::Classifier;
+use nde::ml::models::knn::KnnClassifier;
+use nde::scenario::load_recommendation_letters;
+use nde::NdeError;
+use serde::Serialize;
+
+/// Report for the Fig. 1 metric panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Report {
+    /// Accuracy on validation data.
+    pub accuracy: f64,
+    /// F1 of the positive class.
+    pub f1: f64,
+    /// Equalized-odds score (1 = fair).
+    pub equalized_odds: f64,
+    /// Predictive-parity score (1 = fair).
+    pub predictive_parity: f64,
+    /// Normalized prediction entropy.
+    pub entropy: f64,
+}
+
+impl From<QualityReport> for Fig1Report {
+    fn from(q: QualityReport) -> Self {
+        Fig1Report {
+            accuracy: q.accuracy,
+            f1: q.f1,
+            equalized_odds: q.equalized_odds,
+            predictive_parity: q.predictive_parity,
+            entropy: q.entropy,
+        }
+    }
+}
+
+/// Run E4: metrics of a model trained on dirty data.
+pub fn run(n: usize, error_fraction: f64, seed: u64) -> Result<Fig1Report, NdeError> {
+    let scenario = load_recommendation_letters(n, seed);
+    let mut dirty = scenario.train.clone();
+    flip_labels(&mut dirty, LABEL_COLUMN, error_fraction, seed ^ 1)?;
+
+    let enc = LettersEncoding::fit(&dirty)?;
+    let train = enc.dataset(&dirty)?;
+    let valid = enc.dataset(&scenario.valid)?;
+    let mut model = KnnClassifier::new(5);
+    model.fit(&train)?;
+
+    let y_pred: Vec<usize> = valid.x.iter_rows().map(|r| model.predict_one(r)).collect();
+    let probas: Vec<Vec<f64>> = valid
+        .x
+        .iter_rows()
+        .map(|r| model.predict_proba_one(r))
+        .collect();
+
+    // Sensitive groups: years_experience above/below the validation median.
+    let years: Vec<f64> = (0..scenario.valid.n_rows())
+        .map(|r| {
+            scenario
+                .valid
+                .get(r, "years_experience")
+                .expect("column exists")
+                .as_float()
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let mut sorted = years.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = sorted[sorted.len() / 2];
+    let groups: Vec<usize> = years.iter().map(|&v| usize::from(v > median)).collect();
+
+    let q = quality_report(&valid.y, &y_pred, &probas, &groups)?;
+    Ok(q.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_has_sane_shapes() {
+        let r = run(300, 0.15, 5).unwrap();
+        assert!(r.accuracy > 0.5 && r.accuracy < 1.0);
+        assert!(r.f1 > 0.0 && r.f1 <= 1.0);
+        assert!((0.0..=1.0).contains(&r.equalized_odds));
+        assert!((0.0..=1.0).contains(&r.predictive_parity));
+        assert!((0.0..=1.0).contains(&r.entropy));
+    }
+
+    #[test]
+    fn more_errors_lower_accuracy() {
+        let clean = run(300, 0.0, 6).unwrap();
+        let dirty = run(300, 0.3, 6).unwrap();
+        assert!(dirty.accuracy < clean.accuracy);
+    }
+}

@@ -1,0 +1,59 @@
+//! E1 — Fig. 2: identify data errors via importance, clean, recover.
+//!
+//! Paper's printed numbers: accuracy 0.76 with 10% label errors, 0.79 after
+//! cleaning the 25 lowest-KNN-Shapley tuples. We reproduce the *shape*:
+//! dirty < cleaned ≤ clean, with a visible recovery from cleaning 25 tuples.
+
+use nde::scenario::load_recommendation_letters;
+use nde::workflows::identify::{run as identify, IdentifyConfig};
+use nde::NdeError;
+use serde::Serialize;
+
+/// Report for the Fig. 2 experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Report {
+    /// Accuracy trained on clean data.
+    pub acc_clean: f64,
+    /// Accuracy with injected errors.
+    pub acc_dirty: f64,
+    /// Accuracy after cleaning 25 prioritized tuples.
+    pub acc_cleaned: f64,
+    /// Injected error count.
+    pub injected: usize,
+    /// Fraction of the cleaned tuples that were truly dirty.
+    pub detection_precision: f64,
+}
+
+/// Run E1 with the paper's parameters (10% label errors, clean 25 tuples).
+pub fn run(n: usize, seed: u64) -> Result<Fig2Report, NdeError> {
+    let scenario = load_recommendation_letters(n, seed);
+    let outcome = identify(
+        &scenario,
+        &IdentifyConfig {
+            error_fraction: 0.10,
+            clean_count: 25,
+            seed: seed ^ 0xf162,
+        },
+    )?;
+    Ok(Fig2Report {
+        acc_clean: outcome.acc_clean,
+        acc_dirty: outcome.acc_dirty,
+        acc_cleaned: outcome.acc_cleaned,
+        injected: outcome.injected,
+        detection_precision: outcome.detection_precision,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_fig2_shape() {
+        let r = run(500, 7).unwrap();
+        assert!(r.acc_dirty < r.acc_clean, "{r:?}");
+        assert!(r.acc_cleaned > r.acc_dirty, "{r:?}");
+        assert!(r.detection_precision > 0.3, "{r:?}");
+        assert_eq!(r.injected, 30); // 10% of the 300-row training split
+    }
+}

@@ -1,0 +1,95 @@
+//! E9 — §2.3 (Meyer et al., FAccT'23): prediction flip rate under dataset
+//! multiplicity as the number of unreliable labels grows.
+//!
+//! Expected shape: the fraction of test points whose prediction depends on
+//! the resolution of the uncertain labels grows monotonically with the
+//! number of uncertain labels.
+
+use nde::data::generate::blobs::two_gaussians;
+use nde::data::rng::{sample_indices, seeded};
+use nde::ml::dataset::Dataset;
+use nde::ml::models::knn::KnnClassifier;
+use nde::uncertain::multiplicity::{multiplicity_exact, multiplicity_sampled};
+use nde::NdeError;
+use serde::Serialize;
+
+/// One point of the flip-rate curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlipPoint {
+    /// Number of uncertain labels.
+    pub uncertain_labels: usize,
+    /// Fraction of test predictions that flip across worlds.
+    pub flip_rate: f64,
+    /// Worlds evaluated (2^k exact, or the sample budget).
+    pub worlds: usize,
+}
+
+/// Report for E9.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiplicityReport {
+    /// The curve, in sweep order.
+    pub points: Vec<FlipPoint>,
+}
+
+/// Run E9: sweep the number of uncertain labels (exact enumeration up to
+/// [`nde::uncertain::multiplicity::EXACT_LIMIT`], sampling beyond).
+pub fn run(
+    n_train: usize,
+    n_test: usize,
+    counts: &[usize],
+    seed: u64,
+) -> Result<MultiplicityReport, NdeError> {
+    // Moderately overlapping blobs so that label flips actually matter.
+    let nd = two_gaussians(n_train + n_test, 2, 2.5, seed);
+    let all = Dataset::try_from(&nd)?;
+    let train = all.subset(&(0..n_train).collect::<Vec<_>>());
+    let test = all.subset(&(n_train..n_train + n_test).collect::<Vec<_>>());
+    let template = KnnClassifier::new(1);
+
+    // Nested uncertain sets for monotonicity by construction.
+    let max_count = counts.iter().copied().max().unwrap_or(0);
+    let mut rng = seeded(seed ^ 0xe9);
+    let pool = sample_indices(n_train, max_count, &mut rng);
+
+    let mut points = Vec::with_capacity(counts.len());
+    for &k in counts {
+        let uncertain = &pool[..k.min(pool.len())];
+        let report = if k <= nde::uncertain::multiplicity::EXACT_LIMIT {
+            multiplicity_exact(&template, &train, uncertain, &test.x)?
+        } else {
+            multiplicity_sampled(&template, &train, uncertain, &test.x, 256, seed)?
+        };
+        points.push(FlipPoint {
+            uncertain_labels: k,
+            flip_rate: report.flip_rate(),
+            worlds: report.worlds,
+        });
+    }
+    Ok(MultiplicityReport { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_rate_grows_with_uncertainty() {
+        let r = run(60, 40, &[0, 2, 6, 12], 23).unwrap();
+        assert_eq!(r.points[0].flip_rate, 0.0);
+        for w in r.points.windows(2) {
+            assert!(
+                w[1].flip_rate >= w[0].flip_rate - 1e-9,
+                "not monotone: {:?}",
+                r.points
+            );
+        }
+        assert!(r.points[3].flip_rate > 0.0, "{:?}", r.points);
+        assert_eq!(r.points[3].worlds, 1 << 12);
+    }
+
+    #[test]
+    fn sampling_kicks_in_beyond_exact_limit() {
+        let r = run(60, 20, &[20], 24).unwrap();
+        assert_eq!(r.points[0].worlds, 256);
+    }
+}

@@ -1,0 +1,78 @@
+//! E10 — §2.2: what does fine-grained provenance tracking cost?
+//!
+//! Runs the Fig. 3 hiring pipeline with and without provenance and reports
+//! the wall-time ratio. Expected shape: a small constant factor (the
+//! polynomial per row is built alongside the relational work), which is the
+//! argument for always-on lineage in systems like mlinspect.
+
+use nde::pipeline::exec::Executor;
+use nde::pipeline::plan::Plan;
+use nde::scenario::load_recommendation_letters;
+use nde::NdeError;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Timings at one scale.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadPoint {
+    /// Number of applicants generated.
+    pub n: usize,
+    /// Pipeline execution seconds without provenance.
+    pub plain_secs: f64,
+    /// Pipeline execution seconds with provenance.
+    pub provenance_secs: f64,
+    /// `provenance_secs / plain_secs`.
+    pub overhead_factor: f64,
+}
+
+/// Report for E10.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadReport {
+    /// Repetitions averaged per point.
+    pub reps: usize,
+    /// One point per swept scale.
+    pub points: Vec<OverheadPoint>,
+}
+
+/// Run E10 over the given scales.
+pub fn run(sizes: &[usize], reps: usize, seed: u64) -> Result<OverheadReport, NdeError> {
+    let (plan, root) = Plan::hiring_pipeline();
+    let mut points = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let s = load_recommendation_letters(n, seed);
+        let inputs = s.pipeline_inputs(&s.train);
+        let timed = |track: bool| -> Result<f64, NdeError> {
+            let exec = Executor::new().with_provenance(track);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let out = exec.run(&plan, root, &inputs)?;
+                std::hint::black_box(out.table.n_rows());
+            }
+            Ok(t0.elapsed().as_secs_f64() / reps as f64)
+        };
+        let plain_secs = timed(false)?;
+        let provenance_secs = timed(true)?;
+        points.push(OverheadPoint {
+            n,
+            plain_secs,
+            provenance_secs,
+            overhead_factor: provenance_secs / plain_secs.max(1e-12),
+        });
+    }
+    Ok(OverheadReport { reps, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_a_small_constant_factor() {
+        let r = run(&[300], 3, 35).unwrap();
+        let p = &r.points[0];
+        assert!(p.plain_secs > 0.0);
+        assert!(p.overhead_factor >= 0.5, "{p:?}");
+        // Provenance must not blow execution up by an order of magnitude.
+        assert!(p.overhead_factor < 10.0, "{p:?}");
+    }
+}

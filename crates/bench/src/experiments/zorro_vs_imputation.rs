@@ -1,0 +1,109 @@
+//! E12 — the Fig. 4 comparison task: Zorro prediction *ranges* vs the point
+//! predictions of a baseline trained on imputed data.
+//!
+//! Attendees are asked to "compare these ranges to the predictions of a
+//! baseline model trained with simple imputation" and summarize differences
+//! in variability and reliability. Expected shape: the baseline's point
+//! predictions always lie inside Zorro's ranges (soundness); range width —
+//! the honest uncertainty — grows with missingness while the baseline
+//! reports nothing.
+
+use nde::api::{encode_symbolic, zorro_config};
+use nde::data::inject::Missingness;
+use nde::scenario::load_recommendation_letters;
+use nde::uncertain::zorro::{train_concrete_gd, ZorroRegressor};
+use nde::NdeError;
+use serde::Serialize;
+
+/// One swept point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonPoint {
+    /// Missing percentage.
+    pub percentage: f64,
+    /// Mean width of Zorro's test prediction ranges.
+    pub mean_range_width: f64,
+    /// Fraction of baseline point predictions inside the Zorro range.
+    pub baseline_containment: f64,
+    /// Fraction of test points whose Zorro range determines the class sign
+    /// (range entirely positive or entirely negative): the "reliable" set.
+    pub decided_fraction: f64,
+}
+
+/// Report for E12.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonReport {
+    /// The curve, in sweep order.
+    pub points: Vec<ComparisonPoint>,
+}
+
+/// Run E12 over the given missing percentages.
+pub fn run(n: usize, percentages: &[f64], seed: u64) -> Result<ComparisonReport, NdeError> {
+    let scenario = load_recommendation_letters(n, seed);
+    let mut points = Vec::with_capacity(percentages.len());
+    for &pct in percentages {
+        let enc = encode_symbolic(
+            &scenario.train,
+            "employer_rating",
+            pct,
+            Missingness::Mnar { skew: 4.0 },
+            seed ^ 0xe12,
+        )?;
+        let cfg = zorro_config();
+        let mut zorro = ZorroRegressor::new(cfg.clone());
+        zorro.fit(&enc.x, &enc.y)?;
+        // Baseline: midpoint (mean-of-domain) imputation + identical GD.
+        let w = train_concrete_gd(&enc.x.midpoint_world(), &enc.y, &cfg)?;
+
+        let (tx, _ty) = enc.encode_test(&scenario.test)?;
+        let mut width_sum = 0.0;
+        let mut contained = 0usize;
+        let mut decided = 0usize;
+        for row in tx.iter_rows() {
+            let range = zorro.predict_range(row)?;
+            width_sum += range.width();
+            let point_pred: f64 =
+                row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[row.len()];
+            if range.contains(point_pred) {
+                contained += 1;
+            }
+            if range.lo > 0.0 || range.hi < 0.0 {
+                decided += 1;
+            }
+        }
+        let m = tx.rows().max(1) as f64;
+        points.push(ComparisonPoint {
+            percentage: pct,
+            mean_range_width: width_sum / m,
+            baseline_containment: contained as f64 / m,
+            decided_fraction: decided as f64 / m,
+        });
+    }
+    Ok(ComparisonReport { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_contain_baseline_and_widen_with_missingness() {
+        let r = run(250, &[5.0, 25.0], 33).unwrap();
+        for p in &r.points {
+            assert!(
+                (p.baseline_containment - 1.0).abs() < 1e-12,
+                "soundness violated: {p:?}"
+            );
+        }
+        assert!(
+            r.points[1].mean_range_width > r.points[0].mean_range_width,
+            "{:?}",
+            r.points
+        );
+        // More uncertainty ⇒ fewer decided (sign-certain) predictions.
+        assert!(
+            r.points[1].decided_fraction <= r.points[0].decided_fraction + 1e-9,
+            "{:?}",
+            r.points
+        );
+    }
+}

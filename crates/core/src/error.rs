@@ -1,0 +1,91 @@
+//! Unified error type for the facade crate.
+
+use std::fmt;
+
+/// Any error surfaced by the `nde` facade (wraps the subsystem errors).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NdeError {
+    /// Data substrate error.
+    Data(String),
+    /// ML substrate error.
+    Ml(String),
+    /// Pipeline error.
+    Pipeline(String),
+    /// Importance computation error.
+    Importance(String),
+    /// Uncertain-data error.
+    Uncertain(String),
+    /// Cleaning / challenge error.
+    Cleaning(String),
+    /// Facade-level invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            NdeError::Data(m) => ("data", m),
+            NdeError::Ml(m) => ("ml", m),
+            NdeError::Pipeline(m) => ("pipeline", m),
+            NdeError::Importance(m) => ("importance", m),
+            NdeError::Uncertain(m) => ("uncertain", m),
+            NdeError::Cleaning(m) => ("cleaning", m),
+            NdeError::InvalidArgument(m) => ("invalid argument", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl std::error::Error for NdeError {}
+
+impl From<nde_data::DataError> for NdeError {
+    fn from(e: nde_data::DataError) -> Self {
+        NdeError::Data(e.to_string())
+    }
+}
+impl From<nde_ml::MlError> for NdeError {
+    fn from(e: nde_ml::MlError) -> Self {
+        NdeError::Ml(e.to_string())
+    }
+}
+impl From<nde_pipeline::PipelineError> for NdeError {
+    fn from(e: nde_pipeline::PipelineError) -> Self {
+        NdeError::Pipeline(e.to_string())
+    }
+}
+impl From<nde_importance::ImportanceError> for NdeError {
+    fn from(e: nde_importance::ImportanceError) -> Self {
+        NdeError::Importance(e.to_string())
+    }
+}
+impl From<nde_uncertain::UncertainError> for NdeError {
+    fn from(e: nde_uncertain::UncertainError) -> Self {
+        NdeError::Uncertain(e.to_string())
+    }
+}
+impl From<nde_cleaning::CleaningError> for NdeError {
+    fn from(e: nde_cleaning::CleaningError) -> Self {
+        NdeError::Cleaning(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: NdeError = nde_data::DataError::UnknownColumn("age".into()).into();
+        assert!(e.to_string().contains("age"));
+        let e: NdeError = nde_ml::MlError::NotFitted.into();
+        assert!(matches!(e, NdeError::Ml(_)));
+        let e: NdeError = nde_pipeline::PipelineError::UnknownNode(1).into();
+        assert!(matches!(e, NdeError::Pipeline(_)));
+        let e: NdeError = nde_uncertain::UncertainError::InvalidArgument("x".into()).into();
+        assert!(matches!(e, NdeError::Uncertain(_)));
+        let e: NdeError = nde_cleaning::CleaningError::InvalidArgument("x".into()).into();
+        assert!(matches!(e, NdeError::Cleaning(_)));
+        let e: NdeError = nde_importance::ImportanceError::InvalidArgument("x".into()).into();
+        assert!(matches!(e, NdeError::Importance(_)));
+    }
+}

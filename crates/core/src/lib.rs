@@ -1,0 +1,49 @@
+//! # nde — navigating data errors in machine learning pipelines
+//!
+//! A Rust reproduction of the `navigating_data_errors` toolkit from the
+//! SIGMOD'25 tutorial *"Navigating Data Errors in Machine Learning
+//! Pipelines: Identify, Debug, and Learn"* (Karlaš, Salimi & Schelter).
+//!
+//! The toolkit has three pillars:
+//!
+//! 1. **Identify** — data-importance methods (LOO, Shapley family,
+//!    KNN-Shapley, Banzhaf, influence functions, AUM, confident learning)
+//!    that rank training tuples by their impact on model quality;
+//! 2. **Debug** — ML preprocessing pipelines with fine-grained provenance,
+//!    so importance computed on pipeline *outputs* can be pushed back to the
+//!    pipeline's *source tables* (Datascope / mlinspect style);
+//! 3. **Learn** — when cleaning is impossible, reason *under* uncertainty:
+//!    Zorro-style worst-case loss bounds, certain predictions, dataset
+//!    multiplicity, possible worlds.
+//!
+//! The [`api`] module mirrors the tutorial's Python snippets; [`workflows`]
+//! packages the three hands-on figures (Figs. 2–4) as runnable workflows.
+//!
+//! ```
+//! use nde::scenario::load_recommendation_letters;
+//! use nde::api;
+//!
+//! let mut s = load_recommendation_letters(120, 42);
+//! let report = api::inject_label_errors(&mut s.train, 0.1, 7).unwrap();
+//! assert_eq!(report.affected.len(), (s.train.n_rows() as f64 * 0.1).round() as usize);
+//! let acc_dirty = api::evaluate_model(&s.train, &s.valid).unwrap();
+//! assert!(acc_dirty > 0.0 && acc_dirty <= 1.0);
+//! ```
+
+pub mod api;
+pub mod error;
+pub mod scenario;
+pub mod workflows;
+
+pub use error::NdeError;
+
+// Re-export the subsystem crates under stable names.
+pub use nde_cleaning as cleaning;
+pub use nde_data as data;
+pub use nde_importance as importance;
+pub use nde_ml as ml;
+pub use nde_pipeline as pipeline;
+pub use nde_uncertain as uncertain;
+
+/// Convenience result alias for the facade.
+pub type Result<T> = std::result::Result<T, NdeError>;

@@ -1,0 +1,142 @@
+//! Fig. 4 — *Learn*: reasoning about uncertainty in the predictions.
+//!
+//! For increasing percentages of MNAR missingness in `employer_rating`,
+//! train the Zorro symbolic model and report the maximum worst-case loss —
+//! the monotonically growing curve of Fig. 4 — and compare against a
+//! baseline trained on mean-imputed data.
+
+use crate::api::{encode_symbolic, estimate_with_zorro, SymbolicEncoding};
+use crate::scenario::LettersScenario;
+use crate::Result;
+use nde_data::inject::Missingness;
+use nde_ml::metrics::mean_squared_error;
+use nde_uncertain::zorro::train_concrete_gd;
+
+/// Configuration of the Fig. 4 workflow.
+#[derive(Debug, Clone)]
+pub struct LearnConfig {
+    /// Feature made missing (one of [`crate::api::SYMBOLIC_FEATURES`]).
+    pub feature: String,
+    /// Missing percentages swept (e.g. `[5, 10, 15, 20, 25]`).
+    pub percentages: Vec<f64>,
+    /// Missingness mechanism (the paper uses MNAR).
+    pub mechanism: Missingness,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig {
+            feature: "employer_rating".into(),
+            percentages: vec![5.0, 10.0, 15.0, 20.0, 25.0],
+            mechanism: Missingness::Mnar { skew: 4.0 },
+            seed: 0,
+        }
+    }
+}
+
+/// One point of the Fig. 4 curve.
+#[derive(Debug, Clone)]
+pub struct LearnPoint {
+    /// Missing percentage.
+    pub percentage: f64,
+    /// Zorro's maximum worst-case test loss.
+    pub max_worst_case_loss: f64,
+    /// Test MSE of the baseline trained on mean-imputed data.
+    pub baseline_mse: f64,
+}
+
+/// Outcome of the Fig. 4 workflow.
+#[derive(Debug, Clone)]
+pub struct LearnOutcome {
+    /// One point per requested percentage, in order.
+    pub points: Vec<LearnPoint>,
+}
+
+impl LearnOutcome {
+    /// `true` iff the worst-case bound is (weakly) monotone in missingness —
+    /// the qualitative shape of Fig. 4.
+    pub fn is_monotone(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].max_worst_case_loss >= w[0].max_worst_case_loss - 1e-9)
+    }
+}
+
+/// Run the Fig. 4 workflow.
+pub fn run(scenario: &LettersScenario, config: &LearnConfig) -> Result<LearnOutcome> {
+    let mut points = Vec::with_capacity(config.percentages.len());
+    for &pct in &config.percentages {
+        let encoding = encode_symbolic(
+            &scenario.train,
+            &config.feature,
+            pct,
+            config.mechanism.clone(),
+            config.seed,
+        )?;
+        let max_worst_case_loss = estimate_with_zorro(&encoding, &scenario.test)?;
+        let baseline_mse = baseline_imputed_mse(&encoding, scenario)?;
+        points.push(LearnPoint {
+            percentage: pct,
+            max_worst_case_loss,
+            baseline_mse,
+        });
+    }
+    Ok(LearnOutcome { points })
+}
+
+/// Baseline: impute the symbolic cells at their interval midpoints (i.e.
+/// mean-of-domain imputation), train the same GD linear model concretely,
+/// and measure plain test MSE.
+fn baseline_imputed_mse(
+    encoding: &SymbolicEncoding,
+    scenario: &LettersScenario,
+) -> Result<f64> {
+    let world = encoding.x.midpoint_world();
+    let w = train_concrete_gd(&world, &encoding.y, &crate::api::zorro_config())?;
+    let (tx, ty) = encoding.encode_test(&scenario.test)?;
+    let preds: Vec<f64> = tx
+        .iter_rows()
+        .map(|row| {
+            row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[row.len()]
+        })
+        .collect();
+    Ok(mean_squared_error(&ty, &preds)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::load_recommendation_letters;
+
+    #[test]
+    fn curve_is_monotone_and_dominates_baseline() {
+        let scenario = load_recommendation_letters(300, 41);
+        let outcome = run(&scenario, &LearnConfig::default()).unwrap();
+        assert_eq!(outcome.points.len(), 5);
+        assert!(outcome.is_monotone(), "{:?}", outcome.points);
+        for p in &outcome.points {
+            // Worst-case bound must dominate the achievable baseline loss.
+            assert!(
+                p.max_worst_case_loss >= p.baseline_mse * 0.99,
+                "bound {p:?} below achievable loss"
+            );
+            assert!(p.baseline_mse.is_finite() && p.baseline_mse >= 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_missing_gives_tightest_bound() {
+        let scenario = load_recommendation_letters(200, 42);
+        let cfg = LearnConfig {
+            percentages: vec![0.0, 25.0],
+            ..Default::default()
+        };
+        let outcome = run(&scenario, &cfg).unwrap();
+        assert!(
+            outcome.points[1].max_worst_case_loss
+                > outcome.points[0].max_worst_case_loss
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! The three hands-on workflows of the tutorial, one per figure:
+//!
+//! * [`identify`] — Fig. 2: inject label errors, find them with KNN-Shapley,
+//!   clean the worst tuples, recover accuracy;
+//! * [`debug`] — Fig. 3: run the preprocessing pipeline with provenance,
+//!   push importance back to the source tables, fix the sources;
+//! * [`learn`] — Fig. 4: inject missing values, bound the worst-case loss
+//!   with Zorro, compare against naive imputation.
+
+pub mod debug;
+pub mod identify;
+pub mod learn;

@@ -1,0 +1,280 @@
+//! The data debugging challenge (paper §3.2): a dirty training set, a
+//! limited cleaning budget, an oracle that evaluates on a **hidden test
+//! set**, and a live leaderboard.
+
+use crate::oracle::LabelOracle;
+use crate::{CleaningError, Result};
+use nde_ml::dataset::Dataset;
+use nde_ml::model::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// One scored submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaderboardEntry {
+    /// Submitting participant.
+    pub name: String,
+    /// Hidden-test accuracy achieved.
+    pub score: f64,
+    /// How many rows the submission cleaned.
+    pub cleaned: usize,
+}
+
+/// The challenge leaderboard, best score first.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Leaderboard {
+    entries: Vec<LeaderboardEntry>,
+}
+
+impl Leaderboard {
+    /// Record a submission (re-sorts: best score, then fewest cleaned rows).
+    pub fn record(&mut self, entry: LeaderboardEntry) {
+        self.entries.push(entry);
+        self.entries.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores")
+                .then(a.cleaned.cmp(&b.cleaned))
+                .then(a.name.cmp(&b.name))
+        });
+    }
+
+    /// Entries, best first.
+    pub fn entries(&self) -> &[LeaderboardEntry] {
+        &self.entries
+    }
+
+    /// The current leader, if any.
+    pub fn leader(&self) -> Option<&LeaderboardEntry> {
+        self.entries.first()
+    }
+
+    /// Serialize to pretty JSON (for persistence / the "live leaderboard").
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| CleaningError::Serde(e.to_string()))
+    }
+
+    /// Restore from JSON.
+    pub fn from_json(json: &str) -> Result<Leaderboard> {
+        serde_json::from_str(json).map_err(|e| CleaningError::Serde(e.to_string()))
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("rank | name                 | score  | cleaned\n");
+        out.push_str("-----+----------------------+--------+--------\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>4} | {:<20} | {:.4} | {:>7}\n",
+                i + 1,
+                e.name,
+                e.score,
+                e.cleaned
+            ));
+        }
+        out
+    }
+}
+
+/// The challenge harness: owns the dirty data, the hidden test set, the
+/// ground-truth oracle and the budget. Participants see only validation data
+/// and submission feedback.
+#[derive(Debug, Clone)]
+pub struct DebugChallenge<C: Classifier> {
+    template: C,
+    dirty: Dataset,
+    hidden_test: Dataset,
+    oracle: LabelOracle,
+    budget: usize,
+    leaderboard: Leaderboard,
+}
+
+impl<C: Classifier> DebugChallenge<C> {
+    /// Set up a challenge.
+    pub fn new(
+        template: C,
+        dirty: Dataset,
+        oracle: LabelOracle,
+        hidden_test: Dataset,
+        budget: usize,
+    ) -> Result<DebugChallenge<C>> {
+        if oracle.len() != dirty.len() {
+            return Err(CleaningError::InvalidArgument(
+                "oracle does not cover the dirty dataset".into(),
+            ));
+        }
+        if budget == 0 {
+            return Err(CleaningError::InvalidArgument("budget must be > 0".into()));
+        }
+        Ok(DebugChallenge {
+            template,
+            dirty,
+            hidden_test,
+            oracle,
+            budget,
+            leaderboard: Leaderboard::default(),
+        })
+    }
+
+    /// The cleaning budget per submission.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// A participant's view of the dirty training data (labels included —
+    /// they just may be wrong).
+    pub fn dirty_data(&self) -> &Dataset {
+        &self.dirty
+    }
+
+    /// Baseline hidden-test accuracy with no cleaning at all.
+    pub fn baseline(&self) -> Result<f64> {
+        let mut model = self.template.clone();
+        model.fit(&self.dirty)?;
+        Ok(model.accuracy(&self.hidden_test))
+    }
+
+    /// Submit up to `budget` row ids to clean. The oracle repairs them, the
+    /// model is retrained on the partially-cleaned data, and the hidden-test
+    /// accuracy is returned and recorded on the leaderboard. The challenge's
+    /// own dirty data is *not* mutated — every submission starts fresh.
+    pub fn submit(&mut self, name: &str, rows: &[usize]) -> Result<f64> {
+        if rows.len() > self.budget {
+            return Err(CleaningError::BudgetExceeded {
+                requested: rows.len(),
+                budget: self.budget,
+            });
+        }
+        let mut repaired = self.dirty.clone();
+        self.oracle.repair(&mut repaired.y, rows)?;
+        let mut model = self.template.clone();
+        model.fit(&repaired)?;
+        let score = model.accuracy(&self.hidden_test);
+        self.leaderboard.record(LeaderboardEntry {
+            name: name.to_owned(),
+            score,
+            cleaned: rows.len(),
+        });
+        Ok(score)
+    }
+
+    /// The live leaderboard.
+    pub fn leaderboard(&self) -> &Leaderboard {
+        &self.leaderboard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_data::generate::blobs::two_gaussians;
+    use nde_importance::knn_shapley::knn_shapley;
+    use nde_ml::models::knn::KnnClassifier;
+
+    fn challenge() -> (DebugChallenge<KnnClassifier>, Vec<usize>, Dataset) {
+        let nd = two_gaussians(260, 3, 5.0, 51);
+        let all = Dataset::try_from(&nd).unwrap();
+        let mut train = all.subset(&(0..180).collect::<Vec<_>>());
+        let valid = all.subset(&(180..220).collect::<Vec<_>>());
+        let test = all.subset(&(220..260).collect::<Vec<_>>());
+        let truth = train.y.clone();
+        let flips: Vec<usize> = vec![2, 9, 25, 31, 47, 58, 72, 88, 95, 104, 119, 127, 142, 155, 166, 171, 13, 64, 99, 150];
+        for &f in &flips {
+            train.y[f] = 1 - train.y[f];
+        }
+        let ch = DebugChallenge::new(
+            KnnClassifier::new(3),
+            train,
+            LabelOracle::new(truth),
+            test,
+            25,
+        )
+        .unwrap();
+        (ch, flips, valid)
+    }
+
+    #[test]
+    fn good_submission_beats_baseline_and_random() {
+        let (mut ch, _flips, valid) = challenge();
+        let baseline = ch.baseline().unwrap();
+        // Importance-guided submission within budget.
+        let scores = knn_shapley(ch.dirty_data(), &valid, 3).unwrap();
+        let picks = scores.bottom_k(25);
+        let smart = ch.submit("smart", &picks).unwrap();
+        // Random submission.
+        let random_picks: Vec<usize> = (0..25).map(|i| i * 7 % 180).collect();
+        let random = ch.submit("random", &random_picks).unwrap();
+        assert!(smart >= baseline, "smart {smart} vs baseline {baseline}");
+        assert!(smart >= random, "smart {smart} vs random {random}");
+        // Leaderboard ordered best-first.
+        let lb = ch.leaderboard();
+        assert_eq!(lb.entries().len(), 2);
+        assert!(lb.leader().unwrap().score >= lb.entries()[1].score);
+    }
+
+    #[test]
+    fn budget_enforced_and_submissions_independent() {
+        let (mut ch, _, _) = challenge();
+        let too_many: Vec<usize> = (0..26).collect();
+        assert!(matches!(
+            ch.submit("greedy", &too_many),
+            Err(CleaningError::BudgetExceeded { .. })
+        ));
+        // Two identical submissions give identical scores (no state leaks).
+        let picks: Vec<usize> = (0..25).collect();
+        let a = ch.submit("a", &picks).unwrap();
+        let b = ch.submit("b", &picks).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn leaderboard_json_roundtrip_and_render() {
+        let mut lb = Leaderboard::default();
+        lb.record(LeaderboardEntry {
+            name: "ada".into(),
+            score: 0.91,
+            cleaned: 20,
+        });
+        lb.record(LeaderboardEntry {
+            name: "bob".into(),
+            score: 0.95,
+            cleaned: 25,
+        });
+        lb.record(LeaderboardEntry {
+            name: "eve".into(),
+            score: 0.95,
+            cleaned: 10,
+        });
+        assert_eq!(lb.leader().unwrap().name, "eve"); // same score, fewer rows
+        let json = lb.to_json().unwrap();
+        let back = Leaderboard::from_json(&json).unwrap();
+        assert_eq!(back, lb);
+        let rendered = lb.render();
+        assert!(rendered.contains("eve"));
+        assert!(rendered.lines().count() >= 5);
+        assert!(Leaderboard::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn construction_validated() {
+        let nd = two_gaussians(20, 2, 3.0, 52);
+        let data = Dataset::try_from(&nd).unwrap();
+        let bad_oracle = LabelOracle::new(vec![0; 3]);
+        assert!(DebugChallenge::new(
+            KnnClassifier::new(1),
+            data.clone(),
+            bad_oracle,
+            data.clone(),
+            10
+        )
+        .is_err());
+        let oracle = LabelOracle::new(data.y.clone());
+        assert!(DebugChallenge::new(
+            KnnClassifier::new(1),
+            data.clone(),
+            oracle,
+            data,
+            0
+        )
+        .is_err());
+    }
+}

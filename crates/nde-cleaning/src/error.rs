@@ -1,0 +1,79 @@
+//! Error type for the cleaning crate.
+
+use std::fmt;
+
+/// Errors from oracles, strategies and the debugging challenge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CleaningError {
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// A submission exceeded the challenge's cleaning budget.
+    BudgetExceeded {
+        /// Rows requested.
+        requested: usize,
+        /// Budget available.
+        budget: usize,
+    },
+    /// A wrapped importance-crate error.
+    Importance(String),
+    /// A wrapped ML-substrate error.
+    Ml(String),
+    /// A wrapped data-substrate error.
+    Data(String),
+    /// Leaderboard (de)serialization failed.
+    Serde(String),
+}
+
+impl fmt::Display for CleaningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CleaningError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            CleaningError::BudgetExceeded { requested, budget } => {
+                write!(f, "submission of {requested} rows exceeds budget {budget}")
+            }
+            CleaningError::Importance(m) => write!(f, "importance error: {m}"),
+            CleaningError::Ml(m) => write!(f, "ml error: {m}"),
+            CleaningError::Data(m) => write!(f, "data error: {m}"),
+            CleaningError::Serde(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CleaningError {}
+
+impl From<nde_importance::ImportanceError> for CleaningError {
+    fn from(e: nde_importance::ImportanceError) -> Self {
+        CleaningError::Importance(e.to_string())
+    }
+}
+
+impl From<nde_ml::MlError> for CleaningError {
+    fn from(e: nde_ml::MlError) -> Self {
+        CleaningError::Ml(e.to_string())
+    }
+}
+
+impl From<nde_data::DataError> for CleaningError {
+    fn from(e: nde_data::DataError) -> Self {
+        CleaningError::Data(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e = CleaningError::BudgetExceeded {
+            requested: 30,
+            budget: 25,
+        };
+        assert!(e.to_string().contains("30"));
+        let e: CleaningError = nde_ml::MlError::NotFitted.into();
+        assert!(matches!(e, CleaningError::Ml(_)));
+        let e: CleaningError =
+            nde_importance::ImportanceError::InvalidArgument("x".into()).into();
+        assert!(matches!(e, CleaningError::Importance(_)));
+    }
+}

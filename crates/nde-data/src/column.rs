@@ -1,0 +1,283 @@
+//! Columnar storage: one typed vector of optional values per column.
+
+use crate::schema::DataType;
+use crate::value::Value;
+use crate::{DataError, Result};
+
+/// A single typed column. Missing values are `None`.
+///
+/// Storage is columnar to keep hot loops (encoding, distance computation,
+/// injection sweeps) cache-friendly and free of per-cell enum dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer column.
+    Int(Vec<Option<i64>>),
+    /// Float column.
+    Float(Vec<Option<f64>>),
+    /// String column.
+    Str(Vec<Option<String>>),
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// An empty column with preallocated capacity.
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        match dtype {
+            DataType::Int => Column::Int(Vec::with_capacity(cap)),
+            DataType::Float => Column::Float(Vec::with_capacity(cap)),
+            DataType::Str => Column::Str(Vec::with_capacity(cap)),
+            DataType::Bool => Column::Bool(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+            Column::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` if the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of missing cells.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Int(v) => v.iter().filter(|c| c.is_none()).count(),
+            Column::Float(v) => v.iter().filter(|c| c.is_none()).count(),
+            Column::Str(v) => v.iter().filter(|c| c.is_none()).count(),
+            Column::Bool(v) => v.iter().filter(|c| c.is_none()).count(),
+        }
+    }
+
+    /// Get the cell at `row` as a [`Value`]. Returns `None` if out of bounds.
+    pub fn get(&self, row: usize) -> Option<Value> {
+        if row >= self.len() {
+            return None;
+        }
+        Some(match self {
+            Column::Int(v) => v[row].map(Value::Int).unwrap_or(Value::Null),
+            Column::Float(v) => v[row].map(Value::Float).unwrap_or(Value::Null),
+            Column::Str(v) => v[row]
+                .as_ref()
+                .map(|s| Value::Str(s.clone()))
+                .unwrap_or(Value::Null),
+            Column::Bool(v) => v[row].map(Value::Bool).unwrap_or(Value::Null),
+        })
+    }
+
+    /// Append a value, checking type compatibility (`Null` fits any column).
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => v.push(Some(x)),
+            (Column::Int(v), Value::Null) => v.push(None),
+            (Column::Float(v), Value::Float(x)) => v.push(Some(x)),
+            // Widen ints written into float columns; convenient for literals.
+            (Column::Float(v), Value::Int(x)) => v.push(Some(x as f64)),
+            (Column::Float(v), Value::Null) => v.push(None),
+            (Column::Str(v), Value::Str(x)) => v.push(Some(x)),
+            (Column::Str(v), Value::Null) => v.push(None),
+            (Column::Bool(v), Value::Bool(x)) => v.push(Some(x)),
+            (Column::Bool(v), Value::Null) => v.push(None),
+            (col, value) => {
+                return Err(DataError::TypeMismatch {
+                    column: String::new(),
+                    expected: col.data_type().name(),
+                    got: format!("{value:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrite the cell at `row`, checking bounds and type.
+    pub fn set(&mut self, row: usize, value: Value) -> Result<()> {
+        let len = self.len();
+        if row >= len {
+            return Err(DataError::RowOutOfBounds { index: row, len });
+        }
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => v[row] = Some(x),
+            (Column::Int(v), Value::Null) => v[row] = None,
+            (Column::Float(v), Value::Float(x)) => v[row] = Some(x),
+            (Column::Float(v), Value::Int(x)) => v[row] = Some(x as f64),
+            (Column::Float(v), Value::Null) => v[row] = None,
+            (Column::Str(v), Value::Str(x)) => v[row] = Some(x),
+            (Column::Str(v), Value::Null) => v[row] = None,
+            (Column::Bool(v), Value::Bool(x)) => v[row] = Some(x),
+            (Column::Bool(v), Value::Null) => v[row] = None,
+            (col, value) => {
+                return Err(DataError::TypeMismatch {
+                    column: String::new(),
+                    expected: col.data_type().name(),
+                    got: format!("{value:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a new column containing the cells at `indices` (rows may repeat).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Append all cells of `other` (must have the same type).
+    pub fn extend_from(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+            (Column::Float(a), Column::Float(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend(b.iter().cloned()),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(DataError::SchemaMismatch(format!(
+                    "cannot append {} column to {} column",
+                    b.data_type(),
+                    a.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrow as a float slice-of-options, if this is a float column.
+    pub fn as_float_slice(&self) -> Option<&[Option<f64>]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an int slice-of-options, if this is an int column.
+    pub fn as_int_slice(&self) -> Option<&[Option<i64>]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string slice-of-options, if this is a string column.
+    pub fn as_str_slice(&self) -> Option<&[Option<String>]> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a bool slice-of-options, if this is a bool column.
+    pub fn as_bool_slice(&self) -> Option<&[Option<bool>]> {
+        match self {
+            Column::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Cell values widened to `f64` (ints widen; non-numeric types yield `None`s).
+    pub fn to_f64_vec(&self) -> Vec<Option<f64>> {
+        match self {
+            Column::Float(v) => v.clone(),
+            Column::Int(v) => v.iter().map(|c| c.map(|x| x as f64)).collect(),
+            Column::Bool(v) => v.iter().map(|c| c.map(|b| b as i64 as f64)).collect(),
+            Column::Str(v) => vec![None; v.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut c = Column::empty(DataType::Int);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Some(Value::Int(1)));
+        assert_eq!(c.get(1), Some(Value::Null));
+        assert_eq!(c.get(2), None);
+        c.set(1, Value::Int(5)).unwrap();
+        assert_eq!(c.get(1), Some(Value::Int(5)));
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn type_checks() {
+        let mut c = Column::empty(DataType::Str);
+        assert!(c.push(Value::Int(1)).is_err());
+        assert!(c.push(Value::Str("x".into())).is_ok());
+        assert!(c.set(0, Value::Bool(true)).is_err());
+        assert!(c.set(9, Value::Null).is_err());
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut c = Column::empty(DataType::Float);
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.get(0), Some(Value::Float(3.0)));
+    }
+
+    #[test]
+    fn take_repeats_and_reorders() {
+        let mut c = Column::empty(DataType::Str);
+        for s in ["a", "b", "c"] {
+            c.push(Value::Str(s.into())).unwrap();
+        }
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.get(0), Some(Value::Str("c".into())));
+        assert_eq!(t.get(1), Some(Value::Str("a".into())));
+        assert_eq!(t.get(2), Some(Value::Str("a".into())));
+    }
+
+    #[test]
+    fn extend_checks_types() {
+        let mut a = Column::Int(vec![Some(1)]);
+        let b = Column::Int(vec![Some(2), None]);
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.null_count(), 1);
+        let f = Column::Float(vec![Some(1.0)]);
+        assert!(a.extend_from(&f).is_err());
+    }
+
+    #[test]
+    fn to_f64_widens() {
+        let c = Column::Int(vec![Some(2), None]);
+        assert_eq!(c.to_f64_vec(), vec![Some(2.0), None]);
+        let b = Column::Bool(vec![Some(true), Some(false)]);
+        assert_eq!(b.to_f64_vec(), vec![Some(1.0), Some(0.0)]);
+        let s = Column::Str(vec![Some("x".into())]);
+        assert_eq!(s.to_f64_vec(), vec![None]);
+    }
+}

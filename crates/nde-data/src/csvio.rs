@@ -1,0 +1,300 @@
+//! Minimal CSV reading and writing for tables.
+//!
+//! RFC-4180-style: quoting with `"` (doubled quotes escape), quoted fields
+//! may span newlines, typed parsing against a schema. Nulls are written as
+//! *unquoted* empty fields; the empty string is written as `""` so the two
+//! round-trip distinctly.
+
+use crate::schema::{DataType, Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::{DataError, Result};
+use std::io::{Read, Write};
+
+/// Write a table as CSV (header row, RFC-4180 quoting, `Null` as an unquoted
+/// empty field, `Str("")` as a quoted empty field).
+pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> std::io::Result<()> {
+    let names = table.schema().names();
+    writeln!(
+        out,
+        "{}",
+        names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(",")
+    )?;
+    for row in 0..table.n_rows() {
+        let mut parts = Vec::with_capacity(table.n_cols());
+        for ci in 0..table.n_cols() {
+            let v = table.column_at(ci).get(row).expect("in bounds");
+            parts.push(match v {
+                Value::Null => String::new(),
+                Value::Str(s) => quote(&s),
+                other => other.to_string(),
+            });
+        }
+        writeln!(out, "{}", parts.join(","))?;
+    }
+    Ok(())
+}
+
+/// One parsed CSV field: its text plus whether it was quoted (needed to
+/// distinguish `Null` from the empty string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvField {
+    /// The field's unescaped text.
+    pub text: String,
+    /// `true` iff the field was written with surrounding quotes.
+    pub quoted: bool,
+}
+
+/// Read a CSV with a header row into a table using the given schema.
+///
+/// The header must match the schema's column names exactly (order included).
+pub fn read_csv<R: Read>(name: &str, schema: Schema, mut input: R) -> Result<Table> {
+    let mut text = String::new();
+    input
+        .read_to_string(&mut text)
+        .map_err(|e| DataError::Csv(e.to_string()))?;
+    let mut records = parse_records(&text)?;
+    if records.is_empty() {
+        return Err(DataError::Csv("empty input".into()));
+    }
+    let header: Vec<String> = records.remove(0).into_iter().map(|f| f.text).collect();
+    let expected: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+    if header != expected {
+        return Err(DataError::Csv(format!(
+            "header mismatch: expected {expected:?}, got {header:?}"
+        )));
+    }
+
+    let mut table = Table::empty(name, schema);
+    for (recno, fields) in records.into_iter().enumerate() {
+        if fields.len() != table.n_cols() {
+            return Err(DataError::Csv(format!(
+                "record {}: expected {} fields, got {}",
+                recno + 2,
+                table.n_cols(),
+                fields.len()
+            )));
+        }
+        let row: Result<Vec<Value>> = fields
+            .iter()
+            .zip(table.schema().fields().to_vec())
+            .map(|(raw, f)| parse_value(raw, &f))
+            .collect();
+        table.push_row(row?)?;
+    }
+    Ok(table)
+}
+
+fn parse_value(raw: &CsvField, field: &Field) -> Result<Value> {
+    if raw.text.is_empty() && !raw.quoted {
+        return Ok(Value::Null);
+    }
+    let err = |raw: &str| DataError::Csv(format!("cannot parse `{raw}` as {}", field.dtype));
+    Ok(match field.dtype {
+        DataType::Int => Value::Int(raw.text.parse().map_err(|_| err(&raw.text))?),
+        DataType::Float => Value::Float(raw.text.parse().map_err(|_| err(&raw.text))?),
+        DataType::Str => Value::Str(raw.text.clone()),
+        DataType::Bool => match raw.text.as_str() {
+            "true" | "True" | "1" => Value::Bool(true),
+            "false" | "False" | "0" => Value::Bool(false),
+            _ => return Err(err(&raw.text)),
+        },
+    })
+}
+
+fn quote(s: &str) -> String {
+    if s.is_empty() || s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r')
+    {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Parse a full CSV text into records, honoring quoted fields that contain
+/// commas, doubled quotes and newlines. Records are separated by `\n` or
+/// `\r\n` outside quotes; a trailing newline does not produce an empty
+/// record, and fully empty lines are skipped.
+pub fn parse_records(text: &str) -> Result<Vec<Vec<CsvField>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<CsvField> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_quoted = false;
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut any_field_content = false;
+
+    let flush_field = |record: &mut Vec<CsvField>, cur: &mut String, quoted: &mut bool| {
+        record.push(CsvField {
+            text: std::mem::take(cur),
+            quoted: *quoted,
+        });
+        *quoted = false;
+    };
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_quotes = true;
+                    cur_quoted = true;
+                    any_field_content = true;
+                }
+                ',' => {
+                    flush_field(&mut record, &mut cur, &mut cur_quoted);
+                    any_field_content = true;
+                }
+                '\r' => {
+                    // Swallow; the following '\n' (if any) ends the record.
+                }
+                '\n' => {
+                    if any_field_content || !cur.is_empty() || !record.is_empty() {
+                        flush_field(&mut record, &mut cur, &mut cur_quoted);
+                        records.push(std::mem::take(&mut record));
+                    }
+                    any_field_content = false;
+                }
+                _ => {
+                    cur.push(c);
+                    any_field_content = true;
+                }
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv("unterminated quoted field".into()));
+    }
+    if any_field_content || !cur.is_empty() || !record.is_empty() {
+        flush_field(&mut record, &mut cur, &mut cur_quoted);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Round-trip a table through CSV text (useful in tests and snapshots).
+pub fn to_csv_string(table: &Table) -> String {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::empty(
+            "s",
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("note", DataType::Str),
+                Field::new("score", DataType::Float),
+                Field::new("ok", DataType::Bool),
+            ])
+            .unwrap(),
+        );
+        t.push_row(vec![1.into(), "plain".into(), 0.5.into(), true.into()])
+            .unwrap();
+        t.push_row(vec![2.into(), "has, comma".into(), Value::Null, false.into()])
+            .unwrap();
+        t.push_row(vec![3.into(), "has \"quote\"".into(), (-1.25).into(), Value::Null])
+            .unwrap();
+        t.push_row(vec![4.into(), "".into(), 1.0.into(), true.into()])
+            .unwrap();
+        t.push_row(vec![5.into(), "line\nbreak".into(), 2.0.into(), false.into()])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let t = sample();
+        let csv = to_csv_string(&t);
+        let back = read_csv("s", t.schema().clone(), csv.as_bytes()).unwrap();
+        assert_eq!(back.n_rows(), t.n_rows());
+        for row in 0..t.n_rows() {
+            assert_eq!(back.row(row).unwrap(), t.row(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let csv = to_csv_string(&sample());
+        assert!(csv.contains("\"has, comma\""));
+        assert!(csv.contains("\"has \"\"quote\"\"\""));
+        assert!(csv.contains("\"line\nbreak\""));
+    }
+
+    #[test]
+    fn null_and_empty_string_are_distinct() {
+        let csv = to_csv_string(&sample());
+        // Row 2's score is Null: unquoted empty. Row 4's note is "": quoted.
+        assert!(csv.contains(",,"));
+        assert!(csv.contains("\"\""));
+        let back = read_csv("s", sample().schema().clone(), csv.as_bytes()).unwrap();
+        assert_eq!(back.get(1, "score").unwrap(), Value::Null);
+        assert_eq!(back.get(3, "note").unwrap(), Value::Str(String::new()));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let t = sample();
+        let wrong = Schema::new(vec![Field::new("zz", DataType::Int)]).unwrap();
+        let err = read_csv("s", wrong, to_csv_string(&t).as_bytes());
+        assert!(matches!(err, Err(DataError::Csv(_))));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let schema = Schema::new(vec![Field::new("id", DataType::Int)]).unwrap();
+        let err = read_csv("s", schema, "id\nnot_a_number\n".as_bytes());
+        assert!(matches!(err, Err(DataError::Csv(_))));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_records("a,\"unterminated").is_err());
+    }
+
+    #[test]
+    fn multiline_quoted_field_parses_as_one_record() {
+        let recs = parse_records("a,\"x\ny\"\nb,c\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0][1].text, "x\ny");
+        assert!(recs[0][1].quoted);
+        assert_eq!(recs[1][0].text, "b");
+    }
+
+    #[test]
+    fn bool_parsing_variants() {
+        let schema = Schema::new(vec![Field::new("b", DataType::Bool)]).unwrap();
+        let t = read_csv("s", schema, "b\ntrue\n0\nTrue\n".as_bytes()).unwrap();
+        assert_eq!(t.get(0, "b").unwrap(), Value::Bool(true));
+        assert_eq!(t.get(1, "b").unwrap(), Value::Bool(false));
+        assert_eq!(t.get(2, "b").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+        ])
+        .unwrap();
+        let t = read_csv("s", schema, "a,b\r\n1,x\r\n2,y\r\n".as_bytes()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.get(1, "b").unwrap(), Value::Str("y".into()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the data substrate.
+
+use std::fmt;
+
+/// Errors produced by table operations, generators and injectors.
+///
+/// All user-facing operations return [`crate::Result`] instead of panicking;
+/// internal invariants use `debug_assert!`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A column already exists and cannot be added again.
+    DuplicateColumn(String),
+    /// The value's type does not match the column's declared type.
+    TypeMismatch {
+        /// Column whose type was violated.
+        column: String,
+        /// Expected data type name.
+        expected: &'static str,
+        /// Actual value description.
+        got: String,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of rows in the table.
+        len: usize,
+    },
+    /// Row arity did not match the schema width.
+    ArityMismatch {
+        /// Expected number of values (schema width).
+        expected: usize,
+        /// Number of values provided.
+        got: usize,
+    },
+    /// Two tables that must be conformant (same schema) were not.
+    SchemaMismatch(String),
+    /// An argument was outside its valid domain (e.g. a fraction not in `[0,1]`).
+    InvalidArgument(String),
+    /// CSV parsing failed.
+    Csv(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            DataError::DuplicateColumn(name) => write!(f, "column `{name}` already exists"),
+            DataError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch in column `{column}`: expected {expected}, got {got}"
+            ),
+            DataError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds (table has {len} rows)")
+            }
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+            }
+            DataError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            DataError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            DataError::Csv(msg) => write!(f, "csv error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::UnknownColumn("age".into());
+        assert!(e.to_string().contains("age"));
+        let e = DataError::TypeMismatch {
+            column: "x".into(),
+            expected: "Float",
+            got: "Str(\"a\")".into(),
+        };
+        assert!(e.to_string().contains("expected Float"));
+        let e = DataError::RowOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DataError::Csv("bad".into()));
+    }
+}

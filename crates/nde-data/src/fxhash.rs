@@ -1,0 +1,135 @@
+//! A small in-tree implementation of the Fx hash algorithm (as used by rustc).
+//!
+//! Provenance tracking and join processing hash millions of small integer
+//! keys; SipHash (the std default) is needlessly slow for that workload and
+//! HashDoS resistance is irrelevant for in-process analytics. This module
+//! provides drop-in [`FxHashMap`] / [`FxHashSet`] aliases without pulling in
+//! an external dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher: a fast, non-cryptographic hasher for small keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// A `HashMap` using the fast Fx hash; use for hot integer-keyed maps.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` using the fast Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` with the Fx algorithm (useful for feature hashing).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+/// Hash a byte string with the Fx algorithm (useful for feature hashing).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_eq!(hash_bytes(b"letter"), hash_bytes(b"letter"));
+    }
+
+    #[test]
+    fn distinguishes_inputs() {
+        assert_ne!(hash_u64(1), hash_u64(2));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"b"));
+        // Tail handling must distinguish lengths even with shared prefix bytes.
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abc\0"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<usize> = FxHashSet::default();
+        s.insert(3);
+        assert!(s.contains(&3));
+    }
+
+    #[test]
+    fn spread_is_reasonable() {
+        // Sequential keys should land in many distinct buckets of a 256-way table.
+        let mut buckets = [0u32; 256];
+        for i in 0..4096u64 {
+            buckets[(hash_u64(i) >> 56) as usize] += 1;
+        }
+        let occupied = buckets.iter().filter(|&&c| c > 0).count();
+        assert!(occupied > 200, "only {occupied} buckets occupied");
+    }
+}

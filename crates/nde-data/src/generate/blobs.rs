@@ -1,0 +1,127 @@
+//! Simple numeric datasets: Gaussian class blobs and linear-regression data.
+//!
+//! These feed the §2.3 experiments (Zorro bounds, certain predictions,
+//! certain models, dataset multiplicity) where we need controllable numeric
+//! feature spaces rather than text.
+
+use crate::rng::{normal, seeded};
+use rand::Rng;
+
+/// A dense numeric classification dataset.
+#[derive(Debug, Clone)]
+pub struct NumericDataset {
+    /// Row-major features, `n x d`.
+    pub features: Vec<Vec<f64>>,
+    /// Class labels in `0..n_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl NumericDataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+}
+
+/// Two Gaussian blobs in `d` dimensions, centered at `±separation/2` on every
+/// axis; labels 0/1. Higher `separation` ⇒ easier problem.
+pub fn two_gaussians(n: usize, d: usize, separation: f64, seed: u64) -> NumericDataset {
+    let mut rng = seeded(seed);
+    let mut features = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let center = if label == 0 {
+            -separation / 2.0
+        } else {
+            separation / 2.0
+        };
+        let x: Vec<f64> = (0..d).map(|_| center + normal(&mut rng)).collect();
+        features.push(x);
+        labels.push(label);
+    }
+    // Shuffle so splits don't alternate classes systematically.
+    let perm = crate::rng::permutation(n, &mut rng);
+    NumericDataset {
+        features: perm.iter().map(|&i| features[i].clone()).collect(),
+        labels: perm.iter().map(|&i| labels[i]).collect(),
+        n_classes: 2,
+    }
+}
+
+/// A linear-regression dataset: `y = w·x + b + noise`, features uniform in
+/// `[-1, 1]`. Returns `(features, targets, true_weights, true_bias)`.
+pub fn linear_regression(
+    n: usize,
+    d: usize,
+    noise_sd: f64,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, f64) {
+    let mut rng = seeded(seed);
+    let w: Vec<f64> = (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let b: f64 = rng.gen_range(-1.0..1.0);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y = w.iter().zip(&x).map(|(wi, xi)| wi * xi).sum::<f64>()
+            + b
+            + noise_sd * normal(&mut rng);
+        xs.push(x);
+        ys.push(y);
+    }
+    (xs, ys, w, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_are_separable_when_far_apart() {
+        let ds = two_gaussians(400, 3, 6.0, 7);
+        assert_eq!(ds.len(), 400);
+        assert_eq!(ds.dim(), 3);
+        // A trivial sign-of-mean classifier should do well at separation 6.
+        let mut correct = 0;
+        for (x, &y) in ds.features.iter().zip(&ds.labels) {
+            let mean: f64 = x.iter().sum::<f64>() / x.len() as f64;
+            let pred = usize::from(mean > 0.0);
+            if pred == y {
+                correct += 1;
+            }
+        }
+        assert!(correct > 380, "correct={correct}");
+    }
+
+    #[test]
+    fn blobs_balanced_and_deterministic() {
+        let a = two_gaussians(100, 2, 2.0, 1);
+        let b = two_gaussians(100, 2, 2.0, 1);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.labels, b.labels);
+        let ones = a.labels.iter().filter(|&&l| l == 1).count();
+        assert_eq!(ones, 50);
+    }
+
+    #[test]
+    fn linear_regression_recoverable_without_noise() {
+        let (xs, ys, w, b) = linear_regression(200, 2, 0.0, 9);
+        for (x, y) in xs.iter().zip(&ys) {
+            let pred = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+            assert!((pred - y).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Synthetic recommendation-letter text generation.
+//!
+//! The paper's hands-on session uses synthetic recommendation letters whose
+//! sentiment (positive/negative) is the prediction target, encoded with a
+//! sentence embedding. We substitute a deterministic phrase-sampling
+//! generator: each letter concatenates sentiment-bearing phrases (drawn mostly
+//! from the vocabulary of the letter's true sentiment) with neutral filler.
+//! The result is text where sentiment is learnable from word statistics —
+//! exactly the property the tutorial's classifier relies on.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sentiment of a letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sentiment {
+    /// An overall supportive letter.
+    Positive,
+    /// An overall unsupportive letter.
+    Negative,
+}
+
+impl Sentiment {
+    /// Canonical string label used in tables ("positive"/"negative").
+    pub fn label(self) -> &'static str {
+        match self {
+            Sentiment::Positive => "positive",
+            Sentiment::Negative => "negative",
+        }
+    }
+
+    /// Parse a canonical label.
+    pub fn parse(s: &str) -> Option<Sentiment> {
+        match s {
+            "positive" => Some(Sentiment::Positive),
+            "negative" => Some(Sentiment::Negative),
+            _ => None,
+        }
+    }
+
+    /// The opposite sentiment (used by label-error injection).
+    pub fn flipped(self) -> Sentiment {
+        match self {
+            Sentiment::Positive => Sentiment::Negative,
+            Sentiment::Negative => Sentiment::Positive,
+        }
+    }
+}
+
+pub(crate) const POSITIVE_PHRASES: &[&str] = &[
+    "demonstrated exceptional dedication to every project",
+    "consistently exceeded expectations in the team",
+    "showed remarkable initiative and leadership",
+    "earned the trust of colleagues through reliable work",
+    "delivered outstanding results under pressure",
+    "brought creative solutions to difficult problems",
+    "meticulous attention to detail proved crucial to our success",
+    "mentored junior staff with patience and generosity",
+    "communicated clearly with stakeholders at all levels",
+    "mastered new tools with impressive speed",
+    "was a dependable and enthusiastic collaborator",
+    "raised the quality bar for the entire department",
+    "handled critical incidents with calm professionalism",
+    "received repeated praise from clients",
+    "contributed insightful analysis during planning",
+    "improved our processes in lasting ways",
+    "displayed integrity in every interaction",
+    "volunteered for challenging assignments",
+    "produced thorough and well-documented work",
+    "strengthened team morale during difficult periods",
+];
+
+pub(crate) const NEGATIVE_PHRASES: &[&str] = &[
+    "engaged in actions that undermined our project",
+    "raised serious concerns among colleagues",
+    "frequently missed important deadlines",
+    "struggled to accept feedback constructively",
+    "required close supervision for routine tasks",
+    "caused friction within the team",
+    "submitted work with recurring errors",
+    "showed little interest in improving performance",
+    "was often unprepared for meetings",
+    "failed to communicate delays to stakeholders",
+    "left critical documentation incomplete",
+    "overcommitted and underdelivered repeatedly",
+    "resisted adopting agreed processes",
+    "displayed a dismissive attitude toward clients",
+    "needed repeated reminders about responsibilities",
+    "produced analysis with significant gaps",
+    "was unreliable during critical incidents",
+    "created confusion through inconsistent reporting",
+    "missed opportunities to support junior staff",
+    "expressed reluctance to take ownership of mistakes",
+];
+
+pub(crate) const NEUTRAL_PHRASES: &[&str] = &[
+    "worked with us for several years",
+    "was part of the platform engineering group",
+    "joined during a period of organizational change",
+    "participated in the quarterly planning cycle",
+    "was involved in both internal and client-facing work",
+    "reported to the regional office",
+    "rotated across two departments",
+    "attended the standard onboarding program",
+    "used our established toolchain daily",
+    "expressed a willingness to develop better time management skills",
+    "worked on both short and long engagements",
+    "was assigned to the data migration effort",
+    "collaborated with the remote office occasionally",
+    "followed the usual review procedures",
+];
+
+/// Generate one letter with the given sentiment.
+///
+/// `purity` in `[0.5, 1.0]` controls how strongly the phrase mix reflects the
+/// sentiment (1.0 = all sentiment-bearing phrases match the label).
+pub fn generate_letter(sentiment: Sentiment, purity: f64, rng: &mut impl Rng) -> String {
+    debug_assert!((0.5..=1.0).contains(&purity));
+    let n_sentiment = rng.gen_range(3..=5);
+    let n_neutral = rng.gen_range(1..=3);
+    let (own, other) = match sentiment {
+        Sentiment::Positive => (POSITIVE_PHRASES, NEGATIVE_PHRASES),
+        Sentiment::Negative => (NEGATIVE_PHRASES, POSITIVE_PHRASES),
+    };
+    let mut phrases: Vec<&str> = Vec::with_capacity(n_sentiment + n_neutral);
+    for _ in 0..n_sentiment {
+        let pool = if rng.gen::<f64>() < purity { own } else { other };
+        phrases.push(pool.choose(rng).expect("non-empty vocabulary"));
+    }
+    for _ in 0..n_neutral {
+        phrases.push(NEUTRAL_PHRASES.choose(rng).expect("non-empty vocabulary"));
+    }
+    phrases.shuffle(rng);
+    let mut letter = String::with_capacity(phrases.iter().map(|p| p.len() + 16).sum());
+    letter.push_str("The candidate ");
+    for (i, p) in phrases.iter().enumerate() {
+        if i > 0 {
+            letter.push_str(if i % 2 == 0 { ", and " } else { "; they " });
+        }
+        letter.push_str(p);
+    }
+    letter.push('.');
+    letter
+}
+
+/// Count of sentiment-bearing words from each vocabulary inside `text`
+/// (`(positive_hits, negative_hits)`); used by tests and sanity checks.
+pub fn sentiment_hits(text: &str) -> (usize, usize) {
+    let pos = POSITIVE_PHRASES.iter().filter(|p| text.contains(*p)).count();
+    let neg = NEGATIVE_PHRASES.iter().filter(|p| text.contains(*p)).count();
+    (pos, neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn letters_lean_toward_their_sentiment() {
+        let mut rng = seeded(11);
+        let mut correct = 0;
+        let n = 200;
+        for i in 0..n {
+            let s = if i % 2 == 0 {
+                Sentiment::Positive
+            } else {
+                Sentiment::Negative
+            };
+            let letter = generate_letter(s, 0.9, &mut rng);
+            let (pos, neg) = sentiment_hits(&letter);
+            let inferred = if pos >= neg {
+                Sentiment::Positive
+            } else {
+                Sentiment::Negative
+            };
+            if inferred == s {
+                correct += 1;
+            }
+        }
+        assert!(correct > n * 8 / 10, "only {correct}/{n} letters separable");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_letter(Sentiment::Positive, 0.9, &mut seeded(5));
+        let b = generate_letter(Sentiment::Positive, 0.9, &mut seeded(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn purity_one_contains_no_cross_sentiment_phrases() {
+        let mut rng = seeded(6);
+        for _ in 0..50 {
+            let letter = generate_letter(Sentiment::Negative, 1.0, &mut rng);
+            let (pos, _neg) = sentiment_hits(&letter);
+            assert_eq!(pos, 0, "positive phrase leaked into pure negative letter");
+        }
+    }
+
+    #[test]
+    fn sentiment_roundtrip() {
+        assert_eq!(Sentiment::parse("positive"), Some(Sentiment::Positive));
+        assert_eq!(Sentiment::parse("negative"), Some(Sentiment::Negative));
+        assert_eq!(Sentiment::parse("meh"), None);
+        assert_eq!(Sentiment::Positive.flipped(), Sentiment::Negative);
+        assert_eq!(Sentiment::Negative.flipped().label(), "positive");
+    }
+
+    #[test]
+    fn vocabularies_are_disjoint() {
+        for p in POSITIVE_PHRASES {
+            assert!(!NEGATIVE_PHRASES.contains(p));
+            assert!(!NEUTRAL_PHRASES.contains(p));
+        }
+        for p in NEGATIVE_PHRASES {
+            assert!(!NEUTRAL_PHRASES.contains(p));
+        }
+    }
+}

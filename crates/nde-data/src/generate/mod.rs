@@ -1,0 +1,12 @@
+//! Deterministic synthetic data generators.
+//!
+//! The tutorial's hands-on session runs on *synthetically generated* data from
+//! a hiring scenario — recommendation letters plus side tables with job and
+//! social-media details (paper §3.1). These modules reproduce that scenario,
+//! along with simple numeric datasets (Gaussian blobs, linear-regression data)
+//! used by the learning-from-uncertain-data experiments.
+
+pub mod blobs;
+pub mod hiring;
+pub mod letters;
+pub mod splits;

@@ -1,0 +1,157 @@
+//! Train / validation / test splitting.
+
+use crate::rng::{permutation, seeded};
+use crate::table::Table;
+use crate::{DataError, Result};
+
+/// Row-index split of a dataset into train / validation / test parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Row indices of the training part.
+    pub train: Vec<usize>,
+    /// Row indices of the validation part.
+    pub valid: Vec<usize>,
+    /// Row indices of the test part.
+    pub test: Vec<usize>,
+}
+
+/// Split `0..n` into train/valid/test by the given fractions (must sum ≤ 1;
+/// the test part absorbs the remainder), shuffled deterministically by `seed`.
+pub fn train_valid_test(n: usize, train_frac: f64, valid_frac: f64, seed: u64) -> Result<Split> {
+    if !(0.0..=1.0).contains(&train_frac)
+        || !(0.0..=1.0).contains(&valid_frac)
+        || train_frac + valid_frac > 1.0
+    {
+        return Err(DataError::InvalidArgument(format!(
+            "invalid split fractions: train={train_frac}, valid={valid_frac}"
+        )));
+    }
+    let mut rng = seeded(seed);
+    let perm = permutation(n, &mut rng);
+    let n_train = (n as f64 * train_frac).round() as usize;
+    let n_valid = (n as f64 * valid_frac).round() as usize;
+    let n_train = n_train.min(n);
+    let n_valid = n_valid.min(n - n_train);
+    Ok(Split {
+        train: perm[..n_train].to_vec(),
+        valid: perm[n_train..n_train + n_valid].to_vec(),
+        test: perm[n_train + n_valid..].to_vec(),
+    })
+}
+
+/// Apply a [`Split`] to a table, producing the three sub-tables.
+pub fn split_table(table: &Table, split: &Split) -> Result<(Table, Table, Table)> {
+    let mut train = table.take(&split.train)?;
+    let mut valid = table.take(&split.valid)?;
+    let mut test = table.take(&split.test)?;
+    train.set_name(format!("{}_train", table.name()));
+    valid.set_name(format!("{}_valid", table.name()));
+    test.set_name(format!("{}_test", table.name()));
+    Ok((train, valid, test))
+}
+
+/// K-fold cross-validation index sets: returns `k` (train, held-out) pairs.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Vec<(Vec<usize>, Vec<usize>)>> {
+    if k < 2 || k > n {
+        return Err(DataError::InvalidArgument(format!(
+            "k must be in [2, n]; got k={k}, n={n}"
+        )));
+    }
+    let mut rng = seeded(seed);
+    let perm = permutation(n, &mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let held: Vec<usize> = perm
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % k == f)
+            .map(|(_, v)| v)
+            .collect();
+        let train: Vec<usize> = perm
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % k != f)
+            .map(|(_, v)| v)
+            .collect();
+        folds.push((train, held));
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::hiring::HiringScenario;
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let s = train_valid_test(100, 0.6, 0.2, 1).unwrap();
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.valid.len(), 20);
+        assert_eq!(s.test.len(), 20);
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.valid)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        assert_eq!(
+            train_valid_test(50, 0.5, 0.25, 9).unwrap(),
+            train_valid_test(50, 0.5, 0.25, 9).unwrap()
+        );
+        assert_ne!(
+            train_valid_test(50, 0.5, 0.25, 9).unwrap(),
+            train_valid_test(50, 0.5, 0.25, 10).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        assert!(train_valid_test(10, 0.9, 0.5, 1).is_err());
+        assert!(train_valid_test(10, -0.1, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn split_table_applies_indices() {
+        let scenario = HiringScenario::generate(30, 2);
+        let split = train_valid_test(30, 0.5, 0.2, 3).unwrap();
+        let (train, valid, test) = split_table(&scenario.letters, &split).unwrap();
+        assert_eq!(train.n_rows(), 15);
+        assert_eq!(valid.n_rows(), 6);
+        assert_eq!(test.n_rows(), 9);
+        assert_eq!(
+            train.get(0, "person_id").unwrap(),
+            scenario.letters.get(split.train[0], "person_id").unwrap()
+        );
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let folds = k_fold(20, 4, 5).unwrap();
+        assert_eq!(folds.len(), 4);
+        let mut held_all: Vec<usize> = folds.iter().flat_map(|(_, h)| h.clone()).collect();
+        held_all.sort_unstable();
+        assert_eq!(held_all, (0..20).collect::<Vec<_>>());
+        for (train, held) in &folds {
+            assert_eq!(train.len() + held.len(), 20);
+            for h in held {
+                assert!(!train.contains(h));
+            }
+        }
+    }
+
+    #[test]
+    fn k_fold_bounds_checked() {
+        assert!(k_fold(10, 1, 0).is_err());
+        assert!(k_fold(3, 5, 0).is_err());
+    }
+}

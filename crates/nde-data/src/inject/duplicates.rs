@@ -1,0 +1,70 @@
+//! Duplicate-row injection.
+
+use super::{ErrorKind, InjectionReport};
+use crate::rng::{sample_indices, seeded};
+use crate::table::Table;
+use crate::{DataError, Result};
+
+/// Append duplicates of a random `fraction` of rows to the table.
+///
+/// Duplicated rows are a classic silent data error: they skew class balances
+/// and can leak between train/test splits. The report's `affected` lists the
+/// indices of the *appended copies* (the tail of the mutated table).
+pub fn duplicate_rows(table: &mut Table, fraction: f64, seed: u64) -> Result<InjectionReport> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(DataError::InvalidArgument(format!(
+            "fraction must be in [0,1], got {fraction}"
+        )));
+    }
+    let n = table.n_rows();
+    let k = (n as f64 * fraction).round() as usize;
+    let mut rng = seeded(seed);
+    let sources = sample_indices(n, k, &mut rng);
+    let copies = table.take(&sources)?;
+    table.append(&copies)?;
+    Ok(InjectionReport {
+        kind: ErrorKind::Duplicate,
+        column: None,
+        affected: (n..n + k).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::hiring::HiringScenario;
+
+    #[test]
+    fn appends_exact_copies() {
+        let clean = HiringScenario::generate(100, 1).letters;
+        let mut t = clean.clone();
+        let report = duplicate_rows(&mut t, 0.1, 2).unwrap();
+        assert_eq!(t.n_rows(), 110);
+        assert_eq!(report.affected, (100..110).collect::<Vec<_>>());
+        // Every appended row is identical to some original row.
+        for &copy in &report.affected {
+            let row = t.row(copy).unwrap();
+            let found = (0..100).any(|i| t.row(i).unwrap() == row);
+            assert!(found, "appended row {copy} has no original");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_noop_and_validation() {
+        let mut t = HiringScenario::generate(20, 3).letters;
+        let report = duplicate_rows(&mut t, 0.0, 1).unwrap();
+        assert_eq!(t.n_rows(), 20);
+        assert!(report.affected.is_empty());
+        assert!(duplicate_rows(&mut t, 1.2, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let clean = HiringScenario::generate(40, 4).letters;
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        duplicate_rows(&mut a, 0.25, 9).unwrap();
+        duplicate_rows(&mut b, 0.25, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,129 @@
+//! Label-error injection (Fig. 2 of the paper).
+
+use super::{ErrorKind, InjectionReport};
+use crate::rng::{sample_indices, seeded};
+use crate::table::Table;
+use crate::value::Value;
+use crate::{DataError, Result};
+use rand::seq::SliceRandom;
+
+/// Flip the labels of a random `fraction` of rows to a *different* class.
+///
+/// The label column must be a string column; the set of classes is the set of
+/// distinct non-null values observed in it. Mutates `table` in place and
+/// returns the ground-truth report. With two classes this is a deterministic
+/// flip; with more, a uniformly random wrong class is chosen.
+pub fn flip_labels(
+    table: &mut Table,
+    label_col: &str,
+    fraction: f64,
+    seed: u64,
+) -> Result<InjectionReport> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(DataError::InvalidArgument(format!(
+            "fraction must be in [0,1], got {fraction}"
+        )));
+    }
+    let classes: Vec<String> = {
+        let counts = table.value_counts(label_col)?;
+        counts
+            .into_iter()
+            .filter_map(|(v, _)| v.as_str().map(str::to_owned))
+            .collect()
+    };
+    if classes.len() < 2 {
+        return Err(DataError::InvalidArgument(format!(
+            "label column `{label_col}` has {} distinct classes; need >= 2",
+            classes.len()
+        )));
+    }
+
+    let n = table.n_rows();
+    let k = (n as f64 * fraction).round() as usize;
+    let mut rng = seeded(seed);
+    let mut affected = sample_indices(n, k, &mut rng);
+    affected.sort_unstable();
+
+    for &row in &affected {
+        let current = table.get(row, label_col)?;
+        let current_str = current.as_str().unwrap_or("");
+        let wrong: Vec<&String> = classes.iter().filter(|c| c.as_str() != current_str).collect();
+        let new = (*wrong.choose(&mut rng).expect(">=2 classes")).clone();
+        table.set(row, label_col, Value::Str(new))?;
+    }
+
+    Ok(InjectionReport {
+        kind: ErrorKind::LabelFlip,
+        column: Some(label_col.to_owned()),
+        affected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::hiring::{HiringScenario, LABEL_COLUMN};
+
+    #[test]
+    fn flips_exactly_the_requested_fraction() {
+        let scenario = HiringScenario::generate(200, 1);
+        let mut dirty = scenario.letters.clone();
+        let report = flip_labels(&mut dirty, LABEL_COLUMN, 0.1, 42).unwrap();
+        assert_eq!(report.affected.len(), 20);
+        let mut changed = 0;
+        for i in 0..dirty.n_rows() {
+            if dirty.get(i, LABEL_COLUMN).unwrap() != scenario.letters.get(i, LABEL_COLUMN).unwrap()
+            {
+                changed += 1;
+                assert!(report.is_affected(i), "row {i} changed but not reported");
+            }
+        }
+        assert_eq!(changed, 20);
+    }
+
+    #[test]
+    fn flipped_labels_are_valid_classes() {
+        let scenario = HiringScenario::generate(100, 2);
+        let mut dirty = scenario.letters.clone();
+        flip_labels(&mut dirty, LABEL_COLUMN, 0.3, 7).unwrap();
+        for i in 0..dirty.n_rows() {
+            let l = dirty.get(i, LABEL_COLUMN).unwrap();
+            let s = l.as_str().unwrap();
+            assert!(s == "positive" || s == "negative", "bad label {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let scenario = HiringScenario::generate(100, 3);
+        let mut a = scenario.letters.clone();
+        let mut b = scenario.letters.clone();
+        let ra = flip_labels(&mut a, LABEL_COLUMN, 0.2, 5).unwrap();
+        let rb = flip_labels(&mut b, LABEL_COLUMN, 0.2, 5).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        let scenario = HiringScenario::generate(20, 4);
+        let mut t = scenario.letters.clone();
+        assert!(flip_labels(&mut t, LABEL_COLUMN, 1.5, 1).is_err());
+        assert!(flip_labels(&mut t, "no_such_col", 0.1, 1).is_err());
+        // A single-class column cannot be flipped.
+        let mut t2 = scenario.letters.clone();
+        for i in 0..t2.n_rows() {
+            t2.set(i, LABEL_COLUMN, Value::Str("positive".into())).unwrap();
+        }
+        assert!(flip_labels(&mut t2, LABEL_COLUMN, 0.1, 1).is_err());
+    }
+
+    #[test]
+    fn zero_fraction_is_a_noop() {
+        let scenario = HiringScenario::generate(50, 5);
+        let mut t = scenario.letters.clone();
+        let report = flip_labels(&mut t, LABEL_COLUMN, 0.0, 1).unwrap();
+        assert!(report.affected.is_empty());
+        assert_eq!(t, scenario.letters);
+    }
+}

@@ -1,0 +1,36 @@
+//! # nde-data
+//!
+//! Data substrate for the *navigating-data-errors* toolkit: a small columnar
+//! table engine, deterministic synthetic data generators for the tutorial's
+//! hiring scenario, and a library of **data error injectors** (label flips,
+//! MCAR/MAR/MNAR missingness, noise, outliers, selection bias, duplicates,
+//! out-of-distribution rows).
+//!
+//! Everything is deterministic: every stochastic routine takes an explicit
+//! seed, so experiments are exactly reproducible.
+//!
+//! ```
+//! use nde_data::generate::hiring::HiringScenario;
+//! let scenario = HiringScenario::generate(200, 42);
+//! assert_eq!(scenario.letters.n_rows(), 200);
+//! ```
+
+pub mod column;
+pub mod csvio;
+pub mod error;
+pub mod fxhash;
+pub mod generate;
+pub mod inject;
+pub mod rng;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use error::DataError;
+pub use schema::{DataType, Field, Schema};
+pub use table::Table;
+pub use value::Value;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, DataError>;

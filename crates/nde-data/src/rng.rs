@@ -1,0 +1,114 @@
+//! Deterministic random number utilities.
+//!
+//! All stochastic code in the workspace goes through [`seeded`] (or an
+//! explicitly passed `&mut impl Rng`) so that every experiment is exactly
+//! reproducible from its seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG seeded from a `u64`.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a stream index, so that
+/// independent components (e.g. parallel Monte-Carlo workers) get
+/// uncorrelated but reproducible streams.
+pub fn child_seed(seed: u64, stream: u64) -> u64 {
+    // SplitMix64 step over the combined value: cheap, well-distributed.
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniformly random permutation of `0..n`.
+pub fn permutation(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx
+}
+
+/// Sample `k` distinct indices from `0..n` (Floyd's algorithm would be
+/// fancier; a shuffle prefix is simple and `n` is small in our workloads).
+pub fn sample_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let k = k.min(n);
+    let mut idx = permutation(n, rng);
+    idx.truncate(k);
+    idx
+}
+
+/// A standard-normal draw via Box–Muller (avoids needing `rand_distr`).
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// A normal draw with the given mean and standard deviation.
+pub fn normal_with(mean: f64, sd: f64, rng: &mut impl Rng) -> f64 {
+    mean + sd * normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let a: Vec<u32> = (0..5).map(|_| seeded(7).gen()).collect();
+        let b: Vec<u32> = (0..5).map(|_| seeded(7).gen()).collect();
+        assert_eq!(a, b);
+        let mut r1 = seeded(7);
+        let mut r2 = seeded(8);
+        let x: u64 = r1.gen();
+        let y: u64 = r2.gen();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn child_seeds_differ_per_stream() {
+        let s0 = child_seed(42, 0);
+        let s1 = child_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_eq!(child_seed(42, 0), s0);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = seeded(1);
+        let mut p = permutation(100, &mut rng);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = seeded(2);
+        let s = sample_indices(50, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(s.iter().all(|&i| i < 50));
+        // k > n clamps.
+        assert_eq!(sample_indices(3, 10, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = seeded(3);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

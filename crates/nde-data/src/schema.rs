@@ -1,0 +1,165 @@
+//! Schemas: ordered collections of named, typed fields.
+
+use crate::error::DataError;
+use crate::Result;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// UTF-8 strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl DataType {
+    /// Static name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Str => "Str",
+            DataType::Bool => "Bool",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Column data type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Create a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of fields with unique names.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields, checking name uniqueness.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for f in &fields {
+            if !seen.insert(f.name.clone()) {
+                return Err(DataError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| DataError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// `true` iff a field with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// Append a field, enforcing name uniqueness.
+    pub fn push(&mut self, field: Field) -> Result<()> {
+        if self.contains(&field.name) {
+            return Err(DataError::DuplicateColumn(field.name));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+
+    /// Names of all fields, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = abc();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert_eq!(s.field("c").unwrap().dtype, DataType::Float);
+        assert!(s.contains("a"));
+        assert!(!s.contains("z"));
+        assert!(matches!(s.index_of("z"), Err(DataError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ]);
+        assert!(matches!(err, Err(DataError::DuplicateColumn(_))));
+
+        let mut s = abc();
+        assert!(s.push(Field::new("a", DataType::Bool)).is_err());
+        assert!(s.push(Field::new("d", DataType::Bool)).is_ok());
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn names_in_order() {
+        assert_eq!(abc().names(), vec!["a", "b", "c"]);
+    }
+}

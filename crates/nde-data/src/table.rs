@@ -1,0 +1,692 @@
+//! In-memory columnar tables with relational operations.
+
+use crate::column::Column;
+use crate::fxhash::FxHashMap;
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+use crate::{DataError, Result};
+use std::fmt;
+
+/// Join output plus per-output-row `(left_row, right_row)` lineage.
+pub type JoinResult = (Table, Vec<(usize, usize)>);
+/// Left-join output; unmatched left rows carry `None` on the right.
+pub type LeftJoinResult = (Table, Vec<(usize, Option<usize>)>);
+
+/// A named, schema-ful columnar table.
+///
+/// Rows are addressed by position (`usize`). Relational operations that keep
+/// or combine rows also report the *row lineage* (which input positions each
+/// output row came from) so that the pipeline crate can assemble fine-grained
+/// provenance without re-deriving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.dtype))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            n_rows: 0,
+        }
+    }
+
+    /// Create a table directly from columns (all must have equal length).
+    pub fn from_columns(
+        name: impl Into<String>,
+        fields: Vec<Field>,
+        columns: Vec<Column>,
+    ) -> Result<Self> {
+        if fields.len() != columns.len() {
+            return Err(DataError::ArityMismatch {
+                expected: fields.len(),
+                got: columns.len(),
+            });
+        }
+        let n_rows = columns.first().map_or(0, Column::len);
+        for (f, c) in fields.iter().zip(&columns) {
+            if c.len() != n_rows {
+                return Err(DataError::SchemaMismatch(format!(
+                    "column `{}` has {} rows, expected {}",
+                    f.name,
+                    c.len(),
+                    n_rows
+                )));
+            }
+            if c.data_type() != f.dtype {
+                return Err(DataError::TypeMismatch {
+                    column: f.name.clone(),
+                    expected: f.dtype.name(),
+                    got: c.data_type().name().to_owned(),
+                });
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            schema: Schema::new(fields)?,
+            columns,
+            n_rows,
+        })
+    }
+
+    /// Table name (used in plan rendering and provenance source labels).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self.schema.index_of(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Borrow a column by position.
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Append a row of values (arity- and type-checked).
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(DataError::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        // Validate all cells first so a failed push cannot leave ragged columns.
+        for (i, (col, value)) in self.columns.iter().zip(&row).enumerate() {
+            let ok = value.is_null()
+                || matches!(
+                    (col.data_type(), value),
+                    (DataType::Int, Value::Int(_))
+                        | (DataType::Float, Value::Float(_))
+                        | (DataType::Float, Value::Int(_))
+                        | (DataType::Str, Value::Str(_))
+                        | (DataType::Bool, Value::Bool(_))
+                );
+            if !ok {
+                return Err(DataError::TypeMismatch {
+                    column: self.schema.fields()[i].name.clone(),
+                    expected: col.data_type().name(),
+                    got: format!("{value:?}"),
+                });
+            }
+        }
+        for (col, value) in self.columns.iter_mut().zip(row) {
+            col.push(value).expect("validated above");
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Get the cell at (`row`, `col_name`).
+    pub fn get(&self, row: usize, col_name: &str) -> Result<Value> {
+        let col = self.column(col_name)?;
+        col.get(row).ok_or(DataError::RowOutOfBounds {
+            index: row,
+            len: self.n_rows,
+        })
+    }
+
+    /// Overwrite the cell at (`row`, `col_name`).
+    pub fn set(&mut self, row: usize, col_name: &str, value: Value) -> Result<()> {
+        let idx = self.schema.index_of(col_name)?;
+        self.columns[idx].set(row, value).map_err(|e| match e {
+            DataError::TypeMismatch { expected, got, .. } => DataError::TypeMismatch {
+                column: col_name.to_owned(),
+                expected,
+                got,
+            },
+            other => other,
+        })
+    }
+
+    /// Materialize a full row as values.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.n_rows {
+            return Err(DataError::RowOutOfBounds {
+                index: row,
+                len: self.n_rows,
+            });
+        }
+        Ok(self
+            .columns
+            .iter()
+            .map(|c| c.get(row).expect("bounds checked"))
+            .collect())
+    }
+
+    /// New table with the rows at `indices` (repeats and reorders allowed).
+    pub fn take(&self, indices: &[usize]) -> Result<Table> {
+        for &i in indices {
+            if i >= self.n_rows {
+                return Err(DataError::RowOutOfBounds {
+                    index: i,
+                    len: self.n_rows,
+                });
+            }
+        }
+        Ok(Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            n_rows: indices.len(),
+        })
+    }
+
+    /// Keep rows satisfying `pred`; returns the filtered table and the kept
+    /// original row indices (the row lineage of the output).
+    pub fn filter<F: FnMut(usize) -> bool>(&self, mut pred: F) -> (Table, Vec<usize>) {
+        let kept: Vec<usize> = (0..self.n_rows).filter(|&i| pred(i)).collect();
+        let table = self.take(&kept).expect("indices in bounds by construction");
+        (table, kept)
+    }
+
+    /// New table with only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Table> {
+        let mut fields = Vec::with_capacity(names.len());
+        let mut columns = Vec::with_capacity(names.len());
+        for &n in names {
+            let idx = self.schema.index_of(n)?;
+            fields.push(self.schema.fields()[idx].clone());
+            columns.push(self.columns[idx].clone());
+        }
+        Table::from_columns(self.name.clone(), fields, columns)
+    }
+
+    /// Drop the named columns.
+    pub fn drop_columns(&self, names: &[&str]) -> Result<Table> {
+        for &n in names {
+            self.schema.index_of(n)?;
+        }
+        let keep: Vec<&str> = self
+            .schema
+            .names()
+            .into_iter()
+            .filter(|n| !names.contains(n))
+            .collect();
+        self.select(&keep)
+    }
+
+    /// Add a column (length must match the table).
+    pub fn add_column(&mut self, field: Field, column: Column) -> Result<()> {
+        if column.len() != self.n_rows {
+            return Err(DataError::SchemaMismatch(format!(
+                "new column `{}` has {} rows, table has {}",
+                field.name,
+                column.len(),
+                self.n_rows
+            )));
+        }
+        if column.data_type() != field.dtype {
+            return Err(DataError::TypeMismatch {
+                column: field.name.clone(),
+                expected: field.dtype.name(),
+                got: column.data_type().name().to_owned(),
+            });
+        }
+        self.schema.push(field)?;
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Append all rows of `other` (schemas must match exactly).
+    pub fn append(&mut self, other: &Table) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(DataError::SchemaMismatch(format!(
+                "cannot append `{}` to `{}`: schemas differ",
+                other.name, self.name
+            )));
+        }
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            a.extend_from(b)?;
+        }
+        self.n_rows += other.n_rows;
+        Ok(())
+    }
+
+    /// Inner hash join on `left_key` = `right_key`.
+    ///
+    /// Null keys never match (SQL semantics). Columns from `right` are added
+    /// with their names, except the join key which is dropped; a name clash
+    /// on a non-key column gets a `_right` suffix. Returns the joined table
+    /// plus per-output-row lineage `(left_row, right_row)`.
+    pub fn hash_join(
+        &self,
+        right: &Table,
+        left_key: &str,
+        right_key: &str,
+    ) -> Result<JoinResult> {
+        self.join_impl(right, left_key, right_key, false)
+            .map(|(t, lineage)| {
+                let pairs = lineage
+                    .into_iter()
+                    .map(|(l, r)| (l, r.expect("inner join always has a right match")))
+                    .collect();
+                (t, pairs)
+            })
+    }
+
+    /// Left outer hash join on `left_key` = `right_key`.
+    ///
+    /// Unmatched left rows appear once with nulls on the right side; lineage
+    /// records `None` for their right row.
+    pub fn left_join(
+        &self,
+        right: &Table,
+        left_key: &str,
+        right_key: &str,
+    ) -> Result<LeftJoinResult> {
+        self.join_impl(right, left_key, right_key, true)
+    }
+
+    fn join_impl(
+        &self,
+        right: &Table,
+        left_key: &str,
+        right_key: &str,
+        outer: bool,
+    ) -> Result<LeftJoinResult> {
+        let lk = self.schema.index_of(left_key)?;
+        let rk = right.schema.index_of(right_key)?;
+        if self.schema.fields()[lk].dtype != right.schema.fields()[rk].dtype {
+            return Err(DataError::SchemaMismatch(format!(
+                "join key types differ: {} vs {}",
+                self.schema.fields()[lk].dtype,
+                right.schema.fields()[rk].dtype
+            )));
+        }
+
+        // Build phase: hash right side on the key.
+        let mut index: FxHashMap<JoinKey, Vec<usize>> = FxHashMap::default();
+        for row in 0..right.n_rows {
+            if let Some(key) = JoinKey::from_value(&right.columns[rk].get(row).expect("in bounds"))
+            {
+                index.entry(key).or_default().push(row);
+            }
+        }
+
+        // Probe phase.
+        let mut lineage: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.n_rows);
+        for row in 0..self.n_rows {
+            let key = JoinKey::from_value(&self.columns[lk].get(row).expect("in bounds"));
+            let matches = key.and_then(|k| index.get(&k));
+            match matches {
+                Some(rows) => lineage.extend(rows.iter().map(|&r| (row, Some(r)))),
+                None if outer => lineage.push((row, None)),
+                None => {}
+            }
+        }
+
+        // Materialize output columns.
+        let left_idx: Vec<usize> = lineage.iter().map(|&(l, _)| l).collect();
+        let mut fields: Vec<Field> = self.schema.fields().to_vec();
+        let mut columns: Vec<Column> = self.columns.iter().map(|c| c.take(&left_idx)).collect();
+
+        for (ci, f) in right.schema.fields().iter().enumerate() {
+            if ci == rk {
+                continue; // drop duplicate join key
+            }
+            let name = if self.schema.contains(&f.name) {
+                format!("{}_right", f.name)
+            } else {
+                f.name.clone()
+            };
+            let mut col = Column::with_capacity(f.dtype, lineage.len());
+            for &(_, r) in &lineage {
+                let v = match r {
+                    Some(r) => right.columns[ci].get(r).expect("in bounds"),
+                    None => Value::Null,
+                };
+                col.push(v).expect("type preserved");
+            }
+            fields.push(Field::new(name, f.dtype));
+            columns.push(col);
+        }
+
+        let out = Table::from_columns(self.name.clone(), fields, columns)?;
+        Ok((out, lineage))
+    }
+
+    /// Stable sort by a column (nulls first); returns the sorted table and
+    /// the original index of each output row.
+    pub fn sort_by(&self, col_name: &str) -> Result<(Table, Vec<usize>)> {
+        let col = self.column(col_name)?;
+        let mut idx: Vec<usize> = (0..self.n_rows).collect();
+        idx.sort_by(|&a, &b| {
+            col.get(a)
+                .expect("in bounds")
+                .total_cmp(&col.get(b).expect("in bounds"))
+        });
+        let table = self.take(&idx)?;
+        Ok((table, idx))
+    }
+
+    /// Count of rows per distinct value of a column (nulls grouped under `Value::Null`).
+    pub fn value_counts(&self, col_name: &str) -> Result<Vec<(Value, usize)>> {
+        let col = self.column(col_name)?;
+        let mut counts: Vec<(Value, usize)> = Vec::new();
+        'rows: for row in 0..self.n_rows {
+            let v = col.get(row).expect("in bounds");
+            for (seen, c) in counts.iter_mut() {
+                if seen.total_cmp(&v) == std::cmp::Ordering::Equal
+                    && seen.data_type() == v.data_type()
+                {
+                    *c += 1;
+                    continue 'rows;
+                }
+            }
+            counts.push((v, 1));
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
+        Ok(counts)
+    }
+
+    /// Fraction of missing cells per column, by column name order.
+    pub fn missing_profile(&self) -> Vec<(String, f64)> {
+        self.schema
+            .fields()
+            .iter()
+            .zip(&self.columns)
+            .map(|(f, c)| {
+                let frac = if self.n_rows == 0 {
+                    0.0
+                } else {
+                    c.null_count() as f64 / self.n_rows as f64
+                };
+                (f.name.clone(), frac)
+            })
+            .collect()
+    }
+
+    /// Render the first `limit` rows as an aligned ASCII table.
+    pub fn pretty(&self, limit: usize) -> String {
+        let n = self.n_rows.min(limit);
+        let headers: Vec<String> = self.schema.names().iter().map(|s| s.to_string()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(n);
+        for row in 0..n {
+            let mut r = Vec::with_capacity(self.n_cols());
+            for (ci, col) in self.columns.iter().enumerate() {
+                let mut s = col.get(row).expect("in bounds").to_string();
+                if s.len() > 40 {
+                    s.truncate(37);
+                    s.push_str("...");
+                }
+                widths[ci] = widths[ci].max(s.len());
+                r.push(s);
+            }
+            cells.push(r);
+        }
+        let mut out = String::new();
+        let fmt_row = |vals: &[String], widths: &[usize]| -> String {
+            let parts: Vec<String> = vals
+                .iter()
+                .zip(widths)
+                .map(|(v, w)| format!("{v:<w$}", w = w))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        out.push('\n');
+        for r in &cells {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        if self.n_rows > n {
+            out.push_str(&format!("... {} more rows\n", self.n_rows - n));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} rows x {} cols]",
+            self.name,
+            self.n_rows,
+            self.n_cols()
+        )
+    }
+}
+
+/// A hashable, equality-comparable join key derived from a non-null [`Value`].
+///
+/// Floats are keyed by bit pattern; joins on float keys therefore require
+/// exact representation equality, which matches hash-join semantics in real
+/// engines.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JoinKey {
+    Int(i64),
+    FloatBits(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl JoinKey {
+    fn from_value(v: &Value) -> Option<JoinKey> {
+        match v {
+            Value::Null => None,
+            Value::Int(x) => Some(JoinKey::Int(*x)),
+            Value::Float(x) => Some(JoinKey::FloatBits(x.to_bits())),
+            Value::Str(s) => Some(JoinKey::Str(s.clone())),
+            Value::Bool(b) => Some(JoinKey::Bool(*b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut t = Table::empty(
+            "people",
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("name", DataType::Str),
+                Field::new("age", DataType::Float),
+            ])
+            .unwrap(),
+        );
+        t.push_row(vec![1.into(), "ada".into(), 36.0.into()]).unwrap();
+        t.push_row(vec![2.into(), "bob".into(), Value::Null]).unwrap();
+        t.push_row(vec![3.into(), "eve".into(), 29.0.into()]).unwrap();
+        t
+    }
+
+    fn jobs() -> Table {
+        let mut t = Table::empty(
+            "jobs",
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("sector", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        t.push_row(vec![1.into(), "health".into()]).unwrap();
+        t.push_row(vec![3.into(), "tech".into()]).unwrap();
+        t.push_row(vec![3.into(), "tech2".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_get() {
+        let t = people();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.get(0, "name").unwrap(), Value::Str("ada".into()));
+        assert_eq!(t.get(1, "age").unwrap(), Value::Null);
+        assert!(t.get(0, "nope").is_err());
+        assert!(t.get(9, "name").is_err());
+    }
+
+    #[test]
+    fn push_row_validates_before_mutating() {
+        let mut t = people();
+        // Wrong type in the last column: nothing must be appended.
+        let err = t.push_row(vec![4.into(), "zed".into(), "oops".into()]);
+        assert!(err.is_err());
+        assert_eq!(t.n_rows(), 3);
+        for ci in 0..t.n_cols() {
+            assert_eq!(t.column_at(ci).len(), 3);
+        }
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = people();
+        assert!(matches!(
+            t.push_row(vec![1.into()]),
+            Err(DataError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn take_filter_select() {
+        let t = people();
+        let (young, kept) = t.filter(|i| {
+            t.get(i, "age")
+                .unwrap()
+                .as_float()
+                .map(|a| a < 35.0)
+                .unwrap_or(false)
+        });
+        assert_eq!(kept, vec![2]);
+        assert_eq!(young.get(0, "name").unwrap(), Value::Str("eve".into()));
+
+        let s = t.select(&["name", "id"]).unwrap();
+        assert_eq!(s.schema().names(), vec!["name", "id"]);
+        assert!(t.select(&["nope"]).is_err());
+
+        let d = t.drop_columns(&["age"]).unwrap();
+        assert_eq!(d.schema().names(), vec!["id", "name"]);
+    }
+
+    #[test]
+    fn inner_join_with_duplicates_and_lineage() {
+        let (joined, lineage) = people().hash_join(&jobs(), "id", "id").unwrap();
+        // id=1 matches once, id=2 not at all, id=3 twice.
+        assert_eq!(joined.n_rows(), 3);
+        assert_eq!(lineage, vec![(0, 0), (2, 1), (2, 2)]);
+        assert_eq!(joined.get(0, "sector").unwrap(), Value::Str("health".into()));
+        assert_eq!(joined.get(2, "sector").unwrap(), Value::Str("tech2".into()));
+        // Join key from the right side is dropped.
+        assert!(!joined.schema().contains("id_right"));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let (joined, lineage) = people().left_join(&jobs(), "id", "id").unwrap();
+        assert_eq!(joined.n_rows(), 4);
+        assert_eq!(lineage[1], (1, None));
+        assert_eq!(joined.get(1, "sector").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut l = people();
+        l.set(0, "id", Value::Null).unwrap();
+        let (joined, _) = l.hash_join(&jobs(), "id", "id").unwrap();
+        // Only id=3 matches now (twice).
+        assert_eq!(joined.n_rows(), 2);
+    }
+
+    #[test]
+    fn join_type_mismatch_rejected() {
+        let t = people();
+        assert!(t.hash_join(&jobs(), "name", "id").is_err());
+    }
+
+    #[test]
+    fn sort_nulls_first() {
+        let (sorted, perm) = people().sort_by("age").unwrap();
+        assert_eq!(perm, vec![1, 2, 0]);
+        assert_eq!(sorted.get(0, "age").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn value_counts_descending() {
+        let t = jobs();
+        let counts = t.value_counts("id").unwrap();
+        assert_eq!(counts[0], (Value::Int(3), 2));
+        assert_eq!(counts[1], (Value::Int(1), 1));
+    }
+
+    #[test]
+    fn append_and_schema_mismatch() {
+        let mut a = people();
+        let b = people();
+        a.append(&b).unwrap();
+        assert_eq!(a.n_rows(), 6);
+        let c = jobs();
+        assert!(a.append(&c).is_err());
+    }
+
+    #[test]
+    fn missing_profile_reports_fractions() {
+        let t = people();
+        let prof = t.missing_profile();
+        let age = prof.iter().find(|(n, _)| n == "age").unwrap();
+        assert!((age.1 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_column_checks_length_and_type() {
+        let mut t = people();
+        let ok = Column::Bool(vec![Some(true), Some(false), None]);
+        t.add_column(Field::new("flag", DataType::Bool), ok).unwrap();
+        assert_eq!(t.n_cols(), 4);
+        let short = Column::Bool(vec![Some(true)]);
+        assert!(t
+            .add_column(Field::new("flag2", DataType::Bool), short)
+            .is_err());
+        let wrong = Column::Int(vec![Some(1), Some(2), Some(3)]);
+        assert!(t
+            .add_column(Field::new("flag3", DataType::Bool), wrong)
+            .is_err());
+    }
+
+    #[test]
+    fn pretty_prints_header_and_rows() {
+        let s = people().pretty(2);
+        assert!(s.contains("name"));
+        assert!(s.contains("ada"));
+        assert!(s.contains("1 more rows"));
+    }
+}

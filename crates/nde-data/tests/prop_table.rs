@@ -1,0 +1,188 @@
+//! Property-based tests for the table engine: joins against a nested-loop
+//! reference, take/filter invariants, CSV roundtrips, and the total order on
+//! values.
+
+use nde_data::csvio::{read_csv, to_csv_string};
+use nde_data::{Column, DataType, Field, Schema, Table, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9f64).prop_map(Value::Float),
+        "[a-z ,\"\n]{0,12}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn int_key_table(name: &str, keys: Vec<Option<i64>>) -> Table {
+    let n = keys.len();
+    let payload: Vec<Option<i64>> = (0..n as i64).map(Some).collect();
+    Table::from_columns(
+        name,
+        vec![
+            Field::new("k", DataType::Int),
+            Field::new(format!("{name}_payload"), DataType::Int),
+        ],
+        vec![Column::Int(keys), Column::Int(payload)],
+    )
+    .expect("columns conform")
+}
+
+proptest! {
+    #[test]
+    fn join_matches_nested_loop_reference(
+        left_keys in prop::collection::vec(prop::option::of(0i64..8), 0..20),
+        right_keys in prop::collection::vec(prop::option::of(0i64..8), 0..20),
+    ) {
+        let left = int_key_table("l", left_keys.clone());
+        let right = int_key_table("r", right_keys.clone());
+        let (joined, lineage) = left.hash_join(&right, "k", "k").expect("join runs");
+
+        // Reference: nested loop over non-null equal keys.
+        let mut expected: Vec<(usize, usize)> = Vec::new();
+        for (li, lk) in left_keys.iter().enumerate() {
+            for (ri, rk) in right_keys.iter().enumerate() {
+                if let (Some(a), Some(b)) = (lk, rk) {
+                    if a == b {
+                        expected.push((li, ri));
+                    }
+                }
+            }
+        }
+        let mut got = lineage.clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(joined.n_rows(), lineage.len());
+
+        // Every output row's cells match the source rows named by lineage.
+        for (out, &(li, ri)) in lineage.iter().enumerate() {
+            prop_assert_eq!(
+                joined.get(out, "l_payload").expect("cell"),
+                left.get(li, "l_payload").expect("cell")
+            );
+            prop_assert_eq!(
+                joined.get(out, "r_payload").expect("cell"),
+                right.get(ri, "r_payload").expect("cell")
+            );
+        }
+    }
+
+    #[test]
+    fn left_join_preserves_every_left_row(
+        left_keys in prop::collection::vec(prop::option::of(0i64..6), 1..15),
+        right_keys in prop::collection::vec(prop::option::of(0i64..6), 0..15),
+    ) {
+        let left = int_key_table("l", left_keys.clone());
+        let right = int_key_table("r", right_keys);
+        let (_, lineage) = left.left_join(&right, "k", "k").expect("join runs");
+        // Every left row appears at least once.
+        let mut seen = vec![false; left_keys.len()];
+        for &(li, _) in &lineage {
+            seen[li] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn take_then_get_matches_origin(
+        keys in prop::collection::vec(prop::option::of(-100i64..100), 1..25),
+        picks in prop::collection::vec(0usize..25, 0..40),
+    ) {
+        let t = int_key_table("t", keys);
+        let picks: Vec<usize> = picks.into_iter().map(|p| p % t.n_rows()).collect();
+        let taken = t.take(&picks).expect("indices bounded");
+        prop_assert_eq!(taken.n_rows(), picks.len());
+        for (out, &src) in picks.iter().enumerate() {
+            prop_assert_eq!(taken.row(out).expect("row"), t.row(src).expect("row"));
+        }
+    }
+
+    #[test]
+    fn filter_partition_invariant(
+        keys in prop::collection::vec(prop::option::of(-5i64..5), 0..30),
+    ) {
+        let t = int_key_table("t", keys);
+        let (pos, kept) = t.filter(|i| {
+            t.get(i, "k").expect("cell").as_int().map(|v| v >= 0).unwrap_or(false)
+        });
+        let (neg, dropped) = t.filter(|i| {
+            !t.get(i, "k").expect("cell").as_int().map(|v| v >= 0).unwrap_or(false)
+        });
+        prop_assert_eq!(pos.n_rows() + neg.n_rows(), t.n_rows());
+        // Kept and dropped index sets partition 0..n.
+        let mut all: Vec<usize> = kept.into_iter().chain(dropped).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..t.n_rows()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn csv_roundtrip_arbitrary_cells(
+        cells in prop::collection::vec(value_strategy(), 1..20),
+    ) {
+        // One column per type keeps the schema fixed; route by variant.
+        let mut t = Table::empty(
+            "t",
+            Schema::new(vec![
+                Field::new("i", DataType::Int),
+                Field::new("f", DataType::Float),
+                Field::new("s", DataType::Str),
+                Field::new("b", DataType::Bool),
+            ])
+            .expect("schema valid"),
+        );
+        for v in &cells {
+            let row = match v {
+                Value::Int(x) => vec![Value::Int(*x), Value::Null, Value::Null, Value::Null],
+                Value::Float(x) => vec![Value::Null, Value::Float(*x), Value::Null, Value::Null],
+                Value::Str(s) => vec![Value::Null, Value::Null, Value::Str(s.clone()), Value::Null],
+                Value::Bool(b) => vec![Value::Null, Value::Null, Value::Null, Value::Bool(*b)],
+                Value::Null => vec![Value::Null; 4],
+            };
+            t.push_row(row).expect("row conforms");
+        }
+        let csv = to_csv_string(&t);
+        let back = read_csv("t", t.schema().clone(), csv.as_bytes()).expect("parses");
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for r in 0..t.n_rows() {
+            prop_assert_eq!(back.row(r).expect("row"), t.row(r).expect("row"));
+        }
+    }
+
+    #[test]
+    fn value_total_cmp_is_a_total_order(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity (check via sorting consistency).
+        let mut v = [a.clone(), b.clone(), c.clone()];
+        v.sort_by(|x, y| x.total_cmp(y));
+        prop_assert!(v[0].total_cmp(&v[1]) != Ordering::Greater);
+        prop_assert!(v[1].total_cmp(&v[2]) != Ordering::Greater);
+        prop_assert!(v[0].total_cmp(&v[2]) != Ordering::Greater);
+        // Reflexivity.
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn sort_by_is_a_permutation_and_ordered(
+        keys in prop::collection::vec(prop::option::of(-50i64..50), 1..30),
+    ) {
+        let t = int_key_table("t", keys);
+        let (sorted, perm) = t.sort_by("k").expect("sorts");
+        let mut check = perm.clone();
+        check.sort_unstable();
+        prop_assert_eq!(check, (0..t.n_rows()).collect::<Vec<_>>());
+        for i in 1..sorted.n_rows() {
+            let prev = sorted.get(i - 1, "k").expect("cell");
+            let cur = sorted.get(i, "k").expect("cell");
+            prop_assert!(prev.total_cmp(&cur) != std::cmp::Ordering::Greater);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Area Under the Margin (AUM) mislabel detection (Pleiss et al., NeurIPS'20).
+//!
+//! During iterative training, correctly-labeled examples develop large
+//! positive margins (assigned-class logit minus the largest other logit)
+//! while mislabeled examples are pulled in opposite directions by their
+//! cluster and their wrong label, keeping their margins low or negative.
+//! The AUM of an example is its margin averaged over training epochs.
+
+use crate::common::ImportanceScores;
+use crate::{ImportanceError, Result};
+use nde_ml::dataset::Dataset;
+use nde_ml::models::logreg::LogisticRegression;
+
+/// Configuration for the AUM detector.
+#[derive(Debug, Clone)]
+pub struct AumConfig {
+    /// Training epochs (margins recorded after every epoch).
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization.
+    pub l2: f64,
+    /// Seed for SGD shuffling.
+    pub seed: u64,
+}
+
+impl Default for AumConfig {
+    fn default() -> Self {
+        AumConfig {
+            epochs: 30,
+            learning_rate: 0.3,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// AUM scores of all training examples: margin averaged over epochs of a
+/// logistic-regression run. Low (negative) AUM ⇒ likely mislabeled, so these
+/// scores already follow the crate's higher-is-better convention.
+pub fn aum_importance(train: &Dataset, config: &AumConfig) -> Result<ImportanceScores> {
+    if config.epochs == 0 {
+        return Err(ImportanceError::InvalidArgument("epochs must be > 0".into()));
+    }
+    let mut model = LogisticRegression::new(
+        config.epochs,
+        config.learning_rate,
+        config.l2,
+        config.seed,
+    );
+    let history = model.fit_tracking(train)?;
+    debug_assert_eq!(history.len(), config.epochs);
+    let n = train.len();
+    let mut values = vec![0.0; n];
+    for margins in &history {
+        for (v, m) in values.iter_mut().zip(margins) {
+            *v += m;
+        }
+    }
+    for v in &mut values {
+        *v /= history.len() as f64;
+    }
+    Ok(ImportanceScores::new("aum", values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_data::generate::blobs::two_gaussians;
+
+    fn train_with_flips(n: usize, flips: &[usize]) -> (Dataset, Vec<usize>) {
+        let nd = two_gaussians(n, 3, 4.0, 13);
+        let mut train = Dataset::try_from(&nd).unwrap();
+        for &f in flips {
+            train.y[f] = 1 - train.y[f];
+        }
+        (train, flips.to_vec())
+    }
+
+    #[test]
+    fn flipped_labels_have_lowest_aum() {
+        let flips = vec![2, 10, 33, 47];
+        let (train, truth) = train_with_flips(100, &flips);
+        let scores = aum_importance(&train, &AumConfig::default()).unwrap();
+        let bottom = scores.bottom_k(4);
+        let hits = bottom.iter().filter(|i| truth.contains(i)).count();
+        assert!(hits >= 3, "bottom={bottom:?}");
+    }
+
+    #[test]
+    fn clean_examples_have_positive_aum() {
+        let (train, _) = train_with_flips(80, &[]);
+        let scores = aum_importance(&train, &AumConfig::default()).unwrap();
+        let positive = scores.values.iter().filter(|&&v| v > 0.0).count();
+        assert!(positive > 70, "{positive}/80 positive");
+    }
+
+    #[test]
+    fn deterministic_and_validated() {
+        let (train, _) = train_with_flips(40, &[1]);
+        let a = aum_importance(&train, &AumConfig::default()).unwrap();
+        let b = aum_importance(&train, &AumConfig::default()).unwrap();
+        assert_eq!(a, b);
+        let bad = AumConfig {
+            epochs: 0,
+            ..Default::default()
+        };
+        assert!(aum_importance(&train, &bad).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Beta Shapley: Beta(α, β)-weighted semivalues (Kwon & Zou, AISTATS'22).
+//!
+//! The Shapley value weights marginal contributions at all coalition sizes
+//! equally; Beta Shapley re-weights them with a Beta(α, β) profile. Large β
+//! emphasizes *small* coalitions (where signal about mislabeled points is
+//! strongest and noise lowest); `Beta(1, 1)` recovers the Shapley value.
+//!
+//! We estimate with size-stratified Monte Carlo: draw a coalition size `j`
+//! from the normalized Beta weights, draw a random subset of that size not
+//! containing `i`, and average the marginal contribution `U(S ∪ i) − U(S)`.
+
+use crate::common::ImportanceScores;
+use crate::{ImportanceError, Result};
+use nde_data::rng::{child_seed, seeded};
+use nde_ml::dataset::Dataset;
+use nde_ml::model::{utility, Classifier};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for the Beta Shapley estimator.
+#[derive(Debug, Clone)]
+pub struct BetaShapleyConfig {
+    /// Beta distribution α parameter (> 0).
+    pub alpha: f64,
+    /// Beta distribution β parameter (> 0). β > α emphasizes small coalitions.
+    pub beta: f64,
+    /// Monte-Carlo samples *per training example*.
+    pub samples_per_point: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BetaShapleyConfig {
+    fn default() -> Self {
+        BetaShapleyConfig {
+            alpha: 1.0,
+            beta: 16.0,
+            samples_per_point: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// Normalized probability of each coalition size `j ∈ 0..n` under the
+/// Beta(α, β) semivalue, *including* the count of subsets of that size.
+///
+/// The per-subset weight of a coalition `S` with `|S| = j` (out of the
+/// `n − 1` points other than the one being valued) is
+/// `∫ t^j (1−t)^{n−1−j} dBeta(t) ∝ B(j + α, n − 1 − j + β)`, so the per-size
+/// sampling probability is `C(n−1, j) · B(j + α, n − 1 − j + β)`. β > α
+/// shifts the Beta mass toward `t = 0`, i.e. toward *small* coalitions;
+/// `Beta(1, 1)` gives the uniform size distribution of the Shapley value.
+/// Computed in log space and normalized, so only relative weights matter.
+pub fn beta_size_weights(n: usize, alpha: f64, beta: f64) -> Vec<f64> {
+    debug_assert!(n >= 1);
+    let mut logw = Vec::with_capacity(n);
+    let ln_choose = |n: f64, k: f64| ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0);
+    for j in 0..n {
+        let a = j as f64 + alpha;
+        let b = (n - 1 - j) as f64 + beta;
+        logw.push(
+            ln_choose((n - 1) as f64, j as f64) + ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b),
+        );
+    }
+    let max = logw.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+    let mut w: Vec<f64> = logw.into_iter().map(|v| (v - max).exp()).collect();
+    let sum: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= sum;
+    }
+    w
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+#[allow(clippy::inconsistent_digit_grouping)] // literal Lanczos coefficients
+fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (standard Lanczos).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Beta Shapley values of all training examples.
+#[allow(clippy::needless_range_loop)] // per-point loop drives child seeding
+pub fn beta_shapley<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &BetaShapleyConfig,
+) -> Result<ImportanceScores> {
+    if config.alpha <= 0.0 || config.beta <= 0.0 {
+        return Err(ImportanceError::InvalidArgument(
+            "alpha and beta must be > 0".into(),
+        ));
+    }
+    if config.samples_per_point == 0 {
+        return Err(ImportanceError::InvalidArgument(
+            "need at least one sample per point".into(),
+        ));
+    }
+    if train.is_empty() {
+        return Err(ImportanceError::InvalidArgument("empty training set".into()));
+    }
+    let n = train.len();
+    let weights = beta_size_weights(n, config.alpha, config.beta);
+    // Cumulative distribution for size sampling.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+
+    let mut values = vec![0.0; n];
+    for i in 0..n {
+        let mut rng = seeded(child_seed(config.seed, i as u64));
+        let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        let mut pool = others.clone();
+        let mut total = 0.0;
+        for _ in 0..config.samples_per_point {
+            // Sample coalition size j from the Beta weights.
+            let u: f64 = rng.gen();
+            let j = cdf.partition_point(|&c| c < u).min(n - 1);
+            pool.shuffle(&mut rng);
+            let subset = &pool[..j.min(pool.len())];
+            let u_without = if subset.is_empty() {
+                0.0
+            } else {
+                utility(template, &train.subset(subset), valid)?
+            };
+            let mut with: Vec<usize> = subset.to_vec();
+            with.push(i);
+            let u_with = utility(template, &train.subset(&with), valid)?;
+            total += u_with - u_without;
+        }
+        values[i] = total / config.samples_per_point as f64;
+    }
+    Ok(ImportanceScores::new("beta-shapley", values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_ml::models::knn::KnnClassifier;
+
+    fn toy() -> (Dataset, Dataset) {
+        let train = Dataset::from_rows(
+            vec![
+                vec![0.0],
+                vec![0.2],
+                vec![10.0],
+                vec![10.2],
+                vec![0.1], // mislabelled
+            ],
+            vec![0, 0, 1, 1, 1],
+            2,
+        )
+        .unwrap();
+        let valid = Dataset::from_rows(
+            vec![vec![0.04], vec![0.12], vec![10.14], vec![9.93]],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        (train, valid)
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_normalize_and_skew_small_with_large_beta() {
+        let w = beta_size_weights(20, 1.0, 16.0);
+        assert_eq!(w.len(), 20);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Mass concentrates on small coalition sizes.
+        let small: f64 = w[..5].iter().sum();
+        assert!(small > 0.8, "small mass {small}");
+        // Beta(1,1) is uniform over sizes.
+        let uniform = beta_size_weights(10, 1.0, 1.0);
+        for v in &uniform {
+            assert!((v - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mislabelled_point_detected() {
+        let (train, valid) = toy();
+        let cfg = BetaShapleyConfig {
+            samples_per_point: 80,
+            seed: 2,
+            ..Default::default()
+        };
+        let scores = beta_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        assert_eq!(scores.bottom_k(1), vec![4]);
+    }
+
+    #[test]
+    fn deterministic_and_validated() {
+        let (train, valid) = toy();
+        let cfg = BetaShapleyConfig {
+            samples_per_point: 20,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = beta_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        let b = beta_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        assert_eq!(a, b);
+        let bad = BetaShapleyConfig {
+            alpha: 0.0,
+            ..Default::default()
+        };
+        assert!(beta_shapley(&KnnClassifier::new(1), &train, &valid, &bad).is_err());
+        let zero = BetaShapleyConfig {
+            samples_per_point: 0,
+            ..Default::default()
+        };
+        assert!(beta_shapley(&KnnClassifier::new(1), &train, &valid, &zero).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Confident learning (Northcutt, Jiang & Chuang, JAIR'21).
+//!
+//! Estimates which examples carry label errors from *out-of-sample* predicted
+//! probabilities: class thresholds are the mean self-confidence of examples
+//! assigned to each class; an example is flagged when it is confidently
+//! predicted to belong to a different class than its given label.
+
+use crate::common::ImportanceScores;
+use crate::{ImportanceError, Result};
+use nde_data::generate::splits::k_fold;
+use nde_ml::dataset::Dataset;
+use nde_ml::model::Classifier;
+
+/// Configuration for confident learning.
+#[derive(Debug, Clone)]
+pub struct ConfidentConfig {
+    /// Cross-validation folds for out-of-sample probabilities.
+    pub folds: usize,
+    /// Seed controlling the fold split.
+    pub seed: u64,
+}
+
+impl Default for ConfidentConfig {
+    fn default() -> Self {
+        ConfidentConfig { folds: 4, seed: 0 }
+    }
+}
+
+/// Result of confident learning: per-example scores plus the flagged set.
+#[derive(Debug, Clone)]
+pub struct ConfidentResult {
+    /// Importance-style scores (self-confidence minus the strongest
+    /// confident off-label probability): low = likely mislabeled.
+    pub scores: ImportanceScores,
+    /// Indices the confident-joint rule flags as label errors.
+    pub flagged: Vec<usize>,
+    /// Per-class confidence thresholds `t_j`.
+    pub thresholds: Vec<f64>,
+}
+
+/// Run confident learning with cross-validated probabilities from `template`.
+pub fn confident_learning<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    config: &ConfidentConfig,
+) -> Result<ConfidentResult> {
+    if config.folds < 2 {
+        return Err(ImportanceError::InvalidArgument("need >= 2 folds".into()));
+    }
+    if train.len() < config.folds {
+        return Err(ImportanceError::InvalidArgument(
+            "fewer examples than folds".into(),
+        ));
+    }
+    let n = train.len();
+    let k = train.n_classes;
+
+    // Out-of-sample probabilities via k-fold CV.
+    let mut probas = vec![vec![0.0; k]; n];
+    let folds = k_fold(n, config.folds, config.seed)
+        .map_err(|e| ImportanceError::InvalidArgument(e.to_string()))?;
+    for (fold_train, held) in folds {
+        let mut model = template.clone();
+        model.fit(&train.subset(&fold_train))?;
+        for &i in &held {
+            probas[i] = model.predict_proba_one(train.x.row(i));
+        }
+    }
+
+    // Class thresholds: mean self-confidence of examples labeled j.
+    let mut sums = vec![0.0; k];
+    let mut counts = vec![0usize; k];
+    for (i, &y) in train.y.iter().enumerate() {
+        sums[y] += probas[i][y];
+        counts[y] += 1;
+    }
+    let thresholds: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { f64::INFINITY })
+        .collect();
+
+    // Scores and flags.
+    let mut flagged = Vec::new();
+    let mut values = Vec::with_capacity(n);
+    for (i, &y) in train.y.iter().enumerate() {
+        let self_conf = probas[i][y];
+        let mut best_off = 0.0f64;
+        let mut confident_elsewhere = false;
+        for j in 0..k {
+            if j == y {
+                continue;
+            }
+            if probas[i][j] >= thresholds[j] {
+                confident_elsewhere = true;
+                best_off = best_off.max(probas[i][j]);
+            }
+        }
+        if confident_elsewhere && best_off > self_conf {
+            flagged.push(i);
+        }
+        // Low score = suspicious. Subtract only confident off-label mass so
+        // borderline-but-consistent examples are not penalized.
+        values.push(self_conf - best_off);
+    }
+
+    Ok(ConfidentResult {
+        scores: ImportanceScores::new("confident-learning", values),
+        flagged,
+        thresholds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_data::generate::blobs::two_gaussians;
+    use nde_ml::models::naive_bayes::GaussianNb;
+
+    fn train_with_flips(n: usize, flips: &[usize]) -> Dataset {
+        let nd = two_gaussians(n, 3, 5.0, 17);
+        let mut train = Dataset::try_from(&nd).unwrap();
+        for &f in flips {
+            train.y[f] = 1 - train.y[f];
+        }
+        train
+    }
+
+    #[test]
+    fn flags_flipped_labels() {
+        let flips = vec![4, 21, 55, 68];
+        let train = train_with_flips(120, &flips);
+        let result =
+            confident_learning(&GaussianNb::new(), &train, &ConfidentConfig::default()).unwrap();
+        // All injected flips are flagged...
+        for f in &flips {
+            assert!(result.flagged.contains(f), "flip {f} not flagged");
+        }
+        // ...and false positives are few on well-separated blobs.
+        assert!(result.flagged.len() <= flips.len() + 6, "{:?}", result.flagged);
+        // Scores rank the flips at the bottom.
+        let bottom = result.scores.bottom_k(4);
+        let hits = bottom.iter().filter(|i| flips.contains(i)).count();
+        assert!(hits >= 3, "bottom={bottom:?}");
+    }
+
+    #[test]
+    fn clean_data_flags_little() {
+        let train = train_with_flips(100, &[]);
+        let result =
+            confident_learning(&GaussianNb::new(), &train, &ConfidentConfig::default()).unwrap();
+        assert!(result.flagged.len() <= 5, "{:?}", result.flagged);
+    }
+
+    #[test]
+    fn thresholds_are_mean_self_confidence() {
+        let train = train_with_flips(60, &[]);
+        let result =
+            confident_learning(&GaussianNb::new(), &train, &ConfidentConfig::default()).unwrap();
+        assert_eq!(result.thresholds.len(), 2);
+        for t in &result.thresholds {
+            assert!((0.0..=1.0).contains(t));
+        }
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let train = train_with_flips(10, &[]);
+        let bad = ConfidentConfig { folds: 1, seed: 0 };
+        assert!(confident_learning(&GaussianNb::new(), &train, &bad).is_err());
+        let too_many = ConfidentConfig { folds: 50, seed: 0 };
+        assert!(confident_learning(&GaussianNb::new(), &train, &too_many).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let train = train_with_flips(50, &[3]);
+        let a = confident_learning(&GaussianNb::new(), &train, &ConfidentConfig::default())
+            .unwrap();
+        let b = confident_learning(&GaussianNb::new(), &train, &ConfidentConfig::default())
+            .unwrap();
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.flagged, b.flagged);
+    }
+}

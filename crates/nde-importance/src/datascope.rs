@@ -1,0 +1,197 @@
+//! Datascope: data importance *over ML pipelines* (Karlaš et al., ICLR'23).
+//!
+//! Importance methods score the rows of the *encoded training matrix* — but
+//! errors live in the pipeline's *source tables*, upstream of joins, filters
+//! and encoders (paper §2.2, Fig. 3). Datascope bridges the gap: compute
+//! KNN-Shapley over the pipeline output, then push the scores back through
+//! the provenance mapping. For map/filter/join pipelines (the "canonical
+//! pipelines" of the Datascope paper) each output row descends from exactly
+//! one tuple per source, and source-tuple importance is the sum of the
+//! importances of the output rows it contributed to.
+
+use crate::common::ImportanceScores;
+use crate::knn_shapley::knn_shapley;
+use crate::{ImportanceError, Result};
+use nde_ml::dataset::Dataset;
+use nde_pipeline::feature::FeatureOutput;
+
+/// Importance of the rows of source table `source_name`, computed by
+/// KNN-Shapley over the pipeline output and pushed back via provenance.
+///
+/// * `train_output` — the training-side pipeline output **with lineage**
+///   (run the pipeline with provenance tracking enabled);
+/// * `valid` — encoded validation data (same feature space);
+/// * `source_name` — which source table to attribute to (e.g. `"train_df"`);
+/// * `source_len` — number of rows in that source table;
+/// * `k` — the KNN-Shapley neighborhood size.
+///
+/// Source rows that never reach the pipeline output (dropped by filters or
+/// unmatched joins) get importance 0 — removing them cannot change the model.
+pub fn datascope_importance(
+    train_output: &FeatureOutput,
+    valid: &Dataset,
+    source_name: &str,
+    source_len: usize,
+    k: usize,
+) -> Result<ImportanceScores> {
+    let lineage = train_output.lineage.as_ref().ok_or_else(|| {
+        ImportanceError::InvalidArgument(
+            "pipeline output has no lineage; run with provenance tracking".into(),
+        )
+    })?;
+    let source_idx = lineage.source_index(source_name).ok_or_else(|| {
+        ImportanceError::InvalidArgument(format!(
+            "source `{source_name}` not found in lineage (sources: {:?})",
+            lineage.sources
+        ))
+    })?;
+    let output_scores = knn_shapley(&train_output.dataset, valid, k)?;
+    debug_assert_eq!(output_scores.len(), lineage.rows.len());
+
+    let index = lineage.outputs_per_source_row(source_idx, source_len);
+    let values: Vec<f64> = index
+        .iter()
+        .map(|outs| outs.iter().map(|&o| output_scores.values[o]).sum())
+        .collect();
+    Ok(ImportanceScores::new("datascope", values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_data::generate::hiring::{HiringScenario, LABEL_COLUMN};
+    use nde_data::inject::flip_labels;
+    use nde_data::Table;
+    use nde_pipeline::feature::FeaturePipeline;
+
+    fn inputs(s: &HiringScenario) -> Vec<(&str, &Table)> {
+        vec![
+            ("train_df", &s.letters),
+            ("jobdetail_df", &s.job_details),
+            ("social_df", &s.social),
+        ]
+    }
+
+    #[test]
+    fn source_rows_dropped_by_filter_get_zero() {
+        let s = HiringScenario::generate(150, 21);
+        let valid_s = HiringScenario::generate(60, 22);
+        let mut fp = FeaturePipeline::hiring(16);
+        let train_out = fp.fit_run(&inputs(&s), true).unwrap();
+        let valid_out = fp.transform_run(&inputs(&valid_s), false).unwrap();
+        let scores = datascope_importance(
+            &train_out,
+            &valid_out.dataset,
+            "train_df",
+            s.letters.n_rows(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(scores.len(), s.letters.n_rows());
+        // Letters whose job is not healthcare never reach the output.
+        let lineage = train_out.lineage.as_ref().unwrap();
+        let src = lineage.source_index("train_df").unwrap();
+        let reached: std::collections::HashSet<u32> = lineage
+            .rows
+            .iter()
+            .flat_map(|e| e.tuples())
+            .filter(|t| t.source == src)
+            .map(|t| t.row)
+            .collect();
+        for row in 0..s.letters.n_rows() {
+            if !reached.contains(&(row as u32)) {
+                assert_eq!(scores.values[row], 0.0, "dropped row {row} must score 0");
+            }
+        }
+        // At least one reached row has nonzero importance.
+        assert!(scores.values.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn flipped_source_labels_rank_low() {
+        let clean = HiringScenario::generate(200, 23);
+        let valid_s = HiringScenario::generate(80, 24);
+        let mut dirty = clean.letters.clone();
+        let report = flip_labels(&mut dirty, LABEL_COLUMN, 0.1, 25).unwrap();
+        let dirty_scenario = HiringScenario {
+            letters: dirty,
+            job_details: clean.job_details.clone(),
+            social: clean.social.clone(),
+        };
+        let mut fp = FeaturePipeline::hiring(24);
+        let train_out = fp.fit_run(&inputs(&dirty_scenario), true).unwrap();
+        let valid_out = fp.transform_run(&inputs(&valid_s), false).unwrap();
+        let scores = datascope_importance(
+            &train_out,
+            &valid_out.dataset,
+            "train_df",
+            dirty_scenario.letters.n_rows(),
+            1,
+        )
+        .unwrap();
+        // Among flipped rows that actually reached the output, most should
+        // score below the median of reached rows.
+        let lineage = train_out.lineage.as_ref().unwrap();
+        let src = lineage.source_index("train_df").unwrap();
+        let reached: std::collections::HashSet<usize> = lineage
+            .rows
+            .iter()
+            .flat_map(|e| e.tuples())
+            .filter(|t| t.source == src)
+            .map(|t| t.row as usize)
+            .collect();
+        let mut reached_scores: Vec<f64> = reached.iter().map(|&r| scores.values[r]).collect();
+        reached_scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = reached_scores[reached_scores.len() / 2];
+        let flipped_reached: Vec<usize> = report
+            .affected
+            .iter()
+            .copied()
+            .filter(|r| reached.contains(r))
+            .collect();
+        assert!(!flipped_reached.is_empty());
+        let below = flipped_reached
+            .iter()
+            .filter(|&&r| scores.values[r] <= median)
+            .count();
+        assert!(
+            below * 10 >= flipped_reached.len() * 6,
+            "{below}/{} flipped rows below median",
+            flipped_reached.len()
+        );
+    }
+
+    #[test]
+    fn requires_lineage_and_known_source() {
+        let s = HiringScenario::generate(60, 26);
+        let mut fp = FeaturePipeline::hiring(8);
+        let no_lineage = fp.fit_run(&inputs(&s), false).unwrap();
+        let valid = no_lineage.dataset.clone();
+        assert!(datascope_importance(&no_lineage, &valid, "train_df", 60, 1).is_err());
+        let with_lineage = fp.fit_run(&inputs(&s), true).unwrap();
+        assert!(
+            datascope_importance(&with_lineage, &valid, "no_such_source", 60, 1).is_err()
+        );
+    }
+
+    #[test]
+    fn side_table_importance_also_computable() {
+        let s = HiringScenario::generate(100, 27);
+        let valid_s = HiringScenario::generate(50, 28);
+        let mut fp = FeaturePipeline::hiring(8);
+        let train_out = fp.fit_run(&inputs(&s), true).unwrap();
+        let valid_out = fp.transform_run(&inputs(&valid_s), false).unwrap();
+        // Importance of jobdetail rows: a job hosting many letters aggregates
+        // the importance of all of them.
+        let scores = datascope_importance(
+            &train_out,
+            &valid_out.dataset,
+            "jobdetail_df",
+            s.job_details.n_rows(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(scores.len(), s.job_details.n_rows());
+        assert!(scores.values.iter().any(|&v| v != 0.0));
+    }
+}

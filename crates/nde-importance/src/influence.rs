@@ -1,0 +1,209 @@
+//! Influence functions for binary logistic regression (Koh & Liang, ICML'17).
+//!
+//! The influence of up-weighting a training point `z` on the validation loss
+//! is `I(z) = −∇_θ L_valid · H⁻¹ ∇_θ ℓ(z)`. Removing a harmful point
+//! *reduces* validation loss, so harmful points get *negative* importance
+//! under the sign convention used here (importance = −I, higher = helpful).
+
+use crate::common::ImportanceScores;
+use crate::{ImportanceError, Result};
+use nde_ml::dataset::Dataset;
+use nde_ml::linalg::{dot, solve, Matrix};
+
+/// Configuration for the influence-function computation.
+#[derive(Debug, Clone)]
+pub struct InfluenceConfig {
+    /// L2 regularization used for training and as Hessian damping.
+    pub l2: f64,
+    /// Full-batch gradient-descent steps for the internal trainer.
+    pub train_steps: usize,
+    /// Learning rate of the internal trainer.
+    pub learning_rate: f64,
+}
+
+impl Default for InfluenceConfig {
+    fn default() -> Self {
+        InfluenceConfig {
+            l2: 1e-3,
+            train_steps: 500,
+            learning_rate: 0.5,
+        }
+    }
+}
+
+/// Influence-based importance of every training example for binary
+/// classification (labels 0/1). Returns `−I(z)` so that, consistently with
+/// the other methods, *higher is more helpful*.
+pub fn influence_importance(
+    train: &Dataset,
+    valid: &Dataset,
+    config: &InfluenceConfig,
+) -> Result<ImportanceScores> {
+    if train.n_classes != 2 {
+        return Err(ImportanceError::Unsupported(
+            "influence functions implemented for binary classification".into(),
+        ));
+    }
+    if train.is_empty() || valid.is_empty() {
+        return Err(ImportanceError::InvalidArgument(
+            "train and valid must be non-empty".into(),
+        ));
+    }
+    let n = train.len();
+    let d = train.dim() + 1; // weights + bias
+
+    // --- Train binary logistic regression by full-batch GD (deterministic).
+    let mut theta = vec![0.0; d];
+    for _ in 0..config.train_steps {
+        let mut grad = vec![0.0; d];
+        for (x, &y) in train.x.iter_rows().zip(&train.y) {
+            let p = sigmoid(margin(&theta, x));
+            let err = p - y as f64;
+            for (g, xi) in grad.iter_mut().zip(x) {
+                *g += err * xi;
+            }
+            grad[d - 1] += err;
+        }
+        for (j, g) in grad.iter_mut().enumerate() {
+            *g = *g / n as f64 + config.l2 * theta[j];
+        }
+        for (t, g) in theta.iter_mut().zip(&grad) {
+            *t -= config.learning_rate * g;
+        }
+    }
+
+    // --- Hessian of the (mean) training loss at theta, plus damping.
+    // H = 1/n Σ p(1−p) x̃ x̃ᵀ + l2 I, with x̃ = [x; 1].
+    let mut h = Matrix::zeros(d, d);
+    let mut xt = vec![0.0; d];
+    for x in train.x.iter_rows() {
+        xt[..d - 1].copy_from_slice(x);
+        xt[d - 1] = 1.0;
+        let p = sigmoid(margin(&theta, x));
+        let w = p * (1.0 - p);
+        for a in 0..d {
+            let wa = w * xt[a];
+            if wa == 0.0 {
+                continue;
+            }
+            let row = h.row_mut(a);
+            for (b, &xb) in xt.iter().enumerate() {
+                row[b] += wa * xb;
+            }
+        }
+    }
+    for a in 0..d {
+        for b in 0..d {
+            let v = h.get(a, b) / n as f64;
+            h.set(a, b, v);
+        }
+        let v = h.get(a, a) + config.l2;
+        h.set(a, a, v);
+    }
+
+    // --- Validation-loss gradient.
+    let mut gv = vec![0.0; d];
+    for (x, &y) in valid.x.iter_rows().zip(&valid.y) {
+        let p = sigmoid(margin(&theta, x));
+        let err = p - y as f64;
+        for (g, xi) in gv.iter_mut().zip(x) {
+            *g += err * xi;
+        }
+        gv[d - 1] += err;
+    }
+    for g in &mut gv {
+        *g /= valid.len() as f64;
+    }
+
+    // --- s = H⁻¹ g_valid (one solve, reused for all points).
+    let s = solve(&h, &gv).map_err(|e| ImportanceError::Ml(e.to_string()))?;
+
+    // --- Per-point influence: I(z) = −s · ∇ℓ(z); importance = −I = s · ∇ℓ(z).
+    let mut values = Vec::with_capacity(n);
+    for (x, &y) in train.x.iter_rows().zip(&train.y) {
+        let p = sigmoid(margin(&theta, x));
+        let err = p - y as f64;
+        // ∇ℓ(z) = err * x̃ (per-example loss gradient, ignoring the shared L2
+        // term which is constant across examples).
+        let mut dot_sx = 0.0;
+        for (si, xi) in s.iter().take(d - 1).zip(x) {
+            dot_sx += si * xi;
+        }
+        dot_sx += s[d - 1];
+        // Importance = −I(z) = −(−s·∇ℓ) = s·∇ℓ... with the convention that
+        // removing a point changes loss by +I(z)/n; harmful points have
+        // s·∇ℓ < 0.
+        values.push(err * dot_sx);
+    }
+    Ok(ImportanceScores::new("influence", values))
+}
+
+#[inline]
+fn margin(theta: &[f64], x: &[f64]) -> f64 {
+    dot(&theta[..x.len()], x) + theta[x.len()]
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_data::generate::blobs::two_gaussians;
+
+    fn blobs_with_flips(n: usize, flips: &[usize]) -> (Dataset, Dataset, Vec<usize>) {
+        let nd = two_gaussians(n + 60, 2, 4.0, 11);
+        let all = Dataset::try_from(&nd).unwrap();
+        let mut train = all.subset(&(0..n).collect::<Vec<_>>());
+        let valid = all.subset(&(n..n + 60).collect::<Vec<_>>());
+        for &f in flips {
+            train.y[f] = 1 - train.y[f];
+        }
+        (train, valid, flips.to_vec())
+    }
+
+    #[test]
+    fn flipped_labels_get_lowest_influence_importance() {
+        let flips = vec![3, 17, 42];
+        let (train, valid, truth) = blobs_with_flips(80, &flips);
+        let scores =
+            influence_importance(&train, &valid, &InfluenceConfig::default()).unwrap();
+        let bottom = scores.bottom_k(3);
+        let hits = bottom.iter().filter(|i| truth.contains(i)).count();
+        assert!(hits >= 2, "bottom={bottom:?} truth={truth:?}");
+    }
+
+    #[test]
+    fn clean_data_has_mostly_positive_scores() {
+        let (train, valid, _) = blobs_with_flips(60, &[]);
+        let scores =
+            influence_importance(&train, &valid, &InfluenceConfig::default()).unwrap();
+        let negative = scores.values.iter().filter(|&&v| v < -1e-6).count();
+        assert!(negative < 30, "{negative} strongly negative scores on clean data");
+    }
+
+    #[test]
+    fn multiclass_rejected() {
+        let train = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![0, 1, 2],
+            3,
+        )
+        .unwrap();
+        let valid = train.clone();
+        assert!(matches!(
+            influence_importance(&train, &valid, &InfluenceConfig::default()),
+            Err(ImportanceError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (train, valid, _) = blobs_with_flips(40, &[5]);
+        let a = influence_importance(&train, &valid, &InfluenceConfig::default()).unwrap();
+        let b = influence_importance(&train, &valid, &InfluenceConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Exact, closed-form KNN-Shapley (Jia et al., VLDB'19).
+//!
+//! For a K-nearest-neighbor utility, the Shapley value of every training
+//! point has a closed form computable in `O(n log n)` per validation point —
+//! the efficiency trick highlighted in §2.1 of the paper and the workhorse
+//! of the Fig. 2 hands-on demo.
+
+use crate::common::ImportanceScores;
+use crate::{ImportanceError, Result};
+use nde_ml::dataset::Dataset;
+use nde_ml::linalg::squared_distance;
+
+/// Exact KNN-Shapley values of all training examples with respect to the
+/// K-NN utility (probability of the correct label among the K neighbors),
+/// averaged over all validation points.
+///
+/// The per-validation-point recursion (training points sorted by distance,
+/// nearest first, 1-indexed):
+///
+/// ```text
+/// s[n]   = 1[y_n = y] / n
+/// s[i]   = s[i+1] + (1[y_i = y] − 1[y_{i+1} = y]) / K · min(K, i) / i
+/// ```
+pub fn knn_shapley(train: &Dataset, valid: &Dataset, k: usize) -> Result<ImportanceScores> {
+    if k == 0 {
+        return Err(ImportanceError::InvalidArgument("k must be >= 1".into()));
+    }
+    if train.is_empty() || valid.is_empty() {
+        return Err(ImportanceError::InvalidArgument(
+            "train and valid must be non-empty".into(),
+        ));
+    }
+    if train.dim() != valid.dim() {
+        return Err(ImportanceError::InvalidArgument(format!(
+            "dimension mismatch: train {} vs valid {}",
+            train.dim(),
+            valid.dim()
+        )));
+    }
+    let n = train.len();
+    let kf = k as f64;
+    let mut totals = vec![0.0; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut dists: Vec<f64> = vec![0.0; n];
+    let mut s = vec![0.0; n];
+
+    for (vx, &vy) in valid.x.iter_rows().zip(&valid.y) {
+        for (i, tx) in train.x.iter_rows().enumerate() {
+            dists[i] = squared_distance(tx, vx);
+        }
+        order.sort_by(|&a, &b| {
+            dists[a]
+                .partial_cmp(&dists[b])
+                .expect("finite distances")
+                .then(a.cmp(&b))
+        });
+        // Recursion over the sorted order (position p is 1-indexed as p+1).
+        let matches = |p: usize| -> f64 {
+            if train.y[order[p]] == vy {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        s[n - 1] = matches(n - 1) / n as f64;
+        for p in (0..n - 1).rev() {
+            let i = (p + 1) as f64; // 1-indexed position of this element
+            s[p] = s[p + 1] + (matches(p) - matches(p + 1)) / kf * kf.min(i) / i;
+        }
+        for p in 0..n {
+            totals[order[p]] += s[p];
+        }
+    }
+
+    let m = valid.len() as f64;
+    let values = totals.into_iter().map(|v| v / m).collect();
+    Ok(ImportanceScores::new("knn-shapley", values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapley_mc::{tmc_shapley, ShapleyConfig};
+    use nde_data::generate::blobs::two_gaussians;
+    use nde_ml::models::knn::KnnClassifier;
+
+    fn toy() -> (Dataset, Dataset) {
+        let train = Dataset::from_rows(
+            vec![
+                vec![0.0],
+                vec![0.2],
+                vec![10.0],
+                vec![10.2],
+                vec![0.1], // mislabelled
+            ],
+            vec![0, 0, 1, 1, 1],
+            2,
+        )
+        .unwrap();
+        let valid = Dataset::from_rows(
+            vec![vec![0.04], vec![0.12], vec![10.14], vec![9.93]],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        (train, valid)
+    }
+
+    #[test]
+    fn efficiency_axiom_exact() {
+        // Shapley values must sum to U(D) − U(∅). For the KNN utility used
+        // here, U(D) is the mean correct-neighbor fraction and U(∅) = 0.
+        let (train, valid) = toy();
+        let k = 2;
+        let scores = knn_shapley(&train, &valid, k).unwrap();
+        let sum: f64 = scores.values.iter().sum();
+        // Compute U(D) directly: mean over valid of (#correct among k nn)/k.
+        let mut knn = KnnClassifier::new(k);
+        use nde_ml::model::Classifier;
+        knn.fit(&train).unwrap();
+        let mut u = 0.0;
+        for (vx, &vy) in valid.x.iter_rows().zip(&valid.y) {
+            let nb = knn.neighbors(vx);
+            let correct = nb.iter().filter(|&&i| train.y[i] == vy).count();
+            u += correct as f64 / k as f64;
+        }
+        u /= valid.len() as f64;
+        assert!((sum - u).abs() < 1e-9, "sum={sum} u={u}");
+    }
+
+    #[test]
+    fn mislabelled_point_ranked_last() {
+        let (train, valid) = toy();
+        let scores = knn_shapley(&train, &valid, 1).unwrap();
+        assert_eq!(scores.bottom_k(1), vec![4]);
+        assert!(scores.values[4] < 0.0);
+    }
+
+    #[test]
+    fn agrees_with_monte_carlo_on_ranking() {
+        // TMC-Shapley with a 1-NN model should produce a similar ranking.
+        let (train, valid) = toy();
+        let exact = knn_shapley(&train, &valid, 1).unwrap();
+        let cfg = ShapleyConfig {
+            permutations: 400,
+            truncation_tolerance: 0.0,
+            seed: 5,
+            threads: 1,
+        };
+        let mc = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        let corr = exact.rank_correlation(&mc);
+        assert!(corr > 0.6, "rank correlation {corr}");
+    }
+
+    #[test]
+    fn scales_to_moderate_data() {
+        let nd = two_gaussians(600, 4, 4.0, 9);
+        let all = Dataset::try_from(&nd).unwrap();
+        let train = all.subset(&(0..500).collect::<Vec<_>>());
+        let valid = all.subset(&(500..600).collect::<Vec<_>>());
+        let scores = knn_shapley(&train, &valid, 5).unwrap();
+        assert_eq!(scores.len(), 500);
+        assert!(scores.values.iter().all(|v| v.is_finite()));
+        // Average value should be positive (data is clean and useful).
+        let mean: f64 = scores.values.iter().sum::<f64>() / 500.0;
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let (train, valid) = toy();
+        assert!(knn_shapley(&train, &valid, 0).is_err());
+        let empty = train.subset(&[]);
+        assert!(knn_shapley(&empty, &valid, 1).is_err());
+        assert!(knn_shapley(&train, &empty, 1).is_err());
+        let wrong_dim = Dataset::from_rows(vec![vec![0.0, 1.0]], vec![0], 2).unwrap();
+        assert!(knn_shapley(&train, &wrong_dim, 1).is_err());
+    }
+
+    #[test]
+    fn k_equal_n_still_finite() {
+        let (train, valid) = toy();
+        let scores = knn_shapley(&train, &valid, train.len()).unwrap();
+        assert!(scores.values.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,43 @@
+//! # nde-importance
+//!
+//! Data-importance methods for identifying harmful training examples
+//! (paper §2.1), plus the pipeline-aware Datascope method (§2.2).
+//!
+//! Implemented methods:
+//!
+//! * [`loo`] — leave-one-out scores;
+//! * [`shapley_mc`] — truncated Monte-Carlo Data Shapley (Ghorbani & Zou '19);
+//! * [`knn_shapley`] — exact, closed-form KNN-Shapley (Jia et al. '19);
+//! * [`banzhaf`] — Data Banzhaf with the maximum-sample-reuse estimator
+//!   (Wang & Jia '23);
+//! * [`beta_shapley`] — Beta(α,β)-weighted semivalues (Kwon & Zou '21);
+//! * [`influence`] — influence functions for logistic regression
+//!   (Koh & Liang '17);
+//! * [`aum`] — area-under-the-margin mislabel detection (Pleiss et al. '20);
+//! * [`confident`] — confident learning (Northcutt et al. '21);
+//! * [`group`] — group Shapley over data partitions;
+//! * [`datascope`] — KNN-Shapley over ML pipelines, pushed back to pipeline
+//!   *source* tuples via provenance (Karlaš et al. '23);
+//! * [`fairness_debug`] — Gopher-style interpretable fairness explanations
+//!   (Pradhan et al. '22).
+//!
+//! Scores follow one convention throughout: **higher = more valuable**;
+//! injected errors concentrate at the *bottom* of the ranking.
+
+pub mod aum;
+pub mod banzhaf;
+pub mod beta_shapley;
+pub mod common;
+pub mod confident;
+pub mod datascope;
+pub mod fairness_debug;
+pub mod group;
+pub mod influence;
+pub mod knn_shapley;
+pub mod loo;
+pub mod shapley_mc;
+
+pub use common::{bottom_k, detection_precision_at_k, ImportanceError, ImportanceScores};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, ImportanceError>;

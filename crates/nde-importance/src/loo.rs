@@ -1,0 +1,89 @@
+//! Leave-one-out (LOO) importance: the simplest data valuation.
+
+use crate::common::ImportanceScores;
+use crate::Result;
+use nde_ml::dataset::Dataset;
+use nde_ml::model::{utility, Classifier};
+
+/// LOO importance of every training example:
+/// `score(i) = U(train) − U(train \ {i})`, where `U` is validation accuracy
+/// of a fresh clone of `template` trained on the given subset.
+///
+/// Positive scores mean the example helps; harmful (e.g. mislabelled)
+/// examples get negative scores. Cost: `n + 1` retrainings.
+pub fn loo_importance<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+) -> Result<ImportanceScores> {
+    let full = utility(template, train, valid)?;
+    let mut values = Vec::with_capacity(train.len());
+    for i in 0..train.len() {
+        let without = train.without(i);
+        let u = if without.is_empty() {
+            0.0
+        } else {
+            utility(template, &without, valid)?
+        };
+        values.push(full - u);
+    }
+    Ok(ImportanceScores::new("loo", values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_ml::models::knn::KnnClassifier;
+
+    /// A tiny dataset where one training point is clearly mislabelled.
+    fn toy_with_error() -> (Dataset, Dataset) {
+        let train = Dataset::from_rows(
+            vec![
+                vec![0.0],
+                vec![0.2],
+                vec![0.4],
+                vec![10.0],
+                vec![10.2],
+                vec![0.3], // mislabelled: sits in the class-0 cluster
+            ],
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+        )
+        .unwrap();
+        let valid = Dataset::from_rows(
+            vec![vec![0.04], vec![0.26], vec![9.93], vec![10.13]],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        (train, valid)
+    }
+
+    #[test]
+    fn mislabelled_point_gets_lowest_score() {
+        let (train, valid) = toy_with_error();
+        let scores = loo_importance(&KnnClassifier::new(1), &train, &valid).unwrap();
+        assert_eq!(scores.len(), 6);
+        assert_eq!(scores.bottom_k(1), vec![5]);
+        assert!(scores.values[5] < 0.0);
+    }
+
+    #[test]
+    fn clean_redundant_points_score_near_zero() {
+        let (train, valid) = toy_with_error();
+        let scores = loo_importance(&KnnClassifier::new(1), &train, &valid).unwrap();
+        // Points 0..3 are redundant cluster members; removing one changes little.
+        for i in 0..3 {
+            assert!(scores.values[i].abs() <= 0.25, "i={i} {:?}", scores.values);
+        }
+    }
+
+    #[test]
+    fn works_with_single_example_train() {
+        let train = Dataset::from_rows(vec![vec![0.0], vec![5.0]], vec![0, 1], 2).unwrap();
+        let valid = Dataset::from_rows(vec![vec![0.0]], vec![0], 2).unwrap();
+        let scores = loo_importance(&KnnClassifier::new(1), &train, &valid).unwrap();
+        assert_eq!(scores.len(), 2);
+        assert!(scores.values.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,273 @@
+//! Truncated Monte-Carlo Data Shapley (Ghorbani & Zou, ICML'19).
+//!
+//! Samples random permutations of the training data and accumulates the
+//! marginal utility of adding each example to the prefix before it.
+//! Truncation skips the tail of a permutation once the prefix utility is
+//! within `truncation_tolerance` of the full-data utility (the marginal
+//! contributions there are ≈ 0). Permutations are distributed over worker
+//! threads; determinism is preserved via per-permutation child seeds.
+
+use crate::common::ImportanceScores;
+use crate::{ImportanceError, Result};
+use nde_data::rng::{child_seed, seeded};
+use nde_ml::dataset::Dataset;
+use nde_ml::model::{utility, Classifier};
+use rand::seq::SliceRandom;
+
+/// Configuration for the TMC-Shapley estimator.
+#[derive(Debug, Clone)]
+pub struct ShapleyConfig {
+    /// Number of sampled permutations.
+    pub permutations: usize,
+    /// Truncate a permutation once `|U(prefix) − U(full)|` falls below this.
+    pub truncation_tolerance: f64,
+    /// Base seed (each permutation uses a derived child seed).
+    pub seed: u64,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for ShapleyConfig {
+    fn default() -> Self {
+        ShapleyConfig {
+            permutations: 100,
+            truncation_tolerance: 0.01,
+            seed: 0,
+            threads: 1,
+        }
+    }
+}
+
+/// TMC-Shapley values of all training examples, with utility = accuracy of a
+/// fresh `template` clone on `valid`.
+pub fn tmc_shapley<C>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &ShapleyConfig,
+) -> Result<ImportanceScores>
+where
+    C: Classifier + Send + Sync,
+{
+    if config.permutations == 0 {
+        return Err(ImportanceError::InvalidArgument(
+            "need at least one permutation".into(),
+        ));
+    }
+    if train.is_empty() {
+        return Err(ImportanceError::InvalidArgument("empty training set".into()));
+    }
+    let n = train.len();
+    let full_utility = utility(template, train, valid)?;
+    let threads = config.threads.max(1).min(config.permutations);
+
+    // Partition permutation indices across workers.
+    let totals: Vec<f64> = if threads == 1 {
+        run_permutations(
+            template,
+            train,
+            valid,
+            full_utility,
+            config,
+            0,
+            config.permutations,
+        )?
+    } else {
+        let chunk = config.permutations.div_ceil(threads);
+        let results: Vec<Result<Vec<f64>>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(config.permutations);
+                if start >= end {
+                    break;
+                }
+                handles.push(scope.spawn(move || {
+                    run_permutations(template, train, valid, full_utility, config, start, end)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let mut acc = vec![0.0; n];
+        for r in results {
+            for (a, v) in acc.iter_mut().zip(r?) {
+                *a += v;
+            }
+        }
+        acc
+    };
+
+    let values = totals
+        .into_iter()
+        .map(|v| v / config.permutations as f64)
+        .collect();
+    Ok(ImportanceScores::new("tmc-shapley", values))
+}
+
+/// Accumulate marginal contributions over permutations `[start, end)`.
+fn run_permutations<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    full_utility: f64,
+    config: &ShapleyConfig,
+    start: usize,
+    end: usize,
+) -> Result<Vec<f64>> {
+    let n = train.len();
+    let mut totals = vec![0.0; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    for p in start..end {
+        let mut rng = seeded(child_seed(config.seed, p as u64));
+        // Reset to the identity before shuffling so permutation `p` depends
+        // only on its child seed — not on which worker ran the previous one.
+        for (slot, v) in order.iter_mut().enumerate() {
+            *v = slot;
+        }
+        order.shuffle(&mut rng);
+        prefix.clear();
+        // Empty-prefix utility: majority prediction is undefined with zero
+        // data; use 0 utility, matching the convention U(∅) = 0.
+        let mut prev_u = 0.0;
+        let mut truncated = false;
+        for &i in &order {
+            if truncated {
+                // Marginal contribution treated as 0.
+                continue;
+            }
+            prefix.push(i);
+            let subset = train.subset(&prefix);
+            let u = utility(template, &subset, valid)?;
+            totals[i] += u - prev_u;
+            prev_u = u;
+            if (full_utility - u).abs() < config.truncation_tolerance {
+                truncated = true;
+            }
+        }
+    }
+    Ok(totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_ml::models::knn::KnnClassifier;
+
+    fn toy() -> (Dataset, Dataset) {
+        let train = Dataset::from_rows(
+            vec![
+                vec![0.0],
+                vec![0.2],
+                vec![10.0],
+                vec![10.2],
+                vec![0.1], // mislabelled
+            ],
+            vec![0, 0, 1, 1, 1],
+            2,
+        )
+        .unwrap();
+        let valid = Dataset::from_rows(
+            vec![vec![0.04], vec![0.12], vec![10.14], vec![9.93]],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        (train, valid)
+    }
+
+    #[test]
+    fn mislabelled_point_has_lowest_shapley_value() {
+        let (train, valid) = toy();
+        let cfg = ShapleyConfig {
+            permutations: 200,
+            truncation_tolerance: 0.0,
+            seed: 1,
+            threads: 1,
+        };
+        let scores = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        assert_eq!(scores.bottom_k(1), vec![4]);
+        assert!(scores.values[4] < 0.0);
+        // Clean points have positive value.
+        assert!(scores.values[0] > 0.0);
+        assert!(scores.values[2] > 0.0);
+    }
+
+    #[test]
+    fn efficiency_axiom_approximately_holds() {
+        // Sum of Shapley values = U(full) − U(∅) = U(full).
+        let (train, valid) = toy();
+        let cfg = ShapleyConfig {
+            permutations: 500,
+            truncation_tolerance: 0.0,
+            seed: 2,
+            threads: 1,
+        };
+        let scores = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        let sum: f64 = scores.values.iter().sum();
+        let full = utility(&KnnClassifier::new(1), &train, &valid).unwrap();
+        // With no truncation, every permutation's marginals telescope to
+        // exactly U(full), so this holds to floating-point error.
+        assert!((sum - full).abs() < 1e-9, "sum={sum} full={full}");
+    }
+
+    #[test]
+    fn deterministic_and_parallel_consistent() {
+        let (train, valid) = toy();
+        let mut cfg = ShapleyConfig {
+            permutations: 60,
+            truncation_tolerance: 0.0,
+            seed: 3,
+            threads: 1,
+        };
+        let a = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        let b = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        assert_eq!(a, b);
+        // Same result regardless of thread count (work is seed-partitioned).
+        cfg.threads = 4;
+        let c = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        for (x, y) in a.values.iter().zip(&c.values) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncation_reduces_no_worse_than_tolerance() {
+        let (train, valid) = toy();
+        let exact_cfg = ShapleyConfig {
+            permutations: 300,
+            truncation_tolerance: 0.0,
+            seed: 4,
+            threads: 1,
+        };
+        let trunc_cfg = ShapleyConfig {
+            truncation_tolerance: 0.05,
+            ..exact_cfg.clone()
+        };
+        let exact = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &exact_cfg).unwrap();
+        let trunc = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &trunc_cfg).unwrap();
+        // Rankings agree on the harmful point.
+        assert_eq!(exact.bottom_k(1), trunc.bottom_k(1));
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let (train, valid) = toy();
+        let cfg = ShapleyConfig {
+            permutations: 0,
+            ..Default::default()
+        };
+        assert!(tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).is_err());
+        let empty = train.subset(&[]);
+        assert!(tmc_shapley(
+            &KnnClassifier::new(1),
+            &empty,
+            &valid,
+            &ShapleyConfig::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the Shapley axioms on random datasets.
+
+use nde_importance::knn_shapley::knn_shapley;
+use nde_ml::dataset::Dataset;
+use nde_ml::model::Classifier;
+use nde_ml::models::knn::KnnClassifier;
+use proptest::prelude::*;
+
+/// Random tiny binary dataset with distinct-ish 1-D features.
+fn dataset_strategy(n: std::ops::Range<usize>) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(((-100i32..100), any::<bool>()), n).prop_map(|points| {
+        // Spread duplicates apart deterministically so distances are stable.
+        let rows: Vec<Vec<f64>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, (x, _))| vec![*x as f64 + i as f64 * 1e-4])
+            .collect();
+        let labels: Vec<usize> = points.iter().map(|(_, b)| usize::from(*b)).collect();
+        Dataset::from_rows(rows, labels, 2).expect("well-formed")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knn_shapley_efficiency_axiom(
+        train in dataset_strategy(2..20),
+        valid in dataset_strategy(1..10),
+        k in 1usize..4,
+    ) {
+        prop_assume!(train.y.contains(&0) && train.y.contains(&1));
+        prop_assume!(k <= train.len());
+        let scores = knn_shapley(&train, &valid, k).expect("computes");
+        let sum: f64 = scores.values.iter().sum();
+        // U(D): mean over validation of correct-neighbor fraction among the
+        // k nearest (the utility the closed form is exact for).
+        let mut knn = KnnClassifier::new(k);
+        knn.fit(&train).expect("fits");
+        let mut u = 0.0;
+        for (vx, &vy) in valid.x.iter_rows().zip(&valid.y) {
+            let nb = knn.neighbors(vx);
+            let correct = nb.iter().filter(|&&i| train.y[i] == vy).count();
+            u += correct as f64 / k as f64;
+        }
+        u /= valid.len() as f64;
+        // Efficiency: Σφ = U(D) − U(∅) with U(∅) = 0.
+        prop_assert!(
+            (sum - u).abs() < 1e-9,
+            "sum {sum} vs U(D) {u} (n={}, k={k})", train.len()
+        );
+    }
+
+    #[test]
+    fn knn_shapley_symmetry_for_duplicates(
+        train in dataset_strategy(3..12),
+        valid in dataset_strategy(1..8),
+    ) {
+        prop_assume!(train.y.contains(&0) && train.y.contains(&1));
+        // Append an exact duplicate of row 0 (same features AND label):
+        // symmetric players must receive (near-)equal value. The closed form
+        // breaks distance ties by index, so allow a small tolerance.
+        let mut rows: Vec<Vec<f64>> = train.x.iter_rows().map(|r| r.to_vec()).collect();
+        let mut labels = train.y.clone();
+        rows.push(rows[0].clone());
+        labels.push(labels[0]);
+        let n = rows.len();
+        let dup = Dataset::from_rows(rows, labels, 2).expect("well-formed");
+        let scores = knn_shapley(&dup, &valid, 1).expect("computes");
+        let a = scores.values[0];
+        let b = scores.values[n - 1];
+        prop_assert!(
+            (a - b).abs() < 0.5,
+            "duplicate values diverged: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn scores_are_finite_and_bounded(
+        train in dataset_strategy(2..25),
+        valid in dataset_strategy(1..10),
+        k in 1usize..5,
+    ) {
+        prop_assume!(train.y.contains(&0) && train.y.contains(&1));
+        let scores = knn_shapley(&train, &valid, k).expect("computes");
+        for &v in &scores.values {
+            prop_assert!(v.is_finite());
+            // A single point's value is bounded by 1 in magnitude for the
+            // 0/1-bounded utility.
+            prop_assert!(v.abs() <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Feature encoding: turning [`nde_data::Table`]s into numeric matrices.
+//!
+//! Mirrors the tutorial's `ColumnTransformer` pipeline (paper Fig. 3): numeric
+//! columns are imputed and standardized, categorical columns imputed and
+//! one-hot encoded, and free text embedded with a hashed bag-of-words encoder
+//! standing in for SentenceBERT. Every encoder is **fit on training data**
+//! and then applied to any conformant table, and every transform is row-wise
+//! 1:1 (which is what makes provenance tracking through the encode stage
+//! trivial).
+
+pub mod impute;
+pub mod one_hot;
+pub mod scaler;
+pub mod table_encoder;
+pub mod text_hash;
+
+pub use impute::{CategoricalImputer, NumericImputer, NumericImputation};
+pub use one_hot::OneHotEncoder;
+pub use scaler::StandardScaler;
+pub use table_encoder::{ColumnEncoder, EncoderSpec, TableEncoder};
+pub use text_hash::HashedTextEncoder;

@@ -1,0 +1,86 @@
+//! Standardization of numeric features.
+
+use crate::{MlError, Result};
+
+/// A fitted standard scaler: `x ↦ (x - mean) / std`, with a zero-variance
+/// guard that maps constant columns to zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    mean: f64,
+    std: f64,
+}
+
+impl StandardScaler {
+    /// Fit over observed values (post-imputation, so no nulls expected).
+    pub fn fit(values: &[f64]) -> Result<StandardScaler> {
+        if values.is_empty() {
+            return Err(MlError::InvalidArgument(
+                "cannot fit a scaler on an empty column".into(),
+            ));
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Ok(StandardScaler {
+            mean,
+            std: var.sqrt(),
+        })
+    }
+
+    /// The learned `(mean, std)`.
+    pub fn params(&self) -> (f64, f64) {
+        (self.mean, self.std)
+    }
+
+    /// Standardize one value.
+    #[inline]
+    pub fn transform_one(&self, v: f64) -> f64 {
+        if self.std < 1e-12 {
+            0.0
+        } else {
+            (v - self.mean) / self.std
+        }
+    }
+
+    /// Invert the transform (used to map interval bounds back to raw units).
+    #[inline]
+    pub fn inverse_one(&self, z: f64) -> f64 {
+        self.mean + z * self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let vals = vec![2.0, 4.0, 6.0, 8.0];
+        let s = StandardScaler::fit(&vals).unwrap();
+        let z: Vec<f64> = vals.iter().map(|&v| s.transform_one(v)).collect();
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|v| v * v).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let s = StandardScaler::fit(&[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(s.transform_one(5.0), 0.0);
+        assert_eq!(s.transform_one(99.0), 0.0);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let s = StandardScaler::fit(&[1.0, 3.0, 5.0]).unwrap();
+        for v in [1.0, 2.5, 5.0] {
+            assert!((s.inverse_one(s.transform_one(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(StandardScaler::fit(&[]).is_err());
+    }
+}

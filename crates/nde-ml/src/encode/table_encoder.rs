@@ -1,0 +1,389 @@
+//! The table-to-matrix feature encoder (the tutorial's `ColumnTransformer`).
+
+use crate::encode::impute::{CategoricalImputer, NumericImputation, NumericImputer};
+use crate::encode::one_hot::OneHotEncoder;
+use crate::encode::scaler::StandardScaler;
+use crate::encode::text_hash::HashedTextEncoder;
+use crate::linalg::Matrix;
+use crate::{MlError, Result};
+use nde_data::Table;
+
+/// Per-column encoding strategy.
+#[derive(Debug, Clone)]
+pub enum ColumnEncoder {
+    /// Impute then standardize a numeric column.
+    Numeric {
+        /// Imputation strategy for missing values.
+        impute: NumericImputation,
+        /// Whether to standardize to zero mean / unit variance.
+        scale: bool,
+    },
+    /// Impute (mode or constant) then one-hot encode a categorical column.
+    OneHot {
+        /// Fill category for nulls; `None` means mode imputation.
+        fill: Option<String>,
+    },
+    /// Hashed bag-of-words embedding of a text column (nulls ⇒ zero vector).
+    TextHash {
+        /// Embedding dimensionality.
+        dims: usize,
+    },
+    /// Boolean column to 0/1 (nulls ⇒ 0).
+    Bool,
+}
+
+/// A named column plus its encoding strategy.
+#[derive(Debug, Clone)]
+pub struct EncoderSpec {
+    /// Source column name.
+    pub column: String,
+    /// How to encode it.
+    pub encoder: ColumnEncoder,
+}
+
+impl EncoderSpec {
+    /// Convenience constructor.
+    pub fn new(column: impl Into<String>, encoder: ColumnEncoder) -> EncoderSpec {
+        EncoderSpec {
+            column: column.into(),
+            encoder,
+        }
+    }
+}
+
+/// Fitted per-column state.
+#[derive(Debug, Clone)]
+enum FittedColumn {
+    Numeric {
+        imputer: NumericImputer,
+        scaler: Option<StandardScaler>,
+    },
+    OneHot {
+        imputer: CategoricalImputer,
+        encoder: OneHotEncoder,
+    },
+    TextHash(HashedTextEncoder),
+    Bool,
+}
+
+impl FittedColumn {
+    fn dim(&self) -> usize {
+        match self {
+            FittedColumn::Numeric { .. } | FittedColumn::Bool => 1,
+            FittedColumn::OneHot { encoder, .. } => encoder.dim(),
+            FittedColumn::TextHash(enc) => enc.dim(),
+        }
+    }
+}
+
+/// Encodes a table into a dense feature matrix, column spec by column spec.
+///
+/// Transforms are strictly row-wise: output row `i` is derived from input row
+/// `i` only, so provenance through this stage is the identity mapping.
+#[derive(Debug, Clone)]
+pub struct TableEncoder {
+    specs: Vec<EncoderSpec>,
+    fitted: Vec<FittedColumn>,
+}
+
+impl TableEncoder {
+    /// Create an unfitted encoder from column specs.
+    pub fn new(specs: Vec<EncoderSpec>) -> TableEncoder {
+        TableEncoder {
+            specs,
+            fitted: Vec::new(),
+        }
+    }
+
+    /// Fit all per-column encoders on `table`.
+    pub fn fit(&mut self, table: &Table) -> Result<()> {
+        if self.specs.is_empty() {
+            return Err(MlError::InvalidArgument("no encoder specs given".into()));
+        }
+        let mut fitted = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let col = table.column(&spec.column)?;
+            let state = match &spec.encoder {
+                ColumnEncoder::Numeric { impute, scale } => {
+                    let values = col.to_f64_vec();
+                    let mut imputer = NumericImputer::new(*impute);
+                    imputer.fit(&values)?;
+                    let scaler = if *scale {
+                        let filled = imputer.transform(&values)?;
+                        Some(StandardScaler::fit(&filled)?)
+                    } else {
+                        None
+                    };
+                    FittedColumn::Numeric { imputer, scaler }
+                }
+                ColumnEncoder::OneHot { fill } => {
+                    let values = col.as_str_slice().ok_or_else(|| {
+                        MlError::InvalidArgument(format!(
+                            "one-hot column `{}` must be a string column",
+                            spec.column
+                        ))
+                    })?;
+                    let mut imputer = match fill {
+                        Some(f) => CategoricalImputer::constant(f.clone()),
+                        None => CategoricalImputer::mode(),
+                    };
+                    imputer.fit(values)?;
+                    // Fit categories over imputed values so the fill category
+                    // gets its own dimension.
+                    let imputed: Vec<Option<String>> = values
+                        .iter()
+                        .map(|v| {
+                            Ok(Some(
+                                imputer.transform_one(v.as_deref())?.to_owned(),
+                            ))
+                        })
+                        .collect::<Result<_>>()?;
+                    let encoder = OneHotEncoder::fit(&imputed)?;
+                    FittedColumn::OneHot { imputer, encoder }
+                }
+                ColumnEncoder::TextHash { dims } => {
+                    if col.as_str_slice().is_none() {
+                        return Err(MlError::InvalidArgument(format!(
+                            "text column `{}` must be a string column",
+                            spec.column
+                        )));
+                    }
+                    FittedColumn::TextHash(HashedTextEncoder::new(*dims))
+                }
+                ColumnEncoder::Bool => {
+                    if col.as_bool_slice().is_none() {
+                        return Err(MlError::InvalidArgument(format!(
+                            "bool column `{}` must be a bool column",
+                            spec.column
+                        )));
+                    }
+                    FittedColumn::Bool
+                }
+            };
+            fitted.push(state);
+        }
+        self.fitted = fitted;
+        Ok(())
+    }
+
+    /// Total output dimensionality.
+    pub fn dim(&self) -> Result<usize> {
+        if self.fitted.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        Ok(self.fitted.iter().map(FittedColumn::dim).sum())
+    }
+
+    /// Human-readable names for each output dimension.
+    pub fn feature_names(&self) -> Result<Vec<String>> {
+        if self.fitted.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let mut names = Vec::new();
+        for (spec, f) in self.specs.iter().zip(&self.fitted) {
+            match f {
+                FittedColumn::Numeric { .. } => names.push(spec.column.clone()),
+                FittedColumn::Bool => names.push(spec.column.clone()),
+                FittedColumn::OneHot { encoder, .. } => {
+                    for c in encoder.categories() {
+                        names.push(format!("{}={}", spec.column, c));
+                    }
+                }
+                FittedColumn::TextHash(enc) => {
+                    for i in 0..enc.dim() {
+                        names.push(format!("{}#h{}", spec.column, i));
+                    }
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    /// Transform a conformant table into a feature matrix (rows preserved 1:1).
+    pub fn transform(&self, table: &Table) -> Result<Matrix> {
+        if self.fitted.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let n = table.n_rows();
+        let d = self.dim()?;
+        let mut out = Matrix::zeros(n, d);
+        let mut offset = 0;
+        for (spec, f) in self.specs.iter().zip(&self.fitted) {
+            let col = table.column(&spec.column)?;
+            match f {
+                FittedColumn::Numeric { imputer, scaler } => {
+                    let values = col.to_f64_vec();
+                    for (i, v) in values.iter().enumerate() {
+                        let mut x = imputer.transform_one(*v)?;
+                        if let Some(s) = scaler {
+                            x = s.transform_one(x);
+                        }
+                        out.row_mut(i)[offset] = x;
+                    }
+                    offset += 1;
+                }
+                FittedColumn::Bool => {
+                    let values = col.as_bool_slice().ok_or_else(|| {
+                        MlError::InvalidArgument(format!(
+                            "bool column `{}` changed type",
+                            spec.column
+                        ))
+                    })?;
+                    for (i, v) in values.iter().enumerate() {
+                        out.row_mut(i)[offset] = match v {
+                            Some(true) => 1.0,
+                            _ => 0.0,
+                        };
+                    }
+                    offset += 1;
+                }
+                FittedColumn::OneHot { imputer, encoder } => {
+                    let values = col.as_str_slice().ok_or_else(|| {
+                        MlError::InvalidArgument(format!(
+                            "one-hot column `{}` changed type",
+                            spec.column
+                        ))
+                    })?;
+                    let w = encoder.dim();
+                    for (i, v) in values.iter().enumerate() {
+                        let cat = imputer.transform_one(v.as_deref())?;
+                        encoder.encode_into(cat, &mut out.row_mut(i)[offset..offset + w]);
+                    }
+                    offset += w;
+                }
+                FittedColumn::TextHash(enc) => {
+                    let values = col.as_str_slice().ok_or_else(|| {
+                        MlError::InvalidArgument(format!(
+                            "text column `{}` changed type",
+                            spec.column
+                        ))
+                    })?;
+                    let w = enc.dim();
+                    for (i, v) in values.iter().enumerate() {
+                        let text = v.as_deref().unwrap_or("");
+                        enc.encode_into(text, &mut out.row_mut(i)[offset..offset + w]);
+                    }
+                    offset += w;
+                }
+            }
+        }
+        debug_assert_eq!(offset, d);
+        Ok(out)
+    }
+
+    /// Fit on `table` and transform it in one call.
+    pub fn fit_transform(&mut self, table: &Table) -> Result<Matrix> {
+        self.fit(table)?;
+        self.transform(table)
+    }
+
+    /// A ready-made encoder for the hiring scenario's letters table,
+    /// mirroring the Fig. 3 `ColumnTransformer`.
+    pub fn for_letters(text_dims: usize) -> TableEncoder {
+        TableEncoder::new(vec![
+            EncoderSpec::new("letter_text", ColumnEncoder::TextHash { dims: text_dims }),
+            EncoderSpec::new("degree", ColumnEncoder::OneHot { fill: None }),
+            EncoderSpec::new(
+                "employer_rating",
+                ColumnEncoder::Numeric {
+                    impute: NumericImputation::Mean,
+                    scale: true,
+                },
+            ),
+            EncoderSpec::new(
+                "years_experience",
+                ColumnEncoder::Numeric {
+                    impute: NumericImputation::Mean,
+                    scale: true,
+                },
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_data::generate::hiring::HiringScenario;
+    use nde_data::Value;
+
+    #[test]
+    fn letters_encoder_end_to_end() {
+        let t = HiringScenario::generate(100, 1).letters;
+        let mut enc = TableEncoder::for_letters(32);
+        let x = enc.fit_transform(&t).unwrap();
+        assert_eq!(x.rows(), 100);
+        // 32 text + 3 degrees + 2 numeric.
+        assert_eq!(x.cols(), 37);
+        assert_eq!(enc.feature_names().unwrap().len(), 37);
+        assert!(enc
+            .feature_names()
+            .unwrap()
+            .contains(&"degree=phd".to_string()));
+    }
+
+    #[test]
+    fn transform_is_rowwise_deterministic() {
+        let t = HiringScenario::generate(50, 2).letters;
+        let mut enc = TableEncoder::for_letters(16);
+        let a = enc.fit_transform(&t).unwrap();
+        let b = enc.transform(&t).unwrap();
+        assert_eq!(a, b);
+        // Transforming a subset matches the corresponding rows.
+        let sub = t.take(&[5, 10]).unwrap();
+        let xs = enc.transform(&sub).unwrap();
+        assert_eq!(xs.row(0), a.row(5));
+        assert_eq!(xs.row(1), a.row(10));
+    }
+
+    #[test]
+    fn nulls_are_imputed() {
+        let mut t = HiringScenario::generate(60, 3).letters;
+        t.set(0, "employer_rating", Value::Null).unwrap();
+        t.set(0, "degree", Value::Null).unwrap();
+        let mut enc = TableEncoder::for_letters(8);
+        let x = enc.fit_transform(&t).unwrap();
+        assert!(x.row(0).iter().all(|v| v.is_finite()));
+        // One-hot of imputed degree is still a valid one-hot (sums to 1).
+        let onehot_sum: f64 = x.row(0)[8..11].iter().sum();
+        assert_eq!(onehot_sum, 1.0);
+    }
+
+    #[test]
+    fn unfitted_and_bad_specs_rejected() {
+        let t = HiringScenario::generate(10, 4).letters;
+        let enc = TableEncoder::for_letters(8);
+        assert!(enc.transform(&t).is_err());
+        assert!(enc.dim().is_err());
+        let mut empty = TableEncoder::new(vec![]);
+        assert!(empty.fit(&t).is_err());
+        let mut bad = TableEncoder::new(vec![EncoderSpec::new(
+            "person_id",
+            ColumnEncoder::OneHot { fill: None },
+        )]);
+        assert!(bad.fit(&t).is_err());
+        let mut missing = TableEncoder::new(vec![EncoderSpec::new(
+            "no_such",
+            ColumnEncoder::Bool,
+        )]);
+        assert!(missing.fit(&t).is_err());
+    }
+
+    #[test]
+    fn scaling_produces_standardized_columns() {
+        let t = HiringScenario::generate(200, 5).letters;
+        let mut enc = TableEncoder::new(vec![EncoderSpec::new(
+            "employer_rating",
+            ColumnEncoder::Numeric {
+                impute: NumericImputation::Mean,
+                scale: true,
+            },
+        )]);
+        let x = enc.fit_transform(&t).unwrap();
+        let vals: Vec<f64> = (0..x.rows()).map(|i| x.get(i, 0)).collect();
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! Hashed bag-of-words text embedding.
+//!
+//! The tutorial encodes recommendation letters with SentenceBERT; we
+//! substitute signed feature hashing (the "hashing trick"): each lowercase
+//! word token is hashed to a dimension and a sign, counts are accumulated and
+//! the vector L2-normalized. This preserves the property the tutorial needs —
+//! texts with similar word usage land close together in feature space — and
+//! is fully deterministic with no external model.
+
+use nde_data::fxhash::hash_bytes;
+
+/// A stateless hashed text encoder with a fixed output dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashedTextEncoder {
+    dims: usize,
+}
+
+impl HashedTextEncoder {
+    /// Create an encoder with `dims` output dimensions (≥ 1).
+    pub fn new(dims: usize) -> HashedTextEncoder {
+        HashedTextEncoder { dims: dims.max(1) }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dims
+    }
+
+    /// Encode text into `out` (must have length [`Self::dim`]).
+    pub fn encode_into(&self, text: &str, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.dims);
+        out.fill(0.0);
+        for token in tokenize(text) {
+            let h = hash_bytes(token.as_bytes());
+            let idx = (h % self.dims as u64) as usize;
+            let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+            out[idx] += sign;
+        }
+        // L2 normalize so letter length doesn't dominate distances.
+        let norm: f64 = out.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for v in out.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+
+    /// Encode text into a fresh vector.
+    pub fn encode(&self, text: &str) -> Vec<f64> {
+        let mut out = vec![0.0; self.dims];
+        self.encode_into(text, &mut out);
+        out
+    }
+}
+
+/// Lowercased alphanumeric word tokens of a text.
+fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_data::generate::letters::{generate_letter, Sentiment};
+    use nde_data::rng::seeded;
+
+    #[test]
+    fn deterministic_and_normalized() {
+        let enc = HashedTextEncoder::new(64);
+        let a = enc.encode("the quick brown fox");
+        let b = enc.encode("the quick brown fox");
+        assert_eq!(a, b);
+        let norm: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tokenization_case_and_punctuation_insensitive() {
+        let enc = HashedTextEncoder::new(64);
+        assert_eq!(enc.encode("Hello, World!"), enc.encode("hello world"));
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let enc = HashedTextEncoder::new(16);
+        assert_eq!(enc.encode(""), vec![0.0; 16]);
+        assert_eq!(enc.encode("!!!"), vec![0.0; 16]);
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_dissimilar() {
+        let enc = HashedTextEncoder::new(128);
+        let a = enc.encode("delivered outstanding results under pressure");
+        let b = enc.encode("delivered outstanding results under stress");
+        let c = enc.encode("frequently missed important deadlines");
+        let dist = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        assert!(dist(&a, &b) < dist(&a, &c));
+    }
+
+    #[test]
+    fn sentiment_classes_separate_in_hash_space() {
+        // Positive letters should be mutually closer than cross-sentiment pairs
+        // on average: the property the KNN classifier relies on.
+        let enc = HashedTextEncoder::new(256);
+        let mut rng = seeded(3);
+        let pos: Vec<Vec<f64>> = (0..20)
+            .map(|_| enc.encode(&generate_letter(Sentiment::Positive, 1.0, &mut rng)))
+            .collect();
+        let neg: Vec<Vec<f64>> = (0..20)
+            .map(|_| enc.encode(&generate_letter(Sentiment::Negative, 1.0, &mut rng)))
+            .collect();
+        let dist = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let mut wn = 0.0;
+        let mut an = 0.0;
+        for i in 0..20 {
+            for j in 0..20 {
+                if i < j {
+                    within += dist(&pos[i], &pos[j]) + dist(&neg[i], &neg[j]);
+                    wn += 2.0;
+                }
+                across += dist(&pos[i], &neg[j]);
+                an += 1.0;
+            }
+        }
+        assert!(within / wn < across / an);
+    }
+}

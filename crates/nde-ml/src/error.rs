@@ -1,0 +1,76 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+/// Errors produced by models, encoders and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Feature dimensionalities disagree (e.g. predict vs. fit).
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Provided dimensionality.
+        got: usize,
+    },
+    /// The training set was empty or otherwise unusable.
+    EmptyTrainingSet,
+    /// A label was outside `0..n_classes`.
+    InvalidLabel {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the dataset declares.
+        n_classes: usize,
+    },
+    /// The model was used before `fit` was called.
+    NotFitted,
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// A wrapped data-substrate error (encoding tables, etc.).
+    Data(String),
+    /// Numerical failure (singular matrix, divergence, ...).
+    Numerical(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::InvalidLabel { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            MlError::NotFitted => write!(f, "model used before fit()"),
+            MlError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MlError::Data(msg) => write!(f, "data error: {msg}"),
+            MlError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<nde_data::DataError> for MlError {
+    fn from(e: nde_data::DataError) -> Self {
+        MlError::Data(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e = MlError::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        let d: MlError = nde_data::DataError::UnknownColumn("x".into()).into();
+        assert!(matches!(d, MlError::Data(_)));
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MlError::NotFitted);
+    }
+}

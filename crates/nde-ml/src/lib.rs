@@ -1,0 +1,36 @@
+//! # nde-ml
+//!
+//! From-scratch machine-learning substrate for the *navigating-data-errors*
+//! toolkit: dense linear algebra, classic classifiers (KNN, logistic
+//! regression, naive Bayes, decision trees), feature encoders that turn
+//! [`nde_data::Table`]s into numeric matrices (including a hashed text
+//! embedding standing in for the tutorial's sentence encoder), and the
+//! quality-metric suite from Fig. 1 of the paper (correctness, fairness and
+//! stability metrics).
+//!
+//! ```
+//! use nde_ml::dataset::Dataset;
+//! use nde_ml::models::knn::KnnClassifier;
+//! use nde_ml::model::Classifier;
+//!
+//! let x = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]];
+//! let data = Dataset::from_rows(x, vec![0, 0, 1, 1], 2).unwrap();
+//! let mut knn = KnnClassifier::new(1);
+//! knn.fit(&data).unwrap();
+//! assert_eq!(knn.predict_one(&[4.9, 5.2]), 1);
+//! ```
+
+pub mod dataset;
+pub mod encode;
+pub mod error;
+pub mod linalg;
+pub mod metrics;
+pub mod model;
+pub mod models;
+
+pub use dataset::Dataset;
+pub use error::MlError;
+pub use model::Classifier;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, MlError>;

@@ -1,0 +1,399 @@
+//! Dense row-major matrices and the handful of linear-algebra routines the
+//! models need (dot products, norms, Gaussian elimination, Cholesky).
+
+use crate::{MlError, Result};
+
+/// A dense row-major `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from row vectors (all must have equal length).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Matrix> {
+        let n = rows.len();
+        let d = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * d);
+        for r in &rows {
+            if r.len() != d {
+                return Err(MlError::DimensionMismatch {
+                    expected: d,
+                    got: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { data, rows: n, cols: d })
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Result<Matrix> {
+        if data.len() != rows * cols {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// New matrix containing the selected rows (repeats allowed).
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (oi, &i) in indices.iter().enumerate() {
+            out.row_mut(oi).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(MlError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        Ok(self.iter_rows().map(|r| dot(r, x)).collect())
+    }
+
+    /// `Aᵀ A + lambda I`, the Gram matrix used by ridge/influence solves.
+    pub fn gram_regularized(&self, lambda: f64) -> Matrix {
+        let d = self.cols;
+        let mut g = Matrix::zeros(d, d);
+        for r in self.iter_rows() {
+            for i in 0..d {
+                let ri = r[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                let grow = g.row_mut(i);
+                for (j, &rj) in r.iter().enumerate() {
+                    grow[j] += ri * rj;
+                }
+            }
+        }
+        for i in 0..d {
+            g.data[i * d + i] += lambda;
+        }
+        g
+    }
+}
+
+/// Dot product of equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (AXPY).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Squared Euclidean distance between equal-length slices.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Solve the linear system `A x = b` by Gaussian elimination with partial
+/// pivoting. `A` must be square.
+#[allow(clippy::needless_range_loop)] // triangular index patterns
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MlError::InvalidArgument("solve requires a square matrix".into()));
+    }
+    if b.len() != n {
+        return Err(MlError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
+    }
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m.get(r, col).abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+            .expect("non-empty range");
+        if pivot_val < 1e-12 {
+            return Err(MlError::Numerical("singular matrix in solve".into()));
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = m.get(col, j);
+                m.set(col, j, m.get(pivot_row, j));
+                m.set(pivot_row, j, tmp);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m.get(col, col);
+        for r in col + 1..n {
+            let factor = m.get(r, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = m.get(r, j) - factor * m.get(col, j);
+                m.set(r, j, v);
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        for j in i + 1..n {
+            s -= m.get(i, j) * x[j];
+        }
+        x[i] = s / m.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `L Lᵀ = A`.
+#[allow(clippy::needless_range_loop)] // triangular index patterns
+pub fn cholesky(a: &Matrix) -> Result<Matrix> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MlError::InvalidArgument("cholesky requires a square matrix".into()));
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(MlError::Numerical(format!(
+                        "matrix not positive definite at pivot {i} (s={s})"
+                    )));
+                }
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Column means of a matrix.
+pub fn column_means(m: &Matrix) -> Vec<f64> {
+    let mut means = vec![0.0; m.cols()];
+    for r in m.iter_rows() {
+        axpy(1.0, r, &mut means);
+    }
+    let n = m.rows().max(1) as f64;
+    for v in &mut means {
+        *v /= n;
+    }
+    means
+}
+
+/// Column standard deviations (population) of a matrix.
+pub fn column_stds(m: &Matrix, means: &[f64]) -> Vec<f64> {
+    let mut vars = vec![0.0; m.cols()];
+    for r in m.iter_rows() {
+        for (v, (x, mu)) in vars.iter_mut().zip(r.iter().zip(means)) {
+            let d = x - mu;
+            *v += d * d;
+        }
+    }
+    let n = m.rows().max(1) as f64;
+    vars.iter().map(|v| (v / n).sqrt()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert!(Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_vec(vec![1.0; 5], 2, 2).is_err());
+    }
+
+    #[test]
+    fn take_rows_and_iter() {
+        let m = Matrix::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let t = m.take_rows(&[2, 0, 2]);
+        assert_eq!(t.row(0), &[3.0]);
+        assert_eq!(t.row(2), &[3.0]);
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn dot_axpy_norm_distance() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn matvec_checks_dims() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 1.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = Matrix::from_rows(vec![
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ])
+        .unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the first diagonal element forces a row swap.
+        let a = Matrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_singular() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(MlError::Numerical(_))));
+    }
+
+    #[test]
+    fn cholesky_factorizes_spd() {
+        let a = Matrix::from_rows(vec![
+            vec![4.0, 2.0],
+            vec![2.0, 3.0],
+        ])
+        .unwrap();
+        let l = cholesky(&a).unwrap();
+        // Reconstruct L L^T.
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..2 {
+                    s += l.get(i, k) * l.get(j, k);
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+        let not_spd = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(cholesky(&not_spd).is_err());
+    }
+
+    #[test]
+    fn gram_matches_definition() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let g = m.gram_regularized(0.5);
+        // A^T A = [[10, 14], [14, 20]] plus 0.5 I.
+        assert_eq!(g.get(0, 0), 10.5);
+        assert_eq!(g.get(0, 1), 14.0);
+        assert_eq!(g.get(1, 1), 20.5);
+    }
+
+    #[test]
+    fn column_stats() {
+        let m = Matrix::from_rows(vec![vec![1.0, 10.0], vec![3.0, 10.0]]).unwrap();
+        let means = column_means(&m);
+        assert_eq!(means, vec![2.0, 10.0]);
+        let stds = column_stds(&m, &means);
+        assert_eq!(stds, vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Calibration metrics.
+
+use super::check_same_len;
+use crate::{MlError, Result};
+
+/// Expected calibration error (ECE) with equal-width confidence bins.
+///
+/// For each example the *confidence* is the probability assigned to the
+/// predicted (argmax) class; ECE is the bin-weighted mean absolute gap
+/// between confidence and empirical accuracy.
+pub fn expected_calibration_error(
+    y_true: &[usize],
+    probas: &[Vec<f64>],
+    n_bins: usize,
+) -> Result<f64> {
+    check_same_len(y_true.len(), probas.len())?;
+    if n_bins == 0 {
+        return Err(MlError::InvalidArgument("n_bins must be > 0".into()));
+    }
+    let mut bin_conf = vec![0.0; n_bins];
+    let mut bin_acc = vec![0.0; n_bins];
+    let mut bin_count = vec![0usize; n_bins];
+    for (&t, p) in y_true.iter().zip(probas) {
+        if p.is_empty() {
+            return Err(MlError::InvalidArgument("empty probability row".into()));
+        }
+        let (pred, &conf) = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        let bin = ((conf * n_bins as f64) as usize).min(n_bins - 1);
+        bin_conf[bin] += conf;
+        bin_acc[bin] += if pred == t { 1.0 } else { 0.0 };
+        bin_count[bin] += 1;
+    }
+    let n = y_true.len() as f64;
+    let mut ece = 0.0;
+    for b in 0..n_bins {
+        if bin_count[b] == 0 {
+            continue;
+        }
+        let c = bin_count[b] as f64;
+        ece += (c / n) * (bin_acc[b] / c - bin_conf[b] / c).abs();
+    }
+    Ok(ece)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_and_correct() {
+        let y = vec![1, 0];
+        let p = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let ece = expected_calibration_error(&y, &p, 10).unwrap();
+        assert!(ece.abs() < 1e-12);
+    }
+
+    #[test]
+    fn confident_but_wrong_has_high_ece() {
+        let y = vec![0, 0];
+        let p = vec![vec![0.05, 0.95], vec![0.05, 0.95]];
+        let ece = expected_calibration_error(&y, &p, 10).unwrap();
+        assert!((ece - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halfway_confidence_with_half_accuracy_is_calibrated() {
+        // Confidence 0.6, accuracy 0.5 → gap 0.1.
+        let y = vec![1, 0];
+        let p = vec![vec![0.4, 0.6], vec![0.4, 0.6]];
+        let ece = expected_calibration_error(&y, &p, 5).unwrap();
+        assert!((ece - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(expected_calibration_error(&[0], &[vec![1.0]], 0).is_err());
+        assert!(expected_calibration_error(&[0, 1], &[vec![1.0]], 5).is_err());
+        assert!(expected_calibration_error(&[0], &[vec![]], 5).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Correctness metrics: accuracy, confusion matrix, precision/recall/F1.
+
+use super::check_same_len;
+use crate::Result;
+
+/// Fraction of predictions equal to the true label.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> Result<f64> {
+    check_same_len(y_true.len(), y_pred.len())?;
+    let correct = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    Ok(correct as f64 / y_true.len() as f64)
+}
+
+/// Confusion matrix `m[true][pred]` over `n_classes`.
+pub fn confusion_matrix(
+    y_true: &[usize],
+    y_pred: &[usize],
+    n_classes: usize,
+) -> Result<Vec<Vec<usize>>> {
+    check_same_len(y_true.len(), y_pred.len())?;
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        if t >= n_classes || p >= n_classes {
+            return Err(crate::MlError::InvalidLabel {
+                label: t.max(p),
+                n_classes,
+            });
+        }
+        m[t][p] += 1;
+    }
+    Ok(m)
+}
+
+/// Precision and recall of class `positive` (one-vs-rest).
+/// Undefined ratios (no predicted / no actual positives) default to 0.
+pub fn precision_recall(y_true: &[usize], y_pred: &[usize], positive: usize) -> Result<(f64, f64)> {
+    check_same_len(y_true.len(), y_pred.len())?;
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        match (t == positive, p == positive) {
+            (true, true) => tp += 1.0,
+            (false, true) => fp += 1.0,
+            (true, false) => fn_ += 1.0,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+    Ok((precision, recall))
+}
+
+/// F1 score of class `positive` (harmonic mean of precision and recall).
+pub fn f1_score(y_true: &[usize], y_pred: &[usize], positive: usize) -> Result<f64> {
+    let (p, r) = precision_recall(y_true, y_pred, positive)?;
+    Ok(if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]).unwrap(), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]).unwrap(), 1.0);
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn confusion_counts_cells() {
+        let m = confusion_matrix(&[0, 0, 1, 1], &[0, 1, 1, 1], 2).unwrap();
+        assert_eq!(m, vec![vec![1, 1], vec![0, 2]]);
+        assert!(confusion_matrix(&[0, 5], &[0, 0], 2).is_err());
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        // TP=2, FP=1, FN=1 for class 1.
+        let y_true = vec![1, 1, 1, 0, 0];
+        let y_pred = vec![1, 1, 0, 1, 0];
+        let (p, r) = precision_recall(&y_true, &y_pred, 1).unwrap();
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        let f1 = f1_score(&y_true, &y_pred, 1).unwrap();
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_default_to_zero() {
+        // Nothing predicted positive.
+        let (p, r) = precision_recall(&[1, 1], &[0, 0], 1).unwrap();
+        assert_eq!((p, r), (0.0, 0.0));
+        assert_eq!(f1_score(&[1, 1], &[0, 0], 1).unwrap(), 0.0);
+        // No actual positives.
+        let (p, r) = precision_recall(&[0, 0], &[1, 0], 1).unwrap();
+        assert_eq!(p, 0.0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let y = vec![0, 1, 0, 1];
+        assert_eq!(accuracy(&y, &y).unwrap(), 1.0);
+        assert_eq!(f1_score(&y, &y, 1).unwrap(), 1.0);
+    }
+}

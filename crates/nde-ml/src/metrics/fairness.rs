@@ -1,0 +1,156 @@
+//! Group-fairness metrics (paper Fig. 1: equalized odds, predictive parity).
+//!
+//! All metrics return a *score* in `[0, 1]` where `1` means perfectly fair
+//! (zero gap between groups) — the orientation used by the Fig. 1 table.
+
+use super::check_same_len;
+use crate::{MlError, Result};
+
+/// Per-group rates needed by the fairness metrics.
+struct GroupRates {
+    tpr: f64,
+    fpr: f64,
+    ppv: f64,
+    positive_rate: f64,
+    n: usize,
+}
+
+fn group_rates(y_true: &[usize], y_pred: &[usize], groups: &[usize]) -> Result<Vec<GroupRates>> {
+    check_same_len(y_true.len(), y_pred.len())?;
+    check_same_len(y_true.len(), groups.len())?;
+    let n_groups = groups.iter().copied().max().unwrap_or(0) + 1;
+    if n_groups < 2 {
+        return Err(MlError::InvalidArgument(
+            "fairness metrics need at least two groups".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(n_groups);
+    for g in 0..n_groups {
+        let (mut tp, mut fp, mut tn, mut fn_) = (0.0, 0.0, 0.0, 0.0);
+        let mut n = 0usize;
+        for ((&t, &p), &gr) in y_true.iter().zip(y_pred).zip(groups) {
+            if gr != g {
+                continue;
+            }
+            n += 1;
+            match (t == 1, p == 1) {
+                (true, true) => tp += 1.0,
+                (false, true) => fp += 1.0,
+                (false, false) => tn += 1.0,
+                (true, false) => fn_ += 1.0,
+            }
+        }
+        let safe = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        out.push(GroupRates {
+            tpr: safe(tp, tp + fn_),
+            fpr: safe(fp, fp + tn),
+            ppv: safe(tp, tp + fp),
+            positive_rate: safe(tp + fp, n as f64),
+            n,
+        });
+    }
+    Ok(out)
+}
+
+/// Maximum pairwise gap of a per-group statistic, over non-empty groups.
+fn max_gap(rates: &[GroupRates], f: impl Fn(&GroupRates) -> f64) -> f64 {
+    let vals: Vec<f64> = rates.iter().filter(|r| r.n > 0).map(f).collect();
+    if vals.len() < 2 {
+        return 0.0;
+    }
+    let max = vals.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let min = vals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    max - min
+}
+
+/// Equalized-odds score: `1 - max(TPR gap, FPR gap)` across groups.
+/// Treats class 1 as the positive class.
+pub fn equalized_odds(y_true: &[usize], y_pred: &[usize], groups: &[usize]) -> Result<f64> {
+    let rates = group_rates(y_true, y_pred, groups)?;
+    let gap = max_gap(&rates, |r| r.tpr).max(max_gap(&rates, |r| r.fpr));
+    Ok(1.0 - gap)
+}
+
+/// Predictive-parity score: `1 - max precision (PPV) gap` across groups.
+pub fn predictive_parity(y_true: &[usize], y_pred: &[usize], groups: &[usize]) -> Result<f64> {
+    let rates = group_rates(y_true, y_pred, groups)?;
+    Ok(1.0 - max_gap(&rates, |r| r.ppv))
+}
+
+/// Demographic-parity difference: max gap in positive-prediction rates
+/// (0 = perfectly equal rates; this one is a *difference*, not a score).
+pub fn demographic_parity_diff(
+    y_true: &[usize],
+    y_pred: &[usize],
+    groups: &[usize],
+) -> Result<f64> {
+    let rates = group_rates(y_true, y_pred, groups)?;
+    Ok(max_gap(&rates, |r| r.positive_rate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_fair_classifier_scores_one() {
+        // Identical behaviour in both groups.
+        let y_true = vec![1, 0, 1, 0];
+        let y_pred = vec![1, 0, 1, 0];
+        let groups = vec![0, 0, 1, 1];
+        assert_eq!(equalized_odds(&y_true, &y_pred, &groups).unwrap(), 1.0);
+        assert_eq!(predictive_parity(&y_true, &y_pred, &groups).unwrap(), 1.0);
+        assert_eq!(
+            demographic_parity_diff(&y_true, &y_pred, &groups).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn maximally_unfair_tpr_gap() {
+        // Group 0: TPR 1; group 1: TPR 0.
+        let y_true = vec![1, 1, 1, 1];
+        let y_pred = vec![1, 1, 0, 0];
+        let groups = vec![0, 0, 1, 1];
+        assert_eq!(equalized_odds(&y_true, &y_pred, &groups).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn predictive_parity_uses_precision() {
+        // Group 0: predictions all correct (PPV 1). Group 1: half wrong (PPV 0.5).
+        let y_true = vec![1, 1, 1, 0];
+        let y_pred = vec![1, 1, 1, 1];
+        let groups = vec![0, 0, 1, 1];
+        let pp = predictive_parity(&y_true, &y_pred, &groups).unwrap();
+        assert!((pp - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demographic_parity_counts_prediction_rates() {
+        // Group 0 predicted positive 100%, group 1 never.
+        let y_true = vec![0, 0, 0, 0];
+        let y_pred = vec![1, 1, 0, 0];
+        let groups = vec![0, 0, 1, 1];
+        assert_eq!(
+            demographic_parity_diff(&y_true, &y_pred, &groups).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn single_group_rejected_and_empty_groups_skipped() {
+        let y = vec![1, 0];
+        assert!(equalized_odds(&y, &y, &[0, 0]).is_err());
+        // Group ids 0 and 2 present, 1 empty: empty group ignored.
+        let y_true = vec![1, 0, 1, 0];
+        let y_pred = vec![1, 0, 1, 0];
+        let groups = vec![0, 0, 2, 2];
+        assert_eq!(equalized_odds(&y_true, &y_pred, &groups).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(equalized_odds(&[1, 0], &[1], &[0, 1]).is_err());
+        assert!(predictive_parity(&[1, 0], &[1, 0], &[0]).is_err());
+    }
+}

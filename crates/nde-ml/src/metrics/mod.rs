@@ -1,0 +1,93 @@
+//! Quality metrics for predictive queries.
+//!
+//! Fig. 1 of the paper evaluates pipelines with three metric families:
+//! *correctness* (accuracy, F1), *fairness* (equalized odds, predictive
+//! parity) and *stability* (prediction entropy). This module implements all
+//! of them plus regression metrics and calibration error.
+
+pub mod calibration;
+pub mod classification;
+pub mod fairness;
+pub mod ranking;
+pub mod regression;
+pub mod stability;
+
+pub use calibration::expected_calibration_error;
+pub use classification::{accuracy, confusion_matrix, f1_score, precision_recall};
+pub use fairness::{demographic_parity_diff, equalized_odds, predictive_parity};
+pub use ranking::roc_auc;
+pub use regression::{mean_absolute_error, mean_squared_error, r2_score};
+pub use stability::prediction_entropy;
+
+/// The Fig. 1 metric bundle computed in one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Classification accuracy.
+    pub accuracy: f64,
+    /// F1 score of the positive class (class 1).
+    pub f1: f64,
+    /// Equalized-odds *score* in `[0,1]`: 1 minus the max TPR/FPR gap between groups.
+    pub equalized_odds: f64,
+    /// Predictive-parity score in `[0,1]`: 1 minus the max precision gap.
+    pub predictive_parity: f64,
+    /// Mean prediction entropy (normalized to `[0,1]`).
+    pub entropy: f64,
+}
+
+/// Compute the full Fig. 1 metric bundle.
+///
+/// `probas` are per-example class distributions, `groups` assigns each
+/// example to a sensitive group (e.g. a demographic attribute).
+pub fn quality_report(
+    y_true: &[usize],
+    y_pred: &[usize],
+    probas: &[Vec<f64>],
+    groups: &[usize],
+) -> crate::Result<QualityReport> {
+    Ok(QualityReport {
+        accuracy: accuracy(y_true, y_pred)?,
+        f1: f1_score(y_true, y_pred, 1)?,
+        equalized_odds: equalized_odds(y_true, y_pred, groups)?,
+        predictive_parity: predictive_parity(y_true, y_pred, groups)?,
+        entropy: prediction_entropy(probas)?,
+    })
+}
+
+pub(crate) fn check_same_len(a: usize, b: usize) -> crate::Result<()> {
+    if a != b {
+        return Err(crate::MlError::DimensionMismatch {
+            expected: a,
+            got: b,
+        });
+    }
+    if a == 0 {
+        return Err(crate::MlError::InvalidArgument(
+            "metrics need at least one example".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_report_bundles_metrics() {
+        let y_true = vec![1, 0, 1, 0];
+        let y_pred = vec![1, 0, 0, 0];
+        let probas = vec![
+            vec![0.1, 0.9],
+            vec![0.8, 0.2],
+            vec![0.6, 0.4],
+            vec![0.9, 0.1],
+        ];
+        let groups = vec![0, 0, 1, 1];
+        let r = quality_report(&y_true, &y_pred, &probas, &groups).unwrap();
+        assert_eq!(r.accuracy, 0.75);
+        assert!(r.f1 > 0.0 && r.f1 < 1.0);
+        assert!((0.0..=1.0).contains(&r.equalized_odds));
+        assert!((0.0..=1.0).contains(&r.predictive_parity));
+        assert!((0.0..=1.0).contains(&r.entropy));
+    }
+}

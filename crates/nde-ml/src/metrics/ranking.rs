@@ -1,0 +1,97 @@
+//! Ranking metrics: ROC-AUC.
+
+use super::check_same_len;
+use crate::{MlError, Result};
+
+/// Area under the ROC curve for binary classification, from positive-class
+/// scores. Computed via the Mann–Whitney statistic with midrank handling of
+/// ties: `AUC = (R⁺ − n⁺(n⁺+1)/2) / (n⁺ n⁻)`.
+pub fn roc_auc(y_true: &[usize], positive_scores: &[f64]) -> Result<f64> {
+    check_same_len(y_true.len(), positive_scores.len())?;
+    if y_true.iter().any(|&y| y > 1) {
+        return Err(MlError::InvalidArgument(
+            "roc_auc requires binary labels (0/1)".into(),
+        ));
+    }
+    let n_pos = y_true.iter().filter(|&&y| y == 1).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(MlError::InvalidArgument(
+            "roc_auc requires both classes present".into(),
+        ));
+    }
+    // Midranks over the scores.
+    let mut order: Vec<usize> = (0..y_true.len()).collect();
+    order.sort_by(|&a, &b| {
+        positive_scores[a]
+            .partial_cmp(&positive_scores[b])
+            .expect("finite scores")
+    });
+    let mut ranks = vec![0.0; y_true.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len()
+            && positive_scores[order[j + 1]] == positive_scores[order[i]]
+        {
+            j += 1;
+        }
+        // Ranks i+1 ..= j+1 share the midrank.
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|(&y, _)| y == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    let auc =
+        (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64);
+    Ok(auc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_one() {
+        let y = vec![0, 0, 1, 1];
+        let s = vec![0.1, 0.2, 0.8, 0.9];
+        assert_eq!(roc_auc(&y, &s).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_gives_zero() {
+        let y = vec![1, 1, 0, 0];
+        let s = vec![0.1, 0.2, 0.8, 0.9];
+        assert_eq!(roc_auc(&y, &s).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn random_constant_scores_give_half() {
+        let y = vec![0, 1, 0, 1, 0, 1];
+        let s = vec![0.5; 6];
+        assert!((roc_auc(&y, &s).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_intermediate_value() {
+        // One inverted (pos, neg) pair among 2x2: AUC = 3/4.
+        let y = vec![0, 1, 0, 1];
+        let s = vec![0.1, 0.3, 0.35, 0.8];
+        assert!((roc_auc(&y, &s).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(roc_auc(&[0, 0], &[0.1, 0.2]).is_err());
+        assert!(roc_auc(&[1, 1], &[0.1, 0.2]).is_err());
+        assert!(roc_auc(&[0, 2], &[0.1, 0.2]).is_err());
+        assert!(roc_auc(&[0, 1], &[0.1]).is_err());
+    }
+}

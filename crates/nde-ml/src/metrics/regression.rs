@@ -1,0 +1,84 @@
+//! Regression metrics.
+
+use super::check_same_len;
+use crate::Result;
+
+/// Mean squared error.
+pub fn mean_squared_error(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_same_len(y_true.len(), y_pred.len())?;
+    Ok(y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64)
+}
+
+/// Mean absolute error.
+pub fn mean_absolute_error(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_same_len(y_true.len(), y_pred.len())?;
+    Ok(y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64)
+}
+
+/// Coefficient of determination R². A constant true vector yields 0 when
+/// predictions are also perfect, else can be negative.
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_same_len(y_true.len(), y_pred.len())?;
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot < 1e-24 {
+        return Ok(if ss_res < 1e-24 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(mean_squared_error(&y, &y).unwrap(), 0.0);
+        assert_eq!(mean_absolute_error(&y, &y).unwrap(), 0.0);
+        assert_eq!(r2_score(&y, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let t = vec![0.0, 0.0];
+        let p = vec![1.0, -1.0];
+        assert_eq!(mean_squared_error(&t, &p).unwrap(), 1.0);
+        assert_eq!(mean_absolute_error(&t, &p).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let t = vec![1.0, 2.0, 3.0];
+        let p = vec![2.0, 2.0, 2.0];
+        assert!(r2_score(&t, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_constant_target_edge_case() {
+        let t = vec![5.0, 5.0];
+        assert_eq!(r2_score(&t, &[5.0, 5.0]).unwrap(), 1.0);
+        assert_eq!(r2_score(&t, &[4.0, 6.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(mean_squared_error(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(r2_score(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Stability metrics: prediction entropy.
+
+use crate::{MlError, Result};
+
+/// Mean Shannon entropy of the per-example class distributions, normalized by
+/// `ln(n_classes)` so the result lies in `[0, 1]`. Low entropy = confident,
+/// stable predictions (the Fig. 1 table reports `entropy 0.16`).
+pub fn prediction_entropy(probas: &[Vec<f64>]) -> Result<f64> {
+    if probas.is_empty() {
+        return Err(MlError::InvalidArgument(
+            "entropy needs at least one distribution".into(),
+        ));
+    }
+    let k = probas[0].len();
+    if k < 2 {
+        return Err(MlError::InvalidArgument(
+            "entropy needs at least two classes".into(),
+        ));
+    }
+    let norm = (k as f64).ln();
+    let mut total = 0.0;
+    for (i, p) in probas.iter().enumerate() {
+        if p.len() != k {
+            return Err(MlError::DimensionMismatch {
+                expected: k,
+                got: p.len(),
+            });
+        }
+        let sum: f64 = p.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 || p.iter().any(|&v| v < -1e-12) {
+            return Err(MlError::InvalidArgument(format!(
+                "row {i} is not a probability distribution (sum={sum})"
+            )));
+        }
+        let h: f64 = p
+            .iter()
+            .filter(|&&v| v > 0.0)
+            .map(|&v| -v * v.ln())
+            .sum();
+        total += h / norm;
+    }
+    Ok(total / probas.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_has_zero_entropy() {
+        let p = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert_eq!(prediction_entropy(&p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn uniform_has_entropy_one() {
+        let p = vec![vec![0.5, 0.5], [0.25, 0.25, 0.25, 0.25].to_vec()];
+        // Mixed widths are a dimension error; test them separately.
+        assert!(prediction_entropy(&p).is_err());
+        let u2 = vec![vec![0.5, 0.5]];
+        assert!((prediction_entropy(&u2).unwrap() - 1.0).abs() < 1e-12);
+        let u4 = vec![vec![0.25; 4]];
+        assert!((prediction_entropy(&u4).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intermediate_entropy_monotone_in_confidence() {
+        let confident = prediction_entropy(&[vec![0.9, 0.1]]).unwrap();
+        let unsure = prediction_entropy(&[vec![0.6, 0.4]]).unwrap();
+        assert!(confident < unsure);
+    }
+
+    #[test]
+    fn invalid_distributions_rejected() {
+        assert!(prediction_entropy(&[]).is_err());
+        assert!(prediction_entropy(&[vec![1.0]]).is_err());
+        assert!(prediction_entropy(&[vec![0.7, 0.7]]).is_err());
+        assert!(prediction_entropy(&[vec![-0.2, 1.2]]).is_err());
+    }
+}

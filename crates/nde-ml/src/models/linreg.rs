@@ -1,0 +1,178 @@
+//! Ridge linear regression (closed form via Cholesky).
+//!
+//! Used by the learning-from-uncertain-data crate as the baseline model that
+//! Zorro's interval-trained counterpart is compared against, and by the
+//! certain/approximately-certain-models experiment.
+
+use crate::linalg::{cholesky, dot, Matrix};
+use crate::{MlError, Result};
+
+/// Ridge regression `min_w ||Xw - y||² + lambda ||w||²`, with intercept.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    /// L2 regularization strength (applied to weights, not the intercept).
+    pub lambda: f64,
+    weights: Option<Vec<f64>>, // d + 1, bias last
+}
+
+impl RidgeRegression {
+    /// Create an unfitted model.
+    pub fn new(lambda: f64) -> RidgeRegression {
+        RidgeRegression {
+            lambda,
+            weights: None,
+        }
+    }
+
+    /// Fit on features `x` (n×d) and targets `y` (n).
+    #[allow(clippy::needless_range_loop)] // augmented-matrix row assembly
+    pub fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: x.rows(),
+                got: y.len(),
+            });
+        }
+        if self.lambda < 0.0 {
+            return Err(MlError::InvalidArgument("lambda must be >= 0".into()));
+        }
+        let n = x.rows();
+        let d = x.cols();
+        // Augment with a constant-1 column for the intercept.
+        let mut aug = Matrix::zeros(n, d + 1);
+        for i in 0..n {
+            aug.row_mut(i)[..d].copy_from_slice(x.row(i));
+            aug.row_mut(i)[d] = 1.0;
+        }
+        let mut gram = aug.gram_regularized(self.lambda.max(1e-12));
+        // Don't regularize the intercept (undo the lambda added to its diagonal).
+        let v = gram.get(d, d) - self.lambda.max(1e-12) + 1e-12;
+        gram.set(d, d, v);
+        // rhs = Aᵀ y
+        let mut rhs = vec![0.0; d + 1];
+        for i in 0..n {
+            let row = aug.row(i);
+            for (r, a) in rhs.iter_mut().zip(row) {
+                *r += a * y[i];
+            }
+        }
+        // Solve via Cholesky (Gram matrix is SPD given the ridge term).
+        let l = cholesky(&gram)?;
+        let w = solve_cholesky(&l, &rhs);
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    /// Predicted value for one feature vector.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let w = self.weights.as_ref().expect("model must be fitted");
+        debug_assert_eq!(x.len() + 1, w.len());
+        dot(&w[..x.len()], x) + w[x.len()]
+    }
+
+    /// Predictions for all rows of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.iter_rows().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// The learned `(weights, intercept)`, if fitted.
+    pub fn coefficients(&self) -> Option<(&[f64], f64)> {
+        self.weights
+            .as_ref()
+            .map(|w| (&w[..w.len() - 1], w[w.len() - 1]))
+    }
+
+    /// Mean squared error on a labeled set.
+    pub fn mse(&self, x: &Matrix, y: &[f64]) -> f64 {
+        if y.is_empty() {
+            return 0.0;
+        }
+        self.predict(x)
+            .iter()
+            .zip(y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64
+    }
+}
+
+/// Solve `L Lᵀ x = b` by forward + back substitution.
+#[allow(clippy::needless_range_loop)] // triangular index patterns
+fn solve_cholesky(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l.get(i, j) * z[j];
+        }
+        z[i] = s / l.get(i, i);
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = z[i];
+        for j in i + 1..n {
+            s -= l.get(j, i) * x[j];
+        }
+        x[i] = s / l.get(i, i);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_data::generate::blobs::linear_regression;
+
+    #[test]
+    fn recovers_true_weights_without_noise() {
+        let (xs, ys, w_true, b_true) = linear_regression(200, 3, 0.0, 1);
+        let x = Matrix::from_rows(xs).unwrap();
+        let mut model = RidgeRegression::new(1e-8);
+        model.fit(&x, &ys).unwrap();
+        let (w, b) = model.coefficients().unwrap();
+        for (wi, ti) in w.iter().zip(&w_true) {
+            assert!((wi - ti).abs() < 1e-4, "w={w:?} true={w_true:?}");
+        }
+        assert!((b - b_true).abs() < 1e-4);
+        assert!(model.mse(&x, &ys) < 1e-8);
+    }
+
+    #[test]
+    fn noise_increases_mse_but_stays_close() {
+        let (xs, ys, _, _) = linear_regression(500, 2, 0.1, 2);
+        let x = Matrix::from_rows(xs).unwrap();
+        let mut model = RidgeRegression::new(1e-6);
+        model.fit(&x, &ys).unwrap();
+        let mse = model.mse(&x, &ys);
+        assert!(mse > 1e-4 && mse < 0.05, "mse={mse}");
+    }
+
+    #[test]
+    fn strong_regularization_shrinks_weights() {
+        let (xs, ys, _, _) = linear_regression(100, 2, 0.0, 3);
+        let x = Matrix::from_rows(xs).unwrap();
+        let mut weak = RidgeRegression::new(1e-8);
+        let mut strong = RidgeRegression::new(1e4);
+        weak.fit(&x, &ys).unwrap();
+        strong.fit(&x, &ys).unwrap();
+        let norm = |m: &RidgeRegression| {
+            let (w, _) = m.coefficients().unwrap();
+            w.iter().map(|v| v * v).sum::<f64>()
+        };
+        assert!(norm(&strong) < norm(&weak) * 0.1);
+    }
+
+    #[test]
+    fn validates_input() {
+        let x = Matrix::from_rows(vec![vec![1.0]]).unwrap();
+        let mut m = RidgeRegression::new(-1.0);
+        assert!(m.fit(&x, &[1.0]).is_err());
+        let mut m = RidgeRegression::new(0.1);
+        assert!(m.fit(&x, &[1.0, 2.0]).is_err());
+        assert!(m.fit(&Matrix::zeros(0, 1), &[]).is_err());
+    }
+}

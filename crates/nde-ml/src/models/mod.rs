@@ -1,0 +1,19 @@
+//! Classifier and regressor implementations.
+
+pub mod knn;
+pub mod linreg;
+pub mod logreg;
+pub mod majority;
+pub mod naive_bayes;
+pub mod svm;
+pub mod tree;
+pub mod unlearn;
+
+pub use knn::KnnClassifier;
+pub use linreg::RidgeRegression;
+pub use logreg::LogisticRegression;
+pub use majority::MajorityClassifier;
+pub use naive_bayes::GaussianNb;
+pub use svm::LinearSvm;
+pub use tree::DecisionTree;
+pub use unlearn::{Unlearn, UnlearnableGaussianNb};

@@ -1,0 +1,500 @@
+//! Plan execution with optional provenance tracking.
+
+use crate::plan::{JoinType, NodeId, Plan, PlanNode};
+use crate::provenance::{Lineage, ProvExpr, TupleId};
+use crate::{PipelineError, Result};
+use nde_data::fxhash::FxHashMap;
+use nde_data::{Column, DataType, Field, Table};
+
+/// Result of executing a plan: the output table, and — if requested — one
+/// provenance polynomial per output row.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// The materialized output table.
+    pub table: Table,
+    /// Row provenance, present iff tracking was enabled.
+    pub provenance: Option<Lineage>,
+}
+
+/// Evaluates plans over named input tables.
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    track_provenance: bool,
+}
+
+type NodeResult = (Table, Option<Vec<ProvExpr>>);
+
+impl Executor {
+    /// A new executor (provenance tracking off by default).
+    pub fn new() -> Executor {
+        Executor::default()
+    }
+
+    /// Enable or disable provenance tracking.
+    pub fn with_provenance(mut self, on: bool) -> Executor {
+        self.track_provenance = on;
+        self
+    }
+
+    /// Execute `root` of `plan` over the named `inputs`.
+    pub fn run(&self, plan: &Plan, root: NodeId, inputs: &[(&str, &Table)]) -> Result<ExecOutput> {
+        let source_names: Vec<String> = plan
+            .source_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let mut input_map: FxHashMap<&str, &Table> = FxHashMap::default();
+        for (name, table) in inputs {
+            input_map.insert(name, table);
+        }
+        for name in &source_names {
+            if !input_map.contains_key(name.as_str()) {
+                return Err(PipelineError::MissingInput(name.clone()));
+            }
+        }
+        let mut memo: FxHashMap<usize, NodeResult> = FxHashMap::default();
+        let (table, prov) = self.eval(plan, root, &source_names, &input_map, &mut memo)?;
+        Ok(ExecOutput {
+            table,
+            provenance: prov.map(|rows| Lineage {
+                sources: source_names,
+                rows,
+            }),
+        })
+    }
+
+    fn eval(
+        &self,
+        plan: &Plan,
+        id: NodeId,
+        source_names: &[String],
+        inputs: &FxHashMap<&str, &Table>,
+        memo: &mut FxHashMap<usize, NodeResult>,
+    ) -> Result<NodeResult> {
+        if let Some(cached) = memo.get(&id.index()) {
+            return Ok(cached.clone());
+        }
+        let result: NodeResult = match plan.node(id)? {
+            PlanNode::Source { name } => {
+                let table = (*inputs
+                    .get(name.as_str())
+                    .ok_or_else(|| PipelineError::MissingInput(name.clone()))?)
+                .clone();
+                let prov = if self.track_provenance {
+                    let src = source_names
+                        .iter()
+                        .position(|s| s == name)
+                        .expect("validated in run()") as u32;
+                    Some(
+                        (0..table.n_rows())
+                            .map(|r| ProvExpr::Var(TupleId::new(src, r as u32)))
+                            .collect(),
+                    )
+                } else {
+                    None
+                };
+                (table, prov)
+            }
+            PlanNode::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                how,
+            } => {
+                let (lt, lp) = self.eval(plan, *left, source_names, inputs, memo)?;
+                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo)?;
+                let (table, lineage) = match how {
+                    JoinType::Inner => {
+                        let (t, pairs) = lt.hash_join(&rt, left_key, right_key)?;
+                        (t, pairs.into_iter().map(|(l, r)| (l, Some(r))).collect())
+                    }
+                    JoinType::Left => lt.left_join(&rt, left_key, right_key)?,
+                };
+                let prov = match (lp, rp) {
+                    (Some(lp), Some(rp)) => Some(
+                        lineage
+                            .iter()
+                            .map(|&(l, r)| match r {
+                                Some(r) => {
+                                    ProvExpr::times(lp[l].clone(), rp[r].clone())
+                                }
+                                None => lp[l].clone(),
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
+                    _ => None,
+                };
+                (table, prov)
+            }
+            PlanNode::FuzzyJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                threshold,
+            } => {
+                let (lt, lp) = self.eval(plan, *left, source_names, inputs, memo)?;
+                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo)?;
+                let (table, lineage) =
+                    crate::fuzzy::fuzzy_join(&lt, &rt, left_key, right_key, *threshold)?;
+                let prov = match (lp, rp) {
+                    (Some(lp), Some(rp)) => Some(
+                        lineage
+                            .iter()
+                            .map(|&(l, r)| ProvExpr::times(lp[l].clone(), rp[r].clone()))
+                            .collect::<Vec<_>>(),
+                    ),
+                    _ => None,
+                };
+                (table, prov)
+            }
+            PlanNode::Filter { input, predicate } => {
+                let (t, p) = self.eval(plan, *input, source_names, inputs, memo)?;
+                // Evaluate the predicate once per row, propagating errors.
+                let mut kept = Vec::with_capacity(t.n_rows());
+                for row in 0..t.n_rows() {
+                    if predicate.eval_predicate(&t, row)? {
+                        kept.push(row);
+                    }
+                }
+                let table = t.take(&kept)?;
+                let prov = p.map(|p| kept.iter().map(|&r| p[r].clone()).collect());
+                (table, prov)
+            }
+            PlanNode::Project {
+                input,
+                column,
+                expr,
+            } => {
+                let (mut t, p) = self.eval(plan, *input, source_names, inputs, memo)?;
+                let dtype = if t.n_rows() == 0 {
+                    DataType::Bool
+                } else {
+                    expr.output_type(&t)?
+                };
+                let mut col = Column::with_capacity(dtype, t.n_rows());
+                for row in 0..t.n_rows() {
+                    col.push(expr.eval(&t, row)?)
+                        .map_err(|e| PipelineError::Expr(e.to_string()))?;
+                }
+                t.add_column(Field::new(column.clone(), dtype), col)?;
+                (t, p)
+            }
+            PlanNode::SelectColumns { input, columns } => {
+                let (t, p) = self.eval(plan, *input, source_names, inputs, memo)?;
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                (t.select(&cols)?, p)
+            }
+            PlanNode::Distinct { input, key } => {
+                let (t, p) = self.eval(plan, *input, source_names, inputs, memo)?;
+                let col = t.column(key)?.clone();
+                // First occurrence of each key value survives; its provenance
+                // absorbs the duplicates as Plus alternatives.
+                let mut first_of: Vec<usize> = Vec::new(); // kept input rows
+                let mut owner: Vec<usize> = Vec::with_capacity(t.n_rows()); // row -> kept slot
+                for row in 0..t.n_rows() {
+                    let v = col.get(row).expect("in bounds");
+                    let slot = first_of.iter().position(|&kept| {
+                        let kv = col.get(kept).expect("in bounds");
+                        kv.total_cmp(&v) == std::cmp::Ordering::Equal
+                            && kv.data_type() == v.data_type()
+                    });
+                    match slot {
+                        Some(s) => owner.push(s),
+                        None => {
+                            owner.push(first_of.len());
+                            first_of.push(row);
+                        }
+                    }
+                }
+                let table = t.take(&first_of)?;
+                let prov = p.map(|p| {
+                    let mut alts: Vec<Vec<ProvExpr>> = vec![Vec::new(); first_of.len()];
+                    for (row, &slot) in owner.iter().enumerate() {
+                        alts[slot].push(p[row].clone());
+                    }
+                    alts.into_iter()
+                        .map(|mut a| {
+                            if a.len() == 1 {
+                                a.pop().expect("non-empty")
+                            } else {
+                                ProvExpr::Plus(a)
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                });
+                (table, prov)
+            }
+            PlanNode::Concat { left, right } => {
+                let (mut lt, lp) = self.eval(plan, *left, source_names, inputs, memo)?;
+                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo)?;
+                lt.append(&rt)?;
+                let prov = match (lp, rp) {
+                    (Some(mut lp), Some(rp)) => {
+                        lp.extend(rp);
+                        Some(lp)
+                    }
+                    _ => None,
+                };
+                (lt, prov)
+            }
+        };
+        memo.insert(id.index(), result.clone());
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use nde_data::generate::hiring::HiringScenario;
+    use nde_data::Value;
+
+    fn scenario() -> HiringScenario {
+        HiringScenario::generate(80, 7)
+    }
+
+    fn run_hiring(track: bool) -> ExecOutput {
+        let s = scenario();
+        let (plan, root) = Plan::hiring_pipeline();
+        Executor::new()
+            .with_provenance(track)
+            .run(
+                &plan,
+                root,
+                &[
+                    ("train_df", &s.letters),
+                    ("jobdetail_df", &s.job_details),
+                    ("social_df", &s.social),
+                ],
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn hiring_pipeline_executes() {
+        let out = run_hiring(false);
+        assert!(out.provenance.is_none());
+        assert!(out.table.n_rows() > 0);
+        assert!(out.table.schema().contains("has_twitter"));
+        assert!(out.table.schema().contains("sector"));
+        // Filter kept only healthcare rows.
+        for row in 0..out.table.n_rows() {
+            assert_eq!(
+                out.table.get(row, "sector").unwrap(),
+                Value::Str("healthcare".into())
+            );
+        }
+    }
+
+    #[test]
+    fn provenance_matches_rows_and_sources() {
+        let out = run_hiring(true);
+        let lineage = out.provenance.unwrap();
+        assert_eq!(lineage.rows.len(), out.table.n_rows());
+        assert_eq!(
+            lineage.sources,
+            vec!["train_df", "jobdetail_df", "social_df"]
+        );
+        // Every output row depends on exactly one letters row and one jobs row.
+        for (row, expr) in lineage.rows.iter().enumerate() {
+            let tuples = expr.tuples();
+            let letters: Vec<_> = tuples.iter().filter(|t| t.source == 0).collect();
+            let jobs: Vec<_> = tuples.iter().filter(|t| t.source == 1).collect();
+            assert_eq!(letters.len(), 1, "row {row}");
+            assert_eq!(jobs.len(), 1, "row {row}");
+            // Social is a left join: 0 or 1 tuples.
+            let social = tuples.iter().filter(|t| t.source == 2).count();
+            assert!(social <= 1);
+        }
+    }
+
+    #[test]
+    fn provenance_points_to_correct_source_rows() {
+        let s = scenario();
+        let (plan, root) = Plan::hiring_pipeline();
+        let out = Executor::new()
+            .with_provenance(true)
+            .run(
+                &plan,
+                root,
+                &[
+                    ("train_df", &s.letters),
+                    ("jobdetail_df", &s.job_details),
+                    ("social_df", &s.social),
+                ],
+            )
+            .unwrap();
+        let lineage = out.provenance.unwrap();
+        for row in 0..out.table.n_rows() {
+            let person = out.table.get(row, "person_id").unwrap();
+            let tuples = lineage.rows[row].tuples();
+            let letter_row = tuples.iter().find(|t| t.source == 0).unwrap().row as usize;
+            assert_eq!(s.letters.get(letter_row, "person_id").unwrap(), person);
+        }
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let s = scenario();
+        let (plan, root) = Plan::hiring_pipeline();
+        let err = Executor::new().run(&plan, root, &[("train_df", &s.letters)]);
+        assert!(matches!(err, Err(PipelineError::MissingInput(_))));
+    }
+
+    #[test]
+    fn select_and_concat_track_provenance() {
+        let s = scenario();
+        let mut plan = Plan::new();
+        let a = plan.source("train_df");
+        let sel = plan.select(a, &["person_id", "sentiment"]);
+        let both = plan.concat(sel, sel);
+        let out = Executor::new()
+            .with_provenance(true)
+            .run(&plan, both, &[("train_df", &s.letters)])
+            .unwrap();
+        assert_eq!(out.table.n_rows(), 2 * s.letters.n_rows());
+        assert_eq!(out.table.n_cols(), 2);
+        let lineage = out.provenance.unwrap();
+        // Row i and row i+n share the same provenance tuple.
+        let n = s.letters.n_rows();
+        assert_eq!(lineage.rows[0], lineage.rows[n]);
+    }
+
+    #[test]
+    fn memoization_reuses_shared_subplans() {
+        // The concat of a node with itself must not duplicate sources in
+        // provenance, and must execute the shared subtree once (observable
+        // through identical results; timing not asserted).
+        let s = scenario();
+        let mut plan = Plan::new();
+        let a = plan.source("train_df");
+        let f = plan.filter(a, Expr::col("employer_rating").gt(Expr::float(5.0)));
+        let c = plan.concat(f, f);
+        let out = Executor::new()
+            .with_provenance(true)
+            .run(&plan, c, &[("train_df", &s.letters)])
+            .unwrap();
+        assert_eq!(out.table.n_rows() % 2, 0);
+    }
+
+    #[test]
+    fn filter_propagates_expression_errors() {
+        let s = scenario();
+        let mut plan = Plan::new();
+        let a = plan.source("train_df");
+        let f = plan.filter(a, Expr::col("no_such_column").is_null());
+        let err = Executor::new().run(&plan, f, &[("train_df", &s.letters)]);
+        assert!(matches!(err, Err(PipelineError::Expr(_))));
+    }
+
+    #[test]
+    fn distinct_merges_duplicates_with_plus_provenance() {
+        use crate::semiring::BoolSemiring;
+        let s = scenario();
+        let mut plan = Plan::new();
+        let a = plan.source("train_df");
+        let doubled = plan.concat(a, a); // every row appears twice
+        let d = plan.distinct(doubled, "person_id");
+        let out = Executor::new()
+            .with_provenance(true)
+            .run(&plan, d, &[("train_df", &s.letters)])
+            .unwrap();
+        assert_eq!(out.table.n_rows(), s.letters.n_rows());
+        let lineage = out.provenance.unwrap();
+        // Each surviving row has two alternative derivations of the same
+        // source tuple: a Plus whose why-provenance still names one tuple.
+        let expr = &lineage.rows[0];
+        assert!(matches!(expr, ProvExpr::Plus(alts) if alts.len() == 2));
+        assert_eq!(expr.tuples().len(), 1);
+        // Boolean semantics: deleting the source tuple kills the row even
+        // though it had two derivations.
+        assert!(expr.eval::<BoolSemiring>(&|_| true));
+        assert!(!expr.eval::<BoolSemiring>(&|_| false));
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrence() {
+        use nde_data::{DataType, Field, Schema};
+        let mut t = Table::empty(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        t.push_row(vec![1.into(), "first".into()]).unwrap();
+        t.push_row(vec![2.into(), "second".into()]).unwrap();
+        t.push_row(vec![1.into(), "dup".into()]).unwrap();
+        let mut plan = Plan::new();
+        let a = plan.source("t");
+        let d = plan.distinct(a, "k");
+        let out = Executor::new().run(&plan, d, &[("t", &t)]).unwrap();
+        assert_eq!(out.table.n_rows(), 2);
+        assert_eq!(out.table.get(0, "v").unwrap(), Value::Str("first".into()));
+        assert_eq!(out.table.get(1, "v").unwrap(), Value::Str("second".into()));
+    }
+
+    #[test]
+    fn fuzzy_join_node_tracks_provenance() {
+        use nde_data::{DataType, Field, Schema};
+        let mut letters = Table::empty(
+            "letters",
+            Schema::new(vec![
+                Field::new("employer", DataType::Str),
+                Field::new("id", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        letters
+            .push_row(vec!["acme corp.".into(), 1.into()])
+            .unwrap();
+        letters.push_row(vec!["nomatch".into(), 2.into()]).unwrap();
+        let mut companies = Table::empty(
+            "companies",
+            Schema::new(vec![
+                Field::new("name", DataType::Str),
+                Field::new("rating", DataType::Float),
+            ])
+            .unwrap(),
+        );
+        companies
+            .push_row(vec!["Acme Corp".into(), 4.5.into()])
+            .unwrap();
+
+        let mut plan = Plan::new();
+        let l = plan.source("letters");
+        let c = plan.source("companies");
+        let fj = plan.fuzzy_join(l, c, "employer", "name", 0.8);
+        let out = Executor::new()
+            .with_provenance(true)
+            .run(&plan, fj, &[("letters", &letters), ("companies", &companies)])
+            .unwrap();
+        assert_eq!(out.table.n_rows(), 1);
+        assert_eq!(out.table.get(0, "rating").unwrap(), Value::Float(4.5));
+        let lineage = out.provenance.unwrap();
+        let tuples = lineage.rows[0].tuples();
+        assert_eq!(tuples.len(), 2); // one letters tuple, one companies tuple
+        assert!(tuples.iter().any(|t| t.source == 0 && t.row == 0));
+        assert!(tuples.iter().any(|t| t.source == 1 && t.row == 0));
+    }
+
+    #[test]
+    fn project_adds_typed_column() {
+        let s = scenario();
+        let mut plan = Plan::new();
+        let a = plan.source("social_df");
+        let p = plan.project(a, "has_twitter", Expr::col("twitter").is_not_null());
+        let out = Executor::new()
+            .run(&plan, p, &[("social_df", &s.social)])
+            .unwrap();
+        let has: Vec<bool> = (0..out.table.n_rows())
+            .map(|r| out.table.get(r, "has_twitter").unwrap().as_bool().unwrap())
+            .collect();
+        let nulls = s.social.column("twitter").unwrap().null_count();
+        assert_eq!(has.iter().filter(|&&b| !b).count(), nulls);
+    }
+}

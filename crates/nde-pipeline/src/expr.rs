@@ -1,0 +1,323 @@
+//! Row-level expressions for filters and derived columns (projections).
+
+use crate::{PipelineError, Result};
+use nde_data::{DataType, Table, Value};
+
+/// A scalar expression evaluated per row of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference.
+    Col(String),
+    /// A literal value.
+    Lit(Value),
+    /// Equality (null-safe: `null == null` is false, SQL-style).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality.
+    Ne(Box<Expr>, Box<Expr>),
+    /// Numeric greater-than (null ⇒ false).
+    Gt(Box<Expr>, Box<Expr>),
+    /// Numeric less-than (null ⇒ false).
+    Lt(Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `true` iff the operand is null.
+    IsNull(Box<Expr>),
+    /// `true` iff the operand is not null (Fig. 3's `twitter.notnull()`).
+    IsNotNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// String literal.
+    pub fn str(v: impl Into<String>) -> Expr {
+        Expr::Lit(Value::Str(v.into()))
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Value::Int(v))
+    }
+
+    /// Float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Lit(Value::Float(v))
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(other))
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Ne(Box::new(self), Box::new(other))
+    }
+
+    /// `self > other` (numeric).
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Gt(Box::new(self), Box::new(other))
+    }
+
+    /// `self < other` (numeric).
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(other))
+    }
+
+    /// `self && other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self || other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `!self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// `self IS NOT NULL`.
+    pub fn is_not_null(self) -> Expr {
+        Expr::IsNotNull(Box::new(self))
+    }
+
+    /// Evaluate against row `row` of `table`.
+    pub fn eval(&self, table: &Table, row: usize) -> Result<Value> {
+        match self {
+            Expr::Col(name) => table
+                .get(row, name)
+                .map_err(|e| PipelineError::Expr(e.to_string())),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Eq(a, b) => {
+                let (va, vb) = (a.eval(table, row)?, b.eval(table, row)?);
+                Ok(Value::Bool(values_equal(&va, &vb)))
+            }
+            Expr::Ne(a, b) => {
+                let (va, vb) = (a.eval(table, row)?, b.eval(table, row)?);
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(!values_equal(&va, &vb)))
+            }
+            Expr::Gt(a, b) => numeric_cmp(a, b, table, row, |x, y| x > y),
+            Expr::Lt(a, b) => numeric_cmp(a, b, table, row, |x, y| x < y),
+            Expr::And(a, b) => {
+                Ok(Value::Bool(truthy(&a.eval(table, row)?)? && truthy(&b.eval(table, row)?)?))
+            }
+            Expr::Or(a, b) => {
+                Ok(Value::Bool(truthy(&a.eval(table, row)?)? || truthy(&b.eval(table, row)?)?))
+            }
+            Expr::Not(a) => Ok(Value::Bool(!truthy(&a.eval(table, row)?)?)),
+            Expr::IsNull(a) => Ok(Value::Bool(a.eval(table, row)?.is_null())),
+            Expr::IsNotNull(a) => Ok(Value::Bool(!a.eval(table, row)?.is_null())),
+        }
+    }
+
+    /// Evaluate as a boolean predicate (nulls count as false).
+    pub fn eval_predicate(&self, table: &Table, row: usize) -> Result<bool> {
+        match self.eval(table, row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(PipelineError::Expr(format!(
+                "predicate evaluated to non-boolean {other:?}"
+            ))),
+        }
+    }
+
+    /// The output type of this expression given an input table (used when a
+    /// projection adds a derived column).
+    pub fn output_type(&self, table: &Table) -> Result<DataType> {
+        match self {
+            Expr::Col(name) => Ok(table
+                .schema()
+                .field(name)
+                .map_err(|e| PipelineError::Expr(e.to_string()))?
+                .dtype),
+            Expr::Lit(v) => v.data_type().ok_or_else(|| {
+                PipelineError::Expr("cannot infer the type of a null literal".into())
+            }),
+            _ => Ok(DataType::Bool),
+        }
+    }
+
+    /// All column names referenced by this expression.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(name) => out.push(name),
+            Expr::Lit(_) => {}
+            Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Lt(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a) | Expr::IsNull(a) | Expr::IsNotNull(a) => a.collect_columns(out),
+        }
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    if a.is_null() || b.is_null() {
+        return false;
+    }
+    a.total_cmp(b) == std::cmp::Ordering::Equal && (a.data_type() == b.data_type() || both_numeric(a, b))
+}
+
+fn both_numeric(a: &Value, b: &Value) -> bool {
+    a.as_float().is_some() && b.as_float().is_some()
+}
+
+fn numeric_cmp(
+    a: &Expr,
+    b: &Expr,
+    table: &Table,
+    row: usize,
+    cmp: impl Fn(f64, f64) -> bool,
+) -> Result<Value> {
+    let va = a.eval(table, row)?;
+    let vb = b.eval(table, row)?;
+    match (va.as_float(), vb.as_float()) {
+        (Some(x), Some(y)) => Ok(Value::Bool(cmp(x, y))),
+        _ if va.is_null() || vb.is_null() => Ok(Value::Bool(false)),
+        _ => Err(PipelineError::Expr(format!(
+            "numeric comparison on non-numeric values {va:?}, {vb:?}"
+        ))),
+    }
+}
+
+fn truthy(v: &Value) -> Result<bool> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        Value::Null => Ok(false),
+        other => Err(PipelineError::Expr(format!(
+            "expected boolean operand, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_data::{Field, Schema};
+
+    fn table() -> Table {
+        let mut t = Table::empty(
+            "t",
+            Schema::new(vec![
+                Field::new("sector", DataType::Str),
+                Field::new("rating", DataType::Float),
+                Field::new("twitter", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        t.push_row(vec!["healthcare".into(), 7.5.into(), "@a".into()])
+            .unwrap();
+        t.push_row(vec!["tech".into(), 3.0.into(), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn equality_and_nulls() {
+        let t = table();
+        let e = Expr::col("sector").eq(Expr::str("healthcare"));
+        assert_eq!(e.eval(&t, 0).unwrap(), Value::Bool(true));
+        assert_eq!(e.eval(&t, 1).unwrap(), Value::Bool(false));
+        // null == anything is false; null != anything is false too (SQL-ish).
+        let en = Expr::col("twitter").eq(Expr::str("@a"));
+        assert_eq!(en.eval(&t, 1).unwrap(), Value::Bool(false));
+        let ne = Expr::col("twitter").ne(Expr::str("@a"));
+        assert_eq!(ne.eval(&t, 1).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let t = table();
+        assert_eq!(
+            Expr::col("rating").gt(Expr::float(5.0)).eval(&t, 0).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::col("rating").lt(Expr::int(5)).eval(&t, 1).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(Expr::col("sector")
+            .gt(Expr::float(1.0))
+            .eval(&t, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let t = table();
+        let e = Expr::col("sector")
+            .eq(Expr::str("healthcare"))
+            .and(Expr::col("rating").gt(Expr::float(5.0)));
+        assert!(e.eval_predicate(&t, 0).unwrap());
+        assert!(!e.eval_predicate(&t, 1).unwrap());
+        let o = Expr::col("sector")
+            .eq(Expr::str("tech"))
+            .or(Expr::col("rating").gt(Expr::float(5.0)));
+        assert!(o.eval_predicate(&t, 0).unwrap());
+        assert!(o.eval_predicate(&t, 1).unwrap());
+        assert!(Expr::col("sector")
+            .eq(Expr::str("tech"))
+            .not()
+            .eval_predicate(&t, 0)
+            .unwrap());
+    }
+
+    #[test]
+    fn null_tests() {
+        let t = table();
+        assert!(Expr::col("twitter").is_not_null().eval_predicate(&t, 0).unwrap());
+        assert!(!Expr::col("twitter").is_not_null().eval_predicate(&t, 1).unwrap());
+        assert!(Expr::col("twitter").is_null().eval_predicate(&t, 1).unwrap());
+    }
+
+    #[test]
+    fn output_types_and_columns() {
+        let t = table();
+        assert_eq!(Expr::col("rating").output_type(&t).unwrap(), DataType::Float);
+        assert_eq!(
+            Expr::col("twitter").is_not_null().output_type(&t).unwrap(),
+            DataType::Bool
+        );
+        assert!(Expr::Lit(Value::Null).output_type(&t).is_err());
+        let e = Expr::col("a").eq(Expr::col("b")).and(Expr::col("a").is_null());
+        assert_eq!(e.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unknown_column_and_bad_predicate() {
+        let t = table();
+        assert!(Expr::col("nope").eval(&t, 0).is_err());
+        assert!(Expr::col("sector").eval_predicate(&t, 0).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Fine-grained row provenance: polynomials over source tuples.
+
+use crate::semiring::{why_var, Semiring, WhySemiring};
+use nde_data::fxhash::FxHashSet;
+
+/// Identifies one tuple of one source table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// Index of the source table (position in [`Lineage::sources`]).
+    pub source: u32,
+    /// Row index within that source table.
+    pub row: u32,
+}
+
+impl TupleId {
+    /// Create a tuple id.
+    pub fn new(source: u32, row: u32) -> TupleId {
+        TupleId { source, row }
+    }
+
+    /// Pack into a single `u64` variable id (for semiring evaluation).
+    pub fn as_var(self) -> u64 {
+        ((self.source as u64) << 32) | self.row as u64
+    }
+
+    /// Unpack from a packed variable id.
+    pub fn from_var(v: u64) -> TupleId {
+        TupleId {
+            source: (v >> 32) as u32,
+            row: (v & 0xffff_ffff) as u32,
+        }
+    }
+}
+
+/// A provenance polynomial: how an output row derives from source tuples.
+///
+/// `Times` combines tuples that *jointly* produced a row (joins);
+/// `Plus` combines *alternative* derivations (unions/dedup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvExpr {
+    /// A single source tuple.
+    Var(TupleId),
+    /// Joint derivation (e.g. the two sides of a join).
+    Times(Vec<ProvExpr>),
+    /// Alternative derivations.
+    Plus(Vec<ProvExpr>),
+}
+
+impl ProvExpr {
+    /// Product of two provenance expressions, flattening nested products.
+    pub fn times(a: ProvExpr, b: ProvExpr) -> ProvExpr {
+        let mut factors = Vec::new();
+        for e in [a, b] {
+            match e {
+                ProvExpr::Times(mut f) => factors.append(&mut f),
+                other => factors.push(other),
+            }
+        }
+        ProvExpr::Times(factors)
+    }
+
+    /// All distinct source tuples mentioned anywhere in the expression.
+    pub fn tuples(&self) -> Vec<TupleId> {
+        let mut set = FxHashSet::default();
+        self.collect_tuples(&mut set);
+        let mut v: Vec<TupleId> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    fn collect_tuples(&self, out: &mut FxHashSet<TupleId>) {
+        match self {
+            ProvExpr::Var(t) => {
+                out.insert(*t);
+            }
+            ProvExpr::Times(es) | ProvExpr::Plus(es) => {
+                for e in es {
+                    e.collect_tuples(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluate the polynomial in an arbitrary semiring, assigning each
+    /// tuple variable via `assign`.
+    pub fn eval<S: Semiring>(&self, assign: &impl Fn(TupleId) -> S::Elem) -> S::Elem {
+        match self {
+            ProvExpr::Var(t) => assign(*t),
+            ProvExpr::Times(es) => es
+                .iter()
+                .fold(S::one(), |acc, e| S::times(&acc, &e.eval::<S>(assign))),
+            ProvExpr::Plus(es) => es
+                .iter()
+                .fold(S::zero(), |acc, e| S::plus(&acc, &e.eval::<S>(assign))),
+        }
+    }
+
+    /// The why-provenance (set of minimal-ish witnesses) of this expression.
+    pub fn why(&self) -> <WhySemiring as Semiring>::Elem {
+        self.eval::<WhySemiring>(&|t| why_var(t.as_var()))
+    }
+}
+
+/// Provenance for an executed pipeline: one polynomial per output row, plus
+/// the source-name table that [`TupleId::source`] indexes into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lineage {
+    /// Names of the source tables, in `TupleId.source` order.
+    pub sources: Vec<String>,
+    /// One provenance polynomial per output row.
+    pub rows: Vec<ProvExpr>,
+}
+
+impl Lineage {
+    /// Index of a source by name.
+    pub fn source_index(&self, name: &str) -> Option<u32> {
+        self.sources
+            .iter()
+            .position(|s| s == name)
+            .map(|i| i as u32)
+    }
+
+    /// For each output row, the rows of source `source_idx` it depends on.
+    pub fn rows_from_source(&self, source_idx: u32) -> Vec<Vec<u32>> {
+        self.rows
+            .iter()
+            .map(|e| {
+                e.tuples()
+                    .into_iter()
+                    .filter(|t| t.source == source_idx)
+                    .map(|t| t.row)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Inverted index: for each row of source `source_idx` (up to
+    /// `source_len`), the output rows that depend on it.
+    pub fn outputs_per_source_row(&self, source_idx: u32, source_len: usize) -> Vec<Vec<usize>> {
+        let mut index = vec![Vec::new(); source_len];
+        for (out_row, expr) in self.rows.iter().enumerate() {
+            for t in expr.tuples() {
+                if t.source == source_idx && (t.row as usize) < source_len {
+                    index[t.row as usize].push(out_row);
+                }
+            }
+        }
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolSemiring, CountSemiring};
+
+    fn t(s: u32, r: u32) -> TupleId {
+        TupleId::new(s, r)
+    }
+
+    #[test]
+    fn tuple_id_packs_roundtrip() {
+        let id = t(3, 0xdead_beef);
+        assert_eq!(TupleId::from_var(id.as_var()), id);
+        assert_ne!(t(0, 1).as_var(), t(1, 0).as_var());
+    }
+
+    #[test]
+    fn times_flattens() {
+        let e = ProvExpr::times(
+            ProvExpr::times(ProvExpr::Var(t(0, 1)), ProvExpr::Var(t(1, 2))),
+            ProvExpr::Var(t(2, 3)),
+        );
+        match &e {
+            ProvExpr::Times(fs) => assert_eq!(fs.len(), 3),
+            _ => panic!("expected Times"),
+        }
+        assert_eq!(e.tuples(), vec![t(0, 1), t(1, 2), t(2, 3)]);
+    }
+
+    #[test]
+    fn eval_bool_and_count() {
+        // (a * b) + a : derivable iff a and (b or one alternative).
+        let e = ProvExpr::Plus(vec![
+            ProvExpr::times(ProvExpr::Var(t(0, 0)), ProvExpr::Var(t(1, 0))),
+            ProvExpr::Var(t(0, 0)),
+        ]);
+        // All tuples present.
+        assert!(e.eval::<BoolSemiring>(&|_| true));
+        // Source 1 deleted: still derivable via the second alternative.
+        assert!(e.eval::<BoolSemiring>(&|id| id.source == 0));
+        // Source 0 deleted: not derivable.
+        assert!(!e.eval::<BoolSemiring>(&|id| id.source == 1));
+        // Two derivations in the counting semiring.
+        assert_eq!(e.eval::<CountSemiring>(&|_| 1), 2);
+    }
+
+    #[test]
+    fn why_provenance_witnesses() {
+        let e = ProvExpr::Plus(vec![
+            ProvExpr::times(ProvExpr::Var(t(0, 0)), ProvExpr::Var(t(1, 0))),
+            ProvExpr::Var(t(0, 1)),
+        ]);
+        let why = e.why();
+        assert_eq!(why.len(), 2);
+        let sizes: Vec<usize> = why.iter().map(|w| w.len()).collect();
+        assert!(sizes.contains(&1) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn lineage_indexing() {
+        let lineage = Lineage {
+            sources: vec!["a".into(), "b".into()],
+            rows: vec![
+                ProvExpr::times(ProvExpr::Var(t(0, 2)), ProvExpr::Var(t(1, 0))),
+                ProvExpr::Var(t(0, 2)),
+                ProvExpr::Var(t(1, 1)),
+            ],
+        };
+        assert_eq!(lineage.source_index("b"), Some(1));
+        assert_eq!(lineage.source_index("z"), None);
+        let per_out = lineage.rows_from_source(0);
+        assert_eq!(per_out, vec![vec![2], vec![2], vec![]]);
+        let inv = lineage.outputs_per_source_row(0, 3);
+        assert_eq!(inv[2], vec![0, 1]);
+        assert!(inv[0].is_empty());
+    }
+}

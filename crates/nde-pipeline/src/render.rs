@@ -1,0 +1,130 @@
+//! ASCII rendering of pipeline plans (the tutorial's `show_query_plan`).
+
+use crate::expr::Expr;
+use crate::plan::{JoinType, NodeId, Plan, PlanNode};
+use crate::Result;
+
+/// Render the plan rooted at `root` as an ASCII tree, sources at the leaves.
+pub fn render_plan(plan: &Plan, root: NodeId) -> Result<String> {
+    let mut out = String::new();
+    render_node(plan, root, "", "", &mut out)?;
+    Ok(out)
+}
+
+fn label(node: &PlanNode) -> String {
+    match node {
+        PlanNode::Source { name } => format!("Source {name}"),
+        PlanNode::Join {
+            left_key,
+            right_key,
+            how,
+            ..
+        } => {
+            let how = match how {
+                JoinType::Inner => "inner",
+                JoinType::Left => "left",
+            };
+            format!("Join [{left_key} = {right_key}, {how}]")
+        }
+        PlanNode::FuzzyJoin {
+            left_key,
+            right_key,
+            threshold,
+            ..
+        } => format!("FuzzyJoin [{left_key} ~= {right_key}, sim >= {threshold}]"),
+        PlanNode::Filter { predicate, .. } => format!("Filter [{}]", expr_label(predicate)),
+        PlanNode::Project { column, expr, .. } => {
+            format!("Project [{column} := {}]", expr_label(expr))
+        }
+        PlanNode::SelectColumns { columns, .. } => {
+            format!("Select [{}]", columns.join(", "))
+        }
+        PlanNode::Distinct { key, .. } => format!("Distinct [{key}]"),
+        PlanNode::Concat { .. } => "Concat".to_string(),
+    }
+}
+
+fn expr_label(e: &Expr) -> String {
+    match e {
+        Expr::Col(c) => c.clone(),
+        Expr::Lit(v) => format!("{v}"),
+        Expr::Eq(a, b) => format!("{} == {}", expr_label(a), expr_label(b)),
+        Expr::Ne(a, b) => format!("{} != {}", expr_label(a), expr_label(b)),
+        Expr::Gt(a, b) => format!("{} > {}", expr_label(a), expr_label(b)),
+        Expr::Lt(a, b) => format!("{} < {}", expr_label(a), expr_label(b)),
+        Expr::And(a, b) => format!("({} and {})", expr_label(a), expr_label(b)),
+        Expr::Or(a, b) => format!("({} or {})", expr_label(a), expr_label(b)),
+        Expr::Not(a) => format!("not {}", expr_label(a)),
+        Expr::IsNull(a) => format!("{} is null", expr_label(a)),
+        Expr::IsNotNull(a) => format!("{} is not null", expr_label(a)),
+    }
+}
+
+fn render_node(
+    plan: &Plan,
+    id: NodeId,
+    prefix: &str,
+    child_prefix: &str,
+    out: &mut String,
+) -> Result<()> {
+    out.push_str(prefix);
+    out.push_str(&label(plan.node(id)?));
+    out.push('\n');
+    let children = plan.children(id)?;
+    let n = children.len();
+    for (i, child) in children.into_iter().enumerate() {
+        let last = i + 1 == n;
+        let (branch, cont) = if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
+        render_node(
+            plan,
+            child,
+            &format!("{child_prefix}{branch}"),
+            &format!("{child_prefix}{cont}"),
+            out,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_hiring_pipeline() {
+        let (plan, root) = Plan::hiring_pipeline();
+        let s = render_plan(&plan, root).unwrap();
+        assert!(s.contains("Project [has_twitter := twitter is not null]"));
+        assert!(s.contains("Filter [sector == healthcare]"));
+        assert!(s.contains("Source train_df"));
+        assert!(s.contains("Source jobdetail_df"));
+        assert!(s.contains("Source social_df"));
+        // Tree glyphs present.
+        assert!(s.contains("└─") && s.contains("├─"));
+        // Root is the first line (no indentation).
+        assert!(s.starts_with("Project"));
+    }
+
+    #[test]
+    fn renders_all_node_kinds() {
+        let mut plan = Plan::new();
+        let a = plan.source("a");
+        let b = plan.source("b");
+        let j = plan.join(a, b, "k", "k", JoinType::Left);
+        let sel = plan.select(j, &["x", "y"]);
+        let c = plan.concat(sel, sel);
+        let f = plan.filter(
+            c,
+            Expr::col("x").gt(Expr::int(3)).and(Expr::col("y").is_null().not()),
+        );
+        let s = render_plan(&plan, f).unwrap();
+        assert!(s.contains("Join [k = k, left]"));
+        assert!(s.contains("Select [x, y]"));
+        assert!(s.contains("Concat"));
+        assert!(s.contains("(x > 3 and not y is null)"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Commutative semirings for provenance evaluation (Green et al., PODS'07).
+//!
+//! A provenance polynomial over source tuples can be evaluated in any
+//! commutative semiring by assigning each tuple variable an element and
+//! folding `Plus`/`Times` through the semiring operations. Different
+//! semirings answer different questions about the same polynomial:
+//! possibility (Boolean), multiplicity (counting), or minimal witnesses
+//! (why-provenance).
+
+use std::collections::BTreeSet;
+
+/// A commutative semiring `(T, plus, times, zero, one)`.
+pub trait Semiring {
+    /// Element type.
+    type Elem: Clone;
+    /// Additive identity.
+    fn zero() -> Self::Elem;
+    /// Multiplicative identity.
+    fn one() -> Self::Elem;
+    /// Addition (alternative derivations).
+    fn plus(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// Multiplication (joint derivations).
+    fn times(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+}
+
+/// The Boolean semiring: "is this output row derivable at all?"
+pub struct BoolSemiring;
+
+impl Semiring for BoolSemiring {
+    type Elem = bool;
+    fn zero() -> bool {
+        false
+    }
+    fn one() -> bool {
+        true
+    }
+    fn plus(a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn times(a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+}
+
+/// The counting semiring ℕ: "how many derivations does this row have?"
+pub struct CountSemiring;
+
+impl Semiring for CountSemiring {
+    type Elem = u64;
+    fn zero() -> u64 {
+        0
+    }
+    fn one() -> u64 {
+        1
+    }
+    fn plus(a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+    fn times(a: &u64, b: &u64) -> u64 {
+        a * b
+    }
+}
+
+/// A witness: a set of source-tuple variables that jointly derive a row.
+pub type Witness = BTreeSet<u64>;
+
+/// The why-provenance semiring: sets of witnesses.
+/// `plus` is union of witness sets, `times` is pairwise union of witnesses.
+pub struct WhySemiring;
+
+impl Semiring for WhySemiring {
+    type Elem = BTreeSet<Witness>;
+    fn zero() -> Self::Elem {
+        BTreeSet::new()
+    }
+    fn one() -> Self::Elem {
+        let mut s = BTreeSet::new();
+        s.insert(Witness::new());
+        s
+    }
+    fn plus(a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        a.union(b).cloned().collect()
+    }
+    fn times(a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        let mut out = BTreeSet::new();
+        for wa in a {
+            for wb in b {
+                out.insert(wa.union(wb).cloned().collect());
+            }
+        }
+        out
+    }
+}
+
+/// A why-provenance singleton for variable `v`.
+pub fn why_var(v: u64) -> <WhySemiring as Semiring>::Elem {
+    let mut w = Witness::new();
+    w.insert(v);
+    let mut s = BTreeSet::new();
+    s.insert(w);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_semiring_laws() {
+        assert!(!BoolSemiring::zero());
+        assert!(BoolSemiring::one());
+        assert!(BoolSemiring::plus(&false, &true));
+        assert!(!BoolSemiring::times(&false, &true));
+        // zero annihilates, one is neutral.
+        assert!(!BoolSemiring::times(&BoolSemiring::zero(), &true));
+        assert!(BoolSemiring::times(&BoolSemiring::one(), &true));
+    }
+
+    #[test]
+    fn count_semiring_counts_derivations() {
+        // (a + b) * c has 2 derivations when a=b=c=1.
+        let a = 1u64;
+        let b = 1u64;
+        let c = 1u64;
+        let sum = CountSemiring::plus(&a, &b);
+        assert_eq!(CountSemiring::times(&sum, &c), 2);
+    }
+
+    #[test]
+    fn why_semiring_products_union_witnesses() {
+        let a = why_var(1);
+        let b = why_var(2);
+        let prod = WhySemiring::times(&a, &b);
+        assert_eq!(prod.len(), 1);
+        let w = prod.iter().next().unwrap();
+        assert!(w.contains(&1) && w.contains(&2));
+    }
+
+    #[test]
+    fn why_semiring_plus_keeps_alternatives() {
+        let a = why_var(1);
+        let b = why_var(2);
+        let sum = WhySemiring::plus(&a, &b);
+        assert_eq!(sum.len(), 2);
+        // Distribution: (a + b) * c yields two 2-element witnesses.
+        let c = why_var(3);
+        let dist = WhySemiring::times(&sum, &c);
+        assert_eq!(dist.len(), 2);
+        assert!(dist.iter().all(|w| w.len() == 2 && w.contains(&3)));
+    }
+
+    #[test]
+    fn why_identities() {
+        let a = why_var(7);
+        assert_eq!(WhySemiring::plus(&WhySemiring::zero(), &a), a);
+        assert_eq!(WhySemiring::times(&WhySemiring::one(), &a), a);
+        assert_eq!(WhySemiring::times(&WhySemiring::zero(), &a), WhySemiring::zero());
+    }
+}

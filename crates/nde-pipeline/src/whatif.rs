@@ -1,0 +1,218 @@
+//! Provenance-based what-if analysis (paper §2.2).
+//!
+//! The tutorial highlights "the connection to related areas such as
+//! incremental view maintenance of the pipeline outputs based on changes in
+//! their inputs" and cites data-centric what-if analyses (Grafberger et al.
+//! '23). Given an executed pipeline *with provenance*, this module answers
+//! **"what would the output be if these source tuples were deleted?"**
+//! without re-running the pipeline: evaluate every output row's provenance
+//! polynomial in the Boolean semiring and keep the rows that remain
+//! derivable.
+//!
+//! ## Exactness
+//!
+//! The prediction is exact for *monotone* pipelines (sources, inner joins,
+//! fuzzy joins matching by best candidate, filters, projections, selects,
+//! concat, distinct) **when the deletion touches only sources that the kept
+//! rows depend on conjunctively** — e.g. the primary table of the hiring
+//! pipeline. Two caveats, both detected by the accompanying tests:
+//!
+//! * deleting tuples of the *right side of a left join* pads the re-executed
+//!   row with nulls instead of deleting it, so the prediction is
+//!   conservative there;
+//! * deleting the best candidate of a *fuzzy join* can promote the
+//!   second-best match on re-execution, which deletion propagation cannot
+//!   see.
+
+use crate::provenance::{Lineage, TupleId};
+use crate::semiring::BoolSemiring;
+use crate::Result;
+use nde_data::fxhash::FxHashSet;
+use nde_data::Table;
+
+/// The predicted effect of deleting source tuples.
+#[derive(Debug, Clone)]
+pub struct DeletionEffect {
+    /// Output rows (indices into the original output) that survive.
+    pub surviving_rows: Vec<usize>,
+    /// Output rows that would disappear.
+    pub deleted_rows: Vec<usize>,
+}
+
+impl DeletionEffect {
+    /// Fraction of output rows lost.
+    pub fn loss_fraction(&self, total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        self.deleted_rows.len() as f64 / total as f64
+    }
+}
+
+/// Predict which output rows survive deleting `deleted` source tuples,
+/// by Boolean-semiring evaluation of each row's provenance polynomial.
+pub fn predict_deletion(lineage: &Lineage, deleted: &[TupleId]) -> DeletionEffect {
+    let dead: FxHashSet<TupleId> = deleted.iter().copied().collect();
+    let mut surviving_rows = Vec::new();
+    let mut deleted_rows = Vec::new();
+    for (row, expr) in lineage.rows.iter().enumerate() {
+        if expr.eval::<BoolSemiring>(&|t| !dead.contains(&t)) {
+            surviving_rows.push(row);
+        } else {
+            deleted_rows.push(row);
+        }
+    }
+    DeletionEffect {
+        surviving_rows,
+        deleted_rows,
+    }
+}
+
+/// Materialize the predicted post-deletion output table from the original
+/// output (no pipeline re-execution).
+pub fn apply_deletion(output: &Table, effect: &DeletionEffect) -> Result<Table> {
+    Ok(output.take(&effect.surviving_rows)?)
+}
+
+/// Convenience: delete rows of one named source.
+pub fn delete_source_rows(
+    lineage: &Lineage,
+    source_name: &str,
+    rows: &[usize],
+) -> Result<DeletionEffect> {
+    let src = lineage.source_index(source_name).ok_or_else(|| {
+        crate::PipelineError::InvalidPlan(format!(
+            "source `{source_name}` not in lineage (sources: {:?})",
+            lineage.sources
+        ))
+    })?;
+    let deleted: Vec<TupleId> = rows.iter().map(|&r| TupleId::new(src, r as u32)).collect();
+    Ok(predict_deletion(lineage, &deleted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::plan::Plan;
+    use nde_data::generate::hiring::HiringScenario;
+
+    fn run_pipeline(s: &HiringScenario) -> (Table, Lineage) {
+        let (plan, root) = Plan::hiring_pipeline();
+        let out = Executor::new()
+            .with_provenance(true)
+            .run(
+                &plan,
+                root,
+                &[
+                    ("train_df", &s.letters),
+                    ("jobdetail_df", &s.job_details),
+                    ("social_df", &s.social),
+                ],
+            )
+            .unwrap();
+        (out.table, out.provenance.unwrap())
+    }
+
+    #[test]
+    fn predicted_deletion_matches_reexecution_for_primary_source() {
+        let s = HiringScenario::generate(150, 91);
+        let (output, lineage) = run_pipeline(&s);
+
+        // Delete 20 letters rows; predict, then re-execute for ground truth.
+        let victims: Vec<usize> = (0..20).map(|i| i * 7 % s.letters.n_rows()).collect();
+        let mut victims = victims;
+        victims.sort_unstable();
+        victims.dedup();
+        let effect = delete_source_rows(&lineage, "train_df", &victims).unwrap();
+        let predicted = apply_deletion(&output, &effect).unwrap();
+
+        let keep: Vec<usize> = (0..s.letters.n_rows())
+            .filter(|r| !victims.contains(r))
+            .collect();
+        let reduced = HiringScenario {
+            letters: s.letters.take(&keep).unwrap(),
+            job_details: s.job_details.clone(),
+            social: s.social.clone(),
+        };
+        let (actual, _) = run_pipeline(&reduced);
+
+        assert_eq!(predicted.n_rows(), actual.n_rows());
+        for r in 0..actual.n_rows() {
+            assert_eq!(predicted.row(r).unwrap(), actual.row(r).unwrap());
+        }
+    }
+
+    #[test]
+    fn deleting_a_job_kills_all_its_letters_rows() {
+        let s = HiringScenario::generate(120, 92);
+        let (output, lineage) = run_pipeline(&s);
+        // Pick the job of the first output row.
+        let job = output.get(0, "job_id").unwrap().as_int().unwrap();
+        let job_row = (0..s.job_details.n_rows())
+            .find(|&r| s.job_details.get(r, "job_id").unwrap().as_int() == Some(job))
+            .unwrap();
+        let effect = delete_source_rows(&lineage, "jobdetail_df", &[job_row]).unwrap();
+        // Every output row with this job must disappear; no others from the
+        // inner-join path.
+        for r in 0..output.n_rows() {
+            let has_job = output.get(r, "job_id").unwrap().as_int() == Some(job);
+            assert_eq!(effect.deleted_rows.contains(&r), has_job, "row {r}");
+        }
+        assert!(!effect.deleted_rows.is_empty());
+        assert!(effect.loss_fraction(output.n_rows()) > 0.0);
+    }
+
+    #[test]
+    fn empty_deletion_is_identity() {
+        let s = HiringScenario::generate(60, 93);
+        let (output, lineage) = run_pipeline(&s);
+        let effect = predict_deletion(&lineage, &[]);
+        assert_eq!(effect.surviving_rows.len(), output.n_rows());
+        assert!(effect.deleted_rows.is_empty());
+        let predicted = apply_deletion(&output, &effect).unwrap();
+        assert_eq!(predicted, output);
+    }
+
+    #[test]
+    fn left_join_caveat_is_conservative() {
+        // Deleting a social row kills the joined output row in the
+        // prediction, while re-execution would null-pad it: the prediction
+        // is a conservative subset. Document the direction of the error.
+        let s = HiringScenario::generate(100, 94);
+        let (_output, lineage) = run_pipeline(&s);
+        let src = lineage.source_index("social_df").unwrap();
+        // Find an output row depending on some social tuple.
+        let (out_row, social_row) = lineage
+            .rows
+            .iter()
+            .enumerate()
+            .find_map(|(r, e)| {
+                e.tuples()
+                    .into_iter()
+                    .find(|t| t.source == src)
+                    .map(|t| (r, t.row as usize))
+            })
+            .expect("some row joined social data");
+        let effect = delete_source_rows(&lineage, "social_df", &[social_row]).unwrap();
+        assert!(effect.deleted_rows.contains(&out_row));
+        // Re-execution keeps the row (null-padded): prediction ⊆ actual.
+        let keep: Vec<usize> = (0..s.social.n_rows())
+            .filter(|&r| r != social_row)
+            .collect();
+        let reduced = HiringScenario {
+            letters: s.letters.clone(),
+            job_details: s.job_details.clone(),
+            social: s.social.take(&keep).unwrap(),
+        };
+        let (actual, _) = run_pipeline(&reduced);
+        assert!(actual.n_rows() >= effect.surviving_rows.len());
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let s = HiringScenario::generate(30, 95);
+        let (_, lineage) = run_pipeline(&s);
+        assert!(delete_source_rows(&lineage, "nope", &[0]).is_err());
+    }
+}

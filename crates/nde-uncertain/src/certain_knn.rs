@@ -1,0 +1,288 @@
+//! Certain predictions for nearest-neighbor classifiers over incomplete data
+//! (Karlaš et al., "Nearest Neighbor Classifiers over Incomplete
+//! Information: From Certain Answers to Certain Predictions", VLDB'20).
+//!
+//! A prediction is **certain** when it is identical in *every* possible
+//! world, i.e. under every imputation of the missing training cells. Because
+//! each training row's missing cells are imputed independently, certainty of
+//! a 1-NN prediction has an exact characterization via per-row distance
+//! bounds — no world enumeration needed.
+
+use crate::interval::Interval;
+use crate::symbolic::SymbolicMatrix;
+use crate::{Result, UncertainError};
+
+/// Outcome of a certain-prediction query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertainOutcome {
+    /// The same label wins in every possible world.
+    Certain(usize),
+    /// Different worlds can produce different labels; the payload is the
+    /// label of the midpoint world (a best guess, *not* certain).
+    Uncertain(usize),
+}
+
+impl CertainOutcome {
+    /// The label, certain or not.
+    pub fn label(self) -> usize {
+        match self {
+            CertainOutcome::Certain(l) | CertainOutcome::Uncertain(l) => l,
+        }
+    }
+
+    /// `true` iff the prediction is certain.
+    pub fn is_certain(self) -> bool {
+        matches!(self, CertainOutcome::Certain(_))
+    }
+}
+
+/// Interval of possible squared distances between a concrete query and a
+/// symbolic (interval) training row.
+fn distance_interval(query: &[f64], row: &[Interval]) -> Interval {
+    debug_assert_eq!(query.len(), row.len());
+    let mut d = Interval::point(0.0);
+    for (&q, &iv) in query.iter().zip(row) {
+        d = d + (iv - Interval::point(q)).square();
+    }
+    d
+}
+
+/// Certain-prediction check for a 1-NN classifier over incomplete training
+/// data. `labels[i]` is the label of symbolic training row `i`.
+///
+/// The check is **exact** (sound and complete) for 1-NN: the prediction is
+/// certain with label `L` iff the smallest *max*-distance among rows labeled
+/// `L` is strictly below the smallest *min*-distance among rows with any
+/// other label. (If some wrong-label row can get at least as close as every
+/// right-label row must be, there is a world where it wins.)
+pub fn certain_prediction_1nn(
+    train: &SymbolicMatrix,
+    labels: &[usize],
+    query: &[f64],
+) -> Result<CertainOutcome> {
+    if train.is_empty() {
+        return Err(UncertainError::InvalidArgument("empty training set".into()));
+    }
+    if train.len() != labels.len() {
+        return Err(UncertainError::InvalidArgument(format!(
+            "{} rows but {} labels",
+            train.len(),
+            labels.len()
+        )));
+    }
+    if train.cols() != query.len() {
+        return Err(UncertainError::InvalidArgument(format!(
+            "query has {} features, training data has {}",
+            query.len(),
+            train.cols()
+        )));
+    }
+
+    let dists: Vec<Interval> = train
+        .iter_rows()
+        .map(|row| distance_interval(query, row))
+        .collect();
+
+    // Midpoint-world best guess.
+    let guess = dists
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.mid()
+                .partial_cmp(&b.1.mid())
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        })
+        .map(|(i, _)| labels[i])
+        .expect("non-empty");
+
+    // Candidate label: owner of the globally smallest max-distance. Only its
+    // label can possibly be certain — any other label loses in the world
+    // where this row sits at its max distance... wait, the candidate is the
+    // row guaranteed to be within `candidate_dmax` in every world.
+    let (cand_idx, cand_dmax) = dists
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.hi
+                .partial_cmp(&b.1.hi)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        })
+        .map(|(i, d)| (i, d.hi))
+        .expect("non-empty");
+    let label = labels[cand_idx];
+
+    // Tightest guaranteed radius for the candidate label.
+    let best_same_dmax = dists
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l == label)
+        .map(|(d, _)| d.hi)
+        .fold(f64::INFINITY, f64::min);
+    debug_assert!((best_same_dmax - cand_dmax).abs() < 1e-12);
+
+    // Can any differently-labeled row ever get at least as close?
+    let min_other_dmin = dists
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l != label)
+        .map(|(d, _)| d.lo)
+        .fold(f64::INFINITY, f64::min);
+
+    if best_same_dmax < min_other_dmin {
+        Ok(CertainOutcome::Certain(label))
+    } else {
+        Ok(CertainOutcome::Uncertain(guess))
+    }
+}
+
+/// Fraction of queries whose 1-NN prediction is certain (the "coverage"
+/// metric of the CP paper), plus per-query outcomes.
+pub fn certain_coverage(
+    train: &SymbolicMatrix,
+    labels: &[usize],
+    queries: &nde_ml::linalg::Matrix,
+) -> Result<(f64, Vec<CertainOutcome>)> {
+    let outcomes: Result<Vec<CertainOutcome>> = queries
+        .iter_rows()
+        .map(|q| certain_prediction_1nn(train, labels, q))
+        .collect();
+    let outcomes = outcomes?;
+    if outcomes.is_empty() {
+        return Ok((0.0, outcomes));
+    }
+    let certain = outcomes.iter().filter(|o| o.is_certain()).count();
+    Ok((certain as f64 / outcomes.len() as f64, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::column_bounds_from_observed;
+    use nde_ml::linalg::Matrix;
+
+    fn exact_train() -> (SymbolicMatrix, Vec<usize>) {
+        let x = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]]).unwrap();
+        (SymbolicMatrix::from_exact(&x), vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn complete_data_is_always_certain() {
+        let (train, labels) = exact_train();
+        let out = certain_prediction_1nn(&train, &labels, &[0.4]).unwrap();
+        assert_eq!(out, CertainOutcome::Certain(0));
+        let out = certain_prediction_1nn(&train, &labels, &[10.6]).unwrap();
+        assert_eq!(out, CertainOutcome::Certain(1));
+    }
+
+    #[test]
+    fn wide_uncertainty_breaks_certainty() {
+        // Row 1 (label 0) has an interval spanning the whole axis: it could
+        // sit right next to the query or far away — but it shares the
+        // candidate label, so certainty survives. Make a *label-1* row wide
+        // instead: then the prediction near the 0-cluster becomes uncertain.
+        let rows = vec![
+            vec![Interval::point(0.0)],
+            vec![Interval::point(1.0)],
+            vec![Interval::new(-20.0, 20.0)], // label 1, could come anywhere
+            vec![Interval::point(11.0)],
+        ];
+        let train = SymbolicMatrix::from_rows(rows).unwrap();
+        let labels = vec![0, 0, 1, 1];
+        let out = certain_prediction_1nn(&train, &labels, &[0.4]).unwrap();
+        assert!(!out.is_certain());
+        // Far from everything but closest to the certain 1-cluster, and the
+        // wide row is also label 1 ⇒ certain.
+        let out = certain_prediction_1nn(&train, &labels, &[11.2]).unwrap();
+        assert_eq!(out, CertainOutcome::Certain(1));
+    }
+
+    #[test]
+    fn same_label_uncertainty_is_harmless() {
+        // A wide interval on a row that shares the winning label cannot
+        // change the prediction.
+        let rows = vec![
+            vec![Interval::point(0.0)],
+            vec![Interval::new(-50.0, 50.0)], // label 0, wide
+            vec![Interval::point(10.0)],
+        ];
+        let train = SymbolicMatrix::from_rows(rows).unwrap();
+        let labels = vec![0, 0, 1];
+        let out = certain_prediction_1nn(&train, &labels, &[0.3]).unwrap();
+        assert_eq!(out, CertainOutcome::Certain(0));
+    }
+
+    #[test]
+    fn coverage_decreases_with_missing_fraction() {
+        // 40 points, two clusters; progressively widen more rows.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![i as f64 * 0.05]);
+            labels.push(0);
+            rows.push(vec![10.0 + i as f64 * 0.05]);
+            labels.push(1);
+        }
+        let x = Matrix::from_rows(rows).unwrap();
+        let bounds = column_bounds_from_observed(&x);
+        let queries =
+            Matrix::from_rows((0..10).map(|i| vec![i as f64 * 1.1]).collect()).unwrap();
+        let mut coverages = Vec::new();
+        for k in [0usize, 8, 20, 36] {
+            let missing: Vec<(usize, usize)> = (0..k).map(|r| (r, 0)).collect();
+            let sym = SymbolicMatrix::from_matrix_with_missing(&x, &missing, &bounds).unwrap();
+            let (cov, outcomes) = certain_coverage(&sym, &labels, &queries).unwrap();
+            assert_eq!(outcomes.len(), 10);
+            coverages.push(cov);
+        }
+        assert_eq!(coverages[0], 1.0);
+        for w in coverages.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "coverage not decreasing: {coverages:?}");
+        }
+        assert!(coverages[3] < 1.0);
+    }
+
+    #[test]
+    fn certainty_check_is_exact_vs_grid_enumeration() {
+        // One missing cell: enumerate a fine grid of worlds and verify the
+        // analytic verdict matches brute force.
+        let rows = vec![
+            vec![Interval::point(0.0)],
+            vec![Interval::new(0.0, 6.0)], // label 1, uncertain cell
+            vec![Interval::point(10.0)],
+        ];
+        let train = SymbolicMatrix::from_rows(rows.clone()).unwrap();
+        let labels = vec![0, 1, 1];
+        for q in [1.0f64, 4.0, 8.0] {
+            let verdict = certain_prediction_1nn(&train, &labels, &[q]).unwrap();
+            // Brute force over the single uncertain cell.
+            let mut seen = std::collections::HashSet::new();
+            for step in 0..=600 {
+                let v = 6.0 * step as f64 / 600.0;
+                let dists = [(q - 0.0) * (q - 0.0), (q - v) * (q - v), (q - 10.0) * (q - 10.0)];
+                let mut best = 0;
+                for i in 1..3 {
+                    if dists[i] < dists[best] {
+                        best = i;
+                    }
+                }
+                seen.insert(labels[best]);
+            }
+            assert_eq!(
+                verdict.is_certain(),
+                seen.len() == 1,
+                "query {q}: verdict {verdict:?}, brute-force labels {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let (train, labels) = exact_train();
+        assert!(certain_prediction_1nn(&train, &labels[..2], &[0.0]).is_err());
+        assert!(certain_prediction_1nn(&train, &labels, &[0.0, 1.0]).is_err());
+        let empty = SymbolicMatrix::from_rows(vec![]).unwrap();
+        assert!(certain_prediction_1nn(&empty, &[], &[0.0]).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the uncertain-data crate.
+
+use std::fmt;
+
+/// Errors from symbolic encoding, interval training and certainty checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UncertainError {
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// Interval training diverged (bounds grew unbounded).
+    Diverged(String),
+    /// Too many uncertain cells/labels for exact enumeration.
+    TooManyWorlds {
+        /// Number of uncertain items requested.
+        requested: usize,
+        /// Enumeration limit.
+        limit: usize,
+    },
+    /// A wrapped ML-substrate error.
+    Ml(String),
+}
+
+impl fmt::Display for UncertainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UncertainError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            UncertainError::Diverged(m) => write!(f, "interval training diverged: {m}"),
+            UncertainError::TooManyWorlds { requested, limit } => write!(
+                f,
+                "{requested} uncertain items exceed the exact-enumeration limit of {limit}"
+            ),
+            UncertainError::Ml(m) => write!(f, "ml error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for UncertainError {}
+
+impl From<nde_ml::MlError> for UncertainError {
+    fn from(e: nde_ml::MlError) -> Self {
+        UncertainError::Ml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = UncertainError::TooManyWorlds {
+            requested: 40,
+            limit: 20,
+        };
+        assert!(e.to_string().contains("40"));
+        let e: UncertainError = nde_ml::MlError::NotFitted.into();
+        assert!(matches!(e, UncertainError::Ml(_)));
+    }
+}

@@ -1,0 +1,236 @@
+//! Closed-interval arithmetic over `f64`.
+//!
+//! The symbolic substrate for Zorro-style uncertainty propagation: every
+//! arithmetic operation returns an interval guaranteed to contain all results
+//! obtainable from any choice of operands within the input intervals
+//! (soundness). No outward rounding is performed — floating-point error is
+//! far below the uncertainty widths we model.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]` with `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// A degenerate point interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// An interval from bounds (swaps them if given out of order).
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// Width `hi − lo`.
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    pub fn mid(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// `true` iff `v` lies in the interval.
+    pub fn contains(self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` iff this is a point interval.
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Interval of `x²` for `x` in `self` (tighter than `self * self`,
+    /// which ignores the correlation between the two factors).
+    pub fn square(self) -> Interval {
+        let (a, b) = (self.lo.abs(), self.hi.abs());
+        let hi = (a * a).max(b * b);
+        let lo = if self.contains(0.0) {
+            0.0
+        } else {
+            (a * a).min(b * b)
+        };
+        Interval { lo, hi }
+    }
+
+    /// Scale by a scalar.
+    pub fn scale(self, c: f64) -> Interval {
+        if c >= 0.0 {
+            Interval {
+                lo: self.lo * c,
+                hi: self.hi * c,
+            }
+        } else {
+            Interval {
+                lo: self.hi * c,
+                hi: self.lo * c,
+            }
+        }
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn abs_max(self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo - rhs.hi,
+            hi: self.hi - rhs.lo,
+        }
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let candidates = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let mut lo = candidates[0];
+        let mut hi = candidates[0];
+        for &c in &candidates[1..] {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval { lo, hi }
+    }
+}
+
+/// Interval dot product `Σ a_i · b_i`.
+pub fn interval_dot(a: &[Interval], b: &[Interval]) -> Interval {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .fold(Interval::point(0.0), |acc, (&x, &y)| acc + x * y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interval::new(3.0, 1.0);
+        assert_eq!((i.lo, i.hi), (1.0, 3.0));
+        assert_eq!(i.width(), 2.0);
+        assert_eq!(i.mid(), 2.0);
+        assert!(i.contains(1.0) && i.contains(3.0) && !i.contains(3.1));
+        assert!(Interval::point(5.0).is_point());
+        assert_eq!(i.abs_max(), 3.0);
+        assert_eq!(Interval::new(-4.0, 2.0).abs_max(), 4.0);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-1.0, 3.0);
+        assert_eq!(a + b, Interval::new(0.0, 5.0));
+        assert_eq!(a - b, Interval::new(-2.0, 3.0));
+        assert_eq!(-a, Interval::new(-2.0, -1.0));
+    }
+
+    #[test]
+    fn mul_sign_cases() {
+        let pos = Interval::new(2.0, 3.0);
+        let neg = Interval::new(-3.0, -2.0);
+        let mixed = Interval::new(-1.0, 2.0);
+        assert_eq!(pos * pos, Interval::new(4.0, 9.0));
+        assert_eq!(pos * neg, Interval::new(-9.0, -4.0));
+        assert_eq!(neg * neg, Interval::new(4.0, 9.0));
+        assert_eq!(mixed * pos, Interval::new(-3.0, 6.0));
+        assert_eq!(mixed * mixed, Interval::new(-2.0, 4.0));
+    }
+
+    #[test]
+    fn square_is_tighter_than_self_mul() {
+        let m = Interval::new(-1.0, 2.0);
+        assert_eq!(m.square(), Interval::new(0.0, 4.0));
+        // Naive self-multiplication loses the x==x correlation.
+        assert_eq!(m * m, Interval::new(-2.0, 4.0));
+        assert_eq!(Interval::new(2.0, 3.0).square(), Interval::new(4.0, 9.0));
+        assert_eq!(Interval::new(-3.0, -2.0).square(), Interval::new(4.0, 9.0));
+    }
+
+    #[test]
+    fn soundness_by_sampling() {
+        // Every sampled concrete computation must land inside the interval one.
+        let a = Interval::new(-1.5, 0.5);
+        let b = Interval::new(0.2, 2.0);
+        let sum = a + b;
+        let prod = a * b;
+        let diff = a - b;
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let x = a.lo + a.width() * i as f64 / 10.0;
+                let y = b.lo + b.width() * j as f64 / 10.0;
+                assert!(sum.contains(x + y));
+                assert!(prod.contains(x * y));
+                assert!(diff.contains(x - y));
+                assert!(a.square().contains(x * x));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_and_hull_and_dot() {
+        let a = Interval::new(1.0, 2.0);
+        assert_eq!(a.scale(2.0), Interval::new(2.0, 4.0));
+        assert_eq!(a.scale(-1.0), Interval::new(-2.0, -1.0));
+        assert_eq!(
+            a.hull(Interval::new(5.0, 6.0)),
+            Interval::new(1.0, 6.0)
+        );
+        let d = interval_dot(
+            &[Interval::point(1.0), Interval::new(0.0, 1.0)],
+            &[Interval::point(2.0), Interval::point(3.0)],
+        );
+        assert_eq!(d, Interval::new(2.0, 5.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # nde-uncertain
+//!
+//! Learning from uncertain and incomplete data (paper §2.3, Fig. 4):
+//!
+//! * [`interval`] — interval arithmetic, the symbolic substrate;
+//! * [`symbolic`] — symbolic feature matrices where missing cells become
+//!   intervals over their column domain (`encode_symbolic` in the tutorial);
+//! * [`zorro`] — Zorro-style symbolic training of linear models under
+//!   missing-value uncertainty, yielding **worst-case loss bounds** and
+//!   **prediction ranges** (Zhu et al., NeurIPS'24);
+//! * [`certain_knn`] — certain predictions for nearest-neighbor classifiers
+//!   over incomplete data (Karlaš et al., VLDB'20);
+//! * [`certain_models`] — certain / approximately-certain model checks
+//!   (Zhen et al., SIGMOD'24);
+//! * [`multiplicity`] — the dataset-multiplicity problem for uncertain
+//!   labels (Meyer et al., FAccT'23);
+//! * [`worlds`] — possible-worlds sampling and robust (abstaining)
+//!   aggregation.
+
+pub mod certain_knn;
+pub mod certain_models;
+pub mod error;
+pub mod interval;
+pub mod multiplicity;
+pub mod symbolic;
+pub mod worlds;
+pub mod zorro;
+
+pub use error::UncertainError;
+pub use interval::Interval;
+pub use symbolic::SymbolicMatrix;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, UncertainError>;

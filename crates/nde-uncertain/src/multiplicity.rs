@@ -1,0 +1,245 @@
+//! The dataset multiplicity problem (Meyer, Albarghouthi & D'Antoni,
+//! FAccT'23): when some training *labels* are unreliable, a whole family of
+//! datasets — and therefore models — is consistent with what we know. A test
+//! point's prediction is *robust* when every model in the family agrees.
+
+use crate::{Result, UncertainError};
+use nde_ml::dataset::Dataset;
+use nde_ml::linalg::Matrix;
+use nde_ml::model::Classifier;
+use rand::Rng;
+
+/// Hard limit on exact world enumeration (`2^k` models are trained).
+pub const EXACT_LIMIT: usize = 16;
+
+/// Per-test-point multiplicity verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiplicityVerdict {
+    /// Fraction of worlds predicting each class.
+    pub class_shares: Vec<f64>,
+    /// `true` iff every world agrees on this point's prediction.
+    pub robust: bool,
+}
+
+/// Result of a multiplicity analysis over a test set.
+#[derive(Debug, Clone)]
+pub struct MultiplicityReport {
+    /// One verdict per test point.
+    pub verdicts: Vec<MultiplicityVerdict>,
+    /// Number of worlds evaluated.
+    pub worlds: usize,
+}
+
+impl MultiplicityReport {
+    /// Fraction of test points whose prediction flips across worlds.
+    pub fn flip_rate(&self) -> f64 {
+        if self.verdicts.is_empty() {
+            return 0.0;
+        }
+        let flips = self.verdicts.iter().filter(|v| !v.robust).count();
+        flips as f64 / self.verdicts.len() as f64
+    }
+}
+
+/// Exact dataset-multiplicity analysis: enumerate all `2^k` assignments of
+/// the binary labels at `uncertain` (indices into `train`), retrain a fresh
+/// clone of `template` per world and tally test predictions.
+///
+/// Requires binary labels and `uncertain.len() <= EXACT_LIMIT`.
+pub fn multiplicity_exact<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    uncertain: &[usize],
+    test_x: &Matrix,
+) -> Result<MultiplicityReport> {
+    if train.n_classes != 2 {
+        return Err(UncertainError::InvalidArgument(
+            "dataset multiplicity implemented for binary labels".into(),
+        ));
+    }
+    if uncertain.len() > EXACT_LIMIT {
+        return Err(UncertainError::TooManyWorlds {
+            requested: uncertain.len(),
+            limit: EXACT_LIMIT,
+        });
+    }
+    for &i in uncertain {
+        if i >= train.len() {
+            return Err(UncertainError::InvalidArgument(format!(
+                "uncertain index {i} out of bounds"
+            )));
+        }
+    }
+    let worlds = 1usize << uncertain.len();
+    run_worlds(template, train, uncertain, test_x, (0..worlds).map(Some))
+}
+
+/// Sampled multiplicity analysis for larger `k`: draw `samples` random label
+/// assignments instead of enumerating all `2^k`.
+pub fn multiplicity_sampled<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    uncertain: &[usize],
+    test_x: &Matrix,
+    samples: usize,
+    seed: u64,
+) -> Result<MultiplicityReport> {
+    if train.n_classes != 2 {
+        return Err(UncertainError::InvalidArgument(
+            "dataset multiplicity implemented for binary labels".into(),
+        ));
+    }
+    if samples == 0 {
+        return Err(UncertainError::InvalidArgument("samples must be > 0".into()));
+    }
+    let mut rng = nde_data::rng::seeded(seed);
+    let masks: Vec<Option<usize>> = (0..samples)
+        .map(|_| {
+            let mut m = 0usize;
+            for b in 0..uncertain.len().min(63) {
+                if rng.gen::<bool>() {
+                    m |= 1 << b;
+                }
+            }
+            Some(m)
+        })
+        .collect();
+    run_worlds(template, train, uncertain, test_x, masks.into_iter())
+}
+
+fn run_worlds<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    uncertain: &[usize],
+    test_x: &Matrix,
+    masks: impl Iterator<Item = Option<usize>>,
+) -> Result<MultiplicityReport> {
+    let mut counts: Vec<[usize; 2]> = vec![[0, 0]; test_x.rows()];
+    let mut worlds = 0usize;
+    let mut world_train = train.clone();
+    for mask in masks.flatten() {
+        for (b, &i) in uncertain.iter().enumerate() {
+            world_train.y[i] = if mask & (1 << b) != 0 {
+                1 - train.y[i]
+            } else {
+                train.y[i]
+            };
+        }
+        let mut model = template.clone();
+        model.fit(&world_train)?;
+        for (t, row) in test_x.iter_rows().enumerate() {
+            counts[t][model.predict_one(row).min(1)] += 1;
+        }
+        worlds += 1;
+    }
+    let verdicts = counts
+        .into_iter()
+        .map(|c| {
+            let total = (c[0] + c[1]).max(1) as f64;
+            MultiplicityVerdict {
+                class_shares: vec![c[0] as f64 / total, c[1] as f64 / total],
+                robust: c[0] == 0 || c[1] == 0,
+            }
+        })
+        .collect();
+    Ok(MultiplicityReport { verdicts, worlds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_ml::models::knn::KnnClassifier;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(
+            vec![vec![0.0], vec![0.5], vec![10.0], vec![10.5]],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn no_uncertainty_means_everything_robust() {
+        let train = toy();
+        let test = Matrix::from_rows(vec![vec![0.2], vec![10.2]]).unwrap();
+        let report =
+            multiplicity_exact(&KnnClassifier::new(1), &train, &[], &test).unwrap();
+        assert_eq!(report.worlds, 1);
+        assert_eq!(report.flip_rate(), 0.0);
+        assert!(report.verdicts.iter().all(|v| v.robust));
+    }
+
+    #[test]
+    fn uncertain_label_near_test_point_causes_flip() {
+        let train = toy();
+        // Label of the point at 0.0 is unreliable; a query at 0.1 will flip,
+        // a query at 10.2 will not.
+        let test = Matrix::from_rows(vec![vec![0.1], vec![10.2]]).unwrap();
+        let report =
+            multiplicity_exact(&KnnClassifier::new(1), &train, &[0], &test).unwrap();
+        assert_eq!(report.worlds, 2);
+        assert!(!report.verdicts[0].robust);
+        assert!(report.verdicts[1].robust);
+        assert_eq!(report.flip_rate(), 0.5);
+        assert_eq!(report.verdicts[0].class_shares, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn flip_rate_grows_with_more_uncertain_labels() {
+        let train = Dataset::from_rows(
+            (0..12).map(|i| vec![i as f64]).collect(),
+            vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1],
+            2,
+        )
+        .unwrap();
+        let test = Matrix::from_rows((0..12).map(|i| vec![i as f64 + 0.3]).collect()).unwrap();
+        let few = multiplicity_exact(&KnnClassifier::new(1), &train, &[2], &test).unwrap();
+        let many =
+            multiplicity_exact(&KnnClassifier::new(1), &train, &[1, 2, 8, 9], &test).unwrap();
+        assert!(many.flip_rate() >= few.flip_rate());
+        assert!(many.flip_rate() > 0.0);
+    }
+
+    #[test]
+    fn sampled_agrees_with_exact_on_robustness_direction() {
+        let train = toy();
+        let test = Matrix::from_rows(vec![vec![0.1], vec![10.2]]).unwrap();
+        let exact =
+            multiplicity_exact(&KnnClassifier::new(1), &train, &[0, 1], &test).unwrap();
+        let sampled = multiplicity_sampled(
+            &KnnClassifier::new(1),
+            &train,
+            &[0, 1],
+            &test,
+            64,
+            7,
+        )
+        .unwrap();
+        assert_eq!(sampled.worlds, 64);
+        // Point 1 (far cluster) is robust in both analyses.
+        assert!(exact.verdicts[1].robust);
+        assert!(sampled.verdicts[1].robust);
+        // Point 0 is non-robust in both.
+        assert!(!exact.verdicts[0].robust);
+        assert!(!sampled.verdicts[0].robust);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let train = toy();
+        let test = Matrix::from_rows(vec![vec![0.0]]).unwrap();
+        let too_many: Vec<usize> = (0..17).collect();
+        assert!(matches!(
+            multiplicity_exact(&KnnClassifier::new(1), &train, &too_many, &test),
+            Err(UncertainError::TooManyWorlds { .. })
+        ));
+        assert!(
+            multiplicity_exact(&KnnClassifier::new(1), &train, &[99], &test).is_err()
+        );
+        assert!(multiplicity_sampled(&KnnClassifier::new(1), &train, &[0], &test, 0, 0).is_err());
+        let three = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 2], 3)
+            .unwrap();
+        assert!(multiplicity_exact(&KnnClassifier::new(1), &three, &[0], &test).is_err());
+    }
+}

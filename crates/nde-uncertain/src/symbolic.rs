@@ -1,0 +1,208 @@
+//! Symbolic feature matrices: missing cells become domain intervals.
+//!
+//! This is the tutorial's `encode_symbolic` step (Fig. 4): instead of
+//! imputing a missing value with a point guess, the cell is replaced by an
+//! interval spanning the value's plausible domain, and downstream training
+//! propagates that uncertainty symbolically.
+
+use crate::interval::Interval;
+use crate::{Result, UncertainError};
+use nde_ml::linalg::Matrix;
+
+/// A matrix of intervals, one row per example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicMatrix {
+    rows: Vec<Vec<Interval>>,
+    cols: usize,
+}
+
+impl SymbolicMatrix {
+    /// Wrap explicit interval rows (all must have equal length).
+    pub fn from_rows(rows: Vec<Vec<Interval>>) -> Result<SymbolicMatrix> {
+        let cols = rows.first().map_or(0, Vec::len);
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(UncertainError::InvalidArgument(
+                "ragged symbolic matrix".into(),
+            ));
+        }
+        Ok(SymbolicMatrix { rows, cols })
+    }
+
+    /// Lift a concrete matrix: every cell becomes a point interval.
+    pub fn from_exact(x: &Matrix) -> SymbolicMatrix {
+        SymbolicMatrix {
+            rows: x
+                .iter_rows()
+                .map(|r| r.iter().map(|&v| Interval::point(v)).collect())
+                .collect(),
+            cols: x.cols(),
+        }
+    }
+
+    /// Lift a concrete matrix and replace the cells listed in `missing`
+    /// (row, col) with the corresponding column's domain interval.
+    ///
+    /// `column_bounds[c]` is the plausible domain of column `c`; derive it
+    /// with [`column_bounds_from_observed`] when not known a priori.
+    pub fn from_matrix_with_missing(
+        x: &Matrix,
+        missing: &[(usize, usize)],
+        column_bounds: &[Interval],
+    ) -> Result<SymbolicMatrix> {
+        if column_bounds.len() != x.cols() {
+            return Err(UncertainError::InvalidArgument(format!(
+                "{} column bounds for {} columns",
+                column_bounds.len(),
+                x.cols()
+            )));
+        }
+        let mut sym = SymbolicMatrix::from_exact(x);
+        for &(r, c) in missing {
+            if r >= x.rows() || c >= x.cols() {
+                return Err(UncertainError::InvalidArgument(format!(
+                    "missing cell ({r}, {c}) out of bounds for {}x{} matrix",
+                    x.rows(),
+                    x.cols()
+                )));
+            }
+            sym.rows[r][c] = column_bounds[c];
+        }
+        Ok(sym)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> &[Interval] {
+        &self.rows[i]
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[Interval]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// Total uncertainty: sum of cell widths.
+    pub fn total_width(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter().map(|i| i.width()))
+            .sum()
+    }
+
+    /// The concrete midpoint matrix (one possible world: every cell at its
+    /// interval center — equivalent to midpoint imputation).
+    pub fn midpoint_world(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.len(), self.cols);
+        for (i, row) in self.rows.iter().enumerate() {
+            for (j, iv) in row.iter().enumerate() {
+                m.set(i, j, iv.mid());
+            }
+        }
+        m
+    }
+}
+
+/// Per-column `[min, max]` over the observed values of a matrix — the
+/// default domain for missing cells.
+#[allow(clippy::needless_range_loop)] // column-major scan of a row-major matrix
+pub fn column_bounds_from_observed(x: &Matrix) -> Vec<Interval> {
+    let mut bounds = vec![Interval::point(0.0); x.cols()];
+    for c in 0..x.cols() {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for r in 0..x.rows() {
+            let v = x.get(r, c);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        bounds[c] = if lo <= hi {
+            Interval::new(lo, hi)
+        } else {
+            Interval::point(0.0)
+        };
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> Matrix {
+        Matrix::from_rows(vec![
+            vec![1.0, -2.0],
+            vec![3.0, 0.0],
+            vec![2.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_lift_is_all_points() {
+        let sym = SymbolicMatrix::from_exact(&matrix());
+        assert_eq!(sym.len(), 3);
+        assert_eq!(sym.cols(), 2);
+        assert!(sym.iter_rows().all(|r| r.iter().all(|i| i.is_point())));
+        assert_eq!(sym.total_width(), 0.0);
+    }
+
+    #[test]
+    fn missing_cells_get_column_bounds() {
+        let x = matrix();
+        let bounds = column_bounds_from_observed(&x);
+        assert_eq!(bounds[0], Interval::new(1.0, 3.0));
+        assert_eq!(bounds[1], Interval::new(-2.0, 2.0));
+        let sym =
+            SymbolicMatrix::from_matrix_with_missing(&x, &[(0, 1), (2, 0)], &bounds).unwrap();
+        assert_eq!(sym.row(0)[1], Interval::new(-2.0, 2.0));
+        assert_eq!(sym.row(2)[0], Interval::new(1.0, 3.0));
+        assert!(sym.row(1)[0].is_point());
+        assert_eq!(sym.total_width(), 4.0 + 2.0);
+    }
+
+    #[test]
+    fn midpoint_world_is_midpoint_imputation() {
+        let x = matrix();
+        let bounds = column_bounds_from_observed(&x);
+        let sym = SymbolicMatrix::from_matrix_with_missing(&x, &[(0, 0)], &bounds).unwrap();
+        let world = sym.midpoint_world();
+        assert_eq!(world.get(0, 0), 2.0); // mid of [1, 3]
+        assert_eq!(world.get(1, 0), 3.0); // observed value untouched
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = matrix();
+        let bounds = column_bounds_from_observed(&x);
+        assert!(SymbolicMatrix::from_matrix_with_missing(&x, &[(9, 0)], &bounds).is_err());
+        assert!(SymbolicMatrix::from_matrix_with_missing(&x, &[(0, 9)], &bounds).is_err());
+        assert!(SymbolicMatrix::from_matrix_with_missing(&x, &[], &bounds[..1]).is_err());
+        assert!(SymbolicMatrix::from_rows(vec![
+            vec![Interval::point(0.0)],
+            vec![Interval::point(0.0), Interval::point(1.0)]
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn empty_matrix_bounds_are_safe() {
+        let empty = Matrix::zeros(0, 2);
+        let bounds = column_bounds_from_observed(&empty);
+        assert_eq!(bounds.len(), 2);
+        assert!(bounds.iter().all(|b| b.is_point()));
+    }
+}

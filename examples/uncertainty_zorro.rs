@@ -1,0 +1,48 @@
+//! Learning from imperfect data — the Fig. 4 hands-on flow:
+//! inject MNAR missing values into `employer_rating` at 5–25%, train the
+//! Zorro-style symbolic model, and print the maximum worst-case loss curve
+//! next to a mean-imputation baseline.
+//!
+//! Run with: `cargo run --release --example uncertainty_zorro`
+
+use nde::scenario::load_recommendation_letters;
+use nde::workflows::learn::{run, LearnConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = load_recommendation_letters(400, 44);
+    let config = LearnConfig::default();
+    println!(
+        "Evaluating {:?}% missing values in `{}` (mechanism: MNAR)...\n",
+        config.percentages, config.feature
+    );
+
+    let outcome = run(&scenario, &config)?;
+
+    println!("missing % | max worst-case loss | baseline (imputed) MSE");
+    println!("----------+---------------------+-----------------------");
+    for p in &outcome.points {
+        println!(
+            "{:>8}% | {:>19.4} | {:>22.4}",
+            p.percentage, p.max_worst_case_loss, p.baseline_mse
+        );
+    }
+    let max_width = outcome
+        .points
+        .iter()
+        .map(|p| p.max_worst_case_loss)
+        .fold(0.0_f64, f64::max);
+    println!("\nASCII rendering of the Fig. 4 curve:");
+    for p in &outcome.points {
+        let bar = (p.max_worst_case_loss / max_width * 50.0).round() as usize;
+        println!("{:>5}% | {}", p.percentage, "#".repeat(bar.max(1)));
+    }
+    println!(
+        "\nThe worst-case bound grows monotonically with missingness: {}",
+        outcome.is_monotone()
+    );
+    println!(
+        "The point baseline stays far below the bound — a single imputation \
+         hides how bad things *could* be."
+    );
+    Ok(())
+}

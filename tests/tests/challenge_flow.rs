@@ -1,0 +1,86 @@
+//! Integration test of the §3.2 data debugging challenge: strategies from
+//! `nde-cleaning` competing through the sealed oracle, with leaderboard
+//! persistence.
+
+use nde_cleaning::challenge::{DebugChallenge, Leaderboard};
+use nde_cleaning::oracle::LabelOracle;
+use nde_cleaning::strategy::Strategy;
+use nde_data::generate::blobs::two_gaussians;
+use nde_importance::confident::ConfidentConfig;
+use nde_ml::dataset::Dataset;
+use nde_ml::models::knn::KnnClassifier;
+
+fn setup() -> (DebugChallenge<KnnClassifier>, Dataset) {
+    let nd = two_gaussians(360, 3, 4.0, 61);
+    let all = Dataset::try_from(&nd).expect("blob data");
+    let mut train = all.subset(&(0..240).collect::<Vec<_>>());
+    let valid = all.subset(&(240..300).collect::<Vec<_>>());
+    let test = all.subset(&(300..360).collect::<Vec<_>>());
+    let truth = train.y.clone();
+    for i in (0..train.len()).step_by(8) {
+        train.y[i] = 1 - train.y[i];
+    }
+    let challenge = DebugChallenge::new(
+        KnnClassifier::new(3),
+        train,
+        LabelOracle::new(truth),
+        test,
+        30,
+    )
+    .expect("challenge setup");
+    (challenge, valid)
+}
+
+#[test]
+fn full_challenge_round_with_persistence() {
+    let (mut challenge, valid) = setup();
+    let baseline = challenge.baseline().expect("baseline");
+
+    let entrants = [
+        Strategy::Random { seed: 4 },
+        Strategy::KnnShapley { k: 3 },
+        Strategy::ConfidentLearning(ConfidentConfig::default()),
+    ];
+    for strategy in entrants {
+        let order = strategy
+            .rank(challenge.dirty_data(), &valid)
+            .expect("ranking");
+        let picks: Vec<usize> = order.into_iter().take(challenge.budget()).collect();
+        let score = challenge.submit(strategy.name(), &picks).expect("submits");
+        assert!((0.0..=1.0).contains(&score));
+    }
+
+    let lb = challenge.leaderboard();
+    assert_eq!(lb.entries().len(), 3);
+    // The winner should match or beat the no-cleaning baseline.
+    assert!(lb.leader().expect("has leader").score >= baseline - 0.02);
+    // Importance-guided entries should not lose to random.
+    let score_of = |name: &str| {
+        lb.entries()
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.score)
+            .expect("entry present")
+    };
+    assert!(score_of("knn-shapley") >= score_of("random") - 0.02);
+
+    // Persistence roundtrip survives re-ranking.
+    let json = lb.to_json().expect("serializes");
+    let restored = Leaderboard::from_json(&json).expect("parses");
+    assert_eq!(restored.entries(), lb.entries());
+}
+
+#[test]
+fn repeated_submissions_are_stateless() {
+    let (mut challenge, valid) = setup();
+    let order = Strategy::KnnShapley { k: 3 }
+        .rank(challenge.dirty_data(), &valid)
+        .expect("ranking");
+    let picks: Vec<usize> = order.into_iter().take(30).collect();
+    let a = challenge.submit("first", &picks).expect("submits");
+    // A different (worse) submission in between must not contaminate state.
+    let noise: Vec<usize> = (0..30).collect();
+    let _ = challenge.submit("noise", &noise).expect("submits");
+    let b = challenge.submit("second", &picks).expect("submits");
+    assert_eq!(a, b);
+}

@@ -1,0 +1,72 @@
+//! End-to-end integration of the *Identify* pillar: data generation,
+//! error injection, importance scoring and oracle cleaning across crates.
+
+use nde::api;
+use nde::scenario::load_recommendation_letters;
+use nde::workflows::identify::{run, IdentifyConfig};
+use nde_cleaning::oracle::TableOracle;
+use nde_importance::{detection_precision_at_k, ImportanceScores};
+
+#[test]
+fn fig2_shape_holds_across_seeds() {
+    // The tutorial's headline: dirty < cleaned, with meaningful detection.
+    let mut recovered = 0;
+    for seed in [3u64, 17, 91] {
+        let scenario = load_recommendation_letters(400, seed);
+        let outcome = run(
+            &scenario,
+            &IdentifyConfig {
+                error_fraction: 0.12,
+                clean_count: 25,
+                seed: seed ^ 0xaa,
+            },
+        )
+        .expect("workflow runs");
+        // Small validation sets give label noise a few lucky points of slack.
+        assert!(outcome.acc_dirty <= outcome.acc_clean + 0.04, "seed {seed}: {outcome:?}");
+        if outcome.acc_cleaned > outcome.acc_dirty {
+            recovered += 1;
+        }
+    }
+    assert!(recovered >= 2, "cleaning helped in only {recovered}/3 seeds");
+}
+
+#[test]
+fn importance_scores_transfer_between_crates() {
+    let scenario = load_recommendation_letters(300, 5);
+    let mut dirty = scenario.train.clone();
+    let report = api::inject_label_errors(&mut dirty, 0.15, 6).expect("injection");
+    let values = api::knn_shapley_values(&dirty, &scenario.valid).expect("scores");
+    let scores = ImportanceScores::new("knn-shapley", values);
+
+    // Detection quality is far above the base rate.
+    let k = report.affected.len();
+    let precision = detection_precision_at_k(&scores, &report.affected, k);
+    let base_rate = k as f64 / dirty.n_rows() as f64;
+    assert!(
+        precision > base_rate * 2.0,
+        "precision {precision} vs base rate {base_rate}"
+    );
+
+    // Oracle-repairing the bottom-k restores those exact rows.
+    let oracle = TableOracle::new(scenario.train.clone());
+    let mut repaired = dirty.clone();
+    let picks = scores.bottom_k(k);
+    let changed = oracle.repair_rows(&mut repaired, &picks).expect("repairs");
+    assert!(changed > 0);
+    let still_dirty = oracle.dirty_rows(&repaired).expect("diff");
+    assert!(still_dirty.len() < report.affected.len());
+}
+
+#[test]
+fn clean_data_has_no_strongly_negative_tuples() {
+    let scenario = load_recommendation_letters(250, 7);
+    let values =
+        api::knn_shapley_values(&scenario.train, &scenario.valid).expect("scores");
+    let strongly_negative = values.iter().filter(|&&v| v < -0.01).count();
+    assert!(
+        strongly_negative < values.len() / 4,
+        "{strongly_negative}/{} tuples look harmful on clean data",
+        values.len()
+    );
+}
