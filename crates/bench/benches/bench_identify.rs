@@ -1,30 +1,21 @@
-//! Criterion bench for E1/Fig. 2: the identify workflow at tutorial scale,
-//! and the KNN-Shapley scoring step alone.
+//! Bench for E1/Fig. 2: the identify workflow at tutorial scale, and the
+//! KNN-Shapley scoring step alone.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nde::api::{knn_shapley_values, LettersEncoding};
 use nde::scenario::load_recommendation_letters;
 use nde::workflows::identify::{run, IdentifyConfig};
+use nde_bench::timing::bench;
 
-fn bench_identify(c: &mut Criterion) {
+fn main() {
     let scenario = load_recommendation_letters(250, 1);
-    c.bench_function("fig2_identify_workflow_n250", |b| {
-        b.iter(|| run(&scenario, &IdentifyConfig::default()).expect("workflow runs"))
+    bench("fig2_identify_workflow_n250", || {
+        run(&scenario, &IdentifyConfig::default()).expect("workflow runs")
     });
-    c.bench_function("knn_shapley_values_n150", |b| {
-        b.iter(|| knn_shapley_values(&scenario.train, &scenario.valid).expect("scores"))
+    bench("knn_shapley_values_n150", || {
+        knn_shapley_values(&scenario.train, &scenario.valid).expect("scores")
     });
-    c.bench_function("letters_encoding_n150", |b| {
-        b.iter(|| {
-            let enc = LettersEncoding::fit(&scenario.train).expect("fits");
-            enc.dataset(&scenario.train).expect("encodes")
-        })
+    bench("letters_encoding_n150", || {
+        let enc = LettersEncoding::fit(&scenario.train).expect("fits");
+        enc.dataset(&scenario.train).expect("encodes")
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_identify
-}
-criterion_main!(benches);

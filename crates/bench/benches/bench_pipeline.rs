@@ -1,25 +1,25 @@
-//! Criterion bench for E2/Fig. 3: pipeline execution, feature pipeline and
-//! the Datascope pushback.
+//! Bench for E2/Fig. 3: pipeline execution, feature pipeline and the
+//! Datascope pushback.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nde::importance::datascope::datascope_importance;
 use nde::pipeline::exec::Executor;
 use nde::pipeline::feature::FeaturePipeline;
 use nde::pipeline::plan::Plan;
 use nde::scenario::load_recommendation_letters;
+use nde_bench::timing::bench;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let s = load_recommendation_letters(400, 2);
     let (plan, root) = Plan::hiring_pipeline();
     let inputs = s.pipeline_inputs(&s.train);
 
-    c.bench_function("hiring_pipeline_exec_n240", |b| {
-        let exec = Executor::new();
-        b.iter(|| exec.run(&plan, root, &inputs).expect("executes"))
+    let exec = Executor::new();
+    bench("hiring_pipeline_exec_n240", || {
+        exec.run(&plan, root, &inputs).expect("executes")
     });
-    c.bench_function("hiring_pipeline_exec_with_provenance_n240", |b| {
-        let exec = Executor::new().with_provenance(true);
-        b.iter(|| exec.run(&plan, root, &inputs).expect("executes"))
+    let exec_prov = Executor::new().with_provenance(true);
+    bench("hiring_pipeline_exec_with_provenance_n240", || {
+        exec_prov.run(&plan, root, &inputs).expect("executes")
     });
 
     let mut fp = FeaturePipeline::hiring(32);
@@ -27,23 +27,14 @@ fn bench_pipeline(c: &mut Criterion) {
     let valid_out = fp
         .transform_run(&s.pipeline_inputs(&s.valid), false)
         .expect("pipeline transforms");
-    c.bench_function("datascope_pushback_n240", |b| {
-        b.iter(|| {
-            datascope_importance(
-                &train_out,
-                &valid_out.dataset,
-                "train_df",
-                s.train.n_rows(),
-                5,
-            )
-            .expect("datascope runs")
-        })
+    bench("datascope_pushback_n240", || {
+        datascope_importance(
+            &train_out,
+            &valid_out.dataset,
+            "train_df",
+            s.train.n_rows(),
+            5,
+        )
+        .expect("datascope runs")
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pipeline
-}
-criterion_main!(benches);

@@ -1,43 +1,32 @@
-//! Criterion bench for E10: pipeline execution with vs without provenance,
-//! plus why-provenance evaluation over the output polynomials.
+//! Bench for E10: pipeline execution with vs without provenance, plus
+//! why-provenance evaluation over the output polynomials.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nde::pipeline::exec::Executor;
 use nde::pipeline::plan::Plan;
 use nde::scenario::load_recommendation_letters;
+use nde_bench::timing::bench;
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     let (plan, root) = Plan::hiring_pipeline();
-    let mut group = c.benchmark_group("provenance_overhead");
-    group.sample_size(10);
     for n in [200usize, 500, 1000] {
         let s = load_recommendation_letters(n, 6);
         let inputs = s.pipeline_inputs(&s.train);
-        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
-            let exec = Executor::new();
-            b.iter(|| exec.run(&plan, root, &inputs).expect("executes"))
+        let exec = Executor::new();
+        bench(&format!("provenance_overhead/plain/{n}"), || {
+            exec.run(&plan, root, &inputs).expect("executes")
         });
-        group.bench_with_input(BenchmarkId::new("with_provenance", n), &n, |b, _| {
-            let exec = Executor::new().with_provenance(true);
-            b.iter(|| exec.run(&plan, root, &inputs).expect("executes"))
+        let exec_prov = Executor::new().with_provenance(true);
+        bench(&format!("provenance_overhead/with_provenance/{n}"), || {
+            exec_prov.run(&plan, root, &inputs).expect("executes")
         });
         let out = Executor::new()
             .with_provenance(true)
             .run(&plan, root, &inputs)
             .expect("executes");
         let lineage = out.provenance.expect("tracked");
-        group.bench_with_input(BenchmarkId::new("why_provenance_eval", n), &n, |b, _| {
-            b.iter(|| {
-                lineage
-                    .rows
-                    .iter()
-                    .map(|e| e.why().len())
-                    .sum::<usize>()
-            })
-        });
+        bench(
+            &format!("provenance_overhead/why_provenance_eval/{n}"),
+            || lineage.rows.iter().map(|e| e.why().len()).sum::<usize>(),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

@@ -1,28 +1,26 @@
-//! Criterion bench for E6: exact KNN-Shapley vs TMC-Shapley vs LOO at the
-//! same n — the §2.1 "overcoming computational challenges" comparison.
+//! Bench for E6: exact KNN-Shapley vs TMC-Shapley vs LOO at the same n —
+//! the §2.1 "overcoming computational challenges" comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nde::data::generate::blobs::two_gaussians;
 use nde::importance::knn_shapley::knn_shapley;
 use nde::importance::loo::loo_importance;
 use nde::importance::shapley_mc::{tmc_shapley, ShapleyConfig};
 use nde::ml::dataset::Dataset;
 use nde::ml::models::knn::KnnClassifier;
+use nde_bench::timing::bench;
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("shapley_scaling");
-    group.sample_size(10);
+fn main() {
     for n in [50usize, 100, 200] {
         let nd = two_gaussians(n + 40, 4, 4.0, 5);
         let all = Dataset::try_from(&nd).expect("blob data");
         let train = all.subset(&(0..n).collect::<Vec<_>>());
         let valid = all.subset(&(n..n + 40).collect::<Vec<_>>());
 
-        group.bench_with_input(BenchmarkId::new("knn_shapley_exact", n), &n, |b, _| {
-            b.iter(|| knn_shapley(&train, &valid, 1).expect("scores"))
+        bench(&format!("shapley_scaling/knn_shapley_exact/{n}"), || {
+            knn_shapley(&train, &valid, 1).expect("scores")
         });
-        group.bench_with_input(BenchmarkId::new("loo", n), &n, |b, _| {
-            b.iter(|| loo_importance(&KnnClassifier::new(1), &train, &valid).expect("scores"))
+        bench(&format!("shapley_scaling/loo/{n}"), || {
+            loo_importance(&KnnClassifier::new(1), &train, &valid).expect("scores")
         });
         let cfg = ShapleyConfig {
             permutations: 10,
@@ -30,12 +28,8 @@ fn bench_scaling(c: &mut Criterion) {
             seed: 1,
             threads: 1,
         };
-        group.bench_with_input(BenchmarkId::new("tmc_shapley_10perm", n), &n, |b, _| {
-            b.iter(|| tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).expect("scores"))
+        bench(&format!("shapley_scaling/tmc_shapley_10perm/{n}"), || {
+            tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).expect("scores")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -1,23 +1,21 @@
-//! Criterion bench for E3/Fig. 4: symbolic encoding and Zorro training.
+//! Bench for E3/Fig. 4: symbolic encoding and Zorro training.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nde::api::{encode_symbolic, estimate_with_zorro};
 use nde::data::inject::Missingness;
 use nde::scenario::load_recommendation_letters;
+use nde_bench::timing::bench;
 
-fn bench_uncertain(c: &mut Criterion) {
+fn main() {
     let s = load_recommendation_letters(400, 3);
-    c.bench_function("encode_symbolic_mnar_n240", |b| {
-        b.iter(|| {
-            encode_symbolic(
-                &s.train,
-                "employer_rating",
-                15.0,
-                Missingness::Mnar { skew: 4.0 },
-                7,
-            )
-            .expect("encodes")
-        })
+    bench("encode_symbolic_mnar_n240", || {
+        encode_symbolic(
+            &s.train,
+            "employer_rating",
+            15.0,
+            Missingness::Mnar { skew: 4.0 },
+            7,
+        )
+        .expect("encodes")
     });
     let enc = encode_symbolic(
         &s.train,
@@ -27,14 +25,7 @@ fn bench_uncertain(c: &mut Criterion) {
         7,
     )
     .expect("encodes");
-    c.bench_function("zorro_worst_case_loss_n240", |b| {
-        b.iter(|| estimate_with_zorro(&enc, &s.test).expect("bounds"))
+    bench("zorro_worst_case_loss_n240", || {
+        estimate_with_zorro(&enc, &s.test).expect("bounds")
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_uncertain
-}
-criterion_main!(benches);

@@ -8,7 +8,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Text-embedding width (accuracy / detection):");
     let mut t = TextTable::new(&["dims", "accuracy", "detection precision"]);
     for p in &r.text_dims {
-        t.row(vec![p.dims.to_string(), f(p.accuracy), f(p.detection_precision)]);
+        t.row(vec![
+            p.dims.to_string(),
+            f(p.accuracy),
+            f(p.detection_precision),
+        ]);
     }
     println!("{}", t.render());
     println!("KNN-Shapley neighborhood size:");
@@ -20,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TMC truncation tolerance (speed vs fidelity):");
     let mut t = TextTable::new(&["tolerance", "seconds", "rank corr vs exact"]);
     for p in &r.truncation {
-        t.row(vec![format!("{}", p.tolerance), format!("{:.4}", p.secs), f(p.rank_corr_vs_exact)]);
+        t.row(vec![
+            format!("{}", p.tolerance),
+            format!("{:.4}", p.secs),
+            f(p.rank_corr_vs_exact),
+        ]);
     }
     println!("{}", t.render());
     println!("{}", nde_bench::report::to_json(&r));

@@ -4,8 +4,15 @@ use nde_bench::report::{f, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = certain_models::run(80, &[0.0, 0.05, 0.1, 0.2, 0.4], 5, 12)?;
-    println!("E11 — certain-model existence ({} trials per point)\n", r.trials);
-    let mut t = TextTable::new(&["missing frac", "certain (irrelevant feat)", "certain (relevant feat)"]);
+    println!(
+        "E11 — certain-model existence ({} trials per point)\n",
+        r.trials
+    );
+    let mut t = TextTable::new(&[
+        "missing frac",
+        "certain (irrelevant feat)",
+        "certain (relevant feat)",
+    ]);
     for p in &r.points {
         t.row(vec![
             format!("{:.2}", p.missing_fraction),

@@ -7,7 +7,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("E8 — 1-NN certain-prediction coverage vs missingness\n");
     let mut t = TextTable::new(&["missing frac", "coverage", "certain accuracy"]);
     for p in &r.points {
-        t.row(vec![format!("{:.2}", p.missing_fraction), f(p.coverage), f(p.certain_accuracy)]);
+        t.row(vec![
+            format!("{:.2}", p.missing_fraction),
+            f(p.coverage),
+            f(p.certain_accuracy),
+        ]);
     }
     println!("{}", t.render());
     let agreement = certain_predictions::sampled_world_agreement(200, 0.1, 10)?;

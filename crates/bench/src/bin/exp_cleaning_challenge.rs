@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("strategy: {}\n{}", c.strategy, t.render());
     }
-    println!("Challenge leaderboard (hidden test set):\n{}", r.leaderboard);
+    println!(
+        "Challenge leaderboard (hidden test set):\n{}",
+        r.leaderboard
+    );
     println!("{}", nde_bench::report::to_json(&r));
     Ok(())
 }

@@ -7,11 +7,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("E2 / Fig. 3 — debug the hiring pipeline via Datascope\n");
     println!("Pipeline query plan:\n{}", r.plan);
     let mut t = TextTable::new(&["quantity", "value"]);
-    t.row(vec!["pipeline output rows".into(), r.pipeline_rows.to_string()]);
+    t.row(vec![
+        "pipeline output rows".into(),
+        r.pipeline_rows.to_string(),
+    ]);
     t.row(vec!["accuracy before removal".into(), f(r.acc_before)]);
     t.row(vec!["accuracy after removal".into(), f(r.acc_after)]);
     t.row(vec!["removed tuples".into(), r.removed.to_string()]);
-    t.row(vec!["true errors among removed".into(), r.removed_true_errors.to_string()]);
+    t.row(vec![
+        "true errors among removed".into(),
+        r.removed_true_errors.to_string(),
+    ]);
     println!("{}", t.render());
     println!("Removal changed accuracy by {:+.3}.\n", r.accuracy_delta);
     println!("{}", nde_bench::report::to_json(&r));

@@ -7,7 +7,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("E9 — flip rate vs number of uncertain labels\n");
     let mut t = TextTable::new(&["uncertain labels", "flip rate", "worlds"]);
     for p in &r.points {
-        t.row(vec![p.uncertain_labels.to_string(), f(p.flip_rate), p.worlds.to_string()]);
+        t.row(vec![
+            p.uncertain_labels.to_string(),
+            f(p.flip_rate),
+            p.worlds.to_string(),
+        ]);
     }
     println!("{}", t.render());
     println!("{}", nde_bench::report::to_json(&r));

@@ -4,7 +4,10 @@ use nde_bench::report::TextTable;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = provenance_overhead::run(&[200, 500, 1000, 2000], 5, 14)?;
-    println!("E10 — pipeline execution with vs without provenance ({} reps)\n", r.reps);
+    println!(
+        "E10 — pipeline execution with vs without provenance ({} reps)\n",
+        r.reps
+    );
     let mut t = TextTable::new(&["n", "plain s", "provenance s", "overhead x"]);
     for p in &r.points {
         t.row(vec![

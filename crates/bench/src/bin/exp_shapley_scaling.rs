@@ -4,7 +4,10 @@ use nde_bench::report::{f, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = shapley_scaling::run(&[50, 100, 200, 400], 50, 6)?;
-    println!("E6 — Shapley runtime scaling ({} TMC permutations)\n", r.permutations);
+    println!(
+        "E6 — Shapley runtime scaling ({} TMC permutations)\n",
+        r.permutations
+    );
     let mut t = TextTable::new(&["n", "knn-shapley s", "loo s", "tmc s", "tmc~exact corr"]);
     for p in &r.points {
         t.row(vec![

@@ -5,7 +5,12 @@ use nde_bench::report::{f, TextTable};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = zorro_vs_imputation::run(500, &[0.0, 5.0, 10.0, 15.0, 20.0, 25.0], 13)?;
     println!("E12 — prediction ranges vs mean-imputation baseline\n");
-    let mut t = TextTable::new(&["missing %", "mean range width", "baseline containment", "decided fraction"]);
+    let mut t = TextTable::new(&[
+        "missing %",
+        "mean range width",
+        "baseline containment",
+        "decided fraction",
+    ]);
     for p in &r.points {
         t.row(vec![
             format!("{}", p.percentage),

@@ -9,20 +9,19 @@
 
 use nde::api::inject_label_errors;
 use nde::data::generate::hiring::LABEL_COLUMN;
+use nde::importance::detection_precision_at_k;
 use nde::importance::knn_shapley::knn_shapley;
 use nde::importance::shapley_mc::{tmc_shapley, ShapleyConfig};
-use nde::importance::detection_precision_at_k;
 use nde::ml::dataset::{Dataset, LabelEncoder};
 use nde::ml::encode::TableEncoder;
 use nde::ml::model::Classifier;
 use nde::ml::models::knn::KnnClassifier;
 use nde::scenario::load_recommendation_letters;
 use nde::NdeError;
-use serde::Serialize;
 use std::time::Instant;
 
 /// One text-width ablation point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TextDimPoint {
     /// Hashed embedding width.
     pub dims: usize,
@@ -32,8 +31,14 @@ pub struct TextDimPoint {
     pub detection_precision: f64,
 }
 
+nde_data::json_struct!(TextDimPoint {
+    dims,
+    accuracy,
+    detection_precision
+});
+
 /// One `k` ablation point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KPoint {
     /// KNN-Shapley neighborhood size.
     pub k: usize,
@@ -41,8 +46,13 @@ pub struct KPoint {
     pub detection_precision: f64,
 }
 
+nde_data::json_struct!(KPoint {
+    k,
+    detection_precision
+});
+
 /// One truncation-tolerance ablation point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TruncationPoint {
     /// Truncation tolerance.
     pub tolerance: f64,
@@ -52,8 +62,14 @@ pub struct TruncationPoint {
     pub rank_corr_vs_exact: f64,
 }
 
+nde_data::json_struct!(TruncationPoint {
+    tolerance,
+    secs,
+    rank_corr_vs_exact
+});
+
 /// Report for E13.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationReport {
     /// Text-width sweep.
     pub text_dims: Vec<TextDimPoint>,
@@ -63,7 +79,17 @@ pub struct AblationReport {
     pub truncation: Vec<TruncationPoint>,
 }
 
-fn encode(train: &nde::data::Table, valid: &nde::data::Table, dims: usize) -> Result<(Dataset, Dataset), NdeError> {
+nde_data::json_struct!(AblationReport {
+    text_dims,
+    shapley_k,
+    truncation
+});
+
+fn encode(
+    train: &nde::data::Table,
+    valid: &nde::data::Table,
+    dims: usize,
+) -> Result<(Dataset, Dataset), NdeError> {
     let mut enc = TableEncoder::for_letters(dims);
     let labels = LabelEncoder::fit(train, LABEL_COLUMN)?;
     let x = enc.fit_transform(train)?;
@@ -89,8 +115,7 @@ pub fn run(n: usize, seed: u64) -> Result<AblationReport, NdeError> {
         model.fit(&train_ds)?;
         let accuracy = model.accuracy(&valid_ds);
         let scores = knn_shapley(&train_ds, &valid_ds, 5)?;
-        let detection_precision =
-            detection_precision_at_k(&scores, &report.affected, k_errors);
+        let detection_precision = detection_precision_at_k(&scores, &report.affected, k_errors);
         text_dims.push(TextDimPoint {
             dims,
             accuracy,
@@ -105,11 +130,7 @@ pub fn run(n: usize, seed: u64) -> Result<AblationReport, NdeError> {
         let scores = knn_shapley(&train_ds, &valid_ds, k)?;
         shapley_k.push(KPoint {
             k,
-            detection_precision: detection_precision_at_k(
-                &scores,
-                &report.affected,
-                k_errors,
-            ),
+            detection_precision: detection_precision_at_k(&scores, &report.affected, k_errors),
         });
     }
 

@@ -10,11 +10,10 @@ use nde::uncertain::certain_models::{certain_model_check, CertainModelConfig, Mo
 use nde::uncertain::symbolic::SymbolicMatrix;
 use nde::uncertain::Interval;
 use nde::NdeError;
-use rand::Rng;
-use serde::Serialize;
+use nde_data::rng::Rng;
 
 /// One point of the curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CertainModelPoint {
     /// Fraction of rows with a missing value.
     pub missing_fraction: f64,
@@ -25,8 +24,14 @@ pub struct CertainModelPoint {
     pub certain_relevant: f64,
 }
 
+nde_data::json_struct!(CertainModelPoint {
+    missing_fraction,
+    certain_irrelevant,
+    certain_relevant
+});
+
 /// Report for E11.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CertainModelReport {
     /// Trials per point.
     pub trials: usize,
@@ -34,12 +39,9 @@ pub struct CertainModelReport {
     pub points: Vec<CertainModelPoint>,
 }
 
-fn trial(
-    n: usize,
-    missing_fraction: f64,
-    relevant: bool,
-    seed: u64,
-) -> Result<bool, NdeError> {
+nde_data::json_struct!(CertainModelReport { trials, points });
+
+fn trial(n: usize, missing_fraction: f64, relevant: bool, seed: u64) -> Result<bool, NdeError> {
     let mut rng = seeded(seed);
     // Two features; the target uses only feature 0.
     let mut rows = Vec::with_capacity(n);

@@ -11,11 +11,10 @@ use nde::ml::dataset::Dataset;
 use nde::uncertain::certain_knn::certain_coverage;
 use nde::uncertain::symbolic::{column_bounds_from_observed, SymbolicMatrix};
 use nde::NdeError;
-use rand::Rng;
-use serde::Serialize;
+use nde_data::rng::Rng;
 
 /// One point of the coverage curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CoveragePoint {
     /// Fraction of training cells made missing.
     pub missing_fraction: f64,
@@ -25,12 +24,20 @@ pub struct CoveragePoint {
     pub certain_accuracy: f64,
 }
 
+nde_data::json_struct!(CoveragePoint {
+    missing_fraction,
+    coverage,
+    certain_accuracy
+});
+
 /// Report for E8.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CertainPredictionReport {
     /// The curve, in sweep order.
     pub points: Vec<CoveragePoint>,
 }
+
+nde_data::json_struct!(CertainPredictionReport { points });
 
 /// Run E8 over the given missing fractions.
 pub fn run(
@@ -48,8 +55,8 @@ pub fn run(
 
     // Nested missing-cell sets so the sweep is monotone by construction.
     let total_cells = n_train * d;
-    let max_missing = (fractions.iter().fold(0.0f64, |a, &b| a.max(b)) * total_cells as f64)
-        .round() as usize;
+    let max_missing =
+        (fractions.iter().fold(0.0f64, |a, &b| a.max(b)) * total_cells as f64).round() as usize;
     let mut rng = seeded(seed ^ 0xe8);
     let all_missing: Vec<(usize, usize)> = sample_indices(total_cells, max_missing, &mut rng)
         .into_iter()

@@ -14,10 +14,9 @@ use nde::importance::aum::AumConfig;
 use nde::importance::confident::ConfidentConfig;
 use nde::ml::models::knn::KnnClassifier;
 use nde::NdeError;
-use serde::Serialize;
 
 /// One strategy's cleaning curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CleaningCurve {
     /// Strategy name.
     pub strategy: String,
@@ -27,14 +26,25 @@ pub struct CleaningCurve {
     pub accuracy: Vec<f64>,
 }
 
+nde_data::json_struct!(CleaningCurve {
+    strategy,
+    cleaned,
+    accuracy
+});
+
 /// Report for E7.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CleaningReport {
     /// Curves per strategy.
     pub curves: Vec<CleaningCurve>,
     /// Rendered challenge leaderboard (hidden-test scores).
     pub leaderboard: String,
 }
+
+nde_data::json_struct!(CleaningReport {
+    curves,
+    leaderboard
+});
 
 /// The strategies compared by E7.
 pub fn strategies() -> Vec<Strategy> {

@@ -8,17 +8,16 @@
 //! the median) as the sensitive group attribute.
 
 use nde::api::LettersEncoding;
-use nde::data::inject::flip_labels;
 use nde::data::generate::hiring::LABEL_COLUMN;
+use nde::data::inject::flip_labels;
 use nde::ml::metrics::{quality_report, QualityReport};
 use nde::ml::model::Classifier;
 use nde::ml::models::knn::KnnClassifier;
 use nde::scenario::load_recommendation_letters;
 use nde::NdeError;
-use serde::Serialize;
 
 /// Report for the Fig. 1 metric panel.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Report {
     /// Accuracy on validation data.
     pub accuracy: f64,
@@ -31,6 +30,14 @@ pub struct Fig1Report {
     /// Normalized prediction entropy.
     pub entropy: f64,
 }
+
+nde_data::json_struct!(Fig1Report {
+    accuracy,
+    f1,
+    equalized_odds,
+    predictive_parity,
+    entropy
+});
 
 impl From<QualityReport> for Fig1Report {
     fn from(q: QualityReport) -> Self {

@@ -7,10 +7,9 @@
 use nde::scenario::load_recommendation_letters;
 use nde::workflows::identify::{run as identify, IdentifyConfig};
 use nde::NdeError;
-use serde::Serialize;
 
 /// Report for the Fig. 2 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Report {
     /// Accuracy trained on clean data.
     pub acc_clean: f64,
@@ -23,6 +22,14 @@ pub struct Fig2Report {
     /// Fraction of the cleaned tuples that were truly dirty.
     pub detection_precision: f64,
 }
+
+nde_data::json_struct!(Fig2Report {
+    acc_clean,
+    acc_dirty,
+    acc_cleaned,
+    injected,
+    detection_precision
+});
 
 /// Run E1 with the paper's parameters (10% label errors, clean 25 tuples).
 pub fn run(n: usize, seed: u64) -> Result<Fig2Report, NdeError> {

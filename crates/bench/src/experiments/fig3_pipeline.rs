@@ -10,10 +10,9 @@ use nde::api::inject_label_errors;
 use nde::scenario::load_recommendation_letters;
 use nde::workflows::debug::{run as debug, DebugConfig};
 use nde::NdeError;
-use serde::Serialize;
 
 /// Report for the Fig. 3 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Report {
     /// Rows surviving the pipeline's joins and filter.
     pub pipeline_rows: usize,
@@ -30,6 +29,16 @@ pub struct Fig3Report {
     /// The rendered query plan.
     pub plan: String,
 }
+
+nde_data::json_struct!(Fig3Report {
+    pipeline_rows,
+    acc_before,
+    acc_after,
+    accuracy_delta,
+    removed_true_errors,
+    removed,
+    plan
+});
 
 /// Run E2 with the paper's parameters (remove 25 source tuples).
 pub fn run(n: usize, error_fraction: f64, seed: u64) -> Result<Fig3Report, NdeError> {

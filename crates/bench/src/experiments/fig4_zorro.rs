@@ -7,10 +7,9 @@
 use nde::scenario::load_recommendation_letters;
 use nde::workflows::learn::{run as learn, LearnConfig};
 use nde::NdeError;
-use serde::Serialize;
 
 /// One swept point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Point {
     /// Missing percentage.
     pub percentage: f64,
@@ -20,14 +19,22 @@ pub struct Fig4Point {
     pub baseline_mse: f64,
 }
 
+nde_data::json_struct!(Fig4Point {
+    percentage,
+    max_worst_case_loss,
+    baseline_mse
+});
+
 /// Report for the Fig. 4 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Report {
     /// The curve, in sweep order.
     pub points: Vec<Fig4Point>,
     /// Whether the curve is monotone non-decreasing (the paper's shape).
     pub monotone: bool,
 }
+
+nde_data::json_struct!(Fig4Report { points, monotone });
 
 /// Run E3 with the paper's sweep (5, 10, 15, 20, 25 percent, MNAR).
 pub fn run(n: usize, seed: u64) -> Result<Fig4Report, NdeError> {

@@ -17,10 +17,9 @@ use nde::importance::influence::InfluenceConfig;
 use nde::importance::shapley_mc::ShapleyConfig;
 use nde::ml::dataset::Dataset;
 use nde::NdeError;
-use serde::Serialize;
 
 /// Detection quality of one method.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MethodScore {
     /// Method name.
     pub method: String,
@@ -28,8 +27,13 @@ pub struct MethodScore {
     pub precision_at_k: f64,
 }
 
+nde_data::json_struct!(MethodScore {
+    method,
+    precision_at_k
+});
+
 /// Report for E5.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ImportanceCompareReport {
     /// Number of training points.
     pub n_train: usize,
@@ -38,6 +42,12 @@ pub struct ImportanceCompareReport {
     /// Per-method detection quality, in the evaluation order.
     pub methods: Vec<MethodScore>,
 }
+
+nde_data::json_struct!(ImportanceCompareReport {
+    n_train,
+    n_errors,
+    methods
+});
 
 /// The method lineup evaluated by E5.
 pub fn lineup() -> Vec<Strategy> {
@@ -88,7 +98,11 @@ pub fn workload(
 }
 
 /// Run E5.
-pub fn run(n_train: usize, error_fraction: f64, seed: u64) -> Result<ImportanceCompareReport, NdeError> {
+pub fn run(
+    n_train: usize,
+    error_fraction: f64,
+    seed: u64,
+) -> Result<ImportanceCompareReport, NdeError> {
     let (train, valid, flipped) = workload(n_train, n_train / 3, error_fraction, seed);
     let truth: std::collections::HashSet<usize> = flipped.iter().copied().collect();
     let k = flipped.len();
@@ -134,7 +148,11 @@ mod tests {
         // LOO is known to be noisy under redundancy (many zero marginals with
         // a 1-NN utility) — the survey's own motivation for Shapley values.
         // It must still not be *worse* than random.
-        assert!(get("loo") >= random, "loo ({}) below random ({random})", get("loo"));
+        assert!(
+            get("loo") >= random,
+            "loo ({}) below random ({random})",
+            get("loo")
+        );
         assert!(get("knn-shapley") >= 0.5);
     }
 }

@@ -11,10 +11,9 @@ use nde::ml::dataset::Dataset;
 use nde::ml::models::knn::KnnClassifier;
 use nde::uncertain::multiplicity::{multiplicity_exact, multiplicity_sampled};
 use nde::NdeError;
-use serde::Serialize;
 
 /// One point of the flip-rate curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FlipPoint {
     /// Number of uncertain labels.
     pub uncertain_labels: usize,
@@ -24,12 +23,20 @@ pub struct FlipPoint {
     pub worlds: usize,
 }
 
+nde_data::json_struct!(FlipPoint {
+    uncertain_labels,
+    flip_rate,
+    worlds
+});
+
 /// Report for E9.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MultiplicityReport {
     /// The curve, in sweep order.
     pub points: Vec<FlipPoint>,
 }
+
+nde_data::json_struct!(MultiplicityReport { points });
 
 /// Run E9: sweep the number of uncertain labels (exact enumeration up to
 /// [`nde::uncertain::multiplicity::EXACT_LIMIT`], sampling beyond).

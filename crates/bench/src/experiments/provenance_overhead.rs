@@ -9,11 +9,10 @@ use nde::pipeline::exec::Executor;
 use nde::pipeline::plan::Plan;
 use nde::scenario::load_recommendation_letters;
 use nde::NdeError;
-use serde::Serialize;
 use std::time::Instant;
 
 /// Timings at one scale.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadPoint {
     /// Number of applicants generated.
     pub n: usize,
@@ -25,14 +24,23 @@ pub struct OverheadPoint {
     pub overhead_factor: f64,
 }
 
+nde_data::json_struct!(OverheadPoint {
+    n,
+    plain_secs,
+    provenance_secs,
+    overhead_factor
+});
+
 /// Report for E10.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadReport {
     /// Repetitions averaged per point.
     pub reps: usize,
     /// One point per swept scale.
     pub points: Vec<OverheadPoint>,
 }
+
+nde_data::json_struct!(OverheadReport { reps, points });
 
 /// Run E10 over the given scales.
 pub fn run(sizes: &[usize], reps: usize, seed: u64) -> Result<OverheadReport, NdeError> {

@@ -13,11 +13,10 @@ use nde::importance::shapley_mc::{tmc_shapley, ShapleyConfig};
 use nde::ml::dataset::Dataset;
 use nde::ml::models::knn::KnnClassifier;
 use nde::NdeError;
-use serde::Serialize;
 use std::time::Instant;
 
 /// Timings at one training-set size.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingPoint {
     /// Training-set size.
     pub n: usize,
@@ -31,14 +30,27 @@ pub struct ScalingPoint {
     pub tmc_vs_exact_rank_corr: f64,
 }
 
+nde_data::json_struct!(ScalingPoint {
+    n,
+    knn_shapley_secs,
+    loo_secs,
+    tmc_secs,
+    tmc_vs_exact_rank_corr
+});
+
 /// Report for E6.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingReport {
     /// TMC permutation budget used at every size.
     pub permutations: usize,
     /// One point per swept size.
     pub points: Vec<ScalingPoint>,
 }
+
+nde_data::json_struct!(ScalingReport {
+    permutations,
+    points
+});
 
 /// Workload with 10% label flips so importance values have real spread —
 /// on perfectly clean data all values are ≈0 and rankings are pure noise.
@@ -96,11 +108,7 @@ pub fn run(sizes: &[usize], permutations: usize, seed: u64) -> Result<ScalingRep
 /// grows — the rank correlation between two *independent* TMC runs at the
 /// same budget. Low budgets give noisy, poorly reproducible rankings; the
 /// correlation approaches 1 as the estimator converges.
-pub fn convergence(
-    n: usize,
-    budgets: &[usize],
-    seed: u64,
-) -> Result<Vec<(usize, f64)>, NdeError> {
+pub fn convergence(n: usize, budgets: &[usize], seed: u64) -> Result<Vec<(usize, f64)>, NdeError> {
     let (train, valid) = blobs(n, seed);
     let mut out = Vec::with_capacity(budgets.len());
     for &b in budgets {

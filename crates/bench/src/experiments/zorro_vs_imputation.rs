@@ -13,10 +13,9 @@ use nde::data::inject::Missingness;
 use nde::scenario::load_recommendation_letters;
 use nde::uncertain::zorro::{train_concrete_gd, ZorroRegressor};
 use nde::NdeError;
-use serde::Serialize;
 
 /// One swept point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ComparisonPoint {
     /// Missing percentage.
     pub percentage: f64,
@@ -29,12 +28,21 @@ pub struct ComparisonPoint {
     pub decided_fraction: f64,
 }
 
+nde_data::json_struct!(ComparisonPoint {
+    percentage,
+    mean_range_width,
+    baseline_containment,
+    decided_fraction
+});
+
 /// Report for E12.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ComparisonReport {
     /// The curve, in sweep order.
     pub points: Vec<ComparisonPoint>,
 }
+
+nde_data::json_struct!(ComparisonReport { points });
 
 /// Run E12 over the given missing percentages.
 pub fn run(n: usize, percentages: &[f64], seed: u64) -> Result<ComparisonReport, NdeError> {

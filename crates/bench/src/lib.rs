@@ -5,8 +5,9 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results). Each experiment lives in
 //! [`experiments`] as a pure function returning a typed report; the binaries
 //! in `src/bin/` are thin wrappers that print the same rows/series the paper
-//! shows, and the Criterion benches in `benches/` measure the runtime
+//! shows, and the wall-clock benches in `benches/` measure the runtime
 //! claims (KNN-Shapley vs Monte-Carlo scaling, provenance overhead).
 
 pub mod experiments;
 pub mod report;
+pub mod timing;

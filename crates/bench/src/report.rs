@@ -1,6 +1,6 @@
 //! Plain-text table rendering and JSON persistence for experiment reports.
 
-use serde::Serialize;
+use nde_data::json::ToJson;
 
 /// A simple aligned text table builder for experiment output.
 #[derive(Debug, Clone, Default)]
@@ -60,8 +60,8 @@ impl TextTable {
 }
 
 /// Serialize an experiment report as pretty JSON (for archival in CI).
-pub fn to_json<T: Serialize>(report: &T) -> String {
-    serde_json::to_string_pretty(report).expect("reports are serializable")
+pub fn to_json<T: ToJson>(report: &T) -> String {
+    report.to_json().to_string_pretty()
 }
 
 /// Format a float with 4 decimals (the convention across experiment tables).
@@ -90,10 +90,10 @@ mod tests {
 
     #[test]
     fn json_serializes() {
-        #[derive(serde::Serialize)]
         struct R {
             x: f64,
         }
+        nde_data::json_struct!(R { x });
         let s = to_json(&R { x: 1.5 });
         assert!(s.contains("1.5"));
     }

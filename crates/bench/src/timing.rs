@@ -1,0 +1,62 @@
+//! A minimal wall-clock benchmarking harness (no external deps).
+//!
+//! The `[[bench]]` targets use `harness = false` and drive this module from
+//! a plain `main()`: each case runs a warm-up iteration, then a fixed
+//! number of timed samples, and prints min/median/mean per iteration.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Default number of timed samples per case.
+pub const DEFAULT_SAMPLES: usize = 10;
+
+/// Time `f` for `samples` iterations (after one warm-up) and print a
+/// `name: min/median/mean` line. The closure's output is passed through
+/// [`black_box`] so the computation is not optimized away.
+pub fn bench_n<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{name:<45} min {:>10} | median {:>10} | mean {:>10}",
+        fmt_secs(min),
+        fmt_secs(median),
+        fmt_secs(mean)
+    );
+}
+
+/// [`bench_n`] with [`DEFAULT_SAMPLES`].
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) {
+    bench_n(name, DEFAULT_SAMPLES, f);
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_formats() {
+        bench_n("noop", 3, || 1 + 1);
+        assert_eq!(fmt_secs(2.0), "2.000 s");
+        assert_eq!(fmt_secs(0.002), "2.000 ms");
+        assert_eq!(fmt_secs(2e-6), "2.000 µs");
+    }
+}

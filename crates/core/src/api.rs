@@ -29,11 +29,7 @@ pub const KNN_K: usize = 5;
 
 /// `nde.inject_labelerrors(train_df, fraction)` — flip a fraction of the
 /// sentiment labels, returning the ground-truth report.
-pub fn inject_label_errors(
-    table: &mut Table,
-    fraction: f64,
-    seed: u64,
-) -> Result<InjectionReport> {
+pub fn inject_label_errors(table: &mut Table, fraction: f64, seed: u64) -> Result<InjectionReport> {
     Ok(flip_labels(table, LABEL_COLUMN, fraction, seed)?)
 }
 
@@ -181,10 +177,7 @@ pub fn encode_symbolic(
         let values = train.column(col_name)?.to_f64_vec();
         let present: Vec<f64> = values.iter().filter_map(|v| *v).collect();
         let mean = present.iter().sum::<f64>() / present.len().max(1) as f64;
-        let var = present
-            .iter()
-            .map(|v| (v - mean) * (v - mean))
-            .sum::<f64>()
+        let var = present.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
             / present.len().max(1) as f64;
         let sd = var.sqrt();
         stats.push((mean, sd));
@@ -192,8 +185,7 @@ pub fn encode_symbolic(
     }
 
     let n = train.n_rows();
-    let missing_set: std::collections::HashSet<usize> =
-        report.affected.iter().copied().collect();
+    let missing_set: std::collections::HashSet<usize> = report.affected.iter().copied().collect();
     let mut rows = Vec::with_capacity(n);
     for r in 0..n {
         let mut row = Vec::with_capacity(SYMBOLIC_FEATURES.len());
@@ -202,7 +194,10 @@ pub fn encode_symbolic(
             let z = |raw: f64| if sd > 1e-12 { (raw - mean) / sd } else { 0.0 };
             let cell = if c == feature_col && missing_set.contains(&r) {
                 // Domain interval: the observed min..max of the column.
-                let lo = columns[c].iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
+                let lo = columns[c]
+                    .iter()
+                    .flatten()
+                    .fold(f64::INFINITY, |a, &b| a.min(b));
                 let hi = columns[c]
                     .iter()
                     .flatten()
@@ -253,9 +248,9 @@ fn sentiment_targets(table: &Table) -> Result<Vec<f64>> {
     let mut y = Vec::with_capacity(table.n_rows());
     for r in 0..table.n_rows() {
         let v = table.get(r, LABEL_COLUMN)?;
-        let s = v.as_str().ok_or_else(|| {
-            crate::NdeError::InvalidArgument(format!("null label at row {r}"))
-        })?;
+        let s = v
+            .as_str()
+            .ok_or_else(|| crate::NdeError::InvalidArgument(format!("null label at row {r}")))?;
         y.push(if s == "positive" { 1.0 } else { -1.0 });
     }
     Ok(y)
@@ -325,7 +320,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(enc.x.len(), s.train.n_rows());
-        assert_eq!(enc.missing_rows.len(), (s.train.n_rows() as f64 * 0.10).round() as usize);
+        assert_eq!(
+            enc.missing_rows.len(),
+            (s.train.n_rows() as f64 * 0.10).round() as usize
+        );
         let bound = estimate_with_zorro(&enc, &s.test).unwrap();
         assert!(bound.is_finite() && bound >= 0.0);
 
@@ -345,18 +343,14 @@ mod tests {
     #[test]
     fn percentage_convention_accepts_both_forms() {
         let s = load_recommendation_letters(100, 18);
-        let frac = encode_symbolic(&s.train, "employer_rating", 0.2, Missingness::Mcar, 1)
-            .unwrap();
-        let pct = encode_symbolic(&s.train, "employer_rating", 20.0, Missingness::Mcar, 1)
-            .unwrap();
+        let frac = encode_symbolic(&s.train, "employer_rating", 0.2, Missingness::Mcar, 1).unwrap();
+        let pct = encode_symbolic(&s.train, "employer_rating", 20.0, Missingness::Mcar, 1).unwrap();
         assert_eq!(frac.missing_rows, pct.missing_rows);
     }
 
     #[test]
     fn unknown_symbolic_feature_rejected() {
         let s = load_recommendation_letters(50, 19);
-        assert!(
-            encode_symbolic(&s.train, "letter_text", 0.1, Missingness::Mcar, 1).is_err()
-        );
+        assert!(encode_symbolic(&s.train, "letter_text", 0.1, Missingness::Mcar, 1).is_err());
     }
 }

@@ -43,6 +43,7 @@ pub use nde_data as data;
 pub use nde_importance as importance;
 pub use nde_ml as ml;
 pub use nde_pipeline as pipeline;
+pub use nde_robust as robust;
 pub use nde_uncertain as uncertain;
 
 /// Convenience result alias for the facade.

@@ -41,8 +41,7 @@ pub fn load_recommendation_letters(n: usize, seed: u64) -> LettersScenario {
 /// Like [`load_recommendation_letters`] with explicit generation knobs.
 pub fn load_with_config(n: usize, seed: u64, cfg: &HiringConfig) -> LettersScenario {
     let scenario = HiringScenario::generate_with(n, seed, cfg);
-    let split = train_valid_test(n, 0.6, 0.2, seed ^ 0x5eed)
-        .expect("0.6/0.2 is a valid split");
+    let split = train_valid_test(n, 0.6, 0.2, seed ^ 0x5eed).expect("0.6/0.2 is a valid split");
     let (mut train, mut valid, mut test) =
         split_table(&scenario.letters, &split).expect("split indices in bounds");
     // The pipeline plan refers to the letters source as `train_df` whichever

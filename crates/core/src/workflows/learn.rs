@@ -89,18 +89,13 @@ pub fn run(scenario: &LettersScenario, config: &LearnConfig) -> Result<LearnOutc
 /// Baseline: impute the symbolic cells at their interval midpoints (i.e.
 /// mean-of-domain imputation), train the same GD linear model concretely,
 /// and measure plain test MSE.
-fn baseline_imputed_mse(
-    encoding: &SymbolicEncoding,
-    scenario: &LettersScenario,
-) -> Result<f64> {
+fn baseline_imputed_mse(encoding: &SymbolicEncoding, scenario: &LettersScenario) -> Result<f64> {
     let world = encoding.x.midpoint_world();
     let w = train_concrete_gd(&world, &encoding.y, &crate::api::zorro_config())?;
     let (tx, ty) = encoding.encode_test(&scenario.test)?;
     let preds: Vec<f64> = tx
         .iter_rows()
-        .map(|row| {
-            row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[row.len()]
-        })
+        .map(|row| row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[row.len()])
         .collect();
     Ok(mean_squared_error(&ty, &preds)?)
 }
@@ -134,9 +129,6 @@ mod tests {
             ..Default::default()
         };
         let outcome = run(&scenario, &cfg).unwrap();
-        assert!(
-            outcome.points[1].max_worst_case_loss
-                > outcome.points[0].max_worst_case_loss
-        );
+        assert!(outcome.points[1].max_worst_case_loss > outcome.points[0].max_worst_case_loss);
     }
 }

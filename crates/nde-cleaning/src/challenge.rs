@@ -4,12 +4,12 @@
 
 use crate::oracle::LabelOracle;
 use crate::{CleaningError, Result};
+use nde_data::json::{Json, ToJson};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
-use serde::{Deserialize, Serialize};
 
 /// One scored submission.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LeaderboardEntry {
     /// Submitting participant.
     pub name: String,
@@ -19,8 +19,14 @@ pub struct LeaderboardEntry {
     pub cleaned: usize,
 }
 
+nde_data::json_struct!(LeaderboardEntry {
+    name,
+    score,
+    cleaned
+});
+
 /// The challenge leaderboard, best score first.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Leaderboard {
     entries: Vec<LeaderboardEntry>,
 }
@@ -50,12 +56,29 @@ impl Leaderboard {
 
     /// Serialize to pretty JSON (for persistence / the "live leaderboard").
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self).map_err(|e| CleaningError::Serde(e.to_string()))
+        let doc = Json::Obj(vec![("entries".into(), self.entries.to_json())]);
+        Ok(doc.to_string_pretty())
     }
 
     /// Restore from JSON.
     pub fn from_json(json: &str) -> Result<Leaderboard> {
-        serde_json::from_str(json).map_err(|e| CleaningError::Serde(e.to_string()))
+        let serde = |msg: String| CleaningError::Serde(msg);
+        let doc = Json::parse(json).map_err(|e| serde(e.to_string()))?;
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| serde("missing `entries` array".into()))?
+            .iter()
+            .map(|e| {
+                Some(LeaderboardEntry {
+                    name: e.get("name")?.as_str()?.to_owned(),
+                    score: e.get("score")?.as_f64()?,
+                    cleaned: e.get("cleaned")?.as_usize()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| serde("malformed leaderboard entry".into()))?;
+        Ok(Leaderboard { entries })
     }
 
     /// Render as an aligned text table.
@@ -177,7 +200,9 @@ mod tests {
         let valid = all.subset(&(180..220).collect::<Vec<_>>());
         let test = all.subset(&(220..260).collect::<Vec<_>>());
         let truth = train.y.clone();
-        let flips: Vec<usize> = vec![2, 9, 25, 31, 47, 58, 72, 88, 95, 104, 119, 127, 142, 155, 166, 171, 13, 64, 99, 150];
+        let flips: Vec<usize> = vec![
+            2, 9, 25, 31, 47, 58, 72, 88, 95, 104, 119, 127, 142, 155, 166, 171, 13, 64, 99, 150,
+        ];
         for &f in &flips {
             train.y[f] = 1 - train.y[f];
         }
@@ -268,13 +293,6 @@ mod tests {
         )
         .is_err());
         let oracle = LabelOracle::new(data.y.clone());
-        assert!(DebugChallenge::new(
-            KnnClassifier::new(1),
-            data.clone(),
-            oracle,
-            data,
-            0
-        )
-        .is_err());
+        assert!(DebugChallenge::new(KnnClassifier::new(1), data.clone(), oracle, data, 0).is_err());
     }
 }

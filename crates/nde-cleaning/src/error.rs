@@ -22,6 +22,19 @@ pub enum CleaningError {
     Data(String),
     /// Leaderboard (de)serialization failed.
     Serde(String),
+    /// The cleaning oracle was transiently unavailable (a flaky
+    /// dependency); callers may retry.
+    OracleUnavailable {
+        /// 0-based oracle call index that failed.
+        call: u64,
+    },
+    /// The cleaning oracle kept failing after bounded retries.
+    OracleFailed {
+        /// Attempts spent, including the first call.
+        attempts: u32,
+        /// The last underlying error, rendered.
+        last: String,
+    },
 }
 
 impl fmt::Display for CleaningError {
@@ -35,6 +48,15 @@ impl fmt::Display for CleaningError {
             CleaningError::Ml(m) => write!(f, "ml error: {m}"),
             CleaningError::Data(m) => write!(f, "data error: {m}"),
             CleaningError::Serde(m) => write!(f, "serialization error: {m}"),
+            CleaningError::OracleUnavailable { call } => {
+                write!(f, "cleaning oracle unavailable on call {call}")
+            }
+            CleaningError::OracleFailed { attempts, last } => {
+                write!(
+                    f,
+                    "cleaning oracle failed after {attempts} attempts: {last}"
+                )
+            }
         }
     }
 }
@@ -72,8 +94,7 @@ mod tests {
         assert!(e.to_string().contains("30"));
         let e: CleaningError = nde_ml::MlError::NotFitted.into();
         assert!(matches!(e, CleaningError::Ml(_)));
-        let e: CleaningError =
-            nde_importance::ImportanceError::InvalidArgument("x".into()).into();
+        let e: CleaningError = nde_importance::ImportanceError::InvalidArgument("x".into()).into();
         assert!(matches!(e, CleaningError::Importance(_)));
     }
 }

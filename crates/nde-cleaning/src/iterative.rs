@@ -1,11 +1,17 @@
 //! The iterative prioritized-cleaning loop (the attendees' task in §3.1):
 //! score → clean a batch → retrain → measure → repeat.
+//!
+//! Two entry points share one implementation: [`prioritized_cleaning`] is
+//! the simple loop, and [`prioritized_cleaning_robust`] additionally threads
+//! a [`RunBudget`] (graceful stop with [`ConvergenceDiagnostics`]) and a
+//! [`RetryPolicy`] (bounded backoff against flaky oracles) through it.
 
-use crate::oracle::LabelOracle;
+use crate::oracle::{CleaningOracle, LabelOracle};
 use crate::strategy::Strategy;
 use crate::{CleaningError, Result};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
+use nde_robust::{retry_with_backoff, ConvergenceDiagnostics, RetryPolicy, RunBudget};
 
 /// Trace of an iterative cleaning run.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,15 +26,31 @@ pub struct CleaningRun {
 }
 
 impl CleaningRun {
-    /// Accuracy before any cleaning.
+    /// Accuracy before any cleaning. `NaN` for a run with no recorded
+    /// rounds (the constructors here always record the dirty baseline, so
+    /// this only triggers on hand-built traces).
     pub fn dirty_accuracy(&self) -> f64 {
-        *self.accuracy.first().expect("runs have a baseline entry")
+        self.accuracy.first().copied().unwrap_or(f64::NAN)
     }
 
-    /// Accuracy after the final round.
+    /// Accuracy after the final round (`NaN` on an empty trace, as for
+    /// [`CleaningRun::dirty_accuracy`]).
     pub fn final_accuracy(&self) -> f64 {
-        *self.accuracy.last().expect("runs have a baseline entry")
+        self.accuracy.last().copied().unwrap_or(f64::NAN)
     }
+}
+
+/// A [`CleaningRun`] plus how much budget it consumed and whether it was
+/// cut short — the robust variant's graceful-degradation envelope.
+#[derive(Debug, Clone)]
+pub struct RobustCleaningRun {
+    /// The (possibly partial) cleaning trace.
+    pub run: CleaningRun,
+    /// Budget consumption and the limit that tripped, if any.
+    pub diagnostics: ConvergenceDiagnostics,
+    /// Oracle retries performed beyond first attempts (0 with a healthy
+    /// oracle).
+    pub oracle_retries: u64,
 }
 
 /// Run the iterative cleaning loop on label-corrupted data.
@@ -49,6 +71,46 @@ pub fn prioritized_cleaning<C: Classifier>(
     rounds: usize,
     rescore: bool,
 ) -> Result<CleaningRun> {
+    prioritized_cleaning_robust(
+        template,
+        dirty,
+        oracle,
+        valid,
+        strategy,
+        batch,
+        rounds,
+        rescore,
+        &RunBudget::unlimited(),
+        &RetryPolicy::none(),
+    )
+    .map(|r| r.run)
+}
+
+/// The fault-tolerant cleaning loop: [`prioritized_cleaning`] plus a
+/// [`RunBudget`] and oracle retries.
+///
+/// * Each cleaning round counts as one budget iteration; each model
+///   retrain + score counts as one utility call. When the budget trips, the
+///   loop stops **between rounds** and returns the best-so-far trace with
+///   [`ConvergenceDiagnostics`] saying which limit tripped — never a panic
+///   or an error.
+/// * Oracle calls that fail with [`CleaningError::OracleUnavailable`] are
+///   retried under `retry` (exponential backoff). A call that still fails
+///   after the policy's attempts becomes [`CleaningError::OracleFailed`];
+///   any other oracle error propagates immediately.
+#[allow(clippy::too_many_arguments)] // the loop’s knobs are individually meaningful
+pub fn prioritized_cleaning_robust<C: Classifier>(
+    template: &C,
+    dirty: &Dataset,
+    oracle: &impl CleaningOracle,
+    valid: &Dataset,
+    strategy: &Strategy,
+    batch: usize,
+    rounds: usize,
+    rescore: bool,
+    budget: &RunBudget,
+    retry: &RetryPolicy,
+) -> Result<RobustCleaningRun> {
     if batch == 0 || rounds == 0 {
         return Err(CleaningError::InvalidArgument(
             "batch and rounds must be > 0".into(),
@@ -61,9 +123,11 @@ pub fn prioritized_cleaning<C: Classifier>(
             dirty.len()
         )));
     }
+    let mut clock = budget.start();
     let mut current = dirty.clone();
     let mut cleaned_set = vec![false; current.len()];
     let mut cleaned_total = 0usize;
+    let mut oracle_retries = 0u64;
 
     let eval = |data: &Dataset| -> Result<f64> {
         let mut model = template.clone();
@@ -71,6 +135,7 @@ pub fn prioritized_cleaning<C: Classifier>(
         Ok(model.accuracy(valid))
     };
 
+    clock.record_utility_calls(1);
     let mut run = CleaningRun {
         strategy: strategy.name(),
         cleaned: vec![0],
@@ -79,6 +144,9 @@ pub fn prioritized_cleaning<C: Classifier>(
 
     let mut order = strategy.rank(&current, valid)?;
     for _round in 0..rounds {
+        if clock.exhausted().is_some() {
+            break; // budget tripped: return the best-so-far trace
+        }
         if rescore {
             order = strategy.rank(&current, valid)?;
         }
@@ -91,15 +159,37 @@ pub fn prioritized_cleaning<C: Classifier>(
         if picks.is_empty() {
             break; // everything has been cleaned
         }
-        oracle.repair(&mut current.y, &picks)?;
+        let outcome = retry_with_backoff(
+            retry,
+            |e| matches!(e, CleaningError::OracleUnavailable { .. }),
+            || oracle.repair(&mut current.y, &picks),
+        );
+        oracle_retries += u64::from(outcome.attempts.saturating_sub(1));
+        match outcome.result {
+            Ok(_) => {}
+            Err(e @ CleaningError::OracleUnavailable { .. }) => {
+                return Err(CleaningError::OracleFailed {
+                    attempts: outcome.attempts,
+                    last: e.to_string(),
+                })
+            }
+            Err(e) => return Err(e),
+        }
         for &i in &picks {
             cleaned_set[i] = true;
         }
         cleaned_total += picks.len();
         run.cleaned.push(cleaned_total);
+        clock.record_utility_calls(1);
         run.accuracy.push(eval(&current)?);
+        clock.record_iteration();
     }
-    Ok(run)
+    let diagnostics = clock.diagnostics(None);
+    Ok(RobustCleaningRun {
+        run,
+        diagnostics,
+        oracle_retries,
+    })
 }
 
 #[cfg(test)]
@@ -109,13 +199,15 @@ mod tests {
     use nde_ml::models::knn::KnnClassifier;
 
     fn setup() -> (Dataset, Dataset, LabelOracle) {
-        let nd = two_gaussians(200, 3, 5.0, 41);
+        let nd = two_gaussians(200, 3, 2.0, 43);
         let all = Dataset::try_from(&nd).unwrap();
         let mut train = all.subset(&(0..150).collect::<Vec<_>>());
         let valid = all.subset(&(150..200).collect::<Vec<_>>());
         let truth = train.y.clone();
         // 10% label errors.
-        for f in [5, 17, 29, 38, 51, 66, 84, 99, 111, 120, 133, 140, 147, 148, 149] {
+        for f in [
+            5, 17, 29, 38, 51, 66, 84, 99, 111, 120, 133, 140, 147, 148, 149,
+        ] {
             train.y[f] = 1 - train.y[f];
         }
         (train, valid, LabelOracle::new(truth))
@@ -219,6 +311,122 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run.cleaned.last(), Some(&10));
+    }
+
+    #[test]
+    fn robust_with_unlimited_budget_matches_plain_loop() {
+        let (dirty, valid, oracle) = setup();
+        let knn = KnnClassifier::new(3);
+        let strategy = Strategy::KnnShapley { k: 3 };
+        let plain =
+            prioritized_cleaning(&knn, &dirty, &oracle, &valid, &strategy, 5, 4, false).unwrap();
+        let robust = prioritized_cleaning_robust(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &strategy,
+            5,
+            4,
+            false,
+            &RunBudget::unlimited(),
+            &RetryPolicy::none(),
+        )
+        .unwrap();
+        assert_eq!(robust.run, plain);
+        assert!(robust.diagnostics.completed());
+        assert_eq!(robust.diagnostics.iterations, 4);
+        // Baseline + one eval per round.
+        assert_eq!(robust.diagnostics.utility_calls, 5);
+        assert_eq!(robust.oracle_retries, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_partial_trace() {
+        let (dirty, valid, oracle) = setup();
+        let robust = prioritized_cleaning_robust(
+            &KnnClassifier::new(3),
+            &dirty,
+            &oracle,
+            &valid,
+            &Strategy::Random { seed: 0 },
+            5,
+            10,
+            false,
+            &RunBudget::unlimited().with_max_iterations(2),
+            &RetryPolicy::none(),
+        )
+        .unwrap();
+        assert_eq!(robust.run.cleaned, vec![0, 5, 10]);
+        assert_eq!(
+            robust.diagnostics.exhausted,
+            Some(nde_robust::Exhaustion::Iterations)
+        );
+        assert!(robust.run.final_accuracy().is_finite());
+    }
+
+    #[test]
+    fn flaky_oracle_is_ridden_out_by_retries() {
+        use crate::oracle::FlakyOracle;
+        use nde_robust::FaultSchedule;
+        let (dirty, valid, oracle) = setup();
+        let strategy = Strategy::Random { seed: 1 };
+        let knn = KnnClassifier::new(3);
+        let healthy =
+            prioritized_cleaning(&knn, &dirty, &oracle, &valid, &strategy, 5, 3, false).unwrap();
+        // Every other oracle call fails once; one retry rides it out.
+        let flaky = FlakyOracle::new(oracle.clone(), FaultSchedule::every_nth(2));
+        let robust = prioritized_cleaning_robust(
+            &knn,
+            &dirty,
+            &flaky,
+            &valid,
+            &strategy,
+            5,
+            3,
+            false,
+            &RunBudget::unlimited(),
+            &RetryPolicy::immediate(3),
+        )
+        .unwrap();
+        assert_eq!(robust.run, healthy);
+        assert!(robust.oracle_retries > 0);
+    }
+
+    #[test]
+    fn persistent_oracle_outage_is_a_typed_error() {
+        use crate::oracle::FlakyOracle;
+        use nde_robust::FaultSchedule;
+        let (dirty, valid, oracle) = setup();
+        let down = FlakyOracle::new(oracle, FaultSchedule::always());
+        let err = prioritized_cleaning_robust(
+            &KnnClassifier::new(3),
+            &dirty,
+            &down,
+            &valid,
+            &Strategy::Random { seed: 0 },
+            5,
+            3,
+            false,
+            &RunBudget::unlimited(),
+            &RetryPolicy::immediate(4),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CleaningError::OracleFailed { attempts: 4, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_traces_report_nan_instead_of_panicking() {
+        let empty = CleaningRun {
+            strategy: "hand-built",
+            cleaned: vec![],
+            accuracy: vec![],
+        };
+        assert!(empty.dirty_accuracy().is_nan());
+        assert!(empty.final_accuracy().is_nan());
     }
 
     #[test]

@@ -13,8 +13,10 @@ pub mod strategy;
 
 pub use challenge::{DebugChallenge, Leaderboard, LeaderboardEntry};
 pub use error::CleaningError;
-pub use iterative::{prioritized_cleaning, CleaningRun};
-pub use oracle::{LabelOracle, TableOracle};
+pub use iterative::{
+    prioritized_cleaning, prioritized_cleaning_robust, CleaningRun, RobustCleaningRun,
+};
+pub use oracle::{CleaningOracle, FlakyOracle, LabelOracle, TableOracle};
 pub use strategy::Strategy;
 
 /// Convenience result alias for this crate.

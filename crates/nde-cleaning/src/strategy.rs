@@ -71,9 +71,7 @@ impl Strategy {
                 let mut rng = seeded(*seed);
                 permutation(train.len(), &mut rng)
             }
-            Strategy::KnnShapley { k } => {
-                knn_shapley(train, valid, *k)?.ascending_indices()
-            }
+            Strategy::KnnShapley { k } => knn_shapley(train, valid, *k)?.ascending_indices(),
             Strategy::Loo => {
                 loo_importance(&KnnClassifier::new(1), train, valid)?.ascending_indices()
             }
@@ -87,11 +85,9 @@ impl Strategy {
                 beta_shapley(&KnnClassifier::new(1), train, valid, cfg)?.ascending_indices()
             }
             Strategy::Aum(cfg) => aum_importance(train, cfg)?.ascending_indices(),
-            Strategy::ConfidentLearning(cfg) => {
-                confident_learning(&GaussianNb::new(), train, cfg)?
-                    .scores
-                    .ascending_indices()
-            }
+            Strategy::ConfidentLearning(cfg) => confident_learning(&GaussianNb::new(), train, cfg)?
+                .scores
+                .ascending_indices(),
             Strategy::Influence(cfg) => {
                 influence_importance(train, valid, cfg)?.ascending_indices()
             }
@@ -152,9 +148,8 @@ mod tests {
     #[test]
     fn knn_shapley_finds_flips_faster_than_random() {
         let (train, valid, flips) = dirty_blobs();
-        let hits_in_prefix = |order: &[usize], k: usize| {
-            order[..k].iter().filter(|i| flips.contains(i)).count()
-        };
+        let hits_in_prefix =
+            |order: &[usize], k: usize| order[..k].iter().filter(|i| flips.contains(i)).count();
         let shapley_order = Strategy::KnnShapley { k: 1 }.rank(&train, &valid).unwrap();
         // Average random performance over several seeds.
         let mut random_hits = 0;
@@ -167,7 +162,10 @@ mod tests {
             shapley_hits * 5 > random_hits,
             "shapley {shapley_hits} vs random {random_hits}/5"
         );
-        assert!(shapley_hits >= 4, "shapley found only {shapley_hits}/6 flips");
+        assert!(
+            shapley_hits >= 4,
+            "shapley found only {shapley_hits}/6 flips"
+        );
     }
 
     #[test]

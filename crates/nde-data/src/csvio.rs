@@ -103,8 +103,7 @@ fn parse_value(raw: &CsvField, field: &Field) -> Result<Value> {
 }
 
 fn quote(s: &str) -> String {
-    if s.is_empty() || s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r')
-    {
+    if s.is_empty() || s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_owned()
@@ -207,14 +206,29 @@ mod tests {
         );
         t.push_row(vec![1.into(), "plain".into(), 0.5.into(), true.into()])
             .unwrap();
-        t.push_row(vec![2.into(), "has, comma".into(), Value::Null, false.into()])
-            .unwrap();
-        t.push_row(vec![3.into(), "has \"quote\"".into(), (-1.25).into(), Value::Null])
-            .unwrap();
+        t.push_row(vec![
+            2.into(),
+            "has, comma".into(),
+            Value::Null,
+            false.into(),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            3.into(),
+            "has \"quote\"".into(),
+            (-1.25).into(),
+            Value::Null,
+        ])
+        .unwrap();
         t.push_row(vec![4.into(), "".into(), 1.0.into(), true.into()])
             .unwrap();
-        t.push_row(vec![5.into(), "line\nbreak".into(), 2.0.into(), false.into()])
-            .unwrap();
+        t.push_row(vec![
+            5.into(),
+            "line\nbreak".into(),
+            2.0.into(),
+            false.into(),
+        ])
+        .unwrap();
         t
     }
 

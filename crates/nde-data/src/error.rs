@@ -60,7 +60,10 @@ impl fmt::Display for DataError {
                 write!(f, "row index {index} out of bounds (table has {len} rows)")
             }
             DataError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
             DataError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             DataError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),

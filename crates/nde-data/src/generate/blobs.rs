@@ -4,8 +4,8 @@
 //! certain models, dataset multiplicity) where we need controllable numeric
 //! feature spaces rather than text.
 
+use crate::rng::Rng;
 use crate::rng::{normal, seeded};
-use rand::Rng;
 
 /// A dense numeric classification dataset.
 #[derive(Debug, Clone)]
@@ -76,9 +76,8 @@ pub fn linear_regression(
     let mut ys = Vec::with_capacity(n);
     for _ in 0..n {
         let x: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let y = w.iter().zip(&x).map(|(wi, xi)| wi * xi).sum::<f64>()
-            + b
-            + noise_sd * normal(&mut rng);
+        let y =
+            w.iter().zip(&x).map(|(wi, xi)| wi * xi).sum::<f64>() + b + noise_sd * normal(&mut rng);
         xs.push(x);
         ys.push(y);
     }

@@ -11,12 +11,12 @@
 
 use super::letters::{generate_letter, Sentiment};
 use crate::column::Column;
+use crate::rng::Rng;
+use crate::rng::SliceRandom;
 use crate::rng::{normal_with, seeded};
 use crate::schema::{DataType, Field, Schema};
 use crate::table::Table;
 use crate::value::Value;
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Degrees appearing in the `degree` column (which also has natural nulls).
 pub const DEGREES: &[&str] = &["bachelor", "master", "phd"];

@@ -8,8 +8,8 @@
 //! The result is text where sentiment is learnable from word statistics —
 //! exactly the property the tutorial's classifier relies on.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::Rng;
+use crate::rng::SliceRandom;
 
 /// Sentiment of a letter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -116,15 +116,19 @@ pub(crate) const NEUTRAL_PHRASES: &[&str] = &[
 /// sentiment (1.0 = all sentiment-bearing phrases match the label).
 pub fn generate_letter(sentiment: Sentiment, purity: f64, rng: &mut impl Rng) -> String {
     debug_assert!((0.5..=1.0).contains(&purity));
-    let n_sentiment = rng.gen_range(3..=5);
-    let n_neutral = rng.gen_range(1..=3);
+    let n_sentiment: usize = rng.gen_range(3..=5);
+    let n_neutral: usize = rng.gen_range(1..=3);
     let (own, other) = match sentiment {
         Sentiment::Positive => (POSITIVE_PHRASES, NEGATIVE_PHRASES),
         Sentiment::Negative => (NEGATIVE_PHRASES, POSITIVE_PHRASES),
     };
     let mut phrases: Vec<&str> = Vec::with_capacity(n_sentiment + n_neutral);
     for _ in 0..n_sentiment {
-        let pool = if rng.gen::<f64>() < purity { own } else { other };
+        let pool = if rng.gen::<f64>() < purity {
+            own
+        } else {
+            other
+        };
         phrases.push(pool.choose(rng).expect("non-empty vocabulary"));
     }
     for _ in 0..n_neutral {
@@ -146,8 +150,14 @@ pub fn generate_letter(sentiment: Sentiment, purity: f64, rng: &mut impl Rng) ->
 /// Count of sentiment-bearing words from each vocabulary inside `text`
 /// (`(positive_hits, negative_hits)`); used by tests and sanity checks.
 pub fn sentiment_hits(text: &str) -> (usize, usize) {
-    let pos = POSITIVE_PHRASES.iter().filter(|p| text.contains(*p)).count();
-    let neg = NEGATIVE_PHRASES.iter().filter(|p| text.contains(*p)).count();
+    let pos = POSITIVE_PHRASES
+        .iter()
+        .filter(|p| text.contains(*p))
+        .count();
+    let neg = NEGATIVE_PHRASES
+        .iter()
+        .filter(|p| text.contains(*p))
+        .count();
     (pos, neg)
 }
 

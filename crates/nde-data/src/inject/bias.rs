@@ -2,10 +2,10 @@
 
 use super::{ErrorKind, InjectionReport};
 use crate::rng::seeded;
+use crate::rng::Rng;
 use crate::table::Table;
 use crate::value::Value;
 use crate::{DataError, Result};
-use rand::Rng;
 
 /// Produce a biased subsample of `table`: rows whose `group_col` equals
 /// `group_value` are kept only with probability `keep_prob` (others always

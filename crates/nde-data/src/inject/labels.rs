@@ -1,11 +1,11 @@
 //! Label-error injection (Fig. 2 of the paper).
 
 use super::{ErrorKind, InjectionReport};
+use crate::rng::SliceRandom;
 use crate::rng::{sample_indices, seeded};
 use crate::table::Table;
 use crate::value::Value;
 use crate::{DataError, Result};
-use rand::seq::SliceRandom;
 
 /// Flip the labels of a random `fraction` of rows to a *different* class.
 ///
@@ -47,7 +47,10 @@ pub fn flip_labels(
     for &row in &affected {
         let current = table.get(row, label_col)?;
         let current_str = current.as_str().unwrap_or("");
-        let wrong: Vec<&String> = classes.iter().filter(|c| c.as_str() != current_str).collect();
+        let wrong: Vec<&String> = classes
+            .iter()
+            .filter(|c| c.as_str() != current_str)
+            .collect();
         let new = (*wrong.choose(&mut rng).expect(">=2 classes")).clone();
         table.set(row, label_col, Value::Str(new))?;
     }
@@ -113,7 +116,8 @@ mod tests {
         // A single-class column cannot be flipped.
         let mut t2 = scenario.letters.clone();
         for i in 0..t2.n_rows() {
-            t2.set(i, LABEL_COLUMN, Value::Str("positive".into())).unwrap();
+            t2.set(i, LABEL_COLUMN, Value::Str("positive".into()))
+                .unwrap();
         }
         assert!(flip_labels(&mut t2, LABEL_COLUMN, 0.1, 1).is_err());
     }

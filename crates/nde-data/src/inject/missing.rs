@@ -2,10 +2,10 @@
 
 use super::{ErrorKind, InjectionReport};
 use crate::rng::seeded;
+use crate::rng::Rng;
 use crate::table::Table;
 use crate::value::Value;
 use crate::{DataError, Result};
-use rand::Rng;
 
 /// The missingness mechanism controlling *which* cells go missing.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,8 +144,7 @@ mod tests {
     fn mcar_nulls_exact_count() {
         let mut t = HiringScenario::generate(200, 1).letters;
         let before = t.column("employer_rating").unwrap().null_count();
-        let report =
-            inject_missing(&mut t, "employer_rating", 0.15, Missingness::Mcar, 3).unwrap();
+        let report = inject_missing(&mut t, "employer_rating", 0.15, Missingness::Mcar, 3).unwrap();
         assert_eq!(report.affected.len(), 30);
         let after = t.column("employer_rating").unwrap().null_count();
         assert_eq!(after - before, 30);
@@ -240,13 +239,9 @@ mod tests {
         let mut t = clean.clone();
         assert!(inject_missing(&mut t, "degree", 2.0, Missingness::Mcar, 0).is_err());
         assert!(inject_missing(&mut t, "nope", 0.1, Missingness::Mcar, 0).is_err());
-        assert!(
-            inject_missing(&mut t, "degree", 0.1, Missingness::Mnar { skew: 0.5 }, 0).is_err()
-        );
+        assert!(inject_missing(&mut t, "degree", 0.1, Missingness::Mnar { skew: 0.5 }, 0).is_err());
         // MNAR on a non-numeric column cannot compute a median.
-        assert!(
-            inject_missing(&mut t, "degree", 0.1, Missingness::Mnar { skew: 2.0 }, 0).is_err()
-        );
+        assert!(inject_missing(&mut t, "degree", 0.1, Missingness::Mnar { skew: 2.0 }, 0).is_err());
     }
 
     #[test]

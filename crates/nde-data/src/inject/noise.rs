@@ -1,11 +1,11 @@
 //! Numeric noise and outlier injection.
 
 use super::{ErrorKind, InjectionReport};
+use crate::rng::Rng;
 use crate::rng::{normal, sample_indices, seeded};
 use crate::table::Table;
 use crate::value::Value;
 use crate::{DataError, Result};
-use rand::Rng;
 
 /// Add zero-mean Gaussian noise with standard deviation `sigma` to a random
 /// `fraction` of the non-null values in a numeric column.

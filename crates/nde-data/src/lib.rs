@@ -21,6 +21,7 @@ pub mod error;
 pub mod fxhash;
 pub mod generate;
 pub mod inject;
+pub mod json;
 pub mod rng;
 pub mod schema;
 pub mod table;

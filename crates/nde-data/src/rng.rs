@@ -3,10 +3,14 @@
 //! All stochastic code in the workspace goes through [`seeded`] (or an
 //! explicitly passed `&mut impl Rng`) so that every experiment is exactly
 //! reproducible from its seed.
+//!
+//! The generator and the `Rng`/`SliceRandom` traits are implemented in-tree
+//! (no external `rand` dependency): the workspace must build and test with
+//! no registry access, and owning the generator lets fault-tolerant runners
+//! snapshot and restore the exact RNG state (see [`StdRng::state`] /
+//! [`StdRng::from_state`]) for bit-identical checkpoint/resume.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
 
 /// A deterministic RNG seeded from a `u64`.
 pub fn seeded(seed: u64) -> StdRng {
@@ -18,11 +22,209 @@ pub fn seeded(seed: u64) -> StdRng {
 /// uncorrelated but reproducible streams.
 pub fn child_seed(seed: u64, stream: u64) -> u64 {
     // SplitMix64 step over the combined value: cheap, well-distributed.
-    let mut z = seed
-        .wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// xoshiro256** — fast, high-quality, and with a small, snapshotable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seed deterministically from a `u64` by running SplitMix64 four times
+    /// (the initialisation recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0, 0, 0, 0] {
+            // All-zero is the one invalid xoshiro state.
+            s[0] = 1;
+        }
+        StdRng { s }
+    }
+
+    /// Snapshot the full generator state (for checkpoint files).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Restore a generator from a snapshot taken with [`StdRng::state`].
+    /// The restored generator continues the exact same stream.
+    pub fn from_state(s: [u64; 4]) -> StdRng {
+        let s = if s == [0, 0, 0, 0] { [1, 0, 0, 0] } else { s };
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A source of randomness. Mirrors the subset of `rand::Rng` the workspace
+/// actually uses, so call sites read identically.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw of a primitive type (`f64` in `[0, 1)`, full-range
+    /// integers, a fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// A uniform draw from a half-open or inclusive range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types with a canonical "standard" uniform distribution.
+pub trait Standard: Sized {
+    /// Draw one value from the standard distribution.
+    fn sample_standard(rng: &mut impl Rng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard(rng: &mut impl Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard(rng: &mut impl Rng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut impl Rng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard(rng: &mut impl Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Multiply-shift bounded draw in `0..span` (`span > 0`).
+fn bounded(rng: &mut impl Rng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// Ranges a uniform value of type `T` can be drawn from. Generic over the
+/// element type (rather than an associated type) so integer literals in
+/// `rng.gen_range(1..=6)` unify with the expected result type.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range. Panics on an empty range.
+    fn sample(self, rng: &mut impl Rng) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut impl Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty f64 range");
+        self.start + (self.end - self.start) * f64::sample_standard(rng)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width inclusive range: every value is fair game.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(bounded(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i32, i64, u32, u64, usize, isize);
+
+/// Random operations on slices (shuffling, uniform choice).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+    /// Fisher–Yates shuffle in place.
+    fn shuffle(&mut self, rng: &mut impl Rng);
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<'a>(&'a self, rng: &mut impl Rng) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut impl Rng) {
+        for i in (1..self.len()).rev() {
+            let j = bounded(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a>(&'a self, rng: &mut impl Rng) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[bounded(rng, self.len() as u64) as usize])
+        }
+    }
 }
 
 /// A uniformly random permutation of `0..n`.
@@ -82,6 +284,19 @@ mod tests {
     }
 
     #[test]
+    fn state_snapshot_resumes_identical_stream() {
+        let mut rng = seeded(99);
+        for _ in 0..10 {
+            rng.next_u64();
+        }
+        let snap = rng.state();
+        let tail: Vec<u64> = (0..20).map(|_| rng.next_u64()).collect();
+        let mut resumed = StdRng::from_state(snap);
+        let resumed_tail: Vec<u64> = (0..20).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, resumed_tail);
+    }
+
+    #[test]
     fn permutation_is_a_permutation() {
         let mut rng = seeded(1);
         let mut p = permutation(100, &mut rng);
@@ -99,6 +314,37 @@ mod tests {
         assert!(s.iter().all(|&i| i < 50));
         // k > n clamps.
         assert_eq!(sample_indices(3, 10, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = seeded(5);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&w));
+            let x = rng.gen_range(1..=6);
+            assert!((1..=6).contains(&x));
+            let y = rng.gen_range(0..10i64);
+            assert!((0..10).contains(&y));
+        }
+        // Inclusive ranges reach both endpoints.
+        let draws: Vec<i32> = (0..200).map(|_| rng.gen_range(0..=1)).collect();
+        assert!(draws.contains(&0) && draws.contains(&1));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = seeded(6);
+        let items = [1, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*items.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
     }
 
     #[test]

@@ -282,12 +282,7 @@ impl Table {
     /// with their names, except the join key which is dropped; a name clash
     /// on a non-key column gets a `_right` suffix. Returns the joined table
     /// plus per-output-row lineage `(left_row, right_row)`.
-    pub fn hash_join(
-        &self,
-        right: &Table,
-        left_key: &str,
-        right_key: &str,
-    ) -> Result<JoinResult> {
+    pub fn hash_join(&self, right: &Table, left_key: &str, right_key: &str) -> Result<JoinResult> {
         self.join_impl(right, left_key, right_key, false)
             .map(|(t, lineage)| {
                 let pairs = lineage
@@ -525,9 +520,12 @@ mod tests {
             ])
             .unwrap(),
         );
-        t.push_row(vec![1.into(), "ada".into(), 36.0.into()]).unwrap();
-        t.push_row(vec![2.into(), "bob".into(), Value::Null]).unwrap();
-        t.push_row(vec![3.into(), "eve".into(), 29.0.into()]).unwrap();
+        t.push_row(vec![1.into(), "ada".into(), 36.0.into()])
+            .unwrap();
+        t.push_row(vec![2.into(), "bob".into(), Value::Null])
+            .unwrap();
+        t.push_row(vec![3.into(), "eve".into(), 29.0.into()])
+            .unwrap();
         t
     }
 
@@ -604,7 +602,10 @@ mod tests {
         // id=1 matches once, id=2 not at all, id=3 twice.
         assert_eq!(joined.n_rows(), 3);
         assert_eq!(lineage, vec![(0, 0), (2, 1), (2, 2)]);
-        assert_eq!(joined.get(0, "sector").unwrap(), Value::Str("health".into()));
+        assert_eq!(
+            joined.get(0, "sector").unwrap(),
+            Value::Str("health".into())
+        );
         assert_eq!(joined.get(2, "sector").unwrap(), Value::Str("tech2".into()));
         // Join key from the right side is dropped.
         assert!(!joined.schema().contains("id_right"));
@@ -670,7 +671,8 @@ mod tests {
     fn add_column_checks_length_and_type() {
         let mut t = people();
         let ok = Column::Bool(vec![Some(true), Some(false), None]);
-        t.add_column(Field::new("flag", DataType::Bool), ok).unwrap();
+        t.add_column(Field::new("flag", DataType::Bool), ok)
+            .unwrap();
         assert_eq!(t.n_cols(), 4);
         let short = Column::Bool(vec![Some(true)]);
         assert!(t

@@ -40,14 +40,12 @@ impl Default for AumConfig {
 /// scores already follow the crate's higher-is-better convention.
 pub fn aum_importance(train: &Dataset, config: &AumConfig) -> Result<ImportanceScores> {
     if config.epochs == 0 {
-        return Err(ImportanceError::InvalidArgument("epochs must be > 0".into()));
+        return Err(ImportanceError::InvalidArgument(
+            "epochs must be > 0".into(),
+        ));
     }
-    let mut model = LogisticRegression::new(
-        config.epochs,
-        config.learning_rate,
-        config.l2,
-        config.seed,
-    );
+    let mut model =
+        LogisticRegression::new(config.epochs, config.learning_rate, config.l2, config.seed);
     let history = model.fit_tracking(train)?;
     debug_assert_eq!(history.len(), config.epochs);
     let n = train.len();

@@ -9,9 +9,9 @@
 use crate::common::ImportanceScores;
 use crate::{ImportanceError, Result};
 use nde_data::rng::seeded;
+use nde_data::rng::Rng;
 use nde_ml::dataset::Dataset;
 use nde_ml::model::{utility, Classifier};
-use rand::Rng;
 
 /// Configuration for the Banzhaf MSR estimator.
 #[derive(Debug, Clone)]
@@ -46,7 +46,9 @@ pub fn banzhaf_msr<C: Classifier>(
         ));
     }
     if train.is_empty() {
-        return Err(ImportanceError::InvalidArgument("empty training set".into()));
+        return Err(ImportanceError::InvalidArgument(
+            "empty training set".into(),
+        ));
     }
     let n = train.len();
     let mut rng = seeded(config.seed);

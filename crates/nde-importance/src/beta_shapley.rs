@@ -11,11 +11,11 @@
 
 use crate::common::ImportanceScores;
 use crate::{ImportanceError, Result};
+use nde_data::rng::Rng;
+use nde_data::rng::SliceRandom;
 use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::{utility, Classifier};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Configuration for the Beta Shapley estimator.
 #[derive(Debug, Clone)]
@@ -120,7 +120,9 @@ pub fn beta_shapley<C: Classifier>(
         ));
     }
     if train.is_empty() {
-        return Err(ImportanceError::InvalidArgument("empty training set".into()));
+        return Err(ImportanceError::InvalidArgument(
+            "empty training set".into(),
+        ));
     }
     let n = train.len();
     let weights = beta_size_weights(n, config.alpha, config.beta);

@@ -15,6 +15,10 @@ pub enum ImportanceError {
     Pipeline(String),
     /// The method's preconditions were not met (e.g. needs binary labels).
     Unsupported(String),
+    /// A worker thread panicked; the panic payload is preserved.
+    WorkerPanic(String),
+    /// A checkpoint did not match the run it was resumed into.
+    Checkpoint(String),
 }
 
 impl fmt::Display for ImportanceError {
@@ -25,6 +29,8 @@ impl fmt::Display for ImportanceError {
             ImportanceError::Data(m) => write!(f, "data error: {m}"),
             ImportanceError::Pipeline(m) => write!(f, "pipeline error: {m}"),
             ImportanceError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ImportanceError::WorkerPanic(m) => write!(f, "worker thread panicked: {m}"),
+            ImportanceError::Checkpoint(m) => write!(f, "checkpoint mismatch: {m}"),
         }
     }
 }
@@ -137,11 +143,7 @@ pub fn bottom_k(values: &[f64], k: usize) -> Vec<usize> {
 /// Detection precision@k: of the `k` lowest-scored examples, what fraction
 /// are actually injected errors? (The ground truth comes from
 /// [`nde_data::inject::InjectionReport`].)
-pub fn detection_precision_at_k(
-    scores: &ImportanceScores,
-    truth: &[usize],
-    k: usize,
-) -> f64 {
+pub fn detection_precision_at_k(scores: &ImportanceScores, truth: &[usize], k: usize) -> f64 {
     if k == 0 {
         return 0.0;
     }

@@ -137,7 +137,11 @@ mod tests {
             assert!(result.flagged.contains(f), "flip {f} not flagged");
         }
         // ...and false positives are few on well-separated blobs.
-        assert!(result.flagged.len() <= flips.len() + 6, "{:?}", result.flagged);
+        assert!(
+            result.flagged.len() <= flips.len() + 6,
+            "{:?}",
+            result.flagged
+        );
         // Scores rank the flips at the bottom.
         let bottom = result.scores.bottom_k(4);
         let hits = bottom.iter().filter(|i| flips.contains(i)).count();
@@ -175,10 +179,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let train = train_with_flips(50, &[3]);
-        let a = confident_learning(&GaussianNb::new(), &train, &ConfidentConfig::default())
-            .unwrap();
-        let b = confident_learning(&GaussianNb::new(), &train, &ConfidentConfig::default())
-            .unwrap();
+        let a =
+            confident_learning(&GaussianNb::new(), &train, &ConfidentConfig::default()).unwrap();
+        let b =
+            confident_learning(&GaussianNb::new(), &train, &ConfidentConfig::default()).unwrap();
         assert_eq!(a.scores, b.scores);
         assert_eq!(a.flagged, b.flagged);
     }

@@ -169,9 +169,7 @@ mod tests {
         let valid = no_lineage.dataset.clone();
         assert!(datascope_importance(&no_lineage, &valid, "train_df", 60, 1).is_err());
         let with_lineage = fp.fit_run(&inputs(&s), true).unwrap();
-        assert!(
-            datascope_importance(&with_lineage, &valid, "no_such_source", 60, 1).is_err()
-        );
+        assert!(datascope_importance(&with_lineage, &valid, "no_such_source", 60, 1).is_err());
     }
 
     #[test]

@@ -172,8 +172,7 @@ pub fn fairness_explanations<C: Classifier>(
                     continue; // same-column equality conjunction is empty
                 }
                 let rb_set: std::collections::HashSet<usize> = rb.iter().copied().collect();
-                let rows: Vec<usize> =
-                    ra.iter().copied().filter(|r| rb_set.contains(r)).collect();
+                let rows: Vec<usize> = ra.iter().copied().filter(|r| rb_set.contains(r)).collect();
                 consider(vec![ca.clone(), cb.clone()], rows)?;
             }
         }
@@ -190,10 +189,7 @@ pub fn fairness_explanations<C: Classifier>(
 }
 
 /// All single equality conditions over the chosen columns, with row sets.
-fn candidate_conditions(
-    table: &Table,
-    columns: &[String],
-) -> Result<Vec<(Condition, Vec<usize>)>> {
+fn candidate_conditions(table: &Table, columns: &[String]) -> Result<Vec<(Condition, Vec<usize>)>> {
     let mut out = Vec::new();
     for col_name in columns {
         let field = table.schema().field(col_name)?;
@@ -236,9 +232,7 @@ fn candidate_conditions(
                     let rows: Vec<usize> = values
                         .iter()
                         .enumerate()
-                        .filter_map(|(r, v)| {
-                            v.and_then(|x| ((x > median) == above).then_some(r))
-                        })
+                        .filter_map(|(r, v)| v.and_then(|x| ((x > median) == above).then_some(r)))
                         .collect();
                     out.push((
                         Condition {
@@ -364,7 +358,10 @@ mod tests {
         .unwrap();
         assert!(!explanations.is_empty());
         let top = &explanations[0];
-        assert!(top.violation_before > 0.2, "no violation to explain: {top:?}");
+        assert!(
+            top.violation_before > 0.2,
+            "no violation to explain: {top:?}"
+        );
         assert_eq!(top.pattern.describe(), "annotator = c");
         assert!(top.improvement() > 0.2, "{top:?}");
         assert!(top.violation_after < top.violation_before);
@@ -389,9 +386,7 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        assert!(explanations
-            .iter()
-            .any(|e| e.pattern.conditions.len() == 2));
+        assert!(explanations.iter().any(|e| e.pattern.conditions.len() == 2));
         let pair = explanations
             .iter()
             .find(|e| e.pattern.conditions.len() == 2)

@@ -138,8 +138,7 @@ mod tests {
     #[test]
     fn bad_group_has_lowest_value() {
         let (train, groups, valid) = grouped();
-        let scores =
-            group_shapley_exact(&KnnClassifier::new(1), &train, &groups, &valid).unwrap();
+        let scores = group_shapley_exact(&KnnClassifier::new(1), &train, &groups, &valid).unwrap();
         assert_eq!(scores.len(), 3);
         assert_eq!(scores.bottom_k(1), vec![2]);
         // With the U(∅) = 0 convention even a harmful group earns credit for
@@ -152,8 +151,7 @@ mod tests {
     #[test]
     fn efficiency_axiom_exact() {
         let (train, groups, valid) = grouped();
-        let scores =
-            group_shapley_exact(&KnnClassifier::new(1), &train, &groups, &valid).unwrap();
+        let scores = group_shapley_exact(&KnnClassifier::new(1), &train, &groups, &valid).unwrap();
         let sum: f64 = scores.values.iter().sum();
         let full = utility(&KnnClassifier::new(1), &train, &valid).unwrap();
         assert!((sum - full).abs() < 1e-9);
@@ -171,8 +169,6 @@ mod tests {
         let (train, _, valid) = grouped();
         assert!(group_shapley_exact(&KnnClassifier::new(1), &train, &[0, 1], &valid).is_err());
         let too_many: Vec<usize> = (0..train.len()).map(|i| i + 30).collect();
-        assert!(
-            group_shapley_exact(&KnnClassifier::new(1), &train, &too_many, &valid).is_err()
-        );
+        assert!(group_shapley_exact(&KnnClassifier::new(1), &train, &too_many, &valid).is_err());
     }
 }

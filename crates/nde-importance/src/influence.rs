@@ -168,8 +168,7 @@ mod tests {
     fn flipped_labels_get_lowest_influence_importance() {
         let flips = vec![3, 17, 42];
         let (train, valid, truth) = blobs_with_flips(80, &flips);
-        let scores =
-            influence_importance(&train, &valid, &InfluenceConfig::default()).unwrap();
+        let scores = influence_importance(&train, &valid, &InfluenceConfig::default()).unwrap();
         let bottom = scores.bottom_k(3);
         let hits = bottom.iter().filter(|i| truth.contains(i)).count();
         assert!(hits >= 2, "bottom={bottom:?} truth={truth:?}");
@@ -178,20 +177,18 @@ mod tests {
     #[test]
     fn clean_data_has_mostly_positive_scores() {
         let (train, valid, _) = blobs_with_flips(60, &[]);
-        let scores =
-            influence_importance(&train, &valid, &InfluenceConfig::default()).unwrap();
+        let scores = influence_importance(&train, &valid, &InfluenceConfig::default()).unwrap();
         let negative = scores.values.iter().filter(|&&v| v < -1e-6).count();
-        assert!(negative < 30, "{negative} strongly negative scores on clean data");
+        assert!(
+            negative < 30,
+            "{negative} strongly negative scores on clean data"
+        );
     }
 
     #[test]
     fn multiclass_rejected() {
-        let train = Dataset::from_rows(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![0, 1, 2],
-            3,
-        )
-        .unwrap();
+        let train =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 2], 3).unwrap();
         let valid = train.clone();
         assert!(matches!(
             influence_importance(&train, &valid, &InfluenceConfig::default()),

@@ -38,6 +38,7 @@ pub mod loo;
 pub mod shapley_mc;
 
 pub use common::{bottom_k, detection_precision_at_k, ImportanceError, ImportanceScores};
+pub use shapley_mc::{tmc_shapley, tmc_shapley_budgeted, BudgetedShapley, ShapleyConfig};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, ImportanceError>;

@@ -9,10 +9,11 @@
 
 use crate::common::ImportanceScores;
 use crate::{ImportanceError, Result};
+use nde_data::rng::SliceRandom;
 use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::{utility, Classifier};
-use rand::seq::SliceRandom;
+use nde_robust::{ConvergenceDiagnostics, McCheckpoint, RunBudget};
 
 /// Configuration for the TMC-Shapley estimator.
 #[derive(Debug, Clone)]
@@ -55,7 +56,9 @@ where
         ));
     }
     if train.is_empty() {
-        return Err(ImportanceError::InvalidArgument("empty training set".into()));
+        return Err(ImportanceError::InvalidArgument(
+            "empty training set".into(),
+        ));
     }
     let n = train.len();
     let full_utility = utility(template, train, valid)?;
@@ -88,7 +91,16 @@ where
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        Err(ImportanceError::WorkerPanic(msg))
+                    })
+                })
                 .collect()
         });
         let mut acc = vec![0.0; n];
@@ -105,6 +117,172 @@ where
         .map(|v| v / config.permutations as f64)
         .collect();
     Ok(ImportanceScores::new("tmc-shapley", values))
+}
+
+/// Result of a budget-aware TMC-Shapley run: the (possibly best-so-far)
+/// scores, how far the run got, and a checkpoint to resume from.
+#[derive(Debug, Clone)]
+pub struct BudgetedShapley {
+    /// Shapley estimates, averaged over the permutations completed so far.
+    pub scores: ImportanceScores,
+    /// How much work was done and whether a budget limit stopped the run.
+    pub diagnostics: ConvergenceDiagnostics,
+    /// Snapshot to pass back as `resume` to continue the same estimation.
+    /// Resuming an interrupted run is bit-identical to never interrupting.
+    pub checkpoint: McCheckpoint,
+}
+
+/// Method tag used in budgeted TMC-Shapley checkpoints.
+const TMC_METHOD: &str = "tmc-shapley";
+
+/// Budget-aware, resumable TMC-Shapley.
+///
+/// Runs permutations sequentially, checking the budget at permutation
+/// boundaries. On exhaustion it **degrades gracefully**: the scores
+/// averaged over the permutations finished so far are returned, tagged with
+/// [`ConvergenceDiagnostics`] (including the largest per-example marginal
+/// standard error) and a [`McCheckpoint`] that a later call can `resume`
+/// from. Because permutation `p` draws from `child_seed(config.seed, p)`,
+/// an interrupted-and-resumed run produces bit-identical scores to an
+/// uninterrupted one.
+pub fn tmc_shapley_budgeted<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &ShapleyConfig,
+    budget: &RunBudget,
+    resume: Option<&McCheckpoint>,
+) -> Result<BudgetedShapley> {
+    if config.permutations == 0 {
+        return Err(ImportanceError::InvalidArgument(
+            "need at least one permutation".into(),
+        ));
+    }
+    if train.is_empty() {
+        return Err(ImportanceError::InvalidArgument(
+            "empty training set".into(),
+        ));
+    }
+    // Corrupt features would silently poison every marginal; fail with the
+    // offending cell before spending any budget.
+    for (name, data) in [("training", train), ("validation", valid)] {
+        if let Some((row, col)) = data.first_non_finite() {
+            return Err(ImportanceError::Ml(format!(
+                "{name} data holds a non-finite feature at row {row}, column {col}"
+            )));
+        }
+    }
+    let n = train.len();
+    let mut state = match resume {
+        Some(cp) => {
+            cp.validate()
+                .map_err(|e| ImportanceError::Checkpoint(e.to_string()))?;
+            if cp.method != TMC_METHOD {
+                return Err(ImportanceError::Checkpoint(format!(
+                    "checkpoint is for method `{}`, not `{TMC_METHOD}`",
+                    cp.method
+                )));
+            }
+            if cp.seed != config.seed || cp.n != n {
+                return Err(ImportanceError::Checkpoint(format!(
+                    "checkpoint (seed {}, n {}) does not match run (seed {}, n {n})",
+                    cp.seed, cp.n, config.seed
+                )));
+            }
+            if cp.cursor > config.permutations as u64 {
+                return Err(ImportanceError::Checkpoint(format!(
+                    "checkpoint cursor {} exceeds configured permutations {}",
+                    cp.cursor, config.permutations
+                )));
+            }
+            cp.clone()
+        }
+        None => McCheckpoint::fresh(TMC_METHOD, config.seed, n),
+    };
+
+    let mut clock = budget.resume(state.cursor, state.utility_calls);
+    let full_utility = utility(template, train, valid)?;
+    clock.record_utility_calls(1);
+
+    while state.cursor < config.permutations as u64 {
+        if clock.exhausted().is_some() {
+            break;
+        }
+        let (marginals, calls) =
+            one_permutation(template, train, valid, full_utility, config, state.cursor)?;
+        // Fold the finished permutation in whole, so a checkpoint taken here
+        // resumes bit-identically.
+        for (i, &m) in marginals.iter().enumerate().take(n) {
+            state.totals[i] += m;
+            state.totals_sq[i] += m * m;
+        }
+        state.cursor += 1;
+        clock.record_iteration();
+        clock.record_utility_calls(calls);
+    }
+    state.utility_calls = clock.utility_calls();
+
+    let done = state.cursor;
+    let values: Vec<f64> = if done == 0 {
+        vec![0.0; n]
+    } else {
+        state.totals.iter().map(|t| t / done as f64).collect()
+    };
+    let max_se = if done == 0 {
+        None
+    } else {
+        let p = done as f64;
+        state
+            .totals
+            .iter()
+            .zip(&state.totals_sq)
+            .map(|(&t, &sq)| {
+                let mean = t / p;
+                let var = (sq / p - mean * mean).max(0.0);
+                (var / p).sqrt()
+            })
+            .fold(None, |acc: Option<f64>, se| {
+                Some(acc.map_or(se, |a| a.max(se)))
+            })
+    };
+
+    Ok(BudgetedShapley {
+        scores: ImportanceScores::new(TMC_METHOD, values),
+        diagnostics: clock.diagnostics(max_se),
+        checkpoint: state,
+    })
+}
+
+/// Marginal contributions of one permutation, plus how many utility calls
+/// it spent. Permutation `p` depends only on `child_seed(config.seed, p)`.
+fn one_permutation<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    full_utility: f64,
+    config: &ShapleyConfig,
+    p: u64,
+) -> Result<(Vec<f64>, u64)> {
+    let n = train.len();
+    let mut marginals = vec![0.0; n];
+    let mut rng = seeded(child_seed(config.seed, p));
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    let mut prev_u = 0.0;
+    let mut calls = 0u64;
+    for &i in &order {
+        prefix.push(i);
+        let subset = train.subset(&prefix);
+        let u = utility(template, &subset, valid)?;
+        calls += 1;
+        marginals[i] = u - prev_u;
+        prev_u = u;
+        if (full_utility - u).abs() < config.truncation_tolerance {
+            break; // remaining marginals stay 0
+        }
+    }
+    Ok((marginals, calls))
 }
 
 /// Accumulate marginal contributions over permutations `[start, end)`.
@@ -269,5 +447,133 @@ mod tests {
             &ShapleyConfig::default()
         )
         .is_err());
+    }
+
+    fn budget_cfg(permutations: usize) -> ShapleyConfig {
+        ShapleyConfig {
+            permutations,
+            truncation_tolerance: 0.0,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn budgeted_with_unlimited_budget_matches_plain_tmc() {
+        let (train, valid) = toy();
+        let cfg = budget_cfg(40);
+        let knn = KnnClassifier::new(1);
+        let plain = tmc_shapley(&knn, &train, &valid, &cfg).unwrap();
+        let run = tmc_shapley_budgeted(&knn, &train, &valid, &cfg, &RunBudget::unlimited(), None)
+            .unwrap();
+        assert_eq!(run.scores.values, plain.values);
+        assert!(run.diagnostics.completed());
+        assert_eq!(run.diagnostics.iterations, 40);
+        assert_eq!(run.checkpoint.cursor, 40);
+        assert!(run.diagnostics.max_marginal_std_error.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_gracefully() {
+        let (train, valid) = toy();
+        let cfg = budget_cfg(50);
+        let knn = KnnClassifier::new(1);
+        let budget = RunBudget::unlimited().with_max_iterations(5);
+        let run = tmc_shapley_budgeted(&knn, &train, &valid, &cfg, &budget, None).unwrap();
+        assert!(!run.diagnostics.completed());
+        assert_eq!(
+            run.diagnostics.exhausted,
+            Some(nde_robust::Exhaustion::Iterations)
+        );
+        assert_eq!(run.checkpoint.cursor, 5);
+        // Best-so-far estimate is still a usable average.
+        assert!(run.scores.values.iter().all(|v| v.is_finite()));
+        let budget = RunBudget::unlimited().with_max_utility_calls(8);
+        let run = tmc_shapley_budgeted(&knn, &train, &valid, &cfg, &budget, None).unwrap();
+        assert_eq!(
+            run.diagnostics.exhausted,
+            Some(nde_robust::Exhaustion::UtilityCalls)
+        );
+        assert!(run.checkpoint.cursor < 50);
+    }
+
+    #[test]
+    fn interrupted_plus_resumed_is_bit_identical_to_uninterrupted() {
+        let (train, valid) = toy();
+        let cfg = budget_cfg(30);
+        let knn = KnnClassifier::new(1);
+        let uninterrupted =
+            tmc_shapley_budgeted(&knn, &train, &valid, &cfg, &RunBudget::unlimited(), None)
+                .unwrap();
+        // Stop after 11 permutations, round-trip the checkpoint through
+        // JSON, then finish the remaining 19.
+        let first = tmc_shapley_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited().with_max_iterations(11),
+            None,
+        )
+        .unwrap();
+        assert_eq!(first.checkpoint.cursor, 11);
+        let restored = McCheckpoint::from_json(&first.checkpoint.to_json()).unwrap();
+        assert_eq!(restored, first.checkpoint);
+        let resumed = tmc_shapley_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited(),
+            Some(&restored),
+        )
+        .unwrap();
+        assert_eq!(resumed.scores.values, uninterrupted.scores.values);
+        assert_eq!(resumed.checkpoint.cursor, uninterrupted.checkpoint.cursor);
+        assert_eq!(resumed.checkpoint.totals, uninterrupted.checkpoint.totals);
+        assert_eq!(
+            resumed.checkpoint.totals_sq,
+            uninterrupted.checkpoint.totals_sq
+        );
+        // Resuming re-primes the full-utility value, so the resumed run
+        // honestly accounts one extra utility call.
+        assert_eq!(
+            resumed.checkpoint.utility_calls,
+            uninterrupted.checkpoint.utility_calls + 1
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_checkpoints_and_corrupt_features() {
+        let (train, valid) = toy();
+        let cfg = budget_cfg(10);
+        let knn = KnnClassifier::new(1);
+        let other = McCheckpoint::fresh("tmc-shapley", 999, train.len());
+        let err = tmc_shapley_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited(),
+            Some(&other),
+        );
+        assert!(matches!(err, Err(ImportanceError::Checkpoint(_))));
+        let wrong_method = McCheckpoint::fresh("zorro", cfg.seed, train.len());
+        assert!(matches!(
+            tmc_shapley_budgeted(
+                &knn,
+                &train,
+                &valid,
+                &cfg,
+                &RunBudget::unlimited(),
+                Some(&wrong_method)
+            ),
+            Err(ImportanceError::Checkpoint(_))
+        ));
+        let mut poisoned = train.clone();
+        poisoned.x.set(1, 0, f64::NAN);
+        let err =
+            tmc_shapley_budgeted(&knn, &poisoned, &valid, &cfg, &RunBudget::unlimited(), None);
+        assert!(matches!(err, Err(ImportanceError::Ml(m)) if m.contains("row 1")));
     }
 }

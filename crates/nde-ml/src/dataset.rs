@@ -69,6 +69,18 @@ impl Dataset {
         }
     }
 
+    /// The first `(row, col)` holding a NaN or infinite feature value, in
+    /// row-major order — `None` when every cell is finite. Long-running
+    /// estimators validate with this before spending their budget.
+    pub fn first_non_finite(&self) -> Option<(usize, usize)> {
+        for (row, values) in self.x.iter_rows().enumerate() {
+            if let Some(col) = values.iter().position(|v| !v.is_finite()) {
+                return Some((row, col));
+            }
+        }
+        None
+    }
+
     /// New dataset with one example removed (for leave-one-out).
     pub fn without(&self, index: usize) -> Dataset {
         let keep: Vec<usize> = (0..self.len()).filter(|&i| i != index).collect();
@@ -184,12 +196,8 @@ mod tests {
 
     #[test]
     fn subset_and_without() {
-        let d = Dataset::from_rows(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![0, 1, 0],
-            2,
-        )
-        .unwrap();
+        let d =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 0], 2).unwrap();
         let s = d.subset(&[2, 0]);
         assert_eq!(s.y, vec![0, 0]);
         assert_eq!(s.x.row(0), &[2.0]);
@@ -220,7 +228,10 @@ mod tests {
         let t = HiringScenario::generate(50, 1).letters;
         let enc = LabelEncoder::fit(&t, LABEL_COLUMN).unwrap();
         assert_eq!(enc.n_classes(), 2);
-        assert_eq!(enc.classes(), &["negative".to_string(), "positive".to_string()]);
+        assert_eq!(
+            enc.classes(),
+            &["negative".to_string(), "positive".to_string()]
+        );
         assert_eq!(enc.encode("negative").unwrap(), 0);
         assert_eq!(enc.decode(1).unwrap(), "positive");
         assert!(enc.encode("meh").is_err());
@@ -234,7 +245,7 @@ mod tests {
     fn label_encoder_rejects_single_class_and_nulls() {
         let t = HiringScenario::generate(200, 2).letters;
         assert!(LabelEncoder::fit(&t, "letter_text").is_ok()); // many classes is fine
-        // degree has nulls: encode_column must reject them.
+                                                               // degree has nulls: encode_column must reject them.
         assert!(t.column("degree").unwrap().null_count() > 0);
         let enc = LabelEncoder::fit(&t, "degree").unwrap();
         assert!(enc.encode_column(&t, "degree").is_err());

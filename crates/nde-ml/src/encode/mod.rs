@@ -14,7 +14,7 @@ pub mod scaler;
 pub mod table_encoder;
 pub mod text_hash;
 
-pub use impute::{CategoricalImputer, NumericImputer, NumericImputation};
+pub use impute::{CategoricalImputer, NumericImputation, NumericImputer};
 pub use one_hot::OneHotEncoder;
 pub use scaler::StandardScaler;
 pub use table_encoder::{ColumnEncoder, EncoderSpec, TableEncoder};

@@ -132,11 +132,7 @@ impl TableEncoder {
                     // gets its own dimension.
                     let imputed: Vec<Option<String>> = values
                         .iter()
-                        .map(|v| {
-                            Ok(Some(
-                                imputer.transform_one(v.as_deref())?.to_owned(),
-                            ))
-                        })
+                        .map(|v| Ok(Some(imputer.transform_one(v.as_deref())?.to_owned())))
                         .collect::<Result<_>>()?;
                     let encoder = OneHotEncoder::fit(&imputed)?;
                     FittedColumn::OneHot { imputer, encoder }
@@ -362,10 +358,7 @@ mod tests {
             ColumnEncoder::OneHot { fill: None },
         )]);
         assert!(bad.fit(&t).is_err());
-        let mut missing = TableEncoder::new(vec![EncoderSpec::new(
-            "no_such",
-            ColumnEncoder::Bool,
-        )]);
+        let mut missing = TableEncoder::new(vec![EncoderSpec::new("no_such", ColumnEncoder::Bool)]);
         assert!(missing.fit(&t).is_err());
     }
 
@@ -382,7 +375,8 @@ mod tests {
         let x = enc.fit_transform(&t).unwrap();
         let vals: Vec<f64> = (0..x.rows()).map(|i| x.get(i, 0)).collect();
         let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
-        let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        let var: f64 =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
         assert!(mean.abs() < 1e-9);
         assert!((var - 1.0).abs() < 1e-9);
     }

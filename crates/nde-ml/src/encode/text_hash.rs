@@ -95,9 +95,8 @@ mod tests {
         let a = enc.encode("delivered outstanding results under pressure");
         let b = enc.encode("delivered outstanding results under stress");
         let c = enc.encode("frequently missed important deadlines");
-        let dist = |x: &[f64], y: &[f64]| -> f64 {
-            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let dist =
+            |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum() };
         assert!(dist(&a, &b) < dist(&a, &c));
     }
 
@@ -113,9 +112,8 @@ mod tests {
         let neg: Vec<Vec<f64>> = (0..20)
             .map(|_| enc.encode(&generate_letter(Sentiment::Negative, 1.0, &mut rng)))
             .collect();
-        let dist = |x: &[f64], y: &[f64]| -> f64 {
-            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let dist =
+            |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum() };
         let mut within = 0.0;
         let mut across = 0.0;
         let mut wn = 0.0;

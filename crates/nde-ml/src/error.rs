@@ -29,6 +29,13 @@ pub enum MlError {
     Data(String),
     /// Numerical failure (singular matrix, divergence, ...).
     Numerical(String),
+    /// A feature cell held NaN or ±∞ where a finite value was required.
+    NonFiniteFeature {
+        /// Row of the offending cell.
+        row: usize,
+        /// Column of the offending cell.
+        col: usize,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -45,6 +52,9 @@ impl fmt::Display for MlError {
             MlError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             MlError::Data(msg) => write!(f, "data error: {msg}"),
             MlError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+            MlError::NonFiniteFeature { row, col } => {
+                write!(f, "non-finite feature value at row {row}, column {col}")
+            }
         }
     }
 }

@@ -35,7 +35,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { data, rows: n, cols: d })
+        Ok(Matrix {
+            data,
+            rows: n,
+            cols: d,
+        })
     }
 
     /// Build from a flat row-major buffer.
@@ -176,7 +180,9 @@ pub fn norm(a: &[f64]) -> f64 {
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(MlError::InvalidArgument("solve requires a square matrix".into()));
+        return Err(MlError::InvalidArgument(
+            "solve requires a square matrix".into(),
+        ));
     }
     if b.len() != n {
         return Err(MlError::DimensionMismatch {
@@ -235,7 +241,9 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 pub fn cholesky(a: &Matrix) -> Result<Matrix> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(MlError::InvalidArgument("cholesky requires a square matrix".into()));
+        return Err(MlError::InvalidArgument(
+            "cholesky requires a square matrix".into(),
+        ));
     }
     let mut l = Matrix::zeros(n, n);
     for i in 0..n {
@@ -358,11 +366,7 @@ mod tests {
 
     #[test]
     fn cholesky_factorizes_spd() {
-        let a = Matrix::from_rows(vec![
-            vec![4.0, 2.0],
-            vec![2.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(vec![vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
         let l = cholesky(&a).unwrap();
         // Reconstruct L L^T.
         for i in 0..2 {

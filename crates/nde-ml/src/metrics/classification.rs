@@ -53,7 +53,11 @@ pub fn precision_recall(y_true: &[usize], y_pred: &[usize], positive: usize) -> 
 /// F1 score of class `positive` (harmonic mean of precision and recall).
 pub fn f1_score(y_true: &[usize], y_pred: &[usize], positive: usize) -> Result<f64> {
     let (p, r) = precision_recall(y_true, y_pred, positive)?;
-    Ok(if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 })
+    Ok(if p + r > 0.0 {
+        2.0 * p * r / (p + r)
+    } else {
+        0.0
+    })
 }
 
 #[cfg(test)]

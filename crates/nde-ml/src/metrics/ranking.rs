@@ -31,9 +31,7 @@ pub fn roc_auc(y_true: &[usize], positive_scores: &[f64]) -> Result<f64> {
     let mut i = 0;
     while i < order.len() {
         let mut j = i;
-        while j + 1 < order.len()
-            && positive_scores[order[j + 1]] == positive_scores[order[i]]
-        {
+        while j + 1 < order.len() && positive_scores[order[j + 1]] == positive_scores[order[i]] {
             j += 1;
         }
         // Ranks i+1 ..= j+1 share the midrank.

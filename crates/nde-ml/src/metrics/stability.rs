@@ -32,11 +32,7 @@ pub fn prediction_entropy(probas: &[Vec<f64>]) -> Result<f64> {
                 "row {i} is not a probability distribution (sum={sum})"
             )));
         }
-        let h: f64 = p
-            .iter()
-            .filter(|&&v| v > 0.0)
-            .map(|&v| -v * v.ln())
-            .sum();
+        let h: f64 = p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum();
         total += h / norm;
     }
     Ok(total / probas.len() as f64)

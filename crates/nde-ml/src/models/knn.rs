@@ -47,7 +47,11 @@ impl KnnClassifier {
             .map(|(i, r)| (squared_distance(r, x), i))
             .collect();
         let k = self.k.min(dists.len());
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1)));
+        dists.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite distances")
+                .then(a.1.cmp(&b.1))
+        });
         dists.into_iter().take(k).map(|(_, i)| i).collect()
     }
 }
@@ -149,8 +153,8 @@ mod tests {
         knn.fit(&toy()).unwrap();
         assert_eq!(knn.neighbors(&[0.0, 0.0]), vec![0, 1]);
         // Exactly equidistant points resolve by index.
-        let d = Dataset::from_rows(vec![vec![1.0], vec![-1.0], vec![1.0]], vec![0, 1, 1], 2)
-            .unwrap();
+        let d =
+            Dataset::from_rows(vec![vec![1.0], vec![-1.0], vec![1.0]], vec![0, 1, 1], 2).unwrap();
         let mut knn = KnnClassifier::new(2);
         knn.fit(&d).unwrap();
         assert_eq!(knn.neighbors(&[0.0]), vec![0, 1]);
@@ -179,12 +183,8 @@ mod tests {
     fn refit_replaces_state() {
         let mut knn = KnnClassifier::new(1);
         knn.fit(&toy()).unwrap();
-        let flipped = Dataset::from_rows(
-            vec![vec![0.0, 0.0], vec![10.0, 10.0]],
-            vec![1, 0],
-            2,
-        )
-        .unwrap();
+        let flipped =
+            Dataset::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]], vec![1, 0], 2).unwrap();
         knn.fit(&flipped).unwrap();
         assert_eq!(knn.predict_one(&[0.0, 0.0]), 1);
     }

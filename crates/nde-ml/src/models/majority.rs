@@ -59,12 +59,8 @@ mod tests {
 
     #[test]
     fn predicts_majority_everywhere() {
-        let data = Dataset::from_rows(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![1, 1, 0],
-            2,
-        )
-        .unwrap();
+        let data =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1, 1, 0], 2).unwrap();
         let mut m = MajorityClassifier::new();
         m.fit(&data).unwrap();
         assert_eq!(m.predict_one(&[42.0]), 1);

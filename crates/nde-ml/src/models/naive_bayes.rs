@@ -142,7 +142,12 @@ mod tests {
     #[test]
     fn zero_variance_feature_is_floored() {
         let data = Dataset::from_rows(
-            vec![vec![1.0, 5.0], vec![1.0, 6.0], vec![2.0, -5.0], vec![2.0, -6.0]],
+            vec![
+                vec![1.0, 5.0],
+                vec![1.0, 6.0],
+                vec![2.0, -5.0],
+                vec![2.0, -6.0],
+            ],
             vec![0, 0, 1, 1],
             2,
         )

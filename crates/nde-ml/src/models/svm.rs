@@ -175,12 +175,8 @@ mod tests {
         let (train, _) = blobs();
         assert!(LinearSvm::new(0, 1e-3, 0).fit(&train).is_err());
         assert!(LinearSvm::new(5, 0.0, 0).fit(&train).is_err());
-        let three = Dataset::from_rows(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![0, 1, 2],
-            3,
-        )
-        .unwrap();
+        let three =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 2], 3).unwrap();
         assert!(LinearSvm::default().fit(&three).is_err());
         assert!(LinearSvm::default().fit(&train.subset(&[])).is_err());
     }

@@ -178,7 +178,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                    idx = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -228,7 +232,14 @@ mod tests {
     #[test]
     fn learns_axis_aligned_boundary() {
         let data = Dataset::from_rows(
-            vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0], vec![11.0], vec![12.0]],
+            vec![
+                vec![0.0],
+                vec![1.0],
+                vec![2.0],
+                vec![10.0],
+                vec![11.0],
+                vec![12.0],
+            ],
             vec![0, 0, 0, 1, 1, 1],
             2,
         )
@@ -263,8 +274,8 @@ mod tests {
 
     #[test]
     fn pure_node_stops_early() {
-        let data = Dataset::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]], vec![1, 1, 1], 2)
-            .unwrap();
+        let data =
+            Dataset::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]], vec![1, 1, 1], 2).unwrap();
         let mut tree = DecisionTree::new(10, 2);
         tree.fit(&data).unwrap();
         assert_eq!(tree.n_nodes(), 1);
@@ -274,8 +285,8 @@ mod tests {
     #[test]
     fn leaf_probabilities_match_distribution() {
         // Depth 0 effectively: a single leaf with a 2:1 class mix.
-        let data = Dataset::from_rows(vec![vec![1.0], vec![1.0], vec![1.0]], vec![0, 0, 1], 2)
-            .unwrap();
+        let data =
+            Dataset::from_rows(vec![vec![1.0], vec![1.0], vec![1.0]], vec![0, 0, 1], 2).unwrap();
         let mut tree = DecisionTree::new(3, 2);
         tree.fit(&data).unwrap();
         let p = tree.predict_proba_one(&[1.0]);

@@ -209,9 +209,7 @@ mod tests {
         let mut unlearned = UnlearnableGaussianNb::new();
         unlearned.fit(&data).unwrap();
         for &i in &forget_set {
-            unlearned
-                .forget_example(data.x.row(i), data.y[i])
-                .unwrap();
+            unlearned.forget_example(data.x.row(i), data.y[i]).unwrap();
         }
 
         let keep: Vec<usize> = (0..100).filter(|i| !forget_set.contains(i)).collect();
@@ -261,12 +259,7 @@ mod tests {
 
     #[test]
     fn nb_cannot_underflow_a_class() {
-        let tiny = Dataset::from_rows(
-            vec![vec![0.0], vec![10.0]],
-            vec![0, 1],
-            2,
-        )
-        .unwrap();
+        let tiny = Dataset::from_rows(vec![vec![0.0], vec![10.0]], vec![0, 1], 2).unwrap();
         let mut nb = UnlearnableGaussianNb::new();
         nb.fit(&tiny).unwrap();
         nb.forget_example(&[0.0], 0).unwrap();

@@ -17,6 +17,20 @@ pub enum PipelineError {
     Ml(String),
     /// The plan was structurally invalid (cycle, wrong arity, ...).
     InvalidPlan(String),
+    /// A user-defined operator panicked while processing a tuple. The
+    /// executor converts the panic into this typed error (fail-fast policy)
+    /// or a quarantine record (skip-and-record policy) instead of letting
+    /// it abort the pipeline.
+    OperatorPanic {
+        /// Plan node id of the panicking operator.
+        node: usize,
+        /// Operator description (e.g. `filter(chaos_panic_predicate)`).
+        operator: String,
+        /// Input row index the operator was processing.
+        row: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -30,6 +44,15 @@ impl fmt::Display for PipelineError {
             PipelineError::Data(msg) => write!(f, "data error: {msg}"),
             PipelineError::Ml(msg) => write!(f, "ml error: {msg}"),
             PipelineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            PipelineError::OperatorPanic {
+                node,
+                operator,
+                row,
+                message,
+            } => write!(
+                f,
+                "operator `{operator}` (node {node}) panicked on row {row}: {message}"
+            ),
         }
     }
 }

@@ -1,31 +1,110 @@
-//! Plan execution with optional provenance tracking.
+//! Plan execution with optional provenance tracking and panic isolation.
+//!
+//! User-defined expressions (most notably [`crate::expr::Expr::Udf`]) run
+//! arbitrary code per tuple. The executor wraps per-row evaluation of
+//! `Filter` and `Project` operators in `catch_unwind`, so a panicking
+//! operator never aborts the process. What happens next is governed by
+//! [`PanicPolicy`]: fail fast with a typed
+//! [`PipelineError::OperatorPanic`] carrying the operator id and offending
+//! tuple, or skip the tuple and record it in
+//! [`ExecOutput::quarantined`] (with source-tuple provenance when tracking
+//! is enabled) while the rest of the pipeline completes.
 
 use crate::plan::{JoinType, NodeId, Plan, PlanNode};
 use crate::provenance::{Lineage, ProvExpr, TupleId};
 use crate::{PipelineError, Result};
 use nde_data::fxhash::FxHashMap;
 use nde_data::{Column, DataType, Field, Table};
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
 
-/// Result of executing a plan: the output table, and — if requested — one
-/// provenance polynomial per output row.
+/// What the executor does when an operator panics on a tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PanicPolicy {
+    /// Abort the run with a typed [`PipelineError::OperatorPanic`]
+    /// identifying the operator and the offending tuple (default).
+    #[default]
+    FailFast,
+    /// Drop the offending tuple from the operator's output, record it in
+    /// [`ExecOutput::quarantined`], and keep going.
+    SkipAndRecord,
+}
+
+/// A tuple dropped by [`PanicPolicy::SkipAndRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedTuple {
+    /// Plan node id of the panicking operator.
+    pub node: usize,
+    /// Operator description (e.g. `filter(chaos_panic_predicate_row_3)`).
+    pub operator: String,
+    /// Input row index at the panicking operator.
+    pub row: usize,
+    /// Source tuples the row derived from (empty unless provenance
+    /// tracking is enabled).
+    pub sources: Vec<TupleId>,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Result of executing a plan: the output table, optional row provenance,
+/// and any tuples quarantined by panic isolation.
 #[derive(Debug, Clone)]
 pub struct ExecOutput {
     /// The materialized output table.
     pub table: Table,
     /// Row provenance, present iff tracking was enabled.
     pub provenance: Option<Lineage>,
+    /// Tuples dropped under [`PanicPolicy::SkipAndRecord`] (always empty
+    /// under [`PanicPolicy::FailFast`]).
+    pub quarantined: Vec<QuarantinedTuple>,
 }
 
 /// Evaluates plans over named input tables.
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
     track_provenance: bool,
+    panic_policy: PanicPolicy,
 }
 
 type NodeResult = (Table, Option<Vec<ProvExpr>>);
 
+// Panics we catch per row must not spam stderr through the default panic
+// hook, but hooks are process-global: install a delegating hook once and
+// silence it only on threads currently inside a guarded region.
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: Cell<u32> = const { Cell::new(0) };
+}
+static INSTALL_HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if SUPPRESS_PANIC_OUTPUT.with(|s| s.get()) == 0 {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Run `f`, converting a panic into its stringified payload.
+fn catch_tuple_panic<T>(f: impl FnOnce() -> T) -> std::result::Result<T, String> {
+    install_quiet_hook();
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(s.get() + 1));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(s.get() - 1));
+    outcome.map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
 impl Executor {
-    /// A new executor (provenance tracking off by default).
+    /// A new executor (provenance off, fail-fast panic policy).
     pub fn new() -> Executor {
         Executor::default()
     }
@@ -36,13 +115,16 @@ impl Executor {
         self
     }
 
+    /// Choose what happens when an operator panics on a tuple.
+    pub fn with_panic_policy(mut self, policy: PanicPolicy) -> Executor {
+        self.panic_policy = policy;
+        self
+    }
+
     /// Execute `root` of `plan` over the named `inputs`.
     pub fn run(&self, plan: &Plan, root: NodeId, inputs: &[(&str, &Table)]) -> Result<ExecOutput> {
-        let source_names: Vec<String> = plan
-            .source_names()
-            .into_iter()
-            .map(str::to_owned)
-            .collect();
+        let source_names: Vec<String> =
+            plan.source_names().into_iter().map(str::to_owned).collect();
         let mut input_map: FxHashMap<&str, &Table> = FxHashMap::default();
         for (name, table) in inputs {
             input_map.insert(name, table);
@@ -53,16 +135,62 @@ impl Executor {
             }
         }
         let mut memo: FxHashMap<usize, NodeResult> = FxHashMap::default();
-        let (table, prov) = self.eval(plan, root, &source_names, &input_map, &mut memo)?;
+        let mut quarantined = Vec::new();
+        let (table, prov) = self.eval(
+            plan,
+            root,
+            &source_names,
+            &input_map,
+            &mut memo,
+            &mut quarantined,
+        )?;
         Ok(ExecOutput {
             table,
             provenance: prov.map(|rows| Lineage {
                 sources: source_names,
                 rows,
             }),
+            quarantined,
         })
     }
 
+    /// Evaluate one guarded row: `Ok(Some(v))` on success, `Ok(None)` when
+    /// the row was quarantined, `Err` on expression errors or a fail-fast
+    /// panic.
+    #[allow(clippy::too_many_arguments)]
+    fn guard_row<T>(
+        &self,
+        node: usize,
+        operator: &str,
+        row: usize,
+        prov: Option<&[ProvExpr]>,
+        quarantined: &mut Vec<QuarantinedTuple>,
+        f: impl FnOnce() -> Result<T>,
+    ) -> Result<Option<T>> {
+        match catch_tuple_panic(f) {
+            Ok(result) => result.map(Some),
+            Err(message) => match self.panic_policy {
+                PanicPolicy::FailFast => Err(PipelineError::OperatorPanic {
+                    node,
+                    operator: operator.to_string(),
+                    row,
+                    message,
+                }),
+                PanicPolicy::SkipAndRecord => {
+                    quarantined.push(QuarantinedTuple {
+                        node,
+                        operator: operator.to_string(),
+                        row,
+                        sources: prov.map(|p| p[row].tuples()).unwrap_or_default(),
+                        message,
+                    });
+                    Ok(None)
+                }
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn eval(
         &self,
         plan: &Plan,
@@ -70,6 +198,7 @@ impl Executor {
         source_names: &[String],
         inputs: &FxHashMap<&str, &Table>,
         memo: &mut FxHashMap<usize, NodeResult>,
+        quarantined: &mut Vec<QuarantinedTuple>,
     ) -> Result<NodeResult> {
         if let Some(cached) = memo.get(&id.index()) {
             return Ok(cached.clone());
@@ -84,7 +213,8 @@ impl Executor {
                     let src = source_names
                         .iter()
                         .position(|s| s == name)
-                        .expect("validated in run()") as u32;
+                        .ok_or_else(|| PipelineError::MissingInput(name.clone()))?
+                        as u32;
                     Some(
                         (0..table.n_rows())
                             .map(|r| ProvExpr::Var(TupleId::new(src, r as u32)))
@@ -102,8 +232,8 @@ impl Executor {
                 right_key,
                 how,
             } => {
-                let (lt, lp) = self.eval(plan, *left, source_names, inputs, memo)?;
-                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo)?;
+                let (lt, lp) = self.eval(plan, *left, source_names, inputs, memo, quarantined)?;
+                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo, quarantined)?;
                 let (table, lineage) = match how {
                     JoinType::Inner => {
                         let (t, pairs) = lt.hash_join(&rt, left_key, right_key)?;
@@ -116,9 +246,7 @@ impl Executor {
                         lineage
                             .iter()
                             .map(|&(l, r)| match r {
-                                Some(r) => {
-                                    ProvExpr::times(lp[l].clone(), rp[r].clone())
-                                }
+                                Some(r) => ProvExpr::times(lp[l].clone(), rp[r].clone()),
                                 None => lp[l].clone(),
                             })
                             .collect::<Vec<_>>(),
@@ -134,8 +262,8 @@ impl Executor {
                 right_key,
                 threshold,
             } => {
-                let (lt, lp) = self.eval(plan, *left, source_names, inputs, memo)?;
-                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo)?;
+                let (lt, lp) = self.eval(plan, *left, source_names, inputs, memo, quarantined)?;
+                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo, quarantined)?;
                 let (table, lineage) =
                     crate::fuzzy::fuzzy_join(&lt, &rt, left_key, right_key, *threshold)?;
                 let prov = match (lp, rp) {
@@ -150,11 +278,21 @@ impl Executor {
                 (table, prov)
             }
             PlanNode::Filter { input, predicate } => {
-                let (t, p) = self.eval(plan, *input, source_names, inputs, memo)?;
-                // Evaluate the predicate once per row, propagating errors.
+                let (t, p) = self.eval(plan, *input, source_names, inputs, memo, quarantined)?;
+                let operator = format!("filter({})", crate::render::expr_label(predicate));
+                // Evaluate the predicate once per row, propagating errors and
+                // isolating panics per the executor's policy.
                 let mut kept = Vec::with_capacity(t.n_rows());
                 for row in 0..t.n_rows() {
-                    if predicate.eval_predicate(&t, row)? {
+                    let verdict = self.guard_row(
+                        id.index(),
+                        &operator,
+                        row,
+                        p.as_deref(),
+                        quarantined,
+                        || predicate.eval_predicate(&t, row),
+                    )?;
+                    if verdict == Some(true) {
                         kept.push(row);
                     }
                 }
@@ -167,39 +305,75 @@ impl Executor {
                 column,
                 expr,
             } => {
-                let (mut t, p) = self.eval(plan, *input, source_names, inputs, memo)?;
+                let (t, p) = self.eval(plan, *input, source_names, inputs, memo, quarantined)?;
+                let operator =
+                    format!("project({} := {})", column, crate::render::expr_label(expr));
                 let dtype = if t.n_rows() == 0 {
                     DataType::Bool
                 } else {
                     expr.output_type(&t)?
                 };
-                let mut col = Column::with_capacity(dtype, t.n_rows());
+                // Evaluate per row under the panic guard; rows whose
+                // evaluation panics are quarantined (skip-and-record) and
+                // dropped from the output.
+                let mut kept = Vec::with_capacity(t.n_rows());
+                let mut values = Vec::with_capacity(t.n_rows());
                 for row in 0..t.n_rows() {
-                    col.push(expr.eval(&t, row)?)
+                    if let Some(v) = self.guard_row(
+                        id.index(),
+                        &operator,
+                        row,
+                        p.as_deref(),
+                        quarantined,
+                        || expr.eval(&t, row),
+                    )? {
+                        kept.push(row);
+                        values.push(v);
+                    }
+                }
+                let mut t = if kept.len() == t.n_rows() {
+                    t
+                } else {
+                    t.take(&kept)?
+                };
+                let mut col = Column::with_capacity(dtype, values.len());
+                for v in values {
+                    col.push(v)
                         .map_err(|e| PipelineError::Expr(e.to_string()))?;
                 }
                 t.add_column(Field::new(column.clone(), dtype), col)?;
-                (t, p)
+                let prov = p.map(|p| kept.iter().map(|&r| p[r].clone()).collect::<Vec<_>>());
+                (t, prov)
             }
             PlanNode::SelectColumns { input, columns } => {
-                let (t, p) = self.eval(plan, *input, source_names, inputs, memo)?;
+                let (t, p) = self.eval(plan, *input, source_names, inputs, memo, quarantined)?;
                 let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
                 (t.select(&cols)?, p)
             }
             PlanNode::Distinct { input, key } => {
-                let (t, p) = self.eval(plan, *input, source_names, inputs, memo)?;
+                let (t, p) = self.eval(plan, *input, source_names, inputs, memo, quarantined)?;
                 let col = t.column(key)?.clone();
                 // First occurrence of each key value survives; its provenance
                 // absorbs the duplicates as Plus alternatives.
                 let mut first_of: Vec<usize> = Vec::new(); // kept input rows
                 let mut owner: Vec<usize> = Vec::with_capacity(t.n_rows()); // row -> kept slot
+                let cell = |row: usize| {
+                    col.get(row).ok_or_else(|| {
+                        PipelineError::Data(format!("distinct: row {row} out of bounds"))
+                    })
+                };
                 for row in 0..t.n_rows() {
-                    let v = col.get(row).expect("in bounds");
-                    let slot = first_of.iter().position(|&kept| {
-                        let kv = col.get(kept).expect("in bounds");
-                        kv.total_cmp(&v) == std::cmp::Ordering::Equal
+                    let v = cell(row)?;
+                    let mut slot = None;
+                    for (s, &kept) in first_of.iter().enumerate() {
+                        let kv = cell(kept)?;
+                        if kv.total_cmp(&v) == std::cmp::Ordering::Equal
                             && kv.data_type() == v.data_type()
-                    });
+                        {
+                            slot = Some(s);
+                            break;
+                        }
+                    }
                     match slot {
                         Some(s) => owner.push(s),
                         None => {
@@ -215,20 +389,22 @@ impl Executor {
                         alts[slot].push(p[row].clone());
                     }
                     alts.into_iter()
-                        .map(|mut a| {
-                            if a.len() == 1 {
-                                a.pop().expect("non-empty")
-                            } else {
+                        .map(|mut a| match a.pop() {
+                            Some(only) if a.is_empty() => only,
+                            Some(last) => {
+                                a.push(last);
                                 ProvExpr::Plus(a)
                             }
+                            None => ProvExpr::Plus(a),
                         })
                         .collect::<Vec<_>>()
                 });
                 (table, prov)
             }
             PlanNode::Concat { left, right } => {
-                let (mut lt, lp) = self.eval(plan, *left, source_names, inputs, memo)?;
-                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo)?;
+                let (mut lt, lp) =
+                    self.eval(plan, *left, source_names, inputs, memo, quarantined)?;
+                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo, quarantined)?;
                 lt.append(&rt)?;
                 let prov = match (lp, rp) {
                     (Some(mut lp), Some(rp)) => {
@@ -471,7 +647,11 @@ mod tests {
         let fj = plan.fuzzy_join(l, c, "employer", "name", 0.8);
         let out = Executor::new()
             .with_provenance(true)
-            .run(&plan, fj, &[("letters", &letters), ("companies", &companies)])
+            .run(
+                &plan,
+                fj,
+                &[("letters", &letters), ("companies", &companies)],
+            )
             .unwrap();
         assert_eq!(out.table.n_rows(), 1);
         assert_eq!(out.table.get(0, "rating").unwrap(), Value::Float(4.5));
@@ -480,6 +660,72 @@ mod tests {
         assert_eq!(tuples.len(), 2); // one letters tuple, one companies tuple
         assert!(tuples.iter().any(|t| t.source == 0 && t.row == 0));
         assert!(tuples.iter().any(|t| t.source == 1 && t.row == 0));
+    }
+
+    fn panicking_udf(panic_row: usize) -> Expr {
+        Expr::udf(
+            format!("boom_row_{panic_row}"),
+            DataType::Bool,
+            &[],
+            move |_t, row| {
+                if row == panic_row {
+                    panic!("boom on row {row}");
+                }
+                Ok(Value::Bool(true))
+            },
+        )
+    }
+
+    #[test]
+    fn fail_fast_panic_is_a_typed_error() {
+        let s = scenario();
+        let mut plan = Plan::new();
+        let a = plan.source("train_df");
+        let f = plan.filter(a, panicking_udf(3));
+        let err = Executor::new()
+            .run(&plan, f, &[("train_df", &s.letters)])
+            .unwrap_err();
+        match err {
+            PipelineError::OperatorPanic {
+                node,
+                operator,
+                row,
+                message,
+            } => {
+                assert_eq!(node, f.index());
+                assert!(operator.contains("boom_row_3"), "{operator}");
+                assert_eq!(row, 3);
+                assert!(message.contains("boom on row 3"), "{message}");
+            }
+            other => panic!("expected OperatorPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_and_record_quarantines_and_completes() {
+        let s = scenario();
+        let mut plan = Plan::new();
+        let a = plan.source("train_df");
+        let f = plan.filter(a, panicking_udf(5));
+        let out = Executor::new()
+            .with_provenance(true)
+            .with_panic_policy(PanicPolicy::SkipAndRecord)
+            .run(&plan, f, &[("train_df", &s.letters)])
+            .unwrap();
+        // Exactly the panicking row is missing.
+        assert_eq!(out.table.n_rows(), s.letters.n_rows() - 1);
+        assert_eq!(out.quarantined.len(), 1);
+        let q = &out.quarantined[0];
+        assert_eq!(q.row, 5);
+        assert_eq!(q.node, f.index());
+        assert_eq!(q.sources, vec![TupleId::new(0, 5)]);
+        // The provenance of surviving rows skips the quarantined tuple.
+        let lineage = out.provenance.unwrap();
+        assert_eq!(lineage.rows.len(), out.table.n_rows());
+        assert!(lineage
+            .rows
+            .iter()
+            .all(|e| !e.tuples().contains(&TupleId::new(0, 5))));
     }
 
     #[test]

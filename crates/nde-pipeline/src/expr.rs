@@ -2,6 +2,58 @@
 
 use crate::{PipelineError, Result};
 use nde_data::{DataType, Table, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// The shared row-evaluation closure of a [`UdfSpec`].
+type UdfFn = Arc<dyn Fn(&Table, usize) -> Result<Value> + Send + Sync>;
+
+/// A named user-defined function evaluated per row. The closure is shared
+/// (`Arc`), so cloning an expression tree stays cheap. UDFs are the one
+/// place arbitrary user code runs inside the executor, which is why
+/// [`crate::exec::Executor`] isolates their panics with `catch_unwind`.
+#[derive(Clone)]
+pub struct UdfSpec {
+    name: String,
+    dtype: DataType,
+    columns: Vec<String>,
+    f: UdfFn,
+}
+
+impl UdfSpec {
+    /// The UDF's display name (used in error reports and quarantine records).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared output type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Run the UDF on one row.
+    pub fn call(&self, table: &Table, row: usize) -> Result<Value> {
+        (self.f)(table, row)
+    }
+}
+
+impl fmt::Debug for UdfSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UdfSpec")
+            .field("name", &self.name)
+            .field("dtype", &self.dtype)
+            .field("columns", &self.columns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for UdfSpec {
+    /// Closures cannot be compared; two UDFs are equal iff their declared
+    /// identity (name, type, input columns) matches.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.dtype == other.dtype && self.columns == other.columns
+    }
+}
 
 /// A scalar expression evaluated per row of a table.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +80,9 @@ pub enum Expr {
     IsNull(Box<Expr>),
     /// `true` iff the operand is not null (Fig. 3's `twitter.notnull()`).
     IsNotNull(Box<Expr>),
+    /// A user-defined function over the whole row (projections/filters with
+    /// arbitrary logic; executed under panic isolation).
+    Udf(UdfSpec),
 }
 
 impl Expr {
@@ -97,6 +152,23 @@ impl Expr {
         Expr::IsNotNull(Box::new(self))
     }
 
+    /// A user-defined function: `name` for diagnostics, `dtype` the declared
+    /// output type, `columns` the input columns it reads (for dependency
+    /// inspection), and `f` the per-row implementation.
+    pub fn udf(
+        name: impl Into<String>,
+        dtype: DataType,
+        columns: &[&str],
+        f: impl Fn(&Table, usize) -> Result<Value> + Send + Sync + 'static,
+    ) -> Expr {
+        Expr::Udf(UdfSpec {
+            name: name.into(),
+            dtype,
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            f: Arc::new(f),
+        })
+    }
+
     /// Evaluate against row `row` of `table`.
     pub fn eval(&self, table: &Table, row: usize) -> Result<Value> {
         match self {
@@ -117,15 +189,16 @@ impl Expr {
             }
             Expr::Gt(a, b) => numeric_cmp(a, b, table, row, |x, y| x > y),
             Expr::Lt(a, b) => numeric_cmp(a, b, table, row, |x, y| x < y),
-            Expr::And(a, b) => {
-                Ok(Value::Bool(truthy(&a.eval(table, row)?)? && truthy(&b.eval(table, row)?)?))
-            }
-            Expr::Or(a, b) => {
-                Ok(Value::Bool(truthy(&a.eval(table, row)?)? || truthy(&b.eval(table, row)?)?))
-            }
+            Expr::And(a, b) => Ok(Value::Bool(
+                truthy(&a.eval(table, row)?)? && truthy(&b.eval(table, row)?)?,
+            )),
+            Expr::Or(a, b) => Ok(Value::Bool(
+                truthy(&a.eval(table, row)?)? || truthy(&b.eval(table, row)?)?,
+            )),
             Expr::Not(a) => Ok(Value::Bool(!truthy(&a.eval(table, row)?)?)),
             Expr::IsNull(a) => Ok(Value::Bool(a.eval(table, row)?.is_null())),
             Expr::IsNotNull(a) => Ok(Value::Bool(!a.eval(table, row)?.is_null())),
+            Expr::Udf(u) => u.call(table, row),
         }
     }
 
@@ -152,6 +225,7 @@ impl Expr {
             Expr::Lit(v) => v.data_type().ok_or_else(|| {
                 PipelineError::Expr("cannot infer the type of a null literal".into())
             }),
+            Expr::Udf(u) => Ok(u.dtype),
             _ => Ok(DataType::Bool),
         }
     }
@@ -179,6 +253,7 @@ impl Expr {
                 b.collect_columns(out);
             }
             Expr::Not(a) | Expr::IsNull(a) | Expr::IsNotNull(a) => a.collect_columns(out),
+            Expr::Udf(u) => out.extend(u.columns.iter().map(String::as_str)),
         }
     }
 }
@@ -187,7 +262,8 @@ fn values_equal(a: &Value, b: &Value) -> bool {
     if a.is_null() || b.is_null() {
         return false;
     }
-    a.total_cmp(b) == std::cmp::Ordering::Equal && (a.data_type() == b.data_type() || both_numeric(a, b))
+    a.total_cmp(b) == std::cmp::Ordering::Equal
+        && (a.data_type() == b.data_type() || both_numeric(a, b))
 }
 
 fn both_numeric(a: &Value, b: &Value) -> bool {
@@ -239,7 +315,8 @@ mod tests {
         );
         t.push_row(vec!["healthcare".into(), 7.5.into(), "@a".into()])
             .unwrap();
-        t.push_row(vec!["tech".into(), 3.0.into(), Value::Null]).unwrap();
+        t.push_row(vec!["tech".into(), 3.0.into(), Value::Null])
+            .unwrap();
         t
     }
 
@@ -260,7 +337,10 @@ mod tests {
     fn numeric_comparisons() {
         let t = table();
         assert_eq!(
-            Expr::col("rating").gt(Expr::float(5.0)).eval(&t, 0).unwrap(),
+            Expr::col("rating")
+                .gt(Expr::float(5.0))
+                .eval(&t, 0)
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
@@ -296,21 +376,35 @@ mod tests {
     #[test]
     fn null_tests() {
         let t = table();
-        assert!(Expr::col("twitter").is_not_null().eval_predicate(&t, 0).unwrap());
-        assert!(!Expr::col("twitter").is_not_null().eval_predicate(&t, 1).unwrap());
-        assert!(Expr::col("twitter").is_null().eval_predicate(&t, 1).unwrap());
+        assert!(Expr::col("twitter")
+            .is_not_null()
+            .eval_predicate(&t, 0)
+            .unwrap());
+        assert!(!Expr::col("twitter")
+            .is_not_null()
+            .eval_predicate(&t, 1)
+            .unwrap());
+        assert!(Expr::col("twitter")
+            .is_null()
+            .eval_predicate(&t, 1)
+            .unwrap());
     }
 
     #[test]
     fn output_types_and_columns() {
         let t = table();
-        assert_eq!(Expr::col("rating").output_type(&t).unwrap(), DataType::Float);
+        assert_eq!(
+            Expr::col("rating").output_type(&t).unwrap(),
+            DataType::Float
+        );
         assert_eq!(
             Expr::col("twitter").is_not_null().output_type(&t).unwrap(),
             DataType::Bool
         );
         assert!(Expr::Lit(Value::Null).output_type(&t).is_err());
-        let e = Expr::col("a").eq(Expr::col("b")).and(Expr::col("a").is_null());
+        let e = Expr::col("a")
+            .eq(Expr::col("b"))
+            .and(Expr::col("a").is_null());
         assert_eq!(e.columns(), vec!["a", "b"]);
     }
 

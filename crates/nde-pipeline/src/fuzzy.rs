@@ -69,10 +69,14 @@ pub fn fuzzy_join(
     let lcol = left.column(left_key)?;
     let rcol = right.column(right_key)?;
     let lvals = lcol.as_str_slice().ok_or_else(|| {
-        PipelineError::InvalidPlan(format!("fuzzy join key `{left_key}` must be a string column"))
+        PipelineError::InvalidPlan(format!(
+            "fuzzy join key `{left_key}` must be a string column"
+        ))
     })?;
     let rvals = rcol.as_str_slice().ok_or_else(|| {
-        PipelineError::InvalidPlan(format!("fuzzy join key `{right_key}` must be a string column"))
+        PipelineError::InvalidPlan(format!(
+            "fuzzy join key `{right_key}` must be a string column"
+        ))
     })?;
 
     let mut lineage: Vec<(usize, usize)> = Vec::new();
@@ -195,9 +199,9 @@ mod tests {
     #[test]
     fn best_match_wins_among_candidates() {
         let mut near = companies();
-        near.push_row(vec!["Acme Corp.".into(), 9.9.into()]).unwrap();
-        let (joined, lineage) =
-            fuzzy_join(&mentions(), &near, "employer", "name", 0.75).unwrap();
+        near.push_row(vec!["Acme Corp.".into(), 9.9.into()])
+            .unwrap();
+        let (joined, lineage) = fuzzy_join(&mentions(), &near, "employer", "name", 0.75).unwrap();
         // "acme corp." matches the exact-normalized "Acme Corp." (row 3)
         // rather than "Acme Corp" (row 0).
         assert_eq!(lineage[0], (0, 3));

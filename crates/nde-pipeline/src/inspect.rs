@@ -136,7 +136,8 @@ pub fn check_distribution_shift(
         let hits = counts
             .iter()
             .find(|(v, _)| {
-                v.total_cmp(class) == std::cmp::Ordering::Equal && v.data_type() == class.data_type()
+                v.total_cmp(class) == std::cmp::Ordering::Equal
+                    && v.data_type() == class.data_type()
             })
             .map(|(_, c)| *c)
             .unwrap_or(0);
@@ -201,15 +202,11 @@ mod tests {
     #[test]
     fn class_balance_detects_biased_sampling() {
         let t = HiringScenario::generate(400, 3).letters;
-        assert!(check_class_balance(&t, LABEL_COLUMN, 0.3).unwrap().is_empty());
-        let (biased, _, _) = selection_bias(
-            &t,
-            LABEL_COLUMN,
-            &Value::Str("negative".into()),
-            0.15,
-            4,
-        )
-        .unwrap();
+        assert!(check_class_balance(&t, LABEL_COLUMN, 0.3)
+            .unwrap()
+            .is_empty());
+        let (biased, _, _) =
+            selection_bias(&t, LABEL_COLUMN, &Value::Str("negative".into()), 0.15, 4).unwrap();
         let findings = check_class_balance(&biased, LABEL_COLUMN, 0.3).unwrap();
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("negative"));
@@ -220,7 +217,9 @@ mod tests {
         let s = HiringScenario::generate(100, 5);
         let train = s.letters.take(&(0..80).collect::<Vec<_>>()).unwrap();
         let clean_test = s.letters.take(&(80..100).collect::<Vec<_>>()).unwrap();
-        assert!(check_leakage(&train, &clean_test, "person_id").unwrap().is_empty());
+        assert!(check_leakage(&train, &clean_test, "person_id")
+            .unwrap()
+            .is_empty());
         let leaky_test = s.letters.take(&(70..90).collect::<Vec<_>>()).unwrap();
         let findings = check_leakage(&train, &leaky_test, "person_id").unwrap();
         assert_eq!(findings.len(), 1);
@@ -240,14 +239,8 @@ mod tests {
     #[test]
     fn distribution_shift_detected_after_biased_filter() {
         let t = HiringScenario::generate(300, 7).letters;
-        let (biased, _, _) = selection_bias(
-            &t,
-            LABEL_COLUMN,
-            &Value::Str("positive".into()),
-            0.2,
-            8,
-        )
-        .unwrap();
+        let (biased, _, _) =
+            selection_bias(&t, LABEL_COLUMN, &Value::Str("positive".into()), 0.2, 8).unwrap();
         let findings = check_distribution_shift(
             &t,
             &biased,

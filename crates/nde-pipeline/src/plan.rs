@@ -259,11 +259,7 @@ impl Plan {
         let j1 = plan.join(letters, jobs, "job_id", "job_id", JoinType::Inner);
         let j2 = plan.join(j1, social, "person_id", "person_id", JoinType::Left);
         let filtered = plan.filter(j2, Expr::col("sector").eq(Expr::str("healthcare")));
-        let projected = plan.project(
-            filtered,
-            "has_twitter",
-            Expr::col("twitter").is_not_null(),
-        );
+        let projected = plan.project(filtered, "has_twitter", Expr::col("twitter").is_not_null());
         (plan, projected)
     }
 }
@@ -300,7 +296,10 @@ mod tests {
     #[test]
     fn hiring_pipeline_shape() {
         let (plan, root) = Plan::hiring_pipeline();
-        assert_eq!(plan.source_names(), vec!["train_df", "jobdetail_df", "social_df"]);
+        assert_eq!(
+            plan.source_names(),
+            vec!["train_df", "jobdetail_df", "social_df"]
+        );
         assert!(matches!(plan.node(root).unwrap(), PlanNode::Project { .. }));
         // Root chains back to all three sources.
         let mut stack = vec![root];

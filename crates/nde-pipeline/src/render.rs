@@ -44,7 +44,7 @@ fn label(node: &PlanNode) -> String {
     }
 }
 
-fn expr_label(e: &Expr) -> String {
+pub(crate) fn expr_label(e: &Expr) -> String {
     match e {
         Expr::Col(c) => c.clone(),
         Expr::Lit(v) => format!("{v}"),
@@ -57,6 +57,7 @@ fn expr_label(e: &Expr) -> String {
         Expr::Not(a) => format!("not {}", expr_label(a)),
         Expr::IsNull(a) => format!("{} is null", expr_label(a)),
         Expr::IsNotNull(a) => format!("{} is not null", expr_label(a)),
+        Expr::Udf(u) => format!("{}(...)", u.name()),
     }
 }
 
@@ -119,7 +120,9 @@ mod tests {
         let c = plan.concat(sel, sel);
         let f = plan.filter(
             c,
-            Expr::col("x").gt(Expr::int(3)).and(Expr::col("y").is_null().not()),
+            Expr::col("x")
+                .gt(Expr::int(3))
+                .and(Expr::col("y").is_null().not()),
         );
         let s = render_plan(&plan, f).unwrap();
         assert!(s.contains("Join [k = k, left]"));

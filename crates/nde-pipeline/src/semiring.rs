@@ -154,6 +154,9 @@ mod tests {
         let a = why_var(7);
         assert_eq!(WhySemiring::plus(&WhySemiring::zero(), &a), a);
         assert_eq!(WhySemiring::times(&WhySemiring::one(), &a), a);
-        assert_eq!(WhySemiring::times(&WhySemiring::zero(), &a), WhySemiring::zero());
+        assert_eq!(
+            WhySemiring::times(&WhySemiring::zero(), &a),
+            WhySemiring::zero()
+        );
     }
 }

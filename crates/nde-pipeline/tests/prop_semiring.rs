@@ -1,95 +1,124 @@
-//! Property-based tests for provenance semantics: semiring laws and the
-//! consistency of different semiring evaluations of the same polynomial.
+//! Randomized-property tests for provenance semantics: semiring laws and
+//! the consistency of different semiring evaluations of the same
+//! polynomial. Cases come from the in-tree seeded PRNG, so failures
+//! reproduce exactly.
 
+use nde_data::rng::{seeded, Rng, StdRng};
 use nde_pipeline::provenance::{ProvExpr, TupleId};
 use nde_pipeline::semiring::{why_var, BoolSemiring, CountSemiring, Semiring, WhySemiring};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
-fn why_elem_strategy() -> impl Strategy<Value = <WhySemiring as Semiring>::Elem> {
-    prop::collection::vec(prop::collection::btree_set(0u64..6, 0..3), 0..3)
-        .prop_map(|sets| sets.into_iter().collect())
+const CASES: usize = 200;
+
+fn random_why_elem(rng: &mut StdRng) -> <WhySemiring as Semiring>::Elem {
+    let n_sets = rng.gen_range(0..3usize);
+    (0..n_sets)
+        .map(|_| {
+            let n = rng.gen_range(0..3usize);
+            (0..n)
+                .map(|_| rng.gen_range(0..6u64))
+                .collect::<BTreeSet<u64>>()
+        })
+        .collect()
 }
 
-/// Random provenance expression over a small variable pool.
-fn prov_expr_strategy() -> impl Strategy<Value = ProvExpr> {
-    let leaf = (0u32..2, 0u32..5).prop_map(|(s, r)| ProvExpr::Var(TupleId::new(s, r)));
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(ProvExpr::Times),
-            prop::collection::vec(inner, 1..3).prop_map(ProvExpr::Plus),
-        ]
-    })
+/// Random provenance expression over a small variable pool, with bounded
+/// depth so evaluation stays cheap.
+fn random_prov_expr(rng: &mut StdRng, depth: usize) -> ProvExpr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return ProvExpr::Var(TupleId::new(rng.gen_range(0..2u32), rng.gen_range(0..5u32)));
+    }
+    let n = rng.gen_range(1..3usize);
+    let children: Vec<ProvExpr> = (0..n).map(|_| random_prov_expr(rng, depth - 1)).collect();
+    if rng.gen_bool(0.5) {
+        ProvExpr::Times(children)
+    } else {
+        ProvExpr::Plus(children)
+    }
 }
 
-proptest! {
-    #[test]
-    fn why_semiring_laws(
-        a in why_elem_strategy(),
-        b in why_elem_strategy(),
-        c in why_elem_strategy(),
-    ) {
+#[test]
+fn why_semiring_laws() {
+    let mut rng = seeded(31);
+    for _ in 0..CASES {
+        let a = random_why_elem(&mut rng);
+        let b = random_why_elem(&mut rng);
+        let c = random_why_elem(&mut rng);
         // Commutativity.
-        prop_assert_eq!(WhySemiring::plus(&a, &b), WhySemiring::plus(&b, &a));
-        prop_assert_eq!(WhySemiring::times(&a, &b), WhySemiring::times(&b, &a));
+        assert_eq!(WhySemiring::plus(&a, &b), WhySemiring::plus(&b, &a));
+        assert_eq!(WhySemiring::times(&a, &b), WhySemiring::times(&b, &a));
         // Associativity.
-        prop_assert_eq!(
+        assert_eq!(
             WhySemiring::plus(&WhySemiring::plus(&a, &b), &c),
             WhySemiring::plus(&a, &WhySemiring::plus(&b, &c))
         );
-        prop_assert_eq!(
+        assert_eq!(
             WhySemiring::times(&WhySemiring::times(&a, &b), &c),
             WhySemiring::times(&a, &WhySemiring::times(&b, &c))
         );
         // Identities and annihilation.
-        prop_assert_eq!(WhySemiring::plus(&WhySemiring::zero(), &a), a.clone());
-        prop_assert_eq!(WhySemiring::times(&WhySemiring::one(), &a), a.clone());
-        prop_assert_eq!(WhySemiring::times(&WhySemiring::zero(), &a), WhySemiring::zero());
+        assert_eq!(WhySemiring::plus(&WhySemiring::zero(), &a), a.clone());
+        assert_eq!(WhySemiring::times(&WhySemiring::one(), &a), a.clone());
+        assert_eq!(
+            WhySemiring::times(&WhySemiring::zero(), &a),
+            WhySemiring::zero()
+        );
         // Distributivity: a*(b+c) == a*b + a*c.
-        prop_assert_eq!(
+        assert_eq!(
             WhySemiring::times(&a, &WhySemiring::plus(&b, &c)),
             WhySemiring::plus(&WhySemiring::times(&a, &b), &WhySemiring::times(&a, &c))
         );
     }
+}
 
-    #[test]
-    fn bool_eval_agrees_with_why_witnesses(
-        expr in prov_expr_strategy(),
-        alive_mask in prop::collection::vec(any::<bool>(), 16),
-    ) {
+#[test]
+fn bool_eval_agrees_with_why_witnesses() {
+    let mut rng = seeded(32);
+    for _ in 0..CASES {
+        let expr = random_prov_expr(&mut rng, 3);
+        let alive_mask: Vec<bool> = (0..16).map(|_| rng.gen_bool(0.5)).collect();
         // A tuple (s, r) is alive iff its mask bit is set.
         let alive = |t: TupleId| alive_mask[(t.source * 5 + t.row) as usize % 16];
         let derivable = expr.eval::<BoolSemiring>(&alive);
         // Why-provenance view: derivable iff some witness is fully alive.
         let why = expr.why();
-        let witness_alive = why.iter().any(|w| {
-            w.iter().all(|&v| alive(TupleId::from_var(v)))
-        });
-        prop_assert_eq!(derivable, witness_alive);
+        let witness_alive = why
+            .iter()
+            .any(|w| w.iter().all(|&v| alive(TupleId::from_var(v))));
+        assert_eq!(derivable, witness_alive);
     }
+}
 
-    #[test]
-    fn count_eval_upper_bounds_why_witnesses(expr in prov_expr_strategy()) {
+#[test]
+fn count_eval_upper_bounds_why_witnesses() {
+    let mut rng = seeded(33);
+    for _ in 0..CASES {
+        let expr = random_prov_expr(&mut rng, 3);
         // Counting all-ones evaluation counts derivations with multiplicity;
         // distinct witnesses can collapse (idempotent union), so the count
         // dominates the witness count.
         let count = expr.eval::<CountSemiring>(&|_| 1);
         let witnesses = expr.why().len() as u64;
-        prop_assert!(count >= witnesses, "count {count} < witnesses {witnesses}");
-        prop_assert!(witnesses >= 1);
+        assert!(count >= witnesses, "count {count} < witnesses {witnesses}");
+        assert!(witnesses >= 1);
     }
+}
 
-    #[test]
-    fn tuples_is_exactly_the_var_support(expr in prov_expr_strategy()) {
+#[test]
+fn tuples_is_exactly_the_var_support() {
+    let mut rng = seeded(34);
+    for _ in 0..CASES {
+        let expr = random_prov_expr(&mut rng, 3);
         let tuples = expr.tuples();
         // Sorted and deduplicated.
         let mut sorted = tuples.clone();
         sorted.sort();
         sorted.dedup();
-        prop_assert_eq!(&tuples, &sorted);
+        assert_eq!(&tuples, &sorted);
         // Killing every tuple makes the expression underivable; keeping all
         // makes it derivable.
-        prop_assert!(expr.eval::<BoolSemiring>(&|_| true));
-        prop_assert!(!expr.eval::<BoolSemiring>(&|_| false));
+        assert!(expr.eval::<BoolSemiring>(&|_| true));
+        assert!(!expr.eval::<BoolSemiring>(&|_| false));
         // Every tuple in support appears in some witness.
         let why = expr.why();
         for t in &tuples {
@@ -97,7 +126,7 @@ proptest! {
             // Plus-branches may make some vars redundant, but a var absent
             // from all witnesses must be removable without changing
             // derivability anywhere; we check the weaker containment:
-            prop_assert!(why_var(t.as_var()).len() == 1);
+            assert!(why_var(t.as_var()).len() == 1);
         }
     }
 }

@@ -1,0 +1,224 @@
+//! Deterministic fault injection ("chaos") harness.
+//!
+//! Integration tests use these helpers to prove that every workflow
+//! survives each fault class the tutorial's long-running computations are
+//! exposed to:
+//!
+//! - **operator panics** — [`panicking_predicate`] / [`panicking_projection`]
+//!   build pipeline expressions that panic on a chosen row, exercising the
+//!   executor's `catch_unwind` isolation;
+//! - **corrupt / NaN feature values** — [`corrupt_features`] poisons chosen
+//!   dataset cells, [`corrupting_projection`] emits NaN mid-pipeline;
+//! - **flaky dependencies** — [`FaultSchedule`] decides deterministically
+//!   which call indices fail (used by e.g. `nde-cleaning`'s `FlakyOracle`
+//!   together with [`crate::retry`]).
+//!
+//! Everything here is deterministic: a fault plan is a pure function of its
+//! configuration (and, for sampled plans, a seed), so a failing chaos test
+//! reproduces exactly.
+
+use nde_data::rng::{seeded, Rng};
+use nde_data::{DataType, Value};
+use nde_ml::dataset::Dataset;
+use nde_pipeline::expr::Expr;
+use std::collections::BTreeSet;
+
+/// Deterministic schedule of which calls to an injected-fault site fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    plan: Plan,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Plan {
+    Never,
+    Always,
+    /// Fail exactly these 0-based call indices.
+    At(BTreeSet<u64>),
+    /// Fail the first `k` calls (then recover) — the classic
+    /// "service warms up" shape that retries must ride out.
+    FirstN(u64),
+    /// Fail every `n`-th call (indices n-1, 2n-1, ...).
+    EveryNth(u64),
+}
+
+impl FaultSchedule {
+    /// Never fail (the no-op schedule).
+    pub fn never() -> FaultSchedule {
+        FaultSchedule { plan: Plan::Never }
+    }
+
+    /// Fail every call (a hard outage).
+    pub fn always() -> FaultSchedule {
+        FaultSchedule { plan: Plan::Always }
+    }
+
+    /// Fail exactly the given 0-based call indices.
+    pub fn at(indices: &[u64]) -> FaultSchedule {
+        FaultSchedule {
+            plan: Plan::At(indices.iter().copied().collect()),
+        }
+    }
+
+    /// Fail the first `k` calls, then succeed forever.
+    pub fn first_n(k: u64) -> FaultSchedule {
+        FaultSchedule {
+            plan: Plan::FirstN(k),
+        }
+    }
+
+    /// Fail every `n`-th call (`n ≥ 1`).
+    pub fn every_nth(n: u64) -> FaultSchedule {
+        FaultSchedule {
+            plan: Plan::EveryNth(n.max(1)),
+        }
+    }
+
+    /// Sample a schedule failing each of the first `horizon` calls
+    /// independently with probability `rate` — deterministic in `seed`.
+    pub fn sampled(rate: f64, horizon: u64, seed: u64) -> FaultSchedule {
+        let mut rng = seeded(seed);
+        let fails = (0..horizon)
+            .filter(|_| rng.gen_bool(rate))
+            .collect::<BTreeSet<u64>>();
+        FaultSchedule {
+            plan: Plan::At(fails),
+        }
+    }
+
+    /// Should the `call`-th invocation (0-based) fail?
+    pub fn should_fail(&self, call: u64) -> bool {
+        match &self.plan {
+            Plan::Never => false,
+            Plan::Always => true,
+            Plan::At(set) => set.contains(&call),
+            Plan::FirstN(k) => call < *k,
+            Plan::EveryNth(n) => (call + 1).is_multiple_of(*n),
+        }
+    }
+}
+
+/// The panic payload prefix used by injected operator panics, so tests can
+/// assert the failure they observe is the one they injected.
+pub const CHAOS_PANIC_PREFIX: &str = "chaos: injected operator panic";
+
+/// A boolean pipeline predicate (for `Filter` nodes) that returns `true`
+/// for every row except `panic_row`, where it panics.
+pub fn panicking_predicate(panic_row: usize) -> Expr {
+    Expr::udf(
+        format!("chaos_panic_predicate_row_{panic_row}"),
+        DataType::Bool,
+        &[],
+        move |_table, row| {
+            if row == panic_row {
+                panic!("{CHAOS_PANIC_PREFIX} at row {row}");
+            }
+            Ok(Value::Bool(true))
+        },
+    )
+}
+
+/// A float projection UDF that returns `1.0` for every row except
+/// `panic_row`, where it panics.
+pub fn panicking_projection(panic_row: usize) -> Expr {
+    Expr::udf(
+        format!("chaos_panic_projection_row_{panic_row}"),
+        DataType::Float,
+        &[],
+        move |_table, row| {
+            if row == panic_row {
+                panic!("{CHAOS_PANIC_PREFIX} at row {row}");
+            }
+            Ok(Value::Float(1.0))
+        },
+    )
+}
+
+/// A float projection UDF that emits `NaN` on the chosen row and `1.0`
+/// elsewhere — a corrupt tuple flowing through an otherwise healthy
+/// pipeline.
+pub fn corrupting_projection(nan_row: usize) -> Expr {
+    Expr::udf(
+        format!("chaos_nan_projection_row_{nan_row}"),
+        DataType::Float,
+        &[],
+        move |_table, row| Ok(Value::Float(if row == nan_row { f64::NAN } else { 1.0 })),
+    )
+}
+
+/// Poison `n_cells` distinct feature cells of `data` with NaN, chosen
+/// deterministically from `seed`. Returns the poisoned `(row, col)` cells.
+pub fn corrupt_features(data: &mut Dataset, n_cells: usize, seed: u64) -> Vec<(usize, usize)> {
+    let rows = data.len();
+    let cols = data.dim();
+    if rows == 0 || cols == 0 || n_cells == 0 {
+        return Vec::new();
+    }
+    let total = rows * cols;
+    let cells = nde_data::rng::sample_indices(total, n_cells.min(total), &mut seeded(seed));
+    let mut out: Vec<(usize, usize)> = cells.into_iter().map(|c| (c / cols, c % cols)).collect();
+    out.sort_unstable();
+    for &(r, c) in &out {
+        data.x.set(r, c, f64::NAN);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let s = FaultSchedule::at(&[0, 3]);
+        assert!(s.should_fail(0));
+        assert!(!s.should_fail(1));
+        assert!(s.should_fail(3));
+        let f = FaultSchedule::first_n(2);
+        assert!(f.should_fail(0) && f.should_fail(1) && !f.should_fail(2));
+        let e = FaultSchedule::every_nth(3);
+        assert!(!e.should_fail(0) && !e.should_fail(1) && e.should_fail(2));
+        assert!(e.should_fail(5) && !e.should_fail(6));
+        assert!(!FaultSchedule::never().should_fail(0));
+        assert!(FaultSchedule::always().should_fail(7));
+        assert_eq!(
+            FaultSchedule::sampled(0.5, 100, 9),
+            FaultSchedule::sampled(0.5, 100, 9)
+        );
+    }
+
+    #[test]
+    fn sampled_rate_is_roughly_respected() {
+        let s = FaultSchedule::sampled(0.3, 1000, 4);
+        let fails = (0..1000).filter(|&c| s.should_fail(c)).count();
+        assert!((200..400).contains(&fails), "fails={fails}");
+    }
+
+    #[test]
+    fn corrupt_features_poisons_exactly_the_reported_cells() {
+        let mut data = Dataset::from_rows(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![0, 1, 0],
+            2,
+        )
+        .unwrap();
+        let cells = corrupt_features(&mut data, 2, 7);
+        assert_eq!(cells.len(), 2);
+        for r in 0..3 {
+            for c in 0..2 {
+                let poisoned = cells.contains(&(r, c));
+                assert_eq!(data.x.get(r, c).is_nan(), poisoned, "cell ({r}, {c})");
+            }
+        }
+        // Deterministic in the seed.
+        let mut again = Dataset::from_rows(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![0, 1, 0],
+            2,
+        )
+        .unwrap();
+        assert_eq!(corrupt_features(&mut again, 2, 7), cells);
+        // Degenerate inputs are no-ops.
+        assert!(corrupt_features(&mut again, 0, 7).is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! Checkpoint/resume for Monte-Carlo estimation runs.
+//!
+//! A [`McCheckpoint`] captures everything a permutation-sampling estimator
+//! needs to continue exactly where it stopped: the base seed, the
+//! permutation cursor, the (optional) raw RNG state of an in-flight stream,
+//! and the running marginal sums. Because floats are serialized with
+//! shortest-round-trip formatting (see [`nde_data::json`]), a resumed run
+//! is **bit-identical** to an uninterrupted one.
+
+use crate::error::RobustError;
+use crate::Result;
+use nde_data::json::{Json, ToJson};
+use std::path::Path;
+
+/// A resumable snapshot of a Monte-Carlo importance estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McCheckpoint {
+    /// Which estimator wrote the snapshot (e.g. `"tmc-shapley"`). Resume
+    /// refuses checkpoints from a different method.
+    pub method: String,
+    /// The base seed; permutation `p` derives its stream from
+    /// `child_seed(seed, p)`.
+    pub seed: u64,
+    /// Number of scored training examples.
+    pub n: usize,
+    /// Next permutation index to run (permutations `0..cursor` are folded
+    /// into the running sums already).
+    pub cursor: u64,
+    /// Cumulative utility evaluations across all segments of the run.
+    pub utility_calls: u64,
+    /// Raw xoshiro256** state of an in-flight stream, if the runner was
+    /// interrupted mid-permutation (permutation-granular runners leave this
+    /// `None` and restart the cursor's permutation from its child seed).
+    pub rng_state: Option<[u64; 4]>,
+    /// Running sum of marginal contributions per example.
+    pub totals: Vec<f64>,
+    /// Running sum of squared marginal contributions per example (for
+    /// standard-error diagnostics).
+    pub totals_sq: Vec<f64>,
+}
+
+impl McCheckpoint {
+    /// A fresh checkpoint at permutation 0 with zeroed sums.
+    pub fn fresh(method: impl Into<String>, seed: u64, n: usize) -> McCheckpoint {
+        McCheckpoint {
+            method: method.into(),
+            seed,
+            n,
+            cursor: 0,
+            utility_calls: 0,
+            rng_state: None,
+            totals: vec![0.0; n],
+            totals_sq: vec![0.0; n],
+        }
+    }
+
+    /// Validate internal consistency (vector lengths match `n`).
+    pub fn validate(&self) -> Result<()> {
+        if self.totals.len() != self.n || self.totals_sq.len() != self.n {
+            return Err(RobustError::Checkpoint(format!(
+                "checkpoint claims n={} but holds {} totals / {} squared totals",
+                self.n,
+                self.totals.len(),
+                self.totals_sq.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        let rng_state = match self.rng_state {
+            Some(words) => Json::Arr(words.iter().map(|&w| Json::UInt(w)).collect()),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("method".into(), self.method.to_json()),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("n".into(), Json::UInt(self.n as u64)),
+            ("cursor".into(), Json::UInt(self.cursor)),
+            ("utility_calls".into(), Json::UInt(self.utility_calls)),
+            ("rng_state".into(), rng_state),
+            ("totals".into(), self.totals.to_json()),
+            ("totals_sq".into(), self.totals_sq.to_json()),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parse a checkpoint serialized with [`McCheckpoint::to_json`].
+    pub fn from_json(text: &str) -> Result<McCheckpoint> {
+        let doc = Json::parse(text)
+            .map_err(|e| RobustError::Checkpoint(format!("unparseable checkpoint: {e}")))?;
+        let field = |name: &str| {
+            doc.get(name)
+                .ok_or_else(|| RobustError::Checkpoint(format!("missing field `{name}`")))
+        };
+        let floats = |name: &str| -> Result<Vec<f64>> {
+            field(name)?
+                .as_arr()
+                .ok_or_else(|| RobustError::Checkpoint(format!("`{name}` is not an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| {
+                        RobustError::Checkpoint(format!("`{name}` holds a non-number"))
+                    })
+                })
+                .collect()
+        };
+        let uint = |name: &str| -> Result<u64> {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| RobustError::Checkpoint(format!("`{name}` is not an integer")))
+        };
+        let rng_state = match field("rng_state")? {
+            Json::Null => None,
+            Json::Arr(words) if words.len() == 4 => {
+                let mut out = [0u64; 4];
+                for (slot, w) in out.iter_mut().zip(words) {
+                    *slot = w.as_u64().ok_or_else(|| {
+                        RobustError::Checkpoint("`rng_state` holds a non-integer".into())
+                    })?;
+                }
+                Some(out)
+            }
+            _ => {
+                return Err(RobustError::Checkpoint(
+                    "`rng_state` must be null or a 4-word array".into(),
+                ))
+            }
+        };
+        let ckpt = McCheckpoint {
+            method: field("method")?
+                .as_str()
+                .ok_or_else(|| RobustError::Checkpoint("`method` is not a string".into()))?
+                .to_string(),
+            seed: uint("seed")?,
+            n: uint("n")? as usize,
+            cursor: uint("cursor")?,
+            utility_calls: uint("utility_calls")?,
+            rng_state,
+            totals: floats("totals")?,
+            totals_sq: floats("totals_sq")?,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+
+    /// Write the checkpoint to a file (atomically: write + rename, so a
+    /// crash mid-write never leaves a truncated checkpoint behind).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| RobustError::Io(format!("writing {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| RobustError::Io(format!("renaming {}: {e}", path.display())))
+    }
+
+    /// Load a checkpoint file written by [`McCheckpoint::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<McCheckpoint> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| RobustError::Io(format!("reading {}: {e}", path.display())))?;
+        McCheckpoint::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> McCheckpoint {
+        McCheckpoint {
+            method: "tmc-shapley".into(),
+            seed: u64::MAX - 7,
+            n: 3,
+            cursor: 41,
+            utility_calls: 1234,
+            rng_state: Some([1, u64::MAX, 0, 99]),
+            totals: vec![0.1 + 0.2, -1.5e-13, 1.0 / 3.0],
+            totals_sq: vec![0.09, 2.25e-26, 1.0 / 9.0],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_identical() {
+        let ckpt = sample();
+        let back = McCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(back.method, ckpt.method);
+        assert_eq!(back.seed, ckpt.seed);
+        assert_eq!(back.cursor, ckpt.cursor);
+        assert_eq!(back.rng_state, ckpt.rng_state);
+        for (a, b) in ckpt.totals.iter().zip(&back.totals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in ckpt.totals_sq.iter().zip(&back.totals_sq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("nde-robust-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.json");
+        let ckpt = sample();
+        ckpt.save(&path).unwrap();
+        let back = McCheckpoint::load(&path).unwrap();
+        assert_eq!(back, ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_typed_errors() {
+        assert!(matches!(
+            McCheckpoint::from_json("not json"),
+            Err(RobustError::Checkpoint(_))
+        ));
+        assert!(matches!(
+            McCheckpoint::from_json("{}"),
+            Err(RobustError::Checkpoint(_))
+        ));
+        // Inconsistent n vs. totals length.
+        let mut ckpt = sample();
+        ckpt.totals.pop();
+        let text = ckpt.to_json();
+        assert!(matches!(
+            McCheckpoint::from_json(&text),
+            Err(RobustError::Checkpoint(_))
+        ));
+        // Missing file.
+        assert!(matches!(
+            McCheckpoint::load("/nonexistent/nope.json"),
+            Err(RobustError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn fresh_checkpoint_is_zeroed() {
+        let ckpt = McCheckpoint::fresh("tmc-shapley", 9, 4);
+        assert_eq!(ckpt.cursor, 0);
+        assert_eq!(ckpt.totals, vec![0.0; 4]);
+        assert!(ckpt.validate().is_ok());
+    }
+}

@@ -1,0 +1,35 @@
+//! Fault-tolerant execution foundation for the nde workspace.
+//!
+//! The paper's three pillars — Identify (Monte-Carlo Shapley sweeps), Debug
+//! (multi-operator pipeline execution), and Learn (iterative training under
+//! uncertainty) — all rest on long-running, failure-prone computations. This
+//! crate provides the shared machinery to keep those computations **bounded,
+//! resumable, and crash-isolated**:
+//!
+//! - [`budget`] — [`RunBudget`]: wall-clock deadlines plus iteration and
+//!   utility-call budgets, with [`ConvergenceDiagnostics`] so a run that
+//!   exhausts its budget degrades to a tagged best-so-far result instead of
+//!   running forever or aborting.
+//! - [`checkpoint`] — [`McCheckpoint`]: serializable snapshots of Monte-Carlo
+//!   estimation state (permutation cursor, RNG state, running marginals) so
+//!   an interrupted run resumes **bit-identically**.
+//! - [`retry`] — [`RetryPolicy`]: bounded retries with exponential backoff
+//!   for flaky external dependencies (e.g. cleaning oracles).
+//! - [`chaos`] — a deterministic fault-injection harness: operator panics,
+//!   corrupt/NaN feature values, and scheduled dependency failures, used by
+//!   integration tests to prove every workflow survives each fault class.
+
+pub mod budget;
+pub mod chaos;
+pub mod checkpoint;
+pub mod error;
+pub mod retry;
+
+pub use budget::{BudgetClock, ConvergenceDiagnostics, Exhaustion, RunBudget};
+pub use chaos::FaultSchedule;
+pub use checkpoint::McCheckpoint;
+pub use error::RobustError;
+pub use retry::{retry_with_backoff, RetryPolicy};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RobustError>;

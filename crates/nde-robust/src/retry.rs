@@ -1,0 +1,183 @@
+//! Bounded retries with exponential backoff for flaky dependencies
+//! (cleaning oracles, external services).
+
+use std::time::Duration;
+
+/// Retry schedule: up to `max_attempts` tries, sleeping
+/// `base_delay * multiplier^(attempt-1)` (capped at `max_delay`) between
+/// consecutive tries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Backoff multiplier per retry.
+    pub multiplier: f64,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// `attempts` tries with zero delay — for tests and in-process oracles
+    /// where backoff would only slow the suite down.
+    pub fn immediate(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_delay: Duration::ZERO,
+            multiplier: 1.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The delay to sleep after failed attempt number `attempt` (1-based).
+    pub fn delay_after(&self, attempt: u32) -> Duration {
+        let factor = self
+            .multiplier
+            .max(1.0)
+            .powi(attempt.saturating_sub(1) as i32);
+        let nanos = self.base_delay.as_secs_f64() * factor;
+        Duration::from_secs_f64(nanos).min(self.max_delay)
+    }
+}
+
+/// Outcome of [`retry_with_backoff`]: the final result plus how many
+/// attempts were spent getting it.
+#[derive(Debug)]
+pub struct RetryOutcome<T, E> {
+    /// `Ok` from the first successful attempt, or the last error.
+    pub result: std::result::Result<T, E>,
+    /// Attempts performed (1-based; equals `max_attempts` on exhaustion or
+    /// a fatal error on the last attempt).
+    pub attempts: u32,
+}
+
+/// Run `op` until it succeeds, a non-transient error occurs, or the policy's
+/// attempts are exhausted. `is_transient` decides which errors are worth
+/// retrying; non-transient errors are returned immediately.
+pub fn retry_with_backoff<T, E>(
+    policy: &RetryPolicy,
+    is_transient: impl Fn(&E) -> bool,
+    mut op: impl FnMut() -> std::result::Result<T, E>,
+) -> RetryOutcome<T, E> {
+    let max = policy.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match op() {
+            Ok(v) => {
+                return RetryOutcome {
+                    result: Ok(v),
+                    attempts: attempt,
+                }
+            }
+            Err(e) => {
+                if attempt >= max || !is_transient(&e) {
+                    return RetryOutcome {
+                        result: Err(e),
+                        attempts: attempt,
+                    };
+                }
+                let delay = policy.delay_after(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let mut calls = 0;
+        let out = retry_with_backoff(
+            &RetryPolicy::immediate(5),
+            |_e: &String| true,
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err("flaky".to_string())
+                } else {
+                    Ok(42)
+                }
+            },
+        );
+        assert_eq!(out.result, Ok(42));
+        assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn exhausts_attempts_on_persistent_failure() {
+        let out = retry_with_backoff(
+            &RetryPolicy::immediate(4),
+            |_e: &String| true,
+            || Err::<(), _>("down".to_string()),
+        );
+        assert_eq!(out.result, Err("down".to_string()));
+        assert_eq!(out.attempts, 4);
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let mut calls = 0;
+        let out = retry_with_backoff(
+            &RetryPolicy::immediate(10),
+            |e: &String| e == "transient",
+            || {
+                calls += 1;
+                Err::<(), _>("fatal".to_string())
+            },
+        );
+        assert_eq!(calls, 1);
+        assert_eq!(out.attempts, 1);
+        assert!(out.result.is_err());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(policy.delay_after(1), Duration::from_millis(10));
+        assert_eq!(policy.delay_after(2), Duration::from_millis(20));
+        // 40ms capped at 35ms.
+        assert_eq!(policy.delay_after(3), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn zero_attempt_policies_still_run_once() {
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let out = retry_with_backoff(&policy, |_: &String| true, || Ok::<_, String>(1));
+        assert_eq!(out.result, Ok(1));
+        assert_eq!(out.attempts, 1);
+    }
+}

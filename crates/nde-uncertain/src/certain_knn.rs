@@ -226,8 +226,7 @@ mod tests {
         }
         let x = Matrix::from_rows(rows).unwrap();
         let bounds = column_bounds_from_observed(&x);
-        let queries =
-            Matrix::from_rows((0..10).map(|i| vec![i as f64 * 1.1]).collect()).unwrap();
+        let queries = Matrix::from_rows((0..10).map(|i| vec![i as f64 * 1.1]).collect()).unwrap();
         let mut coverages = Vec::new();
         for k in [0usize, 8, 20, 36] {
             let missing: Vec<(usize, usize)> = (0..k).map(|r| (r, 0)).collect();
@@ -238,7 +237,10 @@ mod tests {
         }
         assert_eq!(coverages[0], 1.0);
         for w in coverages.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "coverage not decreasing: {coverages:?}");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "coverage not decreasing: {coverages:?}"
+            );
         }
         assert!(coverages[3] < 1.0);
     }
@@ -260,7 +262,11 @@ mod tests {
             let mut seen = std::collections::HashSet::new();
             for step in 0..=600 {
                 let v = 6.0 * step as f64 / 600.0;
-                let dists = [(q - 0.0) * (q - 0.0), (q - v) * (q - v), (q - 10.0) * (q - 10.0)];
+                let dists = [
+                    (q - 0.0) * (q - 0.0),
+                    (q - v) * (q - v),
+                    (q - 10.0) * (q - 10.0),
+                ];
                 let mut best = 0;
                 for i in 1..3 {
                     if dists[i] < dists[best] {

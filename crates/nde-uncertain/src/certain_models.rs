@@ -20,9 +20,9 @@ use crate::interval::Interval;
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
 use nde_data::rng::seeded;
+use nde_data::rng::Rng;
 use nde_ml::linalg::Matrix;
 use nde_ml::models::linreg::RidgeRegression;
-use rand::Rng;
 
 /// Verdict of the certain-model check.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,9 +97,7 @@ pub fn certain_model_check(
     let complete: Vec<usize> = (0..x.len())
         .filter(|&i| x.row(i).iter().all(|iv| iv.is_point()))
         .collect();
-    let incomplete: Vec<usize> = (0..x.len())
-        .filter(|&i| !complete.contains(&i))
-        .collect();
+    let incomplete: Vec<usize> = (0..x.len()).filter(|&i| !complete.contains(&i)).collect();
 
     // Fast path: no uncertainty at all.
     if incomplete.is_empty() {

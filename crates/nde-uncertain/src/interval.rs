@@ -223,10 +223,7 @@ mod tests {
         let a = Interval::new(1.0, 2.0);
         assert_eq!(a.scale(2.0), Interval::new(2.0, 4.0));
         assert_eq!(a.scale(-1.0), Interval::new(-2.0, -1.0));
-        assert_eq!(
-            a.hull(Interval::new(5.0, 6.0)),
-            Interval::new(1.0, 6.0)
-        );
+        assert_eq!(a.hull(Interval::new(5.0, 6.0)), Interval::new(1.0, 6.0));
         let d = interval_dot(
             &[Interval::point(1.0), Interval::new(0.0, 1.0)],
             &[Interval::point(2.0), Interval::point(3.0)],

@@ -4,10 +4,10 @@
 //! point's prediction is *robust* when every model in the family agrees.
 
 use crate::{Result, UncertainError};
+use nde_data::rng::Rng;
 use nde_ml::dataset::Dataset;
 use nde_ml::linalg::Matrix;
 use nde_ml::model::Classifier;
-use rand::Rng;
 
 /// Hard limit on exact world enumeration (`2^k` models are trained).
 pub const EXACT_LIMIT: usize = 16;
@@ -90,7 +90,9 @@ pub fn multiplicity_sampled<C: Classifier>(
         ));
     }
     if samples == 0 {
-        return Err(UncertainError::InvalidArgument("samples must be > 0".into()));
+        return Err(UncertainError::InvalidArgument(
+            "samples must be > 0".into(),
+        ));
     }
     let mut rng = nde_data::rng::seeded(seed);
     let masks: Vec<Option<usize>> = (0..samples)
@@ -163,8 +165,7 @@ mod tests {
     fn no_uncertainty_means_everything_robust() {
         let train = toy();
         let test = Matrix::from_rows(vec![vec![0.2], vec![10.2]]).unwrap();
-        let report =
-            multiplicity_exact(&KnnClassifier::new(1), &train, &[], &test).unwrap();
+        let report = multiplicity_exact(&KnnClassifier::new(1), &train, &[], &test).unwrap();
         assert_eq!(report.worlds, 1);
         assert_eq!(report.flip_rate(), 0.0);
         assert!(report.verdicts.iter().all(|v| v.robust));
@@ -176,8 +177,7 @@ mod tests {
         // Label of the point at 0.0 is unreliable; a query at 0.1 will flip,
         // a query at 10.2 will not.
         let test = Matrix::from_rows(vec![vec![0.1], vec![10.2]]).unwrap();
-        let report =
-            multiplicity_exact(&KnnClassifier::new(1), &train, &[0], &test).unwrap();
+        let report = multiplicity_exact(&KnnClassifier::new(1), &train, &[0], &test).unwrap();
         assert_eq!(report.worlds, 2);
         assert!(!report.verdicts[0].robust);
         assert!(report.verdicts[1].robust);
@@ -205,17 +205,9 @@ mod tests {
     fn sampled_agrees_with_exact_on_robustness_direction() {
         let train = toy();
         let test = Matrix::from_rows(vec![vec![0.1], vec![10.2]]).unwrap();
-        let exact =
-            multiplicity_exact(&KnnClassifier::new(1), &train, &[0, 1], &test).unwrap();
-        let sampled = multiplicity_sampled(
-            &KnnClassifier::new(1),
-            &train,
-            &[0, 1],
-            &test,
-            64,
-            7,
-        )
-        .unwrap();
+        let exact = multiplicity_exact(&KnnClassifier::new(1), &train, &[0, 1], &test).unwrap();
+        let sampled =
+            multiplicity_sampled(&KnnClassifier::new(1), &train, &[0, 1], &test, 64, 7).unwrap();
         assert_eq!(sampled.worlds, 64);
         // Point 1 (far cluster) is robust in both analyses.
         assert!(exact.verdicts[1].robust);
@@ -234,12 +226,10 @@ mod tests {
             multiplicity_exact(&KnnClassifier::new(1), &train, &too_many, &test),
             Err(UncertainError::TooManyWorlds { .. })
         ));
-        assert!(
-            multiplicity_exact(&KnnClassifier::new(1), &train, &[99], &test).is_err()
-        );
+        assert!(multiplicity_exact(&KnnClassifier::new(1), &train, &[99], &test).is_err());
         assert!(multiplicity_sampled(&KnnClassifier::new(1), &train, &[0], &test, 0, 0).is_err());
-        let three = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 2], 3)
-            .unwrap();
+        let three =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 2], 3).unwrap();
         assert!(multiplicity_exact(&KnnClassifier::new(1), &three, &[0], &test).is_err());
     }
 }

@@ -143,12 +143,7 @@ mod tests {
     use super::*;
 
     fn matrix() -> Matrix {
-        Matrix::from_rows(vec![
-            vec![1.0, -2.0],
-            vec![3.0, 0.0],
-            vec![2.0, 2.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(vec![vec![1.0, -2.0], vec![3.0, 0.0], vec![2.0, 2.0]]).unwrap()
     }
 
     #[test]
@@ -166,8 +161,7 @@ mod tests {
         let bounds = column_bounds_from_observed(&x);
         assert_eq!(bounds[0], Interval::new(1.0, 3.0));
         assert_eq!(bounds[1], Interval::new(-2.0, 2.0));
-        let sym =
-            SymbolicMatrix::from_matrix_with_missing(&x, &[(0, 1), (2, 0)], &bounds).unwrap();
+        let sym = SymbolicMatrix::from_matrix_with_missing(&x, &[(0, 1), (2, 0)], &bounds).unwrap();
         assert_eq!(sym.row(0)[1], Interval::new(-2.0, 2.0));
         assert_eq!(sym.row(2)[0], Interval::new(1.0, 3.0));
         assert!(sym.row(1)[0].is_point());

@@ -3,10 +3,10 @@
 
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
+use nde_data::rng::Rng;
 use nde_ml::dataset::Dataset;
 use nde_ml::linalg::Matrix;
 use nde_ml::model::Classifier;
-use rand::Rng;
 
 /// Aggregated predictions across sampled worlds.
 #[derive(Debug, Clone)]
@@ -116,16 +116,7 @@ mod tests {
         let x = Matrix::from_rows(vec![vec![0.0], vec![10.0]]).unwrap();
         let sym = SymbolicMatrix::from_exact(&x);
         let test = Matrix::from_rows(vec![vec![0.1], vec![9.9]]).unwrap();
-        let ens = sample_worlds(
-            &KnnClassifier::new(1),
-            &sym,
-            &[0, 1],
-            2,
-            &test,
-            8,
-            1,
-        )
-        .unwrap();
+        let ens = sample_worlds(&KnnClassifier::new(1), &sym, &[0, 1], 2, &test, 8, 1).unwrap();
         assert_eq!(ens.shares[0], vec![1.0, 0.0]);
         assert_eq!(ens.shares[1], vec![0.0, 1.0]);
         assert_eq!(ens.coverage(1.0), 1.0);
@@ -135,8 +126,7 @@ mod tests {
     fn uncertain_row_splits_world_votes() {
         let (sym, y) = symbolic_train();
         let test = Matrix::from_rows(vec![vec![0.2], vec![9.8]]).unwrap();
-        let ens =
-            sample_worlds(&KnnClassifier::new(1), &sym, &y, 2, &test, 200, 2).unwrap();
+        let ens = sample_worlds(&KnnClassifier::new(1), &sym, &y, 2, &test, 200, 2).unwrap();
         // Query near the 0-cluster: the wide label-1 row sometimes lands
         // closer, so votes split.
         // The wide row lands within 0.2 of the query with probability
@@ -159,11 +149,7 @@ mod tests {
         let a = sample_worlds(&KnnClassifier::new(1), &sym, &y, 2, &test, 50, 3).unwrap();
         let b = sample_worlds(&KnnClassifier::new(1), &sym, &y, 2, &test, 50, 3).unwrap();
         assert_eq!(a.shares, b.shares);
-        assert!(
-            sample_worlds(&KnnClassifier::new(1), &sym, &y, 2, &test, 0, 0).is_err()
-        );
-        assert!(
-            sample_worlds(&KnnClassifier::new(1), &sym, &y[..2], 2, &test, 5, 0).is_err()
-        );
+        assert!(sample_worlds(&KnnClassifier::new(1), &sym, &y, 2, &test, 0, 0).is_err());
+        assert!(sample_worlds(&KnnClassifier::new(1), &sym, &y[..2], 2, &test, 5, 0).is_err());
     }
 }

@@ -15,6 +15,7 @@ use crate::interval::{interval_dot, Interval};
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
 use nde_ml::linalg::Matrix;
+use nde_robust::{ConvergenceDiagnostics, RunBudget};
 
 /// Hyperparameters for symbolic (and matching concrete) gradient descent.
 #[derive(Debug, Clone)]
@@ -64,10 +65,41 @@ impl ZorroRegressor {
         self.fit_uncertain(x, &targets)
     }
 
+    /// [`Self::fit`] under a [`RunBudget`]: runs at most the budgeted number
+    /// of epochs (each epoch is one budget iteration) and keeps the
+    /// best-so-far weights when a limit trips. See
+    /// [`Self::fit_uncertain_budgeted`].
+    pub fn fit_budgeted(
+        &mut self,
+        x: &SymbolicMatrix,
+        y: &[f64],
+        budget: &RunBudget,
+    ) -> Result<ConvergenceDiagnostics> {
+        let targets: Vec<Interval> = y.iter().map(|&v| Interval::point(v)).collect();
+        self.fit_uncertain_budgeted(x, &targets, budget)
+    }
+
     /// Train with **uncertain labels** as well: every target is itself an
     /// interval (Fig. 4's hands-on session injects "synthetic missing
     /// attributes *and uncertain labels*"). Point targets recover [`Self::fit`].
     pub fn fit_uncertain(&mut self, x: &SymbolicMatrix, y: &[Interval]) -> Result<()> {
+        self.fit_uncertain_budgeted(x, y, &RunBudget::unlimited())
+            .map(|_| ())
+    }
+
+    /// [`Self::fit_uncertain`] under a [`RunBudget`].
+    ///
+    /// The budget is checked at **epoch boundaries**: when it trips, training
+    /// stops and the weights after the last completed epoch are kept as a
+    /// best-so-far model (the returned [`ConvergenceDiagnostics`] records how
+    /// many epochs ran and which limit tripped). Divergence still fails with
+    /// [`UncertainError::Diverged`] — a diverged model is not worth keeping.
+    pub fn fit_uncertain_budgeted(
+        &mut self,
+        x: &SymbolicMatrix,
+        y: &[Interval],
+        budget: &RunBudget,
+    ) -> Result<ConvergenceDiagnostics> {
         if x.is_empty() {
             return Err(UncertainError::InvalidArgument("empty training set".into()));
         }
@@ -87,8 +119,12 @@ impl ZorroRegressor {
         let d = x.cols();
         let mut w = vec![Interval::point(0.0); d + 1];
         let mut grad = vec![Interval::point(0.0); d + 1];
+        let mut clock = budget.start();
 
         for _epoch in 0..self.config.epochs {
+            if clock.exhausted().is_some() {
+                break; // keep the best-so-far weights
+            }
             for g in grad.iter_mut() {
                 *g = Interval::point(0.0);
             }
@@ -112,9 +148,10 @@ impl ZorroRegressor {
                     )));
                 }
             }
+            clock.record_iteration();
         }
         self.weights = Some(w);
-        Ok(())
+        Ok(clock.diagnostics(None))
     }
 
     /// The learned weight intervals (`d + 1`, bias last), if fitted.
@@ -219,8 +256,8 @@ mod tests {
     use super::*;
     use crate::symbolic::column_bounds_from_observed;
     use nde_data::generate::blobs::linear_regression;
+    use nde_data::rng::Rng;
     use nde_data::rng::{sample_indices, seeded};
-    use rand::Rng;
 
     fn regression_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let (xs, ys, _, _) = linear_regression(n, 2, 0.05, seed);
@@ -279,8 +316,7 @@ mod tests {
             }
             // Prediction containment on a probe point.
             let probe = [0.3, -0.4];
-            let concrete_pred =
-                probe.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[2];
+            let concrete_pred = probe.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[2];
             let range = zorro.predict_range(&probe).unwrap();
             assert!(range.contains(concrete_pred) || (concrete_pred - range.hi).abs() < 1e-9);
         }
@@ -353,7 +389,10 @@ mod tests {
             .iter()
             .zip(uncertain_model.weight_intervals().unwrap())
         {
-            assert!(u.lo <= p.lo + 1e-12 && p.hi <= u.hi + 1e-12, "{p:?} vs {u:?}");
+            assert!(
+                u.lo <= p.lo + 1e-12 && p.hi <= u.hi + 1e-12,
+                "{p:?} vs {u:?}"
+            );
         }
         // Prediction ranges widen.
         let probe = [0.1, -0.2];
@@ -372,6 +411,60 @@ mod tests {
         for (iv, wc) in uncertain_model.weight_intervals().unwrap().iter().zip(&w) {
             assert!(iv.lo - 1e-9 <= *wc && *wc <= iv.hi + 1e-9);
         }
+    }
+
+    #[test]
+    fn budgeted_fit_with_unlimited_budget_matches_fit() {
+        let (x, y) = regression_data(40, 10);
+        let cfg = ZorroConfig::default();
+        let sym = SymbolicMatrix::from_exact(&x);
+        let mut plain = ZorroRegressor::new(cfg.clone());
+        plain.fit(&sym, &y).unwrap();
+        let mut budgeted = ZorroRegressor::new(cfg);
+        let diag = budgeted
+            .fit_budgeted(&sym, &y, &RunBudget::unlimited())
+            .unwrap();
+        assert!(diag.completed());
+        assert_eq!(diag.iterations, 60);
+        assert_eq!(
+            budgeted.weight_intervals().unwrap(),
+            plain.weight_intervals().unwrap()
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_keeps_best_so_far_weights() {
+        let (x, y) = regression_data(40, 11);
+        let sym = SymbolicMatrix::from_exact(&x);
+        // 60 configured epochs, budget for 10: must stop at 10 with the
+        // exact weights a 10-epoch run produces.
+        let mut budgeted = ZorroRegressor::new(ZorroConfig::default());
+        let diag = budgeted
+            .fit_budgeted(&sym, &y, &RunBudget::unlimited().with_max_iterations(10))
+            .unwrap();
+        assert_eq!(diag.iterations, 10);
+        assert_eq!(diag.exhausted, Some(nde_robust::Exhaustion::Iterations));
+        let mut short = ZorroRegressor::new(ZorroConfig {
+            epochs: 10,
+            ..Default::default()
+        });
+        short.fit(&sym, &y).unwrap();
+        assert_eq!(
+            budgeted.weight_intervals().unwrap(),
+            short.weight_intervals().unwrap()
+        );
+        // An immediately-exhausted budget still yields a usable (zero) model.
+        let mut instant = ZorroRegressor::new(ZorroConfig::default());
+        let diag = instant
+            .fit_budgeted(
+                &sym,
+                &y,
+                &RunBudget::unlimited().with_wall_clock(std::time::Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(diag.iterations, 0);
+        assert!(!diag.completed());
+        assert!(instant.predict_range(&[0.0, 0.0]).unwrap().is_point());
     }
 
     #[test]

@@ -1,13 +1,17 @@
-//! Property-based soundness tests for interval arithmetic: any concrete
+//! Randomized soundness tests for interval arithmetic: any concrete
 //! computation with operands drawn from the intervals must land inside the
 //! interval result. This is the load-bearing invariant behind every Zorro
-//! bound.
+//! bound. Cases are drawn from a seeded PRNG so failures reproduce exactly.
 
+use nde_data::rng::{seeded, Rng, StdRng};
 use nde_uncertain::interval::{interval_dot, Interval};
-use proptest::prelude::*;
 
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    ((-50.0f64..50.0), (0.0f64..20.0)).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+const CASES: usize = 300;
+
+fn random_interval(rng: &mut StdRng) -> Interval {
+    let lo = rng.gen_range(-50.0..50.0);
+    let w = rng.gen_range(0.0..20.0);
+    Interval::new(lo, lo + w)
 }
 
 /// A point inside an interval, parameterized by `t ∈ [0, 1]`.
@@ -15,96 +19,106 @@ fn at(iv: Interval, t: f64) -> f64 {
     iv.lo + t * iv.width()
 }
 
-proptest! {
-    #[test]
-    fn add_sub_mul_are_sound(
-        a in interval_strategy(),
-        b in interval_strategy(),
-        ta in 0.0f64..1.0,
-        tb in 0.0f64..1.0,
-    ) {
-        let x = at(a, ta);
-        let y = at(b, tb);
-        prop_assert!((a + b).contains(x + y));
-        prop_assert!((a - b).contains(x - y));
+#[test]
+fn add_sub_mul_are_sound() {
+    let mut rng = seeded(11);
+    for _ in 0..CASES {
+        let a = random_interval(&mut rng);
+        let b = random_interval(&mut rng);
+        let x = at(a, rng.gen::<f64>());
+        let y = at(b, rng.gen::<f64>());
+        assert!((a + b).contains(x + y));
+        assert!((a - b).contains(x - y));
         let prod = a * b;
         // Multiplication is exact at corner points but floating-point error
         // can land epsilon outside; allow a tiny tolerance.
-        prop_assert!(
+        assert!(
             prod.lo - 1e-9 <= x * y && x * y <= prod.hi + 1e-9,
-            "{x} * {y} = {} outside [{}, {}]", x * y, prod.lo, prod.hi
+            "{x} * {y} = {} outside [{}, {}]",
+            x * y,
+            prod.lo,
+            prod.hi
         );
-        prop_assert!((-a).contains(-x));
+        assert!((-a).contains(-x));
     }
+}
 
-    #[test]
-    fn square_is_sound_and_tighter(
-        a in interval_strategy(),
-        t in 0.0f64..1.0,
-    ) {
-        let x = at(a, t);
+#[test]
+fn square_is_sound_and_tighter() {
+    let mut rng = seeded(12);
+    for _ in 0..CASES {
+        let a = random_interval(&mut rng);
+        let x = at(a, rng.gen::<f64>());
         let sq = a.square();
-        prop_assert!(sq.lo - 1e-9 <= x * x && x * x <= sq.hi + 1e-9);
-        prop_assert!(sq.lo >= 0.0);
+        assert!(sq.lo - 1e-9 <= x * x && x * x <= sq.hi + 1e-9);
+        assert!(sq.lo >= 0.0);
         // square() never exceeds the naive product's bounds.
         let naive = a * a;
-        prop_assert!(sq.lo >= naive.lo - 1e-9);
-        prop_assert!(sq.hi <= naive.hi + 1e-9);
+        assert!(sq.lo >= naive.lo - 1e-9);
+        assert!(sq.hi <= naive.hi + 1e-9);
     }
+}
 
-    #[test]
-    fn scale_and_hull_are_sound(
-        a in interval_strategy(),
-        b in interval_strategy(),
-        c in -10.0f64..10.0,
-        t in 0.0f64..1.0,
-    ) {
-        let x = at(a, t);
+#[test]
+fn scale_and_hull_are_sound() {
+    let mut rng = seeded(13);
+    for _ in 0..CASES {
+        let a = random_interval(&mut rng);
+        let b = random_interval(&mut rng);
+        let c = rng.gen_range(-10.0..10.0);
+        let x = at(a, rng.gen::<f64>());
         let scaled = a.scale(c);
-        prop_assert!(scaled.lo - 1e-9 <= c * x && c * x <= scaled.hi + 1e-9);
+        assert!(scaled.lo - 1e-9 <= c * x && c * x <= scaled.hi + 1e-9);
         let h = a.hull(b);
-        prop_assert!(h.contains(a.lo) && h.contains(a.hi));
-        prop_assert!(h.contains(b.lo) && h.contains(b.hi));
+        assert!(h.contains(a.lo) && h.contains(a.hi));
+        assert!(h.contains(b.lo) && h.contains(b.hi));
     }
+}
 
-    #[test]
-    fn interval_dot_is_sound(
-        pairs in prop::collection::vec(
-            (interval_strategy(), interval_strategy(), 0.0f64..1.0, 0.0f64..1.0),
-            1..6
-        ),
-    ) {
-        let a: Vec<Interval> = pairs.iter().map(|p| p.0).collect();
-        let b: Vec<Interval> = pairs.iter().map(|p| p.1).collect();
-        let xs: Vec<f64> = pairs.iter().map(|p| at(p.0, p.2)).collect();
-        let ys: Vec<f64> = pairs.iter().map(|p| at(p.1, p.3)).collect();
+#[test]
+fn interval_dot_is_sound() {
+    let mut rng = seeded(14);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..6usize);
+        let a: Vec<Interval> = (0..n).map(|_| random_interval(&mut rng)).collect();
+        let b: Vec<Interval> = (0..n).map(|_| random_interval(&mut rng)).collect();
+        let xs: Vec<f64> = a.iter().map(|iv| at(*iv, rng.gen::<f64>())).collect();
+        let ys: Vec<f64> = b.iter().map(|iv| at(*iv, rng.gen::<f64>())).collect();
         let d = interval_dot(&a, &b);
         let concrete: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
-        prop_assert!(
+        assert!(
             d.lo - 1e-6 <= concrete && concrete <= d.hi + 1e-6,
-            "dot {concrete} outside [{}, {}]", d.lo, d.hi
+            "dot {concrete} outside [{}, {}]",
+            d.lo,
+            d.hi
         );
     }
+}
 
-    #[test]
-    fn width_mid_invariants(a in interval_strategy()) {
-        prop_assert!(a.width() >= 0.0);
-        prop_assert!(a.contains(a.mid()));
-        prop_assert!(a.contains(a.lo) && a.contains(a.hi));
-        prop_assert!(a.abs_max() >= 0.0);
-        prop_assert!(a.abs_max() >= a.mid().abs() - 1e-12);
+#[test]
+fn width_mid_invariants() {
+    let mut rng = seeded(15);
+    for _ in 0..CASES {
+        let a = random_interval(&mut rng);
+        assert!(a.width() >= 0.0);
+        assert!(a.contains(a.mid()));
+        assert!(a.contains(a.lo) && a.contains(a.hi));
+        assert!(a.abs_max() >= 0.0);
+        assert!(a.abs_max() >= a.mid().abs() - 1e-12);
     }
+}
 
-    #[test]
-    fn point_intervals_behave_like_scalars(
-        x in -100.0f64..100.0,
-        y in -100.0f64..100.0,
-    ) {
+#[test]
+fn point_intervals_behave_like_scalars() {
+    let mut rng = seeded(16);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-100.0..100.0);
+        let y = rng.gen_range(-100.0..100.0);
         let px = Interval::point(x);
         let py = Interval::point(y);
-        prop_assert_eq!((px + py).lo, x + y);
-        prop_assert_eq!((px * py).lo, x * y);
-        prop_assert!((px * py).is_point());
-        prop_assert!((px - py).is_point());
+        assert_eq!((px + py).lo, x + y);
+        assert_eq!((px * py).lo, x * y);
+        assert!((px * py).is_point());
+        assert!((px - py).is_point());
     }
 }

@@ -39,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let valid = enc.dataset(&s.valid)?;
     let groups: Vec<usize> = (0..s.valid.n_rows())
         .map(|r| {
-            usize::from(s.valid.get(r, "degree").map(|v| v.as_str() == Some("phd")).unwrap_or(false))
+            usize::from(
+                s.valid
+                    .get(r, "degree")
+                    .map(|v| v.as_str() == Some("phd"))
+                    .unwrap_or(false),
+            )
         })
         .collect();
 

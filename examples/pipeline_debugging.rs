@@ -26,13 +26,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.pipeline_rows,
         scenario.train.n_rows()
     );
-    println!("Accuracy with the dirty sources:      {:.3}", outcome.acc_before);
+    println!(
+        "Accuracy with the dirty sources:      {:.3}",
+        outcome.acc_before
+    );
     println!(
         "Accuracy after removing {} tuples:     {:.3}",
         outcome.removed_rows.len(),
         outcome.acc_after
     );
-    println!("Removal changed accuracy by {:+.3}.", outcome.accuracy_delta);
+    println!(
+        "Removal changed accuracy by {:+.3}.",
+        outcome.accuracy_delta
+    );
 
     // How many of the removed source tuples were actually injected errors?
     let truth: std::collections::HashSet<usize> = report.affected.iter().copied().collect();

@@ -1,0 +1,20 @@
+# Developer shortcuts. `just verify` is the tier-1 gate CI enforces.
+
+# Build + test exactly as CI does.
+verify:
+    cargo build --release --offline
+    cargo test -q --offline
+
+# Format and lint.
+lint:
+    cargo fmt --all
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Run every figure/table experiment binary.
+experiments:
+    cargo build --release -p nde-bench --bins
+    ./target/release/run_all_experiments
+
+# Timing benches (in-tree harness, no criterion).
+bench:
+    cargo bench --workspace --offline

@@ -23,12 +23,18 @@ fn fig2_shape_holds_across_seeds() {
         )
         .expect("workflow runs");
         // Small validation sets give label noise a few lucky points of slack.
-        assert!(outcome.acc_dirty <= outcome.acc_clean + 0.04, "seed {seed}: {outcome:?}");
+        assert!(
+            outcome.acc_dirty <= outcome.acc_clean + 0.04,
+            "seed {seed}: {outcome:?}"
+        );
         if outcome.acc_cleaned > outcome.acc_dirty {
             recovered += 1;
         }
     }
-    assert!(recovered >= 2, "cleaning helped in only {recovered}/3 seeds");
+    assert!(
+        recovered >= 2,
+        "cleaning helped in only {recovered}/3 seeds"
+    );
 }
 
 #[test]
@@ -61,8 +67,7 @@ fn importance_scores_transfer_between_crates() {
 #[test]
 fn clean_data_has_no_strongly_negative_tuples() {
     let scenario = load_recommendation_letters(250, 7);
-    let values =
-        api::knn_shapley_values(&scenario.train, &scenario.valid).expect("scores");
+    let values = api::knn_shapley_values(&scenario.train, &scenario.valid).expect("scores");
     let strongly_negative = values.iter().filter(|&&v| v < -0.01).count();
     assert!(
         strongly_negative < values.len() / 4,

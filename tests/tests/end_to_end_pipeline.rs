@@ -38,9 +38,7 @@ fn provenance_supports_deletion_propagation() {
     let alive: Vec<bool> = lineage
         .rows
         .iter()
-        .map(|e| {
-            e.eval::<BoolSemiring>(&|t| !(t.source == src && t.row == victim))
-        })
+        .map(|e| e.eval::<BoolSemiring>(&|t| !(t.source == src && t.row == victim)))
         .collect();
     let killed: Vec<usize> = alive
         .iter()

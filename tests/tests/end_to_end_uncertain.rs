@@ -6,23 +6,17 @@ use nde::api::{encode_symbolic, estimate_with_zorro, zorro_config};
 use nde::scenario::load_recommendation_letters;
 use nde_data::inject::Missingness;
 use nde_data::rng::seeded;
+use nde_data::rng::Rng;
 use nde_ml::models::knn::KnnClassifier;
 use nde_uncertain::certain_knn::certain_coverage;
 use nde_uncertain::worlds::sample_worlds;
 use nde_uncertain::zorro::{train_concrete_gd, ZorroRegressor};
-use rand::Rng;
 
 #[test]
 fn zorro_bound_contains_many_sampled_worlds() {
     let s = load_recommendation_letters(250, 21);
-    let enc = encode_symbolic(
-        &s.train,
-        "employer_rating",
-        0.15,
-        Missingness::Mcar,
-        22,
-    )
-    .expect("encodes");
+    let enc =
+        encode_symbolic(&s.train, "employer_rating", 0.15, Missingness::Mcar, 22).expect("encodes");
     let cfg = zorro_config();
     let mut zorro = ZorroRegressor::new(cfg.clone());
     zorro.fit(&enc.x, &enc.y).expect("fits");
@@ -45,8 +39,7 @@ fn zorro_bound_contains_many_sampled_worlds() {
             .iter_rows()
             .zip(&ty)
             .map(|(row, &t)| {
-                let pred: f64 =
-                    row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[row.len()];
+                let pred: f64 = row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + w[row.len()];
                 (pred - t) * (pred - t)
             })
             .fold(0.0, f64::max);
@@ -62,23 +55,15 @@ fn certain_predictions_and_world_sampling_are_consistent() {
     // If a 1-NN prediction is certain, sampled worlds must agree with it
     // (100% share); uncertain ones may split.
     let s = load_recommendation_letters(150, 24);
-    let enc = encode_symbolic(&s.train, "employer_rating", 0.2, Missingness::Mcar, 25)
-        .expect("encodes");
+    let enc =
+        encode_symbolic(&s.train, "employer_rating", 0.2, Missingness::Mcar, 25).expect("encodes");
     let labels: Vec<usize> = enc.y.iter().map(|&v| usize::from(v > 0.0)).collect();
     let (tx, _) = enc.encode_test(&s.test).expect("test encodes");
     let (coverage, outcomes) = certain_coverage(&enc.x, &labels, &tx).expect("coverage");
     assert!((0.0..=1.0).contains(&coverage));
 
-    let ensemble = sample_worlds(
-        &KnnClassifier::new(1),
-        &enc.x,
-        &labels,
-        2,
-        &tx,
-        40,
-        26,
-    )
-    .expect("worlds sample");
+    let ensemble = sample_worlds(&KnnClassifier::new(1), &enc.x, &labels, 2, &tx, 40, 26)
+        .expect("worlds sample");
     for (t, o) in outcomes.iter().enumerate() {
         if o.is_certain() {
             let share = ensemble.shares[t][o.label()];
@@ -99,7 +84,10 @@ fn more_missingness_weakly_reduces_certainty_and_raises_bounds() {
         let enc = encode_symbolic(&s.train, "employer_rating", pct, Missingness::Mcar, 28)
             .expect("encodes");
         let bound = estimate_with_zorro(&enc, &s.test).expect("bound");
-        assert!(bound >= last_bound - 1e-9, "bound shrank: {bound} < {last_bound}");
+        assert!(
+            bound >= last_bound - 1e-9,
+            "bound shrank: {bound} < {last_bound}"
+        );
         last_bound = bound;
 
         let labels: Vec<usize> = enc.y.iter().map(|&v| usize::from(v > 0.0)).collect();

@@ -156,9 +156,7 @@ fn fuzzy_join_pipeline_supports_datascope() {
         let tuples = e.tuples();
         assert_eq!(tuples.len(), 2);
         let company_row = tuples.iter().find(|t| t.source == company_src).unwrap();
-        let sector = companies
-            .get(company_row.row as usize, "sector")
-            .unwrap();
+        let sector = companies.get(company_row.row as usize, "sector").unwrap();
         assert_eq!(sector, Value::Str("healthcare".into()));
     }
     // The inverted index attributes output rows per company.
