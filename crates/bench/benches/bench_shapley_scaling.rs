@@ -1,15 +1,45 @@
 //! Bench for E6: exact KNN-Shapley vs TMC-Shapley vs LOO at the same n —
-//! the §2.1 "overcoming computational challenges" comparison.
+//! the §2.1 "overcoming computational challenges" comparison — plus the
+//! parallel-substrate path (seed-partitioned workers + memo cache).
+//!
+//! Environment knobs:
+//!
+//! ```text
+//! NDE_BENCH_THREADS=1,4            thread counts for the parallel cases
+//! NDE_BENCH_MAX_UTILITY_CALLS=N    RunBudget cap for the budgeted cases
+//! ```
 
 use nde::data::generate::blobs::two_gaussians;
-use nde::importance::knn_shapley::knn_shapley;
+use nde::importance::knn_shapley::{knn_shapley, knn_shapley_par};
 use nde::importance::loo::loo_importance;
-use nde::importance::shapley_mc::{tmc_shapley, ShapleyConfig};
+use nde::importance::shapley_mc::{tmc_shapley, tmc_shapley_budgeted_cached, ShapleyConfig};
 use nde::ml::dataset::Dataset;
 use nde::ml::models::knn::KnnClassifier;
+use nde::robust::par::MemoCache;
+use nde::robust::RunBudget;
 use nde_bench::timing::bench;
 
+fn env_threads() -> Vec<usize> {
+    std::env::var("NDE_BENCH_THREADS")
+        .map(|v| {
+            v.split(',')
+                .map(|t| t.trim().parse().expect("NDE_BENCH_THREADS: integers"))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![1, 4])
+}
+
+fn env_budget() -> RunBudget {
+    match std::env::var("NDE_BENCH_MAX_UTILITY_CALLS") {
+        Ok(v) => RunBudget::unlimited()
+            .with_max_utility_calls(v.parse().expect("NDE_BENCH_MAX_UTILITY_CALLS: integer")),
+        Err(_) => RunBudget::unlimited(),
+    }
+}
+
 fn main() {
+    let threads_list = env_threads();
+    let budget = env_budget();
     for n in [50usize, 100, 200] {
         let nd = two_gaussians(n + 40, 4, 4.0, 5);
         let all = Dataset::try_from(&nd).expect("blob data");
@@ -31,5 +61,36 @@ fn main() {
         bench(&format!("shapley_scaling/tmc_shapley_10perm/{n}"), || {
             tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).expect("scores")
         });
+
+        for &threads in &threads_list {
+            let cfg = ShapleyConfig {
+                permutations: 10,
+                truncation_tolerance: 0.01,
+                seed: 1,
+                threads,
+            };
+            bench(
+                &format!("shapley_scaling/knn_shapley_par/{n}/t{threads}"),
+                || knn_shapley_par(&train, &valid, 1, threads).expect("scores"),
+            );
+            bench(
+                &format!("shapley_scaling/tmc_budgeted_cached_10perm/{n}/t{threads}"),
+                || {
+                    // Fresh cache per iteration: times the full workload, not
+                    // a warm replay.
+                    let cache = MemoCache::new();
+                    tmc_shapley_budgeted_cached(
+                        &KnnClassifier::new(1),
+                        &train,
+                        &valid,
+                        &cfg,
+                        &budget,
+                        None,
+                        Some(&cache),
+                    )
+                    .expect("scores")
+                },
+            );
+        }
     }
 }

@@ -64,6 +64,7 @@ pub fn lineup() -> Vec<Strategy> {
         Strategy::Banzhaf(BanzhafConfig {
             samples: 120,
             seed: 2,
+            threads: 1,
         }),
         Strategy::BetaShapley(BetaShapleyConfig {
             samples_per_point: 12,

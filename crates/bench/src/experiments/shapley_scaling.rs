@@ -7,11 +7,13 @@
 //! as the permutation budget grows.
 
 use nde::data::generate::blobs::two_gaussians;
-use nde::importance::knn_shapley::knn_shapley;
+use nde::importance::knn_shapley::{knn_shapley, knn_shapley_par};
 use nde::importance::loo::loo_importance;
-use nde::importance::shapley_mc::{tmc_shapley, ShapleyConfig};
+use nde::importance::shapley_mc::{tmc_shapley, tmc_shapley_budgeted_cached, ShapleyConfig};
 use nde::ml::dataset::Dataset;
 use nde::ml::models::knn::KnnClassifier;
+use nde::robust::par::MemoCache;
+use nde::robust::{ConvergenceDiagnostics, RunBudget};
 use nde::NdeError;
 use std::time::Instant;
 
@@ -104,6 +106,110 @@ pub fn run(sizes: &[usize], permutations: usize, seed: u64) -> Result<ScalingRep
     })
 }
 
+/// One timed configuration of the parallel-substrate bench, recorded in
+/// `BENCH_shapley.json` so the perf trajectory is tracked across PRs.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Estimator under test (`tmc-shapley` or `knn-shapley`).
+    pub method: String,
+    /// Training-set size.
+    pub n: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Logical utility evaluations (cache hits included); 0 for the
+    /// closed-form KNN-Shapley.
+    pub utility_calls: u64,
+    /// Utility evaluations served from the memo cache.
+    pub cache_hits: u64,
+}
+
+nde_data::json_struct!(BenchEntry {
+    method,
+    n,
+    threads,
+    wall_ms,
+    utility_calls,
+    cache_hits
+});
+
+/// Machine-readable report of the parallel-substrate bench.
+#[derive(Debug, Clone)]
+pub struct ShapleyBench {
+    /// TMC permutation budget.
+    pub permutations: usize,
+    /// One entry per (method, thread count).
+    pub entries: Vec<BenchEntry>,
+}
+
+nde_data::json_struct!(ShapleyBench {
+    permutations,
+    entries
+});
+
+/// Time budgeted+memoized TMC-Shapley and exact KNN-Shapley at each thread
+/// count on the same workload. Scores are bit-identical across thread
+/// counts (the substrate's contract); only the wall clock moves. Returns
+/// the bench report plus per-run [`ConvergenceDiagnostics`] for display.
+pub fn parallel_bench(
+    n: usize,
+    permutations: usize,
+    threads_list: &[usize],
+    budget: &RunBudget,
+    seed: u64,
+) -> Result<(ShapleyBench, Vec<(usize, ConvergenceDiagnostics)>), NdeError> {
+    let (train, valid) = blobs(n, seed);
+    let mut entries = Vec::new();
+    let mut diagnostics = Vec::new();
+    for &threads in threads_list {
+        let cfg = ShapleyConfig {
+            permutations,
+            truncation_tolerance: 0.01,
+            seed,
+            threads,
+        };
+        let cache = MemoCache::new();
+        let t0 = Instant::now();
+        let out = tmc_shapley_budgeted_cached(
+            &KnnClassifier::new(1),
+            &train,
+            &valid,
+            &cfg,
+            budget,
+            None,
+            Some(&cache),
+        )?;
+        entries.push(BenchEntry {
+            method: "tmc-shapley".into(),
+            n,
+            threads,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            utility_calls: out.diagnostics.utility_calls,
+            cache_hits: cache.hits(),
+        });
+        diagnostics.push((threads, out.diagnostics));
+
+        let t0 = Instant::now();
+        let _ = knn_shapley_par(&train, &valid, 1, threads)?;
+        entries.push(BenchEntry {
+            method: "knn-shapley".into(),
+            n,
+            threads,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            utility_calls: 0,
+            cache_hits: 0,
+        });
+    }
+    Ok((
+        ShapleyBench {
+            permutations,
+            entries,
+        },
+        diagnostics,
+    ))
+}
+
 /// Monte-Carlo convergence: self-consistency of TMC-Shapley as the budget
 /// grows — the rank correlation between two *independent* TMC runs at the
 /// same budget. Low budgets give noisy, poorly reproducible rankings; the
@@ -141,6 +247,33 @@ mod tests {
             p.tmc_secs
         );
         assert!(p.tmc_vs_exact_rank_corr > 0.1, "{p:?}");
+    }
+
+    #[test]
+    fn parallel_bench_reports_cache_hits_and_diagnostics() {
+        // More permutations than training points: every permutation's first
+        // singleton coalition is evaluated, so the memo cache is guaranteed
+        // repeats by pigeonhole.
+        let budget = RunBudget::unlimited().with_max_utility_calls(400);
+        let (bench, diags) = parallel_bench(20, 30, &[1, 4], &budget, 15).unwrap();
+        assert_eq!(bench.entries.len(), 4); // (tmc + knn) × two thread counts
+        let tmc: Vec<_> = bench
+            .entries
+            .iter()
+            .filter(|e| e.method == "tmc-shapley")
+            .collect();
+        assert_eq!(tmc.len(), 2);
+        // Repeated-coalition workload: the memo cache must see hits, and the
+        // budget trip point (logical utility calls) is thread-invariant.
+        for e in &tmc {
+            assert!(e.cache_hits > 0, "{e:?}");
+            assert_eq!(e.utility_calls, tmc[0].utility_calls);
+        }
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].1.utility_calls, diags[1].1.utility_calls);
+        // JSON round-trips through the offline serializer.
+        let text = crate::report::to_json(&bench);
+        assert!(text.contains("\"cache_hits\""));
     }
 
     #[test]

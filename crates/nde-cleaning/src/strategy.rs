@@ -126,6 +126,7 @@ mod tests {
             Strategy::Banzhaf(BanzhafConfig {
                 samples: 50,
                 seed: 2,
+                threads: 1,
             }),
             Strategy::BetaShapley(BetaShapleyConfig {
                 samples_per_point: 5,

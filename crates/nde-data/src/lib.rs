@@ -22,6 +22,7 @@ pub mod fxhash;
 pub mod generate;
 pub mod inject;
 pub mod json;
+pub mod par;
 pub mod rng;
 pub mod schema;
 pub mod table;

@@ -1,0 +1,443 @@
+//! Deterministic scoped parallelism and a utility-call memo cache.
+//!
+//! Every long-running estimator in the workspace is a loop over independent,
+//! seed-derived work items (permutations, coalition samples, validation
+//! points, pipeline tuples, possible worlds). This module provides the one
+//! substrate they all share:
+//!
+//! - [`par_map_indexed`] / [`par_map_indexed_scratch`] — a scoped,
+//!   seed-partition-friendly worker pool. Work item `i` must depend only on
+//!   `i` (typically via `child_seed(seed, i)`), never on which worker ran it
+//!   or what ran before it. Workers claim indices dynamically from an atomic
+//!   cursor; results come back **sorted by index**, so any fold over them is
+//!   order-independent of the schedule and the output is bit-identical for
+//!   every thread count, including 1.
+//! - [`MemoCache`] — a sharded, thread-safe memoization cache for utility
+//!   evaluations keyed by a [`subset_fingerprint`] of the coalition's index
+//!   set, so repeated coalition evaluations across permutations and across
+//!   methods (TMC-Shapley, Banzhaf, Beta-Shapley) are served from cache.
+//!
+//! # Determinism contract
+//!
+//! `par_map_indexed` guarantees: if `f(i)` is a pure function of `i`, the
+//! returned `(index, value)` pairs are identical for any `threads >= 1`.
+//! Early termination via the `stop` flag only affects *which suffix* of
+//! items is missing (always a set of the highest claimed indices plus
+//! possibly gaps past the first unclaimed index) — callers that need a
+//! deterministic cut must fold the sorted results front-to-back and apply
+//! their own (count-based) stopping rule, discarding the speculative tail.
+//! Failures are deterministic too: the error reported is always the one
+//! from the **smallest failing index**, matching what a sequential run
+//! would hit first.
+
+use crate::fxhash::{FxHashMap, FxHasher};
+use std::hash::Hasher;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Why a parallel map stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFailure<E> {
+    /// `f` returned an error for the given index (the smallest failing one).
+    Err(u64, E),
+    /// `f` panicked for the given index; the payload is stringified.
+    Panic(u64, String),
+}
+
+impl<E> WorkerFailure<E> {
+    /// The failing work-item index.
+    pub fn index(&self) -> u64 {
+        match self {
+            WorkerFailure::Err(i, _) => *i,
+            WorkerFailure::Panic(i, _) => *i,
+        }
+    }
+}
+
+/// Clamp a requested thread count to something sensible for `items` items.
+pub fn effective_threads(requested: usize, items: usize) -> usize {
+    requested.max(1).min(items.max(1))
+}
+
+/// Parallel map over an index range with per-worker scratch state.
+///
+/// Spawns up to `threads` scoped workers. Each worker builds one scratch
+/// value with `init` (reusable buffers — the whole point is to avoid
+/// per-item allocation churn) and then repeatedly claims the next unclaimed
+/// index, evaluating `f(&mut scratch, index)`. Results are returned sorted
+/// by index.
+///
+/// Early exit:
+/// - `stop` — cooperative flag; once set (by a worker, by the caller, or by
+///   a budget heuristic) no *new* indices are claimed. In-flight items
+///   complete and are included.
+/// - An `Err` or panic from `f` sets an internal failure flag; after all
+///   workers drain, the failure with the smallest index is returned.
+///
+/// With `threads == 1` the items run inline on the calling thread (no
+/// spawn), in index order — bit-identical to the parallel schedule by the
+/// module's determinism contract.
+pub fn par_map_indexed_scratch<S, T, E, I, F>(
+    threads: usize,
+    range: Range<u64>,
+    stop: &AtomicBool,
+    init: I,
+    f: F,
+) -> Result<Vec<(u64, T)>, WorkerFailure<E>>
+where
+    T: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> Result<T, E> + Sync,
+{
+    let items = range.end.saturating_sub(range.start);
+    let threads = effective_threads(threads, items.min(usize::MAX as u64) as usize);
+    let next = AtomicU64::new(range.start);
+    let failed = AtomicBool::new(false);
+    let failure: Mutex<Option<WorkerFailure<E>>> = Mutex::new(None);
+
+    let worker = |out: &mut Vec<(u64, T)>| {
+        let mut scratch = init();
+        loop {
+            if stop.load(Ordering::Relaxed) || failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= range.end {
+                break;
+            }
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&mut scratch, i)));
+            let fail = match outcome {
+                Ok(Ok(v)) => {
+                    out.push((i, v));
+                    continue;
+                }
+                Ok(Err(e)) => WorkerFailure::Err(i, e),
+                Err(payload) => WorkerFailure::Panic(i, panic_message(payload)),
+            };
+            failed.store(true, Ordering::Relaxed);
+            let mut slot = failure.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.as_ref().is_none_or(|prev| fail.index() < prev.index()) {
+                *slot = Some(fail);
+            }
+            break;
+        }
+    };
+
+    let mut results: Vec<(u64, T)> = Vec::with_capacity(items as usize);
+    if threads == 1 {
+        worker(&mut results);
+    } else {
+        let collected: Vec<Vec<(u64, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        worker(&mut local);
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker closures catch their own panics"))
+                .collect()
+        });
+        for local in collected {
+            results.extend(local);
+        }
+        results.sort_unstable_by_key(|&(i, _)| i);
+    }
+
+    match failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        Some(fail) => Err(fail),
+        None => Ok(results),
+    }
+}
+
+/// [`par_map_indexed_scratch`] without per-worker scratch state.
+pub fn par_map_indexed<T, E, F>(
+    threads: usize,
+    range: Range<u64>,
+    stop: &AtomicBool,
+    f: F,
+) -> Result<Vec<(u64, T)>, WorkerFailure<E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64) -> Result<T, E> + Sync,
+{
+    par_map_indexed_scratch(threads, range, stop, || (), |(), i| f(i))
+}
+
+/// Stringify a panic payload (the common `&str` / `String` cases).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Fingerprint of a **sorted** index set (FxHash over length + elements).
+///
+/// Two coalitions get the same fingerprint iff they hold the same indices
+/// (up to the negligible 64-bit collision probability), independent of the
+/// order they were assembled in — which is what lets a TMC permutation
+/// prefix hit a cache entry written by a Banzhaf subset sample.
+pub fn subset_fingerprint_sorted(sorted: &[usize]) -> u64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+    let mut h = FxHasher::default();
+    h.write_usize(sorted.len());
+    for &i in sorted {
+        h.write_usize(i);
+    }
+    h.finish()
+}
+
+/// Fingerprint of an index set in any order (sorts a scratch copy).
+pub fn subset_fingerprint(indices: &[usize], scratch: &mut Vec<usize>) -> u64 {
+    if indices.windows(2).all(|w| w[0] < w[1]) {
+        return subset_fingerprint_sorted(indices);
+    }
+    scratch.clear();
+    scratch.extend_from_slice(indices);
+    scratch.sort_unstable();
+    subset_fingerprint_sorted(scratch)
+}
+
+/// Shard count for [`MemoCache`] (power of two; keyed by low fingerprint bits).
+const CACHE_SHARDS: usize = 16;
+
+/// A sharded, thread-safe memoization cache for utility evaluations.
+///
+/// Keys are [`subset_fingerprint`]s; values are the utility of that
+/// coalition. The cache is **only** valid for a fixed utility function —
+/// one `(model template, training set, validation set)` triple. Callers
+/// must use a fresh cache (or [`MemoCache::clear`]) when any of the three
+/// changes; the cache cannot detect mismatched reuse.
+///
+/// Lookups and inserts are lock-striped across [`CACHE_SHARDS`] shards, so
+/// concurrent workers rarely contend. A racing double-compute of the same
+/// key is possible and harmless: utilities are deterministic, so both
+/// writers insert the same value.
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    shards: [Mutex<FxHashMap<u64, f64>>; CACHE_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// An empty cache.
+    pub fn new() -> MemoCache {
+        MemoCache::default()
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<FxHashMap<u64, f64>> {
+        &self.shards[(key as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    /// Look up a fingerprint, recording a hit or miss.
+    pub fn get(&self, key: u64) -> Option<f64> {
+        let found = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a computed utility under its fingerprint.
+    pub fn insert(&self, key: u64, value: f64) {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key, value);
+    }
+
+    /// Lookups served from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 when the cache was never queried.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Number of distinct cached coalitions.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries and reset the hit/miss counters. Required before
+    /// reusing the cache for a different utility function.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_sorted_and_thread_invariant() {
+        let stop = AtomicBool::new(false);
+        let run =
+            |threads| par_map_indexed::<u64, (), _>(threads, 0..100, &stop, |i| Ok(i * i)).unwrap();
+        let seq = run(1);
+        assert_eq!(seq.len(), 100);
+        assert!(seq.windows(2).all(|w| w[0].0 < w[1].0));
+        for threads in [2, 4, 7] {
+            assert_eq!(run(threads), seq);
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused() {
+        let stop = AtomicBool::new(false);
+        // Scratch buffer grows once per worker; items observe a warm buffer.
+        let out = par_map_indexed_scratch::<Vec<u64>, usize, (), _, _>(
+            4,
+            0..40,
+            &stop,
+            Vec::new,
+            |buf, i| {
+                buf.push(i);
+                Ok(buf.len())
+            },
+        )
+        .unwrap();
+        // Every worker's scratch length is monotone in the items it ran.
+        assert_eq!(out.len(), 40);
+        assert!(out.iter().all(|&(_, len)| len >= 1));
+    }
+
+    #[test]
+    fn smallest_failing_index_wins() {
+        let stop = AtomicBool::new(false);
+        for threads in [1, 4] {
+            let err = par_map_indexed::<(), String, _>(threads, 0..64, &stop, |i| {
+                if i % 10 == 7 {
+                    Err(format!("bad {i}"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, WorkerFailure::Err(7, "bad 7".into()));
+        }
+    }
+
+    #[test]
+    fn panics_are_caught_and_indexed() {
+        let stop = AtomicBool::new(false);
+        for threads in [1, 3] {
+            let err = par_map_indexed::<(), (), _>(threads, 0..32, &stop, |i| {
+                if i == 5 {
+                    panic!("boom {i}");
+                }
+                Ok(())
+            })
+            .unwrap_err();
+            match err {
+                WorkerFailure::Panic(5, msg) => assert!(msg.contains("boom 5")),
+                other => panic!("expected panic at 5, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stop_flag_halts_claiming() {
+        let stop = AtomicBool::new(true);
+        let out = par_map_indexed::<u64, (), _>(4, 0..1000, &stop, Ok).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_are_order_independent_and_distinct() {
+        let mut scratch = Vec::new();
+        let a = subset_fingerprint(&[3, 1, 2], &mut scratch);
+        let b = subset_fingerprint(&[1, 2, 3], &mut scratch);
+        assert_eq!(a, b);
+        assert_eq!(b, subset_fingerprint_sorted(&[1, 2, 3]));
+        assert_ne!(a, subset_fingerprint_sorted(&[1, 2]));
+        assert_ne!(a, subset_fingerprint_sorted(&[1, 2, 4]));
+        // Length is part of the key: {0} vs {} vs {0, 1}.
+        assert_ne!(
+            subset_fingerprint_sorted(&[0]),
+            subset_fingerprint_sorted(&[])
+        );
+    }
+
+    #[test]
+    fn memo_cache_counts_hits_and_misses() {
+        let cache = MemoCache::new();
+        let key = subset_fingerprint_sorted(&[1, 2, 3]);
+        assert_eq!(cache.get(key), None);
+        cache.insert(key, 0.75);
+        assert_eq!(cache.get(key), Some(0.75));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn memo_cache_is_shareable_across_threads() {
+        let cache = MemoCache::new();
+        let stop = AtomicBool::new(false);
+        let out = par_map_indexed::<f64, (), _>(4, 0..200, &stop, |i| {
+            let key = i % 10; // heavy key reuse
+            Ok(match cache.get(key) {
+                Some(v) => v,
+                None => {
+                    let v = (key as f64).sqrt();
+                    cache.insert(key, v);
+                    v
+                }
+            })
+        })
+        .unwrap();
+        assert_eq!(out.len(), 200);
+        assert_eq!(cache.len(), 10);
+        assert!(cache.hits() > 0);
+        for (i, v) in out {
+            assert_eq!(v, ((i % 10) as f64).sqrt());
+        }
+    }
+}

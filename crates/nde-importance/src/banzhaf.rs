@@ -5,21 +5,29 @@
 //! robust to noisy utility functions than the Shapley value. The MSR
 //! estimator reuses every sampled subset for *all* points:
 //! `φ_i = mean(U(S) | i ∈ S) − mean(U(S) | i ∉ S)`.
+//!
+//! Subset sample `s` is drawn from `child_seed(config.seed, s)` and samples
+//! are folded in index order, so scores are bit-identical for every thread
+//! count (the [`nde_robust::par`] determinism contract).
 
-use crate::common::ImportanceScores;
+use crate::common::{coalition_utility, ImportanceScores};
 use crate::{ImportanceError, Result};
-use nde_data::rng::seeded;
 use nde_data::rng::Rng;
+use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
-use nde_ml::model::{utility, Classifier};
+use nde_ml::model::Classifier;
+use nde_robust::par::{effective_threads, par_map_indexed, MemoCache, WorkerFailure};
+use std::sync::atomic::AtomicBool;
 
 /// Configuration for the Banzhaf MSR estimator.
 #[derive(Debug, Clone)]
 pub struct BanzhafConfig {
     /// Number of sampled subsets (each point included with probability 1/2).
     pub samples: usize,
-    /// RNG seed.
+    /// Base seed (each subset sample uses a derived child seed).
     pub seed: u64,
+    /// Worker threads (1 = sequential; results are identical either way).
+    pub threads: usize,
 }
 
 impl Default for BanzhafConfig {
@@ -27,6 +35,7 @@ impl Default for BanzhafConfig {
         BanzhafConfig {
             samples: 200,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -34,12 +43,31 @@ impl Default for BanzhafConfig {
 /// Data Banzhaf values of all training examples (utility = validation
 /// accuracy of a fresh `template` clone). Empty sampled subsets have
 /// utility 0 by convention.
-pub fn banzhaf_msr<C: Classifier>(
+pub fn banzhaf_msr<C>(
     template: &C,
     train: &Dataset,
     valid: &Dataset,
     config: &BanzhafConfig,
-) -> Result<ImportanceScores> {
+) -> Result<ImportanceScores>
+where
+    C: Classifier + Send + Sync,
+{
+    banzhaf_msr_cached(template, train, valid, config, None)
+}
+
+/// [`banzhaf_msr`] with an optional utility memo cache (scores are
+/// bit-identical with or without it; the cache must be dedicated to this
+/// `(template, train, valid)` triple).
+pub fn banzhaf_msr_cached<C>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &BanzhafConfig,
+    cache: Option<&MemoCache>,
+) -> Result<ImportanceScores>
+where
+    C: Classifier + Send + Sync,
+{
     if config.samples == 0 {
         return Err(ImportanceError::InvalidArgument(
             "need at least one sample".into(),
@@ -51,30 +79,36 @@ pub fn banzhaf_msr<C: Classifier>(
         ));
     }
     let n = train.len();
-    let mut rng = seeded(config.seed);
+    let threads = effective_threads(config.threads, config.samples);
+    let stop = AtomicBool::new(false);
+    // Subset sample `s` is a pure function of `child_seed(seed, s)`; members
+    // come out already sorted, so the utility cache key is ready-made.
+    let samples = par_map_indexed(threads, 0..config.samples as u64, &stop, |s| {
+        let mut rng = seeded(child_seed(config.seed, s));
+        let mut members: Vec<usize> = Vec::with_capacity(n);
+        for i in 0..n {
+            if rng.gen::<bool>() {
+                members.push(i);
+            }
+        }
+        let u = coalition_utility(template, train, valid, &members, cache)?;
+        Ok::<_, ImportanceError>((members, u))
+    })
+    .map_err(|fail| match fail {
+        WorkerFailure::Err(_, e) => e,
+        WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+    })?;
+
+    // Fold in sample-index order — float sums independent of the schedule.
     let mut with_sum = vec![0.0; n];
     let mut with_count = vec![0usize; n];
     let mut without_sum = vec![0.0; n];
     let mut without_count = vec![0usize; n];
-    let mut members: Vec<usize> = Vec::with_capacity(n);
-    let mut mask = vec![false; n];
-
-    for _ in 0..config.samples {
-        members.clear();
-        for (i, m) in mask.iter_mut().enumerate() {
-            *m = rng.gen::<bool>();
-            if *m {
-                members.push(i);
-            }
-        }
-        let u = if members.is_empty() {
-            0.0
-        } else {
-            let subset = train.subset(&members);
-            utility(template, &subset, valid)?
-        };
+    for (_, (members, u)) in &samples {
+        let mut next = members.iter().peekable();
         for i in 0..n {
-            if mask[i] {
+            if next.peek() == Some(&&i) {
+                next.next();
                 with_sum[i] += u;
                 with_count[i] += 1;
             } else {
@@ -135,6 +169,7 @@ mod tests {
         let cfg = BanzhafConfig {
             samples: 600,
             seed: 1,
+            threads: 1,
         };
         let scores = banzhaf_msr(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         assert_eq!(scores.bottom_k(1), vec![4]);
@@ -143,15 +178,37 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_by_seed() {
+    fn deterministic_by_seed_and_thread_invariant() {
         let (train, valid) = toy();
-        let cfg = BanzhafConfig {
+        let mut cfg = BanzhafConfig {
             samples: 100,
             seed: 7,
+            threads: 1,
         };
         let a = banzhaf_msr(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         let b = banzhaf_msr(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         assert_eq!(a, b);
+        cfg.threads = 4;
+        let c = banzhaf_msr(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn memoized_run_is_bit_identical_and_hits() {
+        let (train, valid) = toy();
+        let cfg = BanzhafConfig {
+            samples: 200,
+            seed: 3,
+            threads: 2,
+        };
+        let plain = banzhaf_msr(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        let cache = MemoCache::new();
+        let cached =
+            banzhaf_msr_cached(&KnnClassifier::new(1), &train, &valid, &cfg, Some(&cache)).unwrap();
+        assert_eq!(plain, cached);
+        // Only 2^5 possible coalitions over 5 points: 200 samples must hit.
+        assert!(cache.hits() > 0);
+        assert!(cache.len() <= 31, "at most 2^5 - 1 non-empty coalitions");
     }
 
     #[test]
@@ -160,6 +217,7 @@ mod tests {
         let zero = BanzhafConfig {
             samples: 0,
             seed: 0,
+            threads: 1,
         };
         assert!(banzhaf_msr(&KnnClassifier::new(1), &train, &valid, &zero).is_err());
         let empty = train.subset(&[]);

@@ -9,13 +9,15 @@
 //! from the normalized Beta weights, draw a random subset of that size not
 //! containing `i`, and average the marginal contribution `U(S ∪ i) − U(S)`.
 
-use crate::common::ImportanceScores;
+use crate::common::{coalition_utility, ImportanceScores};
 use crate::{ImportanceError, Result};
 use nde_data::rng::Rng;
 use nde_data::rng::SliceRandom;
 use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
-use nde_ml::model::{utility, Classifier};
+use nde_ml::model::Classifier;
+use nde_robust::par::{effective_threads, par_map_indexed_scratch, MemoCache, WorkerFailure};
+use std::sync::atomic::AtomicBool;
 
 /// Configuration for the Beta Shapley estimator.
 #[derive(Debug, Clone)]
@@ -26,8 +28,10 @@ pub struct BetaShapleyConfig {
     pub beta: f64,
     /// Monte-Carlo samples *per training example*.
     pub samples_per_point: usize,
-    /// RNG seed.
+    /// Base seed (each example's sampling stream uses a derived child seed).
     pub seed: u64,
+    /// Worker threads (1 = sequential; results are identical either way).
+    pub threads: usize,
 }
 
 impl Default for BetaShapleyConfig {
@@ -37,6 +41,7 @@ impl Default for BetaShapleyConfig {
             beta: 16.0,
             samples_per_point: 50,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -102,13 +107,35 @@ fn ln_gamma(x: f64) -> f64 {
 }
 
 /// Beta Shapley values of all training examples.
-#[allow(clippy::needless_range_loop)] // per-point loop drives child seeding
-pub fn beta_shapley<C: Classifier>(
+pub fn beta_shapley<C>(
     template: &C,
     train: &Dataset,
     valid: &Dataset,
     config: &BetaShapleyConfig,
-) -> Result<ImportanceScores> {
+) -> Result<ImportanceScores>
+where
+    C: Classifier + Send + Sync,
+{
+    beta_shapley_cached(template, train, valid, config, None)
+}
+
+/// [`beta_shapley`] with an optional utility memo cache (scores are
+/// bit-identical with or without it; the cache must be dedicated to this
+/// `(template, train, valid)` triple).
+///
+/// Each example's sampling stream is `child_seed(config.seed, i)` and the
+/// per-example values are written back by index, so scores are bit-identical
+/// for every thread count.
+pub fn beta_shapley_cached<C>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &BetaShapleyConfig,
+    cache: Option<&MemoCache>,
+) -> Result<ImportanceScores>
+where
+    C: Classifier + Send + Sync,
+{
     if config.alpha <= 0.0 || config.beta <= 0.0 {
         return Err(ImportanceError::InvalidArgument(
             "alpha and beta must be > 0".into(),
@@ -134,29 +161,53 @@ pub fn beta_shapley<C: Classifier>(
         cdf.push(acc);
     }
 
+    // Per-worker reusable buffers: the candidate pool and a sorted coalition.
+    struct Scratch {
+        pool: Vec<usize>,
+        sorted: Vec<usize>,
+    }
+    let threads = effective_threads(config.threads, n);
+    let stop = AtomicBool::new(false);
+    let per_point = par_map_indexed_scratch(
+        threads,
+        0..n as u64,
+        &stop,
+        || Scratch {
+            pool: Vec::with_capacity(n),
+            sorted: Vec::with_capacity(n),
+        },
+        |scratch, idx| {
+            let i = idx as usize;
+            let mut rng = seeded(child_seed(config.seed, idx));
+            scratch.pool.clear();
+            scratch.pool.extend((0..n).filter(|&j| j != i));
+            let mut total = 0.0;
+            for _ in 0..config.samples_per_point {
+                // Sample coalition size j from the Beta weights.
+                let u: f64 = rng.gen();
+                let j = cdf.partition_point(|&c| c < u).min(n - 1);
+                scratch.pool.shuffle(&mut rng);
+                let subset = &scratch.pool[..j.min(n - 1)];
+                scratch.sorted.clear();
+                scratch.sorted.extend_from_slice(subset);
+                scratch.sorted.sort_unstable();
+                let u_without = coalition_utility(template, train, valid, &scratch.sorted, cache)?;
+                let at = scratch.sorted.partition_point(|&x| x < i);
+                scratch.sorted.insert(at, i);
+                let u_with = coalition_utility(template, train, valid, &scratch.sorted, cache)?;
+                total += u_with - u_without;
+            }
+            Ok::<_, ImportanceError>(total / config.samples_per_point as f64)
+        },
+    )
+    .map_err(|fail| match fail {
+        WorkerFailure::Err(_, e) => e,
+        WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+    })?;
+
     let mut values = vec![0.0; n];
-    for i in 0..n {
-        let mut rng = seeded(child_seed(config.seed, i as u64));
-        let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-        let mut pool = others.clone();
-        let mut total = 0.0;
-        for _ in 0..config.samples_per_point {
-            // Sample coalition size j from the Beta weights.
-            let u: f64 = rng.gen();
-            let j = cdf.partition_point(|&c| c < u).min(n - 1);
-            pool.shuffle(&mut rng);
-            let subset = &pool[..j.min(pool.len())];
-            let u_without = if subset.is_empty() {
-                0.0
-            } else {
-                utility(template, &train.subset(subset), valid)?
-            };
-            let mut with: Vec<usize> = subset.to_vec();
-            with.push(i);
-            let u_with = utility(template, &train.subset(&with), valid)?;
-            total += u_with - u_without;
-        }
-        values[i] = total / config.samples_per_point as f64;
+    for (idx, v) in per_point {
+        values[idx as usize] = v;
     }
     Ok(ImportanceScores::new("beta-shapley", values))
 }
@@ -235,6 +286,22 @@ mod tests {
         let a = beta_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         let b = beta_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         assert_eq!(a, b);
+        // Thread-count invariance and cache transparency.
+        let par_cfg = BetaShapleyConfig {
+            threads: 4,
+            ..cfg.clone()
+        };
+        let cache = MemoCache::new();
+        let c = beta_shapley_cached(
+            &KnnClassifier::new(1),
+            &train,
+            &valid,
+            &par_cfg,
+            Some(&cache),
+        )
+        .unwrap();
+        assert_eq!(a, c);
+        assert!(cache.hits() > 0);
         let bad = BetaShapleyConfig {
             alpha: 0.0,
             ..Default::default()

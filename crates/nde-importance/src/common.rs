@@ -1,6 +1,50 @@
-//! Shared types: scores, rankings and detection-quality evaluation.
+//! Shared types: scores, rankings, detection-quality evaluation, and the
+//! memoized coalition-utility evaluator every estimator goes through.
 
+use nde_ml::dataset::Dataset;
+use nde_ml::model::{utility, Classifier};
+use nde_robust::par::{subset_fingerprint_sorted, MemoCache};
 use std::fmt;
+
+/// Utility of the coalition named by a **sorted** index set, optionally
+/// served from a [`MemoCache`].
+///
+/// The convention `U(∅) = 0` is applied without an evaluation. The cache is
+/// keyed by [`subset_fingerprint_sorted`], so the same coalition reached
+/// from a TMC permutation prefix, a Banzhaf subset sample, or a
+/// Beta-Shapley draw hits the same entry — which is only sound because the
+/// subset is always *evaluated* in sorted order too, making the utility a
+/// pure function of the index set. A cache must only ever see one
+/// `(template, train, valid)` triple (see [`MemoCache`]).
+pub fn coalition_utility<C: Classifier>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    sorted: &[usize],
+    cache: Option<&MemoCache>,
+) -> Result<f64, ImportanceError> {
+    if sorted.is_empty() {
+        return Ok(0.0);
+    }
+    let evaluate = || -> Result<f64, ImportanceError> {
+        if sorted.len() == train.len() {
+            // The full coalition: skip the subset materialization.
+            Ok(utility(template, train, valid)?)
+        } else {
+            Ok(utility(template, &train.subset(sorted), valid)?)
+        }
+    };
+    let Some(cache) = cache else {
+        return evaluate();
+    };
+    let key = subset_fingerprint_sorted(sorted);
+    if let Some(v) = cache.get(key) {
+        return Ok(v);
+    }
+    let v = evaluate()?;
+    cache.insert(key, v);
+    Ok(v)
+}
 
 /// Errors from importance computations.
 #[derive(Debug, Clone, PartialEq)]

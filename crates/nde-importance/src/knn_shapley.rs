@@ -9,6 +9,22 @@ use crate::common::ImportanceScores;
 use crate::{ImportanceError, Result};
 use nde_ml::dataset::Dataset;
 use nde_ml::linalg::squared_distance;
+use nde_robust::par::{effective_threads, par_map_indexed_scratch, WorkerFailure};
+use std::sync::atomic::AtomicBool;
+
+/// Validation points are processed in fixed-size chunks whose partial sums
+/// are folded in chunk order — the chunking (and therefore the float
+/// accumulation tree) is independent of the thread count, so scores are
+/// bit-identical for every `threads` value.
+const VALID_CHUNK: usize = 32;
+
+/// Per-worker reusable buffers (distances, ordering, recursion values) —
+/// allocated once per worker instead of once per validation point.
+struct KnnScratch {
+    dists: Vec<f64>,
+    order: Vec<usize>,
+    s: Vec<f64>,
+}
 
 /// Exact KNN-Shapley values of all training examples with respect to the
 /// K-NN utility (probability of the correct label among the K neighbors),
@@ -22,6 +38,23 @@ use nde_ml::linalg::squared_distance;
 /// s[i]   = s[i+1] + (1[y_i = y] − 1[y_{i+1} = y]) / K · min(K, i) / i
 /// ```
 pub fn knn_shapley(train: &Dataset, valid: &Dataset, k: usize) -> Result<ImportanceScores> {
+    knn_shapley_par(train, valid, k, 1)
+}
+
+/// [`knn_shapley`] parallelized over validation-point chunks; bit-identical
+/// for every thread count.
+///
+/// Per validation point, the distance ordering uses `select_nth_unstable`
+/// to split the training points at the k-boundary first and then orders the
+/// two partitions — an in-place partial ordering instead of the allocating
+/// stable sort, with the identical final order (the comparator is total,
+/// ties broken by index).
+pub fn knn_shapley_par(
+    train: &Dataset,
+    valid: &Dataset,
+    k: usize,
+    threads: usize,
+) -> Result<ImportanceScores> {
     if k == 0 {
         return Err(ImportanceError::InvalidArgument("k must be >= 1".into()));
     }
@@ -38,42 +71,84 @@ pub fn knn_shapley(train: &Dataset, valid: &Dataset, k: usize) -> Result<Importa
         )));
     }
     let n = train.len();
+    let m = valid.len();
     let kf = k as f64;
-    let mut totals = vec![0.0; n];
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut dists: Vec<f64> = vec![0.0; n];
-    let mut s = vec![0.0; n];
+    let chunks = m.div_ceil(VALID_CHUNK) as u64;
+    let threads = effective_threads(threads, chunks as usize);
+    let stop = AtomicBool::new(false);
 
-    for (vx, &vy) in valid.x.iter_rows().zip(&valid.y) {
-        for (i, tx) in train.x.iter_rows().enumerate() {
-            dists[i] = squared_distance(tx, vx);
-        }
-        order.sort_by(|&a, &b| {
-            dists[a]
-                .partial_cmp(&dists[b])
-                .expect("finite distances")
-                .then(a.cmp(&b))
-        });
-        // Recursion over the sorted order (position p is 1-indexed as p+1).
-        let matches = |p: usize| -> f64 {
-            if train.y[order[p]] == vy {
-                1.0
-            } else {
-                0.0
+    let chunk_totals = par_map_indexed_scratch(
+        threads,
+        0..chunks,
+        &stop,
+        || KnnScratch {
+            dists: vec![0.0; n],
+            order: Vec::with_capacity(n),
+            s: vec![0.0; n],
+        },
+        |scratch, c| {
+            let mut totals = vec![0.0; n];
+            let start = c as usize * VALID_CHUNK;
+            let end = (start + VALID_CHUNK).min(m);
+            for v in start..end {
+                let vx = valid.x.row(v);
+                let vy = valid.y[v];
+                for (i, tx) in train.x.iter_rows().enumerate() {
+                    scratch.dists[i] = squared_distance(tx, vx);
+                }
+                let dists = &scratch.dists;
+                let by_distance = |&a: &usize, &b: &usize| {
+                    dists[a]
+                        .partial_cmp(&dists[b])
+                        .expect("finite distances")
+                        .then(a.cmp(&b))
+                };
+                scratch.order.clear();
+                scratch.order.extend(0..n);
+                if k < n {
+                    // Partition at the k-boundary, then order each side.
+                    let (near, _, far) = scratch.order.select_nth_unstable_by(k, by_distance);
+                    near.sort_unstable_by(by_distance);
+                    far.sort_unstable_by(by_distance);
+                } else {
+                    scratch.order.sort_unstable_by(by_distance);
+                }
+                // Recursion over the sorted order (position p is 1-indexed
+                // as p+1).
+                let order = &scratch.order;
+                let matches = |p: usize| -> f64 {
+                    if train.y[order[p]] == vy {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                };
+                scratch.s[n - 1] = matches(n - 1) / n as f64;
+                for p in (0..n - 1).rev() {
+                    let i = (p + 1) as f64; // 1-indexed position
+                    scratch.s[p] =
+                        scratch.s[p + 1] + (matches(p) - matches(p + 1)) / kf * kf.min(i) / i;
+                }
+                for p in 0..n {
+                    totals[order[p]] += scratch.s[p];
+                }
             }
-        };
-        s[n - 1] = matches(n - 1) / n as f64;
-        for p in (0..n - 1).rev() {
-            let i = (p + 1) as f64; // 1-indexed position of this element
-            s[p] = s[p + 1] + (matches(p) - matches(p + 1)) / kf * kf.min(i) / i;
-        }
-        for p in 0..n {
-            totals[order[p]] += s[p];
+            Ok::<_, ImportanceError>(totals)
+        },
+    )
+    .map_err(|fail| match fail {
+        WorkerFailure::Err(_, e) => e,
+        WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+    })?;
+
+    // Fold partial sums in chunk order (schedule-independent).
+    let mut totals = vec![0.0; n];
+    for (_, chunk) in &chunk_totals {
+        for (t, v) in totals.iter_mut().zip(chunk) {
+            *t += v;
         }
     }
-
-    let m = valid.len() as f64;
-    let values = totals.into_iter().map(|v| v / m).collect();
+    let values = totals.into_iter().map(|v| v / m as f64).collect();
     Ok(ImportanceScores::new("knn-shapley", values))
 }
 
@@ -182,5 +257,19 @@ mod tests {
         let (train, valid) = toy();
         let scores = knn_shapley(&train, &valid, train.len()).unwrap();
         assert!(scores.values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        // More validation points than one chunk, so several chunks race.
+        let nd = two_gaussians(300, 3, 3.0, 17);
+        let all = Dataset::try_from(&nd).unwrap();
+        let train = all.subset(&(0..150).collect::<Vec<_>>());
+        let valid = all.subset(&(150..300).collect::<Vec<_>>());
+        let seq = knn_shapley(&train, &valid, 5).unwrap();
+        for threads in [2, 4, 7] {
+            let par = knn_shapley_par(&train, &valid, 5, threads).unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 }

@@ -37,8 +37,15 @@ pub mod knn_shapley;
 pub mod loo;
 pub mod shapley_mc;
 
-pub use common::{bottom_k, detection_precision_at_k, ImportanceError, ImportanceScores};
-pub use shapley_mc::{tmc_shapley, tmc_shapley_budgeted, BudgetedShapley, ShapleyConfig};
+pub use banzhaf::{banzhaf_msr, banzhaf_msr_cached, BanzhafConfig};
+pub use beta_shapley::{beta_shapley, beta_shapley_cached, BetaShapleyConfig};
+pub use common::{
+    bottom_k, coalition_utility, detection_precision_at_k, ImportanceError, ImportanceScores,
+};
+pub use knn_shapley::{knn_shapley, knn_shapley_par};
+pub use shapley_mc::{
+    tmc_shapley, tmc_shapley_budgeted, tmc_shapley_budgeted_cached, BudgetedShapley, ShapleyConfig,
+};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, ImportanceError>;

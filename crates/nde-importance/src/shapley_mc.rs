@@ -4,16 +4,42 @@
 //! marginal utility of adding each example to the prefix before it.
 //! Truncation skips the tail of a permutation once the prefix utility is
 //! within `truncation_tolerance` of the full-data utility (the marginal
-//! contributions there are ≈ 0). Permutations are distributed over worker
-//! threads; determinism is preserved via per-permutation child seeds.
+//! contributions there are ≈ 0).
+//!
+//! # Determinism
+//!
+//! Permutation `p` depends only on `child_seed(config.seed, p)`, and every
+//! coalition is evaluated in **sorted index order**, so its utility is a
+//! pure function of the index set. Parallel runs go through the
+//! speculative-execution + sequential-settlement scheme of
+//! [`nde_robust::par`]: workers evaluate permutations out of order, then
+//! the results are folded front-to-back under the authoritative
+//! [`BudgetClock`]. The folded scores, diagnostics counters, and
+//! checkpoints are therefore bit-identical for every thread count,
+//! with or without a tripped budget, and across checkpoint/resume cycles.
+//!
+//! # Budget granularity
+//!
+//! The utility-call budget is enforced **per call**: a run can stop partway
+//! through a permutation, recording an [`InflightPermutation`] in its
+//! checkpoint so resume continues the walk mid-permutation instead of
+//! redoing it. Iteration and wall-clock budgets stop at permutation
+//! boundaries (a wall-clock cut is inherently schedule-dependent, so it is
+//! never allowed to decide a mid-permutation split).
 
-use crate::common::ImportanceScores;
+use crate::common::{coalition_utility, ImportanceScores};
 use crate::{ImportanceError, Result};
 use nde_data::rng::SliceRandom;
 use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
-use nde_ml::model::{utility, Classifier};
-use nde_robust::{ConvergenceDiagnostics, McCheckpoint, RunBudget};
+use nde_ml::model::Classifier;
+use nde_robust::par::{
+    effective_threads, par_map_indexed_scratch, AtomicBudgetClock, MemoCache, WorkerFailure,
+};
+use nde_robust::{
+    BudgetClock, ConvergenceDiagnostics, InflightPermutation, McCheckpoint, RunBudget,
+};
+use std::sync::atomic::AtomicBool;
 
 /// Configuration for the TMC-Shapley estimator.
 #[derive(Debug, Clone)]
@@ -24,7 +50,7 @@ pub struct ShapleyConfig {
     pub truncation_tolerance: f64,
     /// Base seed (each permutation uses a derived child seed).
     pub seed: u64,
-    /// Worker threads (1 = sequential).
+    /// Worker threads (1 = sequential; results are identical either way).
     pub threads: usize,
 }
 
@@ -50,73 +76,15 @@ pub fn tmc_shapley<C>(
 where
     C: Classifier + Send + Sync,
 {
-    if config.permutations == 0 {
-        return Err(ImportanceError::InvalidArgument(
-            "need at least one permutation".into(),
-        ));
-    }
-    if train.is_empty() {
-        return Err(ImportanceError::InvalidArgument(
-            "empty training set".into(),
-        ));
-    }
-    let n = train.len();
-    let full_utility = utility(template, train, valid)?;
-    let threads = config.threads.max(1).min(config.permutations);
-
-    // Partition permutation indices across workers.
-    let totals: Vec<f64> = if threads == 1 {
-        run_permutations(
-            template,
-            train,
-            valid,
-            full_utility,
-            config,
-            0,
-            config.permutations,
-        )?
-    } else {
-        let chunk = config.permutations.div_ceil(threads);
-        let results: Vec<Result<Vec<f64>>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(config.permutations);
-                if start >= end {
-                    break;
-                }
-                handles.push(scope.spawn(move || {
-                    run_permutations(template, train, valid, full_utility, config, start, end)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|payload| {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".to_string());
-                        Err(ImportanceError::WorkerPanic(msg))
-                    })
-                })
-                .collect()
-        });
-        let mut acc = vec![0.0; n];
-        for r in results {
-            for (a, v) in acc.iter_mut().zip(r?) {
-                *a += v;
-            }
-        }
-        acc
-    };
-
-    let values = totals
-        .into_iter()
-        .map(|v| v / config.permutations as f64)
-        .collect();
-    Ok(ImportanceScores::new("tmc-shapley", values))
+    let run = tmc_shapley_budgeted(
+        template,
+        train,
+        valid,
+        config,
+        &RunBudget::unlimited(),
+        None,
+    )?;
+    Ok(run.scores)
 }
 
 /// Result of a budget-aware TMC-Shapley run: the (possibly best-so-far)
@@ -135,24 +103,47 @@ pub struct BudgetedShapley {
 /// Method tag used in budgeted TMC-Shapley checkpoints.
 const TMC_METHOD: &str = "tmc-shapley";
 
-/// Budget-aware, resumable TMC-Shapley.
+/// Budget-aware, resumable TMC-Shapley (see the module docs for the
+/// determinism and budget-granularity contracts).
 ///
-/// Runs permutations sequentially, checking the budget at permutation
-/// boundaries. On exhaustion it **degrades gracefully**: the scores
-/// averaged over the permutations finished so far are returned, tagged with
+/// On exhaustion it **degrades gracefully**: the scores averaged over the
+/// permutations finished so far are returned, tagged with
 /// [`ConvergenceDiagnostics`] (including the largest per-example marginal
 /// standard error) and a [`McCheckpoint`] that a later call can `resume`
-/// from. Because permutation `p` draws from `child_seed(config.seed, p)`,
-/// an interrupted-and-resumed run produces bit-identical scores to an
-/// uninterrupted one.
-pub fn tmc_shapley_budgeted<C: Classifier>(
+/// from — including mid-permutation, via the checkpoint's in-flight state.
+pub fn tmc_shapley_budgeted<C>(
     template: &C,
     train: &Dataset,
     valid: &Dataset,
     config: &ShapleyConfig,
     budget: &RunBudget,
     resume: Option<&McCheckpoint>,
-) -> Result<BudgetedShapley> {
+) -> Result<BudgetedShapley>
+where
+    C: Classifier + Send + Sync,
+{
+    tmc_shapley_budgeted_cached(template, train, valid, config, budget, resume, None)
+}
+
+/// [`tmc_shapley_budgeted`] with an optional utility memo cache.
+///
+/// Cache hits still count as (logical) utility calls against the budget, so
+/// a cached run trips its budget at exactly the same point as an uncached
+/// one and stays bit-identical to it — the cache only removes *physical*
+/// model retrains. The cache must be dedicated to this
+/// `(template, train, valid)` triple.
+pub fn tmc_shapley_budgeted_cached<C>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &ShapleyConfig,
+    budget: &RunBudget,
+    resume: Option<&McCheckpoint>,
+    cache: Option<&MemoCache>,
+) -> Result<BudgetedShapley>
+where
+    C: Classifier + Send + Sync,
+{
     if config.permutations == 0 {
         return Err(ImportanceError::InvalidArgument(
             "need at least one permutation".into(),
@@ -173,6 +164,7 @@ pub fn tmc_shapley_budgeted<C: Classifier>(
         }
     }
     let n = train.len();
+    let total = config.permutations as u64;
     let mut state = match resume {
         Some(cp) => {
             cp.validate()
@@ -189,7 +181,7 @@ pub fn tmc_shapley_budgeted<C: Classifier>(
                     cp.seed, cp.n, config.seed
                 )));
             }
-            if cp.cursor > config.permutations as u64 {
+            if cp.cursor > total || (cp.cursor == total && cp.inflight.is_some()) {
                 return Err(ImportanceError::Checkpoint(format!(
                     "checkpoint cursor {} exceeds configured permutations {}",
                     cp.cursor, config.permutations
@@ -201,27 +193,114 @@ pub fn tmc_shapley_budgeted<C: Classifier>(
     };
 
     let mut clock = budget.resume(state.cursor, state.utility_calls);
-    let full_utility = utility(template, train, valid)?;
-    clock.record_utility_calls(1);
+    if clock.exhausted().is_none() {
+        // Re-prime the full-data utility (one honestly-accounted call; a
+        // cache hit on resume still counts).
+        let all: Vec<usize> = (0..n).collect();
+        let full_utility = coalition_utility(template, train, valid, &all, cache)?;
+        clock.record_utility_calls(1);
+        let mut scratch = WalkScratch::new(n);
 
-    while state.cursor < config.permutations as u64 {
-        if clock.exhausted().is_some() {
-            break;
+        // Finish an interrupted permutation walk before anything else.
+        if let Some(inflight) = state.inflight.take() {
+            let expected_rng = state.rng_state.take();
+            let outcome = walk_permutation(
+                template,
+                train,
+                valid,
+                full_utility,
+                config,
+                state.cursor,
+                cache,
+                &mut scratch,
+                Some(&inflight),
+                expected_rng,
+                Some(&mut clock),
+            )?;
+            settle(&mut state, &mut clock, outcome);
         }
-        let (marginals, calls) =
-            one_permutation(template, train, valid, full_utility, config, state.cursor)?;
-        // Fold the finished permutation in whole, so a checkpoint taken here
-        // resumes bit-identically.
-        for (i, &m) in marginals.iter().enumerate().take(n) {
-            state.totals[i] += m;
-            state.totals_sq[i] += m * m;
+
+        // Speculative parallel rounds + authoritative sequential settlement.
+        let threads = effective_threads(config.threads, config.permutations);
+        while state.inflight.is_none() && state.cursor < total && clock.exhausted().is_none() {
+            let shared =
+                AtomicBudgetClock::resume(budget, clock.iterations(), clock.utility_calls());
+            let stop = AtomicBool::new(false);
+            let round = par_map_indexed_scratch(
+                threads,
+                state.cursor..total,
+                &stop,
+                || WalkScratch::new(n),
+                |ws, p| -> Result<(Vec<f64>, u64)> {
+                    let outcome = walk_permutation(
+                        template,
+                        train,
+                        valid,
+                        full_utility,
+                        config,
+                        p,
+                        cache,
+                        ws,
+                        None,
+                        None,
+                        None,
+                    )?;
+                    match outcome {
+                        WalkOutcome::Complete { marginals, calls } => {
+                            shared.record_iteration();
+                            shared.record_utility_calls(calls);
+                            shared.arm_stop(&stop);
+                            Ok((marginals, calls))
+                        }
+                        WalkOutcome::Tripped { .. } => {
+                            unreachable!("speculative walks run without a clock")
+                        }
+                    }
+                },
+            )
+            .map_err(|fail| match fail {
+                WorkerFailure::Err(_, e) => e,
+                WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+            })?;
+
+            for (p, (marginals, calls)) in round {
+                if p != state.cursor || clock.exhausted().is_some() {
+                    // A gap after an early stop (the next round re-claims
+                    // it), or a boundary-granular budget stop.
+                    break;
+                }
+                if clock.would_exceed_utility(calls) {
+                    // The deterministic stopping point is inside this
+                    // permutation: re-walk it under the authoritative clock
+                    // to construct the exact mid-permutation state (served
+                    // from cache when one is attached).
+                    let outcome = walk_permutation(
+                        template,
+                        train,
+                        valid,
+                        full_utility,
+                        config,
+                        p,
+                        cache,
+                        &mut scratch,
+                        None,
+                        None,
+                        Some(&mut clock),
+                    )?;
+                    settle(&mut state, &mut clock, outcome);
+                    break;
+                }
+                fold_marginals(&mut state, &marginals);
+                state.cursor += 1;
+                clock.record_iteration();
+                clock.record_utility_calls(calls);
+            }
         }
-        state.cursor += 1;
-        clock.record_iteration();
-        clock.record_utility_calls(calls);
     }
     state.utility_calls = clock.utility_calls();
 
+    // Scores average only fully-folded permutations; in-flight partial
+    // marginals live solely in the checkpoint.
     let done = state.cursor;
     let values: Vec<f64> = if done == 0 {
         vec![0.0; n]
@@ -253,81 +332,133 @@ pub fn tmc_shapley_budgeted<C: Classifier>(
     })
 }
 
-/// Marginal contributions of one permutation, plus how many utility calls
-/// it spent. Permutation `p` depends only on `child_seed(config.seed, p)`.
-fn one_permutation<C: Classifier>(
+/// Fold one permutation's marginals into the running checkpoint sums.
+fn fold_marginals(state: &mut McCheckpoint, marginals: &[f64]) {
+    for (i, &m) in marginals.iter().enumerate() {
+        state.totals[i] += m;
+        state.totals_sq[i] += m * m;
+    }
+}
+
+/// Apply a budget-enforced walk's outcome to the checkpoint state.
+fn settle(state: &mut McCheckpoint, clock: &mut BudgetClock, outcome: WalkOutcome) {
+    match outcome {
+        WalkOutcome::Complete { marginals, .. } => {
+            // Per-call walks already recorded their utility calls.
+            fold_marginals(state, &marginals);
+            state.cursor += 1;
+            clock.record_iteration();
+        }
+        WalkOutcome::Tripped {
+            inflight,
+            rng_state,
+        } => {
+            state.inflight = Some(inflight);
+            state.rng_state = Some(rng_state);
+        }
+    }
+}
+
+/// Per-worker reusable buffers for permutation walks.
+struct WalkScratch {
+    order: Vec<usize>,
+    prefix: Vec<usize>,
+}
+
+impl WalkScratch {
+    fn new(n: usize) -> WalkScratch {
+        WalkScratch {
+            order: Vec::with_capacity(n),
+            prefix: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// How a permutation walk ended.
+enum WalkOutcome {
+    /// All positions folded (or truncated); `calls` utility evaluations.
+    Complete { marginals: Vec<f64>, calls: u64 },
+    /// The per-call utility budget tripped mid-walk.
+    Tripped {
+        inflight: InflightPermutation,
+        rng_state: [u64; 4],
+    },
+}
+
+/// Walk one permutation's prefix chain, from scratch or resumed from an
+/// in-flight snapshot. Permutation `p` depends only on
+/// `child_seed(config.seed, p)`; coalitions are evaluated in sorted index
+/// order. With `clock` attached, the utility-call budget is enforced before
+/// every evaluation and consumed calls are recorded on the spot; without
+/// it, the walk runs to completion and reports its call count.
+#[allow(clippy::too_many_arguments)]
+fn walk_permutation<C: Classifier>(
     template: &C,
     train: &Dataset,
     valid: &Dataset,
     full_utility: f64,
     config: &ShapleyConfig,
     p: u64,
-) -> Result<(Vec<f64>, u64)> {
+    cache: Option<&MemoCache>,
+    scratch: &mut WalkScratch,
+    resume_from: Option<&InflightPermutation>,
+    expected_rng: Option<[u64; 4]>,
+    mut clock: Option<&mut BudgetClock>,
+) -> Result<WalkOutcome> {
     let n = train.len();
-    let mut marginals = vec![0.0; n];
     let mut rng = seeded(child_seed(config.seed, p));
-    let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(&mut rng);
-    let mut prefix: Vec<usize> = Vec::with_capacity(n);
-    let mut prev_u = 0.0;
+    scratch.order.clear();
+    scratch.order.extend(0..n);
+    scratch.order.shuffle(&mut rng);
+    let rng_state = rng.state();
+    if let Some(expected) = expected_rng {
+        if expected != rng_state {
+            return Err(ImportanceError::Checkpoint(format!(
+                "checkpoint rng_state does not match permutation {p} of seed {}",
+                config.seed
+            )));
+        }
+    }
+    let (start, mut prev_u, mut marginals) = match resume_from {
+        Some(inflight) => (
+            inflight.pos as usize,
+            inflight.prev_u,
+            inflight.marginals.clone(),
+        ),
+        None => (0, 0.0, vec![0.0; n]),
+    };
+    scratch.prefix.clear();
+    scratch.prefix.extend_from_slice(&scratch.order[..start]);
+    scratch.prefix.sort_unstable();
     let mut calls = 0u64;
-    for &i in &order {
-        prefix.push(i);
-        let subset = train.subset(&prefix);
-        let u = utility(template, &subset, valid)?;
+    for pos in start..n {
+        if let Some(clock) = clock.as_deref_mut() {
+            if clock.would_exceed_utility(1) {
+                return Ok(WalkOutcome::Tripped {
+                    inflight: InflightPermutation {
+                        pos: pos as u64,
+                        prev_u,
+                        marginals,
+                    },
+                    rng_state,
+                });
+            }
+        }
+        let i = scratch.order[pos];
+        let at = scratch.prefix.partition_point(|&x| x < i);
+        scratch.prefix.insert(at, i);
+        let u = coalition_utility(template, train, valid, &scratch.prefix, cache)?;
         calls += 1;
+        if let Some(clock) = clock.as_deref_mut() {
+            clock.record_utility_calls(1);
+        }
         marginals[i] = u - prev_u;
         prev_u = u;
         if (full_utility - u).abs() < config.truncation_tolerance {
             break; // remaining marginals stay 0
         }
     }
-    Ok((marginals, calls))
-}
-
-/// Accumulate marginal contributions over permutations `[start, end)`.
-fn run_permutations<C: Classifier>(
-    template: &C,
-    train: &Dataset,
-    valid: &Dataset,
-    full_utility: f64,
-    config: &ShapleyConfig,
-    start: usize,
-    end: usize,
-) -> Result<Vec<f64>> {
-    let n = train.len();
-    let mut totals = vec![0.0; n];
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut prefix: Vec<usize> = Vec::with_capacity(n);
-    for p in start..end {
-        let mut rng = seeded(child_seed(config.seed, p as u64));
-        // Reset to the identity before shuffling so permutation `p` depends
-        // only on its child seed — not on which worker ran the previous one.
-        for (slot, v) in order.iter_mut().enumerate() {
-            *v = slot;
-        }
-        order.shuffle(&mut rng);
-        prefix.clear();
-        // Empty-prefix utility: majority prediction is undefined with zero
-        // data; use 0 utility, matching the convention U(∅) = 0.
-        let mut prev_u = 0.0;
-        let mut truncated = false;
-        for &i in &order {
-            if truncated {
-                // Marginal contribution treated as 0.
-                continue;
-            }
-            prefix.push(i);
-            let subset = train.subset(&prefix);
-            let u = utility(template, &subset, valid)?;
-            totals[i] += u - prev_u;
-            prev_u = u;
-            if (full_utility - u).abs() < config.truncation_tolerance {
-                truncated = true;
-            }
-        }
-    }
-    Ok(totals)
+    Ok(WalkOutcome::Complete { marginals, calls })
 }
 
 #[cfg(test)]
@@ -386,14 +517,14 @@ mod tests {
         };
         let scores = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         let sum: f64 = scores.values.iter().sum();
-        let full = utility(&KnnClassifier::new(1), &train, &valid).unwrap();
+        let full = nde_ml::model::utility(&KnnClassifier::new(1), &train, &valid).unwrap();
         // With no truncation, every permutation's marginals telescope to
         // exactly U(full), so this holds to floating-point error.
         assert!((sum - full).abs() < 1e-9, "sum={sum} full={full}");
     }
 
     #[test]
-    fn deterministic_and_parallel_consistent() {
+    fn deterministic_and_parallel_bit_identical() {
         let (train, valid) = toy();
         let mut cfg = ShapleyConfig {
             permutations: 60,
@@ -404,12 +535,11 @@ mod tests {
         let a = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         let b = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         assert_eq!(a, b);
-        // Same result regardless of thread count (work is seed-partitioned).
+        // Bit-identical regardless of thread count (work is seed-partitioned
+        // and settled in index order).
         cfg.threads = 4;
         let c = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
-        for (x, y) in a.values.iter().zip(&c.values) {
-            assert!((x - y).abs() < 1e-12);
-        }
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -470,6 +600,7 @@ mod tests {
         assert!(run.diagnostics.completed());
         assert_eq!(run.diagnostics.iterations, 40);
         assert_eq!(run.checkpoint.cursor, 40);
+        assert!(run.checkpoint.inflight.is_none());
         assert!(run.diagnostics.max_marginal_std_error.unwrap() >= 0.0);
     }
 
@@ -486,6 +617,8 @@ mod tests {
             Some(nde_robust::Exhaustion::Iterations)
         );
         assert_eq!(run.checkpoint.cursor, 5);
+        // Iteration budgets stop on permutation boundaries.
+        assert!(run.checkpoint.inflight.is_none());
         // Best-so-far estimate is still a usable average.
         assert!(run.scores.values.iter().all(|v| v.is_finite()));
         let budget = RunBudget::unlimited().with_max_utility_calls(8);
@@ -495,6 +628,13 @@ mod tests {
             Some(nde_robust::Exhaustion::UtilityCalls)
         );
         assert!(run.checkpoint.cursor < 50);
+        assert_eq!(run.checkpoint.utility_calls, 8);
+        // n=5 per permutation: 1 (full) + 5 (perm 0) + 2 = 8 calls puts the
+        // deterministic stopping point two positions into permutation 1.
+        assert_eq!(run.checkpoint.cursor, 1);
+        let inflight = run.checkpoint.inflight.as_ref().unwrap();
+        assert_eq!(inflight.pos, 2);
+        assert!(run.checkpoint.rng_state.is_some());
     }
 
     #[test]
@@ -544,6 +684,81 @@ mod tests {
     }
 
     #[test]
+    fn mid_permutation_resume_is_bit_identical() {
+        let (train, valid) = toy();
+        let cfg = budget_cfg(12);
+        let knn = KnnClassifier::new(1);
+        let uninterrupted =
+            tmc_shapley_budgeted(&knn, &train, &valid, &cfg, &RunBudget::unlimited(), None)
+                .unwrap();
+        let full_calls = uninterrupted.checkpoint.utility_calls;
+        // Trip the utility budget at every possible call count; each stop
+        // lands at a different mid-permutation position. Resume must always
+        // reconverge to the exact uninterrupted floats.
+        for max_calls in 2..full_calls {
+            let partial = tmc_shapley_budgeted(
+                &knn,
+                &train,
+                &valid,
+                &cfg,
+                &RunBudget::unlimited().with_max_utility_calls(max_calls),
+                None,
+            )
+            .unwrap();
+            assert_eq!(partial.checkpoint.utility_calls, max_calls);
+            let restored = McCheckpoint::from_json(&partial.checkpoint.to_json()).unwrap();
+            let resumed = tmc_shapley_budgeted(
+                &knn,
+                &train,
+                &valid,
+                &cfg,
+                &RunBudget::unlimited(),
+                Some(&restored),
+            )
+            .unwrap();
+            assert_eq!(
+                resumed.scores.values, uninterrupted.scores.values,
+                "resume after {max_calls} utility calls must be bit-identical"
+            );
+            assert_eq!(resumed.checkpoint.totals, uninterrupted.checkpoint.totals);
+            assert_eq!(
+                resumed.checkpoint.totals_sq,
+                uninterrupted.checkpoint.totals_sq
+            );
+            assert!(resumed.checkpoint.inflight.is_none());
+        }
+    }
+
+    #[test]
+    fn memoized_run_is_bit_identical_and_hits() {
+        let (train, valid) = toy();
+        let cfg = budget_cfg(25);
+        let knn = KnnClassifier::new(1);
+        let plain = tmc_shapley_budgeted(&knn, &train, &valid, &cfg, &RunBudget::unlimited(), None)
+            .unwrap();
+        let cache = MemoCache::new();
+        let cached = tmc_shapley_budgeted_cached(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited(),
+            None,
+            Some(&cache),
+        )
+        .unwrap();
+        assert_eq!(cached.scores.values, plain.scores.values);
+        // Logical budget accounting is cache-independent.
+        assert_eq!(
+            cached.checkpoint.utility_calls,
+            plain.checkpoint.utility_calls
+        );
+        // 25 permutations over 5 examples revisit coalitions constantly.
+        assert!(cache.hits() > 0, "expected repeated coalitions to hit");
+        assert!(cache.len() as u64 <= plain.checkpoint.utility_calls);
+    }
+
+    #[test]
     fn rejects_mismatched_checkpoints_and_corrupt_features() {
         let (train, valid) = toy();
         let cfg = budget_cfg(10);
@@ -567,6 +782,30 @@ mod tests {
                 &cfg,
                 &RunBudget::unlimited(),
                 Some(&wrong_method)
+            ),
+            Err(ImportanceError::Checkpoint(_))
+        ));
+        // An in-flight snapshot whose rng_state does not belong to the run's
+        // seed is refused instead of silently corrupting the estimate.
+        let trip = tmc_shapley_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited().with_max_utility_calls(8),
+            None,
+        )
+        .unwrap();
+        let mut forged = trip.checkpoint.clone();
+        forged.rng_state = Some([1, 2, 3, 4]);
+        assert!(matches!(
+            tmc_shapley_budgeted(
+                &knn,
+                &train,
+                &valid,
+                &cfg,
+                &RunBudget::unlimited(),
+                Some(&forged)
             ),
             Err(ImportanceError::Checkpoint(_))
         ));

@@ -9,15 +9,27 @@
 //! tuple, or skip the tuple and record it in
 //! [`ExecOutput::quarantined`] (with source-tuple provenance when tracking
 //! is enabled) while the rest of the pipeline completes.
+//!
+//! Per-row evaluation is chunk-parallel when [`Executor::with_threads`]
+//! raises the worker count; the output table, provenance, quarantine
+//! records, and fail-fast errors are identical for every thread count.
 
 use crate::plan::{JoinType, NodeId, Plan, PlanNode};
 use crate::provenance::{Lineage, ProvExpr, TupleId};
 use crate::{PipelineError, Result};
 use nde_data::fxhash::FxHashMap;
+use nde_data::par::{effective_threads, par_map_indexed, WorkerFailure};
 use nde_data::{Column, DataType, Field, Table};
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
 use std::sync::Once;
+
+/// Rows are evaluated in fixed-size chunks whose outcomes are merged in
+/// chunk order — the chunking is independent of the thread count, so the
+/// output table, provenance, and quarantine list are identical for every
+/// `threads` value (including 1).
+const ROW_CHUNK: usize = 64;
 
 /// What the executor does when an operator panics on a tuple.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,10 +73,21 @@ pub struct ExecOutput {
 }
 
 /// Evaluates plans over named input tables.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Executor {
     track_provenance: bool,
     panic_policy: PanicPolicy,
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        Executor {
+            track_provenance: false,
+            panic_policy: PanicPolicy::default(),
+            threads: 1,
+        }
+    }
 }
 
 type NodeResult = (Table, Option<Vec<ProvExpr>>);
@@ -121,6 +144,14 @@ impl Executor {
         self
     }
 
+    /// Worker threads for per-tuple operator evaluation (`Filter`,
+    /// `Project`). Output tables, provenance, quarantine records, and
+    /// fail-fast errors are identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Executor {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Execute `root` of `plan` over the named `inputs`.
     pub fn run(&self, plan: &Plan, root: NodeId, inputs: &[(&str, &Table)]) -> Result<ExecOutput> {
         let source_names: Vec<String> =
@@ -154,40 +185,76 @@ impl Executor {
         })
     }
 
-    /// Evaluate one guarded row: `Ok(Some(v))` on success, `Ok(None)` when
-    /// the row was quarantined, `Err` on expression errors or a fail-fast
-    /// panic.
+    /// Evaluate `eval(row)` for every row under the panic guard, in
+    /// [`ROW_CHUNK`]-sized chunks spread over the executor's worker threads.
+    ///
+    /// Returns the surviving `(row, value)` pairs in row order and appends
+    /// quarantined rows (skip-and-record policy) to `quarantined`, also in
+    /// row order. Under fail-fast, the error returned is always the one a
+    /// sequential scan would hit first: workers claim chunks in ascending
+    /// order and stop at their chunk's first failure, and the substrate
+    /// reports the smallest failing chunk.
     #[allow(clippy::too_many_arguments)]
-    fn guard_row<T>(
+    fn guarded_rows<T: Send>(
         &self,
         node: usize,
         operator: &str,
-        row: usize,
+        n_rows: usize,
         prov: Option<&[ProvExpr]>,
         quarantined: &mut Vec<QuarantinedTuple>,
-        f: impl FnOnce() -> Result<T>,
-    ) -> Result<Option<T>> {
-        match catch_tuple_panic(f) {
-            Ok(result) => result.map(Some),
-            Err(message) => match self.panic_policy {
-                PanicPolicy::FailFast => Err(PipelineError::OperatorPanic {
+        eval: impl Fn(usize) -> Result<T> + Sync,
+    ) -> Result<Vec<(usize, T)>> {
+        let chunks = n_rows.div_ceil(ROW_CHUNK) as u64;
+        let threads = effective_threads(self.threads, chunks as usize);
+        let stop = AtomicBool::new(false);
+        let outcomes = par_map_indexed(threads, 0..chunks, &stop, |c| {
+            let start = c as usize * ROW_CHUNK;
+            let end = (start + ROW_CHUNK).min(n_rows);
+            let mut kept = Vec::with_capacity(end - start);
+            let mut quarantine: Vec<(usize, String)> = Vec::new();
+            for row in start..end {
+                match catch_tuple_panic(|| eval(row)) {
+                    Ok(value) => kept.push((row, value?)),
+                    Err(message) => match self.panic_policy {
+                        PanicPolicy::FailFast => {
+                            return Err(PipelineError::OperatorPanic {
+                                node,
+                                operator: operator.to_string(),
+                                row,
+                                message,
+                            })
+                        }
+                        PanicPolicy::SkipAndRecord => quarantine.push((row, message)),
+                    },
+                }
+            }
+            Ok((kept, quarantine))
+        })
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            // Unreachable in practice: row evaluation is guarded above, and
+            // the merge bookkeeping does not panic.
+            WorkerFailure::Panic(_, message) => PipelineError::OperatorPanic {
+                node,
+                operator: operator.to_string(),
+                row: 0,
+                message,
+            },
+        })?;
+        let mut all_kept = Vec::with_capacity(n_rows);
+        for (_, (kept, quarantine)) in outcomes {
+            all_kept.extend(kept);
+            for (row, message) in quarantine {
+                quarantined.push(QuarantinedTuple {
                     node,
                     operator: operator.to_string(),
                     row,
+                    sources: prov.map(|p| p[row].tuples()).unwrap_or_default(),
                     message,
-                }),
-                PanicPolicy::SkipAndRecord => {
-                    quarantined.push(QuarantinedTuple {
-                        node,
-                        operator: operator.to_string(),
-                        row,
-                        sources: prov.map(|p| p[row].tuples()).unwrap_or_default(),
-                        message,
-                    });
-                    Ok(None)
-                }
-            },
+                });
+            }
         }
+        Ok(all_kept)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -280,22 +347,22 @@ impl Executor {
             PlanNode::Filter { input, predicate } => {
                 let (t, p) = self.eval(plan, *input, source_names, inputs, memo, quarantined)?;
                 let operator = format!("filter({})", crate::render::expr_label(predicate));
-                // Evaluate the predicate once per row, propagating errors and
-                // isolating panics per the executor's policy.
-                let mut kept = Vec::with_capacity(t.n_rows());
-                for row in 0..t.n_rows() {
-                    let verdict = self.guard_row(
-                        id.index(),
-                        &operator,
-                        row,
-                        p.as_deref(),
-                        quarantined,
-                        || predicate.eval_predicate(&t, row),
-                    )?;
-                    if verdict == Some(true) {
-                        kept.push(row);
-                    }
-                }
+                // Evaluate the predicate once per row (chunk-parallel),
+                // propagating errors and isolating panics per the
+                // executor's policy.
+                let verdicts = self.guarded_rows(
+                    id.index(),
+                    &operator,
+                    t.n_rows(),
+                    p.as_deref(),
+                    quarantined,
+                    |row| predicate.eval_predicate(&t, row),
+                )?;
+                let kept: Vec<usize> = verdicts
+                    .into_iter()
+                    .filter(|&(_, keep)| keep)
+                    .map(|(row, _)| row)
+                    .collect();
                 let table = t.take(&kept)?;
                 let prov = p.map(|p| kept.iter().map(|&r| p[r].clone()).collect());
                 (table, prov)
@@ -313,23 +380,22 @@ impl Executor {
                 } else {
                     expr.output_type(&t)?
                 };
-                // Evaluate per row under the panic guard; rows whose
-                // evaluation panics are quarantined (skip-and-record) and
-                // dropped from the output.
-                let mut kept = Vec::with_capacity(t.n_rows());
-                let mut values = Vec::with_capacity(t.n_rows());
-                for row in 0..t.n_rows() {
-                    if let Some(v) = self.guard_row(
-                        id.index(),
-                        &operator,
-                        row,
-                        p.as_deref(),
-                        quarantined,
-                        || expr.eval(&t, row),
-                    )? {
-                        kept.push(row);
-                        values.push(v);
-                    }
+                // Evaluate per row under the panic guard (chunk-parallel);
+                // rows whose evaluation panics are quarantined
+                // (skip-and-record) and dropped from the output.
+                let rows = self.guarded_rows(
+                    id.index(),
+                    &operator,
+                    t.n_rows(),
+                    p.as_deref(),
+                    quarantined,
+                    |row| expr.eval(&t, row),
+                )?;
+                let mut kept = Vec::with_capacity(rows.len());
+                let mut values = Vec::with_capacity(rows.len());
+                for (row, v) in rows {
+                    kept.push(row);
+                    values.push(v);
                 }
                 let mut t = if kept.len() == t.n_rows() {
                     t
@@ -726,6 +792,70 @@ mod tests {
             .rows
             .iter()
             .all(|e| !e.tuples().contains(&TupleId::new(0, 5))));
+    }
+
+    fn multi_panic_udf(panic_rows: &[usize]) -> Expr {
+        let rows: Vec<usize> = panic_rows.to_vec();
+        Expr::udf(
+            format!("boom_rows_{rows:?}"),
+            DataType::Bool,
+            &[],
+            move |_t, row| {
+                if rows.contains(&row) {
+                    panic!("boom on row {row}");
+                }
+                Ok(Value::Bool(true))
+            },
+        )
+    }
+
+    #[test]
+    fn parallel_execution_is_identical_to_sequential() {
+        // Enough rows for several chunks; panics land in different chunks.
+        let s = HiringScenario::generate(300, 7);
+        let mut plan = Plan::new();
+        let a = plan.source("train_df");
+        let f = plan.filter(a, multi_panic_udf(&[5, 70, 199, 250]));
+        let run = |threads| {
+            Executor::new()
+                .with_provenance(true)
+                .with_panic_policy(PanicPolicy::SkipAndRecord)
+                .with_threads(threads)
+                .run(&plan, f, &[("train_df", &s.letters)])
+                .unwrap()
+        };
+        let seq = run(1);
+        assert_eq!(seq.table.n_rows(), s.letters.n_rows() - 4);
+        let rows: Vec<usize> = seq.quarantined.iter().map(|q| q.row).collect();
+        assert_eq!(rows, vec![5, 70, 199, 250]);
+        for threads in [2, 4, 7] {
+            let par = run(threads);
+            assert_eq!(par.table, seq.table, "threads={threads}");
+            assert_eq!(par.quarantined, seq.quarantined, "threads={threads}");
+            assert_eq!(par.provenance, seq.provenance, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_fail_fast_reports_first_failing_row() {
+        let s = HiringScenario::generate(300, 7);
+        let mut plan = Plan::new();
+        let a = plan.source("train_df");
+        // The later row sits in an earlier-claimed chunk only sometimes;
+        // the reported failure must always be the sequential-first row 30.
+        let f = plan.filter(a, multi_panic_udf(&[230, 30]));
+        for threads in [1, 4] {
+            let err = Executor::new()
+                .with_threads(threads)
+                .run(&plan, f, &[("train_df", &s.letters)])
+                .unwrap_err();
+            match err {
+                PipelineError::OperatorPanic { row, .. } => {
+                    assert_eq!(row, 30, "threads={threads}")
+                }
+                other => panic!("expected OperatorPanic, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,27 @@ use crate::Result;
 use nde_data::json::{Json, ToJson};
 use std::path::Path;
 
+/// Progress inside a single interrupted permutation walk.
+///
+/// When a utility-call budget trips partway through a permutation, the
+/// runner records how far the prefix walk got so resume can continue the
+/// walk **mid-permutation** instead of re-running it from scratch. The
+/// permutation's shuffled order is not stored: it is reconstructed on
+/// resume by re-shuffling with `child_seed(seed, cursor)`, and
+/// [`McCheckpoint::rng_state`] carries the post-shuffle stream state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InflightPermutation {
+    /// Number of prefix positions already folded (the walk resumes at
+    /// `order[pos]`).
+    pub pos: u64,
+    /// Utility of the prefix `order[..pos]` (the subtrahend for the next
+    /// marginal).
+    pub prev_u: f64,
+    /// Marginal contributions recorded so far in this permutation, indexed
+    /// by example (zero for examples not yet reached).
+    pub marginals: Vec<f64>,
+}
+
 /// A resumable snapshot of a Monte-Carlo importance estimation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct McCheckpoint {
@@ -32,6 +53,10 @@ pub struct McCheckpoint {
     /// interrupted mid-permutation (permutation-granular runners leave this
     /// `None` and restart the cursor's permutation from its child seed).
     pub rng_state: Option<[u64; 4]>,
+    /// Walk progress inside permutation `cursor`, if the runner was
+    /// interrupted mid-permutation. `None` means the run stopped exactly on
+    /// a permutation boundary.
+    pub inflight: Option<InflightPermutation>,
     /// Running sum of marginal contributions per example.
     pub totals: Vec<f64>,
     /// Running sum of squared marginal contributions per example (for
@@ -49,12 +74,14 @@ impl McCheckpoint {
             cursor: 0,
             utility_calls: 0,
             rng_state: None,
+            inflight: None,
             totals: vec![0.0; n],
             totals_sq: vec![0.0; n],
         }
     }
 
-    /// Validate internal consistency (vector lengths match `n`).
+    /// Validate internal consistency (vector lengths match `n`, in-flight
+    /// state is well-formed).
     pub fn validate(&self) -> Result<()> {
         if self.totals.len() != self.n || self.totals_sq.len() != self.n {
             return Err(RobustError::Checkpoint(format!(
@@ -63,6 +90,26 @@ impl McCheckpoint {
                 self.totals.len(),
                 self.totals_sq.len()
             )));
+        }
+        if let Some(inflight) = &self.inflight {
+            if inflight.marginals.len() != self.n {
+                return Err(RobustError::Checkpoint(format!(
+                    "in-flight state claims n={} but holds {} marginals",
+                    self.n,
+                    inflight.marginals.len()
+                )));
+            }
+            if inflight.pos as usize > self.n {
+                return Err(RobustError::Checkpoint(format!(
+                    "in-flight position {} exceeds n={}",
+                    inflight.pos, self.n
+                )));
+            }
+            if self.rng_state.is_none() {
+                return Err(RobustError::Checkpoint(
+                    "in-flight state requires `rng_state` to reconstruct the stream".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -73,6 +120,14 @@ impl McCheckpoint {
             Some(words) => Json::Arr(words.iter().map(|&w| Json::UInt(w)).collect()),
             None => Json::Null,
         };
+        let inflight = match &self.inflight {
+            Some(state) => Json::Obj(vec![
+                ("pos".into(), Json::UInt(state.pos)),
+                ("prev_u".into(), state.prev_u.to_json()),
+                ("marginals".into(), state.marginals.to_json()),
+            ]),
+            None => Json::Null,
+        };
         Json::Obj(vec![
             ("method".into(), self.method.to_json()),
             ("seed".into(), Json::UInt(self.seed)),
@@ -80,6 +135,7 @@ impl McCheckpoint {
             ("cursor".into(), Json::UInt(self.cursor)),
             ("utility_calls".into(), Json::UInt(self.utility_calls)),
             ("rng_state".into(), rng_state),
+            ("inflight".into(), inflight),
             ("totals".into(), self.totals.to_json()),
             ("totals_sq".into(), self.totals_sq.to_json()),
         ])
@@ -128,6 +184,45 @@ impl McCheckpoint {
                 ))
             }
         };
+        // Written by older runners that stop only on permutation boundaries;
+        // treat a missing `inflight` field the same as an explicit null.
+        let inflight = match doc.get("inflight") {
+            None | Some(Json::Null) => None,
+            Some(obj @ Json::Obj(_)) => {
+                let sub = |name: &str| {
+                    obj.get(name).ok_or_else(|| {
+                        RobustError::Checkpoint(format!("`inflight` missing field `{name}`"))
+                    })
+                };
+                Some(InflightPermutation {
+                    pos: sub("pos")?.as_u64().ok_or_else(|| {
+                        RobustError::Checkpoint("`inflight.pos` is not an integer".into())
+                    })?,
+                    prev_u: sub("prev_u")?.as_f64().ok_or_else(|| {
+                        RobustError::Checkpoint("`inflight.prev_u` is not a number".into())
+                    })?,
+                    marginals: sub("marginals")?
+                        .as_arr()
+                        .ok_or_else(|| {
+                            RobustError::Checkpoint("`inflight.marginals` is not an array".into())
+                        })?
+                        .iter()
+                        .map(|v| {
+                            v.as_f64().ok_or_else(|| {
+                                RobustError::Checkpoint(
+                                    "`inflight.marginals` holds a non-number".into(),
+                                )
+                            })
+                        })
+                        .collect::<Result<Vec<f64>>>()?,
+                })
+            }
+            Some(_) => {
+                return Err(RobustError::Checkpoint(
+                    "`inflight` must be null or an object".into(),
+                ))
+            }
+        };
         let ckpt = McCheckpoint {
             method: field("method")?
                 .as_str()
@@ -138,6 +233,7 @@ impl McCheckpoint {
             cursor: uint("cursor")?,
             utility_calls: uint("utility_calls")?,
             rng_state,
+            inflight,
             totals: floats("totals")?,
             totals_sq: floats("totals_sq")?,
         };
@@ -177,6 +273,11 @@ mod tests {
             cursor: 41,
             utility_calls: 1234,
             rng_state: Some([1, u64::MAX, 0, 99]),
+            inflight: Some(InflightPermutation {
+                pos: 2,
+                prev_u: 0.625 + 1e-16,
+                marginals: vec![0.25, -0.125, 0.0],
+            }),
             totals: vec![0.1 + 0.2, -1.5e-13, 1.0 / 3.0],
             totals_sq: vec![0.09, 2.25e-26, 1.0 / 9.0],
         }
@@ -190,6 +291,15 @@ mod tests {
         assert_eq!(back.seed, ckpt.seed);
         assert_eq!(back.cursor, ckpt.cursor);
         assert_eq!(back.rng_state, ckpt.rng_state);
+        let (a, b) = (
+            ckpt.inflight.as_ref().unwrap(),
+            back.inflight.as_ref().unwrap(),
+        );
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.prev_u.to_bits(), b.prev_u.to_bits());
+        for (x, y) in a.marginals.iter().zip(&b.marginals) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
         for (a, b) in ckpt.totals.iter().zip(&back.totals) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -240,6 +350,44 @@ mod tests {
         let ckpt = McCheckpoint::fresh("tmc-shapley", 9, 4);
         assert_eq!(ckpt.cursor, 0);
         assert_eq!(ckpt.totals, vec![0.0; 4]);
+        assert!(ckpt.inflight.is_none());
         assert!(ckpt.validate().is_ok());
+    }
+
+    #[test]
+    fn checkpoints_without_inflight_field_still_parse() {
+        // A PR-1-era checkpoint predates the `inflight` field entirely.
+        let mut ckpt = sample();
+        ckpt.inflight = None;
+        ckpt.rng_state = None;
+        let legacy = ckpt.to_json().replace("  \"inflight\": null,\n", "");
+        assert!(legacy.len() < ckpt.to_json().len());
+        let back = McCheckpoint::from_json(&legacy).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn malformed_inflight_is_rejected() {
+        // Marginals length must match n.
+        let mut ckpt = sample();
+        ckpt.inflight.as_mut().unwrap().marginals.pop();
+        assert!(matches!(
+            McCheckpoint::from_json(&ckpt.to_json()),
+            Err(RobustError::Checkpoint(_))
+        ));
+        // In-flight state without an RNG stream to resume is unusable.
+        let mut ckpt = sample();
+        ckpt.rng_state = None;
+        assert!(matches!(
+            McCheckpoint::from_json(&ckpt.to_json()),
+            Err(RobustError::Checkpoint(_))
+        ));
+        // Position can't exceed n.
+        let mut ckpt = sample();
+        ckpt.inflight.as_mut().unwrap().pos = 99;
+        assert!(matches!(
+            McCheckpoint::from_json(&ckpt.to_json()),
+            Err(RobustError::Checkpoint(_))
+        ));
     }
 }

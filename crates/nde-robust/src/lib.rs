@@ -18,17 +18,23 @@
 //! - [`chaos`] — a deterministic fault-injection harness: operator panics,
 //!   corrupt/NaN feature values, and scheduled dependency failures, used by
 //!   integration tests to prove every workflow survives each fault class.
+//! - [`par`] — the deterministic-parallelism substrate: seed-partitioned
+//!   worker pools, a subset-fingerprint memo cache for utility calls, and
+//!   [`par::AtomicBudgetClock`] so budgets can be shared across workers
+//!   while the fold stays bit-identical to a sequential run.
 
 pub mod budget;
 pub mod chaos;
 pub mod checkpoint;
 pub mod error;
+pub mod par;
 pub mod retry;
 
 pub use budget::{BudgetClock, ConvergenceDiagnostics, Exhaustion, RunBudget};
 pub use chaos::FaultSchedule;
-pub use checkpoint::McCheckpoint;
+pub use checkpoint::{InflightPermutation, McCheckpoint};
 pub use error::RobustError;
+pub use par::{AtomicBudgetClock, MemoCache};
 pub use retry::{retry_with_backoff, RetryPolicy};
 
 /// Crate-wide result alias.

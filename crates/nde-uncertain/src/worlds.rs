@@ -3,10 +3,12 @@
 
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
-use nde_data::rng::Rng;
+use nde_data::par::{effective_threads, par_map_indexed_scratch, WorkerFailure};
+use nde_data::rng::{child_seed, seeded, Rng};
 use nde_ml::dataset::Dataset;
 use nde_ml::linalg::Matrix;
 use nde_ml::model::Classifier;
+use std::sync::atomic::AtomicBool;
 
 /// Aggregated predictions across sampled worlds.
 #[derive(Debug, Clone)]
@@ -44,7 +46,7 @@ impl WorldEnsemble {
 /// Sample `worlds` imputations of the symbolic training features (uniform
 /// within each cell's interval), retrain a fresh clone of `template` per
 /// world, and aggregate predictions on `test_x`.
-pub fn sample_worlds<C: Classifier>(
+pub fn sample_worlds<C>(
     template: &C,
     train_x: &SymbolicMatrix,
     train_y: &[usize],
@@ -52,7 +54,34 @@ pub fn sample_worlds<C: Classifier>(
     test_x: &Matrix,
     worlds: usize,
     seed: u64,
-) -> Result<WorldEnsemble> {
+) -> Result<WorldEnsemble>
+where
+    C: Classifier + Send + Sync,
+{
+    sample_worlds_par(
+        template, train_x, train_y, n_classes, test_x, worlds, seed, 1,
+    )
+}
+
+/// [`sample_worlds`] parallelized over worlds.
+///
+/// Each world's imputation stream is `child_seed(seed, w)` and the
+/// per-world vote counts are integers summed over the sorted world indices,
+/// so the ensemble is bit-identical for every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_worlds_par<C>(
+    template: &C,
+    train_x: &SymbolicMatrix,
+    train_y: &[usize],
+    n_classes: usize,
+    test_x: &Matrix,
+    worlds: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<WorldEnsemble>
+where
+    C: Classifier + Send + Sync,
+{
     if worlds == 0 {
         return Err(UncertainError::InvalidArgument("worlds must be > 0".into()));
     }
@@ -63,27 +92,51 @@ pub fn sample_worlds<C: Classifier>(
             train_y.len()
         )));
     }
-    let mut counts = vec![vec![0usize; n_classes]; test_x.rows()];
-    let mut rng = nde_data::rng::seeded(seed);
-    let mut world_x = Matrix::zeros(train_x.len(), train_x.cols());
-    for _ in 0..worlds {
-        for (r, row) in train_x.iter_rows().enumerate() {
-            for (c, iv) in row.iter().enumerate() {
-                let v = if iv.is_point() {
-                    iv.lo
-                } else {
-                    iv.lo + rng.gen::<f64>() * iv.width()
-                };
-                world_x.set(r, c, v);
+    let threads = effective_threads(threads, worlds);
+    let stop = AtomicBool::new(false);
+    let per_world = par_map_indexed_scratch(
+        threads,
+        0..worlds as u64,
+        &stop,
+        || Matrix::zeros(train_x.len(), train_x.cols()),
+        |world_x, w| {
+            let mut rng = seeded(child_seed(seed, w));
+            for (r, row) in train_x.iter_rows().enumerate() {
+                for (c, iv) in row.iter().enumerate() {
+                    let v = if iv.is_point() {
+                        iv.lo
+                    } else {
+                        iv.lo + rng.gen::<f64>() * iv.width()
+                    };
+                    world_x.set(r, c, v);
+                }
             }
+            let data = Dataset::new(world_x.clone(), train_y.to_vec(), n_classes)?;
+            let mut model = template.clone();
+            model.fit(&data)?;
+            // Flat per-world vote counts: `votes[t * n_classes + p]`.
+            let mut votes = vec![0usize; test_x.rows() * n_classes];
+            for (t, row) in test_x.iter_rows().enumerate() {
+                let p = model.predict_one(row);
+                if p < n_classes {
+                    votes[t * n_classes + p] += 1;
+                }
+            }
+            Ok::<_, UncertainError>(votes)
+        },
+    )
+    .map_err(|fail| match fail {
+        WorkerFailure::Err(_, e) => e,
+        WorkerFailure::Panic(_, msg) => {
+            UncertainError::InvalidArgument(format!("world sampling worker panicked: {msg}"))
         }
-        let data = Dataset::new(world_x.clone(), train_y.to_vec(), n_classes)?;
-        let mut model = template.clone();
-        model.fit(&data)?;
-        for (t, row) in test_x.iter_rows().enumerate() {
-            let p = model.predict_one(row);
-            if p < n_classes {
-                counts[t][p] += 1;
+    })?;
+
+    let mut counts = vec![vec![0usize; n_classes]; test_x.rows()];
+    for (_, votes) in &per_world {
+        for t in 0..test_x.rows() {
+            for c in 0..n_classes {
+                counts[t][c] += votes[t * n_classes + c];
             }
         }
     }
@@ -140,6 +193,19 @@ mod tests {
         assert_eq!(ens.robust_prediction(1, 0.95), Some(1));
         assert!(ens.coverage(0.99) < 1.0);
         assert_eq!(ens.coverage(0.5), 1.0);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let (sym, y) = symbolic_train();
+        let test = Matrix::from_rows(vec![vec![0.2], vec![9.8]]).unwrap();
+        let seq = sample_worlds(&KnnClassifier::new(1), &sym, &y, 2, &test, 100, 7).unwrap();
+        for threads in [2, 4, 7] {
+            let par =
+                sample_worlds_par(&KnnClassifier::new(1), &sym, &y, 2, &test, 100, 7, threads)
+                    .unwrap();
+            assert_eq!(seq.shares, par.shares, "threads={threads}");
+        }
     }
 
     #[test]

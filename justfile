@@ -4,6 +4,12 @@
 verify:
     cargo build --release --offline
     cargo test -q --offline
+    cargo test -q --release --offline -p nde-tests --test parallel_substrate
+
+# Budget-capped bench smoke (what CI runs to keep figure runs bounded).
+bench-smoke:
+    cargo build --release --offline -p nde-bench --bin exp_shapley_scaling
+    ./target/release/exp_shapley_scaling --smoke --threads=1,4 --max-utility-calls=300
 
 # Format and lint.
 lint:

@@ -1,0 +1,209 @@
+//! Cross-crate guarantees of the deterministic parallel substrate: every
+//! estimator and the pipeline executor must produce bit-identical output
+//! for every thread count — with and without a tripped budget, across a
+//! checkpoint/resume cycle, and with the utility memo cache attached.
+
+use nde_data::generate::blobs::two_gaussians;
+use nde_importance::knn_shapley::{knn_shapley, knn_shapley_par};
+use nde_importance::shapley_mc::{
+    tmc_shapley_budgeted, tmc_shapley_budgeted_cached, ShapleyConfig,
+};
+use nde_ml::dataset::Dataset;
+use nde_ml::models::knn::KnnClassifier;
+use nde_robust::par::MemoCache;
+use nde_robust::RunBudget;
+
+fn workload(n: usize, n_valid: usize, seed: u64) -> (Dataset, Dataset) {
+    let nd = two_gaussians(n + n_valid, 3, 4.0, seed);
+    let all = Dataset::try_from(&nd).expect("blob data is well-formed");
+    let mut train = all.subset(&(0..n).collect::<Vec<_>>());
+    let valid = all.subset(&(n..n + n_valid).collect::<Vec<_>>());
+    // A few label flips so values have spread.
+    for f in [2, 7, 11] {
+        train.y[f] = 1 - train.y[f];
+    }
+    (train, valid)
+}
+
+fn config(threads: usize) -> ShapleyConfig {
+    ShapleyConfig {
+        permutations: 12,
+        truncation_tolerance: 0.0,
+        seed: 41,
+        threads,
+    }
+}
+
+#[test]
+fn budgeted_shapley_is_thread_invariant_without_budget() {
+    let (train, valid) = workload(24, 12, 3);
+    let budget = RunBudget::unlimited();
+    let seq = tmc_shapley_budgeted(
+        &KnnClassifier::new(1),
+        &train,
+        &valid,
+        &config(1),
+        &budget,
+        None,
+    )
+    .unwrap();
+    assert!(seq.diagnostics.completed());
+    for threads in [2, 4] {
+        let par = tmc_shapley_budgeted(
+            &KnnClassifier::new(1),
+            &train,
+            &valid,
+            &config(threads),
+            &budget,
+            None,
+        )
+        .unwrap();
+        assert_eq!(seq.scores, par.scores, "threads={threads}");
+        assert_eq!(
+            seq.diagnostics.utility_calls, par.diagnostics.utility_calls,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn budgeted_shapley_is_thread_invariant_with_tripped_budget() {
+    let (train, valid) = workload(24, 12, 3);
+    // Trips mid-permutation: utility-call budgets stop between coalition
+    // evaluations, so the checkpoint carries in-flight state.
+    let budget = RunBudget::unlimited().with_max_utility_calls(100);
+    let seq = tmc_shapley_budgeted(
+        &KnnClassifier::new(1),
+        &train,
+        &valid,
+        &config(1),
+        &budget,
+        None,
+    )
+    .unwrap();
+    assert!(!seq.diagnostics.completed());
+    assert_eq!(seq.diagnostics.utility_calls, 100);
+    for threads in [2, 4] {
+        let par = tmc_shapley_budgeted(
+            &KnnClassifier::new(1),
+            &train,
+            &valid,
+            &config(threads),
+            &budget,
+            None,
+        )
+        .unwrap();
+        assert_eq!(seq.scores, par.scores, "threads={threads}");
+        assert_eq!(seq.checkpoint.cursor, par.checkpoint.cursor);
+        assert_eq!(
+            seq.checkpoint.inflight.is_some(),
+            par.checkpoint.inflight.is_some()
+        );
+        assert_eq!(seq.diagnostics.utility_calls, par.diagnostics.utility_calls);
+    }
+}
+
+#[test]
+fn parallel_interrupt_resume_matches_sequential_uninterrupted() {
+    let (train, valid) = workload(24, 12, 3);
+    // Authoritative answer: sequential, never interrupted.
+    let unbudgeted = tmc_shapley_budgeted(
+        &KnnClassifier::new(1),
+        &train,
+        &valid,
+        &config(1),
+        &RunBudget::unlimited(),
+        None,
+    )
+    .unwrap();
+    // Parallel run tripped mid-permutation, then resumed in parallel.
+    for threads in [1, 4] {
+        let tripped = tmc_shapley_budgeted(
+            &KnnClassifier::new(1),
+            &train,
+            &valid,
+            &config(threads),
+            &RunBudget::unlimited().with_max_utility_calls(90),
+            None,
+        )
+        .unwrap();
+        assert!(!tripped.diagnostics.completed());
+        let resumed = tmc_shapley_budgeted(
+            &KnnClassifier::new(1),
+            &train,
+            &valid,
+            &config(threads),
+            &RunBudget::unlimited(),
+            Some(&tripped.checkpoint),
+        )
+        .unwrap();
+        assert_eq!(
+            unbudgeted.scores, resumed.scores,
+            "threads={threads}: parallel interrupt+resume must be bit-identical"
+        );
+        assert!(resumed.checkpoint.inflight.is_none());
+    }
+}
+
+#[test]
+fn memo_cache_is_transparent_and_hits_across_a_resume_cycle() {
+    let (train, valid) = workload(20, 10, 5);
+    let cfg = ShapleyConfig {
+        permutations: 25,
+        truncation_tolerance: 0.0,
+        seed: 8,
+        threads: 4,
+    };
+    let uncached = tmc_shapley_budgeted(
+        &KnnClassifier::new(1),
+        &train,
+        &valid,
+        &cfg,
+        &RunBudget::unlimited(),
+        None,
+    )
+    .unwrap();
+    // One shared cache across interrupt + resume: the resumed leg replays
+    // coalitions the first leg already evaluated.
+    let cache = MemoCache::new();
+    let tripped = tmc_shapley_budgeted_cached(
+        &KnnClassifier::new(1),
+        &train,
+        &valid,
+        &cfg,
+        &RunBudget::unlimited().with_max_utility_calls(120),
+        None,
+        Some(&cache),
+    )
+    .unwrap();
+    assert!(!tripped.diagnostics.completed());
+    let resumed = tmc_shapley_budgeted_cached(
+        &KnnClassifier::new(1),
+        &train,
+        &valid,
+        &cfg,
+        &RunBudget::unlimited(),
+        Some(&tripped.checkpoint),
+        Some(&cache),
+    )
+    .unwrap();
+    assert_eq!(uncached.scores, resumed.scores);
+    assert!(cache.hits() > 0, "repeated coalitions must hit the cache");
+    // Logical budget accounting is cache-independent: the resumed run's
+    // total matches the uninterrupted one, plus the one extra U(D) call the
+    // resume re-primes with.
+    assert_eq!(
+        resumed.diagnostics.utility_calls,
+        uncached.diagnostics.utility_calls + 1
+    );
+}
+
+#[test]
+fn knn_shapley_parallel_matches_sequential_across_thread_counts() {
+    let (train, valid) = workload(60, 40, 7);
+    let seq = knn_shapley(&train, &valid, 3).unwrap();
+    for threads in [2, 4, 8] {
+        let par = knn_shapley_par(&train, &valid, 3, threads).unwrap();
+        assert_eq!(seq, par, "threads={threads}");
+    }
+}
