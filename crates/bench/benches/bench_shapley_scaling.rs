@@ -10,9 +10,8 @@
 //! ```
 
 use nde::data::generate::blobs::two_gaussians;
-use nde::importance::knn_shapley::{knn_shapley, knn_shapley_par};
 use nde::importance::loo::loo_importance;
-use nde::importance::shapley_mc::{tmc_shapley, tmc_shapley_budgeted_cached, ShapleyConfig};
+use nde::importance::{knn_shapley, tmc_shapley, BatchPolicy, ImportanceRun, TmcParams};
 use nde::ml::dataset::Dataset;
 use nde::ml::models::knn::KnnClassifier;
 use nde::robust::par::MemoCache;
@@ -47,31 +46,48 @@ fn main() {
         let valid = all.subset(&(n..n + 40).collect::<Vec<_>>());
 
         bench(&format!("shapley_scaling/knn_shapley_exact/{n}"), || {
-            knn_shapley(&train, &valid, 1).expect("scores")
+            knn_shapley(&ImportanceRun::new(1), &train, &valid, 1).expect("scores")
         });
         bench(&format!("shapley_scaling/loo/{n}"), || {
             loo_importance(&KnnClassifier::new(1), &train, &valid).expect("scores")
         });
-        let cfg = ShapleyConfig {
+        let params = TmcParams {
             permutations: 10,
             truncation_tolerance: 0.01,
-            seed: 1,
-            threads: 1,
         };
         bench(&format!("shapley_scaling/tmc_shapley_10perm/{n}"), || {
-            tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).expect("scores")
+            tmc_shapley(
+                &ImportanceRun::new(1),
+                &KnnClassifier::new(1),
+                &train,
+                &valid,
+                &params,
+            )
+            .expect("scores")
         });
+        for batch in [1usize, 8, 32] {
+            let run = ImportanceRun::new(1).with_batch(BatchPolicy::Grouped { size: batch });
+            bench(
+                &format!("shapley_scaling/tmc_shapley_10perm_batch{batch}/{n}"),
+                || {
+                    tmc_shapley(&run, &KnnClassifier::new(1), &train, &valid, &params)
+                        .expect("scores")
+                },
+            );
+        }
 
         for &threads in &threads_list {
-            let cfg = ShapleyConfig {
-                permutations: 10,
-                truncation_tolerance: 0.01,
-                seed: 1,
-                threads,
-            };
             bench(
                 &format!("shapley_scaling/knn_shapley_par/{n}/t{threads}"),
-                || knn_shapley_par(&train, &valid, 1, threads).expect("scores"),
+                || {
+                    knn_shapley(
+                        &ImportanceRun::new(1).with_threads(threads),
+                        &train,
+                        &valid,
+                        1,
+                    )
+                    .expect("scores")
+                },
             );
             bench(
                 &format!("shapley_scaling/tmc_budgeted_cached_10perm/{n}/t{threads}"),
@@ -79,16 +95,12 @@ fn main() {
                     // Fresh cache per iteration: times the full workload, not
                     // a warm replay.
                     let cache = MemoCache::new();
-                    tmc_shapley_budgeted_cached(
-                        &KnnClassifier::new(1),
-                        &train,
-                        &valid,
-                        &cfg,
-                        &budget,
-                        None,
-                        Some(&cache),
-                    )
-                    .expect("scores")
+                    let run = ImportanceRun::new(1)
+                        .with_threads(threads)
+                        .with_budget(budget.clone())
+                        .with_cache(&cache);
+                    tmc_shapley(&run, &KnnClassifier::new(1), &train, &valid, &params)
+                        .expect("scores")
                 },
             );
         }

@@ -10,6 +10,7 @@
 //! --permutations=50        TMC permutation budget
 //! --max-utility-calls=N    RunBudget utility-call cap
 //! --max-iterations=N       RunBudget iteration (permutation) cap
+//! --batch-size=8           wave width for the batched-vs-unbatched bench
 //! --out=BENCH_shapley.json where to write the machine-readable bench
 //! ```
 use nde::robust::RunBudget;
@@ -22,6 +23,7 @@ struct Args {
     n: usize,
     permutations: usize,
     budget: RunBudget,
+    batch_size: usize,
     out: String,
 }
 
@@ -31,6 +33,7 @@ fn parse_args() -> Args {
     let mut n: Option<usize> = None;
     let mut permutations: Option<usize> = None;
     let mut budget = RunBudget::unlimited();
+    let mut batch_size = 8usize;
     let mut out = "BENCH_shapley.json".to_string();
     for arg in std::env::args().skip(1) {
         let (key, value) = match arg.split_once('=') {
@@ -57,6 +60,10 @@ fn parse_args() -> Args {
                 budget =
                     budget.with_max_iterations(value.parse().expect("--max-iterations: integer"));
             }
+            "--batch-size" => {
+                batch_size = value.parse().expect("--batch-size takes an integer");
+                assert!(batch_size >= 1, "--batch-size must be >= 1");
+            }
             "--out" => out = value.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -71,6 +78,7 @@ fn parse_args() -> Args {
         n: n.unwrap_or(if smoke { 40 } else { 200 }),
         permutations: permutations.unwrap_or(if smoke { 8 } else { 50 }),
         budget,
+        batch_size,
         out,
     }
 }
@@ -110,7 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nParallel substrate bench — n={}, {} permutations, threads {:?}",
         args.n, args.permutations, args.threads
     );
-    let (bench, diagnostics) =
+    let (mut bench, diagnostics) =
         shapley_scaling::parallel_bench(args.n, args.permutations, &args.threads, &args.budget, 6)?;
     let mut t = TextTable::new(&[
         "method",
@@ -139,6 +147,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             d.max_marginal_std_error
                 .map_or_else(|| "n/a".to_string(), |se| format!("{se:.4}")),
             d.exhausted,
+        );
+    }
+
+    println!(
+        "\nBatched utility bench — n={}, {} permutations, batch size {} vs 1",
+        args.n, args.permutations, args.batch_size
+    );
+    bench.batch_comparison =
+        shapley_scaling::batching_bench(args.n, args.permutations, args.batch_size, 6)?;
+    let mut t = TextTable::new(&[
+        "batch size",
+        "wall ms",
+        "utility calls",
+        "ms/call",
+        "batches",
+    ]);
+    for e in &bench.batch_comparison {
+        t.row(vec![
+            e.batch_size.to_string(),
+            format!("{:.2}", e.wall_ms),
+            e.utility_calls.to_string(),
+            format!("{:.5}", e.ms_per_call),
+            e.batches_formed.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    if let [unbatched, batched] = &bench.batch_comparison[..] {
+        println!(
+            "speedup per utility call: {:.2}x",
+            unbatched.ms_per_call / batched.ms_per_call
         );
     }
 

@@ -9,9 +9,9 @@
 
 use nde::api::inject_label_errors;
 use nde::data::generate::hiring::LABEL_COLUMN;
-use nde::importance::detection_precision_at_k;
-use nde::importance::knn_shapley::knn_shapley;
-use nde::importance::shapley_mc::{tmc_shapley, ShapleyConfig};
+use nde::importance::{
+    detection_precision_at_k, knn_shapley, tmc_shapley, ImportanceRun, TmcParams,
+};
 use nde::ml::dataset::{Dataset, LabelEncoder};
 use nde::ml::encode::TableEncoder;
 use nde::ml::model::Classifier;
@@ -114,7 +114,7 @@ pub fn run(n: usize, seed: u64) -> Result<AblationReport, NdeError> {
         let mut model = KnnClassifier::new(5);
         model.fit(&train_ds)?;
         let accuracy = model.accuracy(&valid_ds);
-        let scores = knn_shapley(&train_ds, &valid_ds, 5)?;
+        let scores = knn_shapley(&ImportanceRun::new(seed), &train_ds, &valid_ds, 5)?.scores;
         let detection_precision = detection_precision_at_k(&scores, &report.affected, k_errors);
         text_dims.push(TextDimPoint {
             dims,
@@ -127,7 +127,7 @@ pub fn run(n: usize, seed: u64) -> Result<AblationReport, NdeError> {
     let (train_ds, valid_ds) = encode(&dirty, &scenario.valid, 64)?;
     let mut shapley_k = Vec::new();
     for k in [1usize, 3, 5, 11, 25] {
-        let scores = knn_shapley(&train_ds, &valid_ds, k)?;
+        let scores = knn_shapley(&ImportanceRun::new(seed), &train_ds, &valid_ds, k)?.scores;
         shapley_k.push(KPoint {
             k,
             detection_precision: detection_precision_at_k(&scores, &report.affected, k_errors),
@@ -137,21 +137,34 @@ pub fn run(n: usize, seed: u64) -> Result<AblationReport, NdeError> {
     // --- TMC truncation sweep (on a smaller subset for tractability) -----
     let small_rows: Vec<usize> = (0..train_ds.len().min(60)).collect();
     let small_train = train_ds.subset(&small_rows);
-    let exact_cfg = ShapleyConfig {
+    let run = ImportanceRun::new(seed);
+    let exact_params = TmcParams {
         permutations: 40,
         truncation_tolerance: 0.0,
-        seed,
-        threads: 1,
     };
-    let exact = tmc_shapley(&KnnClassifier::new(1), &small_train, &valid_ds, &exact_cfg)?;
+    let exact = tmc_shapley(
+        &run,
+        &KnnClassifier::new(1),
+        &small_train,
+        &valid_ds,
+        &exact_params,
+    )?
+    .scores;
     let mut truncation = Vec::new();
     for tolerance in [0.0, 0.01, 0.05, 0.2] {
-        let cfg = ShapleyConfig {
+        let params = TmcParams {
             truncation_tolerance: tolerance,
-            ..exact_cfg.clone()
+            ..exact_params.clone()
         };
         let t0 = Instant::now();
-        let scores = tmc_shapley(&KnnClassifier::new(1), &small_train, &valid_ds, &cfg)?;
+        let scores = tmc_shapley(
+            &run,
+            &KnnClassifier::new(1),
+            &small_train,
+            &valid_ds,
+            &params,
+        )?
+        .scores;
         truncation.push(TruncationPoint {
             tolerance,
             secs: t0.elapsed().as_secs_f64(),

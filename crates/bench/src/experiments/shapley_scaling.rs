@@ -7,9 +7,8 @@
 //! as the permutation budget grows.
 
 use nde::data::generate::blobs::two_gaussians;
-use nde::importance::knn_shapley::{knn_shapley, knn_shapley_par};
 use nde::importance::loo::loo_importance;
-use nde::importance::shapley_mc::{tmc_shapley, tmc_shapley_budgeted_cached, ShapleyConfig};
+use nde::importance::{knn_shapley, tmc_shapley, BatchPolicy, ImportanceRun, TmcParams};
 use nde::ml::dataset::Dataset;
 use nde::ml::models::knn::KnnClassifier;
 use nde::robust::par::MemoCache;
@@ -75,21 +74,26 @@ pub fn run(sizes: &[usize], permutations: usize, seed: u64) -> Result<ScalingRep
         let (train, valid) = blobs(n, seed);
 
         let t0 = Instant::now();
-        let exact = knn_shapley(&train, &valid, 1)?;
+        let exact = knn_shapley(&ImportanceRun::new(seed), &train, &valid, 1)?.scores;
         let knn_shapley_secs = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
         let _loo = loo_importance(&KnnClassifier::new(1), &train, &valid)?;
         let loo_secs = t0.elapsed().as_secs_f64();
 
-        let cfg = ShapleyConfig {
+        let params = TmcParams {
             permutations,
             truncation_tolerance: 0.01,
-            seed,
-            threads: 1,
         };
         let t0 = Instant::now();
-        let tmc = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg)?;
+        let tmc = tmc_shapley(
+            &ImportanceRun::new(seed),
+            &KnnClassifier::new(1),
+            &train,
+            &valid,
+            &params,
+        )?
+        .scores;
         let tmc_secs = t0.elapsed().as_secs_f64();
 
         points.push(ScalingPoint {
@@ -141,12 +145,103 @@ pub struct ShapleyBench {
     pub permutations: usize,
     /// One entry per (method, thread count).
     pub entries: Vec<BenchEntry>,
+    /// Batched-vs-unbatched utility comparison (see [`batching_bench`]).
+    pub batch_comparison: Vec<BatchComparisonEntry>,
 }
 
 nde_data::json_struct!(ShapleyBench {
     permutations,
-    entries
+    entries,
+    batch_comparison
 });
+
+/// One side of the batched-vs-unbatched utility comparison recorded in
+/// `BENCH_shapley.json`.
+#[derive(Debug, Clone)]
+pub struct BatchComparisonEntry {
+    /// Coalitions per batch (1 = the unbatched legacy path).
+    pub batch_size: usize,
+    /// Wall-clock milliseconds for the whole TMC run.
+    pub wall_ms: f64,
+    /// Logical utility evaluations the run was charged for.
+    pub utility_calls: u64,
+    /// Wall-clock milliseconds per utility call — the headline number the
+    /// batched engine is meant to shrink.
+    pub ms_per_call: f64,
+    /// Grouped passes submitted to the batched scorer (0 when unbatched).
+    pub batches_formed: u64,
+}
+
+nde_data::json_struct!(BatchComparisonEntry {
+    batch_size,
+    wall_ms,
+    utility_calls,
+    ms_per_call,
+    batches_formed
+});
+
+/// Time the same TMC-Shapley-with-KNN run unbatched (`batch_size` 1) and
+/// with `batch_size`-wide waves through the shared-distance-matrix scorer.
+/// Panics if the two runs' scores are not bit-identical — batching must be
+/// a purely physical optimization.
+pub fn batching_bench(
+    n: usize,
+    permutations: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Result<Vec<BatchComparisonEntry>, NdeError> {
+    // 32-dimensional blobs rather than the scaling bench's 4: utility cost
+    // is dominated by train→valid distance computation, which the batched
+    // scorer amortizes into one shared matrix — low-dimensional toy data
+    // would understate what real (wide) feature matrices gain.
+    let nd = two_gaussians(n + 50, 32, 4.0, seed);
+    let all = Dataset::try_from(&nd).expect("blob data is well-formed");
+    let mut train = all.subset(&(0..n).collect::<Vec<_>>());
+    let valid = all.subset(&(n..n + 50).collect::<Vec<_>>());
+    let mut rng = nde::data::rng::seeded(seed ^ 0xf11b);
+    for f in nde::data::rng::sample_indices(n, n / 10, &mut rng) {
+        train.y[f] = 1 - train.y[f];
+    }
+    let params = TmcParams {
+        permutations,
+        truncation_tolerance: 0.01,
+    };
+    let mut entries = Vec::new();
+    let mut baseline: Option<Vec<f64>> = None;
+    for (size, policy) in [
+        (1, BatchPolicy::Unbatched),
+        (batch_size, BatchPolicy::Grouped { size: batch_size }),
+    ] {
+        let run = ImportanceRun::new(seed).with_batch(policy);
+        // Best of three repetitions: the runs are deterministic, so reps
+        // only differ by scheduler/cache noise and min is the clean signal.
+        let mut wall_ms = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let out = tmc_shapley(&run, &KnnClassifier::new(1), &train, &valid, &params)?;
+            wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            match &baseline {
+                None => baseline = Some(out.scores.values.clone()),
+                Some(base) => assert_eq!(
+                    base, &out.scores.values,
+                    "batched scores diverged from unbatched"
+                ),
+            }
+            report = Some(out.report);
+        }
+        let report = report.expect("three reps ran");
+        let calls = report.utility_calls.max(1);
+        entries.push(BatchComparisonEntry {
+            batch_size: size,
+            wall_ms,
+            utility_calls: calls,
+            ms_per_call: wall_ms / calls as f64,
+            batches_formed: report.batches_formed,
+        });
+    }
+    Ok(entries)
+}
 
 /// Time budgeted+memoized TMC-Shapley and exact KNN-Shapley at each thread
 /// count on the same workload. Scores are bit-identical across thread
@@ -162,36 +257,38 @@ pub fn parallel_bench(
     let (train, valid) = blobs(n, seed);
     let mut entries = Vec::new();
     let mut diagnostics = Vec::new();
+    let params = TmcParams {
+        permutations,
+        truncation_tolerance: 0.01,
+    };
     for &threads in threads_list {
-        let cfg = ShapleyConfig {
-            permutations,
-            truncation_tolerance: 0.01,
-            seed,
-            threads,
-        };
         let cache = MemoCache::new();
+        let run = ImportanceRun::new(seed)
+            .with_threads(threads)
+            .with_budget(budget.clone())
+            .with_cache(&cache);
         let t0 = Instant::now();
-        let out = tmc_shapley_budgeted_cached(
-            &KnnClassifier::new(1),
-            &train,
-            &valid,
-            &cfg,
-            budget,
-            None,
-            Some(&cache),
-        )?;
+        let out = tmc_shapley(&run, &KnnClassifier::new(1), &train, &valid, &params)?;
         entries.push(BenchEntry {
             method: "tmc-shapley".into(),
             n,
             threads,
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-            utility_calls: out.diagnostics.utility_calls,
+            utility_calls: out.report.utility_calls,
             cache_hits: cache.hits(),
         });
-        diagnostics.push((threads, out.diagnostics));
+        diagnostics.push((
+            threads,
+            out.report.diagnostics.expect("tmc reports diagnostics"),
+        ));
 
         let t0 = Instant::now();
-        let _ = knn_shapley_par(&train, &valid, 1, threads)?;
+        let _ = knn_shapley(
+            &ImportanceRun::new(seed).with_threads(threads),
+            &train,
+            &valid,
+            1,
+        )?;
         entries.push(BenchEntry {
             method: "knn-shapley".into(),
             n,
@@ -205,6 +302,7 @@ pub fn parallel_bench(
         ShapleyBench {
             permutations,
             entries,
+            batch_comparison: Vec::new(),
         },
         diagnostics,
     ))
@@ -218,14 +316,20 @@ pub fn convergence(n: usize, budgets: &[usize], seed: u64) -> Result<Vec<(usize,
     let (train, valid) = blobs(n, seed);
     let mut out = Vec::with_capacity(budgets.len());
     for &b in budgets {
-        let mk = |s: u64| ShapleyConfig {
+        let params = TmcParams {
             permutations: b,
             truncation_tolerance: 0.0,
-            seed: s,
-            threads: 1,
         };
-        let a = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &mk(seed))?;
-        let c = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &mk(seed ^ 0xdead))?;
+        let knn = KnnClassifier::new(1);
+        let a = tmc_shapley(&ImportanceRun::new(seed), &knn, &train, &valid, &params)?.scores;
+        let c = tmc_shapley(
+            &ImportanceRun::new(seed ^ 0xdead),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )?
+        .scores;
         out.push((b, a.rank_correlation(&c)));
     }
     Ok(out)
@@ -274,6 +378,26 @@ mod tests {
         // JSON round-trips through the offline serializer.
         let text = crate::report::to_json(&bench);
         assert!(text.contains("\"cache_hits\""));
+    }
+
+    #[test]
+    fn batching_bench_records_both_sides_and_serializes() {
+        let comparison = batching_bench(24, 6, 8, 21).unwrap();
+        assert_eq!(comparison.len(), 2);
+        assert_eq!(comparison[0].batch_size, 1);
+        assert_eq!(comparison[1].batch_size, 8);
+        // Batching is physical only: the logical charge is identical.
+        assert_eq!(comparison[0].utility_calls, comparison[1].utility_calls);
+        assert_eq!(comparison[0].batches_formed, 0);
+        assert!(comparison[1].batches_formed > 0);
+        let bench = ShapleyBench {
+            permutations: 6,
+            entries: Vec::new(),
+            batch_comparison: comparison,
+        };
+        let text = crate::report::to_json(&bench);
+        assert!(text.contains("\"batch_comparison\""));
+        assert!(text.contains("\"ms_per_call\""));
     }
 
     #[test]

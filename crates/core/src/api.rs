@@ -9,7 +9,7 @@ use crate::Result;
 use nde_data::generate::hiring::LABEL_COLUMN;
 use nde_data::inject::{flip_labels, InjectionReport, Missingness};
 use nde_data::Table;
-use nde_importance::knn_shapley::knn_shapley;
+use nde_importance::{knn_shapley, ImportanceRun};
 use nde_ml::dataset::{Dataset, LabelEncoder};
 use nde_ml::encode::TableEncoder;
 use nde_ml::linalg::Matrix;
@@ -80,7 +80,11 @@ pub fn knn_shapley_values(train: &Table, valid: &Table) -> Result<Vec<f64>> {
     let enc = LettersEncoding::fit(train)?;
     let train_ds = enc.dataset(train)?;
     let valid_ds = enc.dataset(valid)?;
-    Ok(knn_shapley(&train_ds, &valid_ds, KNN_K)?.values)
+    Ok(
+        knn_shapley(&ImportanceRun::new(0), &train_ds, &valid_ds, KNN_K)?
+            .scores
+            .values,
+    )
 }
 
 /// `nde.pretty_print(df)` — render the first rows of a table.

@@ -190,7 +190,7 @@ impl<C: Classifier> DebugChallenge<C> {
 mod tests {
     use super::*;
     use nde_data::generate::blobs::two_gaussians;
-    use nde_importance::knn_shapley::knn_shapley;
+    use nde_importance::{knn_shapley, ImportanceRun};
     use nde_ml::models::knn::KnnClassifier;
 
     fn challenge() -> (DebugChallenge<KnnClassifier>, Vec<usize>, Dataset) {
@@ -222,7 +222,9 @@ mod tests {
         let (mut ch, _flips, valid) = challenge();
         let baseline = ch.baseline().unwrap();
         // Importance-guided submission within budget.
-        let scores = knn_shapley(ch.dirty_data(), &valid, 3).unwrap();
+        let scores = knn_shapley(&ImportanceRun::new(0), ch.dirty_data(), &valid, 3)
+            .unwrap()
+            .scores;
         let picks = scores.bottom_k(25);
         let smart = ch.submit("smart", &picks).unwrap();
         // Random submission.

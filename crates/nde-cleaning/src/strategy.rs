@@ -8,13 +8,13 @@
 use crate::Result;
 use nde_data::rng::{permutation, seeded};
 use nde_importance::aum::{aum_importance, AumConfig};
-use nde_importance::banzhaf::{banzhaf_msr, BanzhafConfig};
-use nde_importance::beta_shapley::{beta_shapley, BetaShapleyConfig};
 use nde_importance::confident::{confident_learning, ConfidentConfig};
 use nde_importance::influence::{influence_importance, InfluenceConfig};
-use nde_importance::knn_shapley::knn_shapley;
 use nde_importance::loo::loo_importance;
-use nde_importance::shapley_mc::{tmc_shapley, ShapleyConfig};
+use nde_importance::{
+    banzhaf, beta_shapley, knn_shapley, tmc_shapley, BanzhafConfig, BanzhafParams,
+    BetaShapleyConfig, BetaShapleyParams, ImportanceRun, ShapleyConfig, TmcParams,
+};
 use nde_ml::dataset::Dataset;
 use nde_ml::models::knn::KnnClassifier;
 use nde_ml::models::naive_bayes::GaussianNb;
@@ -71,18 +71,41 @@ impl Strategy {
                 let mut rng = seeded(*seed);
                 permutation(train.len(), &mut rng)
             }
-            Strategy::KnnShapley { k } => knn_shapley(train, valid, *k)?.ascending_indices(),
+            Strategy::KnnShapley { k } => knn_shapley(&ImportanceRun::new(0), train, valid, *k)?
+                .scores
+                .ascending_indices(),
             Strategy::Loo => {
                 loo_importance(&KnnClassifier::new(1), train, valid)?.ascending_indices()
             }
             Strategy::TmcShapley(cfg) => {
-                tmc_shapley(&KnnClassifier::new(1), train, valid, cfg)?.ascending_indices()
+                let run = ImportanceRun::new(cfg.seed).with_threads(cfg.threads);
+                let params = TmcParams {
+                    permutations: cfg.permutations,
+                    truncation_tolerance: cfg.truncation_tolerance,
+                };
+                tmc_shapley(&run, &KnnClassifier::new(1), train, valid, &params)?
+                    .scores
+                    .ascending_indices()
             }
             Strategy::Banzhaf(cfg) => {
-                banzhaf_msr(&KnnClassifier::new(1), train, valid, cfg)?.ascending_indices()
+                let run = ImportanceRun::new(cfg.seed).with_threads(cfg.threads);
+                let params = BanzhafParams {
+                    samples: cfg.samples,
+                };
+                banzhaf(&run, &KnnClassifier::new(1), train, valid, &params)?
+                    .scores
+                    .ascending_indices()
             }
             Strategy::BetaShapley(cfg) => {
-                beta_shapley(&KnnClassifier::new(1), train, valid, cfg)?.ascending_indices()
+                let run = ImportanceRun::new(cfg.seed).with_threads(cfg.threads);
+                let params = BetaShapleyParams {
+                    alpha: cfg.alpha,
+                    beta: cfg.beta,
+                    samples_per_point: cfg.samples_per_point,
+                };
+                beta_shapley(&run, &KnnClassifier::new(1), train, valid, &params)?
+                    .scores
+                    .ascending_indices()
             }
             Strategy::Aum(cfg) => aum_importance(train, cfg)?.ascending_indices(),
             Strategy::ConfidentLearning(cfg) => confident_learning(&GaussianNb::new(), train, cfg)?

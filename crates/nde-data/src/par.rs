@@ -219,7 +219,7 @@ const CACHE_SHARDS: usize = 16;
 /// must use a fresh cache (or [`MemoCache::clear`]) when any of the three
 /// changes; the cache cannot detect mismatched reuse.
 ///
-/// Lookups and inserts are lock-striped across [`CACHE_SHARDS`] shards, so
+/// Lookups and inserts are lock-striped across 16 shards, so
 /// concurrent workers rarely contend. A racing double-compute of the same
 /// key is possible and harmless: utilities are deterministic, so both
 /// writers insert the same value.

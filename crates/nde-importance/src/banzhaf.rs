@@ -8,9 +8,15 @@
 //!
 //! Subset sample `s` is drawn from `child_seed(config.seed, s)` and samples
 //! are folded in index order, so scores are bit-identical for every thread
-//! count (the [`nde_robust::par`] determinism contract).
+//! count (the [`nde_robust::par`] determinism contract). Under a grouped
+//! [`BatchPolicy`] the samples are evaluated in **blocks**: each worker
+//! claims a block of consecutive sample indices and scores the whole block
+//! through the [`UtilityBatcher`] in one validation pass — block
+//! boundaries are a pure function of the sample index, so the fold order
+//! (and therefore every float) is unchanged.
 
-use crate::common::{coalition_utility, ImportanceScores};
+use crate::batch::{BatchPolicy, BatchStats, UtilityBatcher};
+use crate::common::ImportanceScores;
 use crate::{ImportanceError, Result};
 use nde_data::rng::Rng;
 use nde_data::rng::{child_seed, seeded};
@@ -43,6 +49,10 @@ impl Default for BanzhafConfig {
 /// Data Banzhaf values of all training examples (utility = validation
 /// accuracy of a fresh `template` clone). Empty sampled subsets have
 /// utility 0 by convention.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nde_importance::banzhaf(&ImportanceRun, ...)`"
+)]
 pub fn banzhaf_msr<C>(
     template: &C,
     train: &Dataset,
@@ -52,12 +62,17 @@ pub fn banzhaf_msr<C>(
 where
     C: Classifier + Send + Sync,
 {
-    banzhaf_msr_cached(template, train, valid, config, None)
+    let (scores, _) = banzhaf_engine(template, train, valid, config, None, BatchPolicy::Unbatched)?;
+    Ok(scores)
 }
 
 /// [`banzhaf_msr`] with an optional utility memo cache (scores are
 /// bit-identical with or without it; the cache must be dedicated to this
 /// `(template, train, valid)` triple).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nde_importance::banzhaf(&ImportanceRun, ...)` with a cache"
+)]
 pub fn banzhaf_msr_cached<C>(
     template: &C,
     train: &Dataset,
@@ -65,6 +80,31 @@ pub fn banzhaf_msr_cached<C>(
     config: &BanzhafConfig,
     cache: Option<&MemoCache>,
 ) -> Result<ImportanceScores>
+where
+    C: Classifier + Send + Sync,
+{
+    // The shims keep the legacy physical behavior: one evaluation at a time.
+    let (scores, _) = banzhaf_engine(
+        template,
+        train,
+        valid,
+        config,
+        cache,
+        BatchPolicy::Unbatched,
+    )?;
+    Ok(scores)
+}
+
+/// The batch-capable Banzhaf MSR engine behind both the [`crate::run`]
+/// entry point and the deprecated shims.
+pub(crate) fn banzhaf_engine<C>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &BanzhafConfig,
+    cache: Option<&MemoCache>,
+    policy: BatchPolicy,
+) -> Result<(ImportanceScores, BatchStats)>
 where
     C: Classifier + Send + Sync,
 {
@@ -79,41 +119,55 @@ where
         ));
     }
     let n = train.len();
-    let threads = effective_threads(config.threads, config.samples);
+    let batcher = UtilityBatcher::new(template, train, valid, cache, policy);
+    let total = config.samples as u64;
+    let width = batcher.width() as u64;
+    let blocks = total.div_ceil(width);
+    let threads = effective_threads(config.threads, blocks as usize);
     let stop = AtomicBool::new(false);
     // Subset sample `s` is a pure function of `child_seed(seed, s)`; members
-    // come out already sorted, so the utility cache key is ready-made.
-    let samples = par_map_indexed(threads, 0..config.samples as u64, &stop, |s| {
-        let mut rng = seeded(child_seed(config.seed, s));
-        let mut members: Vec<usize> = Vec::with_capacity(n);
-        for i in 0..n {
-            if rng.gen::<bool>() {
-                members.push(i);
+    // come out already sorted, so the utility cache key is ready-made. Block
+    // `b` covers samples [b·width, (b+1)·width): also schedule-independent.
+    let sample_blocks = par_map_indexed(threads, 0..blocks, &stop, |b| {
+        let lo = b * width;
+        let hi = ((b + 1) * width).min(total);
+        let mut block: Vec<Vec<usize>> = Vec::with_capacity((hi - lo) as usize);
+        for s in lo..hi {
+            let mut rng = seeded(child_seed(config.seed, s));
+            let mut members: Vec<usize> = Vec::with_capacity(n);
+            for i in 0..n {
+                if rng.gen::<bool>() {
+                    members.push(i);
+                }
             }
+            block.push(members);
         }
-        let u = coalition_utility(template, train, valid, &members, cache)?;
-        Ok::<_, ImportanceError>((members, u))
+        let utilities = batcher.eval_batch(&block)?;
+        Ok::<_, ImportanceError>((block, utilities))
     })
     .map_err(|fail| match fail {
         WorkerFailure::Err(_, e) => e,
         WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
     })?;
 
-    // Fold in sample-index order — float sums independent of the schedule.
+    // Fold in sample-index order (blocks are index-sorted, samples are in
+    // order within a block) — float sums independent of the schedule.
     let mut with_sum = vec![0.0; n];
     let mut with_count = vec![0usize; n];
     let mut without_sum = vec![0.0; n];
     let mut without_count = vec![0usize; n];
-    for (_, (members, u)) in &samples {
-        let mut next = members.iter().peekable();
-        for i in 0..n {
-            if next.peek() == Some(&&i) {
-                next.next();
-                with_sum[i] += u;
-                with_count[i] += 1;
-            } else {
-                without_sum[i] += u;
-                without_count[i] += 1;
+    for (_, (block, utilities)) in &sample_blocks {
+        for (members, &u) in block.iter().zip(utilities) {
+            let mut next = members.iter().peekable();
+            for i in 0..n {
+                if next.peek() == Some(&&i) {
+                    next.next();
+                    with_sum[i] += u;
+                    with_count[i] += 1;
+                } else {
+                    without_sum[i] += u;
+                    without_count[i] += 1;
+                }
             }
         }
     }
@@ -133,11 +187,15 @@ where
             w - wo
         })
         .collect();
-    Ok(ImportanceScores::new("banzhaf", values))
+    Ok((ImportanceScores::new("banzhaf", values), batcher.stats()))
 }
 
 #[cfg(test)]
 mod tests {
+    // The behavioral suite drives the deprecated shims on purpose: they
+    // must keep delegating to the engine unchanged for one release.
+    #![allow(deprecated)]
+
     use super::*;
     use nde_ml::models::knn::KnnClassifier;
 
@@ -191,6 +249,45 @@ mod tests {
         cfg.threads = 4;
         let c = banzhaf_msr(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn batched_blocks_are_bit_identical_to_unbatched() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        for threads in [1, 4] {
+            let cfg = BanzhafConfig {
+                samples: 150,
+                seed: 5,
+                threads,
+            };
+            let (plain, _) =
+                banzhaf_engine(&knn, &train, &valid, &cfg, None, BatchPolicy::Unbatched).unwrap();
+            for size in [1, 2, 7, 32, 1000] {
+                let (batched, stats) = banzhaf_engine(
+                    &knn,
+                    &train,
+                    &valid,
+                    &cfg,
+                    None,
+                    BatchPolicy::Grouped { size },
+                )
+                .unwrap();
+                assert_eq!(batched, plain, "threads={threads} size={size}");
+                assert!(stats.batched_evals > 0);
+                // Every non-empty sample is answered exactly once.
+                assert_eq!(stats.evals(), 150 - empty_samples(&cfg));
+            }
+        }
+    }
+
+    fn empty_samples(cfg: &BanzhafConfig) -> u64 {
+        (0..cfg.samples as u64)
+            .filter(|&s| {
+                let mut rng = seeded(child_seed(cfg.seed, s));
+                (0..5).all(|_| !rng.gen::<bool>())
+            })
+            .count() as u64
     }
 
     #[test]

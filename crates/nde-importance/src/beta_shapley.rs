@@ -9,7 +9,8 @@
 //! from the normalized Beta weights, draw a random subset of that size not
 //! containing `i`, and average the marginal contribution `U(S ∪ i) − U(S)`.
 
-use crate::common::{coalition_utility, ImportanceScores};
+use crate::batch::{BatchPolicy, BatchStats, UtilityBatcher};
+use crate::common::ImportanceScores;
 use crate::{ImportanceError, Result};
 use nde_data::rng::Rng;
 use nde_data::rng::SliceRandom;
@@ -107,6 +108,10 @@ fn ln_gamma(x: f64) -> f64 {
 }
 
 /// Beta Shapley values of all training examples.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nde_importance::beta_shapley(&ImportanceRun, ...)`"
+)]
 pub fn beta_shapley<C>(
     template: &C,
     train: &Dataset,
@@ -116,7 +121,9 @@ pub fn beta_shapley<C>(
 where
     C: Classifier + Send + Sync,
 {
-    beta_shapley_cached(template, train, valid, config, None)
+    let (scores, _) =
+        beta_shapley_engine(template, train, valid, config, None, BatchPolicy::Unbatched)?;
+    Ok(scores)
 }
 
 /// [`beta_shapley`] with an optional utility memo cache (scores are
@@ -126,6 +133,10 @@ where
 /// Each example's sampling stream is `child_seed(config.seed, i)` and the
 /// per-example values are written back by index, so scores are bit-identical
 /// for every thread count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nde_importance::beta_shapley(&ImportanceRun, ...)` with a cache"
+)]
 pub fn beta_shapley_cached<C>(
     template: &C,
     train: &Dataset,
@@ -133,6 +144,38 @@ pub fn beta_shapley_cached<C>(
     config: &BetaShapleyConfig,
     cache: Option<&MemoCache>,
 ) -> Result<ImportanceScores>
+where
+    C: Classifier + Send + Sync,
+{
+    // The shims keep the legacy physical behavior: one evaluation at a time.
+    let (scores, _) = beta_shapley_engine(
+        template,
+        train,
+        valid,
+        config,
+        cache,
+        BatchPolicy::Unbatched,
+    )?;
+    Ok(scores)
+}
+
+/// The batch-capable Beta Shapley engine behind both the [`crate::run`]
+/// entry point and the deprecated shims.
+///
+/// A point's random draws never depend on utility values, so the engine
+/// materializes all of a point's `(S, S ∪ i)` coalition pairs up front
+/// (preserving the exact RNG stream of the legacy one-at-a-time loop) and
+/// evaluates them in waves of up to [`BatchPolicy::width`] coalitions
+/// through the [`UtilityBatcher`]. Marginals are folded in sample order, so
+/// every float is independent of the batching policy.
+pub(crate) fn beta_shapley_engine<C>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &BetaShapleyConfig,
+    cache: Option<&MemoCache>,
+    policy: BatchPolicy,
+) -> Result<(ImportanceScores, BatchStats)>
 where
     C: Classifier + Send + Sync,
 {
@@ -161,10 +204,13 @@ where
         cdf.push(acc);
     }
 
-    // Per-worker reusable buffers: the candidate pool and a sorted coalition.
+    let batcher = UtilityBatcher::new(template, train, valid, cache, policy);
+    // Per-worker reusable buffers: the candidate pool and the queued
+    // coalition pairs (without, with) for one point.
     struct Scratch {
         pool: Vec<usize>,
-        sorted: Vec<usize>,
+        pairs: Vec<Vec<usize>>,
+        utilities: Vec<f64>,
     }
     let threads = effective_threads(config.threads, n);
     let stop = AtomicBool::new(false);
@@ -174,28 +220,46 @@ where
         &stop,
         || Scratch {
             pool: Vec::with_capacity(n),
-            sorted: Vec::with_capacity(n),
+            pairs: Vec::new(),
+            utilities: Vec::new(),
         },
         |scratch, idx| {
             let i = idx as usize;
             let mut rng = seeded(child_seed(config.seed, idx));
             scratch.pool.clear();
             scratch.pool.extend((0..n).filter(|&j| j != i));
-            let mut total = 0.0;
-            for _ in 0..config.samples_per_point {
+            // Draw every sample first (the RNG stream never depends on
+            // utilities, so this consumes exactly the legacy draw order),
+            // queueing each sample's (S, S ∪ i) pair back to back.
+            let total_coalitions = 2 * config.samples_per_point;
+            while scratch.pairs.len() < total_coalitions {
+                scratch.pairs.push(Vec::with_capacity(n));
+            }
+            for s in 0..config.samples_per_point {
                 // Sample coalition size j from the Beta weights.
                 let u: f64 = rng.gen();
                 let j = cdf.partition_point(|&c| c < u).min(n - 1);
                 scratch.pool.shuffle(&mut rng);
                 let subset = &scratch.pool[..j.min(n - 1)];
-                scratch.sorted.clear();
-                scratch.sorted.extend_from_slice(subset);
-                scratch.sorted.sort_unstable();
-                let u_without = coalition_utility(template, train, valid, &scratch.sorted, cache)?;
-                let at = scratch.sorted.partition_point(|&x| x < i);
-                scratch.sorted.insert(at, i);
-                let u_with = coalition_utility(template, train, valid, &scratch.sorted, cache)?;
-                total += u_with - u_without;
+                let (head, tail) = scratch.pairs.split_at_mut(2 * s + 1);
+                let without = &mut head[2 * s];
+                let with = &mut tail[0];
+                without.clear();
+                without.extend_from_slice(subset);
+                without.sort_unstable();
+                let at = without.partition_point(|&x| x < i);
+                with.clear();
+                with.extend_from_slice(without);
+                with.insert(at, i);
+            }
+            // Evaluate in waves, then fold marginals in sample order.
+            scratch.utilities.clear();
+            for chunk in scratch.pairs[..total_coalitions].chunks(batcher.width()) {
+                scratch.utilities.extend(batcher.eval_batch(chunk)?);
+            }
+            let mut total = 0.0;
+            for s in 0..config.samples_per_point {
+                total += scratch.utilities[2 * s + 1] - scratch.utilities[2 * s];
             }
             Ok::<_, ImportanceError>(total / config.samples_per_point as f64)
         },
@@ -209,11 +273,18 @@ where
     for (idx, v) in per_point {
         values[idx as usize] = v;
     }
-    Ok(ImportanceScores::new("beta-shapley", values))
+    Ok((
+        ImportanceScores::new("beta-shapley", values),
+        batcher.stats(),
+    ))
 }
 
 #[cfg(test)]
 mod tests {
+    // The behavioral suite drives the deprecated shims on purpose: they
+    // must keep delegating to the engine unchanged for one release.
+    #![allow(deprecated)]
+
     use super::*;
     use nde_ml::models::knn::KnnClassifier;
 
@@ -273,6 +344,36 @@ mod tests {
         };
         let scores = beta_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         assert_eq!(scores.bottom_k(1), vec![4]);
+    }
+
+    #[test]
+    fn batched_waves_are_bit_identical_to_unbatched() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        for threads in [1, 4] {
+            let cfg = BetaShapleyConfig {
+                samples_per_point: 30,
+                seed: 11,
+                threads,
+                ..Default::default()
+            };
+            let (plain, _) =
+                beta_shapley_engine(&knn, &train, &valid, &cfg, None, BatchPolicy::Unbatched)
+                    .unwrap();
+            for size in [1, 2, 5, 64] {
+                let (batched, stats) = beta_shapley_engine(
+                    &knn,
+                    &train,
+                    &valid,
+                    &cfg,
+                    None,
+                    BatchPolicy::Grouped { size },
+                )
+                .unwrap();
+                assert_eq!(batched, plain, "threads={threads} size={size}");
+                assert!(stats.batched_evals > 0);
+            }
+        }
     }
 
     #[test]

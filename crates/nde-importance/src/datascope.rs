@@ -10,7 +10,7 @@
 //! importances of the output rows it contributed to.
 
 use crate::common::ImportanceScores;
-use crate::knn_shapley::knn_shapley;
+use crate::knn_shapley::knn_engine;
 use crate::{ImportanceError, Result};
 use nde_ml::dataset::Dataset;
 use nde_pipeline::feature::FeatureOutput;
@@ -45,7 +45,7 @@ pub fn datascope_importance(
             lineage.sources
         ))
     })?;
-    let output_scores = knn_shapley(&train_output.dataset, valid, k)?;
+    let output_scores = knn_engine(&train_output.dataset, valid, k, 1)?;
     debug_assert_eq!(output_scores.len(), lineage.rows.len());
 
     let index = lineage.outputs_per_source_row(source_idx, source_len);

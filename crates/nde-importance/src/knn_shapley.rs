@@ -7,8 +7,8 @@
 
 use crate::common::ImportanceScores;
 use crate::{ImportanceError, Result};
+use nde_ml::batch::DistanceTable;
 use nde_ml::dataset::Dataset;
-use nde_ml::linalg::squared_distance;
 use nde_robust::par::{effective_threads, par_map_indexed_scratch, WorkerFailure};
 use std::sync::atomic::AtomicBool;
 
@@ -18,10 +18,11 @@ use std::sync::atomic::AtomicBool;
 /// bit-identical for every `threads` value.
 const VALID_CHUNK: usize = 32;
 
-/// Per-worker reusable buffers (distances, ordering, recursion values) —
-/// allocated once per worker instead of once per validation point.
+/// Per-worker reusable buffers (ordering, recursion values) — allocated
+/// once per worker instead of once per validation point. Distances live in
+/// the run-wide shared [`DistanceTable`], so workers no longer carry a
+/// per-chunk distance buffer.
 struct KnnScratch {
-    dists: Vec<f64>,
     order: Vec<usize>,
     s: Vec<f64>,
 }
@@ -37,19 +38,41 @@ struct KnnScratch {
 /// s[n]   = 1[y_n = y] / n
 /// s[i]   = s[i+1] + (1[y_i = y] − 1[y_{i+1} = y]) / K · min(K, i) / i
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nde_importance::knn_shapley(&ImportanceRun, ...)`"
+)]
 pub fn knn_shapley(train: &Dataset, valid: &Dataset, k: usize) -> Result<ImportanceScores> {
-    knn_shapley_par(train, valid, k, 1)
+    knn_engine(train, valid, k, 1)
 }
 
 /// [`knn_shapley`] parallelized over validation-point chunks; bit-identical
 /// for every thread count.
-///
-/// Per validation point, the distance ordering uses `select_nth_unstable`
-/// to split the training points at the k-boundary first and then orders the
-/// two partitions — an in-place partial ordering instead of the allocating
-/// stable sort, with the identical final order (the comparator is total,
-/// ties broken by index).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nde_importance::knn_shapley(&ImportanceRun, ...)` with threads"
+)]
 pub fn knn_shapley_par(
+    train: &Dataset,
+    valid: &Dataset,
+    k: usize,
+    threads: usize,
+) -> Result<ImportanceScores> {
+    knn_engine(train, valid, k, threads)
+}
+
+/// The closed-form KNN-Shapley engine behind both the [`crate::run`] entry
+/// point and the deprecated shims.
+///
+/// The train→valid squared distances are computed **once per run** into a
+/// shared [`DistanceTable`] (the same matrix the batched KNN utility
+/// scorer uses); worker chunks borrow their rows instead of recomputing
+/// distances into per-worker buffers. Per validation point, the distance
+/// ordering uses `select_nth_unstable` to split the training points at the
+/// k-boundary first and then orders the two partitions — an in-place
+/// partial ordering instead of the allocating stable sort, with the
+/// identical final order (the comparator is total, ties broken by index).
+pub(crate) fn knn_engine(
     train: &Dataset,
     valid: &Dataset,
     k: usize,
@@ -76,13 +99,16 @@ pub fn knn_shapley_par(
     let chunks = m.div_ceil(VALID_CHUNK) as u64;
     let threads = effective_threads(threads, chunks as usize);
     let stop = AtomicBool::new(false);
+    // One distance matrix for the whole run, shared read-only by every
+    // worker (row floats are exactly `squared_distance`'s, so the ordering
+    // is unchanged from the per-chunk computation this replaces).
+    let table = DistanceTable::new(train, valid);
 
     let chunk_totals = par_map_indexed_scratch(
         threads,
         0..chunks,
         &stop,
         || KnnScratch {
-            dists: vec![0.0; n],
             order: Vec::with_capacity(n),
             s: vec![0.0; n],
         },
@@ -91,12 +117,8 @@ pub fn knn_shapley_par(
             let start = c as usize * VALID_CHUNK;
             let end = (start + VALID_CHUNK).min(m);
             for v in start..end {
-                let vx = valid.x.row(v);
                 let vy = valid.y[v];
-                for (i, tx) in train.x.iter_rows().enumerate() {
-                    scratch.dists[i] = squared_distance(tx, vx);
-                }
-                let dists = &scratch.dists;
+                let dists = table.row(v);
                 let by_distance = |&a: &usize, &b: &usize| {
                     dists[a]
                         .partial_cmp(&dists[b])
@@ -154,6 +176,10 @@ pub fn knn_shapley_par(
 
 #[cfg(test)]
 mod tests {
+    // The behavioral suite drives the deprecated shims on purpose: they
+    // must keep delegating to the engine unchanged for one release.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::shapley_mc::{tmc_shapley, ShapleyConfig};
     use nde_data::generate::blobs::two_gaussians;

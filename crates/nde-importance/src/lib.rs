@@ -7,10 +7,10 @@
 //!
 //! * [`loo`] — leave-one-out scores;
 //! * [`shapley_mc`] — truncated Monte-Carlo Data Shapley (Ghorbani & Zou '19);
-//! * [`knn_shapley`] — exact, closed-form KNN-Shapley (Jia et al. '19);
-//! * [`banzhaf`] — Data Banzhaf with the maximum-sample-reuse estimator
+//! * [`mod@knn_shapley`] — exact, closed-form KNN-Shapley (Jia et al. '19);
+//! * [`mod@banzhaf`] — Data Banzhaf with the maximum-sample-reuse estimator
 //!   (Wang & Jia '23);
-//! * [`beta_shapley`] — Beta(α,β)-weighted semivalues (Kwon & Zou '21);
+//! * [`mod@beta_shapley`] — Beta(α,β)-weighted semivalues (Kwon & Zou '21);
 //! * [`influence`] — influence functions for logistic regression
 //!   (Koh & Liang '17);
 //! * [`aum`] — area-under-the-margin mislabel detection (Pleiss et al. '20);
@@ -23,9 +23,31 @@
 //!
 //! Scores follow one convention throughout: **higher = more valuable**;
 //! injected errors concentrate at the *bottom* of the ranking.
+//!
+//! # The unified run API
+//!
+//! The Monte-Carlo and closed-form valuation methods share one entry-point
+//! shape (see [`run`]): build an [`ImportanceRun`] with the run-wide
+//! options (seed, threads, budget, memo cache, resume checkpoint, batch
+//! policy), then call [`tmc_shapley`], [`banzhaf()`](run::banzhaf),
+//! [`beta_shapley()`](run::beta_shapley) or
+//! [`knn_shapley()`](run::knn_shapley) with the method-specific
+//! parameters. Each returns [`ImportanceOutcome`]: scores plus a uniform
+//! [`RunReport`]. The legacy free functions (`tmc_shapley_budgeted`,
+//! `banzhaf_msr`, `knn_shapley_par`, …) remain as `#[deprecated]` shims
+//! for one release and delegate to the same engines.
+//!
+//! Coalition evaluations funnel through the batched utility engine
+//! ([`batch::UtilityBatcher`]): with the KNN utility the train→valid
+//! distance matrix is computed once per run and whole waves of coalitions
+//! are scored against it in one validation pass. Batching is purely
+//! physical — scores, budget trip points and checkpoints are bit-identical
+//! under every [`BatchPolicy`], every thread count, and across
+//! checkpoint/resume cycles.
 
 pub mod aum;
 pub mod banzhaf;
+pub mod batch;
 pub mod beta_shapley;
 pub mod common;
 pub mod confident;
@@ -35,17 +57,36 @@ pub mod group;
 pub mod influence;
 pub mod knn_shapley;
 pub mod loo;
+pub mod run;
 pub mod shapley_mc;
 
-pub use banzhaf::{banzhaf_msr, banzhaf_msr_cached, BanzhafConfig};
-pub use beta_shapley::{beta_shapley, beta_shapley_cached, BetaShapleyConfig};
+pub use banzhaf::BanzhafConfig;
+pub use batch::{BatchPolicy, BatchStats};
+pub use beta_shapley::BetaShapleyConfig;
 pub use common::{
     bottom_k, coalition_utility, detection_precision_at_k, ImportanceError, ImportanceScores,
 };
-pub use knn_shapley::{knn_shapley, knn_shapley_par};
-pub use shapley_mc::{
-    tmc_shapley, tmc_shapley_budgeted, tmc_shapley_budgeted_cached, BudgetedShapley, ShapleyConfig,
+pub use run::{
+    banzhaf, beta_shapley, knn_shapley, tmc_shapley, BanzhafParams, BetaShapleyParams,
+    ImportanceOutcome, ImportanceRun, RunReport, TmcParams,
 };
+pub use shapley_mc::{BudgetedShapley, ShapleyConfig};
+
+/// Everything needed to run an importance method, in one import.
+pub mod prelude {
+    pub use crate::batch::{BatchPolicy, BatchStats};
+    pub use crate::common::{
+        bottom_k, coalition_utility, detection_precision_at_k, ImportanceError, ImportanceScores,
+    };
+    pub use crate::loo::loo_importance;
+    pub use crate::run::{
+        banzhaf, beta_shapley, knn_shapley, tmc_shapley, BanzhafParams, BetaShapleyParams,
+        ImportanceOutcome, ImportanceRun, RunReport, TmcParams,
+    };
+    pub use crate::{BanzhafConfig, BetaShapleyConfig, BudgetedShapley, Result, ShapleyConfig};
+    pub use nde_robust::par::MemoCache;
+    pub use nde_robust::{ConvergenceDiagnostics, McCheckpoint, RunBudget};
+}
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, ImportanceError>;

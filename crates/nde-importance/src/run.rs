@@ -1,0 +1,575 @@
+//! The unified importance-run entry point.
+//!
+//! Every Monte-Carlo and closed-form importance method used to grow its own
+//! cross-product of free-function variants (`*_budgeted`, `*_cached`,
+//! `*_par`, …). [`ImportanceRun`] collapses that explosion: one options
+//! struct carries the run-wide knobs (seed, threads, budget, memo cache,
+//! resume checkpoint, batch policy) and each method exposes exactly one
+//! entry point taking `&ImportanceRun` plus its method-specific parameters:
+//!
+//! ```
+//! use nde_importance::prelude::*;
+//! use nde_ml::dataset::Dataset;
+//! use nde_ml::models::knn::KnnClassifier;
+//!
+//! let train = Dataset::from_rows(
+//!     vec![vec![0.0], vec![0.2], vec![10.0], vec![10.2]],
+//!     vec![0, 0, 1, 1],
+//!     2,
+//! )
+//! .unwrap();
+//! let valid = train.clone();
+//!
+//! let run = ImportanceRun::new(42).with_threads(2);
+//! let exact = knn_shapley(&run, &train, &valid, 1).unwrap();
+//! let mc = tmc_shapley(
+//!     &run,
+//!     &KnnClassifier::new(1),
+//!     &train,
+//!     &valid,
+//!     &TmcParams::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(exact.scores.len(), train.len());
+//! assert!(exact.scores.values.iter().all(|v| *v >= 0.0));
+//! assert_eq!(mc.scores.len(), train.len());
+//! assert!(mc.report.utility_calls > 0);
+//! ```
+//!
+//! All entry points return an [`ImportanceOutcome`]: the scores plus a
+//! [`RunReport`] with uniform accounting (logical utility calls, cache
+//! hits, batches formed, convergence diagnostics and a resume checkpoint
+//! where the method supports them).
+//!
+//! The old free functions still compile as `#[deprecated]` shims for one
+//! release and delegate to the same engines, so behavior is identical
+//! through either surface.
+
+use crate::banzhaf::{banzhaf_engine, BanzhafConfig};
+use crate::batch::{BatchPolicy, BatchStats};
+use crate::beta_shapley::{beta_shapley_engine, BetaShapleyConfig};
+use crate::common::ImportanceScores;
+use crate::knn_shapley::knn_engine;
+use crate::shapley_mc::{tmc_engine, ShapleyConfig};
+use crate::{ImportanceError, Result};
+use nde_ml::dataset::Dataset;
+use nde_ml::model::Classifier;
+use nde_robust::par::MemoCache;
+use nde_robust::{ConvergenceDiagnostics, McCheckpoint, RunBudget};
+
+/// Run-wide options shared by every importance method.
+///
+/// Construct with [`ImportanceRun::new`] and chain `with_*` builders; the
+/// defaults (single thread, no budget, no cache, no checkpoint, the default
+/// grouped [`BatchPolicy`]) suit one-shot runs.
+///
+/// Methods that cannot honor an option reject the run with
+/// [`ImportanceError::Unsupported`] instead of silently ignoring it
+/// (budgets and checkpoints are TMC-only for now); see each entry point.
+#[derive(Debug, Clone, Default)]
+pub struct ImportanceRun<'a> {
+    /// Base seed; methods derive per-permutation/per-sample child seeds.
+    pub seed: u64,
+    /// Worker threads (0 or 1 = sequential). Scores are bit-identical for
+    /// every thread count.
+    pub threads: usize,
+    /// Optional resource budget (TMC-Shapley only).
+    pub budget: Option<RunBudget>,
+    /// Optional utility memo cache, dedicated to one
+    /// `(model, train, valid)` triple. Hits still count as logical utility
+    /// calls, so budget trip points are cache-independent.
+    pub cache: Option<&'a MemoCache>,
+    /// Optional checkpoint to resume from (TMC-Shapley only).
+    pub checkpoint: Option<&'a McCheckpoint>,
+    /// How coalition evaluations are grouped into batches. Purely physical:
+    /// scores are bit-identical under every policy.
+    pub batch: BatchPolicy,
+}
+
+impl<'a> ImportanceRun<'a> {
+    /// A fresh single-threaded, unbudgeted run with the default batch
+    /// policy.
+    pub fn new(seed: u64) -> ImportanceRun<'a> {
+        ImportanceRun {
+            seed,
+            threads: 1,
+            budget: None,
+            cache: None,
+            checkpoint: None,
+            batch: BatchPolicy::default(),
+        }
+    }
+
+    /// Set the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> ImportanceRun<'a> {
+        self.threads = threads;
+        self
+    }
+
+    /// Set a resource budget (TMC-Shapley only).
+    pub fn with_budget(mut self, budget: RunBudget) -> ImportanceRun<'a> {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attach a utility memo cache.
+    pub fn with_cache(mut self, cache: &'a MemoCache) -> ImportanceRun<'a> {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Resume from a checkpoint of an earlier, interrupted run
+    /// (TMC-Shapley only). Resuming is bit-identical to never stopping.
+    pub fn with_checkpoint(mut self, checkpoint: &'a McCheckpoint) -> ImportanceRun<'a> {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Set the batch policy ([`BatchPolicy::Unbatched`] restores the
+    /// legacy one-coalition-at-a-time physical behavior).
+    pub fn with_batch(mut self, batch: BatchPolicy) -> ImportanceRun<'a> {
+        self.batch = batch;
+        self
+    }
+
+    fn reject_budgeting(&self, method: &str) -> Result<()> {
+        if self.budget.is_some() {
+            return Err(ImportanceError::Unsupported(format!(
+                "{method} does not support budgets; only tmc_shapley does"
+            )));
+        }
+        if self.checkpoint.is_some() {
+            return Err(ImportanceError::Unsupported(format!(
+                "{method} does not support checkpoint resume; only tmc_shapley does"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Uniform accounting attached to every [`ImportanceOutcome`].
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Logical utility evaluations the estimate is built from (cache hits
+    /// included; for budgeted TMC this is the authoritative clock count,
+    /// for closed-form methods it is 0).
+    pub utility_calls: u64,
+    /// Coalitions answered from the memo cache (physical count).
+    pub cache_hits: u64,
+    /// Grouped passes submitted to the batched scorer.
+    pub batches_formed: u64,
+    /// Coalitions evaluated through the batched scorer.
+    pub batched_evals: u64,
+    /// Coalitions evaluated through per-coalition retraining.
+    pub fallback_evals: u64,
+    /// Convergence diagnostics (methods with a budget clock).
+    pub diagnostics: Option<ConvergenceDiagnostics>,
+    /// Snapshot to pass to [`ImportanceRun::with_checkpoint`] to continue
+    /// this estimation (resumable methods only).
+    pub checkpoint: Option<McCheckpoint>,
+}
+
+impl RunReport {
+    fn from_stats(utility_calls: u64, stats: BatchStats) -> RunReport {
+        RunReport {
+            utility_calls,
+            cache_hits: stats.cache_hits,
+            batches_formed: stats.batches_formed,
+            batched_evals: stats.batched_evals,
+            fallback_evals: stats.fallback_evals,
+            diagnostics: None,
+            checkpoint: None,
+        }
+    }
+}
+
+/// What every importance entry point returns: the scores plus a uniform
+/// [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct ImportanceOutcome {
+    /// Importance estimates (higher = more valuable).
+    pub scores: ImportanceScores,
+    /// How the run got there.
+    pub report: RunReport,
+}
+
+/// Method parameters for TMC-Shapley (run-wide knobs live on
+/// [`ImportanceRun`]).
+#[derive(Debug, Clone)]
+pub struct TmcParams {
+    /// Number of sampled permutations.
+    pub permutations: usize,
+    /// Truncate a permutation once `|U(prefix) − U(full)|` falls below this.
+    pub truncation_tolerance: f64,
+}
+
+impl Default for TmcParams {
+    fn default() -> Self {
+        let d = ShapleyConfig::default();
+        TmcParams {
+            permutations: d.permutations,
+            truncation_tolerance: d.truncation_tolerance,
+        }
+    }
+}
+
+/// Method parameters for the Banzhaf MSR estimator.
+#[derive(Debug, Clone)]
+pub struct BanzhafParams {
+    /// Number of sampled subsets (each point included with probability 1/2).
+    pub samples: usize,
+}
+
+impl Default for BanzhafParams {
+    fn default() -> Self {
+        BanzhafParams {
+            samples: BanzhafConfig::default().samples,
+        }
+    }
+}
+
+/// Method parameters for the Beta(α, β) semivalue estimator.
+#[derive(Debug, Clone)]
+pub struct BetaShapleyParams {
+    /// Beta distribution α parameter (> 0).
+    pub alpha: f64,
+    /// Beta distribution β parameter (> 0). β > α emphasizes small
+    /// coalitions.
+    pub beta: f64,
+    /// Monte-Carlo samples *per training example*.
+    pub samples_per_point: usize,
+}
+
+impl Default for BetaShapleyParams {
+    fn default() -> Self {
+        let d = BetaShapleyConfig::default();
+        BetaShapleyParams {
+            alpha: d.alpha,
+            beta: d.beta,
+            samples_per_point: d.samples_per_point,
+        }
+    }
+}
+
+/// Truncated Monte-Carlo Data Shapley through the unified run options.
+///
+/// Honors every [`ImportanceRun`] option: budgets stop the run per utility
+/// call, `report.checkpoint` resumes it bit-identically, and
+/// `report.diagnostics` carries the authoritative clock counters.
+pub fn tmc_shapley<C>(
+    run: &ImportanceRun,
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    params: &TmcParams,
+) -> Result<ImportanceOutcome>
+where
+    C: Classifier + Send + Sync,
+{
+    let config = ShapleyConfig {
+        permutations: params.permutations,
+        truncation_tolerance: params.truncation_tolerance,
+        seed: run.seed,
+        threads: run.threads,
+    };
+    let unlimited = RunBudget::unlimited();
+    let budget = run.budget.as_ref().unwrap_or(&unlimited);
+    let (result, stats) = tmc_engine(
+        template,
+        train,
+        valid,
+        &config,
+        budget,
+        run.checkpoint,
+        run.cache,
+        run.batch,
+    )?;
+    let mut report = RunReport::from_stats(result.diagnostics.utility_calls, stats);
+    report.diagnostics = Some(result.diagnostics);
+    report.checkpoint = Some(result.checkpoint);
+    Ok(ImportanceOutcome {
+        scores: result.scores,
+        report,
+    })
+}
+
+/// Data Banzhaf (maximum-sample-reuse estimator) through the unified run
+/// options. Budgets and checkpoints are not supported yet
+/// ([`ImportanceError::Unsupported`]).
+pub fn banzhaf<C>(
+    run: &ImportanceRun,
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    params: &BanzhafParams,
+) -> Result<ImportanceOutcome>
+where
+    C: Classifier + Send + Sync,
+{
+    run.reject_budgeting("banzhaf")?;
+    let config = BanzhafConfig {
+        samples: params.samples,
+        seed: run.seed,
+        threads: run.threads,
+    };
+    let (scores, stats) = banzhaf_engine(template, train, valid, &config, run.cache, run.batch)?;
+    Ok(ImportanceOutcome {
+        scores,
+        report: RunReport::from_stats(stats.evals(), stats),
+    })
+}
+
+/// Beta(α, β) semivalues through the unified run options. Budgets and
+/// checkpoints are not supported yet ([`ImportanceError::Unsupported`]).
+pub fn beta_shapley<C>(
+    run: &ImportanceRun,
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    params: &BetaShapleyParams,
+) -> Result<ImportanceOutcome>
+where
+    C: Classifier + Send + Sync,
+{
+    run.reject_budgeting("beta_shapley")?;
+    let config = BetaShapleyConfig {
+        alpha: params.alpha,
+        beta: params.beta,
+        samples_per_point: params.samples_per_point,
+        seed: run.seed,
+        threads: run.threads,
+    };
+    let (scores, stats) =
+        beta_shapley_engine(template, train, valid, &config, run.cache, run.batch)?;
+    Ok(ImportanceOutcome {
+        scores,
+        report: RunReport::from_stats(stats.evals(), stats),
+    })
+}
+
+/// Exact, closed-form KNN-Shapley through the unified run options.
+///
+/// Closed-form: no utility calls are made, so `run.cache`, `run.batch` and
+/// `run.seed` are irrelevant (the result is deterministic); only
+/// `run.threads` matters. Budgets and checkpoints are rejected with
+/// [`ImportanceError::Unsupported`].
+pub fn knn_shapley(
+    run: &ImportanceRun,
+    train: &Dataset,
+    valid: &Dataset,
+    k: usize,
+) -> Result<ImportanceOutcome> {
+    run.reject_budgeting("knn_shapley")?;
+    let scores = knn_engine(train, valid, k, run.threads.max(1))?;
+    Ok(ImportanceOutcome {
+        scores,
+        report: RunReport::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    // The equivalence tests drive the deprecated shims on purpose: the new
+    // entry points must match them bit-for-bit for one release.
+    #![allow(deprecated)]
+
+    use super::*;
+    use crate::shapley_mc::tmc_shapley_budgeted_cached;
+    use nde_ml::models::knn::KnnClassifier;
+
+    fn toy() -> (Dataset, Dataset) {
+        let train = Dataset::from_rows(
+            vec![
+                vec![0.0],
+                vec![0.2],
+                vec![10.0],
+                vec![10.2],
+                vec![0.1], // mislabelled
+            ],
+            vec![0, 0, 1, 1, 1],
+            2,
+        )
+        .unwrap();
+        let valid = Dataset::from_rows(
+            vec![vec![0.04], vec![0.12], vec![10.14], vec![9.93]],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        (train, valid)
+    }
+
+    #[test]
+    fn tmc_matches_legacy_shim_bit_for_bit() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        let cfg = ShapleyConfig {
+            permutations: 40,
+            truncation_tolerance: 0.0,
+            seed: 9,
+            threads: 4,
+        };
+        let legacy = tmc_shapley_budgeted_cached(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited(),
+            None,
+            None,
+        )
+        .unwrap();
+        let run = ImportanceRun::new(9).with_threads(4);
+        let unified = tmc_shapley(
+            &run,
+            &knn,
+            &train,
+            &valid,
+            &TmcParams {
+                permutations: 40,
+                truncation_tolerance: 0.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(unified.scores, legacy.scores);
+        assert_eq!(
+            unified.report.utility_calls,
+            legacy.diagnostics.utility_calls
+        );
+        assert_eq!(unified.report.checkpoint.unwrap(), legacy.checkpoint);
+    }
+
+    #[test]
+    fn tmc_budget_and_resume_through_run_options() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        let params = TmcParams {
+            permutations: 12,
+            truncation_tolerance: 0.0,
+        };
+        let full = tmc_shapley(&ImportanceRun::new(3), &knn, &train, &valid, &params).unwrap();
+        let cut = tmc_shapley(
+            &ImportanceRun::new(3).with_budget(RunBudget::unlimited().with_max_utility_calls(17)),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(cut.report.utility_calls, 17);
+        let ckpt = cut.report.checkpoint.unwrap();
+        let resumed = tmc_shapley(
+            &ImportanceRun::new(3).with_checkpoint(&ckpt),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(resumed.scores, full.scores);
+    }
+
+    #[test]
+    fn banzhaf_and_beta_match_legacy_and_reject_budgets() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        let run = ImportanceRun::new(7).with_threads(2);
+
+        let legacy = crate::banzhaf::banzhaf_msr(
+            &knn,
+            &train,
+            &valid,
+            &BanzhafConfig {
+                samples: 100,
+                seed: 7,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        let unified = banzhaf(&run, &knn, &train, &valid, &BanzhafParams { samples: 100 }).unwrap();
+        assert_eq!(unified.scores, legacy);
+        assert!(unified.report.utility_calls > 0);
+
+        let legacy = crate::beta_shapley::beta_shapley(
+            &knn,
+            &train,
+            &valid,
+            &BetaShapleyConfig {
+                samples_per_point: 20,
+                seed: 7,
+                threads: 2,
+                ..BetaShapleyConfig::default()
+            },
+        )
+        .unwrap();
+        let unified = beta_shapley(
+            &run,
+            &knn,
+            &train,
+            &valid,
+            &BetaShapleyParams {
+                samples_per_point: 20,
+                ..BetaShapleyParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unified.scores, legacy);
+
+        let budgeted = ImportanceRun::new(0).with_budget(RunBudget::unlimited());
+        assert!(matches!(
+            banzhaf(&budgeted, &knn, &train, &valid, &BanzhafParams::default()),
+            Err(ImportanceError::Unsupported(_))
+        ));
+        assert!(matches!(
+            beta_shapley(
+                &budgeted,
+                &knn,
+                &train,
+                &valid,
+                &BetaShapleyParams::default()
+            ),
+            Err(ImportanceError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn knn_matches_legacy_and_reports_no_calls() {
+        let (train, valid) = toy();
+        let legacy = crate::knn_shapley::knn_shapley_par(&train, &valid, 2, 3).unwrap();
+        let unified =
+            knn_shapley(&ImportanceRun::new(0).with_threads(3), &train, &valid, 2).unwrap();
+        assert_eq!(unified.scores, legacy);
+        assert_eq!(unified.report.utility_calls, 0);
+        assert!(unified.report.checkpoint.is_none());
+
+        let ckpt = McCheckpoint::fresh("tmc-shapley", 0, train.len());
+        let resuming = ImportanceRun::new(0).with_checkpoint(&ckpt);
+        assert!(matches!(
+            knn_shapley(&resuming, &train, &valid, 2),
+            Err(ImportanceError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn cache_is_shared_across_methods_through_the_run() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        let cache = MemoCache::new();
+        let run = ImportanceRun::new(11).with_cache(&cache);
+        let plain = banzhaf(
+            &ImportanceRun::new(11),
+            &knn,
+            &train,
+            &valid,
+            &BanzhafParams { samples: 120 },
+        )
+        .unwrap();
+        let warm = banzhaf(&run, &knn, &train, &valid, &BanzhafParams { samples: 120 }).unwrap();
+        let rerun = banzhaf(&run, &knn, &train, &valid, &BanzhafParams { samples: 120 }).unwrap();
+        assert_eq!(plain.scores, warm.scores);
+        assert_eq!(warm.scores, rerun.scores);
+        // Second pass answers everything from the cache.
+        assert_eq!(rerun.report.cache_hits, rerun.report.utility_calls);
+        assert_eq!(rerun.report.batched_evals + rerun.report.fallback_evals, 0);
+    }
+}

@@ -18,16 +18,34 @@
 //! checkpoints are therefore bit-identical for every thread count,
 //! with or without a tripped budget, and across checkpoint/resume cycles.
 //!
+//! # Batched waves
+//!
+//! A permutation walk queues up to [`BatchPolicy::width`] consecutive
+//! prefix coalitions as one *wave* and evaluates them through the
+//! [`UtilityBatcher`] in a single validation pass (for the KNN utility this
+//! reuses one shared train→valid distance matrix per run). The wave is then
+//! folded **sequentially**: the truncation rule and the per-call budget
+//! accounting fire in exactly the order the unbatched walk would, so
+//! batching changes physical cost only — scores, trip points and
+//! checkpoints are bit-identical under every policy. A wave past a
+//! truncation point may physically evaluate (and cache) a few coalitions
+//! the logical walk discards; values are pure, so this is unobservable in
+//! the results.
+//!
 //! # Budget granularity
 //!
 //! The utility-call budget is enforced **per call**: a run can stop partway
 //! through a permutation, recording an [`InflightPermutation`] in its
 //! checkpoint so resume continues the walk mid-permutation instead of
-//! redoing it. Iteration and wall-clock budgets stop at permutation
-//! boundaries (a wall-clock cut is inherently schedule-dependent, so it is
-//! never allowed to decide a mid-permutation split).
+//! redoing it. Budget-enforced walks clamp their wave width to
+//! [`BudgetClock::remaining_utility_calls`] so a tripping budget never pays
+//! for evaluations the stopping rule will discard. Iteration and wall-clock
+//! budgets stop at permutation boundaries (a wall-clock cut is inherently
+//! schedule-dependent, so it is never allowed to decide a mid-permutation
+//! split).
 
-use crate::common::{coalition_utility, ImportanceScores};
+use crate::batch::{BatchPolicy, BatchStats, UtilityBatcher};
+use crate::common::ImportanceScores;
 use crate::{ImportanceError, Result};
 use nde_data::rng::SliceRandom;
 use nde_data::rng::{child_seed, seeded};
@@ -67,6 +85,10 @@ impl Default for ShapleyConfig {
 
 /// TMC-Shapley values of all training examples, with utility = accuracy of a
 /// fresh `template` clone on `valid`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nde_importance::tmc_shapley(&ImportanceRun, ...)`"
+)]
 pub fn tmc_shapley<C>(
     template: &C,
     train: &Dataset,
@@ -76,13 +98,15 @@ pub fn tmc_shapley<C>(
 where
     C: Classifier + Send + Sync,
 {
-    let run = tmc_shapley_budgeted(
+    let (run, _) = tmc_engine(
         template,
         train,
         valid,
         config,
         &RunBudget::unlimited(),
         None,
+        None,
+        BatchPolicy::Unbatched,
     )?;
     Ok(run.scores)
 }
@@ -101,16 +125,14 @@ pub struct BudgetedShapley {
 }
 
 /// Method tag used in budgeted TMC-Shapley checkpoints.
-const TMC_METHOD: &str = "tmc-shapley";
+pub(crate) const TMC_METHOD: &str = "tmc-shapley";
 
 /// Budget-aware, resumable TMC-Shapley (see the module docs for the
 /// determinism and budget-granularity contracts).
-///
-/// On exhaustion it **degrades gracefully**: the scores averaged over the
-/// permutations finished so far are returned, tagged with
-/// [`ConvergenceDiagnostics`] (including the largest per-example marginal
-/// standard error) and a [`McCheckpoint`] that a later call can `resume`
-/// from — including mid-permutation, via the checkpoint's in-flight state.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nde_importance::tmc_shapley(&ImportanceRun, ...)` with a budget"
+)]
 pub fn tmc_shapley_budgeted<C>(
     template: &C,
     train: &Dataset,
@@ -122,16 +144,24 @@ pub fn tmc_shapley_budgeted<C>(
 where
     C: Classifier + Send + Sync,
 {
-    tmc_shapley_budgeted_cached(template, train, valid, config, budget, resume, None)
+    let (run, _) = tmc_engine(
+        template,
+        train,
+        valid,
+        config,
+        budget,
+        resume,
+        None,
+        BatchPolicy::Unbatched,
+    )?;
+    Ok(run)
 }
 
 /// [`tmc_shapley_budgeted`] with an optional utility memo cache.
-///
-/// Cache hits still count as (logical) utility calls against the budget, so
-/// a cached run trips its budget at exactly the same point as an uncached
-/// one and stays bit-identical to it — the cache only removes *physical*
-/// model retrains. The cache must be dedicated to this
-/// `(template, train, valid)` triple.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nde_importance::tmc_shapley(&ImportanceRun, ...)` with a cache"
+)]
 pub fn tmc_shapley_budgeted_cached<C>(
     template: &C,
     train: &Dataset,
@@ -141,6 +171,48 @@ pub fn tmc_shapley_budgeted_cached<C>(
     resume: Option<&McCheckpoint>,
     cache: Option<&MemoCache>,
 ) -> Result<BudgetedShapley>
+where
+    C: Classifier + Send + Sync,
+{
+    // The shims keep the legacy physical behavior: one evaluation at a time.
+    let (run, _) = tmc_engine(
+        template,
+        train,
+        valid,
+        config,
+        budget,
+        resume,
+        cache,
+        BatchPolicy::Unbatched,
+    )?;
+    Ok(run)
+}
+
+/// The budget-aware, resumable, batch-capable TMC-Shapley engine behind
+/// both the [`crate::run`] entry point and the deprecated shims.
+///
+/// On exhaustion it **degrades gracefully**: the scores averaged over the
+/// permutations finished so far are returned, tagged with
+/// [`ConvergenceDiagnostics`] (including the largest per-example marginal
+/// standard error) and a [`McCheckpoint`] that a later call can resume
+/// from — including mid-permutation, via the checkpoint's in-flight state.
+///
+/// Cache hits still count as (logical) utility calls against the budget, so
+/// a cached run trips its budget at exactly the same point as an uncached
+/// one and stays bit-identical to it — the cache only removes *physical*
+/// model retrains. The cache must be dedicated to this
+/// `(template, train, valid)` triple.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tmc_engine<C>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &ShapleyConfig,
+    budget: &RunBudget,
+    resume: Option<&McCheckpoint>,
+    cache: Option<&MemoCache>,
+    policy: BatchPolicy,
+) -> Result<(BudgetedShapley, BatchStats)>
 where
     C: Classifier + Send + Sync,
 {
@@ -192,12 +264,13 @@ where
         None => McCheckpoint::fresh(TMC_METHOD, config.seed, n),
     };
 
+    let batcher = UtilityBatcher::new(template, train, valid, cache, policy);
     let mut clock = budget.resume(state.cursor, state.utility_calls);
     if clock.exhausted().is_none() {
         // Re-prime the full-data utility (one honestly-accounted call; a
         // cache hit on resume still counts).
         let all: Vec<usize> = (0..n).collect();
-        let full_utility = coalition_utility(template, train, valid, &all, cache)?;
+        let full_utility = batcher.eval_one(&all)?;
         clock.record_utility_calls(1);
         let mut scratch = WalkScratch::new(n);
 
@@ -205,13 +278,10 @@ where
         if let Some(inflight) = state.inflight.take() {
             let expected_rng = state.rng_state.take();
             let outcome = walk_permutation(
-                template,
-                train,
-                valid,
+                &batcher,
                 full_utility,
                 config,
                 state.cursor,
-                cache,
                 &mut scratch,
                 Some(&inflight),
                 expected_rng,
@@ -232,19 +302,8 @@ where
                 &stop,
                 || WalkScratch::new(n),
                 |ws, p| -> Result<(Vec<f64>, u64)> {
-                    let outcome = walk_permutation(
-                        template,
-                        train,
-                        valid,
-                        full_utility,
-                        config,
-                        p,
-                        cache,
-                        ws,
-                        None,
-                        None,
-                        None,
-                    )?;
+                    let outcome =
+                        walk_permutation(&batcher, full_utility, config, p, ws, None, None, None)?;
                     match outcome {
                         WalkOutcome::Complete { marginals, calls } => {
                             shared.record_iteration();
@@ -275,13 +334,10 @@ where
                     // to construct the exact mid-permutation state (served
                     // from cache when one is attached).
                     let outcome = walk_permutation(
-                        template,
-                        train,
-                        valid,
+                        &batcher,
                         full_utility,
                         config,
                         p,
-                        cache,
                         &mut scratch,
                         None,
                         None,
@@ -325,11 +381,15 @@ where
             })
     };
 
-    Ok(BudgetedShapley {
-        scores: ImportanceScores::new(TMC_METHOD, values),
-        diagnostics: clock.diagnostics(max_se),
-        checkpoint: state,
-    })
+    let stats = batcher.stats();
+    Ok((
+        BudgetedShapley {
+            scores: ImportanceScores::new(TMC_METHOD, values),
+            diagnostics: clock.diagnostics(max_se),
+            checkpoint: state,
+        },
+        stats,
+    ))
 }
 
 /// Fold one permutation's marginals into the running checkpoint sums.
@@ -363,6 +423,8 @@ fn settle(state: &mut McCheckpoint, clock: &mut BudgetClock, outcome: WalkOutcom
 struct WalkScratch {
     order: Vec<usize>,
     prefix: Vec<usize>,
+    /// Sorted prefix copies queued as one batched wave.
+    wave: Vec<Vec<usize>>,
 }
 
 impl WalkScratch {
@@ -370,6 +432,7 @@ impl WalkScratch {
         WalkScratch {
             order: Vec::with_capacity(n),
             prefix: Vec::with_capacity(n),
+            wave: Vec::new(),
         }
     }
 }
@@ -388,24 +451,25 @@ enum WalkOutcome {
 /// Walk one permutation's prefix chain, from scratch or resumed from an
 /// in-flight snapshot. Permutation `p` depends only on
 /// `child_seed(config.seed, p)`; coalitions are evaluated in sorted index
-/// order. With `clock` attached, the utility-call budget is enforced before
-/// every evaluation and consumed calls are recorded on the spot; without
-/// it, the walk runs to completion and reports its call count.
+/// order, queued in waves of up to `batcher.width()` consecutive prefixes
+/// and scored per wave. Waves are *folded* strictly sequentially, so
+/// truncation and budget enforcement behave exactly as in a one-at-a-time
+/// walk. With `clock` attached, the utility-call budget is enforced before
+/// every logical evaluation (wave width is clamped to the remaining budget)
+/// and consumed calls are recorded on the spot; without it, the walk runs
+/// to completion and reports its call count.
 #[allow(clippy::too_many_arguments)]
 fn walk_permutation<C: Classifier>(
-    template: &C,
-    train: &Dataset,
-    valid: &Dataset,
+    batcher: &UtilityBatcher<'_, C>,
     full_utility: f64,
     config: &ShapleyConfig,
     p: u64,
-    cache: Option<&MemoCache>,
     scratch: &mut WalkScratch,
     resume_from: Option<&InflightPermutation>,
     expected_rng: Option<[u64; 4]>,
     mut clock: Option<&mut BudgetClock>,
 ) -> Result<WalkOutcome> {
-    let n = train.len();
+    let n = batcher.train_len();
     let mut rng = seeded(child_seed(config.seed, p));
     scratch.order.clear();
     scratch.order.extend(0..n);
@@ -431,7 +495,8 @@ fn walk_permutation<C: Classifier>(
     scratch.prefix.extend_from_slice(&scratch.order[..start]);
     scratch.prefix.sort_unstable();
     let mut calls = 0u64;
-    for pos in start..n {
+    let mut pos = start;
+    while pos < n {
         if let Some(clock) = clock.as_deref_mut() {
             if clock.would_exceed_utility(1) {
                 return Ok(WalkOutcome::Tripped {
@@ -444,25 +509,55 @@ fn walk_permutation<C: Classifier>(
                 });
             }
         }
-        let i = scratch.order[pos];
-        let at = scratch.prefix.partition_point(|&x| x < i);
-        scratch.prefix.insert(at, i);
-        let u = coalition_utility(template, train, valid, &scratch.prefix, cache)?;
-        calls += 1;
-        if let Some(clock) = clock.as_deref_mut() {
-            clock.record_utility_calls(1);
+        // Queue the next wave of prefix coalitions. A budget-enforced walk
+        // clamps the wave to the calls the budget can still pay for (≥ 1
+        // here, since the pre-check above passed).
+        let mut width = batcher.width().min(n - pos);
+        if let Some(clock) = clock.as_deref() {
+            if let Some(remaining) = clock.remaining_utility_calls() {
+                width = width.min(remaining.max(1) as usize);
+            }
         }
-        marginals[i] = u - prev_u;
-        prev_u = u;
-        if (full_utility - u).abs() < config.truncation_tolerance {
-            break; // remaining marginals stay 0
+        for j in 0..width {
+            let i = scratch.order[pos + j];
+            let at = scratch.prefix.partition_point(|&x| x < i);
+            scratch.prefix.insert(at, i);
+            if scratch.wave.len() <= j {
+                scratch.wave.push(Vec::with_capacity(n));
+            }
+            scratch.wave[j].clear();
+            scratch.wave[j].extend_from_slice(&scratch.prefix);
         }
+        let utilities = batcher.eval_batch(&scratch.wave[..width])?;
+        // Fold the wave sequentially: logical call order, truncation and
+        // budget accounting are exactly the unbatched walk's.
+        for (j, &u) in utilities.iter().enumerate() {
+            let i = scratch.order[pos + j];
+            calls += 1;
+            if let Some(clock) = clock.as_deref_mut() {
+                clock.record_utility_calls(1);
+            }
+            marginals[i] = u - prev_u;
+            prev_u = u;
+            if (full_utility - u).abs() < config.truncation_tolerance {
+                // Remaining marginals stay 0; any already-evaluated wave
+                // tail is discarded (its values are pure, so the physical
+                // overshoot is unobservable).
+                return Ok(WalkOutcome::Complete { marginals, calls });
+            }
+        }
+        pos += width;
     }
     Ok(WalkOutcome::Complete { marginals, calls })
 }
 
 #[cfg(test)]
 mod tests {
+    // The long-standing behavioral suite drives the deprecated shims on
+    // purpose: they must keep delegating to the engine unchanged for one
+    // release, so every assertion below covers both surfaces at once.
+    #![allow(deprecated)]
+
     use super::*;
     use nde_ml::models::knn::KnnClassifier;
 
@@ -540,6 +635,50 @@ mod tests {
         cfg.threads = 4;
         let c = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn batched_waves_are_bit_identical_to_unbatched() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        let cfg = ShapleyConfig {
+            permutations: 40,
+            truncation_tolerance: 0.02, // exercise mid-wave truncation
+            seed: 9,
+            threads: 1,
+        };
+        let (plain, plain_stats) = tmc_engine(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited(),
+            None,
+            None,
+            BatchPolicy::Unbatched,
+        )
+        .unwrap();
+        assert_eq!(plain_stats.batched_evals, 0);
+        for size in [1, 2, 3, 8, 64] {
+            let (batched, stats) = tmc_engine(
+                &knn,
+                &train,
+                &valid,
+                &cfg,
+                &RunBudget::unlimited(),
+                None,
+                None,
+                BatchPolicy::Grouped { size },
+            )
+            .unwrap();
+            assert_eq!(batched.scores, plain.scores, "size={size}");
+            assert_eq!(batched.checkpoint, plain.checkpoint, "size={size}");
+            assert_eq!(
+                batched.diagnostics.utility_calls, plain.diagnostics.utility_calls,
+                "size={size}"
+            );
+            assert!(stats.batched_evals > 0, "size={size} must use the scorer");
+        }
     }
 
     #[test]
@@ -726,6 +865,57 @@ mod tests {
                 uninterrupted.checkpoint.totals_sq
             );
             assert!(resumed.checkpoint.inflight.is_none());
+        }
+    }
+
+    #[test]
+    fn batched_budget_trips_at_the_same_call_counts() {
+        // The wave engine must reproduce the unbatched trip points exactly:
+        // same checkpoint cursor, same in-flight position, same floats.
+        let (train, valid) = toy();
+        let cfg = budget_cfg(6);
+        let knn = KnnClassifier::new(1);
+        let (uninterrupted, _) = tmc_engine(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited(),
+            None,
+            None,
+            BatchPolicy::Unbatched,
+        )
+        .unwrap();
+        let full_calls = uninterrupted.checkpoint.utility_calls;
+        for max_calls in 2..full_calls {
+            let budget = RunBudget::unlimited().with_max_utility_calls(max_calls);
+            let (plain, _) = tmc_engine(
+                &knn,
+                &train,
+                &valid,
+                &cfg,
+                &budget,
+                None,
+                None,
+                BatchPolicy::Unbatched,
+            )
+            .unwrap();
+            let (batched, _) = tmc_engine(
+                &knn,
+                &train,
+                &valid,
+                &cfg,
+                &budget,
+                None,
+                None,
+                BatchPolicy::Grouped { size: 4 },
+            )
+            .unwrap();
+            assert_eq!(
+                batched.checkpoint, plain.checkpoint,
+                "trip state at max_calls={max_calls}"
+            );
+            assert_eq!(batched.scores, plain.scores);
         }
     }
 

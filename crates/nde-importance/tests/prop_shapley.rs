@@ -2,7 +2,7 @@
 //! driven by the in-tree seeded PRNG so failures reproduce exactly.
 
 use nde_data::rng::{seeded, Rng, StdRng};
-use nde_importance::knn_shapley::knn_shapley;
+use nde_importance::{knn_shapley, ImportanceRun};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
 use nde_ml::models::knn::KnnClassifier;
@@ -31,7 +31,9 @@ fn knn_shapley_efficiency_axiom() {
         let train = random_dataset(&mut rng, 2, 20);
         let valid = random_dataset(&mut rng, 2, 10);
         let k = rng.gen_range(1..4usize).min(train.len());
-        let scores = knn_shapley(&train, &valid, k).expect("computes");
+        let scores = knn_shapley(&ImportanceRun::new(0), &train, &valid, k)
+            .expect("computes")
+            .scores;
         let sum: f64 = scores.values.iter().sum();
         // U(D): mean over validation of correct-neighbor fraction among the
         // k nearest (the utility the closed form is exact for).
@@ -68,7 +70,9 @@ fn knn_shapley_symmetry_for_duplicates() {
         labels.push(labels[0]);
         let n = rows.len();
         let dup = Dataset::from_rows(rows, labels, 2).expect("well-formed");
-        let scores = knn_shapley(&dup, &valid, 1).expect("computes");
+        let scores = knn_shapley(&ImportanceRun::new(0), &dup, &valid, 1)
+            .expect("computes")
+            .scores;
         let a = scores.values[0];
         let b = scores.values[n - 1];
         assert!((a - b).abs() < 0.5, "duplicate values diverged: {a} vs {b}");
@@ -82,7 +86,9 @@ fn scores_are_finite_and_bounded() {
         let train = random_dataset(&mut rng, 2, 25);
         let valid = random_dataset(&mut rng, 2, 10);
         let k = rng.gen_range(1..5usize).min(train.len());
-        let scores = knn_shapley(&train, &valid, k).expect("computes");
+        let scores = knn_shapley(&ImportanceRun::new(0), &train, &valid, k)
+            .expect("computes")
+            .scores;
         for &v in &scores.values {
             assert!(v.is_finite());
             // A single point's value is bounded by 1 in magnitude for the

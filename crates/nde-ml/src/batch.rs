@@ -1,0 +1,262 @@
+//! Batched coalition scoring: evaluate many training-subset utilities in
+//! one pass over the validation set.
+//!
+//! Every importance method bottoms out in the same operation — compute the
+//! utility `U(S)` of a coalition `S ⊆ train` — and the naive route pays one
+//! full retrain + validation sweep per coalition. For instance-based models
+//! the retrain is a fiction: a KNN "fit" only remembers the subset, and the
+//! expensive part (train→valid distances) is *identical across coalitions*.
+//! [`DistanceTable`] computes that train→valid distance matrix once per
+//! run, and [`KnnCoalitionScorer`] then scores a whole batch of coalitions
+//! by masked partial selection over the shared matrix (KNN-Shapley, Jia et
+//! al., PVLDB 2019; Datascope's KNN proxy, Karlaš et al., PVLDB 2022).
+//!
+//! The [`CoalitionScorer`] trait is the hook the importance crate batches
+//! through: [`crate::model::Classifier::coalition_scorer`] returns a
+//! prepared scorer for models that support one-pass batch scoring, and
+//! `None` for generic classifiers, which then fall back to per-coalition
+//! [`crate::model::utility`] behind the same interface.
+//!
+//! # Bit-identity contract
+//!
+//! For every coalition `S` (given as a **sorted** list of training-set
+//! indices), a scorer must return *exactly* the `f64` that
+//! `utility(template, &train.subset(S), valid)` would: same distance
+//! floats, same `(distance, index)` neighbor ordering, same vote
+//! tie-breaking, same `correct / m` division. Batching is a physical
+//! optimization only — it must never be observable in the scores.
+
+use crate::dataset::Dataset;
+use crate::linalg::squared_distance;
+
+/// Scores batches of coalitions against a fixed (train, valid) pair in one
+/// validation pass, bit-identical to per-coalition retraining.
+///
+/// Implementations are built once per run (capturing whatever shared state
+/// makes batching cheap — e.g. a distance matrix) and shared across worker
+/// threads, hence the `Send + Sync` bound.
+pub trait CoalitionScorer: Send + Sync {
+    /// Utility of each coalition, in order.
+    ///
+    /// Each coalition is a non-empty, strictly ascending list of indices
+    /// into the training set the scorer was prepared for.
+    fn score_batch(&self, coalitions: &[&[usize]]) -> Vec<f64>;
+
+    /// Number of training points the scorer was prepared for (coalition
+    /// indices must stay below this).
+    fn n_train(&self) -> usize;
+}
+
+/// The train→valid squared-distance matrix, computed once per run.
+///
+/// Row `v` holds the squared Euclidean distance from validation point `v`
+/// to every training point, with exactly the floats
+/// [`squared_distance`] produces — so selection over a row reproduces the
+/// neighbor order a fresh [`crate::models::knn::KnnClassifier`] would see.
+#[derive(Debug, Clone)]
+pub struct DistanceTable {
+    n_train: usize,
+    n_valid: usize,
+    // Row-major [n_valid × n_train].
+    dists: Vec<f64>,
+}
+
+impl DistanceTable {
+    /// Compute all `train.len() × valid.len()` squared distances.
+    pub fn new(train: &Dataset, valid: &Dataset) -> DistanceTable {
+        let n_train = train.len();
+        let n_valid = valid.len();
+        let mut dists = vec![0.0; n_train * n_valid];
+        for (v, vx) in valid.x.iter_rows().enumerate() {
+            let row = &mut dists[v * n_train..(v + 1) * n_train];
+            for (i, tx) in train.x.iter_rows().enumerate() {
+                row[i] = squared_distance(tx, vx);
+            }
+        }
+        DistanceTable {
+            n_train,
+            n_valid,
+            dists,
+        }
+    }
+
+    /// Squared distances from validation point `v` to every training point.
+    pub fn row(&self, v: usize) -> &[f64] {
+        &self.dists[v * self.n_train..(v + 1) * self.n_train]
+    }
+
+    /// Number of training points (row width).
+    pub fn n_train(&self) -> usize {
+        self.n_train
+    }
+
+    /// Number of validation points (row count).
+    pub fn n_valid(&self) -> usize {
+        self.n_valid
+    }
+}
+
+/// One-pass batch scorer for the KNN utility.
+///
+/// Reproduces `utility(&KnnClassifier::new(k), &train.subset(S), valid)`
+/// for every coalition `S`: because `S` is sorted, partial selection by
+/// `(distance, global index)` over the shared [`DistanceTable`] row visits
+/// members in the same order a subset-local sort would, and majority voting
+/// with ties toward the smaller class id matches
+/// [`crate::models::knn::KnnClassifier`]'s per-point prediction exactly.
+#[derive(Debug)]
+pub struct KnnCoalitionScorer {
+    table: DistanceTable,
+    k: usize,
+    train_y: Vec<usize>,
+    valid_y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KnnCoalitionScorer {
+    /// Precompute the distance table for `(train, valid)` with `k` (≥ 1)
+    /// neighbors.
+    pub fn new(k: usize, train: &Dataset, valid: &Dataset) -> KnnCoalitionScorer {
+        KnnCoalitionScorer {
+            table: DistanceTable::new(train, valid),
+            k: k.max(1),
+            train_y: train.y.clone(),
+            valid_y: valid.y.clone(),
+            n_classes: train.n_classes,
+        }
+    }
+
+    /// The shared distance table (also useful to closed-form KNN-Shapley).
+    pub fn table(&self) -> &DistanceTable {
+        &self.table
+    }
+}
+
+impl CoalitionScorer for KnnCoalitionScorer {
+    fn score_batch(&self, coalitions: &[&[usize]]) -> Vec<f64> {
+        let m = self.table.n_valid();
+        if m == 0 {
+            // `Classifier::accuracy` returns 0.0 on an empty eval set.
+            return vec![0.0; coalitions.len()];
+        }
+        let mut correct = vec![0usize; coalitions.len()];
+        let mut sel: Vec<usize> = Vec::new();
+        let mut votes = vec![0usize; self.n_classes];
+        // Outer loop over validation points: each distance row is read once
+        // and scores every coalition in the batch before moving on.
+        for v in 0..m {
+            let row = self.table.row(v);
+            let truth = self.valid_y[v];
+            for (ci, &members) in coalitions.iter().enumerate() {
+                sel.clear();
+                sel.extend_from_slice(members);
+                let k = self.k.min(sel.len());
+                if k < sel.len() {
+                    // Partial selection of the k nearest members; ties break
+                    // by global index, which equals the subset-local order
+                    // because `members` is ascending.
+                    sel.select_nth_unstable_by(k, |&a, &b| {
+                        row[a]
+                            .partial_cmp(&row[b])
+                            .expect("finite distances")
+                            .then(a.cmp(&b))
+                    });
+                    sel.truncate(k);
+                }
+                votes.iter_mut().for_each(|c| *c = 0);
+                for &i in &sel {
+                    votes[self.train_y[i]] += 1;
+                }
+                let pred = votes
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0);
+                if pred == truth {
+                    correct[ci] += 1;
+                }
+            }
+        }
+        correct.iter().map(|&c| c as f64 / m as f64).collect()
+    }
+
+    fn n_train(&self) -> usize {
+        self.table.n_train()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{utility, Classifier};
+    use crate::models::knn::KnnClassifier;
+    use nde_data::generate::blobs::two_gaussians;
+
+    fn workload(n: usize, m: usize, seed: u64) -> (Dataset, Dataset) {
+        let nd = two_gaussians(n + m, 3, 3.0, seed);
+        let all = Dataset::try_from(&nd).unwrap();
+        let mut train = all.subset(&(0..n).collect::<Vec<_>>());
+        let valid = all.subset(&(n..n + m).collect::<Vec<_>>());
+        for f in [1, 4, 9] {
+            if f < train.len() {
+                train.y[f] = 1 - train.y[f];
+            }
+        }
+        (train, valid)
+    }
+
+    #[test]
+    fn distance_table_matches_squared_distance() {
+        let (train, valid) = workload(12, 6, 1);
+        let table = DistanceTable::new(&train, &valid);
+        assert_eq!(table.n_train(), 12);
+        assert_eq!(table.n_valid(), 6);
+        for (v, vx) in valid.x.iter_rows().enumerate() {
+            for (i, tx) in train.x.iter_rows().enumerate() {
+                assert_eq!(table.row(v)[i], squared_distance(tx, vx));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_scorer_is_bit_identical_to_retraining() {
+        let (train, valid) = workload(16, 8, 2);
+        for k in [1, 3, 5, 100] {
+            let scorer = KnnCoalitionScorer::new(k, &train, &valid);
+            let coalitions: Vec<Vec<usize>> = vec![
+                vec![0],
+                vec![3, 7],
+                vec![0, 1, 2, 3, 4],
+                (0..16).collect(),
+                vec![2, 5, 11, 15],
+            ];
+            let refs: Vec<&[usize]> = coalitions.iter().map(|c| c.as_slice()).collect();
+            let batched = scorer.score_batch(&refs);
+            for (c, &got) in coalitions.iter().zip(&batched) {
+                let want = utility(&KnnClassifier::new(k), &train.subset(c), &valid).unwrap();
+                assert_eq!(got, want, "k={k} coalition={c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_validation_set_scores_zero() {
+        let (train, valid) = workload(8, 4, 3);
+        let empty = valid.subset(&[]);
+        let scorer = KnnCoalitionScorer::new(1, &train, &empty);
+        assert_eq!(scorer.score_batch(&[&[0, 1][..]]), vec![0.0]);
+    }
+
+    #[test]
+    fn classifier_hook_returns_scorer_for_knn_only() {
+        let (train, valid) = workload(8, 4, 4);
+        let knn = KnnClassifier::new(2);
+        let scorer = knn.coalition_scorer(&train, &valid);
+        assert!(scorer.is_some());
+        assert_eq!(scorer.unwrap().n_train(), 8);
+        // A generic classifier keeps the default (no batched path).
+        let majority = crate::models::majority::MajorityClassifier::new();
+        assert!(majority.coalition_scorer(&train, &valid).is_none());
+    }
+}

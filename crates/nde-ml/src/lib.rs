@@ -20,6 +20,7 @@
 //! assert_eq!(knn.predict_one(&[4.9, 5.2]), 1);
 //! ```
 
+pub mod batch;
 pub mod dataset;
 pub mod encode;
 pub mod error;

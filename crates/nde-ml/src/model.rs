@@ -44,6 +44,22 @@ pub trait Classifier: Clone {
         xs.iter_rows().map(|r| self.predict_one(r)).collect()
     }
 
+    /// A prepared one-pass batch scorer for coalition utilities, if this
+    /// model supports one (see [`crate::batch::CoalitionScorer`]).
+    ///
+    /// The default returns `None`: generic classifiers are evaluated one
+    /// coalition at a time via [`utility`]. Models that override this (KNN)
+    /// must return a scorer that is **bit-identical** to the per-coalition
+    /// retraining path — batching may change the cost of a utility call,
+    /// never its value.
+    fn coalition_scorer(
+        &self,
+        _train: &Dataset,
+        _valid: &Dataset,
+    ) -> Option<Box<dyn crate::batch::CoalitionScorer>> {
+        None
+    }
+
     /// Accuracy on a labeled dataset.
     fn accuracy(&self, data: &Dataset) -> f64 {
         if data.is_empty() {

@@ -101,6 +101,16 @@ impl Classifier for KnnClassifier {
     fn is_fitted(&self) -> bool {
         self.train.is_some()
     }
+
+    fn coalition_scorer(
+        &self,
+        train: &Dataset,
+        valid: &Dataset,
+    ) -> Option<Box<dyn crate::batch::CoalitionScorer>> {
+        Some(Box::new(crate::batch::KnnCoalitionScorer::new(
+            self.k, train, valid,
+        )))
+    }
 }
 
 #[cfg(test)]

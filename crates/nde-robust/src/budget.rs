@@ -155,6 +155,16 @@ impl BudgetClock {
         }
     }
 
+    /// How many utility calls remain before the utility budget trips, or
+    /// `None` if unlimited. Batched evaluators clamp their wave width to
+    /// this so a tripping budget never pays for evaluations the sequential
+    /// stopping rule will discard.
+    pub fn remaining_utility_calls(&self) -> Option<u64> {
+        self.budget
+            .max_utility_calls
+            .map(|max| max.saturating_sub(self.utility_calls))
+    }
+
     /// Snapshot diagnostics for a finished (or interrupted) run.
     pub fn diagnostics(&self, max_marginal_std_error: Option<f64>) -> ConvergenceDiagnostics {
         ConvergenceDiagnostics {
@@ -227,8 +237,19 @@ mod tests {
         assert_eq!(clock.exhausted(), None);
         assert!(!clock.would_exceed_utility(2));
         assert!(clock.would_exceed_utility(3));
+        assert_eq!(clock.remaining_utility_calls(), Some(2));
         clock.record_utility_calls(2);
         assert_eq!(clock.exhausted(), Some(Exhaustion::UtilityCalls));
+        assert_eq!(clock.remaining_utility_calls(), Some(0));
+        clock.record_utility_calls(5);
+        // Overshoot saturates rather than wrapping.
+        assert_eq!(clock.remaining_utility_calls(), Some(0));
+    }
+
+    #[test]
+    fn unlimited_budget_has_no_remaining_count() {
+        let clock = RunBudget::unlimited().start();
+        assert_eq!(clock.remaining_utility_calls(), None);
     }
 
     #[test]

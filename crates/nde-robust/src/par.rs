@@ -100,6 +100,17 @@ impl AtomicBudgetClock {
         None
     }
 
+    /// Heuristic count of utility calls left before the utility budget
+    /// trips (`None` if unlimited). Like [`AtomicBudgetClock::exhausted`]
+    /// this races with other workers — use it to bound the width of a
+    /// speculative batch, never to decide the authoritative stopping point
+    /// (that is the sequential [`crate::BudgetClock`]'s job).
+    pub fn remaining_utility_calls(&self) -> Option<u64> {
+        self.budget
+            .max_utility_calls
+            .map(|max| max.saturating_sub(self.utility_calls.load(Ordering::Relaxed)))
+    }
+
     /// If the clock has tripped, raise `stop` so workers cease claiming new
     /// items. Returns `true` if the clock is (now) exhausted.
     pub fn arm_stop(&self, stop: &AtomicBool) -> bool {

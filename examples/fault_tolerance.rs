@@ -6,7 +6,7 @@
 
 use nde_cleaning::{prioritized_cleaning_robust, FlakyOracle, LabelOracle, Strategy};
 use nde_data::generate::blobs::two_gaussians;
-use nde_importance::{tmc_shapley_budgeted, ShapleyConfig};
+use nde_importance::{tmc_shapley, ImportanceRun, TmcParams};
 use nde_ml::dataset::Dataset;
 use nde_ml::models::knn::KnnClassifier;
 use nde_pipeline::exec::{Executor, PanicPolicy};
@@ -19,45 +19,40 @@ fn main() {
     let all = Dataset::try_from(&nd).unwrap();
     let train = all.subset(&(0..90).collect::<Vec<_>>());
     let valid = all.subset(&(90..120).collect::<Vec<_>>());
-    let cfg = ShapleyConfig {
+    let params = TmcParams {
         permutations: 40,
         truncation_tolerance: 0.0,
-        seed: 5,
-        threads: 1,
     };
     let knn = KnnClassifier::new(3);
 
     // 1. Budgeted run that trips on utility calls, then resume from a
     // checkpoint persisted to disk (simulated crash).
-    let partial = tmc_shapley_budgeted(
+    let partial = tmc_shapley(
+        &ImportanceRun::new(5).with_budget(RunBudget::unlimited().with_max_utility_calls(60)),
         &knn,
         &train,
         &valid,
-        &cfg,
-        &RunBudget::unlimited().with_max_utility_calls(60),
-        None,
+        &params,
     )
     .unwrap();
+    let partial_ckpt = partial.report.checkpoint.unwrap();
+    let partial_diag = partial.report.diagnostics.unwrap();
     println!(
         "partial: cursor={} exhausted={:?} max_se={:?}",
-        partial.checkpoint.cursor,
-        partial.diagnostics.exhausted,
-        partial.diagnostics.max_marginal_std_error
+        partial_ckpt.cursor, partial_diag.exhausted, partial_diag.max_marginal_std_error
     );
     let ckpt_path = std::env::temp_dir().join("ft_probe.ckpt.json");
-    partial.checkpoint.save(&ckpt_path).unwrap();
+    partial_ckpt.save(&ckpt_path).unwrap();
     let restored = McCheckpoint::load(&ckpt_path).unwrap();
-    let resumed = tmc_shapley_budgeted(
+    let resumed = tmc_shapley(
+        &ImportanceRun::new(5).with_checkpoint(&restored),
         &knn,
         &train,
         &valid,
-        &cfg,
-        &RunBudget::unlimited(),
-        Some(&restored),
+        &params,
     )
     .unwrap();
-    let full =
-        tmc_shapley_budgeted(&knn, &train, &valid, &cfg, &RunBudget::unlimited(), None).unwrap();
+    let full = tmc_shapley(&ImportanceRun::new(5), &knn, &train, &valid, &params).unwrap();
     println!(
         "resume bit-identical to uninterrupted: {}",
         resumed.scores.values == full.scores.values
@@ -72,17 +67,12 @@ fn main() {
     std::fs::remove_file(&ckpt_path).ok();
 
     // Probe: resume into a run with a different seed.
-    let wrong = ShapleyConfig {
-        seed: 6,
-        ..cfg.clone()
-    };
-    let err = tmc_shapley_budgeted(
+    let err = tmc_shapley(
+        &ImportanceRun::new(6).with_checkpoint(&partial_ckpt),
         &knn,
         &train,
         &valid,
-        &wrong,
-        &RunBudget::unlimited(),
-        Some(&partial.checkpoint),
+        &params,
     )
     .unwrap_err();
     println!("wrong-seed resume: {err}");

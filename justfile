@@ -11,10 +11,22 @@ bench-smoke:
     cargo build --release --offline -p nde-bench --bin exp_shapley_scaling
     ./target/release/exp_shapley_scaling --smoke --threads=1,4 --max-utility-calls=300
 
+# Batched-vs-unbatched utility smoke: runs the scaling bench with 8-wide
+# waves and asserts the machine-readable report carries the comparison.
+bench-batch:
+    cargo build --release --offline -p nde-bench --bin exp_shapley_scaling
+    ./target/release/exp_shapley_scaling --smoke --batch-size=8
+    grep -q '"batch_comparison"' BENCH_shapley.json
+    grep -q '"ms_per_call"' BENCH_shapley.json
+
 # Format and lint.
 lint:
     cargo fmt --all
     cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Docs must build warning-free (broken intra-doc links fail CI).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 
 # Run every figure/table experiment binary.
 experiments:

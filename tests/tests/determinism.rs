@@ -64,7 +64,7 @@ fn learn_workflow_is_bit_reproducible() {
 #[test]
 fn interrupted_shapley_resumes_bit_identically() {
     use nde_data::generate::blobs::two_gaussians;
-    use nde_importance::{tmc_shapley_budgeted, ShapleyConfig};
+    use nde_importance::{tmc_shapley, ImportanceRun, TmcParams};
     use nde_ml::dataset::Dataset;
     use nde_ml::models::knn::KnnClassifier;
     use nde_robust::{McCheckpoint, RunBudget};
@@ -73,51 +73,50 @@ fn interrupted_shapley_resumes_bit_identically() {
     let all = Dataset::try_from(&nd).unwrap();
     let train = all.subset(&(0..60).collect::<Vec<_>>());
     let valid = all.subset(&(60..80).collect::<Vec<_>>());
-    let cfg = ShapleyConfig {
+    let params = TmcParams {
         permutations: 24,
         truncation_tolerance: 0.0,
-        seed: 3,
-        threads: 1,
     };
     let knn = KnnClassifier::new(3);
-    let full = tmc_shapley_budgeted(&knn, &train, &valid, &cfg, &RunBudget::unlimited(), None)
+    let full = tmc_shapley(&ImportanceRun::new(3), &knn, &train, &valid, &params)
         .expect("uninterrupted run");
-    assert!(full.diagnostics.completed());
+    assert!(full.report.diagnostics.as_ref().unwrap().completed());
+    let full_ckpt = full.report.checkpoint.as_ref().unwrap();
 
     // Interrupt after k permutations, persist the checkpoint to disk (a
     // simulated crash + restart), resume, and demand the *exact* floats the
     // uninterrupted run produced.
     for k in [1u64, 7, 23] {
-        let partial = tmc_shapley_budgeted(
+        let partial = tmc_shapley(
+            &ImportanceRun::new(3).with_budget(RunBudget::unlimited().with_max_iterations(k)),
             &knn,
             &train,
             &valid,
-            &cfg,
-            &RunBudget::unlimited().with_max_iterations(k),
-            None,
+            &params,
         )
         .expect("interrupted run");
-        assert_eq!(partial.checkpoint.cursor, k);
+        let partial_ckpt = partial.report.checkpoint.unwrap();
+        assert_eq!(partial_ckpt.cursor, k);
         let path = std::env::temp_dir().join(format!("nde-determinism-ckpt-{k}.json"));
-        partial.checkpoint.save(&path).expect("save checkpoint");
+        partial_ckpt.save(&path).expect("save checkpoint");
         let restored = McCheckpoint::load(&path).expect("load checkpoint");
         std::fs::remove_file(&path).ok();
-        assert_eq!(restored, partial.checkpoint);
-        let resumed = tmc_shapley_budgeted(
+        assert_eq!(restored, partial_ckpt);
+        let resumed = tmc_shapley(
+            &ImportanceRun::new(3).with_checkpoint(&restored),
             &knn,
             &train,
             &valid,
-            &cfg,
-            &RunBudget::unlimited(),
-            Some(&restored),
+            &params,
         )
         .expect("resumed run");
         assert_eq!(
             resumed.scores.values, full.scores.values,
             "resume after {k} permutations must be bit-identical"
         );
-        assert_eq!(resumed.checkpoint.totals, full.checkpoint.totals);
-        assert_eq!(resumed.checkpoint.totals_sq, full.checkpoint.totals_sq);
+        let resumed_ckpt = resumed.report.checkpoint.unwrap();
+        assert_eq!(resumed_ckpt.totals, full_ckpt.totals);
+        assert_eq!(resumed_ckpt.totals_sq, full_ckpt.totals_sq);
     }
 }
 

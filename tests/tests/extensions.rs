@@ -5,8 +5,7 @@
 use nde::api::inject_label_errors;
 use nde::scenario::load_recommendation_letters;
 use nde_importance::datascope::datascope_importance;
-use nde_importance::knn_shapley::knn_shapley;
-use nde_importance::ImportanceScores;
+use nde_importance::{knn_shapley, ImportanceRun, ImportanceScores};
 use nde_ml::model::Classifier;
 use nde_ml::models::knn::KnnClassifier;
 use nde_ml::models::unlearn::Unlearn;
@@ -74,7 +73,9 @@ fn unlearning_the_lowest_shapley_tuples_improves_accuracy() {
     model.fit(&train).expect("fits");
     let acc_dirty = model.accuracy(&valid);
 
-    let scores = knn_shapley(&train, &valid, 5).expect("scores");
+    let scores = knn_shapley(&ImportanceRun::new(0), &train, &valid, 5)
+        .expect("scores")
+        .scores;
     let harmful = scores.bottom_k(40);
     model.forget(&harmful).expect("forgets");
     assert_eq!(model.remembered(), train.len() - 40);

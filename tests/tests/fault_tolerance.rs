@@ -9,7 +9,7 @@ use nde_cleaning::{
 };
 use nde_data::generate::blobs::two_gaussians;
 use nde_data::generate::hiring::HiringScenario;
-use nde_importance::{tmc_shapley_budgeted, ImportanceError, ShapleyConfig};
+use nde_importance::{tmc_shapley, ImportanceError, ImportanceRun, TmcParams};
 use nde_ml::dataset::Dataset;
 use nde_ml::models::knn::KnnClassifier;
 use nde_pipeline::exec::{Executor, PanicPolicy};
@@ -110,19 +110,16 @@ fn corrupt_features_are_rejected_by_the_budgeted_estimator() {
     let (mut train, valid) = gaussian_split();
     let cells = corrupt_features(&mut train, 3, 9);
     assert_eq!(cells.len(), 3);
-    let cfg = ShapleyConfig {
+    let params = TmcParams {
         permutations: 4,
         truncation_tolerance: 0.0,
-        seed: 1,
-        threads: 1,
     };
-    let err = tmc_shapley_budgeted(
+    let err = tmc_shapley(
+        &ImportanceRun::new(1),
         &KnnClassifier::new(1),
         &train,
         &valid,
-        &cfg,
-        &RunBudget::unlimited(),
-        None,
+        &params,
     )
     .unwrap_err();
     match err {
@@ -134,27 +131,25 @@ fn corrupt_features_are_rejected_by_the_budgeted_estimator() {
 #[test]
 fn shapley_budget_exhaustion_yields_best_so_far_plus_diagnostics() {
     let (train, valid) = gaussian_split();
-    let cfg = ShapleyConfig {
+    let params = TmcParams {
         permutations: 100,
         truncation_tolerance: 0.0,
-        seed: 2,
-        threads: 1,
     };
-    let run = tmc_shapley_budgeted(
+    let run = tmc_shapley(
+        &ImportanceRun::new(2).with_budget(RunBudget::unlimited().with_max_iterations(6)),
         &KnnClassifier::new(1),
         &train,
         &valid,
-        &cfg,
-        &RunBudget::unlimited().with_max_iterations(6),
-        None,
+        &params,
     )
     .unwrap();
-    assert!(!run.diagnostics.completed());
-    assert_eq!(run.diagnostics.iterations, 6);
-    assert_eq!(run.checkpoint.cursor, 6);
+    let diag = run.report.diagnostics.as_ref().unwrap();
+    assert!(!diag.completed());
+    assert_eq!(diag.iterations, 6);
+    assert_eq!(run.report.checkpoint.unwrap().cursor, 6);
     assert_eq!(run.scores.values.len(), train.len());
     assert!(run.scores.values.iter().all(|v| v.is_finite()));
-    assert!(run.diagnostics.max_marginal_std_error.is_some());
+    assert!(diag.max_marginal_std_error.is_some());
 }
 
 #[test]

@@ -2,12 +2,11 @@
 //! estimator and the pipeline executor must produce bit-identical output
 //! for every thread count — with and without a tripped budget, across a
 //! checkpoint/resume cycle, and with the utility memo cache attached.
+//!
+//! Exercised through the unified [`ImportanceRun`] entry points.
 
 use nde_data::generate::blobs::two_gaussians;
-use nde_importance::knn_shapley::{knn_shapley, knn_shapley_par};
-use nde_importance::shapley_mc::{
-    tmc_shapley_budgeted, tmc_shapley_budgeted_cached, ShapleyConfig,
-};
+use nde_importance::{knn_shapley, tmc_shapley, ImportanceRun, TmcParams};
 use nde_ml::dataset::Dataset;
 use nde_ml::models::knn::KnnClassifier;
 use nde_robust::par::MemoCache;
@@ -25,42 +24,38 @@ fn workload(n: usize, n_valid: usize, seed: u64) -> (Dataset, Dataset) {
     (train, valid)
 }
 
-fn config(threads: usize) -> ShapleyConfig {
-    ShapleyConfig {
+fn params() -> TmcParams {
+    TmcParams {
         permutations: 12,
         truncation_tolerance: 0.0,
-        seed: 41,
-        threads,
     }
 }
 
 #[test]
 fn budgeted_shapley_is_thread_invariant_without_budget() {
     let (train, valid) = workload(24, 12, 3);
-    let budget = RunBudget::unlimited();
-    let seq = tmc_shapley_budgeted(
+    let seq = tmc_shapley(
+        &ImportanceRun::new(41),
         &KnnClassifier::new(1),
         &train,
         &valid,
-        &config(1),
-        &budget,
-        None,
+        &params(),
     )
     .unwrap();
-    assert!(seq.diagnostics.completed());
+    let seq_diag = seq.report.diagnostics.as_ref().unwrap();
+    assert!(seq_diag.completed());
     for threads in [2, 4] {
-        let par = tmc_shapley_budgeted(
+        let par = tmc_shapley(
+            &ImportanceRun::new(41).with_threads(threads),
             &KnnClassifier::new(1),
             &train,
             &valid,
-            &config(threads),
-            &budget,
-            None,
+            &params(),
         )
         .unwrap();
         assert_eq!(seq.scores, par.scores, "threads={threads}");
         assert_eq!(
-            seq.diagnostics.utility_calls, par.diagnostics.utility_calls,
+            seq.report.utility_calls, par.report.utility_calls,
             "threads={threads}"
         );
     }
@@ -72,34 +67,33 @@ fn budgeted_shapley_is_thread_invariant_with_tripped_budget() {
     // Trips mid-permutation: utility-call budgets stop between coalition
     // evaluations, so the checkpoint carries in-flight state.
     let budget = RunBudget::unlimited().with_max_utility_calls(100);
-    let seq = tmc_shapley_budgeted(
+    let seq = tmc_shapley(
+        &ImportanceRun::new(41).with_budget(budget.clone()),
         &KnnClassifier::new(1),
         &train,
         &valid,
-        &config(1),
-        &budget,
-        None,
+        &params(),
     )
     .unwrap();
-    assert!(!seq.diagnostics.completed());
-    assert_eq!(seq.diagnostics.utility_calls, 100);
+    assert!(!seq.report.diagnostics.as_ref().unwrap().completed());
+    assert_eq!(seq.report.utility_calls, 100);
+    let seq_ckpt = seq.report.checkpoint.as_ref().unwrap();
     for threads in [2, 4] {
-        let par = tmc_shapley_budgeted(
+        let par = tmc_shapley(
+            &ImportanceRun::new(41)
+                .with_threads(threads)
+                .with_budget(budget.clone()),
             &KnnClassifier::new(1),
             &train,
             &valid,
-            &config(threads),
-            &budget,
-            None,
+            &params(),
         )
         .unwrap();
         assert_eq!(seq.scores, par.scores, "threads={threads}");
-        assert_eq!(seq.checkpoint.cursor, par.checkpoint.cursor);
-        assert_eq!(
-            seq.checkpoint.inflight.is_some(),
-            par.checkpoint.inflight.is_some()
-        );
-        assert_eq!(seq.diagnostics.utility_calls, par.diagnostics.utility_calls);
+        let par_ckpt = par.report.checkpoint.as_ref().unwrap();
+        assert_eq!(seq_ckpt.cursor, par_ckpt.cursor);
+        assert_eq!(seq_ckpt.inflight.is_some(), par_ckpt.inflight.is_some());
+        assert_eq!(seq.report.utility_calls, par.report.utility_calls);
     }
 }
 
@@ -107,84 +101,86 @@ fn budgeted_shapley_is_thread_invariant_with_tripped_budget() {
 fn parallel_interrupt_resume_matches_sequential_uninterrupted() {
     let (train, valid) = workload(24, 12, 3);
     // Authoritative answer: sequential, never interrupted.
-    let unbudgeted = tmc_shapley_budgeted(
+    let unbudgeted = tmc_shapley(
+        &ImportanceRun::new(41),
         &KnnClassifier::new(1),
         &train,
         &valid,
-        &config(1),
-        &RunBudget::unlimited(),
-        None,
+        &params(),
     )
     .unwrap();
     // Parallel run tripped mid-permutation, then resumed in parallel.
     for threads in [1, 4] {
-        let tripped = tmc_shapley_budgeted(
+        let tripped = tmc_shapley(
+            &ImportanceRun::new(41)
+                .with_threads(threads)
+                .with_budget(RunBudget::unlimited().with_max_utility_calls(90)),
             &KnnClassifier::new(1),
             &train,
             &valid,
-            &config(threads),
-            &RunBudget::unlimited().with_max_utility_calls(90),
-            None,
+            &params(),
         )
         .unwrap();
-        assert!(!tripped.diagnostics.completed());
-        let resumed = tmc_shapley_budgeted(
+        assert!(!tripped.report.diagnostics.as_ref().unwrap().completed());
+        let ckpt = tripped.report.checkpoint.unwrap();
+        let resumed = tmc_shapley(
+            &ImportanceRun::new(41)
+                .with_threads(threads)
+                .with_checkpoint(&ckpt),
             &KnnClassifier::new(1),
             &train,
             &valid,
-            &config(threads),
-            &RunBudget::unlimited(),
-            Some(&tripped.checkpoint),
+            &params(),
         )
         .unwrap();
         assert_eq!(
             unbudgeted.scores, resumed.scores,
             "threads={threads}: parallel interrupt+resume must be bit-identical"
         );
-        assert!(resumed.checkpoint.inflight.is_none());
+        assert!(resumed.report.checkpoint.unwrap().inflight.is_none());
     }
 }
 
 #[test]
 fn memo_cache_is_transparent_and_hits_across_a_resume_cycle() {
     let (train, valid) = workload(20, 10, 5);
-    let cfg = ShapleyConfig {
+    let params = TmcParams {
         permutations: 25,
         truncation_tolerance: 0.0,
-        seed: 8,
-        threads: 4,
     };
-    let uncached = tmc_shapley_budgeted(
+    let uncached = tmc_shapley(
+        &ImportanceRun::new(8).with_threads(4),
         &KnnClassifier::new(1),
         &train,
         &valid,
-        &cfg,
-        &RunBudget::unlimited(),
-        None,
+        &params,
     )
     .unwrap();
     // One shared cache across interrupt + resume: the resumed leg replays
     // coalitions the first leg already evaluated.
     let cache = MemoCache::new();
-    let tripped = tmc_shapley_budgeted_cached(
+    let tripped = tmc_shapley(
+        &ImportanceRun::new(8)
+            .with_threads(4)
+            .with_cache(&cache)
+            .with_budget(RunBudget::unlimited().with_max_utility_calls(120)),
         &KnnClassifier::new(1),
         &train,
         &valid,
-        &cfg,
-        &RunBudget::unlimited().with_max_utility_calls(120),
-        None,
-        Some(&cache),
+        &params,
     )
     .unwrap();
-    assert!(!tripped.diagnostics.completed());
-    let resumed = tmc_shapley_budgeted_cached(
+    assert!(!tripped.report.diagnostics.as_ref().unwrap().completed());
+    let ckpt = tripped.report.checkpoint.unwrap();
+    let resumed = tmc_shapley(
+        &ImportanceRun::new(8)
+            .with_threads(4)
+            .with_cache(&cache)
+            .with_checkpoint(&ckpt),
         &KnnClassifier::new(1),
         &train,
         &valid,
-        &cfg,
-        &RunBudget::unlimited(),
-        Some(&tripped.checkpoint),
-        Some(&cache),
+        &params,
     )
     .unwrap();
     assert_eq!(uncached.scores, resumed.scores);
@@ -193,17 +189,23 @@ fn memo_cache_is_transparent_and_hits_across_a_resume_cycle() {
     // total matches the uninterrupted one, plus the one extra U(D) call the
     // resume re-primes with.
     assert_eq!(
-        resumed.diagnostics.utility_calls,
-        uncached.diagnostics.utility_calls + 1
+        resumed.report.utility_calls,
+        uncached.report.utility_calls + 1
     );
 }
 
 #[test]
 fn knn_shapley_parallel_matches_sequential_across_thread_counts() {
     let (train, valid) = workload(60, 40, 7);
-    let seq = knn_shapley(&train, &valid, 3).unwrap();
+    let seq = knn_shapley(&ImportanceRun::new(0), &train, &valid, 3).unwrap();
     for threads in [2, 4, 8] {
-        let par = knn_shapley_par(&train, &valid, 3, threads).unwrap();
-        assert_eq!(seq, par, "threads={threads}");
+        let par = knn_shapley(
+            &ImportanceRun::new(0).with_threads(threads),
+            &train,
+            &valid,
+            3,
+        )
+        .unwrap();
+        assert_eq!(seq.scores, par.scores, "threads={threads}");
     }
 }
