@@ -26,7 +26,14 @@ fn main() {
         let lineage = out.provenance.expect("tracked");
         bench(
             &format!("provenance_overhead/why_provenance_eval/{n}"),
-            || lineage.rows.iter().map(|e| e.why().len()).sum::<usize>(),
+            || {
+                use nde::pipeline::semiring::{why_var, WhySemiring};
+                lineage
+                    .eval_rows::<WhySemiring>(&|t| why_var(t.as_var()))
+                    .iter()
+                    .map(|w| w.len())
+                    .sum::<usize>()
+            },
         );
     }
 }

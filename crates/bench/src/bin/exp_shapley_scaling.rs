@@ -11,11 +11,11 @@
 //! --max-utility-calls=N    RunBudget utility-call cap
 //! --max-iterations=N       RunBudget iteration (permutation) cap
 //! --batch-size=8           wave width for the batched-vs-unbatched bench
-//! --out=BENCH_shapley.json where to write the machine-readable bench
+//! --out=BENCH_shapley.json append-only bench trajectory file
 //! ```
 use nde::robust::RunBudget;
 use nde_bench::experiments::shapley_scaling;
-use nde_bench::report::{f, TextTable};
+use nde_bench::report::{append_trajectory, f, trajectory_delta, TextTable};
 
 struct Args {
     smoke: bool,
@@ -180,8 +180,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let json = nde_bench::report::to_json(&bench);
-    std::fs::write(&args.out, &json)?;
-    println!("\nwrote {}", args.out);
+    let records = append_trajectory(&args.out, &bench)?;
+    println!("\nappended record {} to {}", records.len(), args.out);
+    if let Some(delta) = trajectory_delta(&records) {
+        println!("{delta}");
+    }
     Ok(())
 }

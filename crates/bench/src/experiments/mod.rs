@@ -10,6 +10,7 @@ pub mod fig3_pipeline;
 pub mod fig4_zorro;
 pub mod importance_compare;
 pub mod multiplicity;
+pub mod pipeline_scaling;
 pub mod provenance_overhead;
 pub mod shapley_scaling;
 pub mod zorro_vs_imputation;

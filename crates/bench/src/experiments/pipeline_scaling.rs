@@ -1,0 +1,269 @@
+//! E13 — the Debug-pillar engine bench: pipeline execution scaling
+//! (rows × threads through the chunk-parallel join/distinct/fuzzy
+//! operators) and deletion what-if cost on the hash-consed provenance
+//! arena versus the seed recursive-tree path.
+//!
+//! Two measurements per scale:
+//!
+//! * **exec** — wall time of the Fig. 3 hiring pipeline with provenance at
+//!   each thread count (the output and lineage are bit-identical at every
+//!   count, so this isolates the physical speedup);
+//! * **what-if** — answering `deletion_sets` deletion scenarios from the
+//!   captured lineage: the *tree* path materializes each row's
+//!   [`ProvExpr`] and evaluates it recursively per scenario (the seed
+//!   representation), the *arena* path packs 64 scenarios per `u64` lane
+//!   and makes one forward pass per batch
+//!   ([`predict_deletions_batch`]).
+
+use nde::pipeline::exec::Executor;
+use nde::pipeline::plan::Plan;
+use nde::pipeline::semiring::BoolSemiring;
+use nde::pipeline::whatif::predict_deletions_batch;
+use nde::pipeline::{Lineage, ProvExpr, TupleId};
+use nde::scenario::load_recommendation_letters;
+use nde::NdeError;
+use nde_data::fxhash::FxHashSet;
+use std::time::Instant;
+
+/// Pipeline execution timing at one (rows, threads) cell.
+#[derive(Debug, Clone)]
+pub struct ExecPoint {
+    /// Number of applicants generated.
+    pub rows: usize,
+    /// Executor worker threads.
+    pub threads: usize,
+    /// Best-of-`reps` wall milliseconds for one provenance-tracked run.
+    pub exec_ms: f64,
+}
+
+nde_data::json_struct!(ExecPoint {
+    rows,
+    threads,
+    exec_ms
+});
+
+/// Deletion what-if timing at one scale: seed tree path vs arena path.
+#[derive(Debug, Clone)]
+pub struct WhatIfPoint {
+    /// Number of applicants generated.
+    pub rows: usize,
+    /// Output rows the lineage covers.
+    pub output_rows: usize,
+    /// Deletion scenarios answered.
+    pub deletion_sets: usize,
+    /// Best-of-`reps` ms: per-row recursive [`ProvExpr`] evaluation, one
+    /// scenario at a time.
+    pub tree_ms: f64,
+    /// Best-of-`reps` ms: batched bitset arena evaluation.
+    pub arena_ms: f64,
+    /// `tree_ms / arena_ms`.
+    pub speedup: f64,
+}
+
+nde_data::json_struct!(WhatIfPoint {
+    rows,
+    output_rows,
+    deletion_sets,
+    tree_ms,
+    arena_ms,
+    speedup
+});
+
+/// Report for E13.
+#[derive(Debug, Clone)]
+pub struct PipelineScalingReport {
+    /// Repetitions per cell (best-of).
+    pub reps: usize,
+    /// One point per (rows, threads) cell.
+    pub exec: Vec<ExecPoint>,
+    /// One point per scale.
+    pub whatif: Vec<WhatIfPoint>,
+    /// End-to-end ms/output-row of the sequential seed path at the largest
+    /// scale: threads=1 execution + recursive tree what-if.
+    pub seq_tree_ms_per_row: f64,
+    /// End-to-end ms/output-row of the optimized path at the largest
+    /// scale: max-threads execution + batched arena what-if.
+    pub par_arena_ms_per_row: f64,
+    /// `seq_tree_ms_per_row / par_arena_ms_per_row`.
+    pub end_to_end_speedup: f64,
+}
+
+nde_data::json_struct!(PipelineScalingReport {
+    reps,
+    exec,
+    whatif,
+    seq_tree_ms_per_row,
+    par_arena_ms_per_row,
+    end_to_end_speedup
+});
+
+/// Deterministic deletion scenarios over the primary source: set `k`
+/// deletes the `k`-th block of `train_df` rows.
+fn deletion_scenarios(lineage: &Lineage, source_rows: usize, sets: usize) -> Vec<Vec<TupleId>> {
+    let src = lineage
+        .source_index("train_df")
+        .expect("hiring pipeline reads train_df");
+    let block = (source_rows / sets.max(1)).max(1);
+    (0..sets)
+        .map(|k| {
+            let start = (k * block) % source_rows.max(1);
+            let end = (start + block).min(source_rows);
+            (start..end).map(|r| TupleId::new(src, r as u32)).collect()
+        })
+        .collect()
+}
+
+/// The seed what-if path: recursive Boolean evaluation of per-row
+/// expression trees, one deletion set at a time. Returns per-set surviving
+/// row counts (checked against the arena path by the caller).
+fn tree_whatif(exprs: &[ProvExpr], sets: &[Vec<TupleId>]) -> Vec<usize> {
+    sets.iter()
+        .map(|set| {
+            let dead: FxHashSet<TupleId> = set.iter().copied().collect();
+            exprs
+                .iter()
+                .filter(|e| e.eval::<BoolSemiring>(&|t| !dead.contains(&t)))
+                .count()
+        })
+        .collect()
+}
+
+/// Run E13 over the given scales and thread counts.
+pub fn run(
+    sizes: &[usize],
+    threads: &[usize],
+    deletion_sets: usize,
+    reps: usize,
+    seed: u64,
+) -> Result<PipelineScalingReport, NdeError> {
+    assert!(!sizes.is_empty() && !threads.is_empty() && reps >= 1);
+    let (plan, root) = Plan::hiring_pipeline();
+    let max_threads = threads.iter().copied().max().unwrap_or(1);
+    let best_of = |f: &mut dyn FnMut() -> Result<(), NdeError>| -> Result<f64, NdeError> {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f()?;
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        Ok(best)
+    };
+
+    let mut exec = Vec::new();
+    let mut whatif = Vec::new();
+    let mut seq_tree_ms_per_row = 0.0;
+    let mut par_arena_ms_per_row = 0.0;
+    for &n in sizes {
+        let s = load_recommendation_letters(n, seed);
+        let inputs = s.pipeline_inputs(&s.train);
+
+        let exec_ms_at = |t: usize| -> Result<f64, NdeError> {
+            let ex = Executor::new().with_provenance(true).with_threads(t);
+            best_of(&mut || {
+                let out = ex.run(&plan, root, &inputs)?;
+                std::hint::black_box(out.table.n_rows());
+                Ok(())
+            })
+        };
+        let mut ms_by_threads = Vec::new();
+        for &t in threads {
+            let exec_ms = exec_ms_at(t)?;
+            ms_by_threads.push((t, exec_ms));
+            exec.push(ExecPoint {
+                rows: n,
+                threads: t,
+                exec_ms,
+            });
+        }
+
+        // Lineage is thread-invariant; capture it once.
+        let out = Executor::new()
+            .with_provenance(true)
+            .with_threads(max_threads)
+            .run(&plan, root, &inputs)?;
+        let lineage = out.provenance.expect("provenance tracked");
+        let sets = deletion_scenarios(&lineage, s.train.n_rows(), deletion_sets);
+
+        // The tree path starts from materialized per-row expression trees
+        // (what the seed representation stored); materialization itself is
+        // not timed.
+        let exprs: Vec<ProvExpr> = (0..lineage.n_rows())
+            .map(|row| lineage.row_expr(row))
+            .collect();
+        let mut tree_counts = Vec::new();
+        let tree_ms = best_of(&mut || {
+            tree_counts = tree_whatif(&exprs, &sets);
+            Ok(())
+        })?;
+        let mut arena_counts = Vec::new();
+        let arena_ms = best_of(&mut || {
+            arena_counts = predict_deletions_batch(&lineage, &sets)
+                .iter()
+                .map(|e| e.surviving_rows.len())
+                .collect();
+            Ok(())
+        })?;
+        assert_eq!(tree_counts, arena_counts, "paths must agree at n={n}");
+        whatif.push(WhatIfPoint {
+            rows: n,
+            output_rows: lineage.n_rows(),
+            deletion_sets: sets.len(),
+            tree_ms,
+            arena_ms,
+            speedup: tree_ms / arena_ms.max(1e-9),
+        });
+
+        // End-to-end ms/output-row at the largest scale.
+        if n == *sizes.last().unwrap() {
+            let rows = lineage.n_rows().max(1) as f64;
+            let seq_exec = ms_by_threads
+                .iter()
+                .find(|(t, _)| *t == 1)
+                .map(|(_, ms)| *ms)
+                .unwrap_or_else(|| ms_by_threads[0].1);
+            let par_exec = ms_by_threads
+                .iter()
+                .find(|(t, _)| *t == max_threads)
+                .map(|(_, ms)| *ms)
+                .unwrap_or(seq_exec);
+            seq_tree_ms_per_row = (seq_exec + tree_ms) / rows;
+            par_arena_ms_per_row = (par_exec + arena_ms) / rows;
+        }
+    }
+
+    Ok(PipelineScalingReport {
+        reps,
+        exec,
+        whatif,
+        seq_tree_ms_per_row,
+        par_arena_ms_per_row,
+        end_to_end_speedup: seq_tree_ms_per_row / par_arena_ms_per_row.max(1e-9),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_and_parallel_path_beats_sequential_tree_path() {
+        // Many deletion sets widen the arena's margin (64 scenarios per
+        // pass vs one tree walk per scenario), keeping the end-to-end
+        // assertion stable on single-core CI runners.
+        let r = run(&[600], &[1, 4], 256, 3, 21).unwrap();
+        assert_eq!(r.exec.len(), 2);
+        assert_eq!(r.whatif.len(), 1);
+        let w = &r.whatif[0];
+        assert!(w.output_rows > 0);
+        // Bitset lanes answer 64 scenarios per pass; the recursive tree
+        // walks each scenario separately.
+        assert!(
+            w.speedup > 1.0,
+            "arena what-if must beat tree what-if: {w:?}"
+        );
+        assert!(
+            r.par_arena_ms_per_row < r.seq_tree_ms_per_row,
+            "optimized path must win end-to-end: {r:?}"
+        );
+    }
+}

@@ -1,6 +1,10 @@
-//! Plain-text table rendering and JSON persistence for experiment reports.
+//! Plain-text table rendering and JSON persistence for experiment reports,
+//! plus the append-only bench trajectory: every bench run appends a
+//! `{git_commit, timestamp, results}` record to its `BENCH_*.json` file so
+//! regressions show up as a last-vs-previous delta instead of silently
+//! overwriting history.
 
-use nde_data::json::ToJson;
+use nde_data::json::{Json, ToJson};
 
 /// A simple aligned text table builder for experiment output.
 #[derive(Debug, Clone, Default)]
@@ -69,6 +73,121 @@ pub fn f(x: f64) -> String {
     format!("{x:.4}")
 }
 
+/// The current short git commit hash, or `"unknown"` outside a repository
+/// (bench records must never fail just because git is unavailable).
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Is this JSON object already a trajectory record?
+fn is_record(v: &Json) -> bool {
+    v.get("git_commit").is_some() && v.get("timestamp").is_some() && v.get("results").is_some()
+}
+
+/// Append one `{git_commit, timestamp, results}` record to the append-only
+/// trajectory file at `path` and return the full record list (oldest
+/// first). A pre-trajectory file holding a bare results object is wrapped
+/// as the first record (commit/timestamp unknown) instead of being thrown
+/// away; unparseable files are replaced.
+pub fn append_trajectory<T: ToJson>(path: &str, results: &T) -> std::io::Result<Vec<Json>> {
+    let mut records: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(Json::Arr(items)) => items.into_iter().filter(is_record).collect(),
+            Ok(legacy @ Json::Obj(_)) if !is_record(&legacy) => vec![Json::Obj(vec![
+                ("git_commit".into(), Json::Str("unknown".into())),
+                ("timestamp".into(), Json::UInt(0)),
+                ("results".into(), legacy),
+            ])],
+            Ok(record @ Json::Obj(_)) => vec![record],
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    records.push(Json::Obj(vec![
+        ("git_commit".into(), Json::Str(git_commit())),
+        ("timestamp".into(), Json::UInt(unix_timestamp())),
+        ("results".into(), results.to_json()),
+    ]));
+    std::fs::write(path, Json::Arr(records.clone()).to_string_pretty())?;
+    Ok(records)
+}
+
+/// Flatten every numeric leaf of a JSON tree into `(dotted.path, value)`
+/// pairs, arrays indexed by position.
+fn numeric_leaves(prefix: &str, v: &Json, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::UInt(_) | Json::Float(_) => {
+            out.push((prefix.to_string(), v.as_f64().unwrap_or(0.0)));
+        }
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                numeric_leaves(&path, child, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                numeric_leaves(&format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Render the last-vs-previous delta of a trajectory (one line per numeric
+/// leaf present in both records). `None` with fewer than two records —
+/// nothing to compare against yet.
+pub fn trajectory_delta(records: &[Json]) -> Option<String> {
+    let [.., prev, last] = records else {
+        return None;
+    };
+    let commit = |r: &Json| {
+        r.get("git_commit")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string()
+    };
+    let mut prev_leaves = Vec::new();
+    let mut last_leaves = Vec::new();
+    numeric_leaves("", prev.get("results")?, &mut prev_leaves);
+    numeric_leaves("", last.get("results")?, &mut last_leaves);
+    let prev_map: std::collections::BTreeMap<&str, f64> =
+        prev_leaves.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut out = format!("bench delta {} -> {}:\n", commit(prev), commit(last));
+    let mut any = false;
+    for (key, cur) in &last_leaves {
+        let Some(&old) = prev_map.get(key.as_str()) else {
+            continue;
+        };
+        any = true;
+        let pct = if old.abs() > 1e-12 {
+            format!(" ({:+.1}%)", (cur - old) / old * 100.0)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("  {key}: {old} -> {cur}{pct}\n"));
+    }
+    any.then_some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +215,62 @@ mod tests {
         nde_data::json_struct!(R { x });
         let s = to_json(&R { x: 1.5 });
         assert!(s.contains("1.5"));
+    }
+
+    struct Point {
+        ms: f64,
+        rows: u64,
+    }
+    nde_data::json_struct!(Point { ms, rows });
+
+    #[test]
+    fn trajectory_appends_records_and_reports_deltas() {
+        let dir = std::env::temp_dir().join(format!("nde_traj_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let first = append_trajectory(path, &Point { ms: 10.0, rows: 5 }).unwrap();
+        assert_eq!(first.len(), 1);
+        // One record: nothing to diff yet.
+        assert!(trajectory_delta(&first).is_none());
+
+        let second = append_trajectory(path, &Point { ms: 5.0, rows: 5 }).unwrap();
+        assert_eq!(second.len(), 2);
+        let delta = trajectory_delta(&second).unwrap();
+        assert!(delta.contains("ms: 10 -> 5"), "{delta}");
+        assert!(delta.contains("-50.0%"), "{delta}");
+        assert!(delta.contains("rows: 5 -> 5"), "{delta}");
+
+        // The on-disk file is a well-formed array of records.
+        let on_disk = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(on_disk.as_arr().unwrap().len(), 2);
+        for r in on_disk.as_arr().unwrap() {
+            assert!(r.get("git_commit").is_some());
+            assert!(r.get("timestamp").is_some());
+            assert!(r.get("results").and_then(|v| v.get("ms")).is_some());
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trajectory_wraps_legacy_single_object_files() {
+        let dir = std::env::temp_dir().join(format!("nde_traj_legacy_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_legacy.json");
+        let path = path.to_str().unwrap();
+        // A pre-trajectory bench file: a bare results object.
+        std::fs::write(path, "{\"ms\": 20.0, \"rows\": 5}").unwrap();
+
+        let records = append_trajectory(path, &Point { ms: 10.0, rows: 5 }).unwrap();
+        assert_eq!(records.len(), 2, "legacy object becomes record 0");
+        assert_eq!(
+            records[0].get("git_commit").and_then(Json::as_str),
+            Some("unknown")
+        );
+        let delta = trajectory_delta(&records).unwrap();
+        assert!(delta.contains("ms: 20 -> 10"), "{delta}");
+        let _ = std::fs::remove_file(path);
     }
 }

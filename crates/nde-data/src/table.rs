@@ -2,10 +2,18 @@
 
 use crate::column::Column;
 use crate::fxhash::FxHashMap;
+use crate::par::{effective_threads, par_map_indexed, WorkerFailure};
 use crate::schema::{DataType, Field, Schema};
 use crate::value::Value;
 use crate::{DataError, Result};
 use std::fmt;
+use std::sync::atomic::AtomicBool;
+
+/// Rows are probed/keyed in fixed-size chunks merged in chunk order, so
+/// parallel joins and distinct produce bit-identical output (rows *and* row
+/// lineage) for every thread count. The chunking is independent of
+/// `threads`.
+const ROW_CHUNK: usize = 256;
 
 /// Join output plus per-output-row `(left_row, right_row)` lineage.
 pub type JoinResult = (Table, Vec<(usize, usize)>);
@@ -283,7 +291,21 @@ impl Table {
     /// on a non-key column gets a `_right` suffix. Returns the joined table
     /// plus per-output-row lineage `(left_row, right_row)`.
     pub fn hash_join(&self, right: &Table, left_key: &str, right_key: &str) -> Result<JoinResult> {
-        self.join_impl(right, left_key, right_key, false)
+        self.hash_join_par(right, left_key, right_key, 1)
+    }
+
+    /// [`Table::hash_join`] with a chunk-parallel probe phase: the build
+    /// side is hashed once, probe rows are partitioned into fixed chunks,
+    /// and chunk outputs are merged in index order — the joined table and
+    /// lineage are bit-identical for every `threads` value.
+    pub fn hash_join_par(
+        &self,
+        right: &Table,
+        left_key: &str,
+        right_key: &str,
+        threads: usize,
+    ) -> Result<JoinResult> {
+        self.join_impl(right, left_key, right_key, false, threads)
             .map(|(t, lineage)| {
                 let pairs = lineage
                     .into_iter()
@@ -303,7 +325,19 @@ impl Table {
         left_key: &str,
         right_key: &str,
     ) -> Result<LeftJoinResult> {
-        self.join_impl(right, left_key, right_key, true)
+        self.left_join_par(right, left_key, right_key, 1)
+    }
+
+    /// [`Table::left_join`] with the chunk-parallel probe phase of
+    /// [`Table::hash_join_par`]; output is thread-count invariant.
+    pub fn left_join_par(
+        &self,
+        right: &Table,
+        left_key: &str,
+        right_key: &str,
+        threads: usize,
+    ) -> Result<LeftJoinResult> {
+        self.join_impl(right, left_key, right_key, true, threads)
     }
 
     fn join_impl(
@@ -312,6 +346,7 @@ impl Table {
         left_key: &str,
         right_key: &str,
         outer: bool,
+        threads: usize,
     ) -> Result<LeftJoinResult> {
         let lk = self.schema.index_of(left_key)?;
         let rk = right.schema.index_of(right_key)?;
@@ -332,16 +367,37 @@ impl Table {
             }
         }
 
-        // Probe phase.
-        let mut lineage: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.n_rows);
-        for row in 0..self.n_rows {
-            let key = JoinKey::from_value(&self.columns[lk].get(row).expect("in bounds"));
-            let matches = key.and_then(|k| index.get(&k));
-            match matches {
-                Some(rows) => lineage.extend(rows.iter().map(|&r| (row, Some(r)))),
-                None if outer => lineage.push((row, None)),
-                None => {}
+        // Probe phase: each chunk probes its own row range; chunk outputs
+        // are merged in index order (par_map_indexed sorts by index and
+        // runs inline for one thread), so lineage is schedule-independent.
+        let chunks = self.n_rows.div_ceil(ROW_CHUNK) as u64;
+        let workers = effective_threads(threads, chunks as usize);
+        let stop = AtomicBool::new(false);
+        let parts = par_map_indexed(workers, 0..chunks, &stop, |c| {
+            let start = c as usize * ROW_CHUNK;
+            let end = (start + ROW_CHUNK).min(self.n_rows);
+            let mut part: Vec<(usize, Option<usize>)> = Vec::with_capacity(end - start);
+            for row in start..end {
+                let key = JoinKey::from_value(&self.columns[lk].get(row).expect("in bounds"));
+                match key.and_then(|k| index.get(&k)) {
+                    Some(rows) => part.extend(rows.iter().map(|&r| (row, Some(r)))),
+                    None if outer => part.push((row, None)),
+                    None => {}
+                }
             }
+            Ok::<_, DataError>(part)
+        })
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            // Unreachable in practice: probing only reads bounds-checked
+            // columns and the prebuilt index.
+            WorkerFailure::Panic(_, msg) => {
+                DataError::InvalidArgument(format!("join probe worker panicked: {msg}"))
+            }
+        })?;
+        let mut lineage: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.n_rows);
+        for (_, part) in parts {
+            lineage.extend(part);
         }
 
         // Materialize output columns.
@@ -372,6 +428,52 @@ impl Table {
 
         let out = Table::from_columns(self.name.clone(), fields, columns)?;
         Ok((out, lineage))
+    }
+
+    /// Group rows by a key column, keeping the first occurrence of each
+    /// distinct key value.
+    ///
+    /// Returns `(kept, owner)`: `kept` lists the surviving input rows in
+    /// first-occurrence order, and `owner[row]` is the `kept` slot every
+    /// input row collapsed into. Keys use hash-join equality (floats by bit
+    /// pattern; all nulls form one class — within a typed column this is
+    /// exactly `total_cmp == Equal` on same-typed values). Key extraction is
+    /// chunk-parallel; the grouping scan folds chunks in index order, so the
+    /// result is bit-identical for every `threads` value.
+    pub fn distinct_by(&self, key: &str, threads: usize) -> Result<(Vec<usize>, Vec<usize>)> {
+        let k = self.schema.index_of(key)?;
+        let chunks = self.n_rows.div_ceil(ROW_CHUNK) as u64;
+        let workers = effective_threads(threads, chunks as usize);
+        let stop = AtomicBool::new(false);
+        let parts = par_map_indexed(workers, 0..chunks, &stop, |c| {
+            let start = c as usize * ROW_CHUNK;
+            let end = (start + ROW_CHUNK).min(self.n_rows);
+            let keys: Vec<Option<JoinKey>> = (start..end)
+                .map(|row| JoinKey::from_value(&self.columns[k].get(row).expect("in bounds")))
+                .collect();
+            Ok::<_, DataError>(keys)
+        })
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            WorkerFailure::Panic(_, msg) => {
+                DataError::InvalidArgument(format!("distinct key worker panicked: {msg}"))
+            }
+        })?;
+        let mut kept: Vec<usize> = Vec::new();
+        let mut owner: Vec<usize> = Vec::with_capacity(self.n_rows);
+        let mut slot_of: FxHashMap<Option<JoinKey>, usize> = FxHashMap::default();
+        for (_, keys) in parts {
+            for key in keys {
+                let row = owner.len();
+                let next = kept.len();
+                let slot = *slot_of.entry(key).or_insert(next);
+                if slot == next {
+                    kept.push(row);
+                }
+                owner.push(slot);
+            }
+        }
+        Ok((kept, owner))
     }
 
     /// Stable sort by a column (nulls first); returns the sorted table and
@@ -690,5 +792,97 @@ mod tests {
         assert!(s.contains("name"));
         assert!(s.contains("ada"));
         assert!(s.contains("1 more rows"));
+    }
+
+    /// A left table big enough to span several probe chunks, with nulls,
+    /// duplicate keys, and misses sprinkled in.
+    fn wide_tables() -> (Table, Table) {
+        let mut left = Table::empty(
+            "left",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("pos", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        for i in 0..1000i64 {
+            let key = if i % 97 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 61)
+            };
+            left.push_row(vec![key, i.into()]).unwrap();
+        }
+        let mut right = Table::empty(
+            "right",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("tag", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        for i in 0..50i64 {
+            right
+                .push_row(vec![i.into(), format!("tag{i}").into()])
+                .unwrap();
+            if i % 7 == 0 {
+                right
+                    .push_row(vec![i.into(), format!("dup{i}").into()])
+                    .unwrap();
+            }
+        }
+        (left, right)
+    }
+
+    #[test]
+    fn parallel_join_is_bit_identical_to_sequential() {
+        let (left, right) = wide_tables();
+        let (seq, seq_lineage) = left.hash_join(&right, "k", "k").unwrap();
+        for threads in [2, 4, 7] {
+            let (par, par_lineage) = left.hash_join_par(&right, "k", "k", threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_lineage, seq_lineage, "threads={threads}");
+        }
+        let (lseq, lseq_lineage) = left.left_join(&right, "k", "k").unwrap();
+        assert!(lseq.n_rows() > seq.n_rows(), "outer keeps unmatched rows");
+        for threads in [2, 4, 7] {
+            let (lpar, lpar_lineage) = left.left_join_par(&right, "k", "k", threads).unwrap();
+            assert_eq!(lpar, lseq, "threads={threads}");
+            assert_eq!(lpar_lineage, lseq_lineage, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn distinct_by_keeps_first_occurrence_and_is_thread_invariant() {
+        let (left, _) = wide_tables();
+        let (kept, owner) = left.distinct_by("k", 1).unwrap();
+        // 61 int keys + the null class.
+        assert_eq!(kept.len(), 62);
+        assert_eq!(owner.len(), left.n_rows());
+        // Every row's owner slot holds an equal key (nulls group together).
+        for (row, &slot) in owner.iter().enumerate() {
+            let a = left.get(row, "k").unwrap();
+            let b = left.get(kept[slot], "k").unwrap();
+            assert_eq!(a.is_null(), b.is_null());
+            if !a.is_null() {
+                assert_eq!(a, b);
+            }
+        }
+        // First occurrence wins: kept rows appear in ascending order and
+        // own themselves.
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+        for (slot, &row) in kept.iter().enumerate() {
+            assert_eq!(owner[row], slot);
+        }
+        for threads in [2, 4, 7] {
+            let par = left.distinct_by("k", threads).unwrap();
+            assert_eq!(par, (kept.clone(), owner.clone()), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn distinct_by_unknown_column_rejected() {
+        let (left, _) = wide_tables();
+        assert!(left.distinct_by("nope", 1).is_err());
     }
 }

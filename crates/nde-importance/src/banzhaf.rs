@@ -46,57 +46,9 @@ impl Default for BanzhafConfig {
     }
 }
 
-/// Data Banzhaf values of all training examples (utility = validation
-/// accuracy of a fresh `template` clone). Empty sampled subsets have
-/// utility 0 by convention.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nde_importance::banzhaf(&ImportanceRun, ...)`"
-)]
-pub fn banzhaf_msr<C>(
-    template: &C,
-    train: &Dataset,
-    valid: &Dataset,
-    config: &BanzhafConfig,
-) -> Result<ImportanceScores>
-where
-    C: Classifier + Send + Sync,
-{
-    let (scores, _) = banzhaf_engine(template, train, valid, config, None, BatchPolicy::Unbatched)?;
-    Ok(scores)
-}
-
-/// [`banzhaf_msr`] with an optional utility memo cache (scores are
-/// bit-identical with or without it; the cache must be dedicated to this
-/// `(template, train, valid)` triple).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nde_importance::banzhaf(&ImportanceRun, ...)` with a cache"
-)]
-pub fn banzhaf_msr_cached<C>(
-    template: &C,
-    train: &Dataset,
-    valid: &Dataset,
-    config: &BanzhafConfig,
-    cache: Option<&MemoCache>,
-) -> Result<ImportanceScores>
-where
-    C: Classifier + Send + Sync,
-{
-    // The shims keep the legacy physical behavior: one evaluation at a time.
-    let (scores, _) = banzhaf_engine(
-        template,
-        train,
-        valid,
-        config,
-        cache,
-        BatchPolicy::Unbatched,
-    )?;
-    Ok(scores)
-}
-
-/// The batch-capable Banzhaf MSR engine behind both the [`crate::run`]
-/// entry point and the deprecated shims.
+/// The batch-capable Banzhaf MSR engine behind the
+/// [`banzhaf()`](crate::run::banzhaf) entry point. Empty sampled subsets
+/// have utility 0 by convention.
 pub(crate) fn banzhaf_engine<C>(
     template: &C,
     train: &Dataset,
@@ -192,12 +144,37 @@ where
 
 #[cfg(test)]
 mod tests {
-    // The behavioral suite drives the deprecated shims on purpose: they
-    // must keep delegating to the engine unchanged for one release.
-    #![allow(deprecated)]
-
     use super::*;
     use nde_ml::models::knn::KnnClassifier;
+
+    // The behavioral suite pins the engine through thin one-at-a-time
+    // wrappers (the physical behavior of the removed free functions).
+    fn banzhaf_msr<C: Classifier + Send + Sync>(
+        template: &C,
+        train: &Dataset,
+        valid: &Dataset,
+        config: &BanzhafConfig,
+    ) -> Result<ImportanceScores> {
+        banzhaf_msr_cached(template, train, valid, config, None)
+    }
+
+    fn banzhaf_msr_cached<C: Classifier + Send + Sync>(
+        template: &C,
+        train: &Dataset,
+        valid: &Dataset,
+        config: &BanzhafConfig,
+        cache: Option<&MemoCache>,
+    ) -> Result<ImportanceScores> {
+        banzhaf_engine(
+            template,
+            train,
+            valid,
+            config,
+            cache,
+            BatchPolicy::Unbatched,
+        )
+        .map(|(scores, _)| scores)
+    }
 
     fn toy() -> (Dataset, Dataset) {
         let train = Dataset::from_rows(

@@ -37,8 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// How an estimator groups coalition evaluations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchPolicy {
-    /// Evaluate coalitions one at a time (the legacy path; also what the
-    /// deprecated shims use so their physical behavior is unchanged).
+    /// Evaluate coalitions one at a time (the legacy physical behavior).
     Unbatched,
     /// Group up to `size` pending coalitions and score them in one
     /// validation pass when the model supports it.

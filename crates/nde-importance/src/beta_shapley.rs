@@ -107,60 +107,12 @@ fn ln_gamma(x: f64) -> f64 {
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
 }
 
-/// Beta Shapley values of all training examples.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nde_importance::beta_shapley(&ImportanceRun, ...)`"
-)]
-pub fn beta_shapley<C>(
-    template: &C,
-    train: &Dataset,
-    valid: &Dataset,
-    config: &BetaShapleyConfig,
-) -> Result<ImportanceScores>
-where
-    C: Classifier + Send + Sync,
-{
-    let (scores, _) =
-        beta_shapley_engine(template, train, valid, config, None, BatchPolicy::Unbatched)?;
-    Ok(scores)
-}
-
-/// [`beta_shapley`] with an optional utility memo cache (scores are
-/// bit-identical with or without it; the cache must be dedicated to this
-/// `(template, train, valid)` triple).
+/// The batch-capable Beta Shapley engine behind the
+/// [`beta_shapley()`](crate::run::beta_shapley) entry point.
 ///
 /// Each example's sampling stream is `child_seed(config.seed, i)` and the
 /// per-example values are written back by index, so scores are bit-identical
-/// for every thread count.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nde_importance::beta_shapley(&ImportanceRun, ...)` with a cache"
-)]
-pub fn beta_shapley_cached<C>(
-    template: &C,
-    train: &Dataset,
-    valid: &Dataset,
-    config: &BetaShapleyConfig,
-    cache: Option<&MemoCache>,
-) -> Result<ImportanceScores>
-where
-    C: Classifier + Send + Sync,
-{
-    // The shims keep the legacy physical behavior: one evaluation at a time.
-    let (scores, _) = beta_shapley_engine(
-        template,
-        train,
-        valid,
-        config,
-        cache,
-        BatchPolicy::Unbatched,
-    )?;
-    Ok(scores)
-}
-
-/// The batch-capable Beta Shapley engine behind both the [`crate::run`]
-/// entry point and the deprecated shims.
+/// for every thread count (and with or without a memo cache).
 ///
 /// A point's random draws never depend on utility values, so the engine
 /// materializes all of a point's `(S, S ∪ i)` coalition pairs up front
@@ -281,12 +233,37 @@ where
 
 #[cfg(test)]
 mod tests {
-    // The behavioral suite drives the deprecated shims on purpose: they
-    // must keep delegating to the engine unchanged for one release.
-    #![allow(deprecated)]
-
     use super::*;
     use nde_ml::models::knn::KnnClassifier;
+
+    // The behavioral suite pins the engine through thin one-at-a-time
+    // wrappers (the physical behavior of the removed free functions).
+    fn beta_shapley<C: Classifier + Send + Sync>(
+        template: &C,
+        train: &Dataset,
+        valid: &Dataset,
+        config: &BetaShapleyConfig,
+    ) -> Result<ImportanceScores> {
+        beta_shapley_cached(template, train, valid, config, None)
+    }
+
+    fn beta_shapley_cached<C: Classifier + Send + Sync>(
+        template: &C,
+        train: &Dataset,
+        valid: &Dataset,
+        config: &BetaShapleyConfig,
+        cache: Option<&MemoCache>,
+    ) -> Result<ImportanceScores> {
+        beta_shapley_engine(
+            template,
+            train,
+            valid,
+            config,
+            cache,
+            BatchPolicy::Unbatched,
+        )
+        .map(|(scores, _)| scores)
+    }
 
     fn toy() -> (Dataset, Dataset) {
         let train = Dataset::from_rows(

@@ -91,10 +91,8 @@ mod tests {
         // Letters whose job is not healthcare never reach the output.
         let lineage = train_out.lineage.as_ref().unwrap();
         let src = lineage.source_index("train_df").unwrap();
-        let reached: std::collections::HashSet<u32> = lineage
-            .rows
-            .iter()
-            .flat_map(|e| e.tuples())
+        let reached: std::collections::HashSet<u32> = (0..lineage.n_rows())
+            .flat_map(|row| lineage.row_tuples(row))
             .filter(|t| t.source == src)
             .map(|t| t.row)
             .collect();
@@ -133,10 +131,8 @@ mod tests {
         // score below the median of reached rows.
         let lineage = train_out.lineage.as_ref().unwrap();
         let src = lineage.source_index("train_df").unwrap();
-        let reached: std::collections::HashSet<usize> = lineage
-            .rows
-            .iter()
-            .flat_map(|e| e.tuples())
+        let reached: std::collections::HashSet<usize> = (0..lineage.n_rows())
+            .flat_map(|row| lineage.row_tuples(row))
             .filter(|t| t.source == src)
             .map(|t| t.row as usize)
             .collect();

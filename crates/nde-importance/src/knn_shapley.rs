@@ -27,9 +27,11 @@ struct KnnScratch {
     s: Vec<f64>,
 }
 
-/// Exact KNN-Shapley values of all training examples with respect to the
-/// K-NN utility (probability of the correct label among the K neighbors),
-/// averaged over all validation points.
+/// The closed-form KNN-Shapley engine behind the
+/// [`knn_shapley()`](crate::run::knn_shapley) entry point: exact values of
+/// all training examples with respect to the K-NN utility (probability of
+/// the correct label among the K neighbors), averaged over all validation
+/// points.
 ///
 /// The per-validation-point recursion (training points sorted by distance,
 /// nearest first, 1-indexed):
@@ -38,31 +40,6 @@ struct KnnScratch {
 /// s[n]   = 1[y_n = y] / n
 /// s[i]   = s[i+1] + (1[y_i = y] − 1[y_{i+1} = y]) / K · min(K, i) / i
 /// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nde_importance::knn_shapley(&ImportanceRun, ...)`"
-)]
-pub fn knn_shapley(train: &Dataset, valid: &Dataset, k: usize) -> Result<ImportanceScores> {
-    knn_engine(train, valid, k, 1)
-}
-
-/// [`knn_shapley`] parallelized over validation-point chunks; bit-identical
-/// for every thread count.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nde_importance::knn_shapley(&ImportanceRun, ...)` with threads"
-)]
-pub fn knn_shapley_par(
-    train: &Dataset,
-    valid: &Dataset,
-    k: usize,
-    threads: usize,
-) -> Result<ImportanceScores> {
-    knn_engine(train, valid, k, threads)
-}
-
-/// The closed-form KNN-Shapley engine behind both the [`crate::run`] entry
-/// point and the deprecated shims.
 ///
 /// The train→valid squared distances are computed **once per run** into a
 /// shared [`DistanceTable`] (the same matrix the batched KNN utility
@@ -176,14 +153,16 @@ pub(crate) fn knn_engine(
 
 #[cfg(test)]
 mod tests {
-    // The behavioral suite drives the deprecated shims on purpose: they
-    // must keep delegating to the engine unchanged for one release.
-    #![allow(deprecated)]
-
     use super::*;
-    use crate::shapley_mc::{tmc_shapley, ShapleyConfig};
+    use crate::run::{tmc_shapley, ImportanceRun, TmcParams};
     use nde_data::generate::blobs::two_gaussians;
     use nde_ml::models::knn::KnnClassifier;
+
+    // The behavioral suite pins the engine through a thin wrapper matching
+    // the removed free functions' signature.
+    fn knn_shapley(train: &Dataset, valid: &Dataset, k: usize) -> Result<ImportanceScores> {
+        knn_engine(train, valid, k, 1)
+    }
 
     fn toy() -> (Dataset, Dataset) {
         let train = Dataset::from_rows(
@@ -242,13 +221,18 @@ mod tests {
         // TMC-Shapley with a 1-NN model should produce a similar ranking.
         let (train, valid) = toy();
         let exact = knn_shapley(&train, &valid, 1).unwrap();
-        let cfg = ShapleyConfig {
-            permutations: 400,
-            truncation_tolerance: 0.0,
-            seed: 5,
-            threads: 1,
-        };
-        let mc = tmc_shapley(&KnnClassifier::new(1), &train, &valid, &cfg).unwrap();
+        let mc = tmc_shapley(
+            &ImportanceRun::new(5),
+            &KnnClassifier::new(1),
+            &train,
+            &valid,
+            &TmcParams {
+                permutations: 400,
+                truncation_tolerance: 0.0,
+            },
+        )
+        .unwrap()
+        .scores;
         let corr = exact.rank_correlation(&mc);
         assert!(corr > 0.6, "rank correlation {corr}");
     }
@@ -294,7 +278,7 @@ mod tests {
         let valid = all.subset(&(150..300).collect::<Vec<_>>());
         let seq = knn_shapley(&train, &valid, 5).unwrap();
         for threads in [2, 4, 7] {
-            let par = knn_shapley_par(&train, &valid, 5, threads).unwrap();
+            let par = knn_engine(&train, &valid, 5, threads).unwrap();
             assert_eq!(seq, par, "threads={threads}");
         }
     }

@@ -33,9 +33,9 @@
 //! [`beta_shapley()`](run::beta_shapley) or
 //! [`knn_shapley()`](run::knn_shapley) with the method-specific
 //! parameters. Each returns [`ImportanceOutcome`]: scores plus a uniform
-//! [`RunReport`]. The legacy free functions (`tmc_shapley_budgeted`,
-//! `banzhaf_msr`, `knn_shapley_par`, …) remain as `#[deprecated]` shims
-//! for one release and delegate to the same engines.
+//! [`RunReport`]. The run API is the only entry point — the legacy free
+//! functions (`tmc_shapley_budgeted`, `banzhaf_msr`, `knn_shapley_par`, …)
+//! went through one deprecation cycle and have been removed.
 //!
 //! Coalition evaluations funnel through the batched utility engine
 //! ([`batch::UtilityBatcher`]): with the KNN utility the train→valid

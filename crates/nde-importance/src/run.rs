@@ -41,9 +41,9 @@
 //! hits, batches formed, convergence diagnostics and a resume checkpoint
 //! where the method supports them).
 //!
-//! The old free functions still compile as `#[deprecated]` shims for one
-//! release and delegate to the same engines, so behavior is identical
-//! through either surface.
+//! Each entry point delegates to its method module's crate-private engine
+//! (`tmc_engine`, `banzhaf_engine`, `beta_shapley_engine`, `knn_engine`);
+//! the run API is the only public surface.
 
 use crate::banzhaf::{banzhaf_engine, BanzhafConfig};
 use crate::batch::{BatchPolicy, BatchStats};
@@ -369,12 +369,10 @@ pub fn knn_shapley(
 
 #[cfg(test)]
 mod tests {
-    // The equivalence tests drive the deprecated shims on purpose: the new
-    // entry points must match them bit-for-bit for one release.
-    #![allow(deprecated)]
-
+    // The equivalence tests pin the entry points against the engines they
+    // delegate to: the run API must match the engine output bit-for-bit.
     use super::*;
-    use crate::shapley_mc::tmc_shapley_budgeted_cached;
+    use crate::shapley_mc::tmc_engine;
     use nde_ml::models::knn::KnnClassifier;
 
     fn toy() -> (Dataset, Dataset) {
@@ -400,7 +398,7 @@ mod tests {
     }
 
     #[test]
-    fn tmc_matches_legacy_shim_bit_for_bit() {
+    fn tmc_matches_engine_bit_for_bit() {
         let (train, valid) = toy();
         let knn = KnnClassifier::new(1);
         let cfg = ShapleyConfig {
@@ -409,7 +407,7 @@ mod tests {
             seed: 9,
             threads: 4,
         };
-        let legacy = tmc_shapley_budgeted_cached(
+        let (legacy, _) = tmc_engine(
             &knn,
             &train,
             &valid,
@@ -417,6 +415,7 @@ mod tests {
             &RunBudget::unlimited(),
             None,
             None,
+            BatchPolicy::Unbatched,
         )
         .unwrap();
         let run = ImportanceRun::new(9).with_threads(4);
@@ -470,12 +469,12 @@ mod tests {
     }
 
     #[test]
-    fn banzhaf_and_beta_match_legacy_and_reject_budgets() {
+    fn banzhaf_and_beta_match_engine_and_reject_budgets() {
         let (train, valid) = toy();
         let knn = KnnClassifier::new(1);
         let run = ImportanceRun::new(7).with_threads(2);
 
-        let legacy = crate::banzhaf::banzhaf_msr(
+        let (legacy, _) = crate::banzhaf::banzhaf_engine(
             &knn,
             &train,
             &valid,
@@ -484,13 +483,15 @@ mod tests {
                 seed: 7,
                 threads: 2,
             },
+            None,
+            BatchPolicy::Unbatched,
         )
         .unwrap();
         let unified = banzhaf(&run, &knn, &train, &valid, &BanzhafParams { samples: 100 }).unwrap();
         assert_eq!(unified.scores, legacy);
         assert!(unified.report.utility_calls > 0);
 
-        let legacy = crate::beta_shapley::beta_shapley(
+        let (legacy, _) = crate::beta_shapley::beta_shapley_engine(
             &knn,
             &train,
             &valid,
@@ -500,6 +501,8 @@ mod tests {
                 threads: 2,
                 ..BetaShapleyConfig::default()
             },
+            None,
+            BatchPolicy::Unbatched,
         )
         .unwrap();
         let unified = beta_shapley(
@@ -533,9 +536,9 @@ mod tests {
     }
 
     #[test]
-    fn knn_matches_legacy_and_reports_no_calls() {
+    fn knn_matches_engine_and_reports_no_calls() {
         let (train, valid) = toy();
-        let legacy = crate::knn_shapley::knn_shapley_par(&train, &valid, 2, 3).unwrap();
+        let legacy = crate::knn_shapley::knn_engine(&train, &valid, 2, 3).unwrap();
         let unified =
             knn_shapley(&ImportanceRun::new(0).with_threads(3), &train, &valid, 2).unwrap();
         assert_eq!(unified.scores, legacy);

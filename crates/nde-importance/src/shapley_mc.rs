@@ -83,34 +83,6 @@ impl Default for ShapleyConfig {
     }
 }
 
-/// TMC-Shapley values of all training examples, with utility = accuracy of a
-/// fresh `template` clone on `valid`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nde_importance::tmc_shapley(&ImportanceRun, ...)`"
-)]
-pub fn tmc_shapley<C>(
-    template: &C,
-    train: &Dataset,
-    valid: &Dataset,
-    config: &ShapleyConfig,
-) -> Result<ImportanceScores>
-where
-    C: Classifier + Send + Sync,
-{
-    let (run, _) = tmc_engine(
-        template,
-        train,
-        valid,
-        config,
-        &RunBudget::unlimited(),
-        None,
-        None,
-        BatchPolicy::Unbatched,
-    )?;
-    Ok(run.scores)
-}
-
 /// Result of a budget-aware TMC-Shapley run: the (possibly best-so-far)
 /// scores, how far the run got, and a checkpoint to resume from.
 #[derive(Debug, Clone)]
@@ -127,69 +99,8 @@ pub struct BudgetedShapley {
 /// Method tag used in budgeted TMC-Shapley checkpoints.
 pub(crate) const TMC_METHOD: &str = "tmc-shapley";
 
-/// Budget-aware, resumable TMC-Shapley (see the module docs for the
-/// determinism and budget-granularity contracts).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nde_importance::tmc_shapley(&ImportanceRun, ...)` with a budget"
-)]
-pub fn tmc_shapley_budgeted<C>(
-    template: &C,
-    train: &Dataset,
-    valid: &Dataset,
-    config: &ShapleyConfig,
-    budget: &RunBudget,
-    resume: Option<&McCheckpoint>,
-) -> Result<BudgetedShapley>
-where
-    C: Classifier + Send + Sync,
-{
-    let (run, _) = tmc_engine(
-        template,
-        train,
-        valid,
-        config,
-        budget,
-        resume,
-        None,
-        BatchPolicy::Unbatched,
-    )?;
-    Ok(run)
-}
-
-/// [`tmc_shapley_budgeted`] with an optional utility memo cache.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nde_importance::tmc_shapley(&ImportanceRun, ...)` with a cache"
-)]
-pub fn tmc_shapley_budgeted_cached<C>(
-    template: &C,
-    train: &Dataset,
-    valid: &Dataset,
-    config: &ShapleyConfig,
-    budget: &RunBudget,
-    resume: Option<&McCheckpoint>,
-    cache: Option<&MemoCache>,
-) -> Result<BudgetedShapley>
-where
-    C: Classifier + Send + Sync,
-{
-    // The shims keep the legacy physical behavior: one evaluation at a time.
-    let (run, _) = tmc_engine(
-        template,
-        train,
-        valid,
-        config,
-        budget,
-        resume,
-        cache,
-        BatchPolicy::Unbatched,
-    )?;
-    Ok(run)
-}
-
 /// The budget-aware, resumable, batch-capable TMC-Shapley engine behind
-/// both the [`crate::run`] entry point and the deprecated shims.
+/// the [`tmc_shapley()`](crate::run::tmc_shapley) entry point.
 ///
 /// On exhaustion it **degrades gracefully**: the scores averaged over the
 /// permutations finished so far are returned, tagged with
@@ -553,13 +464,62 @@ fn walk_permutation<C: Classifier>(
 
 #[cfg(test)]
 mod tests {
-    // The long-standing behavioral suite drives the deprecated shims on
-    // purpose: they must keep delegating to the engine unchanged for one
-    // release, so every assertion below covers both surfaces at once.
-    #![allow(deprecated)]
-
     use super::*;
     use nde_ml::models::knn::KnnClassifier;
+
+    // The long-standing behavioral suite pins the engine through thin
+    // one-at-a-time wrappers (the physical behavior of the removed legacy
+    // free functions).
+    fn tmc_shapley<C: Classifier + Send + Sync>(
+        template: &C,
+        train: &Dataset,
+        valid: &Dataset,
+        config: &ShapleyConfig,
+    ) -> Result<ImportanceScores> {
+        tmc_shapley_budgeted(
+            template,
+            train,
+            valid,
+            config,
+            &RunBudget::unlimited(),
+            None,
+        )
+        .map(|run| run.scores)
+    }
+
+    fn tmc_shapley_budgeted<C: Classifier + Send + Sync>(
+        template: &C,
+        train: &Dataset,
+        valid: &Dataset,
+        config: &ShapleyConfig,
+        budget: &RunBudget,
+        resume: Option<&McCheckpoint>,
+    ) -> Result<BudgetedShapley> {
+        tmc_shapley_budgeted_cached(template, train, valid, config, budget, resume, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn tmc_shapley_budgeted_cached<C: Classifier + Send + Sync>(
+        template: &C,
+        train: &Dataset,
+        valid: &Dataset,
+        config: &ShapleyConfig,
+        budget: &RunBudget,
+        resume: Option<&McCheckpoint>,
+        cache: Option<&MemoCache>,
+    ) -> Result<BudgetedShapley> {
+        tmc_engine(
+            template,
+            train,
+            valid,
+            config,
+            budget,
+            resume,
+            cache,
+            BatchPolicy::Unbatched,
+        )
+        .map(|(run, _)| run)
+    }
 
     fn toy() -> (Dataset, Dataset) {
         let train = Dataset::from_rows(

@@ -15,7 +15,7 @@
 //! records, and fail-fast errors are identical for every thread count.
 
 use crate::plan::{JoinType, NodeId, Plan, PlanNode};
-use crate::provenance::{Lineage, ProvExpr, TupleId};
+use crate::provenance::{Lineage, ProvArena, ProvId, TupleId};
 use crate::{PipelineError, Result};
 use nde_data::fxhash::FxHashMap;
 use nde_data::par::{effective_threads, par_map_indexed, WorkerFailure};
@@ -90,7 +90,10 @@ impl Default for Executor {
     }
 }
 
-type NodeResult = (Table, Option<Vec<ProvExpr>>);
+/// Per-node result: the table plus (when tracking) one arena node id per
+/// row. Polynomials live in the run's shared [`ProvArena`]; cloning a memo
+/// entry clones 4-byte ids, not trees.
+type NodeResult = (Table, Option<Vec<ProvId>>);
 
 // Panics we catch per row must not spam stderr through the default panic
 // hook, but hooks are process-global: install a delegating hook once and
@@ -145,8 +148,10 @@ impl Executor {
     }
 
     /// Worker threads for per-tuple operator evaluation (`Filter`,
-    /// `Project`). Output tables, provenance, quarantine records, and
-    /// fail-fast errors are identical for every thread count.
+    /// `Project`), the probe phase of hash/left joins, fuzzy-join matching,
+    /// and distinct key extraction. Output tables, provenance (down to the
+    /// arena node ids), quarantine records, and fail-fast errors are
+    /// identical for every thread count.
     pub fn with_threads(mut self, threads: usize) -> Executor {
         self.threads = threads.max(1);
         self
@@ -167,11 +172,13 @@ impl Executor {
         }
         let mut memo: FxHashMap<usize, NodeResult> = FxHashMap::default();
         let mut quarantined = Vec::new();
+        let mut arena = ProvArena::new();
         let (table, prov) = self.eval(
             plan,
             root,
             &source_names,
             &input_map,
+            &mut arena,
             &mut memo,
             &mut quarantined,
         )?;
@@ -179,6 +186,7 @@ impl Executor {
             table,
             provenance: prov.map(|rows| Lineage {
                 sources: source_names,
+                arena,
                 rows,
             }),
             quarantined,
@@ -200,7 +208,7 @@ impl Executor {
         node: usize,
         operator: &str,
         n_rows: usize,
-        prov: Option<&[ProvExpr]>,
+        prov: Option<(&ProvArena, &[ProvId])>,
         quarantined: &mut Vec<QuarantinedTuple>,
         eval: impl Fn(usize) -> Result<T> + Sync,
     ) -> Result<Vec<(usize, T)>> {
@@ -249,7 +257,9 @@ impl Executor {
                     node,
                     operator: operator.to_string(),
                     row,
-                    sources: prov.map(|p| p[row].tuples()).unwrap_or_default(),
+                    sources: prov
+                        .map(|(arena, p)| arena.tuples_of(p[row]))
+                        .unwrap_or_default(),
                     message,
                 });
             }
@@ -264,6 +274,7 @@ impl Executor {
         id: NodeId,
         source_names: &[String],
         inputs: &FxHashMap<&str, &Table>,
+        arena: &mut ProvArena,
         memo: &mut FxHashMap<usize, NodeResult>,
         quarantined: &mut Vec<QuarantinedTuple>,
     ) -> Result<NodeResult> {
@@ -284,7 +295,7 @@ impl Executor {
                         as u32;
                     Some(
                         (0..table.n_rows())
-                            .map(|r| ProvExpr::Var(TupleId::new(src, r as u32)))
+                            .map(|r| arena.var(TupleId::new(src, r as u32)))
                             .collect(),
                     )
                 } else {
@@ -299,22 +310,28 @@ impl Executor {
                 right_key,
                 how,
             } => {
-                let (lt, lp) = self.eval(plan, *left, source_names, inputs, memo, quarantined)?;
-                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo, quarantined)?;
+                let (lt, lp) =
+                    self.eval(plan, *left, source_names, inputs, arena, memo, quarantined)?;
+                let (rt, rp) =
+                    self.eval(plan, *right, source_names, inputs, arena, memo, quarantined)?;
+                // Chunk-parallel probe; lineage comes back in index order,
+                // so the provenance ids interned below are identical for
+                // every thread count.
                 let (table, lineage) = match how {
                     JoinType::Inner => {
-                        let (t, pairs) = lt.hash_join(&rt, left_key, right_key)?;
+                        let (t, pairs) =
+                            lt.hash_join_par(&rt, left_key, right_key, self.threads)?;
                         (t, pairs.into_iter().map(|(l, r)| (l, Some(r))).collect())
                     }
-                    JoinType::Left => lt.left_join(&rt, left_key, right_key)?,
+                    JoinType::Left => lt.left_join_par(&rt, left_key, right_key, self.threads)?,
                 };
                 let prov = match (lp, rp) {
                     (Some(lp), Some(rp)) => Some(
                         lineage
                             .iter()
                             .map(|&(l, r)| match r {
-                                Some(r) => ProvExpr::times(lp[l].clone(), rp[r].clone()),
-                                None => lp[l].clone(),
+                                Some(r) => arena.times(lp[l], rp[r]),
+                                None => lp[l],
                             })
                             .collect::<Vec<_>>(),
                     ),
@@ -329,15 +346,23 @@ impl Executor {
                 right_key,
                 threshold,
             } => {
-                let (lt, lp) = self.eval(plan, *left, source_names, inputs, memo, quarantined)?;
-                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo, quarantined)?;
-                let (table, lineage) =
-                    crate::fuzzy::fuzzy_join(&lt, &rt, left_key, right_key, *threshold)?;
+                let (lt, lp) =
+                    self.eval(plan, *left, source_names, inputs, arena, memo, quarantined)?;
+                let (rt, rp) =
+                    self.eval(plan, *right, source_names, inputs, arena, memo, quarantined)?;
+                let (table, lineage) = crate::fuzzy::fuzzy_join_par(
+                    &lt,
+                    &rt,
+                    left_key,
+                    right_key,
+                    *threshold,
+                    self.threads,
+                )?;
                 let prov = match (lp, rp) {
                     (Some(lp), Some(rp)) => Some(
                         lineage
                             .iter()
-                            .map(|&(l, r)| ProvExpr::times(lp[l].clone(), rp[r].clone()))
+                            .map(|&(l, r)| arena.times(lp[l], rp[r]))
                             .collect::<Vec<_>>(),
                     ),
                     _ => None,
@@ -345,7 +370,8 @@ impl Executor {
                 (table, prov)
             }
             PlanNode::Filter { input, predicate } => {
-                let (t, p) = self.eval(plan, *input, source_names, inputs, memo, quarantined)?;
+                let (t, p) =
+                    self.eval(plan, *input, source_names, inputs, arena, memo, quarantined)?;
                 let operator = format!("filter({})", crate::render::expr_label(predicate));
                 // Evaluate the predicate once per row (chunk-parallel),
                 // propagating errors and isolating panics per the
@@ -354,7 +380,7 @@ impl Executor {
                     id.index(),
                     &operator,
                     t.n_rows(),
-                    p.as_deref(),
+                    p.as_deref().map(|ids| (&*arena, ids)),
                     quarantined,
                     |row| predicate.eval_predicate(&t, row),
                 )?;
@@ -364,7 +390,7 @@ impl Executor {
                     .map(|(row, _)| row)
                     .collect();
                 let table = t.take(&kept)?;
-                let prov = p.map(|p| kept.iter().map(|&r| p[r].clone()).collect());
+                let prov = p.map(|p| kept.iter().map(|&r| p[r]).collect());
                 (table, prov)
             }
             PlanNode::Project {
@@ -372,7 +398,8 @@ impl Executor {
                 column,
                 expr,
             } => {
-                let (t, p) = self.eval(plan, *input, source_names, inputs, memo, quarantined)?;
+                let (t, p) =
+                    self.eval(plan, *input, source_names, inputs, arena, memo, quarantined)?;
                 let operator =
                     format!("project({} := {})", column, crate::render::expr_label(expr));
                 let dtype = if t.n_rows() == 0 {
@@ -387,7 +414,7 @@ impl Executor {
                     id.index(),
                     &operator,
                     t.n_rows(),
-                    p.as_deref(),
+                    p.as_deref().map(|ids| (&*arena, ids)),
                     quarantined,
                     |row| expr.eval(&t, row),
                 )?;
@@ -408,69 +435,37 @@ impl Executor {
                         .map_err(|e| PipelineError::Expr(e.to_string()))?;
                 }
                 t.add_column(Field::new(column.clone(), dtype), col)?;
-                let prov = p.map(|p| kept.iter().map(|&r| p[r].clone()).collect::<Vec<_>>());
+                let prov = p.map(|p| kept.iter().map(|&r| p[r]).collect::<Vec<_>>());
                 (t, prov)
             }
             PlanNode::SelectColumns { input, columns } => {
-                let (t, p) = self.eval(plan, *input, source_names, inputs, memo, quarantined)?;
+                let (t, p) =
+                    self.eval(plan, *input, source_names, inputs, arena, memo, quarantined)?;
                 let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
                 (t.select(&cols)?, p)
             }
             PlanNode::Distinct { input, key } => {
-                let (t, p) = self.eval(plan, *input, source_names, inputs, memo, quarantined)?;
-                let col = t.column(key)?.clone();
+                let (t, p) =
+                    self.eval(plan, *input, source_names, inputs, arena, memo, quarantined)?;
                 // First occurrence of each key value survives; its provenance
-                // absorbs the duplicates as Plus alternatives.
-                let mut first_of: Vec<usize> = Vec::new(); // kept input rows
-                let mut owner: Vec<usize> = Vec::with_capacity(t.n_rows()); // row -> kept slot
-                let cell = |row: usize| {
-                    col.get(row).ok_or_else(|| {
-                        PipelineError::Data(format!("distinct: row {row} out of bounds"))
-                    })
-                };
-                for row in 0..t.n_rows() {
-                    let v = cell(row)?;
-                    let mut slot = None;
-                    for (s, &kept) in first_of.iter().enumerate() {
-                        let kv = cell(kept)?;
-                        if kv.total_cmp(&v) == std::cmp::Ordering::Equal
-                            && kv.data_type() == v.data_type()
-                        {
-                            slot = Some(s);
-                            break;
-                        }
-                    }
-                    match slot {
-                        Some(s) => owner.push(s),
-                        None => {
-                            owner.push(first_of.len());
-                            first_of.push(row);
-                        }
-                    }
-                }
+                // absorbs the duplicates as Plus alternatives. Key grouping
+                // is chunk-parallel and thread-count invariant.
+                let (first_of, owner) = t.distinct_by(key, self.threads)?;
                 let table = t.take(&first_of)?;
                 let prov = p.map(|p| {
-                    let mut alts: Vec<Vec<ProvExpr>> = vec![Vec::new(); first_of.len()];
+                    let mut alts: Vec<Vec<ProvId>> = vec![Vec::new(); first_of.len()];
                     for (row, &slot) in owner.iter().enumerate() {
-                        alts[slot].push(p[row].clone());
+                        alts[slot].push(p[row]);
                     }
-                    alts.into_iter()
-                        .map(|mut a| match a.pop() {
-                            Some(only) if a.is_empty() => only,
-                            Some(last) => {
-                                a.push(last);
-                                ProvExpr::Plus(a)
-                            }
-                            None => ProvExpr::Plus(a),
-                        })
-                        .collect::<Vec<_>>()
+                    alts.into_iter().map(|a| arena.plus(&a)).collect::<Vec<_>>()
                 });
                 (table, prov)
             }
             PlanNode::Concat { left, right } => {
                 let (mut lt, lp) =
-                    self.eval(plan, *left, source_names, inputs, memo, quarantined)?;
-                let (rt, rp) = self.eval(plan, *right, source_names, inputs, memo, quarantined)?;
+                    self.eval(plan, *left, source_names, inputs, arena, memo, quarantined)?;
+                let (rt, rp) =
+                    self.eval(plan, *right, source_names, inputs, arena, memo, quarantined)?;
                 lt.append(&rt)?;
                 let prov = match (lp, rp) {
                     (Some(mut lp), Some(rp)) => {
@@ -541,8 +536,8 @@ mod tests {
             vec!["train_df", "jobdetail_df", "social_df"]
         );
         // Every output row depends on exactly one letters row and one jobs row.
-        for (row, expr) in lineage.rows.iter().enumerate() {
-            let tuples = expr.tuples();
+        for row in 0..lineage.n_rows() {
+            let tuples = lineage.row_tuples(row);
             let letters: Vec<_> = tuples.iter().filter(|t| t.source == 0).collect();
             let jobs: Vec<_> = tuples.iter().filter(|t| t.source == 1).collect();
             assert_eq!(letters.len(), 1, "row {row}");
@@ -572,7 +567,7 @@ mod tests {
         let lineage = out.provenance.unwrap();
         for row in 0..out.table.n_rows() {
             let person = out.table.get(row, "person_id").unwrap();
-            let tuples = lineage.rows[row].tuples();
+            let tuples = lineage.row_tuples(row);
             let letter_row = tuples.iter().find(|t| t.source == 0).unwrap().row as usize;
             assert_eq!(s.letters.get(letter_row, "person_id").unwrap(), person);
         }
@@ -648,9 +643,9 @@ mod tests {
         let lineage = out.provenance.unwrap();
         // Each surviving row has two alternative derivations of the same
         // source tuple: a Plus whose why-provenance still names one tuple.
-        let expr = &lineage.rows[0];
-        assert!(matches!(expr, ProvExpr::Plus(alts) if alts.len() == 2));
-        assert_eq!(expr.tuples().len(), 1);
+        let expr = lineage.row_expr(0);
+        assert!(matches!(&expr, crate::provenance::ProvExpr::Plus(alts) if alts.len() == 2));
+        assert_eq!(lineage.row_tuples(0).len(), 1);
         // Boolean semantics: deleting the source tuple kills the row even
         // though it had two derivations.
         assert!(expr.eval::<BoolSemiring>(&|_| true));
@@ -722,7 +717,7 @@ mod tests {
         assert_eq!(out.table.n_rows(), 1);
         assert_eq!(out.table.get(0, "rating").unwrap(), Value::Float(4.5));
         let lineage = out.provenance.unwrap();
-        let tuples = lineage.rows[0].tuples();
+        let tuples = lineage.row_tuples(0);
         assert_eq!(tuples.len(), 2); // one letters tuple, one companies tuple
         assert!(tuples.iter().any(|t| t.source == 0 && t.row == 0));
         assert!(tuples.iter().any(|t| t.source == 1 && t.row == 0));
@@ -787,11 +782,10 @@ mod tests {
         assert_eq!(q.sources, vec![TupleId::new(0, 5)]);
         // The provenance of surviving rows skips the quarantined tuple.
         let lineage = out.provenance.unwrap();
-        assert_eq!(lineage.rows.len(), out.table.n_rows());
-        assert!(lineage
-            .rows
-            .iter()
-            .all(|e| !e.tuples().contains(&TupleId::new(0, 5))));
+        assert_eq!(lineage.n_rows(), out.table.n_rows());
+        assert!(
+            (0..lineage.n_rows()).all(|row| !lineage.row_tuples(row).contains(&TupleId::new(0, 5)))
+        );
     }
 
     fn multi_panic_udf(panic_rows: &[usize]) -> Expr {

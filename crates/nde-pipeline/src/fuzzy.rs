@@ -8,7 +8,13 @@
 //! so provenance tracking extends to fuzzy matching unchanged.
 
 use crate::Result;
+use nde_data::par::{effective_threads, par_map_indexed, WorkerFailure};
 use nde_data::{Column, Field, Table, Value};
+use std::sync::atomic::AtomicBool;
+
+/// Left rows are matched in fixed-size chunks merged in index order, so
+/// [`fuzzy_join_par`] output is bit-identical for every thread count.
+const ROW_CHUNK: usize = 64;
 
 /// Levenshtein edit distance between two strings (bytewise on chars).
 pub fn levenshtein(a: &str, b: &str) -> usize {
@@ -60,6 +66,20 @@ pub fn fuzzy_join(
     right_key: &str,
     threshold: f64,
 ) -> Result<(Table, Vec<(usize, usize)>)> {
+    fuzzy_join_par(left, right, left_key, right_key, threshold, 1)
+}
+
+/// [`fuzzy_join`] with the left side matched in chunk-parallel fashion:
+/// each left row's best match depends only on that row, so chunks merged in
+/// index order give bit-identical output for every `threads` value.
+pub fn fuzzy_join_par(
+    left: &Table,
+    right: &Table,
+    left_key: &str,
+    right_key: &str,
+    threshold: f64,
+    threads: usize,
+) -> Result<(Table, Vec<(usize, usize)>)> {
     use crate::PipelineError;
     if !(0.0..=1.0).contains(&threshold) {
         return Err(PipelineError::InvalidPlan(format!(
@@ -79,20 +99,39 @@ pub fn fuzzy_join(
         ))
     })?;
 
-    let mut lineage: Vec<(usize, usize)> = Vec::new();
-    for (li, lv) in lvals.iter().enumerate() {
-        let Some(lv) = lv else { continue };
-        let mut best: Option<(usize, f64)> = None;
-        for (ri, rv) in rvals.iter().enumerate() {
-            let Some(rv) = rv else { continue };
-            let sim = similarity(lv, rv);
-            if sim >= threshold && best.is_none_or(|(_, b)| sim > b) {
-                best = Some((ri, sim));
+    let chunks = lvals.len().div_ceil(ROW_CHUNK) as u64;
+    let workers = effective_threads(threads, chunks as usize);
+    let stop = AtomicBool::new(false);
+    let parts = par_map_indexed(workers, 0..chunks, &stop, |c| {
+        let start = c as usize * ROW_CHUNK;
+        let end = (start + ROW_CHUNK).min(lvals.len());
+        let mut part: Vec<(usize, usize)> = Vec::new();
+        for (li, lv) in lvals.iter().enumerate().take(end).skip(start) {
+            let Some(lv) = lv else { continue };
+            let mut best: Option<(usize, f64)> = None;
+            for (ri, rv) in rvals.iter().enumerate() {
+                let Some(rv) = rv else { continue };
+                let sim = similarity(lv, rv);
+                if sim >= threshold && best.is_none_or(|(_, b)| sim > b) {
+                    best = Some((ri, sim));
+                }
+            }
+            if let Some((ri, _)) = best {
+                part.push((li, ri));
             }
         }
-        if let Some((ri, _)) = best {
-            lineage.push((li, ri));
+        Ok::<_, PipelineError>(part)
+    })
+    .map_err(|fail| match fail {
+        WorkerFailure::Err(_, e) => e,
+        // Unreachable in practice: similarity scoring does not panic.
+        WorkerFailure::Panic(_, msg) => {
+            PipelineError::InvalidPlan(format!("fuzzy join worker panicked: {msg}"))
         }
+    })?;
+    let mut lineage: Vec<(usize, usize)> = Vec::new();
+    for (_, part) in parts {
+        lineage.extend(part);
     }
 
     // Materialize: left columns for matched rows, then right columns
@@ -213,5 +252,43 @@ mod tests {
         assert!(fuzzy_join(&mentions(), &companies(), "employer", "name", 1.5).is_err());
         assert!(fuzzy_join(&mentions(), &companies(), "person", "name", 0.5).is_err());
         assert!(fuzzy_join(&mentions(), &companies(), "employer", "rating", 0.5).is_err());
+    }
+
+    #[test]
+    fn parallel_fuzzy_join_is_bit_identical() {
+        // Enough left rows to span several chunks, with variants of every
+        // company name plus misses and nulls.
+        let mut left = Table::empty(
+            "left",
+            Schema::new(vec![
+                Field::new("employer", DataType::Str),
+                Field::new("row", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let variants = [
+            "acme corp.",
+            "ACME CORP",
+            "globexx",
+            "initech inc",
+            "umbrella",
+        ];
+        for i in 0..300i64 {
+            let v = if i % 41 == 0 {
+                Value::Null
+            } else {
+                Value::Str(variants[i as usize % variants.len()].into())
+            };
+            left.push_row(vec![v, i.into()]).unwrap();
+        }
+        let (seq, seq_lineage) =
+            fuzzy_join_par(&left, &companies(), "employer", "name", 0.6, 1).unwrap();
+        assert!(seq.n_rows() > 0);
+        for threads in [2, 4, 7] {
+            let (par, par_lineage) =
+                fuzzy_join_par(&left, &companies(), "employer", "name", 0.6, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_lineage, seq_lineage, "threads={threads}");
+        }
     }
 }

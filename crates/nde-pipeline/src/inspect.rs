@@ -2,6 +2,7 @@
 //! screen pipeline inputs and outputs for data-distribution issues, leakage
 //! between train and test, and group-coverage problems.
 
+use crate::provenance::Lineage;
 use crate::Result;
 use nde_data::fxhash::FxHashSet;
 use nde_data::{Table, Value};
@@ -161,6 +162,49 @@ pub fn check_distribution_shift(
     Ok(findings)
 }
 
+/// Provenance coverage: how much of source `source_name` (with `source_len`
+/// rows) actually reaches the pipeline output. Uses the lineage's memoized
+/// inverted index ([`Lineage::outputs_per_source_row`]), so the cost is one
+/// arena pass regardless of how many output rows reference the source.
+/// Warns when more than `max_unused_fraction` of the source's rows
+/// contribute to no output row — the typical symptom of an over-selective
+/// filter or a join dropping data.
+pub fn check_provenance_coverage(
+    lineage: &Lineage,
+    source_name: &str,
+    source_len: usize,
+    max_unused_fraction: f64,
+) -> Result<Vec<Finding>> {
+    let src = lineage.source_index(source_name).ok_or_else(|| {
+        crate::PipelineError::InvalidPlan(format!(
+            "source `{source_name}` not in lineage (sources: {:?})",
+            lineage.sources
+        ))
+    })?;
+    let mut findings = Vec::new();
+    if source_len == 0 {
+        return Ok(findings);
+    }
+    let inv = lineage.outputs_per_source_row(src, source_len);
+    let unused = inv.iter().filter(|outs| outs.is_empty()).count();
+    let frac = unused as f64 / source_len as f64;
+    if frac > max_unused_fraction {
+        findings.push(Finding {
+            check: "provenance_coverage",
+            severity: if frac >= 1.0 {
+                Severity::Error
+            } else {
+                Severity::Warning
+            },
+            message: format!(
+                "{unused} of {source_len} rows of `{source_name}` ({:.1}%) reach no output row",
+                frac * 100.0
+            ),
+        });
+    }
+    Ok(findings)
+}
+
 fn collect_keys(table: &Table, key: &str) -> Result<FxHashSet<String>> {
     let mut set = FxHashSet::default();
     for row in 0..table.n_rows() {
@@ -234,6 +278,38 @@ mod tests {
         assert!(!findings.is_empty());
         let ok = check_coverage(&t, "sector", 1).unwrap();
         assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn provenance_coverage_flags_filtered_out_sources() {
+        use crate::exec::Executor;
+        use crate::plan::Plan;
+        let s = HiringScenario::generate(120, 9);
+        let (plan, root) = Plan::hiring_pipeline();
+        let out = Executor::new()
+            .with_provenance(true)
+            .run(
+                &plan,
+                root,
+                &[
+                    ("train_df", &s.letters),
+                    ("jobdetail_df", &s.job_details),
+                    ("social_df", &s.social),
+                ],
+            )
+            .unwrap();
+        let lineage = out.provenance.unwrap();
+        // The healthcare-only filter drops most letters rows: a tight
+        // threshold fires, a permissive one stays silent.
+        let strict =
+            check_provenance_coverage(&lineage, "train_df", s.letters.n_rows(), 0.0).unwrap();
+        assert_eq!(strict.len(), 1);
+        assert_eq!(strict[0].check, "provenance_coverage");
+        assert!(strict[0].message.contains("train_df"));
+        let lax = check_provenance_coverage(&lineage, "train_df", s.letters.n_rows(), 1.0).unwrap();
+        assert!(lax.is_empty());
+        // Unknown sources are rejected.
+        assert!(check_provenance_coverage(&lineage, "nope", 10, 0.5).is_err());
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! A [`plan::Plan`] is a DAG of relational operators (sources, joins, filters,
 //! derived-column projections, concat) terminating in a feature-encoding
 //! step. The [`exec::Executor`] evaluates the plan over named input tables
-//! and — when asked — tracks a provenance polynomial
-//! ([`provenance::ProvExpr`], Green et al.'s semiring provenance) for every
-//! output row, mapping it back to the exact source tuples it was derived
-//! from. That mapping is what lets data-importance methods computed on the
-//! *pipeline output* be pushed back to the *pipeline inputs*.
+//! and — when asked — tracks a provenance polynomial (Green et al.'s
+//! semiring provenance) for every output row, mapping it back to the exact
+//! source tuples it was derived from. Polynomials are hash-consed into a
+//! flat [`provenance::ProvArena`] (identical subexpressions interned once,
+//! rows are 4-byte node ids), so semiring evaluation and deletion what-ifs
+//! are single forward passes over the node table; the recursive
+//! [`provenance::ProvExpr`] tree remains available as the reference
+//! representation. That mapping is what lets data-importance methods
+//! computed on the *pipeline output* be pushed back to the *pipeline
+//! inputs*.
 //!
 //! ```
 //! use nde_pipeline::plan::{Plan, JoinType};
@@ -46,7 +51,7 @@ pub mod whatif;
 pub use error::PipelineError;
 pub use exec::{ExecOutput, Executor};
 pub use plan::{JoinType, NodeId, Plan};
-pub use provenance::{Lineage, ProvExpr, TupleId};
+pub use provenance::{Lineage, ProvArena, ProvExpr, ProvId, TupleId};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, PipelineError>;

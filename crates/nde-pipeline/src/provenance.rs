@@ -1,7 +1,17 @@
 //! Fine-grained row provenance: polynomials over source tuples.
+//!
+//! The engine stores polynomials in a **hash-consed arena** ([`ProvArena`]):
+//! a flat, `u32`-indexed node store where identical subexpressions are
+//! interned once, `Times`/`Plus` children live in one contiguous slice
+//! buffer, and every per-row polynomial is just a [`ProvId`]. Because a
+//! node's children are always created before the node itself, the arena is
+//! topologically sorted and *any* semiring evaluation is a single forward
+//! pass over the node table — no recursion, no per-row hash-set collection.
+//! The recursive [`ProvExpr`] tree survives as the reference representation
+//! for inspection and cross-checking.
 
 use crate::semiring::{why_var, Semiring, WhySemiring};
-use nde_data::fxhash::FxHashSet;
+use nde_data::fxhash::{FxHashMap, FxHashSet};
 
 /// Identifies one tuple of one source table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,7 +42,10 @@ impl TupleId {
     }
 }
 
-/// A provenance polynomial: how an output row derives from source tuples.
+/// A provenance polynomial as a recursive tree. This is the *reference*
+/// representation: simple to build by hand in tests and to pretty-print,
+/// but heap-heavy. The execution engine works on [`ProvArena`] node ids and
+/// materializes trees only on demand via [`ProvArena::expr`].
 ///
 /// `Times` combines tuples that *jointly* produced a row (joins);
 /// `Plus` combines *alternative* derivations (unions/dedup).
@@ -101,17 +114,400 @@ impl ProvExpr {
     }
 }
 
-/// Provenance for an executed pipeline: one polynomial per output row, plus
-/// the source-name table that [`TupleId::source`] indexes into.
+/// Index of a node in a [`ProvArena`]. Four bytes per polynomial reference
+/// instead of a boxed tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProvId(u32);
+
+impl ProvId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One arena node. `Times`/`Plus` reference a contiguous run of child ids in
+/// the arena's shared `children` buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProvNode {
+    Var(TupleId),
+    Times { start: u32, len: u32 },
+    Plus { start: u32, len: u32 },
+}
+
+/// What kind of node a [`ProvId`] points at, with children resolved to ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvNodeRef<'a> {
+    /// A single source tuple.
+    Var(TupleId),
+    /// Joint derivation over the child ids.
+    Times(&'a [ProvId]),
+    /// Alternative derivations over the child ids.
+    Plus(&'a [ProvId]),
+}
+
+/// A hash-consed provenance arena.
+///
+/// Construction goes through [`ProvArena::var`], [`ProvArena::times`] and
+/// [`ProvArena::plus`], which intern structurally identical nodes to the
+/// same [`ProvId`]. Invariant: every child id is smaller than its parent's
+/// id, so a forward pass over `0..len()` visits children before parents —
+/// this is what makes [`ProvArena::eval_nodes`] and the bitset evaluators
+/// single-pass.
+#[derive(Debug, Clone, Default)]
+pub struct ProvArena {
+    nodes: Vec<ProvNode>,
+    children: Vec<ProvId>,
+    /// Structural-hash buckets for interning. Collisions are resolved by
+    /// comparing the candidate against each bucket entry, so no owned key
+    /// allocation is needed per lookup.
+    intern: FxHashMap<u64, Vec<ProvId>>,
+}
+
+/// Two arenas are equal when they hold the same nodes in the same order
+/// (the intern map is derived state).
+impl PartialEq for ProvArena {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.children == other.children
+    }
+}
+
+impl Eq for ProvArena {}
+
+const VAR_TAG: u64 = 0x9e37_79b9_7f4a_7c15;
+const TIMES_TAG: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const PLUS_TAG: u64 = 0x1656_67b1_9e37_79f9;
+
+fn mix(mut h: u64, v: u64) -> u64 {
+    h ^= v;
+    h = h.wrapping_mul(0x100_0000_01b3);
+    h.rotate_left(23)
+}
+
+impl ProvArena {
+    /// An empty arena.
+    pub fn new() -> ProvArena {
+        ProvArena::default()
+    }
+
+    /// Number of interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total child-slot count (size of the shared children buffer).
+    pub fn children_len(&self) -> usize {
+        self.children.len()
+    }
+
+    fn hash_var(t: TupleId) -> u64 {
+        mix(VAR_TAG, t.as_var())
+    }
+
+    fn hash_compound(tag: u64, kids: &[ProvId]) -> u64 {
+        let mut h = mix(tag, kids.len() as u64);
+        for k in kids {
+            h = mix(h, k.0 as u64);
+        }
+        h
+    }
+
+    fn kids_of(&self, start: u32, len: u32) -> &[ProvId] {
+        &self.children[start as usize..(start + len) as usize]
+    }
+
+    /// Intern a variable node for tuple `t`.
+    pub fn var(&mut self, t: TupleId) -> ProvId {
+        let h = Self::hash_var(t);
+        if let Some(bucket) = self.intern.get(&h) {
+            for &id in bucket {
+                if self.nodes[id.index()] == ProvNode::Var(t) {
+                    return id;
+                }
+            }
+        }
+        let id = ProvId(self.nodes.len() as u32);
+        self.nodes.push(ProvNode::Var(t));
+        self.intern.entry(h).or_default().push(id);
+        id
+    }
+
+    /// Intern a product node of `a` and `b`, flattening nested products
+    /// (matching [`ProvExpr::times`]): the factor list is the concatenation
+    /// of `a`'s factors and `b`'s factors, order preserved, no dedup —
+    /// counting-semiring multiplicity must match the tree representation.
+    pub fn times(&mut self, a: ProvId, b: ProvId) -> ProvId {
+        let mut kids: Vec<ProvId> = Vec::new();
+        for id in [a, b] {
+            match self.nodes[id.index()] {
+                ProvNode::Times { start, len } => {
+                    kids.extend_from_slice(self.kids_of(start, len));
+                }
+                _ => kids.push(id),
+            }
+        }
+        self.intern_compound(TIMES_TAG, &kids)
+    }
+
+    /// Intern a sum node over `alts`. A single alternative is returned
+    /// as-is (a one-armed `Plus` adds nothing); nested sums are *not*
+    /// flattened, matching how the executor builds dedup provenance.
+    pub fn plus(&mut self, alts: &[ProvId]) -> ProvId {
+        debug_assert!(!alts.is_empty(), "plus of zero alternatives");
+        if alts.len() == 1 {
+            return alts[0];
+        }
+        self.intern_compound(PLUS_TAG, alts)
+    }
+
+    fn intern_compound(&mut self, tag: u64, kids: &[ProvId]) -> ProvId {
+        let h = Self::hash_compound(tag, kids);
+        if let Some(bucket) = self.intern.get(&h) {
+            for &id in bucket {
+                let (start, len, node_tag) = match self.nodes[id.index()] {
+                    ProvNode::Times { start, len } => (start, len, TIMES_TAG),
+                    ProvNode::Plus { start, len } => (start, len, PLUS_TAG),
+                    ProvNode::Var(_) => continue,
+                };
+                if node_tag == tag && self.kids_of(start, len) == kids {
+                    return id;
+                }
+            }
+        }
+        let start = self.children.len() as u32;
+        self.children.extend_from_slice(kids);
+        let len = kids.len() as u32;
+        let node = if tag == TIMES_TAG {
+            ProvNode::Times { start, len }
+        } else {
+            ProvNode::Plus { start, len }
+        };
+        let id = ProvId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.intern.entry(h).or_default().push(id);
+        id
+    }
+
+    /// Intern a reference tree, flattening nested `Times` exactly like
+    /// construction through [`ProvArena::times`] would.
+    pub fn intern_expr(&mut self, e: &ProvExpr) -> ProvId {
+        match e {
+            ProvExpr::Var(t) => self.var(*t),
+            ProvExpr::Times(es) => {
+                let ids: Vec<ProvId> = es.iter().map(|c| self.intern_expr(c)).collect();
+                let mut kids: Vec<ProvId> = Vec::with_capacity(ids.len());
+                for id in ids {
+                    match self.nodes[id.index()] {
+                        ProvNode::Times { start, len } => {
+                            kids.extend_from_slice(self.kids_of(start, len));
+                        }
+                        _ => kids.push(id),
+                    }
+                }
+                self.intern_compound(TIMES_TAG, &kids)
+            }
+            ProvExpr::Plus(es) => {
+                let ids: Vec<ProvId> = es.iter().map(|c| self.intern_expr(c)).collect();
+                self.plus(&ids)
+            }
+        }
+    }
+
+    /// Iterate over all nodes in id order (children before parents).
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (ProvId, ProvNodeRef<'_>)> {
+        (0..self.nodes.len()).map(|i| {
+            let id = ProvId(i as u32);
+            (id, self.node(id))
+        })
+    }
+
+    /// Resolve a node id to its kind and child slice.
+    pub fn node(&self, id: ProvId) -> ProvNodeRef<'_> {
+        match self.nodes[id.index()] {
+            ProvNode::Var(t) => ProvNodeRef::Var(t),
+            ProvNode::Times { start, len } => ProvNodeRef::Times(self.kids_of(start, len)),
+            ProvNode::Plus { start, len } => ProvNodeRef::Plus(self.kids_of(start, len)),
+        }
+    }
+
+    /// Materialize the reference tree for `id`.
+    pub fn expr(&self, id: ProvId) -> ProvExpr {
+        match self.node(id) {
+            ProvNodeRef::Var(t) => ProvExpr::Var(t),
+            ProvNodeRef::Times(kids) => {
+                ProvExpr::Times(kids.iter().map(|&k| self.expr(k)).collect())
+            }
+            ProvNodeRef::Plus(kids) => ProvExpr::Plus(kids.iter().map(|&k| self.expr(k)).collect()),
+        }
+    }
+
+    /// All distinct source tuples below `id`, sorted (matches
+    /// [`ProvExpr::tuples`] on the materialized tree).
+    pub fn tuples_of(&self, id: ProvId) -> Vec<TupleId> {
+        let mut set = FxHashSet::default();
+        let mut stack = vec![id];
+        while let Some(top) = stack.pop() {
+            match self.node(top) {
+                ProvNodeRef::Var(t) => {
+                    set.insert(t);
+                }
+                ProvNodeRef::Times(kids) | ProvNodeRef::Plus(kids) => {
+                    stack.extend_from_slice(kids);
+                }
+            }
+        }
+        let mut v: Vec<TupleId> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Evaluate *every* node in an arbitrary semiring with one forward pass
+    /// (children precede parents by construction). Returns one element per
+    /// node, indexable by [`ProvId::index`].
+    pub fn eval_nodes<S: Semiring>(&self, assign: &impl Fn(TupleId) -> S::Elem) -> Vec<S::Elem> {
+        let mut out: Vec<S::Elem> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let v = match *node {
+                ProvNode::Var(t) => assign(t),
+                ProvNode::Times { start, len } => self
+                    .kids_of(start, len)
+                    .iter()
+                    .fold(S::one(), |acc, k| S::times(&acc, &out[k.index()])),
+                ProvNode::Plus { start, len } => self
+                    .kids_of(start, len)
+                    .iter()
+                    .fold(S::zero(), |acc, k| S::plus(&acc, &out[k.index()])),
+            };
+            out.push(v);
+        }
+        out
+    }
+
+    /// Boolean-semiring truth value of every node given per-tuple liveness:
+    /// one forward pass, no recursion.
+    pub fn eval_bool(&self, alive: &impl Fn(TupleId) -> bool) -> Vec<bool> {
+        let mut out: Vec<bool> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let v = match *node {
+                ProvNode::Var(t) => alive(t),
+                ProvNode::Times { start, len } => {
+                    self.kids_of(start, len).iter().all(|k| out[k.index()])
+                }
+                ProvNode::Plus { start, len } => {
+                    self.kids_of(start, len).iter().any(|k| out[k.index()])
+                }
+            };
+            out.push(v);
+        }
+        out
+    }
+
+    /// Batched Boolean evaluation: each `u64` carries 64 independent
+    /// deletion scenarios (bit `j` = "tuple alive in scenario `j`"), so one
+    /// arena pass answers 64 what-if questions. `Times` is lane-wise AND,
+    /// `Plus` lane-wise OR.
+    pub fn eval_bool_lanes(&self, alive: &impl Fn(TupleId) -> u64) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let v = match *node {
+                ProvNode::Var(t) => alive(t),
+                ProvNode::Times { start, len } => self
+                    .kids_of(start, len)
+                    .iter()
+                    .fold(!0u64, |acc, k| acc & out[k.index()]),
+                ProvNode::Plus { start, len } => self
+                    .kids_of(start, len)
+                    .iter()
+                    .fold(0u64, |acc, k| acc | out[k.index()]),
+            };
+            out.push(v);
+        }
+        out
+    }
+
+    /// The memoized bottom-up tuple index: for every node, its sorted
+    /// distinct tuple set, computed once in a single forward pass (each
+    /// node's set is the merge of its children's already-computed sets).
+    pub fn tuple_index(&self) -> TupleIndex {
+        let mut starts: Vec<u32> = Vec::with_capacity(self.nodes.len() + 1);
+        let mut tuples: Vec<TupleId> = Vec::new();
+        starts.push(0);
+        let mut scratch: Vec<TupleId> = Vec::new();
+        for node in &self.nodes {
+            match *node {
+                ProvNode::Var(t) => tuples.push(t),
+                ProvNode::Times { start, len } | ProvNode::Plus { start, len } => {
+                    scratch.clear();
+                    for k in self.kids_of(start, len) {
+                        let lo = starts[k.index()] as usize;
+                        let hi = starts[k.index() + 1] as usize;
+                        scratch.extend_from_slice(&tuples[lo..hi]);
+                    }
+                    scratch.sort();
+                    scratch.dedup();
+                    tuples.extend_from_slice(&scratch);
+                }
+            }
+            starts.push(tuples.len() as u32);
+        }
+        TupleIndex { starts, tuples }
+    }
+}
+
+/// Per-node sorted tuple sets in flat storage; built by
+/// [`ProvArena::tuple_index`].
+#[derive(Debug, Clone)]
+pub struct TupleIndex {
+    /// `starts[i]..starts[i+1]` is node `i`'s slice of `tuples`.
+    starts: Vec<u32>,
+    tuples: Vec<TupleId>,
+}
+
+impl TupleIndex {
+    /// The sorted distinct tuples below node `id`.
+    pub fn of(&self, id: ProvId) -> &[TupleId] {
+        let lo = self.starts[id.index()] as usize;
+        let hi = self.starts[id.index() + 1] as usize;
+        &self.tuples[lo..hi]
+    }
+}
+
+/// Provenance for an executed pipeline: the arena holding every interned
+/// polynomial, one node id per output row, plus the source-name table that
+/// [`TupleId::source`] indexes into.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lineage {
     /// Names of the source tables, in `TupleId.source` order.
     pub sources: Vec<String>,
-    /// One provenance polynomial per output row.
-    pub rows: Vec<ProvExpr>,
+    /// The interned node store shared by all rows.
+    pub arena: ProvArena,
+    /// One arena node id per output row.
+    pub rows: Vec<ProvId>,
 }
 
 impl Lineage {
+    /// Build a lineage from reference trees (test/bench convenience; the
+    /// executor interns directly during execution).
+    pub fn from_exprs(sources: Vec<String>, exprs: &[ProvExpr]) -> Lineage {
+        let mut arena = ProvArena::new();
+        let rows = exprs.iter().map(|e| arena.intern_expr(e)).collect();
+        Lineage {
+            sources,
+            arena,
+            rows,
+        }
+    }
+
+    /// Number of output rows covered.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
     /// Index of a source by name.
     pub fn source_index(&self, name: &str) -> Option<u32> {
         self.sources
@@ -120,13 +516,34 @@ impl Lineage {
             .map(|i| i as u32)
     }
 
-    /// For each output row, the rows of source `source_idx` it depends on.
-    pub fn rows_from_source(&self, source_idx: u32) -> Vec<Vec<u32>> {
+    /// Materialize the reference tree for one output row.
+    pub fn row_expr(&self, row: usize) -> ProvExpr {
+        self.arena.expr(self.rows[row])
+    }
+
+    /// The sorted distinct source tuples one output row depends on.
+    pub fn row_tuples(&self, row: usize) -> Vec<TupleId> {
+        self.arena.tuples_of(self.rows[row])
+    }
+
+    /// Evaluate every output row in semiring `S` with a single arena pass.
+    pub fn eval_rows<S: Semiring>(&self, assign: &impl Fn(TupleId) -> S::Elem) -> Vec<S::Elem> {
+        let per_node = self.arena.eval_nodes::<S>(assign);
         self.rows
             .iter()
-            .map(|e| {
-                e.tuples()
-                    .into_iter()
+            .map(|id| per_node[id.index()].clone())
+            .collect()
+    }
+
+    /// For each output row, the rows of source `source_idx` it depends on.
+    pub fn rows_from_source(&self, source_idx: u32) -> Vec<Vec<u32>> {
+        let index = self.arena.tuple_index();
+        self.rows
+            .iter()
+            .map(|id| {
+                index
+                    .of(*id)
+                    .iter()
                     .filter(|t| t.source == source_idx)
                     .map(|t| t.row)
                     .collect()
@@ -137,15 +554,16 @@ impl Lineage {
     /// Inverted index: for each row of source `source_idx` (up to
     /// `source_len`), the output rows that depend on it.
     pub fn outputs_per_source_row(&self, source_idx: u32, source_len: usize) -> Vec<Vec<usize>> {
-        let mut index = vec![Vec::new(); source_len];
-        for (out_row, expr) in self.rows.iter().enumerate() {
-            for t in expr.tuples() {
+        let index = self.arena.tuple_index();
+        let mut inv = vec![Vec::new(); source_len];
+        for (out_row, id) in self.rows.iter().enumerate() {
+            for t in index.of(*id) {
                 if t.source == source_idx && (t.row as usize) < source_len {
-                    index[t.row as usize].push(out_row);
+                    inv[t.row as usize].push(out_row);
                 }
             }
         }
-        index
+        inv
     }
 }
 
@@ -208,15 +626,132 @@ mod tests {
     }
 
     #[test]
+    fn arena_interns_identical_subexpressions_once() {
+        let mut arena = ProvArena::new();
+        let a = arena.var(t(0, 0));
+        let b = arena.var(t(1, 0));
+        let ab1 = arena.times(a, b);
+        let ab2 = arena.times(a, b);
+        assert_eq!(ab1, ab2);
+        assert_eq!(arena.var(t(0, 0)), a);
+        // 3 unique nodes: a, b, a*b.
+        assert_eq!(arena.len(), 3);
+        let p1 = arena.plus(&[ab1, a]);
+        let p2 = arena.plus(&[ab2, a]);
+        assert_eq!(p1, p2);
+        assert_eq!(arena.len(), 4);
+        // Distinct child order is a distinct node (Times is kept ordered).
+        let ba = arena.times(b, a);
+        assert_ne!(ba, ab1);
+    }
+
+    #[test]
+    fn arena_times_flattens_like_tree_times() {
+        let mut arena = ProvArena::new();
+        let a = arena.var(t(0, 1));
+        let b = arena.var(t(1, 2));
+        let c = arena.var(t(2, 3));
+        let ab = arena.times(a, b);
+        let abc = arena.times(ab, c);
+        match arena.node(abc) {
+            ProvNodeRef::Times(kids) => assert_eq!(kids, &[a, b, c]),
+            other => panic!("expected Times, got {other:?}"),
+        }
+        let tree = ProvExpr::times(
+            ProvExpr::times(ProvExpr::Var(t(0, 1)), ProvExpr::Var(t(1, 2))),
+            ProvExpr::Var(t(2, 3)),
+        );
+        assert_eq!(arena.expr(abc), tree);
+        assert_eq!(arena.tuples_of(abc), tree.tuples());
+    }
+
+    #[test]
+    fn single_alternative_plus_collapses() {
+        let mut arena = ProvArena::new();
+        let a = arena.var(t(0, 0));
+        assert_eq!(arena.plus(&[a]), a);
+    }
+
+    #[test]
+    fn intern_expr_roundtrips_and_matches_eval() {
+        let tree = ProvExpr::Plus(vec![
+            ProvExpr::times(ProvExpr::Var(t(0, 0)), ProvExpr::Var(t(1, 0))),
+            ProvExpr::Var(t(0, 0)),
+        ]);
+        let mut arena = ProvArena::new();
+        let id = arena.intern_expr(&tree);
+        assert_eq!(arena.expr(id), tree);
+        let alive = |tid: TupleId| tid.source == 0;
+        let bools = arena.eval_bool(&alive);
+        assert_eq!(bools[id.index()], tree.eval::<BoolSemiring>(&alive));
+        let counts = arena.eval_nodes::<CountSemiring>(&|_| 1);
+        assert_eq!(counts[id.index()], tree.eval::<CountSemiring>(&|_| 1));
+        let whys = arena.eval_nodes::<WhySemiring>(&|tid| why_var(tid.as_var()));
+        assert_eq!(whys[id.index()], tree.why());
+    }
+
+    #[test]
+    fn bitset_lanes_match_per_scenario_bool_eval() {
+        // 3 tuples, 8 scenarios = all deletion subsets of {t00, t10, t01}.
+        let tree = ProvExpr::Plus(vec![
+            ProvExpr::times(ProvExpr::Var(t(0, 0)), ProvExpr::Var(t(1, 0))),
+            ProvExpr::Var(t(0, 1)),
+        ]);
+        let mut arena = ProvArena::new();
+        let id = arena.intern_expr(&tree);
+        let order = [t(0, 0), t(1, 0), t(0, 1)];
+        let alive_lanes = |tid: TupleId| {
+            let k = order.iter().position(|&o| o == tid).unwrap();
+            // Scenario j deletes tuple k iff bit k of j is set.
+            let mut lanes = 0u64;
+            for j in 0..8u64 {
+                if (j >> k) & 1 == 0 {
+                    lanes |= 1 << j;
+                }
+            }
+            lanes
+        };
+        let lanes = arena.eval_bool_lanes(&alive_lanes)[id.index()];
+        for j in 0..8u64 {
+            let alive = |tid: TupleId| {
+                let k = order.iter().position(|&o| o == tid).unwrap();
+                (j >> k) & 1 == 0
+            };
+            assert_eq!(
+                (lanes >> j) & 1 == 1,
+                tree.eval::<BoolSemiring>(&alive),
+                "scenario {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn tuple_index_matches_per_node_collection() {
+        let mut arena = ProvArena::new();
+        let a = arena.var(t(0, 0));
+        let b = arena.var(t(1, 0));
+        let c = arena.var(t(0, 1));
+        let ab = arena.times(a, b);
+        let abc = arena.times(ab, c);
+        let p = arena.plus(&[abc, a]);
+        let index = arena.tuple_index();
+        for id in [a, b, c, ab, abc, p] {
+            assert_eq!(index.of(id), arena.tuples_of(id).as_slice(), "{id:?}");
+        }
+        // Shared tuple across alternatives is deduplicated.
+        assert_eq!(index.of(p), &[t(0, 0), t(0, 1), t(1, 0)]);
+    }
+
+    #[test]
     fn lineage_indexing() {
-        let lineage = Lineage {
-            sources: vec!["a".into(), "b".into()],
-            rows: vec![
+        let lineage = Lineage::from_exprs(
+            vec!["a".into(), "b".into()],
+            &[
                 ProvExpr::times(ProvExpr::Var(t(0, 2)), ProvExpr::Var(t(1, 0))),
                 ProvExpr::Var(t(0, 2)),
                 ProvExpr::Var(t(1, 1)),
             ],
-        };
+        );
         assert_eq!(lineage.source_index("b"), Some(1));
         assert_eq!(lineage.source_index("z"), None);
         let per_out = lineage.rows_from_source(0);
@@ -224,5 +759,9 @@ mod tests {
         let inv = lineage.outputs_per_source_row(0, 3);
         assert_eq!(inv[2], vec![0, 1]);
         assert!(inv[0].is_empty());
+        assert_eq!(lineage.row_tuples(1), vec![t(0, 2)]);
+        assert_eq!(lineage.row_expr(2), ProvExpr::Var(t(1, 1)));
+        // Shared var node `a2` is interned once across rows 0 and 1.
+        assert_eq!(lineage.arena.len(), 4);
     }
 }

@@ -1,7 +1,9 @@
-//! ASCII rendering of pipeline plans (the tutorial's `show_query_plan`).
+//! ASCII rendering of pipeline plans (the tutorial's `show_query_plan`)
+//! and of captured lineage (arena sharing statistics).
 
 use crate::expr::Expr;
 use crate::plan::{JoinType, NodeId, Plan, PlanNode};
+use crate::provenance::{Lineage, ProvNodeRef};
 use crate::Result;
 
 /// Render the plan rooted at `root` as an ASCII tree, sources at the leaves.
@@ -61,6 +63,42 @@ pub(crate) fn expr_label(e: &Expr) -> String {
     }
 }
 
+/// Summarize captured lineage: row count, arena size, node mix, and how
+/// much sharing hash-consing bought (unique nodes vs. total child slots —
+/// the tree representation would materialize one subtree per reference).
+pub fn render_lineage_summary(lineage: &Lineage) -> String {
+    let arena = &lineage.arena;
+    let (mut vars, mut times, mut plus) = (0usize, 0usize, 0usize);
+    for (_, node) in arena.iter_nodes() {
+        match node {
+            ProvNodeRef::Var(_) => vars += 1,
+            ProvNodeRef::Times(_) => times += 1,
+            ProvNodeRef::Plus(_) => plus += 1,
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "lineage: {} output rows over {} sources ({})\n",
+        lineage.n_rows(),
+        lineage.sources.len(),
+        lineage.sources.join(", ")
+    ));
+    out.push_str(&format!(
+        "arena: {} interned nodes ({vars} var, {times} times, {plus} plus), {} child slots\n",
+        arena.len(),
+        arena.children_len()
+    ));
+    let refs = arena.children_len() + lineage.n_rows();
+    if !arena.is_empty() {
+        out.push_str(&format!(
+            "sharing: {refs} references to {} nodes ({:.2} refs/node)\n",
+            arena.len(),
+            refs as f64 / arena.len() as f64
+        ));
+    }
+    out
+}
+
 fn render_node(
     plan: &Plan,
     id: NodeId,
@@ -108,6 +146,31 @@ mod tests {
         assert!(s.contains("└─") && s.contains("├─"));
         // Root is the first line (no indentation).
         assert!(s.starts_with("Project"));
+    }
+
+    #[test]
+    fn renders_lineage_summary() {
+        use crate::exec::Executor;
+        use nde_data::generate::hiring::HiringScenario;
+        let s = HiringScenario::generate(60, 11);
+        let (plan, root) = Plan::hiring_pipeline();
+        let out = Executor::new()
+            .with_provenance(true)
+            .run(
+                &plan,
+                root,
+                &[
+                    ("train_df", &s.letters),
+                    ("jobdetail_df", &s.job_details),
+                    ("social_df", &s.social),
+                ],
+            )
+            .unwrap();
+        let summary = render_lineage_summary(&out.provenance.unwrap());
+        assert!(summary.contains("output rows over 3 sources"));
+        assert!(summary.contains("train_df, jobdetail_df, social_df"));
+        assert!(summary.contains("interned nodes"));
+        assert!(summary.contains("refs/node"));
     }
 
     #[test]

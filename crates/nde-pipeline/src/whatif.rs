@@ -9,6 +9,12 @@
 //! polynomial in the Boolean semiring and keep the rows that remain
 //! derivable.
 //!
+//! Evaluation runs on the hash-consed [`crate::provenance::ProvArena`]:
+//! one forward pass over the interned node table answers a single deletion
+//! set ([`predict_deletion`]), and the bitset evaluator answers **64
+//! deletion sets per pass** ([`predict_deletions_batch`]) — no recursion,
+//! no per-row tree walks.
+//!
 //! ## Exactness
 //!
 //! The prediction is exact for *monotone* pipelines (sources, inner joins,
@@ -25,13 +31,12 @@
 //!   see.
 
 use crate::provenance::{Lineage, TupleId};
-use crate::semiring::BoolSemiring;
 use crate::Result;
-use nde_data::fxhash::FxHashSet;
+use nde_data::fxhash::{FxHashMap, FxHashSet};
 use nde_data::Table;
 
 /// The predicted effect of deleting source tuples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeletionEffect {
     /// Output rows (indices into the original output) that survive.
     pub surviving_rows: Vec<usize>,
@@ -40,8 +45,14 @@ pub struct DeletionEffect {
 }
 
 impl DeletionEffect {
+    /// Number of output rows the prediction covers.
+    pub fn total_rows(&self) -> usize {
+        self.surviving_rows.len() + self.deleted_rows.len()
+    }
+
     /// Fraction of output rows lost.
-    pub fn loss_fraction(&self, total: usize) -> f64 {
+    pub fn loss_fraction(&self) -> f64 {
+        let total = self.total_rows();
         if total == 0 {
             return 0.0;
         }
@@ -49,14 +60,15 @@ impl DeletionEffect {
     }
 }
 
-/// Predict which output rows survive deleting `deleted` source tuples,
-/// by Boolean-semiring evaluation of each row's provenance polynomial.
+/// Predict which output rows survive deleting `deleted` source tuples:
+/// one Boolean-semiring pass over the provenance arena.
 pub fn predict_deletion(lineage: &Lineage, deleted: &[TupleId]) -> DeletionEffect {
     let dead: FxHashSet<TupleId> = deleted.iter().copied().collect();
+    let truth = lineage.arena.eval_bool(&|t| !dead.contains(&t));
     let mut surviving_rows = Vec::new();
     let mut deleted_rows = Vec::new();
-    for (row, expr) in lineage.rows.iter().enumerate() {
-        if expr.eval::<BoolSemiring>(&|t| !dead.contains(&t)) {
+    for (row, id) in lineage.rows.iter().enumerate() {
+        if truth[id.index()] {
             surviving_rows.push(row);
         } else {
             deleted_rows.push(row);
@@ -66,6 +78,46 @@ pub fn predict_deletion(lineage: &Lineage, deleted: &[TupleId]) -> DeletionEffec
         surviving_rows,
         deleted_rows,
     }
+}
+
+/// Predict the effect of *many* deletion sets at once via the bitset
+/// evaluator: scenarios are packed 64 per `u64` lane, so `k` deletion sets
+/// cost `ceil(k / 64)` arena passes instead of `k`. Returns one
+/// [`DeletionEffect`] per input set, identical to calling
+/// [`predict_deletion`] on each set individually.
+pub fn predict_deletions_batch(
+    lineage: &Lineage,
+    deletions: &[Vec<TupleId>],
+) -> Vec<DeletionEffect> {
+    let mut effects = Vec::with_capacity(deletions.len());
+    for chunk in deletions.chunks(64) {
+        // dead_mask[t] bit j set = tuple t is deleted in scenario j.
+        let mut dead_mask: FxHashMap<TupleId, u64> = FxHashMap::default();
+        for (j, set) in chunk.iter().enumerate() {
+            for t in set {
+                *dead_mask.entry(*t).or_insert(0) |= 1u64 << j;
+            }
+        }
+        let lanes = lineage
+            .arena
+            .eval_bool_lanes(&|t| !dead_mask.get(&t).copied().unwrap_or(0));
+        for (j, _) in chunk.iter().enumerate() {
+            let mut surviving_rows = Vec::new();
+            let mut deleted_rows = Vec::new();
+            for (row, id) in lineage.rows.iter().enumerate() {
+                if (lanes[id.index()] >> j) & 1 == 1 {
+                    surviving_rows.push(row);
+                } else {
+                    deleted_rows.push(row);
+                }
+            }
+            effects.push(DeletionEffect {
+                surviving_rows,
+                deleted_rows,
+            });
+        }
+    }
+    effects
 }
 
 /// Materialize the predicted post-deletion output table from the original
@@ -160,7 +212,8 @@ mod tests {
             assert_eq!(effect.deleted_rows.contains(&r), has_job, "row {r}");
         }
         assert!(!effect.deleted_rows.is_empty());
-        assert!(effect.loss_fraction(output.n_rows()) > 0.0);
+        assert_eq!(effect.total_rows(), output.n_rows());
+        assert!(effect.loss_fraction() > 0.0);
     }
 
     #[test]
@@ -170,8 +223,28 @@ mod tests {
         let effect = predict_deletion(&lineage, &[]);
         assert_eq!(effect.surviving_rows.len(), output.n_rows());
         assert!(effect.deleted_rows.is_empty());
+        assert_eq!(effect.loss_fraction(), 0.0);
         let predicted = apply_deletion(&output, &effect).unwrap();
         assert_eq!(predicted, output);
+    }
+
+    #[test]
+    fn batch_prediction_matches_one_by_one() {
+        let s = HiringScenario::generate(120, 96);
+        let (_, lineage) = run_pipeline(&s);
+        // 70 deletion sets — crosses the 64-lane boundary on purpose.
+        let sets: Vec<Vec<TupleId>> = (0..70)
+            .map(|k| {
+                (0..=(k % 5))
+                    .map(|j| TupleId::new(0, ((k * 13 + j * 7) % s.letters.n_rows()) as u32))
+                    .collect()
+            })
+            .collect();
+        let batched = predict_deletions_batch(&lineage, &sets);
+        assert_eq!(batched.len(), sets.len());
+        for (k, set) in sets.iter().enumerate() {
+            assert_eq!(batched[k], predict_deletion(&lineage, set), "set {k}");
+        }
     }
 
     #[test]
@@ -183,12 +256,10 @@ mod tests {
         let (_output, lineage) = run_pipeline(&s);
         let src = lineage.source_index("social_df").unwrap();
         // Find an output row depending on some social tuple.
-        let (out_row, social_row) = lineage
-            .rows
-            .iter()
-            .enumerate()
-            .find_map(|(r, e)| {
-                e.tuples()
+        let (out_row, social_row) = (0..lineage.n_rows())
+            .find_map(|r| {
+                lineage
+                    .row_tuples(r)
                     .into_iter()
                     .find(|t| t.source == src)
                     .map(|t| (r, t.row as usize))

@@ -4,7 +4,7 @@
 //! reproduce exactly.
 
 use nde_data::rng::{seeded, Rng, StdRng};
-use nde_pipeline::provenance::{ProvExpr, TupleId};
+use nde_pipeline::provenance::{ProvArena, ProvExpr, TupleId};
 use nde_pipeline::semiring::{why_var, BoolSemiring, CountSemiring, Semiring, WhySemiring};
 use std::collections::BTreeSet;
 
@@ -101,6 +101,84 @@ fn count_eval_upper_bounds_why_witnesses() {
         let witnesses = expr.why().len() as u64;
         assert!(count >= witnesses, "count {count} < witnesses {witnesses}");
         assert!(witnesses >= 1);
+    }
+}
+
+#[test]
+fn arena_interning_preserves_all_semiring_evaluations() {
+    // The hash-consed arena is an *encoding* of the reference tree: for
+    // every random expression, interning then evaluating must agree with
+    // direct recursive evaluation in every semiring, and the tuple support
+    // must match.
+    let mut rng = seeded(35);
+    for _ in 0..CASES {
+        let expr = random_prov_expr(&mut rng, 4);
+        let mut arena = ProvArena::new();
+        let id = arena.intern_expr(&expr);
+
+        // Boolean under a random deletion pattern.
+        let alive_mask: Vec<bool> = (0..16).map(|_| rng.gen_bool(0.5)).collect();
+        let alive = |t: TupleId| alive_mask[(t.source * 5 + t.row) as usize % 16];
+        assert_eq!(
+            arena.eval_bool(&alive)[id.index()],
+            expr.eval::<BoolSemiring>(&alive)
+        );
+        // Bitset lanes agree with the scalar Boolean path lane by lane.
+        let lane_mask: Vec<u64> = (0..16).map(|_| rng.gen_range(0..u64::MAX)).collect();
+        let lanes_of = |t: TupleId| lane_mask[(t.source * 5 + t.row) as usize % 16];
+        let lanes = arena.eval_bool_lanes(&lanes_of)[id.index()];
+        for j in [0u32, 1, 31, 63] {
+            let alive_j = |t: TupleId| (lanes_of(t) >> j) & 1 == 1;
+            assert_eq!((lanes >> j) & 1 == 1, expr.eval::<BoolSemiring>(&alive_j));
+        }
+        // Counting and why semantics survive interning too.
+        assert_eq!(
+            arena.eval_nodes::<CountSemiring>(&|_| 1)[id.index()],
+            expr.eval::<CountSemiring>(&|_| 1)
+        );
+        assert_eq!(
+            arena.eval_nodes::<WhySemiring>(&|t| why_var(t.as_var()))[id.index()],
+            expr.why()
+        );
+        // Tuple support: direct walk, memoized index, and tree all agree.
+        assert_eq!(arena.tuples_of(id), expr.tuples());
+        assert_eq!(arena.tuple_index().of(id), expr.tuples().as_slice());
+        // Materializing back to a tree is evaluation-equivalent (nested
+        // products flatten, so structural equality is not guaranteed).
+        let back = arena.expr(id);
+        assert_eq!(
+            back.eval::<BoolSemiring>(&alive),
+            expr.eval::<BoolSemiring>(&alive)
+        );
+        assert_eq!(back.tuples(), expr.tuples());
+    }
+}
+
+#[test]
+fn arena_interning_is_idempotent_and_shares_nodes() {
+    // Interning the same expression twice yields the same id and adds no
+    // nodes; interning a forest of expressions with shared structure never
+    // stores a distinct subtree twice.
+    let mut rng = seeded(36);
+    for _ in 0..CASES {
+        let expr = random_prov_expr(&mut rng, 4);
+        let mut arena = ProvArena::new();
+        let id1 = arena.intern_expr(&expr);
+        let len1 = arena.len();
+        let id2 = arena.intern_expr(&expr);
+        assert_eq!(id1, id2);
+        assert_eq!(arena.len(), len1, "re-interning must not grow the arena");
+
+        // Children precede parents: the arena is topologically sorted.
+        for (id, node) in arena.iter_nodes() {
+            if let nde_pipeline::provenance::ProvNodeRef::Times(kids)
+            | nde_pipeline::provenance::ProvNodeRef::Plus(kids) = node
+            {
+                for k in kids {
+                    assert!(k.index() < id.index(), "child {k:?} >= parent {id:?}");
+                }
+            }
+        }
     }
 }
 

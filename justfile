@@ -19,6 +19,15 @@ bench-batch:
     grep -q '"batch_comparison"' BENCH_shapley.json
     grep -q '"ms_per_call"' BENCH_shapley.json
 
+# Pipeline-engine smoke: arena + parallel operators vs the sequential tree
+# path, appended to the BENCH_pipeline.json trajectory (prints the
+# last-vs-previous delta when history exists).
+bench-pipeline:
+    cargo build --release --offline -p nde-bench --bin exp_pipeline_scaling
+    ./target/release/exp_pipeline_scaling --smoke --threads=1,4
+    grep -q '"end_to_end_speedup"' BENCH_pipeline.json
+    grep -q '"git_commit"' BENCH_pipeline.json
+
 # Format and lint.
 lint:
     cargo fmt --all

@@ -25,21 +25,17 @@ fn provenance_supports_deletion_propagation() {
     let src = lineage.source_index("train_df").expect("letters source");
 
     // Pick a source row that actually reaches the output.
-    let reached: Vec<u32> = lineage
-        .rows
-        .iter()
-        .flat_map(|e| e.tuples())
+    let reached: Vec<u32> = (0..lineage.n_rows())
+        .flat_map(|row| lineage.row_tuples(row))
         .filter(|t| t.source == src)
         .map(|t| t.row)
         .collect();
     let victim = reached[0];
 
-    // Boolean semiring: alive iff not the victim.
-    let alive: Vec<bool> = lineage
-        .rows
-        .iter()
-        .map(|e| e.eval::<BoolSemiring>(&|t| !(t.source == src && t.row == victim)))
-        .collect();
+    // Boolean semiring, one pass over the whole arena: alive iff not the
+    // victim.
+    let alive: Vec<bool> =
+        lineage.eval_rows::<BoolSemiring>(&|t| !(t.source == src && t.row == victim));
     let killed: Vec<usize> = alive
         .iter()
         .enumerate()

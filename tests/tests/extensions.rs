@@ -153,8 +153,8 @@ fn fuzzy_join_pipeline_supports_datascope() {
     let lineage = out.provenance.unwrap();
     // Every output row traces to exactly one letter and one company.
     let company_src = lineage.source_index("companies").unwrap();
-    for e in &lineage.rows {
-        let tuples = e.tuples();
+    for row in 0..lineage.n_rows() {
+        let tuples = lineage.row_tuples(row);
         assert_eq!(tuples.len(), 2);
         let company_row = tuples.iter().find(|t| t.source == company_src).unwrap();
         let sector = companies.get(company_row.row as usize, "sector").unwrap();
