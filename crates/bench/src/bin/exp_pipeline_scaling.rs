@@ -11,9 +11,12 @@
 //! --sets=64                 deletion scenarios per scale (smoke: 512)
 //! --reps=3                  repetitions per cell (best-of)
 //! --out=BENCH_pipeline.json append-only trajectory file
+//! --check=40                fail (exit 1) if a tracked ms/row metric
+//!                           regressed more than this % vs the previous
+//!                           record on the same runner class
 //! ```
 use nde_bench::experiments::pipeline_scaling;
-use nde_bench::report::{append_trajectory, trajectory_delta, TextTable};
+use nde_bench::report::{append_trajectory, check_trajectory, trajectory_delta, TextTable};
 
 struct Args {
     rows: Vec<usize>,
@@ -21,6 +24,7 @@ struct Args {
     sets: usize,
     reps: usize,
     out: String,
+    check_pct: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +34,7 @@ fn parse_args() -> Args {
     let mut sets: Option<usize> = None;
     let mut reps = 3usize;
     let mut out = "BENCH_pipeline.json".to_string();
+    let mut check_pct = None;
     let parse_list = |value: &str, flag: &str| -> Vec<usize> {
         value
             .split(',')
@@ -52,6 +57,7 @@ fn parse_args() -> Args {
             "--sets" => sets = Some(value.parse().expect("--sets takes an integer")),
             "--reps" => reps = value.parse().expect("--reps takes an integer"),
             "--out" => out = value.to_string(),
+            "--check" => check_pct = Some(value.parse().expect("--check takes a percentage")),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -70,6 +76,7 @@ fn parse_args() -> Args {
         sets: sets.unwrap_or(if smoke { 512 } else { 64 }),
         reps: reps.max(1),
         out,
+        check_pct,
     }
 }
 
@@ -122,6 +129,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nappended record {} to {}", records.len(), args.out);
     if let Some(delta) = trajectory_delta(&records) {
         println!("{delta}");
+    }
+    if let Some(pct) = args.check_pct {
+        match check_trajectory(&records, &["ms_per_row"], pct) {
+            Ok(Some(summary)) => println!("{summary}"),
+            Ok(None) => println!("bench gate: no comparable prior record, nothing to check"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
     }
     Ok(())
 }

@@ -1,0 +1,194 @@
+//! E14 — Learn-pillar engine scaling: SoA interval kernels vs the AoS
+//! reference across Zorro fits (rows × dims × threads), certain-KNN query
+//! batches, and possible-worlds sampling.
+//!
+//! Flags (all optional):
+//!
+//! ```text
+//! --smoke                    single-scale workload (CI smoke test); also
+//!                            asserts the SoA engine beats the AoS path
+//! --rows=500,1000,2000       training-row counts to sweep
+//! --dims=4,16                feature dimensions to sweep
+//! --threads=1,2,4            worker thread counts
+//! --queries=256              certain-KNN queries per scale
+//! --worlds=32                possible worlds per scale
+//! --reps=3                   repetitions per cell (best-of)
+//! --out=BENCH_uncertain.json append-only trajectory file
+//! --check=40                 fail (exit 1) if a tracked ms/row metric
+//!                            regressed more than this % vs the previous
+//!                            record on the same runner class
+//! ```
+use nde_bench::experiments::uncertain_scaling;
+use nde_bench::report::{append_trajectory, check_trajectory, trajectory_delta, TextTable};
+
+struct Args {
+    smoke: bool,
+    rows: Vec<usize>,
+    dims: Vec<usize>,
+    threads: Vec<usize>,
+    queries: usize,
+    worlds: usize,
+    reps: usize,
+    out: String,
+    check_pct: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut smoke = false;
+    let mut rows: Option<Vec<usize>> = None;
+    let mut dims: Option<Vec<usize>> = None;
+    let mut threads = vec![1, 2, 4];
+    let mut queries: Option<usize> = None;
+    let mut worlds: Option<usize> = None;
+    let mut reps = 3usize;
+    let mut out = "BENCH_uncertain.json".to_string();
+    let mut check_pct = None;
+    let parse_list = |value: &str, flag: &str| -> Vec<usize> {
+        value
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{flag} takes integers"))
+            })
+            .collect()
+    };
+    for arg in std::env::args().skip(1) {
+        let (key, value) = match arg.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (arg.as_str(), ""),
+        };
+        match key {
+            "--smoke" => smoke = true,
+            "--rows" => rows = Some(parse_list(value, "--rows")),
+            "--dims" => dims = Some(parse_list(value, "--dims")),
+            "--threads" => threads = parse_list(value, "--threads"),
+            "--queries" => queries = Some(value.parse().expect("--queries takes an integer")),
+            "--worlds" => worlds = Some(value.parse().expect("--worlds takes an integer")),
+            "--reps" => reps = value.parse().expect("--reps takes an integer"),
+            "--out" => out = value.to_string(),
+            "--check" => check_pct = Some(value.parse().expect("--check takes a percentage")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    // The smoke scale is big enough that the SoA layout + pruning win shows
+    // through timer noise even single-threaded (the fused kernels and the
+    // pruned KNN scan beat the AoS paths without any extra cores).
+    Args {
+        smoke,
+        rows: rows.unwrap_or(if smoke {
+            vec![2000]
+        } else {
+            vec![500, 1000, 2000, 4000]
+        }),
+        dims: dims.unwrap_or(if smoke { vec![16] } else { vec![4, 16] }),
+        threads,
+        queries: queries.unwrap_or(if smoke { 128 } else { 256 }),
+        worlds: worlds.unwrap_or(if smoke { 16 } else { 32 }),
+        reps: reps.max(1),
+        out,
+        check_pct,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    println!(
+        "E14 — uncertain scaling: rows {:?} × dims {:?} × threads {:?}, {} queries, {} worlds, best of {}",
+        args.rows, args.dims, args.threads, args.queries, args.worlds, args.reps
+    );
+    let r = uncertain_scaling::run(
+        &args.rows,
+        &args.dims,
+        &args.threads,
+        args.queries,
+        args.worlds,
+        args.reps,
+        21,
+    )?;
+
+    let mut t = TextTable::new(&["rows", "dims", "threads", "AoS ms", "SoA ms", "speedup"]);
+    for p in &r.zorro {
+        t.row(vec![
+            p.rows.to_string(),
+            p.dims.to_string(),
+            p.threads.to_string(),
+            format!("{:.3}", p.aos_ms),
+            format!("{:.3}", p.soa_ms),
+            format!("{:.2}x", p.speedup),
+        ]);
+    }
+    println!(
+        "\nZorro symbolic fit (AoS reference vs SoA engine):\n{}",
+        t.render()
+    );
+
+    let mut t = TextTable::new(&[
+        "rows", "dims", "queries", "AoS ms", "SoA ms", "batch ms", "speedup", "q/s", "certain",
+    ]);
+    for p in &r.knn {
+        t.row(vec![
+            p.rows.to_string(),
+            p.dims.to_string(),
+            p.queries.to_string(),
+            format!("{:.3}", p.aos_ms),
+            format!("{:.3}", p.soa_ms),
+            format!("{:.3}", p.soa_batch_ms),
+            format!("{:.2}x", p.speedup),
+            format!("{:.0}", p.queries_per_sec),
+            format!("{:.2}", p.certain_fraction),
+        ]);
+    }
+    println!(
+        "certain-KNN verdicts (per-query AoS scan vs pruned SoA index):\n{}",
+        t.render()
+    );
+
+    let mut t = TextTable::new(&["rows", "dims", "worlds", "threads", "ms", "worlds/s"]);
+    for p in &r.worlds {
+        t.row(vec![
+            p.rows.to_string(),
+            p.dims.to_string(),
+            p.worlds.to_string(),
+            p.threads.to_string(),
+            format!("{:.3}", p.ms),
+            format!("{:.0}", p.worlds_per_sec),
+        ]);
+    }
+    println!("possible-worlds sampling:\n{}", t.render());
+    println!(
+        "end-to-end ms/training-row at n={}: AoS {:.5}, SoA {:.5} ({:.2}x)",
+        args.rows.last().unwrap(),
+        r.aos_ms_per_row,
+        r.soa_ms_per_row,
+        r.end_to_end_speedup,
+    );
+
+    if args.smoke {
+        // CI criterion: the optimized engine must beat the AoS seed path.
+        assert!(
+            r.soa_ms_per_row < r.aos_ms_per_row,
+            "smoke criterion failed: SoA {:.5} ms/row is not below AoS {:.5} ms/row",
+            r.soa_ms_per_row,
+            r.aos_ms_per_row,
+        );
+        println!("smoke criterion OK: SoA engine beats the AoS reference end-to-end");
+    }
+
+    let records = append_trajectory(&args.out, &r)?;
+    println!("\nappended record {} to {}", records.len(), args.out);
+    if let Some(delta) = trajectory_delta(&records) {
+        println!("{delta}");
+    }
+    if let Some(pct) = args.check_pct {
+        match check_trajectory(&records, &["ms_per_row"], pct) {
+            Ok(Some(summary)) => println!("{summary}"),
+            Ok(None) => println!("bench gate: no comparable prior record, nothing to check"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,4 +1,4 @@
-//! One module per experiment in the DESIGN.md index (E1–E12).
+//! One module per experiment in the DESIGN.md index (E1–E14).
 
 pub mod ablations;
 pub mod certain_models;
@@ -13,4 +13,5 @@ pub mod multiplicity;
 pub mod pipeline_scaling;
 pub mod provenance_overhead;
 pub mod shapley_scaling;
+pub mod uncertain_scaling;
 pub mod zorro_vs_imputation;

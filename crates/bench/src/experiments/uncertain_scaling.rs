@@ -1,0 +1,367 @@
+//! E14 — the Learn-pillar engine bench: SoA interval kernels versus the
+//! AoS scalar-[`Interval`] reference across the three hot paths.
+//!
+//! * **Zorro fit** — symbolic interval gradient descent over rows × dims ×
+//!   threads: the SoA engine (contiguous `lo`/`hi` planes, fused dot/axpy
+//!   kernels, chunk-parallel blocks) against the sequential AoS reference.
+//!   Both produce bit-identical weight intervals — asserted per cell — so
+//!   the timing isolates layout + parallelism.
+//! * **certain-KNN** — certain-prediction verdicts for a query batch: the
+//!   per-query AoS scan against the SoA index with candidate pruning,
+//!   single-threaded and batched over threads (queries/sec).
+//! * **possible worlds** — worlds/sec of impute-retrain-predict sampling
+//!   (plane-backed imputation, worlds spread over threads).
+
+use nde::uncertain::certain_knn::{certain_prediction_1nn, CertainKnnIndex};
+use nde::uncertain::worlds::sample_worlds_par;
+use nde::uncertain::zorro::{ZorroConfig, ZorroRegressor};
+use nde::uncertain::{Interval, SymbolicMatrix};
+use nde::NdeError;
+use nde_data::generate::blobs::{linear_regression, two_gaussians};
+use nde_data::rng::{sample_indices, seeded, Rng};
+use nde_ml::linalg::Matrix;
+use nde_ml::models::knn::KnnClassifier;
+use nde_uncertain::symbolic::column_bounds_from_observed;
+use std::time::Instant;
+
+/// Zorro symbolic-fit timing at one (rows, dims, threads) cell.
+#[derive(Debug, Clone)]
+pub struct ZorroPoint {
+    /// Training rows.
+    pub rows: usize,
+    /// Feature dimensions.
+    pub dims: usize,
+    /// Gradient worker threads for the SoA engine.
+    pub threads: usize,
+    /// Best-of-`reps` ms for the SoA engine fit.
+    pub soa_ms: f64,
+    /// Best-of-`reps` ms for the sequential AoS reference fit.
+    pub aos_ms: f64,
+    /// `aos_ms / soa_ms`.
+    pub speedup: f64,
+}
+
+nde_data::json_struct!(ZorroPoint {
+    rows,
+    dims,
+    threads,
+    soa_ms,
+    aos_ms,
+    speedup
+});
+
+/// Certain-KNN verdict timing at one (rows, dims) scale.
+#[derive(Debug, Clone)]
+pub struct KnnPoint {
+    /// Training rows.
+    pub rows: usize,
+    /// Feature dimensions.
+    pub dims: usize,
+    /// Queries classified.
+    pub queries: usize,
+    /// Best-of-`reps` ms: AoS reference, one scan per query.
+    pub aos_ms: f64,
+    /// Best-of-`reps` ms: SoA pruned index, single thread.
+    pub soa_ms: f64,
+    /// Best-of-`reps` ms: SoA pruned index, max threads.
+    pub soa_batch_ms: f64,
+    /// `aos_ms / soa_ms` (single-thread, isolates layout + pruning).
+    pub speedup: f64,
+    /// Queries per second of the batched SoA path.
+    pub queries_per_sec: f64,
+    /// Fraction of queries with a certain verdict (sanity: discriminative).
+    pub certain_fraction: f64,
+}
+
+nde_data::json_struct!(KnnPoint {
+    rows,
+    dims,
+    queries,
+    aos_ms,
+    soa_ms,
+    soa_batch_ms,
+    speedup,
+    queries_per_sec,
+    certain_fraction
+});
+
+/// Possible-worlds sampling throughput at one (rows, dims, threads) cell.
+#[derive(Debug, Clone)]
+pub struct WorldsPoint {
+    /// Training rows.
+    pub rows: usize,
+    /// Feature dimensions.
+    pub dims: usize,
+    /// Worlds sampled.
+    pub worlds: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Best-of-`reps` ms for the full impute-retrain-predict sweep.
+    pub ms: f64,
+    /// Worlds per second.
+    pub worlds_per_sec: f64,
+}
+
+nde_data::json_struct!(WorldsPoint {
+    rows,
+    dims,
+    worlds,
+    threads,
+    ms,
+    worlds_per_sec
+});
+
+/// Report for E14.
+#[derive(Debug, Clone)]
+pub struct UncertainScalingReport {
+    /// Repetitions per cell (best-of).
+    pub reps: usize,
+    /// One point per (rows, dims, threads) Zorro cell.
+    pub zorro: Vec<ZorroPoint>,
+    /// One point per (rows, dims) certain-KNN scale.
+    pub knn: Vec<KnnPoint>,
+    /// One point per (rows, dims, threads) worlds cell.
+    pub worlds: Vec<WorldsPoint>,
+    /// End-to-end ms/training-row of the AoS seed path at the largest
+    /// scale: sequential reference fit + per-query reference KNN.
+    pub aos_ms_per_row: f64,
+    /// End-to-end ms/training-row of the SoA engine at the largest scale:
+    /// the fit at its best measured thread count + the faster pruned KNN
+    /// path (results are bit-identical at every thread count, so picking
+    /// the best configuration compares answers, not schedules).
+    pub soa_ms_per_row: f64,
+    /// `aos_ms_per_row / soa_ms_per_row`.
+    pub end_to_end_speedup: f64,
+}
+
+nde_data::json_struct!(UncertainScalingReport {
+    reps,
+    zorro,
+    knn,
+    worlds,
+    aos_ms_per_row,
+    soa_ms_per_row,
+    end_to_end_speedup
+});
+
+/// Regression features with ~8% of rows carrying one missing cell, widened
+/// to its column's observed bounds.
+fn symbolic_regression(
+    rows: usize,
+    dims: usize,
+    seed: u64,
+) -> (SymbolicMatrix, Vec<Interval>, Matrix) {
+    let (xs, ys, _, _) = linear_regression(rows, dims, 0.05, seed);
+    let x = Matrix::from_rows(xs).expect("rectangular");
+    let bounds = column_bounds_from_observed(&x);
+    let mut rng = seeded(seed ^ 0x5eed);
+    let missing: Vec<(usize, usize)> = sample_indices(rows, rows / 12, &mut rng)
+        .into_iter()
+        .map(|r| (r, rng.gen_range(0..dims)))
+        .collect();
+    let sym = SymbolicMatrix::from_matrix_with_missing(&x, &missing, &bounds).expect("valid cells");
+    let targets: Vec<Interval> = ys.iter().map(|&v| Interval::point(v)).collect();
+    (sym, targets, x)
+}
+
+/// Two-cluster classification data with missing cells plus a query batch.
+fn symbolic_classification(
+    rows: usize,
+    dims: usize,
+    queries: usize,
+    seed: u64,
+) -> (SymbolicMatrix, Vec<usize>, Matrix) {
+    let data = two_gaussians(rows, dims, 2.0, seed);
+    let x = Matrix::from_rows(data.features).expect("rectangular");
+    let bounds = column_bounds_from_observed(&x);
+    let mut rng = seeded(seed ^ 0xc0de);
+    let missing: Vec<(usize, usize)> = sample_indices(rows, rows / 10, &mut rng)
+        .into_iter()
+        .map(|r| (r, rng.gen_range(0..dims)))
+        .collect();
+    let sym = SymbolicMatrix::from_matrix_with_missing(&x, &missing, &bounds).expect("valid cells");
+    let q = Matrix::from_rows(
+        (0..queries)
+            .map(|_| (0..dims).map(|_| rng.gen_range(-3.0..5.0)).collect())
+            .collect(),
+    )
+    .expect("rectangular");
+    (sym, data.labels, q)
+}
+
+/// Run E14 over the given scales and thread counts.
+pub fn run(
+    sizes: &[usize],
+    dims: &[usize],
+    threads: &[usize],
+    queries: usize,
+    worlds: usize,
+    reps: usize,
+    seed: u64,
+) -> Result<UncertainScalingReport, NdeError> {
+    assert!(!sizes.is_empty() && !dims.is_empty() && !threads.is_empty() && reps >= 1);
+    let max_threads = threads.iter().copied().max().unwrap_or(1);
+    let best_of = |f: &mut dyn FnMut() -> Result<(), NdeError>| -> Result<f64, NdeError> {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f()?;
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        Ok(best)
+    };
+    let config = ZorroConfig {
+        epochs: 30,
+        learning_rate: 0.05,
+        l2: 1e-3,
+        divergence_threshold: 1e9,
+        threads: 1,
+    };
+
+    let mut zorro = Vec::new();
+    let mut knn = Vec::new();
+    let mut worlds_points = Vec::new();
+    let mut aos_ms_per_row = 0.0;
+    let mut soa_ms_per_row = 0.0;
+    let largest = (*sizes.last().unwrap(), *dims.last().unwrap());
+    for &n in sizes {
+        for &d in dims {
+            // --- Zorro fit ---
+            let (sym, targets, _) = symbolic_regression(n, d, seed);
+            let mut reference_w = Vec::new();
+            let aos_fit_ms = best_of(&mut || {
+                let mut model = ZorroRegressor::new(config.clone());
+                model.fit_uncertain_reference(&sym, &targets)?;
+                reference_w = model.weight_intervals().expect("fitted").to_vec();
+                Ok(())
+            })?;
+            let mut soa_fit_best = f64::INFINITY;
+            for &t in threads {
+                let cfg = config.clone().with_threads(t);
+                let mut engine_w = Vec::new();
+                let soa_ms = best_of(&mut || {
+                    let mut model = ZorroRegressor::new(cfg.clone());
+                    model.fit_uncertain(&sym, &targets)?;
+                    engine_w = model.weight_intervals().expect("fitted").to_vec();
+                    Ok(())
+                })?;
+                assert_eq!(
+                    engine_w, reference_w,
+                    "SoA weights must be bit-identical at n={n} d={d} t={t}"
+                );
+                soa_fit_best = soa_fit_best.min(soa_ms);
+                zorro.push(ZorroPoint {
+                    rows: n,
+                    dims: d,
+                    threads: t,
+                    soa_ms,
+                    aos_ms: aos_fit_ms,
+                    speedup: aos_fit_ms / soa_ms.max(1e-9),
+                });
+            }
+
+            // --- certain-KNN ---
+            let (ksym, labels, q) = symbolic_classification(n, d, queries, seed + 1);
+            let index = CertainKnnIndex::new(&ksym, &labels)?;
+            let mut aos_outcomes = Vec::new();
+            let knn_aos_ms = best_of(&mut || {
+                aos_outcomes = q
+                    .iter_rows()
+                    .map(|query| certain_prediction_1nn(&ksym, &labels, query))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(())
+            })?;
+            let mut soa_outcomes = Vec::new();
+            let knn_soa_ms = best_of(&mut || {
+                soa_outcomes = index.classify_batch(&q, 1)?;
+                Ok(())
+            })?;
+            assert_eq!(
+                soa_outcomes, aos_outcomes,
+                "verdicts must agree at n={n} d={d}"
+            );
+            let knn_batch_ms = best_of(&mut || {
+                let batched = index.classify_batch(&q, max_threads)?;
+                std::hint::black_box(batched.len());
+                Ok(())
+            })?;
+            let certain = soa_outcomes.iter().filter(|o| o.is_certain()).count();
+            knn.push(KnnPoint {
+                rows: n,
+                dims: d,
+                queries,
+                aos_ms: knn_aos_ms,
+                soa_ms: knn_soa_ms,
+                soa_batch_ms: knn_batch_ms,
+                speedup: knn_aos_ms / knn_soa_ms.max(1e-9),
+                queries_per_sec: queries as f64 / (knn_batch_ms / 1e3).max(1e-9),
+                certain_fraction: certain as f64 / queries.max(1) as f64,
+            });
+
+            // --- possible worlds ---
+            for &t in threads {
+                let ms = best_of(&mut || {
+                    let ens = sample_worlds_par(
+                        &KnnClassifier::new(1),
+                        &ksym,
+                        &labels,
+                        2,
+                        &q,
+                        worlds,
+                        seed + 2,
+                        t,
+                    )?;
+                    std::hint::black_box(ens.worlds);
+                    Ok(())
+                })?;
+                worlds_points.push(WorldsPoint {
+                    rows: n,
+                    dims: d,
+                    worlds,
+                    threads: t,
+                    ms,
+                    worlds_per_sec: worlds as f64 / (ms / 1e3).max(1e-9),
+                });
+            }
+
+            if (n, d) == largest {
+                let rows = n as f64;
+                aos_ms_per_row = (aos_fit_ms + knn_aos_ms) / rows;
+                soa_ms_per_row = (soa_fit_best + knn_soa_ms.min(knn_batch_ms)) / rows;
+            }
+        }
+    }
+
+    Ok(UncertainScalingReport {
+        reps,
+        zorro,
+        knn,
+        worlds: worlds_points,
+        aos_ms_per_row,
+        soa_ms_per_row,
+        end_to_end_speedup: aos_ms_per_row / soa_ms_per_row.max(1e-9),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soa_engine_beats_aos_reference_end_to_end() {
+        let r = run(&[1200], &[12], &[1, 4], 96, 16, 3, 77).unwrap();
+        assert_eq!(r.zorro.len(), 2);
+        assert_eq!(r.knn.len(), 1);
+        assert_eq!(r.worlds.len(), 2);
+        let k = &r.knn[0];
+        assert!(
+            k.certain_fraction > 0.0 && k.certain_fraction < 1.0,
+            "knn workload not discriminative: {k:?}"
+        );
+        assert!(
+            r.soa_ms_per_row < r.aos_ms_per_row,
+            "SoA engine must win end-to-end: {r:?}"
+        );
+        assert!(r.end_to_end_speedup > 1.0);
+    }
+}

@@ -86,6 +86,17 @@ pub fn git_commit() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The runner class this bench is executing on: `NDE_RUNNER_CLASS` when
+/// set (CI exports it per runner pool), otherwise `{os}-{arch}`. Timings
+/// are only comparable within one class, so the regression gate
+/// ([`check_trajectory`]) never diffs records across classes.
+pub fn runner_class() -> String {
+    std::env::var("NDE_RUNNER_CLASS")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .unwrap_or_else(|| format!("{}-{}", std::env::consts::OS, std::env::consts::ARCH))
+}
+
 fn unix_timestamp() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -120,6 +131,7 @@ pub fn append_trajectory<T: ToJson>(path: &str, results: &T) -> std::io::Result<
     records.push(Json::Obj(vec![
         ("git_commit".into(), Json::Str(git_commit())),
         ("timestamp".into(), Json::UInt(unix_timestamp())),
+        ("runner".into(), Json::Str(runner_class())),
         ("results".into(), results.to_json()),
     ]));
     std::fs::write(path, Json::Arr(records.clone()).to_string_pretty())?;
@@ -188,6 +200,98 @@ pub fn trajectory_delta(records: &[Json]) -> Option<String> {
     any.then_some(out)
 }
 
+/// The CI bench tolerance gate: compare the newest trajectory record
+/// against the most recent **older record from the same runner class** and
+/// flag every tracked metric that regressed by more than
+/// `max_regression_pct` percent.
+///
+/// A metric is tracked when its dotted leaf path ends with one of
+/// `tracked_suffixes` (e.g. `"ms_per_row"` matches both
+/// `seq_tree_ms_per_row` and `par_arena_ms_per_row`); tracked metrics are
+/// assumed lower-is-better. Returns:
+///
+/// * `Ok(None)` — nothing to compare: fewer than two records, or no older
+///   record from the same runner class (cross-runner timings are not
+///   comparable, and pre-gate records carry no runner tag);
+/// * `Ok(Some(summary))` — every tracked metric is within tolerance;
+/// * `Err(report)` — at least one metric regressed; the report lists each
+///   violation. Bench binaries exit non-zero on this, which is what fails
+///   the CI bench-smoke job.
+pub fn check_trajectory(
+    records: &[Json],
+    tracked_suffixes: &[&str],
+    max_regression_pct: f64,
+) -> Result<Option<String>, String> {
+    let Some((last, older)) = records.split_last() else {
+        return Ok(None);
+    };
+    let runner_of = |r: &Json| -> String {
+        r.get("runner")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string()
+    };
+    let commit_of = |r: &Json| -> String {
+        r.get("git_commit")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string()
+    };
+    // Option-level comparison: a record predating the runner tag (None)
+    // only ever matches another untagged record.
+    let Some(baseline) = older.iter().rev().find(|r| {
+        r.get("runner").and_then(Json::as_str) == last.get("runner").and_then(Json::as_str)
+    }) else {
+        return Ok(None);
+    };
+    let (Some(base_results), Some(last_results)) = (baseline.get("results"), last.get("results"))
+    else {
+        return Ok(None);
+    };
+    let mut base_leaves = Vec::new();
+    let mut last_leaves = Vec::new();
+    numeric_leaves("", base_results, &mut base_leaves);
+    numeric_leaves("", last_results, &mut last_leaves);
+    let base_map: std::collections::BTreeMap<&str, f64> =
+        base_leaves.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+
+    let mut compared = 0usize;
+    let mut violations = Vec::new();
+    for (key, cur) in &last_leaves {
+        if !tracked_suffixes.iter().any(|s| key.ends_with(s)) {
+            continue;
+        }
+        let Some(&old) = base_map.get(key.as_str()) else {
+            continue;
+        };
+        if old <= 0.0 {
+            continue; // can't express a percentage budget over a zero base
+        }
+        compared += 1;
+        let pct = (cur - old) / old * 100.0;
+        if pct > max_regression_pct {
+            violations.push(format!(
+                "  {key}: {old:.5} -> {cur:.5} ({pct:+.1}%) exceeds +{max_regression_pct:.0}%"
+            ));
+        }
+    }
+    if !violations.is_empty() {
+        return Err(format!(
+            "bench regression gate FAILED vs {} on {}:\n{}",
+            commit_of(baseline),
+            runner_of(last),
+            violations.join("\n")
+        ));
+    }
+    Ok(Some(format!(
+        "bench gate: {} tracked metric(s) within +{:.0}% of {} on {}",
+        compared,
+        max_regression_pct,
+        commit_of(baseline),
+        runner_of(last)
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +355,104 @@ mod tests {
             assert!(r.get("timestamp").is_some());
             assert!(r.get("results").and_then(|v| v.get("ms")).is_some());
         }
+        let _ = std::fs::remove_file(path);
+    }
+
+    fn record(commit: &str, runner: Option<&str>, ms_per_row: f64) -> Json {
+        let mut fields = vec![
+            ("git_commit".to_string(), Json::Str(commit.into())),
+            ("timestamp".to_string(), Json::UInt(1)),
+        ];
+        if let Some(r) = runner {
+            fields.push(("runner".to_string(), Json::Str(r.into())));
+        }
+        fields.push((
+            "results".to_string(),
+            Json::Obj(vec![
+                ("soa_ms_per_row".to_string(), Json::Float(ms_per_row)),
+                ("rows".to_string(), Json::UInt(100)),
+            ]),
+        ));
+        Json::Obj(fields)
+    }
+
+    #[test]
+    fn check_trajectory_gates_regressions_per_runner() {
+        let suffixes = &["ms_per_row"];
+        // Fewer than two records: nothing to compare.
+        assert_eq!(check_trajectory(&[], suffixes, 40.0), Ok(None));
+        assert_eq!(
+            check_trajectory(&[record("a", Some("ci"), 1.0)], suffixes, 40.0),
+            Ok(None)
+        );
+        // Within tolerance (+20% < +40%): passes and reports the baseline.
+        let ok = check_trajectory(
+            &[record("a", Some("ci"), 1.0), record("b", Some("ci"), 1.2)],
+            suffixes,
+            40.0,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(ok.contains("1 tracked metric"), "{ok}");
+        assert!(ok.contains("of a on ci"), "{ok}");
+        // Beyond tolerance: fails with the offending metric named.
+        let err = check_trajectory(
+            &[record("a", Some("ci"), 1.0), record("b", Some("ci"), 1.5)],
+            suffixes,
+            40.0,
+        )
+        .unwrap_err();
+        assert!(err.contains("soa_ms_per_row"), "{err}");
+        assert!(err.contains("+50.0%"), "{err}");
+        // Untracked leaves (rows) are ignored even when they jump.
+        assert!(check_trajectory(
+            &[record("a", Some("ci"), 1.0), record("b", Some("ci"), 1.0)],
+            &["nothing_matches"],
+            0.0,
+        )
+        .unwrap()
+        .unwrap()
+        .contains("0 tracked"));
+        // A different runner class is never used as baseline; the most
+        // recent *matching* one is.
+        let mixed = [
+            record("a", Some("ci"), 1.0),
+            record("b", Some("laptop"), 0.1),
+            record("c", Some("ci"), 1.3),
+        ];
+        let ok = check_trajectory(&mixed, suffixes, 40.0).unwrap().unwrap();
+        assert!(ok.contains("of a on ci"), "{ok}");
+        // Untagged history never matches a tagged record (and vice versa).
+        assert_eq!(
+            check_trajectory(
+                &[record("a", None, 1.0), record("b", Some("ci"), 99.0)],
+                suffixes,
+                40.0
+            ),
+            Ok(None)
+        );
+        // Faster is always fine.
+        assert!(check_trajectory(
+            &[record("a", Some("ci"), 1.0), record("b", Some("ci"), 0.2)],
+            suffixes,
+            0.0,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn appended_records_carry_the_runner_class() {
+        let dir = std::env::temp_dir().join(format!("nde_traj_runner_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_runner.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        let records = append_trajectory(path, &Point { ms: 1.0, rows: 1 }).unwrap();
+        assert_eq!(
+            records[0].get("runner").and_then(Json::as_str),
+            Some(runner_class().as_str())
+        );
+        assert!(!runner_class().is_empty());
         let _ = std::fs::remove_file(path);
     }
 

@@ -235,6 +235,7 @@ pub fn zorro_config() -> ZorroConfig {
         learning_rate: 0.05,
         l2: 1e-3,
         divergence_threshold: 1e9,
+        threads: 1,
     }
 }
 

@@ -172,6 +172,33 @@ where
     par_map_indexed_scratch(threads, range, stop, || (), |(), i| f(i))
 }
 
+/// Fixed-shape pairwise tree reduction.
+///
+/// Combines adjacent pairs `(0,1), (2,3), …` repeatedly until one value
+/// remains; an odd trailing item is carried to the next round unchanged.
+/// The association shape depends **only on the item count**, never on the
+/// thread count that produced the items or on timing, which is what makes
+/// a chunk-parallel floating-point accumulation bit-identical at every
+/// thread count: compute per-chunk partials (deterministic per chunk),
+/// sort them by index ([`par_map_indexed`] already does), then fold them
+/// through this one canonical tree.
+///
+/// Returns `None` for an empty input.
+pub fn tree_reduce<T>(mut items: Vec<T>, mut combine: impl FnMut(T, T) -> T) -> Option<T> {
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop()
+}
+
 /// Stringify a panic payload (the common `&str` / `String` cases).
 pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
@@ -383,6 +410,24 @@ mod tests {
         let stop = AtomicBool::new(true);
         let out = par_map_indexed::<u64, (), _>(4, 0..1000, &stop, Ok).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tree_reduce_shape_is_fixed_by_item_count() {
+        assert_eq!(tree_reduce(Vec::<u64>::new(), |a, b| a + b), None);
+        assert_eq!(tree_reduce(vec![7u64], |a, b| a + b), Some(7));
+        // Record the association shape symbolically: 5 items reduce as
+        // (((0+1)+(2+3))+4) regardless of how they were produced.
+        let shape = tree_reduce((0..5).map(|i| i.to_string()).collect(), |a, b| {
+            format!("({a}+{b})")
+        })
+        .unwrap();
+        assert_eq!(shape, "(((0+1)+(2+3))+4)");
+        // And sums still come out right at assorted counts.
+        for n in [1u64, 2, 3, 4, 6, 17, 64, 100] {
+            let total = tree_reduce((0..n).collect(), |a, b| a + b).unwrap();
+            assert_eq!(total, n * (n - 1) / 2, "n={n}");
+        }
     }
 
     #[test]

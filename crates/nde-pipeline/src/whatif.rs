@@ -89,35 +89,63 @@ pub fn predict_deletions_batch(
     lineage: &Lineage,
     deletions: &[Vec<TupleId>],
 ) -> Vec<DeletionEffect> {
-    let mut effects = Vec::with_capacity(deletions.len());
-    for chunk in deletions.chunks(64) {
-        // dead_mask[t] bit j set = tuple t is deleted in scenario j.
-        let mut dead_mask: FxHashMap<TupleId, u64> = FxHashMap::default();
-        for (j, set) in chunk.iter().enumerate() {
-            for t in set {
-                *dead_mask.entry(*t).or_insert(0) |= 1u64 << j;
-            }
-        }
-        let lanes = lineage
-            .arena
-            .eval_bool_lanes(&|t| !dead_mask.get(&t).copied().unwrap_or(0));
-        for (j, _) in chunk.iter().enumerate() {
-            let mut surviving_rows = Vec::new();
-            let mut deleted_rows = Vec::new();
-            for (row, id) in lineage.rows.iter().enumerate() {
-                if (lanes[id.index()] >> j) & 1 == 1 {
-                    surviving_rows.push(row);
-                } else {
-                    deleted_rows.push(row);
+    predict_deletions_batch_threaded(lineage, deletions, 1)
+}
+
+/// [`predict_deletions_batch`] with the 64-lane chunks spread over
+/// `threads` workers. Chunks are fully independent arena passes and
+/// results come back sorted by chunk index, so the output is bit-identical
+/// at every thread count (including 1, which runs inline).
+pub fn predict_deletions_batch_threaded(
+    lineage: &Lineage,
+    deletions: &[Vec<TupleId>],
+    threads: usize,
+) -> Vec<DeletionEffect> {
+    use nde_data::par::{effective_threads, par_map_indexed, WorkerFailure};
+    use std::sync::atomic::AtomicBool;
+
+    let chunks: Vec<&[Vec<TupleId>]> = deletions.chunks(64).collect();
+    let stop = AtomicBool::new(false);
+    let per_chunk = par_map_indexed::<Vec<DeletionEffect>, (), _>(
+        effective_threads(threads, chunks.len()),
+        0..chunks.len() as u64,
+        &stop,
+        |i| {
+            let chunk = chunks[i as usize];
+            // dead_mask[t] bit j set = tuple t is deleted in scenario j.
+            let mut dead_mask: FxHashMap<TupleId, u64> = FxHashMap::default();
+            for (j, set) in chunk.iter().enumerate() {
+                for t in set {
+                    *dead_mask.entry(*t).or_insert(0) |= 1u64 << j;
                 }
             }
-            effects.push(DeletionEffect {
-                surviving_rows,
-                deleted_rows,
-            });
-        }
-    }
-    effects
+            let lanes = lineage
+                .arena
+                .eval_bool_lanes(&|t| !dead_mask.get(&t).copied().unwrap_or(0));
+            let mut effects = Vec::with_capacity(chunk.len());
+            for (j, _) in chunk.iter().enumerate() {
+                let mut surviving_rows = Vec::new();
+                let mut deleted_rows = Vec::new();
+                for (row, id) in lineage.rows.iter().enumerate() {
+                    if (lanes[id.index()] >> j) & 1 == 1 {
+                        surviving_rows.push(row);
+                    } else {
+                        deleted_rows.push(row);
+                    }
+                }
+                effects.push(DeletionEffect {
+                    surviving_rows,
+                    deleted_rows,
+                });
+            }
+            Ok(effects)
+        },
+    )
+    .unwrap_or_else(|fail| match fail {
+        WorkerFailure::Err(..) => unreachable!("chunk evaluation is infallible"),
+        WorkerFailure::Panic(i, msg) => panic!("what-if worker panicked at chunk {i}: {msg}"),
+    });
+    per_chunk.into_iter().flat_map(|(_, e)| e).collect()
 }
 
 /// Materialize the predicted post-deletion output table from the original

@@ -30,7 +30,7 @@
 
 pub use nde_data::par::{
     effective_threads, panic_message, par_map_indexed, par_map_indexed_scratch, subset_fingerprint,
-    subset_fingerprint_sorted, MemoCache, WorkerFailure,
+    subset_fingerprint_sorted, tree_reduce, MemoCache, WorkerFailure,
 };
 
 use crate::budget::{Exhaustion, RunBudget};

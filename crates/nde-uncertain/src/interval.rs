@@ -23,13 +23,35 @@ impl Interval {
         Interval { lo: v, hi: v }
     }
 
-    /// An interval from bounds (swaps them if given out of order).
+    /// An interval from bounds: out-of-order bounds are normalized by
+    /// swapping, NaN bounds are **rejected** with a panic.
+    ///
+    /// A NaN bound used to slip through the old swap-only normalization
+    /// (`NaN <= hi` is false, so `new(NaN, 5.0)` produced `[5.0, NaN]`) and
+    /// then silently corrupted downstream hulls — `f64::max(x, NaN)`
+    /// *ignores* the NaN, so a poisoned bound could vanish into a
+    /// plausible-looking but unsound interval. Use [`Interval::try_new`]
+    /// when the inputs are untrusted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Interval {
-        if lo <= hi {
+        Interval::try_new(lo, hi)
+            .unwrap_or_else(|| panic!("Interval::new: NaN bound (lo={lo}, hi={hi})"))
+    }
+
+    /// Fallible constructor: `None` if either bound is NaN, otherwise the
+    /// normalized (sorted-bounds) interval.
+    pub fn try_new(lo: f64, hi: f64) -> Option<Interval> {
+        if lo.is_nan() || hi.is_nan() {
+            return None;
+        }
+        Some(if lo <= hi {
             Interval { lo, hi }
         } else {
             Interval { lo: hi, hi: lo }
-        }
+        })
     }
 
     /// Width `hi − lo`.
@@ -165,6 +187,30 @@ mod tests {
         assert!(Interval::point(5.0).is_point());
         assert_eq!(i.abs_max(), 3.0);
         assert_eq!(Interval::new(-4.0, 2.0).abs_max(), 4.0);
+    }
+
+    #[test]
+    fn try_new_normalizes_and_rejects_nan() {
+        assert_eq!(Interval::try_new(3.0, 1.0), Some(Interval::new(1.0, 3.0)));
+        assert_eq!(Interval::try_new(1.0, 1.0), Some(Interval::point(1.0)));
+        assert_eq!(Interval::try_new(f64::NAN, 1.0), None);
+        assert_eq!(Interval::try_new(1.0, f64::NAN), None);
+        assert_eq!(Interval::try_new(f64::NAN, f64::NAN), None);
+        // Infinities are legal bounds (e.g. an unconstrained domain).
+        let inf = Interval::try_new(f64::INFINITY, f64::NEG_INFINITY).unwrap();
+        assert_eq!((inf.lo, inf.hi), (f64::NEG_INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN bound")]
+    fn new_rejects_nan_lo() {
+        let _ = Interval::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN bound")]
+    fn new_rejects_nan_hi() {
+        let _ = Interval::new(0.0, f64::NAN);
     }
 
     #[test]

@@ -15,19 +15,25 @@
 //! * [`multiplicity`] — the dataset-multiplicity problem for uncertain
 //!   labels (Meyer et al., FAccT'23);
 //! * [`worlds`] — possible-worlds sampling and robust (abstaining)
-//!   aggregation.
+//!   aggregation;
+//! * [`soa`] — structure-of-arrays interval kernels (`lo`/`hi` planes,
+//!   fused dot/axpy/distance-bound loops), the engine behind the Zorro and
+//!   certain-KNN hot paths. The scalar [`Interval`] paths survive as the
+//!   cross-checked reference representation.
 
 pub mod certain_knn;
 pub mod certain_models;
 pub mod error;
 pub mod interval;
 pub mod multiplicity;
+pub mod soa;
 pub mod symbolic;
 pub mod worlds;
 pub mod zorro;
 
 pub use error::UncertainError;
 pub use interval::Interval;
+pub use soa::{IntervalMatrix, IntervalVec};
 pub use symbolic::SymbolicMatrix;
 
 /// Convenience result alias for this crate.

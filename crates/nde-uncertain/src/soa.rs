@@ -1,0 +1,367 @@
+//! Structure-of-arrays interval kernels: the Learn pillar's hot-path
+//! engine.
+//!
+//! [`Interval`] is a fine abstraction for building symbolic computations,
+//! but an array-of-structs `Vec<Vec<Interval>>` matrix interleaves `lo` and
+//! `hi` in memory and hides the loops behind per-row `Vec` indirection, so
+//! the optimizer cannot vectorize the epoch loops of
+//! [`crate::zorro::ZorroRegressor`] or the distance scans of
+//! [`crate::certain_knn`]. This module stores the same data as two
+//! contiguous planes — [`IntervalVec`] / [`IntervalMatrix`] hold all the
+//! `lo` bounds in one slice and all the `hi` bounds in another — and
+//! provides fused kernels ([`dot`], [`axpy`], [`sq_dist_bounds`],
+//! [`sq_dist_bounds_pruned`]) written as straight-line loops over those
+//! planes.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel performs **exactly the floating-point operations, in
+//! exactly the order**, of the equivalent scalar [`Interval`] expression
+//! (`interval_dot`, `acc + a * x`, `(iv - point(q)).square()` folds). Only
+//! the memory layout changes, so results are bit-identical to the AoS
+//! reference path — the property tests in `tests/tests/uncertain_soa.rs`
+//! assert this across random matrices, and the reference implementations
+//! stay in the tree as the cross-check (the same pattern the provenance
+//! arena uses with the recursive `ProvExpr`).
+
+use crate::interval::Interval;
+use crate::symbolic::SymbolicMatrix;
+
+/// A vector of intervals stored as two contiguous planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalVec {
+    /// Lower bounds.
+    pub lo: Vec<f64>,
+    /// Upper bounds.
+    pub hi: Vec<f64>,
+}
+
+impl IntervalVec {
+    /// `n` point-zero intervals.
+    pub fn zeros(n: usize) -> IntervalVec {
+        IntervalVec {
+            lo: vec![0.0; n],
+            hi: vec![0.0; n],
+        }
+    }
+
+    /// Split an AoS interval slice into planes.
+    pub fn from_intervals(ivs: &[Interval]) -> IntervalVec {
+        IntervalVec {
+            lo: ivs.iter().map(|i| i.lo).collect(),
+            hi: ivs.iter().map(|i| i.hi).collect(),
+        }
+    }
+
+    /// Materialize the AoS representation.
+    pub fn to_intervals(&self) -> Vec<Interval> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&lo, &hi)| Interval { lo, hi })
+            .collect()
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// `true` if the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// The `i`-th interval.
+    pub fn get(&self, i: usize) -> Interval {
+        Interval {
+            lo: self.lo[i],
+            hi: self.hi[i],
+        }
+    }
+
+    /// Overwrite the `i`-th interval.
+    pub fn set(&mut self, i: usize, iv: Interval) {
+        self.lo[i] = iv.lo;
+        self.hi[i] = iv.hi;
+    }
+
+    /// Reset every element to the point-zero interval.
+    pub fn clear_to_zero(&mut self) {
+        self.lo.iter_mut().for_each(|v| *v = 0.0);
+        self.hi.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// A row-major matrix of intervals stored as two contiguous planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalMatrix {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl IntervalMatrix {
+    /// Re-lay a [`SymbolicMatrix`] (AoS rows) into separate planes. Cell
+    /// order is row-major, matching `SymbolicMatrix::iter_rows`.
+    pub fn from_symbolic(x: &SymbolicMatrix) -> IntervalMatrix {
+        let (rows, cols) = (x.len(), x.cols());
+        let mut lo = Vec::with_capacity(rows * cols);
+        let mut hi = Vec::with_capacity(rows * cols);
+        for row in x.iter_rows() {
+            for iv in row {
+                lo.push(iv.lo);
+                hi.push(iv.hi);
+            }
+        }
+        IntervalMatrix { lo, hi, rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Lower-bound plane of row `r`.
+    pub fn row_lo(&self, r: usize) -> &[f64] {
+        &self.lo[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Upper-bound plane of row `r`.
+    pub fn row_hi(&self, r: usize) -> &[f64] {
+        &self.hi[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The interval at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> Interval {
+        Interval {
+            lo: self.lo[r * self.cols + c],
+            hi: self.hi[r * self.cols + c],
+        }
+    }
+}
+
+/// Product bounds of `[a_lo, a_hi] * [b_lo, b_hi]`, with the exact
+/// candidate fold order of `Interval::mul`.
+#[inline]
+fn mul_bounds(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> (f64, f64) {
+    let c0 = a_lo * b_lo;
+    let c1 = a_lo * b_hi;
+    let c2 = a_hi * b_lo;
+    let c3 = a_hi * b_hi;
+    (c0.min(c1).min(c2).min(c3), c0.max(c1).max(c2).max(c3))
+}
+
+/// Fused interval dot product `Σ_j w_j · x_j` over planes: bit-identical to
+/// `interval_dot` on the AoS representation (same per-element candidate
+/// folds, same left-to-right accumulation).
+#[inline]
+pub fn dot(w_lo: &[f64], w_hi: &[f64], x_lo: &[f64], x_hi: &[f64]) -> (f64, f64) {
+    debug_assert!(w_lo.len() == x_lo.len() && w_hi.len() == x_hi.len());
+    let mut acc_lo = 0.0;
+    let mut acc_hi = 0.0;
+    for j in 0..w_lo.len() {
+        let (p_lo, p_hi) = mul_bounds(w_lo[j], w_hi[j], x_lo[j], x_hi[j]);
+        acc_lo += p_lo;
+        acc_hi += p_hi;
+    }
+    (acc_lo, acc_hi)
+}
+
+/// Fused interval axpy `y_j += a · x_j` (scalar interval `a`, vector `x`),
+/// the Zorro gradient-accumulate kernel: bit-identical to
+/// `y[j] = y[j] + a * x[j]` with AoS intervals.
+#[inline]
+pub fn axpy(a_lo: f64, a_hi: f64, x_lo: &[f64], x_hi: &[f64], y_lo: &mut [f64], y_hi: &mut [f64]) {
+    debug_assert!(x_lo.len() == y_lo.len() && x_hi.len() == y_hi.len());
+    for j in 0..x_lo.len() {
+        let (p_lo, p_hi) = mul_bounds(a_lo, a_hi, x_lo[j], x_hi[j]);
+        y_lo[j] += p_lo;
+        y_hi[j] += p_hi;
+    }
+}
+
+/// One squared-distance term `((x - q)²)` as `(lo, hi)` bounds, with the
+/// exact operation order of `(iv - Interval::point(q)).square()`.
+#[inline]
+fn sq_term(q: f64, x_lo: f64, x_hi: f64) -> (f64, f64) {
+    let d_lo = x_lo - q;
+    let d_hi = x_hi - q;
+    let a = d_lo.abs();
+    let b = d_hi.abs();
+    let aa = a * a;
+    let bb = b * b;
+    let t_hi = aa.max(bb);
+    let t_lo = if d_lo <= 0.0 && 0.0 <= d_hi {
+        0.0
+    } else {
+        aa.min(bb)
+    };
+    (t_lo, t_hi)
+}
+
+/// Squared-distance bounds between a concrete `query` and an interval row
+/// given as planes: `(lower_bound, upper_bound)` of `Σ_j (x_j − q_j)²`.
+/// Bit-identical to the AoS fold `d = d + (iv − point(q)).square()`.
+#[inline]
+pub fn sq_dist_bounds(query: &[f64], x_lo: &[f64], x_hi: &[f64]) -> (f64, f64) {
+    debug_assert!(query.len() == x_lo.len() && query.len() == x_hi.len());
+    let mut d_lo = 0.0;
+    let mut d_hi = 0.0;
+    for j in 0..query.len() {
+        let (t_lo, t_hi) = sq_term(query[j], x_lo[j], x_hi[j]);
+        d_lo += t_lo;
+        d_hi += t_hi;
+    }
+    (d_lo, d_hi)
+}
+
+/// [`sq_dist_bounds`] with candidate pruning: returns `None` as soon as the
+/// running **lower** bound strictly exceeds `cutoff` (the current best
+/// upper bound in a nearest-neighbor scan). Per-dimension terms are
+/// non-negative, so the partial lower bound is monotone and the early exit
+/// never misprunes; for rows that survive, the returned bounds are
+/// bit-identical to the unpruned kernel.
+#[inline]
+pub fn sq_dist_bounds_pruned(
+    query: &[f64],
+    x_lo: &[f64],
+    x_hi: &[f64],
+    cutoff: f64,
+) -> Option<(f64, f64)> {
+    debug_assert!(query.len() == x_lo.len() && query.len() == x_hi.len());
+    let mut d_lo = 0.0;
+    let mut d_hi = 0.0;
+    for j in 0..query.len() {
+        let (t_lo, t_hi) = sq_term(query[j], x_lo[j], x_hi[j]);
+        d_lo += t_lo;
+        d_hi += t_hi;
+        if d_lo > cutoff {
+            return None;
+        }
+    }
+    Some((d_lo, d_hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::interval_dot;
+    use nde_data::rng::{seeded, Rng};
+
+    fn random_intervals(n: usize, rng: &mut impl Rng) -> Vec<Interval> {
+        (0..n)
+            .map(|i| {
+                let a = rng.gen_range(-3.0..3.0);
+                if i % 3 == 0 {
+                    Interval::point(a)
+                } else {
+                    let w: f64 = rng.gen_range(0.0..2.0);
+                    Interval::new(a, a + w)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interval_vec_roundtrips() {
+        let mut rng = seeded(1);
+        let ivs = random_intervals(13, &mut rng);
+        let v = IntervalVec::from_intervals(&ivs);
+        assert_eq!(v.len(), 13);
+        assert!(!v.is_empty());
+        assert_eq!(v.to_intervals(), ivs);
+        assert_eq!(v.get(4), ivs[4]);
+        let mut v2 = v.clone();
+        v2.set(0, Interval::new(-9.0, 9.0));
+        assert_eq!(v2.get(0), Interval::new(-9.0, 9.0));
+        v2.clear_to_zero();
+        assert_eq!(v2, IntervalVec::zeros(13));
+    }
+
+    #[test]
+    fn interval_matrix_matches_symbolic_layout() {
+        let mut rng = seeded(2);
+        let rows: Vec<Vec<Interval>> = (0..5).map(|_| random_intervals(3, &mut rng)).collect();
+        let sym = SymbolicMatrix::from_rows(rows.clone()).unwrap();
+        let m = IntervalMatrix::from_symbolic(&sym);
+        assert_eq!((m.rows(), m.cols()), (5, 3));
+        assert!(!m.is_empty());
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &iv) in row.iter().enumerate() {
+                assert_eq!(m.get(r, c), iv);
+                assert_eq!(m.row_lo(r)[c], iv.lo);
+                assert_eq!(m.row_hi(r)[c], iv.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_kernel_is_bit_identical_to_aos_dot() {
+        let mut rng = seeded(3);
+        for n in [0usize, 1, 2, 7, 33] {
+            let a = random_intervals(n, &mut rng);
+            let b = random_intervals(n, &mut rng);
+            let (av, bv) = (
+                IntervalVec::from_intervals(&a),
+                IntervalVec::from_intervals(&b),
+            );
+            let (lo, hi) = dot(&av.lo, &av.hi, &bv.lo, &bv.hi);
+            let reference = interval_dot(&a, &b);
+            assert_eq!((lo, hi), (reference.lo, reference.hi), "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_kernel_is_bit_identical_to_aos_fold() {
+        let mut rng = seeded(4);
+        for n in [1usize, 5, 24] {
+            let a = random_intervals(1, &mut rng)[0];
+            let x = random_intervals(n, &mut rng);
+            let y0 = random_intervals(n, &mut rng);
+            // AoS reference: y[j] = y[j] + a * x[j].
+            let expect: Vec<Interval> = y0.iter().zip(&x).map(|(&y, &xi)| y + a * xi).collect();
+            let xv = IntervalVec::from_intervals(&x);
+            let mut yv = IntervalVec::from_intervals(&y0);
+            axpy(a.lo, a.hi, &xv.lo, &xv.hi, &mut yv.lo, &mut yv.hi);
+            assert_eq!(yv.to_intervals(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sq_dist_kernels_match_aos_distance_and_each_other() {
+        let mut rng = seeded(5);
+        for n in [1usize, 4, 11] {
+            let row = random_intervals(n, &mut rng);
+            let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            // AoS reference: d = Σ (iv − point(q)).square().
+            let mut reference = Interval::point(0.0);
+            for (&iv, &qj) in row.iter().zip(&q) {
+                reference = reference + (iv - Interval::point(qj)).square();
+            }
+            let rv = IntervalVec::from_intervals(&row);
+            let (lo, hi) = sq_dist_bounds(&q, &rv.lo, &rv.hi);
+            assert_eq!((lo, hi), (reference.lo, reference.hi), "n={n}");
+            // Unreachable cutoff: pruned variant returns identical bounds.
+            assert_eq!(
+                sq_dist_bounds_pruned(&q, &rv.lo, &rv.hi, f64::INFINITY),
+                Some((lo, hi))
+            );
+            // A cutoff below the final lower bound prunes the row.
+            if lo > 0.0 {
+                assert_eq!(sq_dist_bounds_pruned(&q, &rv.lo, &rv.hi, lo * 0.5), None);
+            }
+        }
+    }
+}

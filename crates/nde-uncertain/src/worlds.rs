@@ -1,6 +1,7 @@
 //! Possible-worlds sampling for missing *features*: impute, retrain,
 //! aggregate, and make robust (abstaining) predictions.
 
+use crate::soa::IntervalMatrix;
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
 use nde_data::par::{effective_threads, par_map_indexed_scratch, WorkerFailure};
@@ -94,6 +95,12 @@ where
     }
     let threads = effective_threads(threads, worlds);
     let stop = AtomicBool::new(false);
+    // Re-lay the symbolic matrix into SoA planes once, outside the world
+    // loop: every world then samples from two contiguous slices per row
+    // instead of chasing per-row `Vec<Interval>` pointers. Cell order (and
+    // hence the per-world RNG stream) is unchanged — row-major, one draw
+    // per non-point cell.
+    let planes = IntervalMatrix::from_symbolic(train_x);
     let per_world = par_map_indexed_scratch(
         threads,
         0..worlds as u64,
@@ -101,12 +108,13 @@ where
         || Matrix::zeros(train_x.len(), train_x.cols()),
         |world_x, w| {
             let mut rng = seeded(child_seed(seed, w));
-            for (r, row) in train_x.iter_rows().enumerate() {
-                for (c, iv) in row.iter().enumerate() {
-                    let v = if iv.is_point() {
-                        iv.lo
+            for r in 0..planes.rows() {
+                let (lo, hi) = (planes.row_lo(r), planes.row_hi(r));
+                for c in 0..planes.cols() {
+                    let v = if lo[c] == hi[c] {
+                        lo[c]
                     } else {
-                        iv.lo + rng.gen::<f64>() * iv.width()
+                        lo[c] + rng.gen::<f64>() * (hi[c] - lo[c])
                     };
                     world_x.set(r, c, v);
                 }

@@ -12,10 +12,22 @@
 //! monotonically with the amount of missingness).
 
 use crate::interval::{interval_dot, Interval};
+use crate::soa::{self, IntervalMatrix, IntervalVec};
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
+use nde_data::par::{effective_threads, par_map_indexed, tree_reduce, WorkerFailure};
 use nde_ml::linalg::Matrix;
 use nde_robust::{ConvergenceDiagnostics, RunBudget};
+use std::sync::atomic::AtomicBool;
+
+/// Rows per gradient block. Every trainer in this module — the SoA engine,
+/// the AoS reference, and the concrete GD — accumulates per-block partial
+/// gradients over blocks of exactly this many rows and folds them through
+/// the canonical [`tree_reduce`] shape. The shape depends only on the row
+/// count, so results are bit-identical at every thread count, and the three
+/// trainers stay bit-comparable to each other (point intervals degenerate
+/// to the concrete scalar computation op-for-op).
+pub const GRADIENT_BLOCK: usize = 128;
 
 /// Hyperparameters for symbolic (and matching concrete) gradient descent.
 #[derive(Debug, Clone)]
@@ -28,6 +40,9 @@ pub struct ZorroConfig {
     pub l2: f64,
     /// Abort when any weight bound exceeds this magnitude.
     pub divergence_threshold: f64,
+    /// Worker threads for the per-epoch gradient blocks. Output is
+    /// bit-identical for every value (see [`GRADIENT_BLOCK`]).
+    pub threads: usize,
 }
 
 impl Default for ZorroConfig {
@@ -37,7 +52,16 @@ impl Default for ZorroConfig {
             learning_rate: 0.1,
             l2: 1e-3,
             divergence_threshold: 1e6,
+            threads: 1,
         }
+    }
+}
+
+impl ZorroConfig {
+    /// Set the gradient worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> ZorroConfig {
+        self.threads = threads;
+        self
     }
 }
 
@@ -89,6 +113,15 @@ impl ZorroRegressor {
 
     /// [`Self::fit_uncertain`] under a [`RunBudget`].
     ///
+    /// This is the **SoA engine** path: the symbolic matrix is re-laid into
+    /// contiguous `lo`/`hi` planes once, each epoch's gradient is
+    /// accumulated per [`GRADIENT_BLOCK`]-row block with the fused
+    /// [`soa::dot`] / [`soa::axpy`] kernels — blocks run on
+    /// `config.threads` workers — and the partials fold through the
+    /// canonical [`tree_reduce`] shape, so the weights are bit-identical at
+    /// every thread count and to the AoS reference
+    /// ([`Self::fit_uncertain_reference`]).
+    ///
     /// The budget is checked at **epoch boundaries**: when it trips, training
     /// stops and the weights after the last completed epoch are kept as a
     /// best-so-far model (the returned [`ConvergenceDiagnostics`] records how
@@ -100,58 +133,65 @@ impl ZorroRegressor {
         y: &[Interval],
         budget: &RunBudget,
     ) -> Result<ConvergenceDiagnostics> {
-        if x.is_empty() {
-            return Err(UncertainError::InvalidArgument("empty training set".into()));
-        }
-        if x.len() != y.len() {
-            return Err(UncertainError::InvalidArgument(format!(
-                "{} rows but {} targets",
-                x.len(),
-                y.len()
-            )));
-        }
-        if self.config.epochs == 0 || self.config.learning_rate <= 0.0 {
-            return Err(UncertainError::InvalidArgument(
-                "epochs must be > 0 and learning_rate > 0".into(),
-            ));
-        }
+        validate_fit_args(x, y, &self.config)?;
         let n = x.len() as f64;
         let d = x.cols();
-        let mut w = vec![Interval::point(0.0); d + 1];
-        let mut grad = vec![Interval::point(0.0); d + 1];
+        let sx = IntervalMatrix::from_symbolic(x);
+        let sy = IntervalVec::from_intervals(y);
+        let mut w = IntervalVec::zeros(d + 1);
         let mut clock = budget.start();
 
         for _epoch in 0..self.config.epochs {
             if clock.exhausted().is_some() {
                 break; // keep the best-so-far weights
             }
-            for g in grad.iter_mut() {
-                *g = Interval::point(0.0);
-            }
-            for (row, &target) in x.iter_rows().zip(y) {
-                // err = w·x + b − y (all intervals).
-                let mut err = interval_dot(&w[..d], row) + w[d];
-                err = err - target;
-                for j in 0..d {
-                    grad[j] = grad[j] + err * row[j];
-                }
-                grad[d] = grad[d] + err;
-            }
-            for (j, wj) in w.iter_mut().enumerate() {
-                let mut g = grad[j].scale(1.0 / n);
-                g = g + wj.scale(self.config.l2);
-                *wj = *wj - g.scale(self.config.learning_rate);
-                if wj.abs_max() > self.config.divergence_threshold {
-                    return Err(UncertainError::Diverged(format!(
-                        "weight {j} reached magnitude {:.3e}",
-                        wj.abs_max()
-                    )));
-                }
-            }
+            let grad = epoch_gradient_soa(&sx, &sy, &w, self.config.threads)?;
+            update_weights(&mut w, &grad, n, &self.config)?;
             clock.record_iteration();
         }
-        self.weights = Some(w);
+        self.weights = Some(w.to_intervals());
         Ok(clock.diagnostics(None))
+    }
+
+    /// The AoS **reference trainer**: scalar [`Interval`] arithmetic over
+    /// the symbolic rows, sequential, but with the same
+    /// [`GRADIENT_BLOCK`]/[`tree_reduce`] accumulation shape as the SoA
+    /// engine — so its weights must be bit-identical to
+    /// [`Self::fit_uncertain_budgeted`] at every thread count. Kept (like
+    /// the provenance engine's recursive `ProvExpr`) as the cross-check
+    /// the property tests compare the optimized path against.
+    pub fn fit_uncertain_reference(&mut self, x: &SymbolicMatrix, y: &[Interval]) -> Result<()> {
+        validate_fit_args(x, y, &self.config)?;
+        let n = x.len() as f64;
+        let d = x.cols();
+        let mut w = IntervalVec::zeros(d + 1);
+
+        for _epoch in 0..self.config.epochs {
+            let partials: Vec<IntervalVec> = (0..x.len())
+                .step_by(GRADIENT_BLOCK)
+                .map(|start| {
+                    let end = (start + GRADIENT_BLOCK).min(x.len());
+                    let mut grad = vec![Interval::point(0.0); d + 1];
+                    let w_iv = w.to_intervals();
+                    #[allow(clippy::needless_range_loop)] // r indexes both x and y
+                    for r in start..end {
+                        let row = x.row(r);
+                        // err = w·x + b − y (all intervals).
+                        let mut err = interval_dot(&w_iv[..d], row) + w_iv[d];
+                        err = err - y[r];
+                        for j in 0..d {
+                            grad[j] = grad[j] + err * row[j];
+                        }
+                        grad[d] = grad[d] + err;
+                    }
+                    IntervalVec::from_intervals(&grad)
+                })
+                .collect();
+            let grad = reduce_gradients(partials, d);
+            update_weights(&mut w, &grad, n, &self.config)?;
+        }
+        self.weights = Some(w.to_intervals());
+        Ok(())
     }
 
     /// The learned weight intervals (`d + 1`, bias last), if fitted.
@@ -220,9 +260,122 @@ impl ZorroRegressor {
     }
 }
 
+fn validate_fit_args(x: &SymbolicMatrix, y: &[Interval], config: &ZorroConfig) -> Result<()> {
+    if x.is_empty() {
+        return Err(UncertainError::InvalidArgument("empty training set".into()));
+    }
+    if x.len() != y.len() {
+        return Err(UncertainError::InvalidArgument(format!(
+            "{} rows but {} targets",
+            x.len(),
+            y.len()
+        )));
+    }
+    if config.epochs == 0 || config.learning_rate <= 0.0 {
+        return Err(UncertainError::InvalidArgument(
+            "epochs must be > 0 and learning_rate > 0".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// One epoch's full gradient over the SoA planes: per-[`GRADIENT_BLOCK`]
+/// partials computed by `threads` workers, folded through the canonical
+/// [`tree_reduce`] shape.
+fn epoch_gradient_soa(
+    sx: &IntervalMatrix,
+    sy: &IntervalVec,
+    w: &IntervalVec,
+    threads: usize,
+) -> Result<IntervalVec> {
+    let rows = sx.rows();
+    let d = sx.cols();
+    let n_blocks = rows.div_ceil(GRADIENT_BLOCK);
+    let stop = AtomicBool::new(false);
+    let partials = par_map_indexed::<IntervalVec, UncertainError, _>(
+        effective_threads(threads, n_blocks),
+        0..n_blocks as u64,
+        &stop,
+        |b| {
+            let start = b as usize * GRADIENT_BLOCK;
+            let end = (start + GRADIENT_BLOCK).min(rows);
+            let mut grad = IntervalVec::zeros(d + 1);
+            for r in start..end {
+                let (x_lo, x_hi) = (sx.row_lo(r), sx.row_hi(r));
+                // err = w·x + b − y, fused over the planes in the exact
+                // operation order of the AoS reference path.
+                let (mut e_lo, mut e_hi) = soa::dot(&w.lo[..d], &w.hi[..d], x_lo, x_hi);
+                e_lo += w.lo[d];
+                e_hi += w.hi[d];
+                let err_lo = e_lo - sy.hi[r];
+                let err_hi = e_hi - sy.lo[r];
+                soa::axpy(
+                    err_lo,
+                    err_hi,
+                    x_lo,
+                    x_hi,
+                    &mut grad.lo[..d],
+                    &mut grad.hi[..d],
+                );
+                grad.lo[d] += err_lo;
+                grad.hi[d] += err_hi;
+            }
+            Ok(grad)
+        },
+    )
+    .map_err(|fail| match fail {
+        WorkerFailure::Err(_, e) => e,
+        WorkerFailure::Panic(b, msg) => panic!("gradient worker panicked at block {b}: {msg}"),
+    })?;
+    Ok(reduce_gradients(
+        partials.into_iter().map(|(_, g)| g).collect(),
+        d,
+    ))
+}
+
+/// Fold per-block partial gradients through the canonical [`tree_reduce`]
+/// shape with plane-wise adds (the same `lo + lo` / `hi + hi` as
+/// `Interval::add`, so the AoS and SoA paths reduce bit-identically).
+fn reduce_gradients(partials: Vec<IntervalVec>, d: usize) -> IntervalVec {
+    tree_reduce(partials, |mut a, b| {
+        for j in 0..=d {
+            a.lo[j] += b.lo[j];
+            a.hi[j] += b.hi[j];
+        }
+        a
+    })
+    .unwrap_or_else(|| IntervalVec::zeros(d + 1))
+}
+
+/// The per-epoch weight update shared by the SoA engine and the AoS
+/// reference: `w ← w − lr · (∇/n + l2·w)` in scalar [`Interval`] ops
+/// (d + 1 of them — never the hot path), with the divergence check.
+fn update_weights(
+    w: &mut IntervalVec,
+    grad: &IntervalVec,
+    n: f64,
+    config: &ZorroConfig,
+) -> Result<()> {
+    for j in 0..w.len() {
+        let mut g = grad.get(j).scale(1.0 / n);
+        g = g + w.get(j).scale(config.l2);
+        let wj = w.get(j) - g.scale(config.learning_rate);
+        if wj.abs_max() > config.divergence_threshold {
+            return Err(UncertainError::Diverged(format!(
+                "weight {j} reached magnitude {:.3e}",
+                wj.abs_max()
+            )));
+        }
+        w.set(j, wj);
+    }
+    Ok(())
+}
+
 /// Reference concrete trainer: identical batch GD on a concrete matrix.
 /// Any world drawn from the symbolic matrix and trained with this routine
-/// yields weights inside the symbolic weight intervals (soundness).
+/// yields weights inside the symbolic weight intervals (soundness). Uses
+/// the same [`GRADIENT_BLOCK`]/[`tree_reduce`] accumulation shape as the
+/// symbolic trainers, so point-interval symbolic runs match it bit-exactly.
 pub fn train_concrete_gd(x: &Matrix, y: &[f64], config: &ZorroConfig) -> Result<Vec<f64>> {
     if x.rows() == 0 || x.rows() != y.len() {
         return Err(UncertainError::InvalidArgument(
@@ -232,16 +385,31 @@ pub fn train_concrete_gd(x: &Matrix, y: &[f64], config: &ZorroConfig) -> Result<
     let n = x.rows() as f64;
     let d = x.cols();
     let mut w = vec![0.0; d + 1];
-    let mut grad = vec![0.0; d + 1];
     for _ in 0..config.epochs {
-        grad.iter_mut().for_each(|g| *g = 0.0);
-        for (row, &target) in x.iter_rows().zip(y) {
-            let err = row.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f64>() + w[d] - target;
-            for (g, xi) in grad.iter_mut().zip(row) {
-                *g += err * xi;
+        let partials: Vec<Vec<f64>> = (0..x.rows())
+            .step_by(GRADIENT_BLOCK)
+            .map(|start| {
+                let end = (start + GRADIENT_BLOCK).min(x.rows());
+                let mut grad = vec![0.0; d + 1];
+                #[allow(clippy::needless_range_loop)] // r indexes both x and y
+                for r in start..end {
+                    let row = x.row(r);
+                    let err = row.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f64>() + w[d] - y[r];
+                    for (g, xi) in grad.iter_mut().zip(row) {
+                        *g += err * xi;
+                    }
+                    grad[d] += err;
+                }
+                grad
+            })
+            .collect();
+        let grad = tree_reduce(partials, |mut a, b| {
+            for (ga, &gb) in a.iter_mut().zip(&b) {
+                *ga += gb;
             }
-            grad[d] += err;
-        }
+            a
+        })
+        .expect("validated non-empty");
         for (j, wj) in w.iter_mut().enumerate() {
             // `* (1.0 / n)` (not `/ n`) to match the symbolic trainer's
             // `scale(1.0 / n)` bit-for-bit on point inputs.
@@ -410,6 +578,45 @@ mod tests {
         let w = train_concrete_gd(&x, &shifted, &cfg).unwrap();
         for (iv, wc) in uncertain_model.weight_intervals().unwrap().iter().zip(&w) {
             assert!(iv.lo - 1e-9 <= *wc && *wc <= iv.hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn soa_engine_matches_aos_reference_at_every_thread_count() {
+        let (x, y) = regression_data(300, 21);
+        let bounds = column_bounds_from_observed(&x);
+        let mut rng = seeded(22);
+        let missing: Vec<(usize, usize)> = sample_indices(300, 40, &mut rng)
+            .into_iter()
+            .map(|r| (r, rng.gen_range(0..2)))
+            .collect();
+        let sym = SymbolicMatrix::from_matrix_with_missing(&x, &missing, &bounds).unwrap();
+        let targets: Vec<Interval> = y
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if i % 7 == 0 {
+                    Interval::new(v - 0.1, v + 0.1)
+                } else {
+                    Interval::point(v)
+                }
+            })
+            .collect();
+        let cfg = ZorroConfig {
+            epochs: 25,
+            ..Default::default()
+        };
+        let mut reference = ZorroRegressor::new(cfg.clone());
+        reference.fit_uncertain_reference(&sym, &targets).unwrap();
+        let expect = reference.weight_intervals().unwrap().to_vec();
+        for threads in [1usize, 2, 4, 7] {
+            let mut engine = ZorroRegressor::new(cfg.clone().with_threads(threads));
+            engine.fit_uncertain(&sym, &targets).unwrap();
+            assert_eq!(
+                engine.weight_intervals().unwrap(),
+                &expect[..],
+                "threads={threads}"
+            );
         }
     }
 

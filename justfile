@@ -24,9 +24,18 @@ bench-batch:
 # last-vs-previous delta when history exists).
 bench-pipeline:
     cargo build --release --offline -p nde-bench --bin exp_pipeline_scaling
-    ./target/release/exp_pipeline_scaling --smoke --threads=1,4
+    ./target/release/exp_pipeline_scaling --smoke --threads=1,4 --check=40
     grep -q '"end_to_end_speedup"' BENCH_pipeline.json
     grep -q '"git_commit"' BENCH_pipeline.json
+
+# Learn-pillar engine smoke: SoA interval kernels vs the AoS reference
+# (Zorro fit, certain-KNN, possible worlds), appended to the
+# BENCH_uncertain.json trajectory with the regression gate armed.
+bench-uncertain:
+    cargo build --release --offline -p nde-bench --bin exp_uncertain_scaling
+    ./target/release/exp_uncertain_scaling --smoke --threads=1,4 --check=40
+    grep -q '"end_to_end_speedup"' BENCH_uncertain.json
+    grep -q '"runner"' BENCH_uncertain.json
 
 # Format and lint.
 lint:

@@ -10,7 +10,9 @@ use nde_pipeline::exec::Executor;
 use nde_pipeline::expr::Expr;
 use nde_pipeline::plan::{JoinType, Plan};
 use nde_pipeline::semiring::{BoolSemiring, CountSemiring};
-use nde_pipeline::whatif::{predict_deletion, predict_deletions_batch};
+use nde_pipeline::whatif::{
+    predict_deletion, predict_deletions_batch, predict_deletions_batch_threaded,
+};
 use nde_pipeline::{ProvExpr, TupleId};
 
 /// The Fig. 3 hiring pipeline with provenance, at a given thread count.
@@ -102,6 +104,32 @@ fn batched_deletion_prediction_matches_single_scenario_path() {
             assert!(batch[k].deleted_rows.is_empty());
             assert_eq!(batch[k].loss_fraction(), 0.0);
         }
+    }
+}
+
+#[test]
+fn threaded_deletion_batch_is_thread_invariant() {
+    // 300 scenarios = 5 bitset chunks: enough for the chunk-parallel path
+    // to actually interleave workers, and the effects must still come back
+    // in scenario order, bit-identical at every thread count.
+    let (_, lineage) = run_hiring(300, 2);
+    let src = lineage.source_index("train_df").expect("primary source");
+    let sets: Vec<Vec<TupleId>> = (0..300)
+        .map(|k| {
+            (0..300u32)
+                .filter(|r| (*r as usize + k).is_multiple_of(29))
+                .map(|r| TupleId::new(src, r))
+                .collect()
+        })
+        .collect();
+    let base = predict_deletions_batch(&lineage, &sets);
+    assert_eq!(base.len(), sets.len());
+    for threads in [1usize, 2, 4, 7] {
+        assert_eq!(
+            predict_deletions_batch_threaded(&lineage, &sets, threads),
+            base,
+            "threads={threads}"
+        );
     }
 }
 
