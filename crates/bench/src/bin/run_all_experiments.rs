@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E14) back to back; used to regenerate
+//! Run every experiment (E1–E15) back to back; used to regenerate
 //! EXPERIMENTS.md numbers in one go. Prefer `--release`.
 use std::process::Command;
 
@@ -19,6 +19,7 @@ fn main() {
         "exp_ablations",
         "exp_pipeline_scaling",
         "exp_uncertain_scaling",
+        "exp_durability",
     ];
     let me = std::env::current_exe().expect("current exe resolvable");
     let dir = me.parent().expect("exe has a parent dir");

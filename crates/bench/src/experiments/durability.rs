@@ -1,0 +1,345 @@
+//! E15 — durability: what crash-safety costs and what recovery buys.
+//!
+//! * **Checkpoint overhead** — the same TMC-Shapley sweep with and without
+//!   a durable [`RunStore`], across checkpoint intervals: total wall-clock
+//!   overhead, records written, and ms per checkpoint save. Store-backed
+//!   runs must stay **bit-identical** to plain ones (asserted per cell) —
+//!   the overhead buys durability, never a different answer.
+//! * **Crash recovery** — a store-backed run is cut partway (the process
+//!   "dies"), then a fresh process re-opens the store and resumes to
+//!   completion. Measured both with intact records and with the newest
+//!   record torn mid-write (recovery falls back one checkpoint interval).
+//!   Recovered scores are asserted bit-identical to an uninterrupted run.
+
+use nde::importance::{banzhaf, tmc_shapley, BanzhafParams, ImportanceRun, TmcParams};
+use nde::robust::chaos::truncate_record;
+use nde::robust::{RunBudget, RunStore};
+use nde::NdeError;
+use nde_data::generate::blobs::two_gaussians;
+use nde_importance::ImportanceError;
+use nde_ml::dataset::Dataset;
+use nde_ml::models::knn::KnnClassifier;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Checkpoint-overhead timing at one checkpoint interval.
+#[derive(Debug, Clone)]
+pub struct OverheadPoint {
+    /// Permutations between checkpoint saves.
+    pub every: usize,
+    /// Best-of-`reps` ms without a store.
+    pub plain_ms: f64,
+    /// Best-of-`reps` ms with a store and auto-checkpointing.
+    pub durable_ms: f64,
+    /// `(durable_ms - plain_ms) / plain_ms * 100`.
+    pub overhead_pct: f64,
+    /// Checkpoint records written per run.
+    pub checkpoints: usize,
+    /// Overhead per checkpoint save (ms).
+    pub save_ms: f64,
+}
+
+nde_data::json_struct!(OverheadPoint {
+    every,
+    plain_ms,
+    durable_ms,
+    overhead_pct,
+    checkpoints,
+    save_ms
+});
+
+/// Crash-recovery timing for one estimator.
+#[derive(Debug, Clone)]
+pub struct RecoveryPoint {
+    /// Estimator ("tmc-shapley" or "banzhaf").
+    pub method: String,
+    /// Whether the newest record was torn before recovery.
+    pub torn: bool,
+    /// Step the crash cut the run at.
+    pub cut_step: usize,
+    /// Total steps of the full run.
+    pub total_steps: usize,
+    /// Step recovery actually resumed from (one interval earlier when the
+    /// newest record is torn).
+    pub resumed_from: usize,
+    /// Best-of-`reps` ms to re-open the store and finish the run.
+    pub recover_ms: f64,
+    /// Best-of-`reps` ms of the uninterrupted run (no store) — recovery
+    /// repeats only the lost tail, so this is the ceiling.
+    pub full_ms: f64,
+}
+
+nde_data::json_struct!(RecoveryPoint {
+    method,
+    torn,
+    cut_step,
+    total_steps,
+    resumed_from,
+    recover_ms,
+    full_ms
+});
+
+/// Report for E15.
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    /// Training rows.
+    pub rows: usize,
+    /// TMC permutations (= checkpointable steps).
+    pub permutations: usize,
+    /// Repetitions per cell (best-of).
+    pub reps: usize,
+    /// One point per checkpoint interval.
+    pub overhead: Vec<OverheadPoint>,
+    /// Recovery timings (clean and torn, per estimator).
+    pub recovery: Vec<RecoveryPoint>,
+}
+
+nde_data::json_struct!(DurabilityReport {
+    rows,
+    permutations,
+    reps,
+    overhead,
+    recovery
+});
+
+fn split(rows: usize, seed: u64) -> (Dataset, Dataset) {
+    let n_valid = (rows / 4).max(8);
+    let nd = two_gaussians(rows + n_valid, 3, 1.5, seed);
+    let all = Dataset::try_from(&nd).expect("finite blobs");
+    (
+        all.subset(&(0..rows).collect::<Vec<_>>()),
+        all.subset(&(rows..rows + n_valid).collect::<Vec<_>>()),
+    )
+}
+
+fn fresh_store(dir: &PathBuf) -> Result<RunStore, NdeError> {
+    std::fs::remove_dir_all(dir).ok();
+    Ok(RunStore::open(dir).map_err(ImportanceError::from)?)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: value {i} differs");
+    }
+}
+
+/// Run E15: checkpoint overhead across `intervals`, then crash recovery
+/// (clean and torn) for TMC-Shapley and Banzhaf.
+pub fn run(
+    rows: usize,
+    permutations: usize,
+    intervals: &[usize],
+    reps: usize,
+    seed: u64,
+) -> Result<DurabilityReport, NdeError> {
+    assert!(rows >= 16 && permutations >= 4 && !intervals.is_empty() && reps >= 1);
+    let (train, valid) = split(rows, seed);
+    let knn = KnnClassifier::new(3);
+    let tmc_params = TmcParams {
+        permutations,
+        truncation_tolerance: 0.0,
+    };
+    let store_dir = std::env::temp_dir().join(format!("nde-bench-durable-{}", std::process::id()));
+    let best_of = |f: &mut dyn FnMut() -> Result<Vec<f64>, NdeError>| {
+        let mut best = f64::INFINITY;
+        let mut scores = Vec::new();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            scores = f()?;
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        Ok::<_, NdeError>((best, scores))
+    };
+
+    // --- checkpoint overhead ---
+    let (plain_ms, reference) = best_of(&mut || {
+        Ok(
+            tmc_shapley(&ImportanceRun::new(seed), &knn, &train, &valid, &tmc_params)?
+                .scores
+                .values,
+        )
+    })?;
+    let mut overhead = Vec::new();
+    for &every in intervals {
+        let mut checkpoints = 0usize;
+        let (durable_ms, durable_scores) = best_of(&mut || {
+            // A fresh store per rep: a leftover completed record would turn
+            // the timed run into a no-op resume.
+            let store = fresh_store(&store_dir)?;
+            let out = tmc_shapley(
+                &ImportanceRun::new(seed)
+                    .with_store(&store)
+                    .with_auto_checkpoint(every as u64),
+                &knn,
+                &train,
+                &valid,
+                &tmc_params,
+            )?;
+            let fp = out
+                .report
+                .fingerprint
+                .clone()
+                .expect("store runs report it");
+            checkpoints = store
+                .record_paths(&fp)
+                .map_err(ImportanceError::from)?
+                .len();
+            Ok(out.scores.values)
+        })?;
+        assert_bits_eq(
+            &durable_scores,
+            &reference,
+            "store-backed TMC must match plain",
+        );
+        overhead.push(OverheadPoint {
+            every,
+            plain_ms,
+            durable_ms,
+            overhead_pct: (durable_ms - plain_ms) / plain_ms.max(1e-9) * 100.0,
+            checkpoints,
+            save_ms: (durable_ms - plain_ms) / checkpoints.max(1) as f64,
+        });
+    }
+
+    // --- crash recovery ---
+    let banzhaf_params = BanzhafParams {
+        samples: permutations,
+    };
+    let (banzhaf_full_ms, banzhaf_reference) = best_of(&mut || {
+        Ok(banzhaf(
+            &ImportanceRun::new(seed),
+            &knn,
+            &train,
+            &valid,
+            &banzhaf_params,
+        )?
+        .scores
+        .values)
+    })?;
+    let every = *intervals.first().unwrap();
+    let cut = ((permutations / 2) / every.max(1)).max(1) * every;
+    let mut recovery = Vec::new();
+    for method in ["tmc-shapley", "banzhaf"] {
+        for torn in [false, true] {
+            let mut resumed_from = 0usize;
+            let mut recover_ms = f64::INFINITY;
+            let mut scores = Vec::new();
+            for _ in 0..reps {
+                // Untimed crash phase: run to `cut`, then "die"; optionally
+                // tear the newest record mid-write.
+                let store = fresh_store(&store_dir)?;
+                let opts = || {
+                    ImportanceRun::new(seed)
+                        .with_store(&store)
+                        .with_auto_checkpoint(every as u64)
+                };
+                let budget = RunBudget::unlimited().with_max_iterations(cut as u64);
+                let fp = match method {
+                    "tmc-shapley" => {
+                        tmc_shapley(
+                            &opts().with_budget(budget),
+                            &knn,
+                            &train,
+                            &valid,
+                            &tmc_params,
+                        )?
+                        .report
+                        .fingerprint
+                    }
+                    _ => {
+                        banzhaf(
+                            &opts().with_budget(budget),
+                            &knn,
+                            &train,
+                            &valid,
+                            &banzhaf_params,
+                        )?
+                        .report
+                        .fingerprint
+                    }
+                }
+                .expect("store runs report it");
+                if torn {
+                    let records = store.record_paths(&fp).map_err(ImportanceError::from)?;
+                    let (_, newest) = records.last().expect("cut run left records");
+                    let half = std::fs::metadata(newest)
+                        .map(|m| m.len() as usize / 2)
+                        .unwrap_or(0);
+                    truncate_record(newest, half).map_err(ImportanceError::from)?;
+                }
+                resumed_from = store
+                    .latest_valid(&fp)
+                    .map_err(ImportanceError::from)?
+                    .map_or(0, |r| r.step as usize);
+
+                // Timed recovery: a "fresh process" re-opens the store and
+                // auto-resumes to completion.
+                let t0 = Instant::now();
+                let reopened = RunStore::open(&store_dir).map_err(ImportanceError::from)?;
+                let out = match method {
+                    "tmc-shapley" => tmc_shapley(
+                        &ImportanceRun::new(seed).with_store(&reopened),
+                        &knn,
+                        &train,
+                        &valid,
+                        &tmc_params,
+                    )?,
+                    _ => banzhaf(
+                        &ImportanceRun::new(seed).with_store(&reopened),
+                        &knn,
+                        &train,
+                        &valid,
+                        &banzhaf_params,
+                    )?,
+                };
+                recover_ms = recover_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                scores = out.scores.values;
+            }
+            let (reference, full_ms) = match method {
+                "tmc-shapley" => (&reference, plain_ms),
+                _ => (&banzhaf_reference, banzhaf_full_ms),
+            };
+            assert_bits_eq(&scores, reference, "recovered scores must match uncut run");
+            let expected_resume = if torn { cut - every } else { cut };
+            assert_eq!(resumed_from, expected_resume, "{method} torn={torn}");
+            recovery.push(RecoveryPoint {
+                method: method.to_string(),
+                torn,
+                cut_step: cut,
+                total_steps: permutations,
+                resumed_from,
+                recover_ms,
+                full_ms,
+            });
+        }
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    Ok(DurabilityReport {
+        rows,
+        permutations,
+        reps,
+        overhead,
+        recovery,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_and_recovery_are_recorded_and_bit_identical() {
+        let r = run(60, 8, &[2, 4], 1, 33).unwrap();
+        assert_eq!(r.overhead.len(), 2);
+        assert_eq!(r.overhead[0].checkpoints, 4);
+        assert_eq!(r.overhead[1].checkpoints, 2);
+        assert_eq!(r.recovery.len(), 4);
+        for p in &r.recovery {
+            assert_eq!(p.cut_step, 4);
+            assert_eq!(p.resumed_from, if p.torn { 2 } else { 4 }, "{p:?}");
+            assert!(p.recover_ms > 0.0);
+        }
+    }
+}

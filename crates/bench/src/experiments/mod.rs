@@ -1,9 +1,10 @@
-//! One module per experiment in the DESIGN.md index (E1–E14).
+//! One module per experiment in the DESIGN.md index (E1–E15).
 
 pub mod ablations;
 pub mod certain_models;
 pub mod certain_predictions;
 pub mod cleaning;
+pub mod durability;
 pub mod fig1_metrics;
 pub mod fig2_identify;
 pub mod fig3_pipeline;

@@ -35,6 +35,10 @@ pub enum CleaningError {
         /// The last underlying error, rendered.
         last: String,
     },
+    /// A checkpoint did not match the run it was resumed into.
+    Checkpoint(String),
+    /// A durable run-store operation failed (filesystem or record layer).
+    Store(String),
 }
 
 impl fmt::Display for CleaningError {
@@ -57,6 +61,18 @@ impl fmt::Display for CleaningError {
                     "cleaning oracle failed after {attempts} attempts: {last}"
                 )
             }
+            CleaningError::Checkpoint(m) => write!(f, "checkpoint mismatch: {m}"),
+            CleaningError::Store(m) => write!(f, "durable store error: {m}"),
+        }
+    }
+}
+
+impl From<nde_robust::RobustError> for CleaningError {
+    fn from(e: nde_robust::RobustError) -> Self {
+        match e {
+            nde_robust::RobustError::Checkpoint(m) => CleaningError::Checkpoint(m),
+            nde_robust::RobustError::InvalidArgument(m) => CleaningError::InvalidArgument(m),
+            e => CleaningError::Store(e.to_string()),
         }
     }
 }

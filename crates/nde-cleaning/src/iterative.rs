@@ -9,6 +9,7 @@
 use crate::oracle::{CleaningOracle, LabelOracle};
 use crate::strategy::Strategy;
 use crate::{CleaningError, Result};
+use nde_data::json::{Json, ToJson};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
 use nde_robust::{retry_with_backoff, ConvergenceDiagnostics, RetryPolicy, RunBudget};
@@ -37,6 +38,202 @@ impl CleaningRun {
     /// [`CleaningRun::dirty_accuracy`]).
     pub fn final_accuracy(&self) -> f64 {
         self.accuracy.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// Durable snapshot of an interrupted cleaning loop, at **accepted-fix
+/// granularity**: every completed round's repairs, trace entries, and the
+/// cleaning order are captured, so
+/// [`prioritized_cleaning_resumable`] continues with the next round exactly
+/// as if the run had never stopped. The order must be persisted — with
+/// `rescore = false` it was ranked on the *initial* dirty data, which no
+/// longer exists once repairs have been applied in place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleaningCheckpoint {
+    /// Name of the strategy that wrote the snapshot.
+    pub strategy: String,
+    /// Completed cleaning rounds (budget iterations).
+    pub rounds_done: u64,
+    /// Cumulative logical utility calls (baseline + one per round).
+    pub utility_calls: u64,
+    /// Oracle retries performed beyond first attempts.
+    pub oracle_retries: u64,
+    /// The working labels, with every accepted fix applied.
+    pub y: Vec<usize>,
+    /// Which rows have been sent to the oracle.
+    pub cleaned_set: Vec<bool>,
+    /// The cleaning order being consumed (front to back).
+    pub order: Vec<usize>,
+    /// Trace: cumulative rows cleaned after each round (starts at 0).
+    pub cleaned: Vec<usize>,
+    /// Trace: validation accuracy after each round.
+    pub accuracy: Vec<f64>,
+}
+
+impl CleaningCheckpoint {
+    /// Internal consistency: aligned trace lengths, a round count matching
+    /// the trace, monotone cleaned counts agreeing with the cleaned-set,
+    /// an order that is a permutation, and finite accuracies.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.y.len();
+        if self.cleaned_set.len() != n || self.order.len() != n {
+            return Err(CleaningError::Checkpoint(format!(
+                "snapshot holds {} labels but {} cleaned flags and {} order entries",
+                n,
+                self.cleaned_set.len(),
+                self.order.len()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &i in &self.order {
+            if i >= n || seen[i] {
+                return Err(CleaningError::Checkpoint(
+                    "cleaning order is not a permutation of the rows".into(),
+                ));
+            }
+            seen[i] = true;
+        }
+        if self.cleaned.len() != self.accuracy.len() || self.cleaned.is_empty() {
+            return Err(CleaningError::Checkpoint(format!(
+                "trace holds {} cleaned counts but {} accuracies",
+                self.cleaned.len(),
+                self.accuracy.len()
+            )));
+        }
+        if self.rounds_done as usize != self.cleaned.len() - 1 {
+            return Err(CleaningError::Checkpoint(format!(
+                "{} rounds done but the trace has {} entries",
+                self.rounds_done,
+                self.cleaned.len()
+            )));
+        }
+        if self.cleaned[0] != 0 || self.cleaned.windows(2).any(|w| w[1] < w[0]) {
+            return Err(CleaningError::Checkpoint(
+                "cleaned counts must start at 0 and be non-decreasing".into(),
+            ));
+        }
+        let flagged = self.cleaned_set.iter().filter(|&&c| c).count();
+        if *self.cleaned.last().expect("validated non-empty") != flagged {
+            return Err(CleaningError::Checkpoint(format!(
+                "trace claims {} rows cleaned but {flagged} are flagged",
+                self.cleaned.last().expect("validated non-empty")
+            )));
+        }
+        if let Some(i) = self.accuracy.iter().position(|a| !a.is_finite()) {
+            return Err(CleaningError::Checkpoint(format!(
+                "`accuracy[{i}]` is not a finite number"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reject a snapshot that was written by a differently-shaped run.
+    pub fn validate_against(&self, strategy: &str, dirty: &Dataset) -> Result<()> {
+        self.validate()?;
+        if self.strategy != strategy {
+            return Err(CleaningError::Checkpoint(format!(
+                "snapshot written by strategy `{}`, this run uses `{strategy}`",
+                self.strategy
+            )));
+        }
+        if self.y.len() != dirty.len() {
+            return Err(CleaningError::Checkpoint(format!(
+                "snapshot covers {} rows, dataset has {}",
+                self.y.len(),
+                dirty.len()
+            )));
+        }
+        if let Some(&bad) = self.y.iter().find(|&&l| l >= dirty.n_classes) {
+            return Err(CleaningError::Checkpoint(format!(
+                "snapshot label {bad} outside 0..{}",
+                dirty.n_classes
+            )));
+        }
+        Ok(())
+    }
+
+    /// The snapshot as a durable-store payload.
+    pub fn to_payload(&self) -> Json {
+        let uints = |v: &[usize]| Json::Arr(v.iter().map(|&u| Json::UInt(u as u64)).collect());
+        Json::Obj(vec![
+            ("method".into(), Json::Str("prioritized-cleaning".into())),
+            ("strategy".into(), Json::Str(self.strategy.clone())),
+            ("rounds_done".into(), Json::UInt(self.rounds_done)),
+            ("utility_calls".into(), Json::UInt(self.utility_calls)),
+            ("oracle_retries".into(), Json::UInt(self.oracle_retries)),
+            ("y".into(), uints(&self.y)),
+            (
+                "cleaned_set".into(),
+                Json::Arr(self.cleaned_set.iter().map(|&b| Json::Bool(b)).collect()),
+            ),
+            ("order".into(), uints(&self.order)),
+            ("cleaned".into(), uints(&self.cleaned)),
+            ("accuracy".into(), self.accuracy.to_json()),
+        ])
+    }
+
+    /// Reconstruct and validate a snapshot from a durable-store payload.
+    pub fn from_payload(doc: &Json) -> Result<CleaningCheckpoint> {
+        let text = |name: &str| -> Result<String> {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| CleaningError::Checkpoint(format!("`{name}` is not a string")))
+        };
+        if text("method")? != "prioritized-cleaning" {
+            return Err(CleaningError::Checkpoint(format!(
+                "snapshot written by `{}`, expected `prioritized-cleaning`",
+                text("method")?
+            )));
+        }
+        let uint = |name: &str| -> Result<u64> {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CleaningError::Checkpoint(format!("`{name}` is not an integer")))
+        };
+        let arr = |name: &str| -> Result<&[Json]> {
+            doc.get(name)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| CleaningError::Checkpoint(format!("`{name}` is not an array")))
+        };
+        let uints = |name: &str| -> Result<Vec<usize>> {
+            arr(name)?
+                .iter()
+                .map(|v| {
+                    v.as_u64().map(|u| u as usize).ok_or_else(|| {
+                        CleaningError::Checkpoint(format!("`{name}` holds a non-integer"))
+                    })
+                })
+                .collect()
+        };
+        let ckpt = CleaningCheckpoint {
+            strategy: text("strategy")?,
+            rounds_done: uint("rounds_done")?,
+            utility_calls: uint("utility_calls")?,
+            oracle_retries: uint("oracle_retries")?,
+            y: uints("y")?,
+            cleaned_set: arr("cleaned_set")?
+                .iter()
+                .map(|v| match v {
+                    Json::Bool(b) => Ok(*b),
+                    _ => Err(CleaningError::Checkpoint(
+                        "`cleaned_set` holds a non-boolean".into(),
+                    )),
+                })
+                .collect::<Result<Vec<bool>>>()?,
+            order: uints("order")?,
+            cleaned: uints("cleaned")?,
+            accuracy: arr("accuracy")?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| {
+                        CleaningError::Checkpoint("`accuracy` holds a non-number".into())
+                    })
+                })
+                .collect::<Result<Vec<f64>>>()?,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
     }
 }
 
@@ -111,6 +308,34 @@ pub fn prioritized_cleaning_robust<C: Classifier>(
     budget: &RunBudget,
     retry: &RetryPolicy,
 ) -> Result<RobustCleaningRun> {
+    prioritized_cleaning_resumable(
+        template, dirty, oracle, valid, strategy, batch, rounds, rescore, budget, retry, None,
+    )
+    .map(|(run, _)| run)
+}
+
+/// [`prioritized_cleaning_robust`] that can also **resume** a loop cut
+/// short by an earlier budget trip (or crash): pass the
+/// [`CleaningCheckpoint`] the interrupted call returned and cleaning
+/// continues with the next round — same repairs, same trace, same oracle
+/// picks — exactly as if the run had never stopped. A snapshot from a
+/// different strategy or dataset shape is rejected with
+/// [`CleaningError::Checkpoint`]. Always pass the *original* dirty
+/// dataset; the snapshot carries the repairs.
+#[allow(clippy::too_many_arguments)] // the loop’s knobs are individually meaningful
+pub fn prioritized_cleaning_resumable<C: Classifier>(
+    template: &C,
+    dirty: &Dataset,
+    oracle: &impl CleaningOracle,
+    valid: &Dataset,
+    strategy: &Strategy,
+    batch: usize,
+    rounds: usize,
+    rescore: bool,
+    budget: &RunBudget,
+    retry: &RetryPolicy,
+    resume: Option<&CleaningCheckpoint>,
+) -> Result<(RobustCleaningRun, CleaningCheckpoint)> {
     if batch == 0 || rounds == 0 {
         return Err(CleaningError::InvalidArgument(
             "batch and rounds must be > 0".into(),
@@ -123,11 +348,7 @@ pub fn prioritized_cleaning_robust<C: Classifier>(
             dirty.len()
         )));
     }
-    let mut clock = budget.start();
     let mut current = dirty.clone();
-    let mut cleaned_set = vec![false; current.len()];
-    let mut cleaned_total = 0usize;
-    let mut oracle_retries = 0u64;
 
     let eval = |data: &Dataset| -> Result<f64> {
         let mut model = template.clone();
@@ -135,15 +356,39 @@ pub fn prioritized_cleaning_robust<C: Classifier>(
         Ok(model.accuracy(valid))
     };
 
-    clock.record_utility_calls(1);
-    let mut run = CleaningRun {
-        strategy: strategy.name(),
-        cleaned: vec![0],
-        accuracy: vec![eval(&current)?],
-    };
+    let (mut clock, mut run, mut cleaned_set, mut order, mut cleaned_total, mut oracle_retries);
+    match resume {
+        Some(cp) => {
+            cp.validate_against(strategy.name(), dirty)?;
+            current.y = cp.y.clone();
+            clock = budget.resume(cp.rounds_done, cp.utility_calls);
+            run = CleaningRun {
+                strategy: strategy.name(),
+                cleaned: cp.cleaned.clone(),
+                accuracy: cp.accuracy.clone(),
+            };
+            cleaned_set = cp.cleaned_set.clone();
+            order = cp.order.clone();
+            cleaned_total = *cp.cleaned.last().expect("validated non-empty");
+            oracle_retries = cp.oracle_retries;
+        }
+        None => {
+            clock = budget.start();
+            cleaned_set = vec![false; current.len()];
+            cleaned_total = 0;
+            oracle_retries = 0;
+            clock.record_utility_calls(1);
+            run = CleaningRun {
+                strategy: strategy.name(),
+                cleaned: vec![0],
+                accuracy: vec![eval(&current)?],
+            };
+            order = strategy.rank(&current, valid)?;
+        }
+    }
 
-    let mut order = strategy.rank(&current, valid)?;
-    for _round in 0..rounds {
+    let start_round = run.cleaned.len() - 1;
+    for _round in start_round..rounds {
         if clock.exhausted().is_some() {
             break; // budget tripped: return the best-so-far trace
         }
@@ -185,11 +430,25 @@ pub fn prioritized_cleaning_robust<C: Classifier>(
         clock.record_iteration();
     }
     let diagnostics = clock.diagnostics(None);
-    Ok(RobustCleaningRun {
-        run,
-        diagnostics,
+    let snapshot = CleaningCheckpoint {
+        strategy: strategy.name().to_string(),
+        rounds_done: clock.iterations(),
+        utility_calls: clock.utility_calls(),
         oracle_retries,
-    })
+        y: current.y.clone(),
+        cleaned_set,
+        order,
+        cleaned: run.cleaned.clone(),
+        accuracy: run.accuracy.clone(),
+    };
+    Ok((
+        RobustCleaningRun {
+            run,
+            diagnostics,
+            oracle_retries,
+        },
+        snapshot,
+    ))
 }
 
 #[cfg(test)]
@@ -391,6 +650,157 @@ mod tests {
         .unwrap();
         assert_eq!(robust.run, healthy);
         assert!(robust.oracle_retries > 0);
+    }
+
+    #[test]
+    fn cut_and_resume_is_bit_identical_to_the_uncut_run() {
+        let (dirty, valid, oracle) = setup();
+        let knn = KnnClassifier::new(3);
+        let strategy = Strategy::KnnShapley { k: 3 };
+        let plain =
+            prioritized_cleaning(&knn, &dirty, &oracle, &valid, &strategy, 5, 4, false).unwrap();
+
+        // Cut the loop after 2 of 4 rounds.
+        let (partial, snap) = prioritized_cleaning_resumable(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &strategy,
+            5,
+            4,
+            false,
+            &RunBudget::unlimited().with_max_iterations(2),
+            &RetryPolicy::none(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(partial.run.cleaned, vec![0, 5, 10]);
+        assert_eq!(snap.rounds_done, 2);
+        assert_eq!(snap.utility_calls, 3);
+
+        // Round-trip the snapshot through its durable-store payload.
+        let text = snap.to_payload().to_string_pretty();
+        let snap = CleaningCheckpoint::from_payload(&Json::parse(&text).unwrap()).unwrap();
+
+        // Resume against the ORIGINAL dirty data: the snapshot carries the
+        // repairs, the order, and the trace.
+        let (resumed, done) = prioritized_cleaning_resumable(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &strategy,
+            5,
+            4,
+            false,
+            &RunBudget::unlimited(),
+            &RetryPolicy::none(),
+            Some(&snap),
+        )
+        .unwrap();
+        assert_eq!(resumed.run, plain, "resume must be bit-identical");
+        assert!(resumed.diagnostics.completed());
+        assert_eq!(resumed.diagnostics.iterations, 4);
+        assert_eq!(resumed.diagnostics.utility_calls, 5);
+        assert_eq!(done.rounds_done, 4);
+        assert_eq!(*done.cleaned.last().unwrap(), 20);
+
+        // Resuming a finished run is a no-op that returns the same trace.
+        let (idem, _) = prioritized_cleaning_resumable(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &strategy,
+            5,
+            4,
+            false,
+            &RunBudget::unlimited(),
+            &RetryPolicy::none(),
+            Some(&done),
+        )
+        .unwrap();
+        assert_eq!(idem.run, plain);
+    }
+
+    #[test]
+    fn snapshot_mismatches_and_torn_payloads_are_rejected() {
+        let (dirty, valid, oracle) = setup();
+        let knn = KnnClassifier::new(3);
+        let strategy = Strategy::KnnShapley { k: 3 };
+        let (_, snap) = prioritized_cleaning_resumable(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &strategy,
+            5,
+            4,
+            false,
+            &RunBudget::unlimited().with_max_iterations(2),
+            &RetryPolicy::none(),
+            None,
+        )
+        .unwrap();
+
+        let reject = |snap: &CleaningCheckpoint| {
+            let err = prioritized_cleaning_resumable(
+                &knn,
+                &dirty,
+                &oracle,
+                &valid,
+                &strategy,
+                5,
+                4,
+                false,
+                &RunBudget::unlimited(),
+                &RetryPolicy::none(),
+                Some(snap),
+            )
+            .unwrap_err();
+            assert!(matches!(err, CleaningError::Checkpoint(_)), "{err}");
+        };
+
+        // Written by a different strategy.
+        let mut bad = snap.clone();
+        bad.strategy = "random".into();
+        reject(&bad);
+        // Wrong dataset shape.
+        let mut bad = snap.clone();
+        bad.y.pop();
+        bad.cleaned_set.pop();
+        bad.order.retain(|&i| i != dirty.len() - 1);
+        reject(&bad);
+        // Round count disagreeing with the trace.
+        let mut bad = snap.clone();
+        bad.rounds_done = 99;
+        reject(&bad);
+        // Order that is not a permutation.
+        let mut bad = snap.clone();
+        bad.order[0] = bad.order[1];
+        reject(&bad);
+        // Label outside the class range.
+        let mut bad = snap.clone();
+        bad.y[0] = dirty.n_classes;
+        reject(&bad);
+
+        // Torn payload: every strict prefix must fail to parse or validate.
+        let text = snap.to_payload().to_string_pretty();
+        for cut in (0..text.len()).step_by(97) {
+            if let Ok(doc) = Json::parse(&text[..cut]) {
+                assert!(
+                    CleaningCheckpoint::from_payload(&doc).is_err(),
+                    "torn prefix of {cut} bytes must not validate"
+                );
+            }
+        }
+        // Non-finite accuracy smuggled through JSON (`1e999` parses to inf).
+        let poisoned = text.replacen(&format!("{}", snap.accuracy[0]), "1e999", 1);
+        assert!(
+            CleaningCheckpoint::from_payload(&Json::parse(&poisoned).unwrap()).is_err(),
+            "non-finite accuracy must be rejected"
+        );
     }
 
     #[test]

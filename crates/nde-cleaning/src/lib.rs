@@ -14,7 +14,8 @@ pub mod strategy;
 pub use challenge::{DebugChallenge, Leaderboard, LeaderboardEntry};
 pub use error::CleaningError;
 pub use iterative::{
-    prioritized_cleaning, prioritized_cleaning_robust, CleaningRun, RobustCleaningRun,
+    prioritized_cleaning, prioritized_cleaning_resumable, prioritized_cleaning_robust,
+    CleaningCheckpoint, CleaningRun, RobustCleaningRun,
 };
 pub use oracle::{CleaningOracle, FlakyOracle, LabelOracle, TableOracle};
 pub use strategy::Strategy;

@@ -332,6 +332,34 @@ impl MemoCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
+
+    /// Snapshot every `(fingerprint, utility)` pair, sorted by fingerprint
+    /// so the result is deterministic regardless of insertion order — the
+    /// serialization surface for cross-process cache persistence.
+    pub fn entries(&self) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .iter()
+                    .map(|(&k, &v)| (k, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Bulk-insert previously snapshotted entries (does not touch the
+    /// hit/miss counters). Returns how many entries were loaded.
+    pub fn load_entries(&self, entries: &[(u64, f64)]) -> usize {
+        for &(k, v) in entries {
+            self.insert(k, v);
+        }
+        entries.len()
+    }
 }
 
 #[cfg(test)]

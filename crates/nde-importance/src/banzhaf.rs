@@ -17,12 +17,14 @@
 
 use crate::batch::{BatchPolicy, BatchStats, UtilityBatcher};
 use crate::common::ImportanceScores;
+use crate::snapshot::BanzhafCheckpoint;
 use crate::{ImportanceError, Result};
 use nde_data::rng::Rng;
 use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
 use nde_robust::par::{effective_threads, par_map_indexed, MemoCache, WorkerFailure};
+use nde_robust::{ConvergenceDiagnostics, RunBudget};
 use std::sync::atomic::AtomicBool;
 
 /// Configuration for the Banzhaf MSR estimator.
@@ -49,6 +51,7 @@ impl Default for BanzhafConfig {
 /// The batch-capable Banzhaf MSR engine behind the
 /// [`banzhaf()`](crate::run::banzhaf) entry point. Empty sampled subsets
 /// have utility 0 by convention.
+#[cfg_attr(not(test), allow(dead_code))] // exercised by the equivalence tests
 pub(crate) fn banzhaf_engine<C>(
     template: &C,
     train: &Dataset,
@@ -57,6 +60,56 @@ pub(crate) fn banzhaf_engine<C>(
     cache: Option<&MemoCache>,
     policy: BatchPolicy,
 ) -> Result<(ImportanceScores, BatchStats)>
+where
+    C: Classifier + Send + Sync,
+{
+    banzhaf_engine_budgeted(
+        template,
+        train,
+        valid,
+        config,
+        &RunBudget::unlimited(),
+        None,
+        cache,
+        policy,
+    )
+    .map(|(run, stats)| (run.scores, stats))
+}
+
+/// Output of [`banzhaf_engine_budgeted`]: best-so-far scores, how far the
+/// budget let the run get, and a resumable snapshot.
+pub(crate) struct BanzhafRun {
+    pub scores: ImportanceScores,
+    pub diagnostics: ConvergenceDiagnostics,
+    pub checkpoint: BanzhafCheckpoint,
+}
+
+/// One sample's logical utility cost: 1 unless the sampled subset is empty
+/// (`U(∅) = 0` is a convention, not an evaluation). A pure RNG replay, so
+/// budget trip points are independent of caching, batching, and threads.
+fn sample_cost(seed: u64, s: u64, n: usize) -> u64 {
+    let mut rng = seeded(child_seed(seed, s));
+    u64::from((0..n).any(|_| rng.gen::<bool>()))
+}
+
+/// The budget- and resume-capable Banzhaf MSR engine.
+///
+/// Budgeting is **sample-granular**: whole subset samples are folded until a
+/// limit trips (one iteration = one sample; the wall clock is consulted at
+/// the same boundaries), and the returned [`BanzhafCheckpoint`] restores the
+/// exact conditional sums, so continuing a tripped run — in this process or
+/// after a crash — is bit-identical to never having stopped.
+#[allow(clippy::too_many_arguments)] // mirrors tmc_engine's run surface
+pub(crate) fn banzhaf_engine_budgeted<C>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &BanzhafConfig,
+    budget: &RunBudget,
+    resume: Option<&BanzhafCheckpoint>,
+    cache: Option<&MemoCache>,
+    policy: BatchPolicy,
+) -> Result<(BanzhafRun, BatchStats)>
 where
     C: Classifier + Send + Sync,
 {
@@ -71,75 +124,85 @@ where
         ));
     }
     let n = train.len();
-    let batcher = UtilityBatcher::new(template, train, valid, cache, policy);
     let total = config.samples as u64;
-    let width = batcher.width() as u64;
-    let blocks = total.div_ceil(width);
-    let threads = effective_threads(config.threads, blocks as usize);
-    let stop = AtomicBool::new(false);
-    // Subset sample `s` is a pure function of `child_seed(seed, s)`; members
-    // come out already sorted, so the utility cache key is ready-made. Block
-    // `b` covers samples [b·width, (b+1)·width): also schedule-independent.
-    let sample_blocks = par_map_indexed(threads, 0..blocks, &stop, |b| {
-        let lo = b * width;
-        let hi = ((b + 1) * width).min(total);
-        let mut block: Vec<Vec<usize>> = Vec::with_capacity((hi - lo) as usize);
-        for s in lo..hi {
-            let mut rng = seeded(child_seed(config.seed, s));
-            let mut members: Vec<usize> = Vec::with_capacity(n);
-            for i in 0..n {
-                if rng.gen::<bool>() {
-                    members.push(i);
-                }
-            }
-            block.push(members);
+    let mut state = match resume {
+        Some(ckpt) => {
+            ckpt.validate_against(config, n)?;
+            ckpt.clone()
         }
-        let utilities = batcher.eval_batch(&block)?;
-        Ok::<_, ImportanceError>((block, utilities))
-    })
-    .map_err(|fail| match fail {
-        WorkerFailure::Err(_, e) => e,
-        WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
-    })?;
-
-    // Fold in sample-index order (blocks are index-sorted, samples are in
-    // order within a block) — float sums independent of the schedule.
-    let mut with_sum = vec![0.0; n];
-    let mut with_count = vec![0usize; n];
-    let mut without_sum = vec![0.0; n];
-    let mut without_count = vec![0usize; n];
-    for (_, (block, utilities)) in &sample_blocks {
-        for (members, &u) in block.iter().zip(utilities) {
-            let mut next = members.iter().peekable();
-            for i in 0..n {
-                if next.peek() == Some(&&i) {
-                    next.next();
-                    with_sum[i] += u;
-                    with_count[i] += 1;
-                } else {
-                    without_sum[i] += u;
-                    without_count[i] += 1;
-                }
-            }
-        }
+        None => BanzhafCheckpoint::fresh(config, n),
+    };
+    let mut clock = budget.resume(state.cursor, state.utility_calls);
+    // Plan the segment deterministically before evaluating anything: walk
+    // whole samples, charging each sample's replayed cost, until a limit
+    // trips or the run completes.
+    let start = state.cursor;
+    let mut end = start;
+    while end < total && clock.exhausted().is_none() {
+        clock.record_iteration();
+        clock.record_utility_calls(sample_cost(config.seed, end, n));
+        end += 1;
     }
-
-    let values = (0..n)
-        .map(|i| {
-            let w = if with_count[i] > 0 {
-                with_sum[i] / with_count[i] as f64
-            } else {
-                0.0
-            };
-            let wo = if without_count[i] > 0 {
-                without_sum[i] / without_count[i] as f64
-            } else {
-                0.0
-            };
-            w - wo
+    let batcher = UtilityBatcher::new(template, train, valid, cache, policy);
+    if end > start {
+        let width = batcher.width() as u64;
+        let blocks = (end - start).div_ceil(width);
+        let threads = effective_threads(config.threads, blocks as usize);
+        let stop = AtomicBool::new(false);
+        // Subset sample `s` is a pure function of `child_seed(seed, s)`;
+        // members come out already sorted, so the utility cache key is
+        // ready-made. Block `b` covers samples [start + b·width,
+        // start + (b+1)·width): also schedule-independent.
+        let sample_blocks = par_map_indexed(threads, 0..blocks, &stop, |b| {
+            let lo = start + b * width;
+            let hi = (start + (b + 1) * width).min(end);
+            let mut block: Vec<Vec<usize>> = Vec::with_capacity((hi - lo) as usize);
+            for s in lo..hi {
+                let mut rng = seeded(child_seed(config.seed, s));
+                let mut members: Vec<usize> = Vec::with_capacity(n);
+                for i in 0..n {
+                    if rng.gen::<bool>() {
+                        members.push(i);
+                    }
+                }
+                block.push(members);
+            }
+            let utilities = batcher.eval_batch(&block)?;
+            Ok::<_, ImportanceError>((block, utilities))
         })
-        .collect();
-    Ok((ImportanceScores::new("banzhaf", values), batcher.stats()))
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+        })?;
+
+        // Fold in sample-index order (blocks are index-sorted, samples are
+        // in order within a block) — float sums independent of the schedule.
+        for (_, (block, utilities)) in &sample_blocks {
+            for (members, &u) in block.iter().zip(utilities) {
+                let mut next = members.iter().peekable();
+                for i in 0..n {
+                    if next.peek() == Some(&&i) {
+                        next.next();
+                        state.with_sum[i] += u;
+                        state.with_count[i] += 1;
+                    } else {
+                        state.without_sum[i] += u;
+                        state.without_count[i] += 1;
+                    }
+                }
+            }
+        }
+        state.cursor = end;
+        state.utility_calls = clock.utility_calls();
+    }
+    Ok((
+        BanzhafRun {
+            scores: ImportanceScores::new("banzhaf", state.values()),
+            diagnostics: clock.diagnostics(None),
+            checkpoint: state,
+        },
+        batcher.stats(),
+    ))
 }
 
 #[cfg(test)]
@@ -283,6 +346,64 @@ mod tests {
         // Only 2^5 possible coalitions over 5 points: 200 samples must hit.
         assert!(cache.hits() > 0);
         assert!(cache.len() <= 31, "at most 2^5 - 1 non-empty coalitions");
+    }
+
+    #[test]
+    fn budgeted_cut_and_resume_is_bit_identical() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        let cfg = BanzhafConfig {
+            samples: 60,
+            seed: 9,
+            threads: 2,
+        };
+        let (full, _) =
+            banzhaf_engine(&knn, &train, &valid, &cfg, None, BatchPolicy::default()).unwrap();
+        // Trip the utility budget mid-run, then resume without limits.
+        let budget = RunBudget::unlimited().with_max_utility_calls(25);
+        let (cut, _) = banzhaf_engine_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &budget,
+            None,
+            None,
+            BatchPolicy::default(),
+        )
+        .unwrap();
+        assert!(!cut.diagnostics.completed());
+        assert_eq!(cut.checkpoint.utility_calls, 25);
+        assert!(cut.checkpoint.cursor < 60);
+        let (resumed, _) = banzhaf_engine_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited(),
+            Some(&cut.checkpoint),
+            None,
+            BatchPolicy::default(),
+        )
+        .unwrap();
+        assert!(resumed.diagnostics.completed());
+        assert_eq!(resumed.checkpoint.cursor, 60);
+        for (a, b) in full.values.iter().zip(&resumed.scores.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A checkpoint from a different run shape is refused.
+        let other = BanzhafConfig { seed: 10, ..cfg };
+        assert!(banzhaf_engine_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &other,
+            &RunBudget::unlimited(),
+            Some(&cut.checkpoint),
+            None,
+            BatchPolicy::default(),
+        )
+        .is_err());
     }
 
     #[test]

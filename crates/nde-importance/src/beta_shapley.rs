@@ -11,6 +11,7 @@
 
 use crate::batch::{BatchPolicy, BatchStats, UtilityBatcher};
 use crate::common::ImportanceScores;
+use crate::snapshot::BetaShapleyCheckpoint;
 use crate::{ImportanceError, Result};
 use nde_data::rng::Rng;
 use nde_data::rng::SliceRandom;
@@ -18,6 +19,7 @@ use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
 use nde_robust::par::{effective_threads, par_map_indexed_scratch, MemoCache, WorkerFailure};
+use nde_robust::{ConvergenceDiagnostics, RunBudget};
 use std::sync::atomic::AtomicBool;
 
 /// Configuration for the Beta Shapley estimator.
@@ -120,6 +122,7 @@ fn ln_gamma(x: f64) -> f64 {
 /// evaluates them in waves of up to [`BatchPolicy::width`] coalitions
 /// through the [`UtilityBatcher`]. Marginals are folded in sample order, so
 /// every float is independent of the batching policy.
+#[cfg_attr(not(test), allow(dead_code))] // exercised by the equivalence tests
 pub(crate) fn beta_shapley_engine<C>(
     template: &C,
     train: &Dataset,
@@ -128,6 +131,67 @@ pub(crate) fn beta_shapley_engine<C>(
     cache: Option<&MemoCache>,
     policy: BatchPolicy,
 ) -> Result<(ImportanceScores, BatchStats)>
+where
+    C: Classifier + Send + Sync,
+{
+    beta_shapley_engine_budgeted(
+        template,
+        train,
+        valid,
+        config,
+        &RunBudget::unlimited(),
+        None,
+        cache,
+        policy,
+    )
+    .map(|(run, stats)| (run.scores, stats))
+}
+
+/// Output of [`beta_shapley_engine_budgeted`]: best-so-far scores, budget
+/// diagnostics, and a resumable point-granular snapshot.
+pub(crate) struct BetaShapleyRun {
+    pub scores: ImportanceScores,
+    pub diagnostics: ConvergenceDiagnostics,
+    pub checkpoint: BetaShapleyCheckpoint,
+}
+
+/// One point's logical utility cost, by pure RNG replay of its sampling
+/// stream: every sample's `S ∪ i` coalition costs one call; its `S` costs
+/// one more unless the drawn size is 0 (`U(∅) = 0` is free). The replay
+/// shuffles a dummy pool because a Fisher-Yates shuffle consumes RNG draws
+/// as a function of length only — keeping later size draws stream-aligned.
+fn point_cost(config: &BetaShapleyConfig, idx: u64, n: usize, cdf: &[f64]) -> u64 {
+    let mut rng = seeded(child_seed(config.seed, idx));
+    let mut pool: Vec<usize> = (0..n.saturating_sub(1)).collect();
+    let mut cost = 0;
+    for _ in 0..config.samples_per_point {
+        let u: f64 = rng.gen();
+        let j = cdf.partition_point(|&c| c < u).min(n - 1);
+        pool.shuffle(&mut rng);
+        cost += 1 + u64::from(j > 0);
+    }
+    cost
+}
+
+/// The budget- and resume-capable Beta Shapley engine.
+///
+/// Budgeting is **point-granular**: whole points are scored until a limit
+/// trips (one iteration = one point; the utility budget may overshoot by at
+/// most the final point's cost, and the wall clock is consulted at point
+/// boundaries). Each point's draws come from an independent child-seeded
+/// stream, so a resumed run picks up at [`BetaShapleyCheckpoint::cursor`]
+/// and is bit-identical to an uninterrupted one.
+#[allow(clippy::too_many_arguments)] // mirrors tmc_engine's run surface
+pub(crate) fn beta_shapley_engine_budgeted<C>(
+    template: &C,
+    train: &Dataset,
+    valid: &Dataset,
+    config: &BetaShapleyConfig,
+    budget: &RunBudget,
+    resume: Option<&BetaShapleyCheckpoint>,
+    cache: Option<&MemoCache>,
+    policy: BatchPolicy,
+) -> Result<(BetaShapleyRun, BatchStats)>
 where
     C: Classifier + Send + Sync,
 {
@@ -156,77 +220,103 @@ where
         cdf.push(acc);
     }
 
-    let batcher = UtilityBatcher::new(template, train, valid, cache, policy);
-    // Per-worker reusable buffers: the candidate pool and the queued
-    // coalition pairs (without, with) for one point.
-    struct Scratch {
-        pool: Vec<usize>,
-        pairs: Vec<Vec<usize>>,
-        utilities: Vec<f64>,
+    let mut state = match resume {
+        Some(ckpt) => {
+            ckpt.validate_against(config, n)?;
+            ckpt.clone()
+        }
+        None => BetaShapleyCheckpoint::fresh(config, n),
+    };
+    let mut clock = budget.resume(state.cursor, state.utility_calls);
+    // Plan the segment deterministically before evaluating anything: walk
+    // whole points, charging each point's replayed cost, until a limit
+    // trips or every point is scored.
+    let start = state.cursor;
+    let mut end = start;
+    while end < n as u64 && clock.exhausted().is_none() {
+        clock.record_iteration();
+        clock.record_utility_calls(point_cost(config, end, n, &cdf));
+        end += 1;
     }
-    let threads = effective_threads(config.threads, n);
-    let stop = AtomicBool::new(false);
-    let per_point = par_map_indexed_scratch(
-        threads,
-        0..n as u64,
-        &stop,
-        || Scratch {
-            pool: Vec::with_capacity(n),
-            pairs: Vec::new(),
-            utilities: Vec::new(),
-        },
-        |scratch, idx| {
-            let i = idx as usize;
-            let mut rng = seeded(child_seed(config.seed, idx));
-            scratch.pool.clear();
-            scratch.pool.extend((0..n).filter(|&j| j != i));
-            // Draw every sample first (the RNG stream never depends on
-            // utilities, so this consumes exactly the legacy draw order),
-            // queueing each sample's (S, S ∪ i) pair back to back.
-            let total_coalitions = 2 * config.samples_per_point;
-            while scratch.pairs.len() < total_coalitions {
-                scratch.pairs.push(Vec::with_capacity(n));
-            }
-            for s in 0..config.samples_per_point {
-                // Sample coalition size j from the Beta weights.
-                let u: f64 = rng.gen();
-                let j = cdf.partition_point(|&c| c < u).min(n - 1);
-                scratch.pool.shuffle(&mut rng);
-                let subset = &scratch.pool[..j.min(n - 1)];
-                let (head, tail) = scratch.pairs.split_at_mut(2 * s + 1);
-                let without = &mut head[2 * s];
-                let with = &mut tail[0];
-                without.clear();
-                without.extend_from_slice(subset);
-                without.sort_unstable();
-                let at = without.partition_point(|&x| x < i);
-                with.clear();
-                with.extend_from_slice(without);
-                with.insert(at, i);
-            }
-            // Evaluate in waves, then fold marginals in sample order.
-            scratch.utilities.clear();
-            for chunk in scratch.pairs[..total_coalitions].chunks(batcher.width()) {
-                scratch.utilities.extend(batcher.eval_batch(chunk)?);
-            }
-            let mut total = 0.0;
-            for s in 0..config.samples_per_point {
-                total += scratch.utilities[2 * s + 1] - scratch.utilities[2 * s];
-            }
-            Ok::<_, ImportanceError>(total / config.samples_per_point as f64)
-        },
-    )
-    .map_err(|fail| match fail {
-        WorkerFailure::Err(_, e) => e,
-        WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
-    })?;
 
-    let mut values = vec![0.0; n];
-    for (idx, v) in per_point {
-        values[idx as usize] = v;
+    let batcher = UtilityBatcher::new(template, train, valid, cache, policy);
+    if end > start {
+        // Per-worker reusable buffers: the candidate pool and the queued
+        // coalition pairs (without, with) for one point.
+        struct Scratch {
+            pool: Vec<usize>,
+            pairs: Vec<Vec<usize>>,
+            utilities: Vec<f64>,
+        }
+        let threads = effective_threads(config.threads, (end - start) as usize);
+        let stop = AtomicBool::new(false);
+        let per_point = par_map_indexed_scratch(
+            threads,
+            start..end,
+            &stop,
+            || Scratch {
+                pool: Vec::with_capacity(n),
+                pairs: Vec::new(),
+                utilities: Vec::new(),
+            },
+            |scratch, idx| {
+                let i = idx as usize;
+                let mut rng = seeded(child_seed(config.seed, idx));
+                scratch.pool.clear();
+                scratch.pool.extend((0..n).filter(|&j| j != i));
+                // Draw every sample first (the RNG stream never depends on
+                // utilities, so this consumes exactly the legacy draw order),
+                // queueing each sample's (S, S ∪ i) pair back to back.
+                let total_coalitions = 2 * config.samples_per_point;
+                while scratch.pairs.len() < total_coalitions {
+                    scratch.pairs.push(Vec::with_capacity(n));
+                }
+                for s in 0..config.samples_per_point {
+                    // Sample coalition size j from the Beta weights.
+                    let u: f64 = rng.gen();
+                    let j = cdf.partition_point(|&c| c < u).min(n - 1);
+                    scratch.pool.shuffle(&mut rng);
+                    let subset = &scratch.pool[..j.min(n - 1)];
+                    let (head, tail) = scratch.pairs.split_at_mut(2 * s + 1);
+                    let without = &mut head[2 * s];
+                    let with = &mut tail[0];
+                    without.clear();
+                    without.extend_from_slice(subset);
+                    without.sort_unstable();
+                    let at = without.partition_point(|&x| x < i);
+                    with.clear();
+                    with.extend_from_slice(without);
+                    with.insert(at, i);
+                }
+                // Evaluate in waves, then fold marginals in sample order.
+                scratch.utilities.clear();
+                for chunk in scratch.pairs[..total_coalitions].chunks(batcher.width()) {
+                    scratch.utilities.extend(batcher.eval_batch(chunk)?);
+                }
+                let mut total = 0.0;
+                for s in 0..config.samples_per_point {
+                    total += scratch.utilities[2 * s + 1] - scratch.utilities[2 * s];
+                }
+                Ok::<_, ImportanceError>(total / config.samples_per_point as f64)
+            },
+        )
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+        })?;
+
+        for (idx, v) in per_point {
+            state.values[idx as usize] = v;
+        }
+        state.cursor = end;
+        state.utility_calls = clock.utility_calls();
     }
     Ok((
-        ImportanceScores::new("beta-shapley", values),
+        BetaShapleyRun {
+            scores: ImportanceScores::new("beta-shapley", state.values.clone()),
+            diagnostics: clock.diagnostics(None),
+            checkpoint: state,
+        },
         batcher.stats(),
     ))
 }
@@ -351,6 +441,68 @@ mod tests {
                 assert!(stats.batched_evals > 0);
             }
         }
+    }
+
+    #[test]
+    fn budgeted_cut_and_resume_is_bit_identical() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        let cfg = BetaShapleyConfig {
+            samples_per_point: 20,
+            seed: 13,
+            threads: 2,
+            ..Default::default()
+        };
+        let (full, _) =
+            beta_shapley_engine(&knn, &train, &valid, &cfg, None, BatchPolicy::default()).unwrap();
+        // Trip the iteration (= point) budget mid-run, then resume.
+        let budget = RunBudget::unlimited().with_max_iterations(2);
+        let (cut, _) = beta_shapley_engine_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &budget,
+            None,
+            None,
+            BatchPolicy::default(),
+        )
+        .unwrap();
+        assert!(!cut.diagnostics.completed());
+        assert_eq!(cut.checkpoint.cursor, 2);
+        assert_eq!(cut.scores.values[3], 0.0, "unscored points stay zero");
+        let (resumed, _) = beta_shapley_engine_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            &RunBudget::unlimited(),
+            Some(&cut.checkpoint),
+            None,
+            BatchPolicy::default(),
+        )
+        .unwrap();
+        assert!(resumed.diagnostics.completed());
+        assert_eq!(resumed.checkpoint.cursor, 5);
+        for (a, b) in full.values.iter().zip(&resumed.scores.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A checkpoint from a differently-parameterized run is refused.
+        let other = BetaShapleyConfig {
+            beta: 8.0,
+            ..cfg.clone()
+        };
+        assert!(beta_shapley_engine_budgeted(
+            &knn,
+            &train,
+            &valid,
+            &other,
+            &RunBudget::unlimited(),
+            Some(&cut.checkpoint),
+            None,
+            BatchPolicy::default(),
+        )
+        .is_err());
     }
 
     #[test]

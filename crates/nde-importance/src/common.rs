@@ -63,6 +63,8 @@ pub enum ImportanceError {
     WorkerPanic(String),
     /// A checkpoint did not match the run it was resumed into.
     Checkpoint(String),
+    /// A durable run-store operation failed (filesystem or record layer).
+    Store(String),
 }
 
 impl fmt::Display for ImportanceError {
@@ -75,6 +77,7 @@ impl fmt::Display for ImportanceError {
             ImportanceError::Unsupported(m) => write!(f, "unsupported: {m}"),
             ImportanceError::WorkerPanic(m) => write!(f, "worker thread panicked: {m}"),
             ImportanceError::Checkpoint(m) => write!(f, "checkpoint mismatch: {m}"),
+            ImportanceError::Store(m) => write!(f, "durable store error: {m}"),
         }
     }
 }
@@ -96,6 +99,17 @@ impl From<nde_data::DataError> for ImportanceError {
 impl From<nde_pipeline::PipelineError> for ImportanceError {
     fn from(e: nde_pipeline::PipelineError) -> Self {
         ImportanceError::Pipeline(e.to_string())
+    }
+}
+
+impl From<nde_robust::RobustError> for ImportanceError {
+    fn from(e: nde_robust::RobustError) -> Self {
+        match e {
+            nde_robust::RobustError::Checkpoint(m) => ImportanceError::Checkpoint(m),
+            nde_robust::RobustError::Crash(m) => ImportanceError::WorkerPanic(m),
+            nde_robust::RobustError::Io(m) => ImportanceError::Store(m),
+            nde_robust::RobustError::InvalidArgument(m) => ImportanceError::InvalidArgument(m),
+        }
     }
 }
 

@@ -59,6 +59,7 @@ pub mod knn_shapley;
 pub mod loo;
 pub mod run;
 pub mod shapley_mc;
+pub mod snapshot;
 
 pub use banzhaf::BanzhafConfig;
 pub use batch::{BatchPolicy, BatchStats};
@@ -71,6 +72,7 @@ pub use run::{
     ImportanceOutcome, ImportanceRun, RunReport, TmcParams,
 };
 pub use shapley_mc::{BudgetedShapley, ShapleyConfig};
+pub use snapshot::{BanzhafCheckpoint, BetaShapleyCheckpoint, EstimatorCheckpoint};
 
 /// Everything needed to run an importance method, in one import.
 pub mod prelude {
@@ -83,9 +85,12 @@ pub mod prelude {
         banzhaf, beta_shapley, knn_shapley, tmc_shapley, BanzhafParams, BetaShapleyParams,
         ImportanceOutcome, ImportanceRun, RunReport, TmcParams,
     };
+    pub use crate::snapshot::EstimatorCheckpoint;
     pub use crate::{BanzhafConfig, BetaShapleyConfig, BudgetedShapley, Result, ShapleyConfig};
     pub use nde_robust::par::MemoCache;
-    pub use nde_robust::{ConvergenceDiagnostics, McCheckpoint, RunBudget};
+    pub use nde_robust::{
+        ConvergenceDiagnostics, McCheckpoint, RunBudget, RunFingerprint, RunStore,
+    };
 }
 
 /// Convenience result alias for this crate.

@@ -4,8 +4,9 @@
 //! cross-product of free-function variants (`*_budgeted`, `*_cached`,
 //! `*_par`, …). [`ImportanceRun`] collapses that explosion: one options
 //! struct carries the run-wide knobs (seed, threads, budget, memo cache,
-//! resume checkpoint, batch policy) and each method exposes exactly one
-//! entry point taking `&ImportanceRun` plus its method-specific parameters:
+//! resume snapshot, durable store, batch policy) and each method exposes
+//! exactly one entry point taking `&ImportanceRun` plus its method-specific
+//! parameters:
 //!
 //! ```
 //! use nde_importance::prelude::*;
@@ -38,34 +39,58 @@
 //!
 //! All entry points return an [`ImportanceOutcome`]: the scores plus a
 //! [`RunReport`] with uniform accounting (logical utility calls, cache
-//! hits, batches formed, convergence diagnostics and a resume checkpoint
+//! hits, batches formed, convergence diagnostics and a resume snapshot
 //! where the method supports them).
 //!
+//! # Budgets, resume, and the durable store
+//!
+//! The three Monte-Carlo methods (TMC-Shapley, Banzhaf, Beta Shapley) all
+//! honor [`with_budget`](ImportanceRun::with_budget) and resume
+//! bit-identically from the [`EstimatorCheckpoint`] returned in
+//! `report.snapshot` (pass it back via
+//! [`with_resume`](ImportanceRun::with_resume)). Attaching a
+//! [`RunStore`] via [`with_store`](ImportanceRun::with_store) makes the
+//! run *crash-safe*: checkpoints are written as checksummed on-disk records
+//! keyed by the run's [`RunFingerprint`] (method, seed, config, data), and
+//! a re-run with the same options silently resumes from the latest valid
+//! record — after a crash, a torn write, or a corrupted record, whatever
+//! state survives validation is picked up and the rest is recomputed,
+//! bit-identically. [`with_auto_checkpoint`](ImportanceRun::with_auto_checkpoint)
+//! sets how many estimator steps may elapse between records.
+//!
 //! Each entry point delegates to its method module's crate-private engine
-//! (`tmc_engine`, `banzhaf_engine`, `beta_shapley_engine`, `knn_engine`);
-//! the run API is the only public surface.
+//! (`tmc_engine`, `banzhaf_engine_budgeted`, `beta_shapley_engine_budgeted`,
+//! `knn_engine`); the run API is the only public surface.
 
-use crate::banzhaf::{banzhaf_engine, BanzhafConfig};
+use crate::banzhaf::{banzhaf_engine_budgeted, BanzhafConfig};
 use crate::batch::{BatchPolicy, BatchStats};
-use crate::beta_shapley::{beta_shapley_engine, BetaShapleyConfig};
+use crate::beta_shapley::{beta_shapley_engine_budgeted, BetaShapleyConfig};
 use crate::common::ImportanceScores;
 use crate::knn_shapley::knn_engine;
-use crate::shapley_mc::{tmc_engine, ShapleyConfig};
+use crate::shapley_mc::{tmc_engine, ShapleyConfig, TMC_METHOD};
+use crate::snapshot::EstimatorCheckpoint;
 use crate::{ImportanceError, Result};
+use nde_data::fxhash::FxHasher;
+use nde_data::json::Json;
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
 use nde_robust::par::MemoCache;
-use nde_robust::{ConvergenceDiagnostics, McCheckpoint, RunBudget};
+use nde_robust::{
+    ConvergenceDiagnostics, Exhaustion, McCheckpoint, RunBudget, RunFingerprint, RunStore,
+};
+use std::hash::Hasher;
+use std::time::{Duration, Instant};
 
 /// Run-wide options shared by every importance method.
 ///
 /// Construct with [`ImportanceRun::new`] and chain `with_*` builders; the
-/// defaults (single thread, no budget, no cache, no checkpoint, the default
-/// grouped [`BatchPolicy`]) suit one-shot runs.
+/// defaults (single thread, no budget, no cache, no resume state, no store,
+/// the default grouped [`BatchPolicy`]) suit one-shot runs.
 ///
 /// Methods that cannot honor an option reject the run with
-/// [`ImportanceError::Unsupported`] instead of silently ignoring it
-/// (budgets and checkpoints are TMC-only for now); see each entry point.
+/// [`ImportanceError::Unsupported`] instead of silently ignoring it; the
+/// only such method is the closed-form `knn_shapley`, which has no
+/// Monte-Carlo state to budget, checkpoint, or persist.
 #[derive(Debug, Clone, Default)]
 pub struct ImportanceRun<'a> {
     /// Base seed; methods derive per-permutation/per-sample child seeds.
@@ -73,14 +98,29 @@ pub struct ImportanceRun<'a> {
     /// Worker threads (0 or 1 = sequential). Scores are bit-identical for
     /// every thread count.
     pub threads: usize,
-    /// Optional resource budget (TMC-Shapley only).
+    /// Optional resource budget. Budget trip points are deterministic:
+    /// independent of caching, batching, and thread count.
     pub budget: Option<RunBudget>,
     /// Optional utility memo cache, dedicated to one
     /// `(model, train, valid)` triple. Hits still count as logical utility
     /// calls, so budget trip points are cache-independent.
     pub cache: Option<&'a MemoCache>,
-    /// Optional checkpoint to resume from (TMC-Shapley only).
+    /// Optional TMC-Shapley checkpoint to resume from. Kept as typed sugar
+    /// for TMC callers; the method-erased [`ImportanceRun::resume`] covers
+    /// every resumable method. Takes precedence over `resume`.
     pub checkpoint: Option<&'a McCheckpoint>,
+    /// Optional method-erased snapshot to resume from (any Monte-Carlo
+    /// method). Resuming is bit-identical to never stopping.
+    pub resume: Option<&'a EstimatorCheckpoint>,
+    /// Optional durable store. When set, checkpoints are persisted as
+    /// crash-safe records under the run's [`RunFingerprint`] and the run
+    /// auto-resumes from the latest valid record (unless an explicit
+    /// `checkpoint`/`resume` is given, which wins).
+    pub store: Option<&'a RunStore>,
+    /// With a store attached: write a record every this-many estimator
+    /// steps (permutations / subset samples / points). `None` writes one
+    /// record when the run finishes or its budget trips.
+    pub auto_checkpoint_every: Option<u64>,
     /// How coalition evaluations are grouped into batches. Purely physical:
     /// scores are bit-identical under every policy.
     pub batch: BatchPolicy,
@@ -96,6 +136,9 @@ impl<'a> ImportanceRun<'a> {
             budget: None,
             cache: None,
             checkpoint: None,
+            resume: None,
+            store: None,
+            auto_checkpoint_every: None,
             batch: BatchPolicy::default(),
         }
     }
@@ -106,7 +149,7 @@ impl<'a> ImportanceRun<'a> {
         self
     }
 
-    /// Set a resource budget (TMC-Shapley only).
+    /// Set a resource budget.
     pub fn with_budget(mut self, budget: RunBudget) -> ImportanceRun<'a> {
         self.budget = Some(budget);
         self
@@ -118,10 +161,37 @@ impl<'a> ImportanceRun<'a> {
         self
     }
 
-    /// Resume from a checkpoint of an earlier, interrupted run
-    /// (TMC-Shapley only). Resuming is bit-identical to never stopping.
+    /// Resume from a TMC-Shapley checkpoint of an earlier, interrupted run.
+    /// Resuming is bit-identical to never stopping. Non-TMC methods reject
+    /// this with a checkpoint-mismatch error; use
+    /// [`with_resume`](ImportanceRun::with_resume) for them.
     pub fn with_checkpoint(mut self, checkpoint: &'a McCheckpoint) -> ImportanceRun<'a> {
         self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Resume from the method-erased snapshot of an earlier, interrupted
+    /// run (`report.snapshot`). Resuming is bit-identical to never
+    /// stopping; a snapshot written by a different method or run shape is
+    /// rejected with [`ImportanceError::Checkpoint`].
+    pub fn with_resume(mut self, snapshot: &'a EstimatorCheckpoint) -> ImportanceRun<'a> {
+        self.resume = Some(snapshot);
+        self
+    }
+
+    /// Attach a durable on-disk store: checkpoints (and the memo cache, if
+    /// any) persist across processes, and the run auto-resumes from the
+    /// latest valid record.
+    pub fn with_store(mut self, store: &'a RunStore) -> ImportanceRun<'a> {
+        self.store = Some(store);
+        self
+    }
+
+    /// Write a durable record every `every` estimator steps (clamped to at
+    /// least 1). Only meaningful together with
+    /// [`with_store`](ImportanceRun::with_store).
+    pub fn with_auto_checkpoint(mut self, every: u64) -> ImportanceRun<'a> {
+        self.auto_checkpoint_every = Some(every.max(1));
         self
     }
 
@@ -132,18 +202,22 @@ impl<'a> ImportanceRun<'a> {
         self
     }
 
-    fn reject_budgeting(&self, method: &str) -> Result<()> {
-        if self.budget.is_some() {
-            return Err(ImportanceError::Unsupported(format!(
-                "{method} does not support budgets; only tmc_shapley does"
-            )));
+    fn reject_resumability(&self, method: &str) -> Result<()> {
+        let offending = if self.budget.is_some() {
+            Some("budgets")
+        } else if self.checkpoint.is_some() || self.resume.is_some() {
+            Some("checkpoint resume")
+        } else if self.store.is_some() || self.auto_checkpoint_every.is_some() {
+            Some("a durable store")
+        } else {
+            None
+        };
+        match offending {
+            Some(option) => Err(ImportanceError::Unsupported(format!(
+                "{method} is closed-form and does not support {option}"
+            ))),
+            None => Ok(()),
         }
-        if self.checkpoint.is_some() {
-            return Err(ImportanceError::Unsupported(format!(
-                "{method} does not support checkpoint resume; only tmc_shapley does"
-            )));
-        }
-        Ok(())
     }
 }
 
@@ -151,8 +225,8 @@ impl<'a> ImportanceRun<'a> {
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Logical utility evaluations the estimate is built from (cache hits
-    /// included; for budgeted TMC this is the authoritative clock count,
-    /// for closed-form methods it is 0).
+    /// included; for the Monte-Carlo methods this is the authoritative
+    /// budget-clock count, for closed-form methods it is 0).
     pub utility_calls: u64,
     /// Coalitions answered from the memo cache (physical count).
     pub cache_hits: u64,
@@ -164,9 +238,14 @@ pub struct RunReport {
     pub fallback_evals: u64,
     /// Convergence diagnostics (methods with a budget clock).
     pub diagnostics: Option<ConvergenceDiagnostics>,
-    /// Snapshot to pass to [`ImportanceRun::with_checkpoint`] to continue
-    /// this estimation (resumable methods only).
+    /// TMC-Shapley snapshot to pass to [`ImportanceRun::with_checkpoint`]
+    /// (TMC runs only; other methods report through `snapshot`).
     pub checkpoint: Option<McCheckpoint>,
+    /// Method-erased snapshot to pass to [`ImportanceRun::with_resume`] to
+    /// continue this estimation (every Monte-Carlo method).
+    pub snapshot: Option<EstimatorCheckpoint>,
+    /// Identity the durable records were stored under (runs with a store).
+    pub fingerprint: Option<RunFingerprint>,
 }
 
 impl RunReport {
@@ -179,6 +258,8 @@ impl RunReport {
             fallback_evals: stats.fallback_evals,
             diagnostics: None,
             checkpoint: None,
+            snapshot: None,
+            fingerprint: None,
         }
     }
 }
@@ -251,11 +332,164 @@ impl Default for BetaShapleyParams {
     }
 }
 
+/// 64-bit identity of the run's input data: both datasets' fingerprints
+/// folded together. Part of the [`RunFingerprint`] store key.
+fn data_fingerprint(train: &Dataset, valid: &Dataset) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(train.fingerprint());
+    h.write_u64(valid.fingerprint());
+    h.finish()
+}
+
+/// Resolve what the run resumes from, in precedence order: the typed TMC
+/// checkpoint, the method-erased snapshot, then the store's latest valid
+/// record. A snapshot written by a different method is a typed
+/// [`ImportanceError::Checkpoint`] — never silently ignored.
+fn resolve_resume(
+    run: &ImportanceRun,
+    fingerprint: Option<&RunFingerprint>,
+    method: &str,
+) -> Result<Option<EstimatorCheckpoint>> {
+    if let Some(cp) = run.checkpoint {
+        if method != TMC_METHOD {
+            return Err(ImportanceError::Checkpoint(format!(
+                "`with_checkpoint` carries a `{TMC_METHOD}` checkpoint but this run is \
+                 `{method}`; resume it with `with_resume`"
+            )));
+        }
+        return Ok(Some(EstimatorCheckpoint::Tmc(cp.clone())));
+    }
+    if let Some(snap) = run.resume {
+        if snap.method() != method {
+            return Err(ImportanceError::Checkpoint(format!(
+                "resume snapshot was written by `{}` but this run is `{method}`",
+                snap.method()
+            )));
+        }
+        return Ok(Some(snap.clone()));
+    }
+    let (Some(store), Some(fp)) = (run.store, fingerprint) else {
+        return Ok(None);
+    };
+    let Some(record) = store.latest_valid(fp)? else {
+        return Ok(None);
+    };
+    let snap = EstimatorCheckpoint::from_payload(&record.payload)?;
+    if snap.method() != method {
+        return Err(ImportanceError::Checkpoint(format!(
+            "store record at step {} was written by `{}` but this run is `{method}`",
+            record.step,
+            snap.method()
+        )));
+    }
+    Ok(Some(snap))
+}
+
+/// Warm the memo cache from the store's persisted copy (corrupt or missing
+/// copies degrade to a cold cache inside [`RunStore::load_memo`]).
+fn preload_memo(run: &ImportanceRun, fingerprint: Option<&RunFingerprint>) -> Result<()> {
+    if let (Some(store), Some(cache), Some(fp)) = (run.store, run.cache, fingerprint) {
+        store.load_memo(fp, cache)?;
+    }
+    Ok(())
+}
+
+/// Which *base*-budget limit, if any, the run has hit — segment-clamped
+/// clocks can report a trip that only reflects the auto-checkpoint cadence,
+/// so the caller-visible exhaustion is recomputed against the caller's
+/// budget. Checks in the same order as `BudgetClock::exhausted`.
+fn base_exhaustion(
+    base: &RunBudget,
+    diagnostics: &ConvergenceDiagnostics,
+    elapsed: Duration,
+) -> Option<Exhaustion> {
+    if let Some(m) = base.max_iterations {
+        if diagnostics.iterations >= m {
+            return Some(Exhaustion::Iterations);
+        }
+    }
+    if let Some(m) = base.max_utility_calls {
+        if diagnostics.utility_calls >= m {
+            return Some(Exhaustion::UtilityCalls);
+        }
+    }
+    if let Some(w) = base.wall_clock {
+        if elapsed >= w {
+            return Some(Exhaustion::Deadline);
+        }
+    }
+    None
+}
+
+/// Drive an engine to completion in durable segments.
+///
+/// Each segment runs the engine under the caller's budget — clamped to
+/// `auto_checkpoint_every` additional iterations — then persists the
+/// returned state (and memo cache) to the store before starting the next
+/// segment. Without a cadence the engine runs once and the final state is
+/// persisted; without a store the segments merely bound how much work a
+/// budget overshoot can lose. Termination: every segment either advances
+/// the cursor by at least one step or trips a base-budget limit, and both
+/// paths exit the loop.
+#[allow(clippy::too_many_arguments)] // one slot per engine-surface concern
+fn drive<S, F>(
+    run: &ImportanceRun,
+    fingerprint: Option<&RunFingerprint>,
+    total: u64,
+    cursor_of: impl Fn(&S) -> u64,
+    payload_of: impl Fn(&S) -> Json,
+    mut resume: Option<S>,
+    mut segment: F,
+) -> Result<(ImportanceScores, ConvergenceDiagnostics, S, BatchStats)>
+where
+    F: FnMut(
+        &RunBudget,
+        Option<&S>,
+    ) -> Result<(ImportanceScores, ConvergenceDiagnostics, S, BatchStats)>,
+{
+    let unlimited = RunBudget::unlimited();
+    let base = run.budget.as_ref().unwrap_or(&unlimited);
+    let started = Instant::now();
+    let mut stats_total = BatchStats::default();
+    loop {
+        let done = resume.as_ref().map_or(0, &cursor_of);
+        let mut seg_budget = base.clone();
+        if let Some(every) = run.auto_checkpoint_every {
+            let cap = done.saturating_add(every.max(1));
+            seg_budget.max_iterations = Some(base.max_iterations.map_or(cap, |m| m.min(cap)));
+        }
+        if let Some(wall) = base.wall_clock {
+            seg_budget.wall_clock = Some(wall.saturating_sub(started.elapsed()));
+        }
+        let (scores, mut diagnostics, state, stats) = segment(&seg_budget, resume.as_ref())?;
+        stats_total.merge(&stats);
+        if let (Some(store), Some(fp)) = (run.store, fingerprint) {
+            store.save_checkpoint(fp, cursor_of(&state), &payload_of(&state))?;
+            if let Some(cache) = run.cache {
+                store.save_memo(fp, cache)?;
+            }
+        }
+        let finished = cursor_of(&state) >= total;
+        let tripped = base_exhaustion(base, &diagnostics, started.elapsed());
+        if finished || tripped.is_some() || run.auto_checkpoint_every.is_none() {
+            if run.auto_checkpoint_every.is_some() {
+                // The last segment's clock saw a clamped budget and only its
+                // own slice of wall time; report against the caller's budget.
+                diagnostics.exhausted = tripped;
+                diagnostics.elapsed = started.elapsed();
+            }
+            return Ok((scores, diagnostics, state, stats_total));
+        }
+        resume = Some(state);
+    }
+}
+
 /// Truncated Monte-Carlo Data Shapley through the unified run options.
 ///
 /// Honors every [`ImportanceRun`] option: budgets stop the run per utility
-/// call, `report.checkpoint` resumes it bit-identically, and
-/// `report.diagnostics` carries the authoritative clock counters.
+/// call, `report.checkpoint`/`report.snapshot` resume it bit-identically,
+/// a store makes it crash-safe, and `report.diagnostics` carries the
+/// authoritative clock counters.
 pub fn tmc_shapley<C>(
     run: &ImportanceRun,
     template: &C,
@@ -272,30 +506,53 @@ where
         seed: run.seed,
         threads: run.threads,
     };
-    let unlimited = RunBudget::unlimited();
-    let budget = run.budget.as_ref().unwrap_or(&unlimited);
-    let (result, stats) = tmc_engine(
-        template,
-        train,
-        valid,
-        &config,
-        budget,
-        run.checkpoint,
-        run.cache,
-        run.batch,
+    let fp = run.store.map(|_| {
+        RunFingerprint::new(
+            TMC_METHOD,
+            run.seed,
+            format!(
+                "permutations={};truncation_tolerance={}",
+                params.permutations, params.truncation_tolerance
+            ),
+            data_fingerprint(train, valid),
+        )
+    });
+    let resume = match resolve_resume(run, fp.as_ref(), TMC_METHOD)? {
+        Some(EstimatorCheckpoint::Tmc(c)) => Some(c),
+        Some(other) => {
+            return Err(ImportanceError::Checkpoint(format!(
+                "resume snapshot was written by `{}` but this run is `{TMC_METHOD}`",
+                other.method()
+            )))
+        }
+        None => None,
+    };
+    preload_memo(run, fp.as_ref())?;
+    let (scores, diagnostics, state, stats) = drive(
+        run,
+        fp.as_ref(),
+        params.permutations as u64,
+        |s: &McCheckpoint| s.cursor,
+        McCheckpoint::to_payload,
+        resume,
+        |budget, resume| {
+            let (result, stats) = tmc_engine(
+                template, train, valid, &config, budget, resume, run.cache, run.batch,
+            )?;
+            Ok((result.scores, result.diagnostics, result.checkpoint, stats))
+        },
     )?;
-    let mut report = RunReport::from_stats(result.diagnostics.utility_calls, stats);
-    report.diagnostics = Some(result.diagnostics);
-    report.checkpoint = Some(result.checkpoint);
-    Ok(ImportanceOutcome {
-        scores: result.scores,
-        report,
-    })
+    let mut report = RunReport::from_stats(diagnostics.utility_calls, stats);
+    report.diagnostics = Some(diagnostics);
+    report.checkpoint = Some(state.clone());
+    report.snapshot = Some(EstimatorCheckpoint::Tmc(state));
+    report.fingerprint = fp;
+    Ok(ImportanceOutcome { scores, report })
 }
 
 /// Data Banzhaf (maximum-sample-reuse estimator) through the unified run
-/// options. Budgets and checkpoints are not supported yet
-/// ([`ImportanceError::Unsupported`]).
+/// options. Budgets stop the run at sample granularity, `report.snapshot`
+/// resumes it bit-identically, and a store makes it crash-safe.
 pub fn banzhaf<C>(
     run: &ImportanceRun,
     template: &C,
@@ -306,21 +563,54 @@ pub fn banzhaf<C>(
 where
     C: Classifier + Send + Sync,
 {
-    run.reject_budgeting("banzhaf")?;
     let config = BanzhafConfig {
         samples: params.samples,
         seed: run.seed,
         threads: run.threads,
     };
-    let (scores, stats) = banzhaf_engine(template, train, valid, &config, run.cache, run.batch)?;
-    Ok(ImportanceOutcome {
-        scores,
-        report: RunReport::from_stats(stats.evals(), stats),
-    })
+    let fp = run.store.map(|_| {
+        RunFingerprint::new(
+            "banzhaf",
+            run.seed,
+            format!("samples={}", params.samples),
+            data_fingerprint(train, valid),
+        )
+    });
+    let resume = match resolve_resume(run, fp.as_ref(), "banzhaf")? {
+        Some(EstimatorCheckpoint::Banzhaf(c)) => Some(c),
+        Some(other) => {
+            return Err(ImportanceError::Checkpoint(format!(
+                "resume snapshot was written by `{}` but this run is `banzhaf`",
+                other.method()
+            )))
+        }
+        None => None,
+    };
+    preload_memo(run, fp.as_ref())?;
+    let (scores, diagnostics, state, stats) = drive(
+        run,
+        fp.as_ref(),
+        params.samples as u64,
+        |s: &crate::snapshot::BanzhafCheckpoint| s.cursor,
+        crate::snapshot::BanzhafCheckpoint::to_payload,
+        resume,
+        |budget, resume| {
+            let (result, stats) = banzhaf_engine_budgeted(
+                template, train, valid, &config, budget, resume, run.cache, run.batch,
+            )?;
+            Ok((result.scores, result.diagnostics, result.checkpoint, stats))
+        },
+    )?;
+    let mut report = RunReport::from_stats(diagnostics.utility_calls, stats);
+    report.diagnostics = Some(diagnostics);
+    report.snapshot = Some(EstimatorCheckpoint::Banzhaf(state));
+    report.fingerprint = fp;
+    Ok(ImportanceOutcome { scores, report })
 }
 
-/// Beta(α, β) semivalues through the unified run options. Budgets and
-/// checkpoints are not supported yet ([`ImportanceError::Unsupported`]).
+/// Beta(α, β) semivalues through the unified run options. Budgets stop the
+/// run at point granularity, `report.snapshot` resumes it bit-identically,
+/// and a store makes it crash-safe.
 pub fn beta_shapley<C>(
     run: &ImportanceRun,
     template: &C,
@@ -331,7 +621,6 @@ pub fn beta_shapley<C>(
 where
     C: Classifier + Send + Sync,
 {
-    run.reject_budgeting("beta_shapley")?;
     let config = BetaShapleyConfig {
         alpha: params.alpha,
         beta: params.beta,
@@ -339,27 +628,63 @@ where
         seed: run.seed,
         threads: run.threads,
     };
-    let (scores, stats) =
-        beta_shapley_engine(template, train, valid, &config, run.cache, run.batch)?;
-    Ok(ImportanceOutcome {
-        scores,
-        report: RunReport::from_stats(stats.evals(), stats),
-    })
+    let fp = run.store.map(|_| {
+        RunFingerprint::new(
+            "beta-shapley",
+            run.seed,
+            format!(
+                "alpha={};beta={};samples_per_point={}",
+                params.alpha, params.beta, params.samples_per_point
+            ),
+            data_fingerprint(train, valid),
+        )
+    });
+    let resume = match resolve_resume(run, fp.as_ref(), "beta-shapley")? {
+        Some(EstimatorCheckpoint::BetaShapley(c)) => Some(c),
+        Some(other) => {
+            return Err(ImportanceError::Checkpoint(format!(
+                "resume snapshot was written by `{}` but this run is `beta-shapley`",
+                other.method()
+            )))
+        }
+        None => None,
+    };
+    preload_memo(run, fp.as_ref())?;
+    let (scores, diagnostics, state, stats) = drive(
+        run,
+        fp.as_ref(),
+        train.len() as u64,
+        |s: &crate::snapshot::BetaShapleyCheckpoint| s.cursor,
+        crate::snapshot::BetaShapleyCheckpoint::to_payload,
+        resume,
+        |budget, resume| {
+            let (result, stats) = beta_shapley_engine_budgeted(
+                template, train, valid, &config, budget, resume, run.cache, run.batch,
+            )?;
+            Ok((result.scores, result.diagnostics, result.checkpoint, stats))
+        },
+    )?;
+    let mut report = RunReport::from_stats(diagnostics.utility_calls, stats);
+    report.diagnostics = Some(diagnostics);
+    report.snapshot = Some(EstimatorCheckpoint::BetaShapley(state));
+    report.fingerprint = fp;
+    Ok(ImportanceOutcome { scores, report })
 }
 
 /// Exact, closed-form KNN-Shapley through the unified run options.
 ///
 /// Closed-form: no utility calls are made, so `run.cache`, `run.batch` and
 /// `run.seed` are irrelevant (the result is deterministic); only
-/// `run.threads` matters. Budgets and checkpoints are rejected with
-/// [`ImportanceError::Unsupported`].
+/// `run.threads` matters. Budgets, resume state, and durable stores are
+/// rejected with [`ImportanceError::Unsupported`] — there is no
+/// Monte-Carlo state to stop, checkpoint, or persist.
 pub fn knn_shapley(
     run: &ImportanceRun,
     train: &Dataset,
     valid: &Dataset,
     k: usize,
 ) -> Result<ImportanceOutcome> {
-    run.reject_budgeting("knn_shapley")?;
+    run.reject_resumability("knn_shapley")?;
     let scores = knn_engine(train, valid, k, run.threads.max(1))?;
     Ok(ImportanceOutcome {
         scores,
@@ -395,6 +720,12 @@ mod tests {
         )
         .unwrap();
         (train, valid)
+    }
+
+    fn temp_store(tag: &str) -> RunStore {
+        let dir = std::env::temp_dir().join(format!("nde-run-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        RunStore::open(dir).unwrap()
     }
 
     #[test]
@@ -466,10 +797,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(resumed.scores, full.scores);
+        // The method-erased snapshot resumes identically.
+        let snap = cut.report.snapshot.unwrap();
+        let resumed = tmc_shapley(
+            &ImportanceRun::new(3).with_resume(&snap),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(resumed.scores, full.scores);
     }
 
     #[test]
-    fn banzhaf_and_beta_match_engine_and_reject_budgets() {
+    fn banzhaf_and_beta_budget_and_resume_through_run_options() {
         let (train, valid) = toy();
         let knn = KnnClassifier::new(1);
         let run = ImportanceRun::new(7).with_threads(2);
@@ -487,9 +829,33 @@ mod tests {
             BatchPolicy::Unbatched,
         )
         .unwrap();
-        let unified = banzhaf(&run, &knn, &train, &valid, &BanzhafParams { samples: 100 }).unwrap();
-        assert_eq!(unified.scores, legacy);
-        assert!(unified.report.utility_calls > 0);
+        let params = BanzhafParams { samples: 100 };
+        let full = banzhaf(&run, &knn, &train, &valid, &params).unwrap();
+        assert_eq!(full.scores, legacy);
+        assert!(full.report.utility_calls > 0);
+        // Budget cut: Banzhaf's unit cost is 0/1 per sample, so the trip
+        // point is exact; resuming from the snapshot is bit-identical.
+        let cut = banzhaf(
+            &run.clone()
+                .with_budget(RunBudget::unlimited().with_max_utility_calls(40)),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(cut.report.utility_calls, 40);
+        let snap = cut.report.snapshot.unwrap();
+        assert!(snap.step() < 100);
+        let resumed = banzhaf(
+            &run.clone().with_resume(&snap),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(resumed.scores, full.scores);
 
         let (legacy, _) = crate::beta_shapley::beta_shapley_engine(
             &knn,
@@ -505,34 +871,191 @@ mod tests {
             BatchPolicy::Unbatched,
         )
         .unwrap();
-        let unified = beta_shapley(
-            &run,
+        let params = BetaShapleyParams {
+            samples_per_point: 20,
+            ..BetaShapleyParams::default()
+        };
+        let full = beta_shapley(&run, &knn, &train, &valid, &params).unwrap();
+        assert_eq!(full.scores, legacy);
+        // Point-granular cut after 2 of 5 points, then a bit-identical
+        // resume through the method-erased snapshot.
+        let cut = beta_shapley(
+            &run.clone()
+                .with_budget(RunBudget::unlimited().with_max_iterations(2)),
             &knn,
             &train,
             &valid,
-            &BetaShapleyParams {
-                samples_per_point: 20,
-                ..BetaShapleyParams::default()
-            },
+            &params,
         )
         .unwrap();
-        assert_eq!(unified.scores, legacy);
+        let snap = cut.report.snapshot.unwrap();
+        assert_eq!(snap.step(), 2);
+        let resumed = beta_shapley(
+            &run.clone().with_resume(&snap),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(resumed.scores, full.scores);
 
-        let budgeted = ImportanceRun::new(0).with_budget(RunBudget::unlimited());
-        assert!(matches!(
-            banzhaf(&budgeted, &knn, &train, &valid, &BanzhafParams::default()),
-            Err(ImportanceError::Unsupported(_))
-        ));
+        // A snapshot can never cross methods: the Banzhaf run's snapshot is
+        // rejected by beta_shapley, and a TMC `with_checkpoint` by banzhaf.
+        let banzhaf_snap = full_banzhaf_snapshot(&run, &knn, &train, &valid);
         assert!(matches!(
             beta_shapley(
-                &budgeted,
+                &run.clone().with_resume(&banzhaf_snap),
                 &knn,
                 &train,
                 &valid,
-                &BetaShapleyParams::default()
+                &params
             ),
-            Err(ImportanceError::Unsupported(_))
+            Err(ImportanceError::Checkpoint(_))
         ));
+        let tmc = McCheckpoint::fresh(TMC_METHOD, 7, train.len());
+        assert!(matches!(
+            banzhaf(
+                &run.clone().with_checkpoint(&tmc),
+                &knn,
+                &train,
+                &valid,
+                &BanzhafParams { samples: 100 }
+            ),
+            Err(ImportanceError::Checkpoint(_))
+        ));
+    }
+
+    fn full_banzhaf_snapshot(
+        run: &ImportanceRun,
+        knn: &KnnClassifier,
+        train: &Dataset,
+        valid: &Dataset,
+    ) -> EstimatorCheckpoint {
+        banzhaf(run, knn, train, valid, &BanzhafParams { samples: 100 })
+            .unwrap()
+            .report
+            .snapshot
+            .unwrap()
+    }
+
+    #[test]
+    fn store_persists_and_auto_resumes_runs() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        let store = temp_store("auto-resume");
+        let params = TmcParams {
+            permutations: 12,
+            truncation_tolerance: 0.0,
+        };
+        let full = tmc_shapley(&ImportanceRun::new(5), &knn, &train, &valid, &params).unwrap();
+
+        // Segmented, budget-cut run: records land every 3 permutations.
+        let cut = tmc_shapley(
+            &ImportanceRun::new(5)
+                .with_store(&store)
+                .with_auto_checkpoint(3)
+                .with_budget(RunBudget::unlimited().with_max_iterations(7)),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        let fp = cut.report.fingerprint.clone().unwrap();
+        assert_eq!(fp.method, TMC_METHOD);
+        assert!(cut.report.diagnostics.as_ref().unwrap().iterations < 12);
+        assert!(!store.record_paths(&fp).unwrap().is_empty());
+
+        // Same options, no explicit resume: picks up the latest record and
+        // finishes bit-identically to the uninterrupted run.
+        let resumed = tmc_shapley(
+            &ImportanceRun::new(5).with_store(&store),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(resumed.scores, full.scores);
+        assert_eq!(resumed.report.diagnostics.unwrap().iterations, 12);
+
+        // Banzhaf shares the store root under its own fingerprint, and a
+        // fully segmented run still matches the one-shot scores bit-for-bit.
+        let plain = banzhaf(
+            &ImportanceRun::new(5),
+            &knn,
+            &train,
+            &valid,
+            &BanzhafParams { samples: 50 },
+        )
+        .unwrap();
+        let segmented = banzhaf(
+            &ImportanceRun::new(5)
+                .with_store(&store)
+                .with_auto_checkpoint(10),
+            &knn,
+            &train,
+            &valid,
+            &BanzhafParams { samples: 50 },
+        )
+        .unwrap();
+        assert_eq!(segmented.scores, plain.scores);
+        let bfp = segmented.report.fingerprint.unwrap();
+        assert_ne!(bfp.key(), fp.key());
+        assert!(!store.record_paths(&bfp).unwrap().is_empty());
+
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn store_persists_the_memo_cache_across_runs() {
+        let (train, valid) = toy();
+        let knn = KnnClassifier::new(1);
+        let store = temp_store("memo");
+        let params = BanzhafParams { samples: 60 };
+
+        let warm_cache = MemoCache::new();
+        let first = banzhaf(
+            &ImportanceRun::new(2)
+                .with_store(&store)
+                .with_cache(&warm_cache),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        // The first run retrains for real (repeat subsets may hit in-run).
+        assert!(first.report.batched_evals + first.report.fallback_evals > 0);
+
+        // Simulate a crash that wiped the checkpoint records but left the
+        // memo file: the re-run recomputes every sample, yet a fresh cache
+        // in the "new process" is preloaded from the store, so every
+        // logical call is answered without retraining.
+        let fp = first.report.fingerprint.unwrap();
+        for (_, path) in store.record_paths(&fp).unwrap() {
+            std::fs::remove_file(path).unwrap();
+        }
+        let cold_cache = MemoCache::new();
+        let second = banzhaf(
+            &ImportanceRun::new(2)
+                .with_store(&store)
+                .with_cache(&cold_cache),
+            &knn,
+            &train,
+            &valid,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(second.scores, first.scores);
+        assert_eq!(second.report.cache_hits, second.report.utility_calls);
+        assert_eq!(
+            second.report.batched_evals + second.report.fallback_evals,
+            0
+        );
+
+        std::fs::remove_dir_all(store.root()).ok();
     }
 
     #[test]
@@ -544,6 +1067,7 @@ mod tests {
         assert_eq!(unified.scores, legacy);
         assert_eq!(unified.report.utility_calls, 0);
         assert!(unified.report.checkpoint.is_none());
+        assert!(unified.report.snapshot.is_none());
 
         let ckpt = McCheckpoint::fresh("tmc-shapley", 0, train.len());
         let resuming = ImportanceRun::new(0).with_checkpoint(&ckpt);
@@ -551,6 +1075,13 @@ mod tests {
             knn_shapley(&resuming, &train, &valid, 2),
             Err(ImportanceError::Unsupported(_))
         ));
+        let store = temp_store("knn-reject");
+        let stored = ImportanceRun::new(0).with_store(&store);
+        assert!(matches!(
+            knn_shapley(&stored, &train, &valid, 2),
+            Err(ImportanceError::Unsupported(_))
+        ));
+        std::fs::remove_dir_all(store.root()).ok();
     }
 
     #[test]

@@ -1,0 +1,583 @@
+//! Resumable snapshots for the non-TMC Monte-Carlo estimators.
+//!
+//! [`McCheckpoint`] covers the permutation-walk
+//! state of TMC-Shapley; Banzhaf MSR and Beta Shapley accumulate different
+//! partial state (subset-sample sums, per-point values). These types give
+//! them the same durable form: a validated struct that converts to and from
+//! a [`Json`] payload so every estimator checkpoints through the same
+//! [`RunStore`](nde_robust::RunStore) records.
+//!
+//! All float fields round-trip bit-identically (shortest-round-trip
+//! serialization via [`nde_data::json`]) and are rejected when non-finite —
+//! the same hardening contract as `McCheckpoint`: a `1e999` smuggled into a
+//! running sum must fail parsing, never poison a resumed fold.
+
+use crate::banzhaf::BanzhafConfig;
+use crate::beta_shapley::BetaShapleyConfig;
+use crate::{ImportanceError, Result};
+use nde_data::json::{Json, ToJson};
+use nde_robust::McCheckpoint;
+
+fn field<'a>(doc: &'a Json, name: &str) -> Result<&'a Json> {
+    doc.get(name)
+        .ok_or_else(|| ImportanceError::Checkpoint(format!("missing field `{name}`")))
+}
+
+fn uint(doc: &Json, name: &str) -> Result<u64> {
+    field(doc, name)?
+        .as_u64()
+        .ok_or_else(|| ImportanceError::Checkpoint(format!("`{name}` is not an integer")))
+}
+
+fn finite(doc: &Json, name: &str) -> Result<f64> {
+    let v = field(doc, name)?
+        .as_f64()
+        .ok_or_else(|| ImportanceError::Checkpoint(format!("`{name}` is not a number")))?;
+    if !v.is_finite() {
+        return Err(ImportanceError::Checkpoint(format!(
+            "`{name}` is not a finite number"
+        )));
+    }
+    Ok(v)
+}
+
+fn finite_vec(doc: &Json, name: &str) -> Result<Vec<f64>> {
+    let arr = field(doc, name)?
+        .as_arr()
+        .ok_or_else(|| ImportanceError::Checkpoint(format!("`{name}` is not an array")))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, v) in arr.iter().enumerate() {
+        let v = v
+            .as_f64()
+            .ok_or_else(|| ImportanceError::Checkpoint(format!("`{name}[{i}]` is not a number")))?;
+        if !v.is_finite() {
+            return Err(ImportanceError::Checkpoint(format!(
+                "`{name}[{i}]` is not a finite number"
+            )));
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn uint_vec(doc: &Json, name: &str) -> Result<Vec<u64>> {
+    field(doc, name)?
+        .as_arr()
+        .ok_or_else(|| ImportanceError::Checkpoint(format!("`{name}` is not an array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| ImportanceError::Checkpoint(format!("`{name}` holds a non-integer")))
+        })
+        .collect()
+}
+
+fn check_method(doc: &Json, expected: &str) -> Result<()> {
+    let method = field(doc, "method")?
+        .as_str()
+        .ok_or_else(|| ImportanceError::Checkpoint("`method` is not a string".into()))?;
+    if method != expected {
+        return Err(ImportanceError::Checkpoint(format!(
+            "snapshot written by `{method}`, expected `{expected}`"
+        )));
+    }
+    Ok(())
+}
+
+/// Partial state of a Banzhaf MSR estimation: subset samples `0..cursor`
+/// folded into the conditional sums. Resume continues the fold at `cursor`,
+/// so an interrupted run is **bit-identical** to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BanzhafCheckpoint {
+    /// Base seed; sample `s` draws from `child_seed(seed, s)`.
+    pub seed: u64,
+    /// Number of scored training examples.
+    pub n: usize,
+    /// Configured total subset samples.
+    pub samples: u64,
+    /// Next subset-sample index to fold.
+    pub cursor: u64,
+    /// Cumulative logical utility calls across all segments.
+    pub utility_calls: u64,
+    /// Sum of `U(S)` over samples containing each point.
+    pub with_sum: Vec<f64>,
+    /// Number of samples containing each point.
+    pub with_count: Vec<u64>,
+    /// Sum of `U(S)` over samples excluding each point.
+    pub without_sum: Vec<f64>,
+    /// Number of samples excluding each point.
+    pub without_count: Vec<u64>,
+}
+
+impl BanzhafCheckpoint {
+    /// A zeroed snapshot at sample 0 for this run shape.
+    pub fn fresh(config: &BanzhafConfig, n: usize) -> BanzhafCheckpoint {
+        BanzhafCheckpoint {
+            seed: config.seed,
+            n,
+            samples: config.samples as u64,
+            cursor: 0,
+            utility_calls: 0,
+            with_sum: vec![0.0; n],
+            with_count: vec![0; n],
+            without_sum: vec![0.0; n],
+            without_count: vec![0; n],
+        }
+    }
+
+    /// Internal consistency: vector lengths, cursor bounds, finite floats,
+    /// and per-point counts summing to the cursor.
+    pub fn validate(&self) -> Result<()> {
+        let lens = [
+            self.with_sum.len(),
+            self.with_count.len(),
+            self.without_sum.len(),
+            self.without_count.len(),
+        ];
+        if lens.iter().any(|&l| l != self.n) {
+            return Err(ImportanceError::Checkpoint(format!(
+                "snapshot claims n={} but holds sum/count vectors of lengths {lens:?}",
+                self.n
+            )));
+        }
+        if self.cursor > self.samples {
+            return Err(ImportanceError::Checkpoint(format!(
+                "cursor {} exceeds configured samples {}",
+                self.cursor, self.samples
+            )));
+        }
+        for (name, values) in [
+            ("with_sum", &self.with_sum),
+            ("without_sum", &self.without_sum),
+        ] {
+            if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+                return Err(ImportanceError::Checkpoint(format!(
+                    "`{name}[{i}]` is not a finite number"
+                )));
+            }
+        }
+        for i in 0..self.n {
+            if self.with_count[i] + self.without_count[i] != self.cursor {
+                return Err(ImportanceError::Checkpoint(format!(
+                    "point {i} counts {} + {} do not sum to cursor {}",
+                    self.with_count[i], self.without_count[i], self.cursor
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reject a snapshot that was written by a differently-shaped run.
+    pub fn validate_against(&self, config: &BanzhafConfig, n: usize) -> Result<()> {
+        self.validate()?;
+        if self.seed != config.seed || self.samples != config.samples as u64 || self.n != n {
+            return Err(ImportanceError::Checkpoint(format!(
+                "snapshot (seed={}, samples={}, n={}) does not match run \
+                 (seed={}, samples={}, n={n})",
+                self.seed, self.samples, self.n, config.seed, config.samples
+            )));
+        }
+        Ok(())
+    }
+
+    /// Best-so-far Banzhaf values from the folded samples:
+    /// `mean(U | i ∈ S) − mean(U | i ∉ S)` (0 for an unseen side).
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| {
+                let w = if self.with_count[i] > 0 {
+                    self.with_sum[i] / self.with_count[i] as f64
+                } else {
+                    0.0
+                };
+                let wo = if self.without_count[i] > 0 {
+                    self.without_sum[i] / self.without_count[i] as f64
+                } else {
+                    0.0
+                };
+                w - wo
+            })
+            .collect()
+    }
+
+    /// The snapshot as a durable-store payload.
+    pub fn to_payload(&self) -> Json {
+        Json::Obj(vec![
+            ("method".into(), Json::Str("banzhaf".into())),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("n".into(), Json::UInt(self.n as u64)),
+            ("samples".into(), Json::UInt(self.samples)),
+            ("cursor".into(), Json::UInt(self.cursor)),
+            ("utility_calls".into(), Json::UInt(self.utility_calls)),
+            ("with_sum".into(), self.with_sum.to_json()),
+            (
+                "with_count".into(),
+                Json::Arr(self.with_count.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("without_sum".into(), self.without_sum.to_json()),
+            (
+                "without_count".into(),
+                Json::Arr(self.without_count.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+        ])
+    }
+
+    /// Reconstruct and validate a snapshot from a durable-store payload.
+    pub fn from_payload(doc: &Json) -> Result<BanzhafCheckpoint> {
+        check_method(doc, "banzhaf")?;
+        let ckpt = BanzhafCheckpoint {
+            seed: uint(doc, "seed")?,
+            n: uint(doc, "n")? as usize,
+            samples: uint(doc, "samples")?,
+            cursor: uint(doc, "cursor")?,
+            utility_calls: uint(doc, "utility_calls")?,
+            with_sum: finite_vec(doc, "with_sum")?,
+            with_count: uint_vec(doc, "with_count")?,
+            without_sum: finite_vec(doc, "without_sum")?,
+            without_count: uint_vec(doc, "without_count")?,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+}
+
+/// Partial state of a Beta Shapley estimation: points `0..cursor` fully
+/// scored (each point's samples are an independent RNG stream, so resume is
+/// point-granular and **bit-identical**). Values of unscored points are 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BetaShapleyCheckpoint {
+    /// Beta α parameter of the run that wrote the snapshot.
+    pub alpha: f64,
+    /// Beta β parameter of the run that wrote the snapshot.
+    pub beta: f64,
+    /// Configured Monte-Carlo samples per point.
+    pub samples_per_point: u64,
+    /// Base seed; point `i` draws from `child_seed(seed, i)`.
+    pub seed: u64,
+    /// Number of scored training examples.
+    pub n: usize,
+    /// Next point index to score.
+    pub cursor: u64,
+    /// Cumulative logical utility calls across all segments.
+    pub utility_calls: u64,
+    /// Per-point values (0 for points at or beyond `cursor`).
+    pub values: Vec<f64>,
+}
+
+impl BetaShapleyCheckpoint {
+    /// A zeroed snapshot at point 0 for this run shape.
+    pub fn fresh(config: &BetaShapleyConfig, n: usize) -> BetaShapleyCheckpoint {
+        BetaShapleyCheckpoint {
+            alpha: config.alpha,
+            beta: config.beta,
+            samples_per_point: config.samples_per_point as u64,
+            seed: config.seed,
+            n,
+            cursor: 0,
+            utility_calls: 0,
+            values: vec![0.0; n],
+        }
+    }
+
+    /// Internal consistency: vector length, cursor bounds, finite floats.
+    pub fn validate(&self) -> Result<()> {
+        if self.values.len() != self.n {
+            return Err(ImportanceError::Checkpoint(format!(
+                "snapshot claims n={} but holds {} values",
+                self.n,
+                self.values.len()
+            )));
+        }
+        if self.cursor as usize > self.n {
+            return Err(ImportanceError::Checkpoint(format!(
+                "cursor {} exceeds n={}",
+                self.cursor, self.n
+            )));
+        }
+        if !(self.alpha.is_finite() && self.alpha > 0.0 && self.beta.is_finite() && self.beta > 0.0)
+        {
+            return Err(ImportanceError::Checkpoint(format!(
+                "alpha={} / beta={} outside (0, ∞)",
+                self.alpha, self.beta
+            )));
+        }
+        if let Some(i) = self.values.iter().position(|v| !v.is_finite()) {
+            return Err(ImportanceError::Checkpoint(format!(
+                "`values[{i}]` is not a finite number"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reject a snapshot that was written by a differently-shaped run.
+    /// α/β are compared bit-exactly: any difference changes the size
+    /// distribution and therefore every RNG draw.
+    pub fn validate_against(&self, config: &BetaShapleyConfig, n: usize) -> Result<()> {
+        self.validate()?;
+        if self.seed != config.seed
+            || self.samples_per_point != config.samples_per_point as u64
+            || self.n != n
+            || self.alpha.to_bits() != config.alpha.to_bits()
+            || self.beta.to_bits() != config.beta.to_bits()
+        {
+            return Err(ImportanceError::Checkpoint(format!(
+                "snapshot (seed={}, spp={}, n={}, alpha={}, beta={}) does not match run \
+                 (seed={}, spp={}, n={n}, alpha={}, beta={})",
+                self.seed,
+                self.samples_per_point,
+                self.n,
+                self.alpha,
+                self.beta,
+                config.seed,
+                config.samples_per_point,
+                config.alpha,
+                config.beta
+            )));
+        }
+        Ok(())
+    }
+
+    /// The snapshot as a durable-store payload.
+    pub fn to_payload(&self) -> Json {
+        Json::Obj(vec![
+            ("method".into(), Json::Str("beta-shapley".into())),
+            ("alpha".into(), self.alpha.to_json()),
+            ("beta".into(), self.beta.to_json()),
+            (
+                "samples_per_point".into(),
+                Json::UInt(self.samples_per_point),
+            ),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("n".into(), Json::UInt(self.n as u64)),
+            ("cursor".into(), Json::UInt(self.cursor)),
+            ("utility_calls".into(), Json::UInt(self.utility_calls)),
+            ("values".into(), self.values.to_json()),
+        ])
+    }
+
+    /// Reconstruct and validate a snapshot from a durable-store payload.
+    pub fn from_payload(doc: &Json) -> Result<BetaShapleyCheckpoint> {
+        check_method(doc, "beta-shapley")?;
+        let ckpt = BetaShapleyCheckpoint {
+            alpha: finite(doc, "alpha")?,
+            beta: finite(doc, "beta")?,
+            samples_per_point: uint(doc, "samples_per_point")?,
+            seed: uint(doc, "seed")?,
+            n: uint(doc, "n")? as usize,
+            cursor: uint(doc, "cursor")?,
+            utility_calls: uint(doc, "utility_calls")?,
+            values: finite_vec(doc, "values")?,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+}
+
+/// A snapshot from any of the resumable Monte-Carlo estimators — the
+/// method-erased form the run API and durable store traffic in. The
+/// `method` tag inside each payload selects the variant on parse, so a
+/// record can never be resumed into the wrong estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorCheckpoint {
+    /// TMC-Shapley permutation-walk state.
+    Tmc(McCheckpoint),
+    /// Banzhaf MSR conditional-sum state.
+    Banzhaf(BanzhafCheckpoint),
+    /// Beta Shapley per-point state.
+    BetaShapley(BetaShapleyCheckpoint),
+}
+
+impl EstimatorCheckpoint {
+    /// The method tag carried in the payload.
+    pub fn method(&self) -> &'static str {
+        match self {
+            EstimatorCheckpoint::Tmc(_) => "tmc-shapley",
+            EstimatorCheckpoint::Banzhaf(_) => "banzhaf",
+            EstimatorCheckpoint::BetaShapley(_) => "beta-shapley",
+        }
+    }
+
+    /// Monotone progress step (the estimator's cursor).
+    pub fn step(&self) -> u64 {
+        match self {
+            EstimatorCheckpoint::Tmc(c) => c.cursor,
+            EstimatorCheckpoint::Banzhaf(c) => c.cursor,
+            EstimatorCheckpoint::BetaShapley(c) => c.cursor,
+        }
+    }
+
+    /// Cumulative logical utility calls recorded by the snapshot.
+    pub fn utility_calls(&self) -> u64 {
+        match self {
+            EstimatorCheckpoint::Tmc(c) => c.utility_calls,
+            EstimatorCheckpoint::Banzhaf(c) => c.utility_calls,
+            EstimatorCheckpoint::BetaShapley(c) => c.utility_calls,
+        }
+    }
+
+    /// The snapshot as a durable-store payload.
+    pub fn to_payload(&self) -> Json {
+        match self {
+            EstimatorCheckpoint::Tmc(c) => c.to_payload(),
+            EstimatorCheckpoint::Banzhaf(c) => c.to_payload(),
+            EstimatorCheckpoint::BetaShapley(c) => c.to_payload(),
+        }
+    }
+
+    /// Reconstruct from a durable-store payload, dispatching on the
+    /// payload's `method` tag.
+    pub fn from_payload(doc: &Json) -> Result<EstimatorCheckpoint> {
+        let method = field(doc, "method")?
+            .as_str()
+            .ok_or_else(|| ImportanceError::Checkpoint("`method` is not a string".into()))?;
+        match method {
+            "tmc-shapley" => Ok(EstimatorCheckpoint::Tmc(McCheckpoint::from_payload(doc)?)),
+            "banzhaf" => Ok(EstimatorCheckpoint::Banzhaf(
+                BanzhafCheckpoint::from_payload(doc)?,
+            )),
+            "beta-shapley" => Ok(EstimatorCheckpoint::BetaShapley(
+                BetaShapleyCheckpoint::from_payload(doc)?,
+            )),
+            other => Err(ImportanceError::Checkpoint(format!(
+                "unknown estimator snapshot method `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banzhaf_sample() -> BanzhafCheckpoint {
+        BanzhafCheckpoint {
+            seed: u64::MAX - 1,
+            n: 3,
+            samples: 10,
+            cursor: 4,
+            utility_calls: 7,
+            with_sum: vec![0.1 + 0.2, -1.5e-13, 0.625],
+            with_count: vec![2, 1, 3],
+            without_sum: vec![0.5, 1.0 / 3.0, -0.25],
+            without_count: vec![2, 3, 1],
+        }
+    }
+
+    fn beta_sample() -> BetaShapleyCheckpoint {
+        BetaShapleyCheckpoint {
+            alpha: 1.0,
+            beta: 16.0,
+            samples_per_point: 30,
+            seed: 11,
+            n: 4,
+            cursor: 2,
+            utility_calls: 120,
+            values: vec![0.1 + 0.2, -0.125, 0.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn banzhaf_payload_roundtrip_is_bit_identical() {
+        let ckpt = banzhaf_sample();
+        let text = ckpt.to_payload().to_string_pretty();
+        let back = BanzhafCheckpoint::from_payload(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ckpt);
+        for (a, b) in ckpt.with_sum.iter().zip(&back.with_sum) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn beta_payload_roundtrip_is_bit_identical() {
+        let ckpt = beta_sample();
+        let text = ckpt.to_payload().to_string_pretty();
+        let back = BetaShapleyCheckpoint::from_payload(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ckpt);
+        for (a, b) in ckpt.values.iter().zip(&back.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn method_tags_are_enforced() {
+        let banzhaf = banzhaf_sample().to_payload();
+        assert!(matches!(
+            BetaShapleyCheckpoint::from_payload(&banzhaf),
+            Err(ImportanceError::Checkpoint(_))
+        ));
+        let beta = beta_sample().to_payload();
+        assert!(matches!(
+            BanzhafCheckpoint::from_payload(&beta),
+            Err(ImportanceError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        // Torn text, non-finite floats, inconsistent counts: all rejected.
+        let text = banzhaf_sample().to_payload().to_string_pretty();
+        for cut in 0..text.len() {
+            assert!(Json::parse(&text[..cut])
+                .map(|doc| BanzhafCheckpoint::from_payload(&doc))
+                .map_or(true, |r| r.is_err()));
+        }
+        let inf = text.replacen("0.30000000000000004", "1e999", 1);
+        assert_ne!(inf, text);
+        assert!(BanzhafCheckpoint::from_payload(&Json::parse(&inf).unwrap()).is_err());
+        let mut bad = banzhaf_sample();
+        bad.with_count[0] += 1;
+        assert!(bad.validate().is_err());
+        let mut bad = beta_sample();
+        bad.values[1] = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = beta_sample();
+        bad.cursor = 99;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn estimator_checkpoint_dispatches_on_method_tag() {
+        let tmc = McCheckpoint::fresh("tmc-shapley", 5, 3);
+        for ckpt in [
+            EstimatorCheckpoint::Tmc(tmc),
+            EstimatorCheckpoint::Banzhaf(banzhaf_sample()),
+            EstimatorCheckpoint::BetaShapley(beta_sample()),
+        ] {
+            let back = EstimatorCheckpoint::from_payload(&ckpt.to_payload()).unwrap();
+            assert_eq!(back, ckpt);
+            assert_eq!(back.method(), ckpt.method());
+        }
+        let unknown = Json::Obj(vec![("method".into(), Json::Str("zorro".into()))]);
+        assert!(matches!(
+            EstimatorCheckpoint::from_payload(&unknown),
+            Err(ImportanceError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected_on_resume() {
+        let cfg = BanzhafConfig {
+            samples: 10,
+            seed: u64::MAX - 1,
+            threads: 1,
+        };
+        assert!(banzhaf_sample().validate_against(&cfg, 3).is_ok());
+        assert!(banzhaf_sample().validate_against(&cfg, 4).is_err());
+        let other = BanzhafConfig { seed: 0, ..cfg };
+        assert!(banzhaf_sample().validate_against(&other, 3).is_err());
+
+        let cfg = BetaShapleyConfig {
+            alpha: 1.0,
+            beta: 16.0,
+            samples_per_point: 30,
+            seed: 11,
+            threads: 1,
+        };
+        assert!(beta_sample().validate_against(&cfg, 4).is_ok());
+        let other = BetaShapleyConfig {
+            beta: 16.0 + 1e-12,
+            ..cfg
+        };
+        assert!(beta_sample().validate_against(&other, 4).is_err());
+    }
+}

@@ -87,6 +87,28 @@ impl Dataset {
         self.subset(&keep)
     }
 
+    /// A 64-bit content fingerprint over shape, feature bits, labels, and
+    /// class count. Two datasets fingerprint equal iff they are bit-for-bit
+    /// identical, so the value is a safe durable-store key for "same data
+    /// as the run that wrote this checkpoint" (NaN payload differences
+    /// included: hashing `to_bits` distinguishes them).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = nde_data::fxhash::FxHasher::default();
+        h.write_usize(self.x.rows());
+        h.write_usize(self.x.cols());
+        for row in self.x.iter_rows() {
+            for v in row {
+                h.write_u64(v.to_bits());
+            }
+        }
+        for &label in &self.y {
+            h.write_usize(label);
+        }
+        h.write_usize(self.n_classes);
+        h.finish()
+    }
+
     /// The majority class (ties broken toward the smaller class id).
     pub fn majority_class(&self) -> usize {
         let mut counts = vec![0usize; self.n_classes];
@@ -213,6 +235,22 @@ mod tests {
         let d2 =
             Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1, 1, 0], 2).unwrap();
         assert_eq!(d2.majority_class(), 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let d = Dataset::from_rows(vec![vec![0.5, 1.0], vec![2.0, 3.0]], vec![0, 1], 2).unwrap();
+        assert_eq!(d.fingerprint(), d.clone().fingerprint());
+        let mut flipped = d.clone();
+        flipped.y[0] = 1;
+        assert_ne!(d.fingerprint(), flipped.fingerprint());
+        let mut nudged = d.clone();
+        nudged.x = Matrix::from_rows(vec![vec![0.5, 1.0], vec![2.0, 3.0 + 1e-12]]).unwrap();
+        assert_ne!(d.fingerprint(), nudged.fingerprint());
+        // Shape is part of the key: a transposed-looking flat layout with
+        // the same bytes must not collide.
+        let wide = Dataset::from_rows(vec![vec![0.5, 1.0, 2.0, 3.0]], vec![0], 2);
+        assert!(wide.is_err() || wide.unwrap().fingerprint() != d.fingerprint());
     }
 
     #[test]

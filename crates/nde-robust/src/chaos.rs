@@ -11,17 +11,27 @@
 //!   dataset cells, [`corrupting_projection`] emits NaN mid-pipeline;
 //! - **flaky dependencies** — [`FaultSchedule`] decides deterministically
 //!   which call indices fail (used by e.g. `nde-cleaning`'s `FlakyOracle`
-//!   together with [`crate::retry`]).
+//!   together with [`crate::retry`]);
+//! - **durability faults** — [`CheckpointKillSwitch`] crashes a supervised
+//!   run at scheduled checkpoint saves, while [`truncate_record`],
+//!   [`corrupt_record_checksum`], and [`stale_record_version`] damage
+//!   on-disk [`crate::durable::RunStore`] records the way torn writes,
+//!   bit-rot, and format drift would.
 //!
 //! Everything here is deterministic: a fault plan is a pure function of its
 //! configuration (and, for sampled plans, a seed), so a failing chaos test
 //! reproduces exactly.
 
+use crate::error::RobustError;
+use crate::Result;
+use nde_data::json::Json;
 use nde_data::rng::{seeded, Rng};
 use nde_data::{DataType, Value};
 use nde_ml::dataset::Dataset;
 use nde_pipeline::expr::Expr;
 use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Deterministic schedule of which calls to an injected-fault site fail.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,6 +174,103 @@ pub fn corrupt_features(data: &mut Dataset, n_cells: usize, seed: u64) -> Vec<(u
     out
 }
 
+/// Crashes a supervised run at scheduled checkpoint saves.
+///
+/// Call [`CheckpointKillSwitch::observe`] right after each durable
+/// checkpoint write; the switch counts invocations across restarts and
+/// panics (with [`CHAOS_PANIC_PREFIX`]) whenever the [`FaultSchedule`]
+/// fires for the current count — "the process died immediately after
+/// persisting checkpoint k".
+#[derive(Debug)]
+pub struct CheckpointKillSwitch {
+    schedule: FaultSchedule,
+    saves: AtomicU64,
+}
+
+impl CheckpointKillSwitch {
+    /// A switch that fires per the schedule (indices are cumulative
+    /// checkpoint saves, 0-based, counted across restarts).
+    pub fn new(schedule: FaultSchedule) -> CheckpointKillSwitch {
+        CheckpointKillSwitch {
+            schedule,
+            saves: AtomicU64::new(0),
+        }
+    }
+
+    /// Checkpoint saves observed so far.
+    pub fn saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    /// Record one checkpoint save; panics if the schedule kills this one.
+    pub fn observe(&self) {
+        let k = self.saves.fetch_add(1, Ordering::Relaxed);
+        if self.schedule.should_fail(k) {
+            panic!("{CHAOS_PANIC_PREFIX}: process killed after checkpoint save {k}");
+        }
+    }
+}
+
+/// Torn write: truncate an on-disk record to its first `keep` bytes (a
+/// crash mid-write under a non-atomic writer). `keep` past the end is a
+/// no-op.
+pub fn truncate_record(path: impl AsRef<Path>, keep: usize) -> Result<()> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RobustError::Io(format!("reading {}: {e}", path.display())))?;
+    let keep = keep.min(text.len());
+    // Cutting mid-UTF-8 can't happen for ASCII JSON, but stay safe anyway.
+    let cut = (0..=keep)
+        .rev()
+        .find(|&i| text.is_char_boundary(i))
+        .unwrap_or(0);
+    std::fs::write(path, &text[..cut])
+        .map_err(|e| RobustError::Io(format!("truncating {}: {e}", path.display())))
+}
+
+/// Rewrite one top-level field of a JSON record in place (shared plumbing
+/// for the corruption helpers below).
+fn rewrite_field(path: &Path, field: &str, value: Json) -> Result<()> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RobustError::Io(format!("reading {}: {e}", path.display())))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| RobustError::Io(format!("parsing {}: {e}", path.display())))?;
+    let Json::Obj(mut fields) = doc else {
+        return Err(RobustError::Io(format!(
+            "{} is not a JSON object",
+            path.display()
+        )));
+    };
+    match fields.iter_mut().find(|(name, _)| name == field) {
+        Some(slot) => slot.1 = value,
+        None => fields.push((field.to_string(), value)),
+    }
+    std::fs::write(path, Json::Obj(fields).to_string_pretty())
+        .map_err(|e| RobustError::Io(format!("rewriting {}: {e}", path.display())))
+}
+
+/// Bit-rot: flip the stored checksum of a record so it no longer matches
+/// its payload. The payload itself is left untouched — exactly the failure
+/// a flipped disk bit in the checksum field produces.
+pub fn corrupt_record_checksum(path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RobustError::Io(format!("reading {}: {e}", path.display())))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| RobustError::Io(format!("parsing {}: {e}", path.display())))?;
+    let stored = doc
+        .get("checksum")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| RobustError::Io(format!("{} has no integer checksum", path.display())))?;
+    rewrite_field(path, "checksum", Json::UInt(stored.wrapping_add(1)))
+}
+
+/// Format drift: stamp a record with a different (stale) format version so
+/// readers from the current version must skip it.
+pub fn stale_record_version(path: impl AsRef<Path>, version: u64) -> Result<()> {
+    rewrite_field(path.as_ref(), "format_version", Json::UInt(version))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +327,54 @@ mod tests {
         assert_eq!(corrupt_features(&mut again, 2, 7), cells);
         // Degenerate inputs are no-ops.
         assert!(corrupt_features(&mut again, 0, 7).is_empty());
+    }
+
+    #[test]
+    fn kill_switch_fires_on_schedule() {
+        let ks = CheckpointKillSwitch::new(FaultSchedule::at(&[2]));
+        ks.observe();
+        ks.observe();
+        assert_eq!(ks.saves(), 2);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ks.observe()));
+        let msg = *died.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.starts_with(CHAOS_PANIC_PREFIX), "{msg}");
+        assert!(msg.contains("checkpoint save 2"), "{msg}");
+        // The schedule has passed; later saves survive.
+        ks.observe();
+        assert_eq!(ks.saves(), 4);
+    }
+
+    #[test]
+    fn record_corruption_helpers_damage_files_as_advertised() {
+        let dir = std::env::temp_dir().join(format!("nde-chaos-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let record = Json::Obj(vec![
+            ("format_version".into(), Json::UInt(1)),
+            ("checksum".into(), Json::UInt(77)),
+            ("payload".into(), Json::Str("data".into())),
+        ])
+        .to_string_pretty();
+
+        let p = dir.join("torn.json");
+        std::fs::write(&p, &record).unwrap();
+        truncate_record(&p, record.len() / 2).unwrap();
+        let torn = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(torn.len(), record.len() / 2);
+        assert!(Json::parse(&torn).is_err());
+
+        let p = dir.join("rot.json");
+        std::fs::write(&p, &record).unwrap();
+        corrupt_record_checksum(&p).unwrap();
+        let rotten = Json::parse(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(rotten.get("checksum").unwrap().as_u64(), Some(78));
+        assert_eq!(rotten.get("payload").unwrap().as_str(), Some("data"));
+
+        let p = dir.join("stale.json");
+        std::fs::write(&p, &record).unwrap();
+        stale_record_version(&p, 0).unwrap();
+        let stale = Json::parse(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(stale.get("format_version").unwrap().as_u64(), Some(0));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

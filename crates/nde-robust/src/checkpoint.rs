@@ -80,8 +80,13 @@ impl McCheckpoint {
         }
     }
 
-    /// Validate internal consistency (vector lengths match `n`, in-flight
-    /// state is well-formed).
+    /// Validate internal consistency (vector lengths match `n`, every float
+    /// is finite, in-flight state is well-formed).
+    ///
+    /// The finiteness check matters for parsing as much as for in-process
+    /// state: a permissive JSON reader turns `1e999` into `+inf`, and a
+    /// NaN smuggled into the running sums would silently poison every
+    /// score folded after resume.
     pub fn validate(&self) -> Result<()> {
         if self.totals.len() != self.n || self.totals_sq.len() != self.n {
             return Err(RobustError::Checkpoint(format!(
@@ -91,7 +96,23 @@ impl McCheckpoint {
                 self.totals_sq.len()
             )));
         }
+        let all_finite = |name: &str, values: &[f64]| -> Result<()> {
+            match values.iter().position(|v| !v.is_finite()) {
+                Some(i) => Err(RobustError::Checkpoint(format!(
+                    "`{name}[{i}]` is not a finite number"
+                ))),
+                None => Ok(()),
+            }
+        };
+        all_finite("totals", &self.totals)?;
+        all_finite("totals_sq", &self.totals_sq)?;
         if let Some(inflight) = &self.inflight {
+            if !inflight.prev_u.is_finite() {
+                return Err(RobustError::Checkpoint(
+                    "`inflight.prev_u` is not a finite number".into(),
+                ));
+            }
+            all_finite("inflight.marginals", &inflight.marginals)?;
             if inflight.marginals.len() != self.n {
                 return Err(RobustError::Checkpoint(format!(
                     "in-flight state claims n={} but holds {} marginals",
@@ -114,8 +135,10 @@ impl McCheckpoint {
         Ok(())
     }
 
-    /// Serialize to pretty JSON.
-    pub fn to_json(&self) -> String {
+    /// The checkpoint as a structured JSON payload — the form a durable
+    /// [`crate::RunStore`] record carries. [`McCheckpoint::to_json`] is this
+    /// payload rendered as pretty text.
+    pub fn to_payload(&self) -> Json {
         let rng_state = match self.rng_state {
             Some(words) => Json::Arr(words.iter().map(|&w| Json::UInt(w)).collect()),
             None => Json::Null,
@@ -139,13 +162,23 @@ impl McCheckpoint {
             ("totals".into(), self.totals.to_json()),
             ("totals_sq".into(), self.totals_sq.to_json()),
         ])
-        .to_string_pretty()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        self.to_payload().to_string_pretty()
     }
 
     /// Parse a checkpoint serialized with [`McCheckpoint::to_json`].
     pub fn from_json(text: &str) -> Result<McCheckpoint> {
         let doc = Json::parse(text)
             .map_err(|e| RobustError::Checkpoint(format!("unparseable checkpoint: {e}")))?;
+        McCheckpoint::from_payload(&doc)
+    }
+
+    /// Reconstruct from a structured payload (e.g. a durable-store record),
+    /// validating field types, vector lengths, and float finiteness.
+    pub fn from_payload(doc: &Json) -> Result<McCheckpoint> {
         let field = |name: &str| {
             doc.get(name)
                 .ok_or_else(|| RobustError::Checkpoint(format!("missing field `{name}`")))
@@ -389,5 +422,95 @@ mod tests {
             McCheckpoint::from_json(&ckpt.to_json()),
             Err(RobustError::Checkpoint(_))
         ));
+    }
+
+    #[test]
+    fn truncated_serializations_never_panic() {
+        // A torn write can cut the file at any byte; every prefix must come
+        // back as a typed error (the full text parses, nothing panics).
+        let text = sample().to_json();
+        for cut in 0..text.len() {
+            assert!(matches!(
+                McCheckpoint::from_json(&text[..cut]),
+                Err(RobustError::Checkpoint(_))
+            ));
+        }
+        assert!(McCheckpoint::from_json(&text).is_ok());
+    }
+
+    #[test]
+    fn non_finite_float_encodings_are_rejected() {
+        // `1e999` overflows to +inf when parsed; the checkpoint layer must
+        // refuse it in every float-bearing field rather than resume with an
+        // infinite running sum.
+        let text = sample().to_json();
+        for token in [
+            "0.30000000000000004",
+            "0.09",
+            "0.6250000000000001",
+            "-0.125",
+        ] {
+            let smuggled = text.replacen(token, "1e999", 1);
+            assert_ne!(smuggled, text, "token {token} not found in fixture");
+            assert!(matches!(
+                McCheckpoint::from_json(&smuggled),
+                Err(RobustError::Checkpoint(_))
+            ));
+        }
+        // In-process construction is policed the same way.
+        let mut ckpt = sample();
+        ckpt.totals[1] = f64::NAN;
+        assert!(matches!(ckpt.validate(), Err(RobustError::Checkpoint(_))));
+        let mut ckpt = sample();
+        ckpt.inflight.as_mut().unwrap().prev_u = f64::INFINITY;
+        assert!(matches!(ckpt.validate(), Err(RobustError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn wrong_type_fields_are_rejected() {
+        let text = sample().to_json();
+        let swaps = [
+            ("\"method\": \"tmc-shapley\"", "\"method\": 17"),
+            ("\"seed\": 18446744073709551608", "\"seed\": \"huge\""),
+            ("\"cursor\": 41", "\"cursor\": -41"),
+            ("\"utility_calls\": 1234", "\"utility_calls\": [1234]"),
+            ("\"rng_state\": [", "\"rng_state\": 4["),
+            ("\"pos\": 2", "\"pos\": 2.5"),
+            ("\"totals\": [", "\"totals\": \"[\"["),
+        ];
+        for (from, to) in swaps {
+            let mutated = text.replacen(from, to, 1);
+            assert_ne!(mutated, text, "pattern {from} not found in fixture");
+            assert!(
+                McCheckpoint::from_json(&mutated).is_err(),
+                "mutation {from} -> {to} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn random_mutations_error_or_validate_but_never_panic() {
+        use nde_data::rng::{seeded, Rng};
+        // Property test: round-trip the sample, then hammer the serialized
+        // text with random byte edits. Every outcome must be a typed error
+        // or a checkpoint that passes `validate()` — no panics, no accepted
+        // non-finite state.
+        let text = sample().to_json();
+        let mut rng = seeded(0xC4A05);
+        for _ in 0..600 {
+            let mut bytes = text.clone().into_bytes();
+            for _ in 0..1 + rng.gen_range(0..4usize) {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = rng.gen_range(32..127usize) as u8;
+            }
+            let Ok(mutated) = String::from_utf8(bytes) else {
+                continue;
+            };
+            if let Ok(ckpt) = McCheckpoint::from_json(&mutated) {
+                assert!(ckpt.validate().is_ok());
+                assert!(ckpt.totals.iter().all(|v| v.is_finite()));
+                assert!(ckpt.totals_sq.iter().all(|v| v.is_finite()));
+            }
+        }
     }
 }

@@ -11,6 +11,9 @@ pub enum RobustError {
     Checkpoint(String),
     /// A filesystem operation on a checkpoint file failed.
     Io(String),
+    /// A supervised computation crashed (panicked) and exhausted its
+    /// retry policy; the last panic payload is preserved.
+    Crash(String),
 }
 
 impl fmt::Display for RobustError {
@@ -19,6 +22,7 @@ impl fmt::Display for RobustError {
             RobustError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             RobustError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             RobustError::Io(msg) => write!(f, "io error: {msg}"),
+            RobustError::Crash(msg) => write!(f, "supervised run crashed: {msg}"),
         }
     }
 }

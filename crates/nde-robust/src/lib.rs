@@ -15,9 +15,15 @@
 //!   an interrupted run resumes **bit-identically**.
 //! - [`retry`] — [`RetryPolicy`]: bounded retries with exponential backoff
 //!   for flaky external dependencies (e.g. cleaning oracles).
+//! - [`durable`] — the crash-safe on-disk [`RunStore`]: checksummed,
+//!   versioned checkpoint records written atomically under run-fingerprint
+//!   keys, cross-process [`MemoCache`] persistence, and [`supervise`] to
+//!   restart a crashed computation from its latest valid record.
 //! - [`chaos`] — a deterministic fault-injection harness: operator panics,
-//!   corrupt/NaN feature values, and scheduled dependency failures, used by
-//!   integration tests to prove every workflow survives each fault class.
+//!   corrupt/NaN feature values, scheduled dependency failures, and
+//!   durability faults (kill-at-checkpoint, torn writes, corrupt checksums,
+//!   stale record versions), used by integration tests to prove every
+//!   workflow survives each fault class.
 //! - [`par`] — the deterministic-parallelism substrate: seed-partitioned
 //!   worker pools, a subset-fingerprint memo cache for utility calls, and
 //!   [`par::AtomicBudgetClock`] so budgets can be shared across workers
@@ -26,6 +32,7 @@
 pub mod budget;
 pub mod chaos;
 pub mod checkpoint;
+pub mod durable;
 pub mod error;
 pub mod par;
 pub mod retry;
@@ -33,6 +40,9 @@ pub mod retry;
 pub use budget::{BudgetClock, ConvergenceDiagnostics, Exhaustion, RunBudget};
 pub use chaos::FaultSchedule;
 pub use checkpoint::{InflightPermutation, McCheckpoint};
+pub use durable::{
+    supervise, CheckpointRecord, RunFingerprint, RunStore, SuperviseCtx, Supervised,
+};
 pub use error::RobustError;
 pub use par::{AtomicBudgetClock, MemoCache};
 pub use retry::{retry_with_backoff, RetryPolicy};

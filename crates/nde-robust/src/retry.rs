@@ -1,11 +1,15 @@
 //! Bounded retries with exponential backoff for flaky dependencies
 //! (cleaning oracles, external services).
 
+use nde_data::rng::{child_seed, seeded, Rng};
 use std::time::Duration;
 
 /// Retry schedule: up to `max_attempts` tries, sleeping
 /// `base_delay * multiplier^(attempt-1)` (capped at `max_delay`) between
-/// consecutive tries.
+/// consecutive tries. With [`RetryPolicy::with_jitter`] each delay is
+/// scaled by a factor in `[0.5, 1.0)` drawn deterministically from the
+/// jitter seed and the attempt number, so two runs of the same policy
+/// sleep the same schedule — chaos tests reproduce exactly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (≥ 1).
@@ -16,6 +20,8 @@ pub struct RetryPolicy {
     pub multiplier: f64,
     /// Upper bound on any single delay.
     pub max_delay: Duration,
+    /// Seed for deterministic delay jitter; `None` disables jitter.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -25,6 +31,7 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(10),
             multiplier: 2.0,
             max_delay: Duration::from_secs(1),
+            jitter_seed: None,
         }
     }
 }
@@ -46,17 +53,35 @@ impl RetryPolicy {
             base_delay: Duration::ZERO,
             multiplier: 1.0,
             max_delay: Duration::ZERO,
+            jitter_seed: None,
         }
     }
 
+    /// Enable deterministic jitter: delays are scaled by a factor in
+    /// `[0.5, 1.0)` that depends only on `seed` and the attempt number.
+    pub fn with_jitter(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
     /// The delay to sleep after failed attempt number `attempt` (1-based).
+    ///
+    /// The exponential term saturates at `max_delay` instead of overflowing:
+    /// arbitrarily high attempt counts produce a finite, capped delay, never
+    /// a panic from a non-finite `Duration` conversion.
     pub fn delay_after(&self, attempt: u32) -> Duration {
-        let factor = self
-            .multiplier
-            .max(1.0)
-            .powi(attempt.saturating_sub(1) as i32);
-        let nanos = self.base_delay.as_secs_f64() * factor;
-        Duration::from_secs_f64(nanos).min(self.max_delay)
+        let exponent = attempt.saturating_sub(1).min(i32::MAX as u32) as i32;
+        let factor = self.multiplier.max(1.0).powi(exponent);
+        let max_secs = self.max_delay.as_secs_f64();
+        let mut secs = self.base_delay.as_secs_f64() * factor;
+        if !secs.is_finite() || secs > max_secs {
+            secs = max_secs;
+        }
+        if let Some(seed) = self.jitter_seed {
+            let mut rng = seeded(child_seed(seed, attempt as u64));
+            secs *= rng.gen_range(0.5..1.0);
+        }
+        Duration::from_secs_f64(secs)
     }
 }
 
@@ -163,11 +188,44 @@ mod tests {
             base_delay: Duration::from_millis(10),
             multiplier: 2.0,
             max_delay: Duration::from_millis(35),
+            jitter_seed: None,
         };
         assert_eq!(policy.delay_after(1), Duration::from_millis(10));
         assert_eq!(policy.delay_after(2), Duration::from_millis(20));
         // 40ms capped at 35ms.
         assert_eq!(policy.delay_after(3), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay: Duration::from_millis(10),
+            multiplier: 10.0,
+            max_delay: Duration::from_secs(2),
+            jitter_seed: None,
+        };
+        // 10^(attempt-1) overflows f64 well before u32::MAX attempts; every
+        // one of these must cap at max_delay rather than panic.
+        for attempt in [5, 64, 400, 10_000, u32::MAX] {
+            assert_eq!(policy.delay_after(attempt), Duration::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic_and_bounded() {
+        let policy = RetryPolicy::default().with_jitter(99);
+        for attempt in 1..=8 {
+            let a = policy.delay_after(attempt);
+            let b = policy.delay_after(attempt);
+            assert_eq!(a, b, "same seed + attempt must give the same delay");
+            let unjittered = RetryPolicy::default().delay_after(attempt);
+            assert!(a <= unjittered);
+            assert!(a >= unjittered.mul_f64(0.5));
+        }
+        // A different seed permutes the schedule.
+        let other = RetryPolicy::default().with_jitter(100);
+        assert!((1..=8).any(|n| other.delay_after(n) != policy.delay_after(n)));
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub enum UncertainError {
     },
     /// A wrapped ML-substrate error.
     Ml(String),
+    /// A checkpoint did not match the run it was resumed into.
+    Checkpoint(String),
+    /// A durable run-store operation failed (filesystem or record layer).
+    Store(String),
 }
 
 impl fmt::Display for UncertainError {
@@ -30,6 +34,8 @@ impl fmt::Display for UncertainError {
                 "{requested} uncertain items exceed the exact-enumeration limit of {limit}"
             ),
             UncertainError::Ml(m) => write!(f, "ml error: {m}"),
+            UncertainError::Checkpoint(m) => write!(f, "checkpoint mismatch: {m}"),
+            UncertainError::Store(m) => write!(f, "durable store error: {m}"),
         }
     }
 }
@@ -39,6 +45,16 @@ impl std::error::Error for UncertainError {}
 impl From<nde_ml::MlError> for UncertainError {
     fn from(e: nde_ml::MlError) -> Self {
         UncertainError::Ml(e.to_string())
+    }
+}
+
+impl From<nde_robust::RobustError> for UncertainError {
+    fn from(e: nde_robust::RobustError) -> Self {
+        match e {
+            nde_robust::RobustError::Checkpoint(m) => UncertainError::Checkpoint(m),
+            nde_robust::RobustError::InvalidArgument(m) => UncertainError::InvalidArgument(m),
+            e => UncertainError::Store(e.to_string()),
+        }
     }
 }
 

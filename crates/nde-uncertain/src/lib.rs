@@ -35,6 +35,7 @@ pub use error::UncertainError;
 pub use interval::Interval;
 pub use soa::{IntervalMatrix, IntervalVec};
 pub use symbolic::SymbolicMatrix;
+pub use zorro::{ZorroCheckpoint, ZorroConfig, ZorroRegressor};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, UncertainError>;

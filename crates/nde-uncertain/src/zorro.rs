@@ -15,6 +15,7 @@ use crate::interval::{interval_dot, Interval};
 use crate::soa::{self, IntervalMatrix, IntervalVec};
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
+use nde_data::json::{Json, ToJson};
 use nde_data::par::{effective_threads, par_map_indexed, tree_reduce, WorkerFailure};
 use nde_ml::linalg::Matrix;
 use nde_robust::{ConvergenceDiagnostics, RunBudget};
@@ -62,6 +63,98 @@ impl ZorroConfig {
     pub fn with_threads(mut self, threads: usize) -> ZorroConfig {
         self.threads = threads;
         self
+    }
+}
+
+/// Durable snapshot of an interrupted [`ZorroRegressor`] fit: the weight
+/// planes after `epochs_done` completed full-batch epochs. Training is
+/// deterministic, so resuming from the snapshot via
+/// [`ZorroRegressor::fit_uncertain_resumable`] is bit-identical to never
+/// stopping. Converts to and from a [`Json`] payload so budgeted fits
+/// checkpoint through the same durable [`RunStore`](nde_robust::RunStore)
+/// records as the importance estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZorroCheckpoint {
+    /// Completed full-batch epochs.
+    pub epochs_done: u64,
+    /// Lower weight plane (`d + 1`, bias last).
+    pub lo: Vec<f64>,
+    /// Upper weight plane (`d + 1`, bias last).
+    pub hi: Vec<f64>,
+}
+
+impl ZorroCheckpoint {
+    /// Internal consistency: matching plane lengths, finite floats, and
+    /// ordered bounds — the same hardening contract as the Monte-Carlo
+    /// checkpoints (a `1e999` smuggled into a weight plane must fail
+    /// parsing, never poison a resumed fit).
+    pub fn validate(&self) -> Result<()> {
+        if self.lo.is_empty() || self.lo.len() != self.hi.len() {
+            return Err(UncertainError::Checkpoint(format!(
+                "weight planes have lengths {} and {}",
+                self.lo.len(),
+                self.hi.len()
+            )));
+        }
+        for (i, (&lo, &hi)) in self.lo.iter().zip(&self.hi).enumerate() {
+            if !lo.is_finite() || !hi.is_finite() {
+                return Err(UncertainError::Checkpoint(format!(
+                    "weight {i} bounds are not finite"
+                )));
+            }
+            if lo > hi {
+                return Err(UncertainError::Checkpoint(format!(
+                    "weight {i} bounds are inverted: [{lo}, {hi}]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The snapshot as a durable-store payload.
+    pub fn to_payload(&self) -> Json {
+        Json::Obj(vec![
+            ("method".into(), Json::Str("zorro-fit".into())),
+            ("epochs_done".into(), Json::UInt(self.epochs_done)),
+            ("lo".into(), self.lo.to_json()),
+            ("hi".into(), self.hi.to_json()),
+        ])
+    }
+
+    /// Reconstruct and validate a snapshot from a durable-store payload.
+    pub fn from_payload(doc: &Json) -> Result<ZorroCheckpoint> {
+        let method = doc
+            .get("method")
+            .and_then(Json::as_str)
+            .ok_or_else(|| UncertainError::Checkpoint("missing `method` tag".into()))?;
+        if method != "zorro-fit" {
+            return Err(UncertainError::Checkpoint(format!(
+                "snapshot written by `{method}`, expected `zorro-fit`"
+            )));
+        }
+        let epochs_done = doc
+            .get("epochs_done")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| UncertainError::Checkpoint("`epochs_done` is not an integer".into()))?;
+        let plane = |name: &str| -> Result<Vec<f64>> {
+            doc.get(name)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| UncertainError::Checkpoint(format!("`{name}` is not an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| {
+                        UncertainError::Checkpoint(format!("`{name}` holds a non-number"))
+                    })
+                })
+                .collect()
+        };
+        let ckpt = ZorroCheckpoint {
+            epochs_done,
+            lo: plane("lo")?,
+            hi: plane("hi")?,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
     }
 }
 
@@ -133,15 +226,56 @@ impl ZorroRegressor {
         y: &[Interval],
         budget: &RunBudget,
     ) -> Result<ConvergenceDiagnostics> {
+        self.fit_uncertain_resumable(x, y, budget, None)
+            .map(|(diag, _)| diag)
+    }
+
+    /// [`Self::fit_uncertain_budgeted`] that can also **resume** a fit cut
+    /// short by an earlier budget trip (or crash): pass the
+    /// [`ZorroCheckpoint`] the interrupted call returned and training
+    /// continues at the next epoch, bit-identical to an uninterrupted run.
+    /// A snapshot with the wrong weight dimension or more epochs than this
+    /// configuration allows is rejected with
+    /// [`UncertainError::Checkpoint`].
+    pub fn fit_uncertain_resumable(
+        &mut self,
+        x: &SymbolicMatrix,
+        y: &[Interval],
+        budget: &RunBudget,
+        resume: Option<&ZorroCheckpoint>,
+    ) -> Result<(ConvergenceDiagnostics, ZorroCheckpoint)> {
         validate_fit_args(x, y, &self.config)?;
         let n = x.len() as f64;
         let d = x.cols();
         let sx = IntervalMatrix::from_symbolic(x);
         let sy = IntervalVec::from_intervals(y);
-        let mut w = IntervalVec::zeros(d + 1);
-        let mut clock = budget.start();
+        let (mut w, done) = match resume {
+            Some(cp) => {
+                cp.validate()?;
+                if cp.lo.len() != d + 1 {
+                    return Err(UncertainError::Checkpoint(format!(
+                        "snapshot holds {} weights but this run needs {}",
+                        cp.lo.len(),
+                        d + 1
+                    )));
+                }
+                if cp.epochs_done as usize > self.config.epochs {
+                    return Err(UncertainError::Checkpoint(format!(
+                        "snapshot at epoch {} exceeds configured epochs {}",
+                        cp.epochs_done, self.config.epochs
+                    )));
+                }
+                let w = IntervalVec {
+                    lo: cp.lo.clone(),
+                    hi: cp.hi.clone(),
+                };
+                (w, cp.epochs_done)
+            }
+            None => (IntervalVec::zeros(d + 1), 0),
+        };
+        let mut clock = budget.resume(done, 0);
 
-        for _epoch in 0..self.config.epochs {
+        for _epoch in done as usize..self.config.epochs {
             if clock.exhausted().is_some() {
                 break; // keep the best-so-far weights
             }
@@ -149,8 +283,13 @@ impl ZorroRegressor {
             update_weights(&mut w, &grad, n, &self.config)?;
             clock.record_iteration();
         }
+        let checkpoint = ZorroCheckpoint {
+            epochs_done: clock.iterations(),
+            lo: w.lo.clone(),
+            hi: w.hi.clone(),
+        };
         self.weights = Some(w.to_intervals());
-        Ok(clock.diagnostics(None))
+        Ok((clock.diagnostics(None), checkpoint))
     }
 
     /// The AoS **reference trainer**: scalar [`Interval`] arithmetic over
@@ -672,6 +811,75 @@ mod tests {
         assert_eq!(diag.iterations, 0);
         assert!(!diag.completed());
         assert!(instant.predict_range(&[0.0, 0.0]).unwrap().is_point());
+    }
+
+    #[test]
+    fn resumable_fit_cut_and_resume_is_bit_identical() {
+        let (x, y) = regression_data(50, 14);
+        let sym = SymbolicMatrix::from_exact(&x);
+        let targets: Vec<Interval> = y.iter().map(|&v| Interval::point(v)).collect();
+        let cfg = ZorroConfig {
+            epochs: 30,
+            ..Default::default()
+        };
+        let mut plain = ZorroRegressor::new(cfg.clone());
+        plain.fit_uncertain(&sym, &targets).unwrap();
+
+        // Cut at epoch 12, round-trip the snapshot through its durable
+        // payload text, resume to completion: bit-identical weights.
+        let mut cut = ZorroRegressor::new(cfg.clone());
+        let (diag, ckpt) = cut
+            .fit_uncertain_resumable(
+                &sym,
+                &targets,
+                &RunBudget::unlimited().with_max_iterations(12),
+                None,
+            )
+            .unwrap();
+        assert_eq!(diag.iterations, 12);
+        assert_eq!(ckpt.epochs_done, 12);
+        let text = ckpt.to_payload().to_string_pretty();
+        let back = ZorroCheckpoint::from_payload(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ckpt);
+        let mut resumed = ZorroRegressor::new(cfg.clone());
+        let (diag, done) = resumed
+            .fit_uncertain_resumable(&sym, &targets, &RunBudget::unlimited(), Some(&back))
+            .unwrap();
+        assert!(diag.completed());
+        assert_eq!(diag.iterations, 30);
+        assert_eq!(done.epochs_done, 30);
+        assert_eq!(
+            resumed.weight_intervals().unwrap(),
+            plain.weight_intervals().unwrap()
+        );
+
+        // Shape and bound mismatches are rejected, torn payloads fail to
+        // parse, and a smuggled `1e999` cannot poison a resumed fit.
+        let mut wrong = back.clone();
+        wrong.lo.push(0.0);
+        assert!(wrong.validate().is_err());
+        let mut wrong = back.clone();
+        wrong.epochs_done = 99;
+        assert!(matches!(
+            ZorroRegressor::new(cfg.clone()).fit_uncertain_resumable(
+                &sym,
+                &targets,
+                &RunBudget::unlimited(),
+                Some(&wrong)
+            ),
+            Err(UncertainError::Checkpoint(_))
+        ));
+        let mut wrong = back.clone();
+        wrong.lo[0] = wrong.hi[0] + 1.0;
+        assert!(wrong.validate().is_err());
+        for cut in 0..text.len() {
+            assert!(Json::parse(&text[..cut])
+                .map(|doc| ZorroCheckpoint::from_payload(&doc))
+                .map_or(true, |r| r.is_err()));
+        }
+        let inf = text.replacen(&format!("{}", back.lo[0]), "1e999", 1);
+        assert_ne!(inf, text);
+        assert!(ZorroCheckpoint::from_payload(&Json::parse(&inf).unwrap()).is_err());
     }
 
     #[test]

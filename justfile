@@ -37,6 +37,17 @@ bench-uncertain:
     grep -q '"end_to_end_speedup"' BENCH_uncertain.json
     grep -q '"runner"' BENCH_uncertain.json
 
+# Durability smoke: checkpoint overhead + crash recovery (clean and
+# torn-record) with bit-identity asserted, appended to the
+# BENCH_durability.json trajectory with the regression gate armed. Also
+# runs the kill/resume chaos tests.
+bench-durable:
+    cargo build --release --offline -p nde-bench --bin exp_durability
+    ./target/release/exp_durability --smoke --check=40
+    grep -q '"recover_ms"' BENCH_durability.json
+    grep -q '"runner"' BENCH_durability.json
+    cargo test -q --release --offline -p nde-tests --test durability
+
 # Format and lint.
 lint:
     cargo fmt --all

@@ -86,6 +86,47 @@ fn injected_projection_panic_is_quarantined_with_provenance() {
 }
 
 #[test]
+fn quarantine_contents_and_surviving_order_are_thread_invariant() {
+    // A chaos predicate panics on one row; under SkipAndRecord the
+    // quarantine record and the surviving rows (including their order)
+    // must be identical at 1, 2 and 4 worker threads.
+    let s = HiringScenario::generate(200, 9);
+    let mut plan = Plan::new();
+    let src = plan.source("train_df");
+    let f = plan.filter(src, panicking_predicate(13));
+    let run = |threads| {
+        Executor::new()
+            .with_provenance(true)
+            .with_panic_policy(PanicPolicy::SkipAndRecord)
+            .with_threads(threads)
+            .run(&plan, f, &[("train_df", &s.letters)])
+            .unwrap()
+    };
+    let seq = run(1);
+    assert_eq!(seq.table.n_rows(), s.letters.n_rows() - 1);
+    assert_eq!(seq.quarantined.len(), 1);
+    let q = &seq.quarantined[0];
+    assert_eq!(q.row, 13);
+    assert!(q.operator.starts_with("filter("), "{}", q.operator);
+    assert!(q.message.starts_with(CHAOS_PANIC_PREFIX), "{}", q.message);
+    assert_eq!(q.sources.len(), 1);
+    assert_eq!((q.sources[0].source, q.sources[0].row), (0, 13));
+    // Survivors keep source order: 0..n with exactly row 13 missing.
+    let lineage = seq.provenance.as_ref().unwrap();
+    let survivors: Vec<usize> = (0..lineage.n_rows())
+        .map(|row| lineage.row_tuples(row)[0].row as usize)
+        .collect();
+    let expected: Vec<usize> = (0..s.letters.n_rows()).filter(|&r| r != 13).collect();
+    assert_eq!(survivors, expected);
+    for threads in [2, 4] {
+        let par = run(threads);
+        assert_eq!(par.table, seq.table, "threads={threads}");
+        assert_eq!(par.quarantined, seq.quarantined, "threads={threads}");
+        assert_eq!(par.provenance, seq.provenance, "threads={threads}");
+    }
+}
+
+#[test]
 fn corrupting_projection_emits_nan_that_downstream_checks_catch() {
     let s = HiringScenario::generate(20, 5);
     let mut plan = Plan::new();
