@@ -15,10 +15,19 @@
 //!                           regressed more than this % vs the previous
 //!                           record on the same runner class
 //! ```
+//!
+//! Smoke mode also arms the **thread-scaling gate**: at the largest size
+//! the max-thread exec must strictly beat the min-thread exec on
+//! multi-core hardware (bounded overhead on a single-core runner) — a
+//! resident worker pool that loses on real cores fails the run.
 use nde_bench::experiments::pipeline_scaling;
-use nde_bench::report::{append_trajectory, check_trajectory, trajectory_delta, TextTable};
+use nde_bench::report::{
+    append_trajectory, check_scaling_win, check_trajectory, hardware_threads, trajectory_delta,
+    TextTable,
+};
 
 struct Args {
+    smoke: bool,
     rows: Vec<usize>,
     threads: Vec<usize>,
     sets: usize,
@@ -67,6 +76,7 @@ fn parse_args() -> Args {
     // path wins end-to-end even on single-core CI runners where extra
     // executor threads cannot help.
     Args {
+        smoke,
         rows: rows.unwrap_or(if smoke {
             vec![8000]
         } else {
@@ -124,6 +134,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.par_arena_ms_per_row,
         r.end_to_end_speedup,
     );
+    println!(
+        "pool: {} jobs, {} chunks, {} parks, {} wakes on {} hardware threads",
+        r.pool.jobs, r.pool.chunks, r.pool.parks, r.pool.wakes, r.pool.hw_threads,
+    );
+
+    if args.smoke {
+        // Thread-scaling gate: the pool must make threads a win (or at
+        // worst a bounded overhead on single-core runners).
+        let largest = args.rows.iter().copied().max().unwrap();
+        let t_lo = args.threads.iter().copied().min().unwrap();
+        let t_hi = args.threads.iter().copied().max().unwrap();
+        let ms_at = |t: usize| {
+            r.exec
+                .iter()
+                .find(|p| p.rows == largest && p.threads == t)
+                .map(|p| p.exec_ms)
+        };
+        if let (true, Some(lo_ms), Some(hi_ms)) = (t_hi > t_lo, ms_at(t_lo), ms_at(t_hi)) {
+            let label =
+                format!("E13 pipeline exec, {largest} rows, {t_hi} threads vs {t_lo} thread");
+            match check_scaling_win(&label, lo_ms, hi_ms, hardware_threads(), 25.0) {
+                Ok(summary) => println!("{summary}"),
+                Err(report) => {
+                    eprintln!("{report}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 
     let records = append_trajectory(&args.out, &r)?;
     println!("\nappended record {} to {}", records.len(), args.out);

@@ -18,8 +18,15 @@
 //!                            regressed more than this % vs the previous
 //!                            record on the same runner class
 //! ```
+//! Smoke mode also arms the **thread-scaling gate** over the Zorro fit:
+//! at the largest (rows, dims) scale the max-thread SoA fit must strictly
+//! beat the min-thread fit on multi-core hardware (bounded overhead on a
+//! single-core runner).
 use nde_bench::experiments::uncertain_scaling;
-use nde_bench::report::{append_trajectory, check_trajectory, trajectory_delta, TextTable};
+use nde_bench::report::{
+    append_trajectory, check_scaling_win, check_trajectory, hardware_threads, trajectory_delta,
+    TextTable,
+};
 
 struct Args {
     smoke: bool,
@@ -163,6 +170,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.soa_ms_per_row,
         r.end_to_end_speedup,
     );
+    println!(
+        "pool: {} jobs, {} chunks, {} parks, {} wakes on {} hardware threads",
+        r.pool.jobs, r.pool.chunks, r.pool.parks, r.pool.wakes, r.pool.hw_threads,
+    );
 
     if args.smoke {
         // CI criterion: the optimized engine must beat the AoS seed path.
@@ -173,6 +184,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.aos_ms_per_row,
         );
         println!("smoke criterion OK: SoA engine beats the AoS reference end-to-end");
+
+        // Thread-scaling gate over the Zorro fit at the largest scale.
+        let (n, d) = (
+            args.rows.iter().copied().max().unwrap(),
+            args.dims.iter().copied().max().unwrap(),
+        );
+        let t_lo = args.threads.iter().copied().min().unwrap();
+        let t_hi = args.threads.iter().copied().max().unwrap();
+        let ms_at = |t: usize| {
+            r.zorro
+                .iter()
+                .find(|p| p.rows == n && p.dims == d && p.threads == t)
+                .map(|p| p.soa_ms)
+        };
+        if let (true, Some(lo_ms), Some(hi_ms)) = (t_hi > t_lo, ms_at(t_lo), ms_at(t_hi)) {
+            let label = format!("E14 Zorro fit, {n}x{d}, {t_hi} threads vs {t_lo} thread");
+            match check_scaling_win(&label, lo_ms, hi_ms, hardware_threads(), 25.0) {
+                Ok(summary) => println!("{summary}"),
+                Err(report) => {
+                    eprintln!("{report}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 
     let records = append_trajectory(&args.out, &r)?;

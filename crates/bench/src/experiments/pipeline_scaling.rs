@@ -15,6 +15,7 @@
 //!   and makes one forward pass per batch
 //!   ([`predict_deletions_batch`]).
 
+use crate::report::PoolActivity;
 use nde::pipeline::exec::Executor;
 use nde::pipeline::plan::Plan;
 use nde::pipeline::semiring::BoolSemiring;
@@ -86,6 +87,9 @@ pub struct PipelineScalingReport {
     pub par_arena_ms_per_row: f64,
     /// `seq_tree_ms_per_row / par_arena_ms_per_row`.
     pub end_to_end_speedup: f64,
+    /// Shared worker-pool activity over the whole run (jobs, chunks,
+    /// park/wake churn) plus the hardware thread count of the machine.
+    pub pool: PoolActivity,
 }
 
 nde_data::json_struct!(PipelineScalingReport {
@@ -94,7 +98,8 @@ nde_data::json_struct!(PipelineScalingReport {
     whatif,
     seq_tree_ms_per_row,
     par_arena_ms_per_row,
-    end_to_end_speedup
+    end_to_end_speedup,
+    pool
 });
 
 /// Deterministic deletion scenarios over the primary source: set `k`
@@ -137,6 +142,7 @@ pub fn run(
     seed: u64,
 ) -> Result<PipelineScalingReport, NdeError> {
     assert!(!sizes.is_empty() && !threads.is_empty() && reps >= 1);
+    let pool_before = PoolActivity::snapshot();
     let (plan, root) = Plan::hiring_pipeline();
     let max_threads = threads.iter().copied().max().unwrap_or(1);
     let best_of = |f: &mut dyn FnMut() -> Result<(), NdeError>| -> Result<f64, NdeError> {
@@ -238,6 +244,7 @@ pub fn run(
         seq_tree_ms_per_row,
         par_arena_ms_per_row,
         end_to_end_speedup: seq_tree_ms_per_row / par_arena_ms_per_row.max(1e-9),
+        pool: PoolActivity::since(pool_before),
     })
 }
 

@@ -12,6 +12,7 @@
 //! * **possible worlds** — worlds/sec of impute-retrain-predict sampling
 //!   (plane-backed imputation, worlds spread over threads).
 
+use crate::report::PoolActivity;
 use nde::uncertain::certain_knn::{certain_prediction_1nn, CertainKnnIndex};
 use nde::uncertain::worlds::sample_worlds_par;
 use nde::uncertain::zorro::{ZorroConfig, ZorroRegressor};
@@ -132,6 +133,9 @@ pub struct UncertainScalingReport {
     pub soa_ms_per_row: f64,
     /// `aos_ms_per_row / soa_ms_per_row`.
     pub end_to_end_speedup: f64,
+    /// Shared worker-pool activity over the whole run (jobs, chunks,
+    /// park/wake churn) plus the hardware thread count of the machine.
+    pub pool: PoolActivity,
 }
 
 nde_data::json_struct!(UncertainScalingReport {
@@ -141,7 +145,8 @@ nde_data::json_struct!(UncertainScalingReport {
     worlds,
     aos_ms_per_row,
     soa_ms_per_row,
-    end_to_end_speedup
+    end_to_end_speedup,
+    pool
 });
 
 /// Regression features with ~8% of rows carrying one missing cell, widened
@@ -200,6 +205,7 @@ pub fn run(
     seed: u64,
 ) -> Result<UncertainScalingReport, NdeError> {
     assert!(!sizes.is_empty() && !dims.is_empty() && !threads.is_empty() && reps >= 1);
+    let pool_before = PoolActivity::snapshot();
     let max_threads = threads.iter().copied().max().unwrap_or(1);
     let best_of = |f: &mut dyn FnMut() -> Result<(), NdeError>| -> Result<f64, NdeError> {
         let mut best = f64::INFINITY;
@@ -216,6 +222,7 @@ pub fn run(
         l2: 1e-3,
         divergence_threshold: 1e9,
         threads: 1,
+        pool: None,
     };
 
     let mut zorro = Vec::new();
@@ -340,6 +347,7 @@ pub fn run(
         aos_ms_per_row,
         soa_ms_per_row,
         end_to_end_speedup: aos_ms_per_row / soa_ms_per_row.max(1e-9),
+        pool: PoolActivity::since(pool_before),
     })
 }
 

@@ -5,6 +5,7 @@
 //! overwriting history.
 
 use nde_data::json::{Json, ToJson};
+use nde_data::pool::{PoolStats, WorkerPool};
 
 /// A simple aligned text table builder for experiment output.
 #[derive(Debug, Clone, Default)]
@@ -95,6 +96,110 @@ pub fn runner_class() -> String {
         .ok()
         .filter(|s| !s.trim().is_empty())
         .unwrap_or_else(|| format!("{}-{}", std::env::consts::OS, std::env::consts::ARCH))
+}
+
+/// Hardware threads visible to this process (1 when unknown). Recorded in
+/// bench results so trajectory records are interpretable: a 4-thread
+/// timing from a single-core runner is an overhead measurement, not a
+/// scaling measurement.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Resident [`WorkerPool`] activity over a bench run, plus the hardware
+/// context needed to interpret thread-scaling numbers. Serialized into
+/// bench JSON so trajectory records show *how* the pool was exercised
+/// (jobs dispatched, chunks claimed, park/wake churn), not just how long
+/// the run took.
+#[derive(Debug, Clone)]
+pub struct PoolActivity {
+    /// Jobs submitted to the shared pool during the run.
+    pub jobs: u64,
+    /// Adaptive chunks claimed from job cursors.
+    pub chunks: u64,
+    /// Times a worker parked waiting for work.
+    pub parks: u64,
+    /// Times a parked worker woke up.
+    pub wakes: u64,
+    /// Hardware threads on the machine that produced the record.
+    pub hw_threads: u64,
+}
+
+nde_data::json_struct!(PoolActivity {
+    jobs,
+    chunks,
+    parks,
+    wakes,
+    hw_threads
+});
+
+impl PoolActivity {
+    /// Snapshot the shared pool's counters before a run (pair with
+    /// [`PoolActivity::since`]).
+    pub fn snapshot() -> PoolStats {
+        WorkerPool::shared().stats()
+    }
+
+    /// The shared pool's activity since `before`, tagged with this
+    /// machine's hardware thread count.
+    pub fn since(before: PoolStats) -> PoolActivity {
+        let now = WorkerPool::shared().stats();
+        PoolActivity {
+            jobs: now.jobs.saturating_sub(before.jobs),
+            chunks: now.chunks.saturating_sub(before.chunks),
+            parks: now.parks.saturating_sub(before.parks),
+            wakes: now.wakes.saturating_sub(before.wakes),
+            hw_threads: hardware_threads() as u64,
+        }
+    }
+}
+
+/// The thread-scaling gate for the engine smoke benches (E13 pipeline
+/// exec, E14 Zorro fit): with `hw_threads >= 2` the multi-thread timing
+/// must **strictly beat** the single-thread timing — a resident pool that
+/// loses on real cores is a regression, full stop. On a single-core
+/// runner a parallel win is physically impossible, so the gate degrades
+/// to a bounded-overhead check: `multi_ms <= single_ms * (1 +
+/// single_core_tolerance_pct/100)` (the pool may not *cost* much either).
+///
+/// Returns a greppable `scaling gate OK (...)` summary, or an `Err`
+/// report the bench binaries print before exiting non-zero.
+pub fn check_scaling_win(
+    label: &str,
+    single_ms: f64,
+    multi_ms: f64,
+    hw_threads: usize,
+    single_core_tolerance_pct: f64,
+) -> Result<String, String> {
+    if hw_threads >= 2 {
+        if multi_ms < single_ms {
+            Ok(format!(
+                "scaling gate OK ({label}): multi-thread {multi_ms:.3} ms beats \
+                 single-thread {single_ms:.3} ms on {hw_threads} hardware threads"
+            ))
+        } else {
+            Err(format!(
+                "scaling gate FAILED ({label}): multi-thread {multi_ms:.3} ms does not beat \
+                 single-thread {single_ms:.3} ms on {hw_threads} hardware threads"
+            ))
+        }
+    } else {
+        let bound = single_ms * (1.0 + single_core_tolerance_pct / 100.0);
+        if multi_ms <= bound {
+            Ok(format!(
+                "scaling gate OK ({label}): single-core runner, multi-thread {multi_ms:.3} ms \
+                 within +{single_core_tolerance_pct:.0}% of single-thread {single_ms:.3} ms"
+            ))
+        } else {
+            Err(format!(
+                "scaling gate FAILED ({label}): single-core runner, multi-thread {multi_ms:.3} ms \
+                 exceeds single-thread {single_ms:.3} ms by more than \
+                 {single_core_tolerance_pct:.0}% (bound {bound:.3} ms)"
+            ))
+        }
+    }
 }
 
 fn unix_timestamp() -> u64 {
@@ -438,6 +543,54 @@ mod tests {
             0.0,
         )
         .is_ok());
+    }
+
+    #[test]
+    fn scaling_gate_is_strict_on_multicore_and_bounded_on_single_core() {
+        // Multi-core: a strict win passes, a tie or loss fails, tolerance
+        // is ignored.
+        let ok = check_scaling_win("exec", 10.0, 8.0, 4, 0.0).unwrap();
+        assert!(ok.contains("scaling gate OK"), "{ok}");
+        assert!(ok.contains("4 hardware threads"), "{ok}");
+        let err = check_scaling_win("exec", 10.0, 10.0, 4, 100.0).unwrap_err();
+        assert!(err.contains("scaling gate FAILED"), "{err}");
+        assert!(check_scaling_win("exec", 10.0, 12.0, 2, 100.0).is_err());
+
+        // Single-core: winning is not required, but overhead is bounded.
+        let ok = check_scaling_win("fit", 10.0, 11.0, 1, 25.0).unwrap();
+        assert!(ok.contains("single-core"), "{ok}");
+        assert!(check_scaling_win("fit", 10.0, 12.49, 1, 25.0).is_ok());
+        let err = check_scaling_win("fit", 10.0, 13.0, 1, 25.0).unwrap_err();
+        assert!(err.contains("scaling gate FAILED"), "{err}");
+    }
+
+    #[test]
+    fn pool_activity_counts_shared_pool_jobs() {
+        let before = PoolActivity::snapshot();
+        // Drive a map through the shared pool with enough hinted work per
+        // item that the cost-aware clamp keeps it parallel.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let out = WorkerPool::shared()
+            .map_indexed::<u64, (), _>(
+                4,
+                0..64,
+                &stop,
+                nde_data::par::CostHint::PerItemNanos(50_000),
+                Ok,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 64);
+        let activity = PoolActivity::since(before);
+        if WorkerPool::shared().workers() > 0 {
+            assert!(activity.jobs >= 1, "{activity:?}");
+            assert!(activity.chunks >= 1, "{activity:?}");
+        }
+        assert_eq!(activity.hw_threads, hardware_threads() as u64);
+        // Serializes with every counter as a numeric leaf.
+        let json = activity.to_json();
+        for key in ["jobs", "chunks", "parks", "wakes", "hw_threads"] {
+            assert!(json.get(key).and_then(Json::as_f64).is_some(), "{key}");
+        }
     }
 
     #[test]

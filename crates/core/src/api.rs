@@ -236,6 +236,7 @@ pub fn zorro_config() -> ZorroConfig {
         l2: 1e-3,
         divergence_threshold: 1e9,
         threads: 1,
+        pool: None,
     }
 }
 

@@ -23,6 +23,7 @@ pub mod generate;
 pub mod inject;
 pub mod json;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod schema;
 pub mod table;

@@ -1,17 +1,22 @@
-//! Deterministic scoped parallelism and a utility-call memo cache.
+//! Deterministic parallelism and a utility-call memo cache.
 //!
 //! Every long-running estimator in the workspace is a loop over independent,
 //! seed-derived work items (permutations, coalition samples, validation
 //! points, pipeline tuples, possible worlds). This module provides the one
 //! substrate they all share:
 //!
-//! - [`par_map_indexed`] / [`par_map_indexed_scratch`] — a scoped,
-//!   seed-partition-friendly worker pool. Work item `i` must depend only on
-//!   `i` (typically via `child_seed(seed, i)`), never on which worker ran it
-//!   or what ran before it. Workers claim indices dynamically from an atomic
-//!   cursor; results come back **sorted by index**, so any fold over them is
-//!   order-independent of the schedule and the output is bit-identical for
-//!   every thread count, including 1.
+//! - [`par_map_indexed`] / [`par_map_indexed_scratch`] — a
+//!   seed-partition-friendly indexed map, executed on the process-wide
+//!   resident [`WorkerPool`] (workers are spawned
+//!   once and parked between jobs — never per call). Work item `i` must
+//!   depend only on `i` (typically via `child_seed(seed, i)`), never on
+//!   which worker ran it or what ran before it. Workers claim adaptively
+//!   sized index chunks from an atomic cursor; results come back **sorted
+//!   by index**, so any fold over them is order-independent of the schedule
+//!   and the output is bit-identical for every thread count, including 1.
+//! - [`par_map_indexed_scratch_scoped`] — the original scoped-spawn
+//!   implementation, kept as the differential reference the pool is tested
+//!   against (and as a fallback that owns no long-lived threads).
 //! - [`MemoCache`] — a sharded, thread-safe memoization cache for utility
 //!   evaluations keyed by a [`subset_fingerprint`] of the coalition's index
 //!   set, so repeated coalition evaluations across permutations and across
@@ -21,16 +26,17 @@
 //!
 //! `par_map_indexed` guarantees: if `f(i)` is a pure function of `i`, the
 //! returned `(index, value)` pairs are identical for any `threads >= 1`.
-//! Early termination via the `stop` flag only affects *which suffix* of
-//! items is missing (always a set of the highest claimed indices plus
-//! possibly gaps past the first unclaimed index) — callers that need a
-//! deterministic cut must fold the sorted results front-to-back and apply
-//! their own (count-based) stopping rule, discarding the speculative tail.
+//! Early termination via the `stop` flag only affects *which* items are
+//! missing (a set of the highest claimed indices plus possibly gaps past
+//! the first unevaluated index) — callers that need a deterministic cut
+//! must fold the sorted results front-to-back and apply their own
+//! (count-based) stopping rule, discarding the speculative tail.
 //! Failures are deterministic too: the error reported is always the one
 //! from the **smallest failing index**, matching what a sequential run
 //! would hit first.
 
 use crate::fxhash::{FxHashMap, FxHasher};
+use crate::pool::WorkerPool;
 use std::hash::Hasher;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
@@ -56,29 +62,78 @@ impl<E> WorkerFailure<E> {
     }
 }
 
-/// Clamp a requested thread count to something sensible for `items` items.
-pub fn effective_threads(requested: usize, items: usize) -> usize {
-    requested.max(1).min(items.max(1))
+/// What one work item roughly costs, used to size chunks and to decide
+/// whether parallelism is worth engaging at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CostHint {
+    /// No idea — the first completed chunk is timed to find out.
+    #[default]
+    Unknown,
+    /// Approximate per-item cost in nanoseconds (order of magnitude is
+    /// plenty; it seeds the adaptive chunk size and the sequential-fallback
+    /// decision, neither of which can affect output).
+    PerItemNanos(u64),
+}
+
+impl CostHint {
+    /// The hinted per-item cost, or 0 when unknown (0 doubles as the
+    /// "probe required" sentinel in the adaptive scheduler).
+    pub fn per_item_nanos(self) -> u64 {
+        match self {
+            CostHint::Unknown => 0,
+            CostHint::PerItemNanos(ns) => ns.max(1),
+        }
+    }
+}
+
+/// Batches whose total hinted work is below this run sequentially: the
+/// fixed cost of waking pool workers (~tens of µs) is not worth paying for
+/// less than ~100µs of actual work.
+pub const SEQUENTIAL_CUTOFF_NANOS: u64 = 100_000;
+
+/// Clamp a requested thread count to something sensible for `items` items
+/// of roughly `cost` each.
+///
+/// Cost-aware: when the total hinted work is under
+/// [`SEQUENTIAL_CUTOFF_NANOS`], the answer is 1 regardless of item count —
+/// a thousand nanosecond-scale items lose more to coordination than they
+/// gain from threads. [`CostHint::Unknown`] preserves the old
+/// item-count-only behavior.
+pub fn effective_threads(requested: usize, items: usize, cost: CostHint) -> usize {
+    let capped = requested.max(1).min(items.max(1));
+    if capped > 1 {
+        if let CostHint::PerItemNanos(ns) = cost {
+            if (items as u64).saturating_mul(ns.max(1)) < SEQUENTIAL_CUTOFF_NANOS {
+                return 1;
+            }
+        }
+    }
+    capped
 }
 
 /// Parallel map over an index range with per-worker scratch state.
 ///
-/// Spawns up to `threads` scoped workers. Each worker builds one scratch
-/// value with `init` (reusable buffers — the whole point is to avoid
-/// per-item allocation churn) and then repeatedly claims the next unclaimed
-/// index, evaluating `f(&mut scratch, index)`. Results are returned sorted
-/// by index.
+/// Runs on the process-wide resident [`WorkerPool`]
+/// (no threads are spawned per call). Each worker builds one scratch value
+/// with `init` (reusable buffers — the whole point is to avoid per-item
+/// allocation churn) and then repeatedly claims adaptively sized chunks of
+/// indices, evaluating `f(&mut scratch, index)` for each. Results are
+/// returned sorted by index.
 ///
 /// Early exit:
 /// - `stop` — cooperative flag; once set (by a worker, by the caller, or by
-///   a budget heuristic) no *new* indices are claimed. In-flight items
-///   complete and are included.
+///   a budget heuristic) no *new* indices are claimed and the unevaluated
+///   remainder of in-flight chunks is dropped (budgeted callers settle
+///   sorted results front-to-back and re-claim gaps).
 /// - An `Err` or panic from `f` sets an internal failure flag; after all
 ///   workers drain, the failure with the smallest index is returned.
 ///
 /// With `threads == 1` the items run inline on the calling thread (no
-/// spawn), in index order — bit-identical to the parallel schedule by the
-/// module's determinism contract.
+/// pool interaction), in index order — bit-identical to the parallel
+/// schedule by the module's determinism contract. Callers that know their
+/// per-item cost should use
+/// [`WorkerPool::map_indexed_scratch`](crate::pool::WorkerPool) directly
+/// with a [`CostHint`] to skip the timing probe.
 pub fn par_map_indexed_scratch<S, T, E, I, F>(
     threads: usize,
     range: Range<u64>,
@@ -92,8 +147,35 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, u64) -> Result<T, E> + Sync,
 {
+    WorkerPool::shared().map_indexed_scratch(threads, range, stop, CostHint::Unknown, init, f)
+}
+
+/// The original scoped-spawn implementation of [`par_map_indexed_scratch`].
+///
+/// Spawns `threads` fresh scoped workers per call (single-item claims, no
+/// chunking, no resident pool). Kept as the differential-testing reference
+/// the pool implementation is checked against, and for callers that must
+/// not share the process-wide pool. Same determinism, failure, and stop
+/// contract as the pooled path.
+pub fn par_map_indexed_scratch_scoped<S, T, E, I, F>(
+    threads: usize,
+    range: Range<u64>,
+    stop: &AtomicBool,
+    init: I,
+    f: F,
+) -> Result<Vec<(u64, T)>, WorkerFailure<E>>
+where
+    T: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> Result<T, E> + Sync,
+{
     let items = range.end.saturating_sub(range.start);
-    let threads = effective_threads(threads, items.min(usize::MAX as u64) as usize);
+    let threads = effective_threads(
+        threads,
+        items.min(usize::MAX as u64) as usize,
+        CostHint::Unknown,
+    );
     let next = AtomicU64::new(range.start);
     let failed = AtomicBool::new(false);
     let failure: Mutex<Option<WorkerFailure<E>>> = Mutex::new(None);
@@ -170,6 +252,21 @@ where
     F: Fn(u64) -> Result<T, E> + Sync,
 {
     par_map_indexed_scratch(threads, range, stop, || (), |(), i| f(i))
+}
+
+/// [`par_map_indexed_scratch_scoped`] without per-worker scratch state.
+pub fn par_map_indexed_scoped<T, E, F>(
+    threads: usize,
+    range: Range<u64>,
+    stop: &AtomicBool,
+    f: F,
+) -> Result<Vec<(u64, T)>, WorkerFailure<E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64) -> Result<T, E> + Sync,
+{
+    par_map_indexed_scratch_scoped(threads, range, stop, || (), |(), i| f(i))
 }
 
 /// Fixed-shape pairwise tree reduction.
@@ -365,6 +462,47 @@ impl MemoCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn effective_threads_is_cost_aware() {
+        // Unknown cost: old item-count-only clamping.
+        assert_eq!(effective_threads(4, 100, CostHint::Unknown), 4);
+        assert_eq!(effective_threads(4, 2, CostHint::Unknown), 2);
+        assert_eq!(effective_threads(0, 0, CostHint::Unknown), 1);
+        // Cheap small batch: total work under the cutoff goes sequential.
+        assert_eq!(effective_threads(4, 1000, CostHint::PerItemNanos(50)), 1);
+        // Same item count, expensive items: parallelism engages.
+        assert_eq!(
+            effective_threads(4, 1000, CostHint::PerItemNanos(1_000_000)),
+            4
+        );
+        // Exactly at the cutoff counts as worth it.
+        assert_eq!(effective_threads(4, 100, CostHint::PerItemNanos(1_000)), 4);
+        // A sequential request stays sequential no matter the cost.
+        assert_eq!(
+            effective_threads(1, 1_000_000, CostHint::PerItemNanos(1_000_000)),
+            1
+        );
+    }
+
+    #[test]
+    fn pooled_free_functions_match_scoped_reference() {
+        let stop = AtomicBool::new(false);
+        let work = |i: u64| Ok::<u64, ()>(i.rotate_left(7) ^ 0xabcd);
+        let reference = par_map_indexed_scoped(1, 0..300, &stop, work).unwrap();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                par_map_indexed(threads, 0..300, &stop, work).unwrap(),
+                reference,
+                "pooled threads={threads}"
+            );
+            assert_eq!(
+                par_map_indexed_scoped(threads, 0..300, &stop, work).unwrap(),
+                reference,
+                "scoped threads={threads}"
+            );
+        }
+    }
 
     #[test]
     fn results_are_sorted_and_thread_invariant() {

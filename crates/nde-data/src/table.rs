@@ -2,7 +2,8 @@
 
 use crate::column::Column;
 use crate::fxhash::FxHashMap;
-use crate::par::{effective_threads, par_map_indexed, WorkerFailure};
+use crate::par::{CostHint, WorkerFailure};
+use crate::pool::WorkerPool;
 use crate::schema::{DataType, Field, Schema};
 use crate::value::Value;
 use crate::{DataError, Result};
@@ -371,30 +372,32 @@ impl Table {
         // are merged in index order (par_map_indexed sorts by index and
         // runs inline for one thread), so lineage is schedule-independent.
         let chunks = self.n_rows.div_ceil(ROW_CHUNK) as u64;
-        let workers = effective_threads(threads, chunks as usize);
         let stop = AtomicBool::new(false);
-        let parts = par_map_indexed(workers, 0..chunks, &stop, |c| {
-            let start = c as usize * ROW_CHUNK;
-            let end = (start + ROW_CHUNK).min(self.n_rows);
-            let mut part: Vec<(usize, Option<usize>)> = Vec::with_capacity(end - start);
-            for row in start..end {
-                let key = JoinKey::from_value(&self.columns[lk].get(row).expect("in bounds"));
-                match key.and_then(|k| index.get(&k)) {
-                    Some(rows) => part.extend(rows.iter().map(|&r| (row, Some(r)))),
-                    None if outer => part.push((row, None)),
-                    None => {}
+        // ~10µs per 64-row probe chunk: small joins stay sequential.
+        let cost = CostHint::PerItemNanos(10_000);
+        let parts = WorkerPool::shared()
+            .map_indexed(threads, 0..chunks, &stop, cost, |c| {
+                let start = c as usize * ROW_CHUNK;
+                let end = (start + ROW_CHUNK).min(self.n_rows);
+                let mut part: Vec<(usize, Option<usize>)> = Vec::with_capacity(end - start);
+                for row in start..end {
+                    let key = JoinKey::from_value(&self.columns[lk].get(row).expect("in bounds"));
+                    match key.and_then(|k| index.get(&k)) {
+                        Some(rows) => part.extend(rows.iter().map(|&r| (row, Some(r)))),
+                        None if outer => part.push((row, None)),
+                        None => {}
+                    }
                 }
-            }
-            Ok::<_, DataError>(part)
-        })
-        .map_err(|fail| match fail {
-            WorkerFailure::Err(_, e) => e,
-            // Unreachable in practice: probing only reads bounds-checked
-            // columns and the prebuilt index.
-            WorkerFailure::Panic(_, msg) => {
-                DataError::InvalidArgument(format!("join probe worker panicked: {msg}"))
-            }
-        })?;
+                Ok::<_, DataError>(part)
+            })
+            .map_err(|fail| match fail {
+                WorkerFailure::Err(_, e) => e,
+                // Unreachable in practice: probing only reads bounds-checked
+                // columns and the prebuilt index.
+                WorkerFailure::Panic(_, msg) => {
+                    DataError::InvalidArgument(format!("join probe worker panicked: {msg}"))
+                }
+            })?;
         let mut lineage: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.n_rows);
         for (_, part) in parts {
             lineage.extend(part);
@@ -443,22 +446,24 @@ impl Table {
     pub fn distinct_by(&self, key: &str, threads: usize) -> Result<(Vec<usize>, Vec<usize>)> {
         let k = self.schema.index_of(key)?;
         let chunks = self.n_rows.div_ceil(ROW_CHUNK) as u64;
-        let workers = effective_threads(threads, chunks as usize);
         let stop = AtomicBool::new(false);
-        let parts = par_map_indexed(workers, 0..chunks, &stop, |c| {
-            let start = c as usize * ROW_CHUNK;
-            let end = (start + ROW_CHUNK).min(self.n_rows);
-            let keys: Vec<Option<JoinKey>> = (start..end)
-                .map(|row| JoinKey::from_value(&self.columns[k].get(row).expect("in bounds")))
-                .collect();
-            Ok::<_, DataError>(keys)
-        })
-        .map_err(|fail| match fail {
-            WorkerFailure::Err(_, e) => e,
-            WorkerFailure::Panic(_, msg) => {
-                DataError::InvalidArgument(format!("distinct key worker panicked: {msg}"))
-            }
-        })?;
+        // ~6µs per 64-row key-extraction chunk.
+        let cost = CostHint::PerItemNanos(6_000);
+        let parts = WorkerPool::shared()
+            .map_indexed(threads, 0..chunks, &stop, cost, |c| {
+                let start = c as usize * ROW_CHUNK;
+                let end = (start + ROW_CHUNK).min(self.n_rows);
+                let keys: Vec<Option<JoinKey>> = (start..end)
+                    .map(|row| JoinKey::from_value(&self.columns[k].get(row).expect("in bounds")))
+                    .collect();
+                Ok::<_, DataError>(keys)
+            })
+            .map_err(|fail| match fail {
+                WorkerFailure::Err(_, e) => e,
+                WorkerFailure::Panic(_, msg) => {
+                    DataError::InvalidArgument(format!("distinct key worker panicked: {msg}"))
+                }
+            })?;
         let mut kept: Vec<usize> = Vec::new();
         let mut owner: Vec<usize> = Vec::with_capacity(self.n_rows);
         let mut slot_of: FxHashMap<Option<JoinKey>, usize> = FxHashMap::default();

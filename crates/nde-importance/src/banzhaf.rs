@@ -23,7 +23,7 @@ use nde_data::rng::Rng;
 use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
-use nde_robust::par::{effective_threads, par_map_indexed, MemoCache, WorkerFailure};
+use nde_robust::par::{CostHint, MemoCache, WorkerFailure, WorkerPool};
 use nde_robust::{ConvergenceDiagnostics, RunBudget};
 use std::sync::atomic::AtomicBool;
 
@@ -59,6 +59,7 @@ pub(crate) fn banzhaf_engine<C>(
     config: &BanzhafConfig,
     cache: Option<&MemoCache>,
     policy: BatchPolicy,
+    pool: &WorkerPool,
 ) -> Result<(ImportanceScores, BatchStats)>
 where
     C: Classifier + Send + Sync,
@@ -72,6 +73,7 @@ where
         None,
         cache,
         policy,
+        pool,
     )
     .map(|(run, stats)| (run.scores, stats))
 }
@@ -109,6 +111,7 @@ pub(crate) fn banzhaf_engine_budgeted<C>(
     resume: Option<&BanzhafCheckpoint>,
     cache: Option<&MemoCache>,
     policy: BatchPolicy,
+    pool: &WorkerPool,
 ) -> Result<(BanzhafRun, BatchStats)>
 where
     C: Classifier + Send + Sync,
@@ -147,33 +150,35 @@ where
     if end > start {
         let width = batcher.width() as u64;
         let blocks = (end - start).div_ceil(width);
-        let threads = effective_threads(config.threads, blocks as usize);
         let stop = AtomicBool::new(false);
+        // Every block evaluates whole subset utilities (model retrains).
+        let cost = CostHint::PerItemNanos(1_000_000);
         // Subset sample `s` is a pure function of `child_seed(seed, s)`;
         // members come out already sorted, so the utility cache key is
         // ready-made. Block `b` covers samples [start + b·width,
         // start + (b+1)·width): also schedule-independent.
-        let sample_blocks = par_map_indexed(threads, 0..blocks, &stop, |b| {
-            let lo = start + b * width;
-            let hi = (start + (b + 1) * width).min(end);
-            let mut block: Vec<Vec<usize>> = Vec::with_capacity((hi - lo) as usize);
-            for s in lo..hi {
-                let mut rng = seeded(child_seed(config.seed, s));
-                let mut members: Vec<usize> = Vec::with_capacity(n);
-                for i in 0..n {
-                    if rng.gen::<bool>() {
-                        members.push(i);
+        let sample_blocks = pool
+            .map_indexed(config.threads, 0..blocks, &stop, cost, |b| {
+                let lo = start + b * width;
+                let hi = (start + (b + 1) * width).min(end);
+                let mut block: Vec<Vec<usize>> = Vec::with_capacity((hi - lo) as usize);
+                for s in lo..hi {
+                    let mut rng = seeded(child_seed(config.seed, s));
+                    let mut members: Vec<usize> = Vec::with_capacity(n);
+                    for i in 0..n {
+                        if rng.gen::<bool>() {
+                            members.push(i);
+                        }
                     }
+                    block.push(members);
                 }
-                block.push(members);
-            }
-            let utilities = batcher.eval_batch(&block)?;
-            Ok::<_, ImportanceError>((block, utilities))
-        })
-        .map_err(|fail| match fail {
-            WorkerFailure::Err(_, e) => e,
-            WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
-        })?;
+                let utilities = batcher.eval_batch(&block)?;
+                Ok::<_, ImportanceError>((block, utilities))
+            })
+            .map_err(|fail| match fail {
+                WorkerFailure::Err(_, e) => e,
+                WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+            })?;
 
         // Fold in sample-index order (blocks are index-sorted, samples are
         // in order within a block) — float sums independent of the schedule.
@@ -235,6 +240,7 @@ mod tests {
             config,
             cache,
             BatchPolicy::Unbatched,
+            &WorkerPool::shared(),
         )
         .map(|(scores, _)| scores)
     }
@@ -301,8 +307,16 @@ mod tests {
                 seed: 5,
                 threads,
             };
-            let (plain, _) =
-                banzhaf_engine(&knn, &train, &valid, &cfg, None, BatchPolicy::Unbatched).unwrap();
+            let (plain, _) = banzhaf_engine(
+                &knn,
+                &train,
+                &valid,
+                &cfg,
+                None,
+                BatchPolicy::Unbatched,
+                &WorkerPool::shared(),
+            )
+            .unwrap();
             for size in [1, 2, 7, 32, 1000] {
                 let (batched, stats) = banzhaf_engine(
                     &knn,
@@ -311,6 +325,7 @@ mod tests {
                     &cfg,
                     None,
                     BatchPolicy::Grouped { size },
+                    &WorkerPool::shared(),
                 )
                 .unwrap();
                 assert_eq!(batched, plain, "threads={threads} size={size}");
@@ -357,8 +372,16 @@ mod tests {
             seed: 9,
             threads: 2,
         };
-        let (full, _) =
-            banzhaf_engine(&knn, &train, &valid, &cfg, None, BatchPolicy::default()).unwrap();
+        let (full, _) = banzhaf_engine(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            None,
+            BatchPolicy::default(),
+            &WorkerPool::shared(),
+        )
+        .unwrap();
         // Trip the utility budget mid-run, then resume without limits.
         let budget = RunBudget::unlimited().with_max_utility_calls(25);
         let (cut, _) = banzhaf_engine_budgeted(
@@ -370,6 +393,7 @@ mod tests {
             None,
             None,
             BatchPolicy::default(),
+            &WorkerPool::shared(),
         )
         .unwrap();
         assert!(!cut.diagnostics.completed());
@@ -384,6 +408,7 @@ mod tests {
             Some(&cut.checkpoint),
             None,
             BatchPolicy::default(),
+            &WorkerPool::shared(),
         )
         .unwrap();
         assert!(resumed.diagnostics.completed());
@@ -402,6 +427,7 @@ mod tests {
             Some(&cut.checkpoint),
             None,
             BatchPolicy::default(),
+            &WorkerPool::shared(),
         )
         .is_err());
     }

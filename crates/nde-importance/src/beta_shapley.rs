@@ -18,7 +18,7 @@ use nde_data::rng::SliceRandom;
 use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
-use nde_robust::par::{effective_threads, par_map_indexed_scratch, MemoCache, WorkerFailure};
+use nde_robust::par::{CostHint, MemoCache, WorkerFailure, WorkerPool};
 use nde_robust::{ConvergenceDiagnostics, RunBudget};
 use std::sync::atomic::AtomicBool;
 
@@ -130,6 +130,7 @@ pub(crate) fn beta_shapley_engine<C>(
     config: &BetaShapleyConfig,
     cache: Option<&MemoCache>,
     policy: BatchPolicy,
+    pool: &WorkerPool,
 ) -> Result<(ImportanceScores, BatchStats)>
 where
     C: Classifier + Send + Sync,
@@ -143,6 +144,7 @@ where
         None,
         cache,
         policy,
+        pool,
     )
     .map(|(run, stats)| (run.scores, stats))
 }
@@ -191,6 +193,7 @@ pub(crate) fn beta_shapley_engine_budgeted<C>(
     resume: Option<&BetaShapleyCheckpoint>,
     cache: Option<&MemoCache>,
     policy: BatchPolicy,
+    pool: &WorkerPool,
 ) -> Result<(BetaShapleyRun, BatchStats)>
 where
     C: Classifier + Send + Sync,
@@ -248,62 +251,65 @@ where
             pairs: Vec<Vec<usize>>,
             utilities: Vec<f64>,
         }
-        let threads = effective_threads(config.threads, (end - start) as usize);
         let stop = AtomicBool::new(false);
-        let per_point = par_map_indexed_scratch(
-            threads,
-            start..end,
-            &stop,
-            || Scratch {
-                pool: Vec::with_capacity(n),
-                pairs: Vec::new(),
-                utilities: Vec::new(),
-            },
-            |scratch, idx| {
-                let i = idx as usize;
-                let mut rng = seeded(child_seed(config.seed, idx));
-                scratch.pool.clear();
-                scratch.pool.extend((0..n).filter(|&j| j != i));
-                // Draw every sample first (the RNG stream never depends on
-                // utilities, so this consumes exactly the legacy draw order),
-                // queueing each sample's (S, S ∪ i) pair back to back.
-                let total_coalitions = 2 * config.samples_per_point;
-                while scratch.pairs.len() < total_coalitions {
-                    scratch.pairs.push(Vec::with_capacity(n));
-                }
-                for s in 0..config.samples_per_point {
-                    // Sample coalition size j from the Beta weights.
-                    let u: f64 = rng.gen();
-                    let j = cdf.partition_point(|&c| c < u).min(n - 1);
-                    scratch.pool.shuffle(&mut rng);
-                    let subset = &scratch.pool[..j.min(n - 1)];
-                    let (head, tail) = scratch.pairs.split_at_mut(2 * s + 1);
-                    let without = &mut head[2 * s];
-                    let with = &mut tail[0];
-                    without.clear();
-                    without.extend_from_slice(subset);
-                    without.sort_unstable();
-                    let at = without.partition_point(|&x| x < i);
-                    with.clear();
-                    with.extend_from_slice(without);
-                    with.insert(at, i);
-                }
-                // Evaluate in waves, then fold marginals in sample order.
-                scratch.utilities.clear();
-                for chunk in scratch.pairs[..total_coalitions].chunks(batcher.width()) {
-                    scratch.utilities.extend(batcher.eval_batch(chunk)?);
-                }
-                let mut total = 0.0;
-                for s in 0..config.samples_per_point {
-                    total += scratch.utilities[2 * s + 1] - scratch.utilities[2 * s];
-                }
-                Ok::<_, ImportanceError>(total / config.samples_per_point as f64)
-            },
-        )
-        .map_err(|fail| match fail {
-            WorkerFailure::Err(_, e) => e,
-            WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
-        })?;
+        // Each point evaluates 2·samples_per_point coalition utilities.
+        let cost = CostHint::PerItemNanos(1_000_000);
+        let per_point = pool
+            .map_indexed_scratch(
+                config.threads,
+                start..end,
+                &stop,
+                cost,
+                || Scratch {
+                    pool: Vec::with_capacity(n),
+                    pairs: Vec::new(),
+                    utilities: Vec::new(),
+                },
+                |scratch, idx| {
+                    let i = idx as usize;
+                    let mut rng = seeded(child_seed(config.seed, idx));
+                    scratch.pool.clear();
+                    scratch.pool.extend((0..n).filter(|&j| j != i));
+                    // Draw every sample first (the RNG stream never depends on
+                    // utilities, so this consumes exactly the legacy draw order),
+                    // queueing each sample's (S, S ∪ i) pair back to back.
+                    let total_coalitions = 2 * config.samples_per_point;
+                    while scratch.pairs.len() < total_coalitions {
+                        scratch.pairs.push(Vec::with_capacity(n));
+                    }
+                    for s in 0..config.samples_per_point {
+                        // Sample coalition size j from the Beta weights.
+                        let u: f64 = rng.gen();
+                        let j = cdf.partition_point(|&c| c < u).min(n - 1);
+                        scratch.pool.shuffle(&mut rng);
+                        let subset = &scratch.pool[..j.min(n - 1)];
+                        let (head, tail) = scratch.pairs.split_at_mut(2 * s + 1);
+                        let without = &mut head[2 * s];
+                        let with = &mut tail[0];
+                        without.clear();
+                        without.extend_from_slice(subset);
+                        without.sort_unstable();
+                        let at = without.partition_point(|&x| x < i);
+                        with.clear();
+                        with.extend_from_slice(without);
+                        with.insert(at, i);
+                    }
+                    // Evaluate in waves, then fold marginals in sample order.
+                    scratch.utilities.clear();
+                    for chunk in scratch.pairs[..total_coalitions].chunks(batcher.width()) {
+                        scratch.utilities.extend(batcher.eval_batch(chunk)?);
+                    }
+                    let mut total = 0.0;
+                    for s in 0..config.samples_per_point {
+                        total += scratch.utilities[2 * s + 1] - scratch.utilities[2 * s];
+                    }
+                    Ok::<_, ImportanceError>(total / config.samples_per_point as f64)
+                },
+            )
+            .map_err(|fail| match fail {
+                WorkerFailure::Err(_, e) => e,
+                WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+            })?;
 
         for (idx, v) in per_point {
             state.values[idx as usize] = v;
@@ -351,6 +357,7 @@ mod tests {
             config,
             cache,
             BatchPolicy::Unbatched,
+            &WorkerPool::shared(),
         )
         .map(|(scores, _)| scores)
     }
@@ -424,9 +431,16 @@ mod tests {
                 threads,
                 ..Default::default()
             };
-            let (plain, _) =
-                beta_shapley_engine(&knn, &train, &valid, &cfg, None, BatchPolicy::Unbatched)
-                    .unwrap();
+            let (plain, _) = beta_shapley_engine(
+                &knn,
+                &train,
+                &valid,
+                &cfg,
+                None,
+                BatchPolicy::Unbatched,
+                &WorkerPool::shared(),
+            )
+            .unwrap();
             for size in [1, 2, 5, 64] {
                 let (batched, stats) = beta_shapley_engine(
                     &knn,
@@ -435,6 +449,7 @@ mod tests {
                     &cfg,
                     None,
                     BatchPolicy::Grouped { size },
+                    &WorkerPool::shared(),
                 )
                 .unwrap();
                 assert_eq!(batched, plain, "threads={threads} size={size}");
@@ -453,8 +468,16 @@ mod tests {
             threads: 2,
             ..Default::default()
         };
-        let (full, _) =
-            beta_shapley_engine(&knn, &train, &valid, &cfg, None, BatchPolicy::default()).unwrap();
+        let (full, _) = beta_shapley_engine(
+            &knn,
+            &train,
+            &valid,
+            &cfg,
+            None,
+            BatchPolicy::default(),
+            &WorkerPool::shared(),
+        )
+        .unwrap();
         // Trip the iteration (= point) budget mid-run, then resume.
         let budget = RunBudget::unlimited().with_max_iterations(2);
         let (cut, _) = beta_shapley_engine_budgeted(
@@ -466,6 +489,7 @@ mod tests {
             None,
             None,
             BatchPolicy::default(),
+            &WorkerPool::shared(),
         )
         .unwrap();
         assert!(!cut.diagnostics.completed());
@@ -480,6 +504,7 @@ mod tests {
             Some(&cut.checkpoint),
             None,
             BatchPolicy::default(),
+            &WorkerPool::shared(),
         )
         .unwrap();
         assert!(resumed.diagnostics.completed());
@@ -501,6 +526,7 @@ mod tests {
             Some(&cut.checkpoint),
             None,
             BatchPolicy::default(),
+            &WorkerPool::shared(),
         )
         .is_err());
     }

@@ -14,6 +14,7 @@ use crate::knn_shapley::knn_engine;
 use crate::{ImportanceError, Result};
 use nde_ml::dataset::Dataset;
 use nde_pipeline::feature::FeatureOutput;
+use nde_robust::par::WorkerPool;
 
 /// Importance of the rows of source table `source_name`, computed by
 /// KNN-Shapley over the pipeline output and pushed back via provenance.
@@ -45,7 +46,7 @@ pub fn datascope_importance(
             lineage.sources
         ))
     })?;
-    let output_scores = knn_engine(&train_output.dataset, valid, k, 1)?;
+    let output_scores = knn_engine(&train_output.dataset, valid, k, 1, &WorkerPool::shared())?;
     debug_assert_eq!(output_scores.len(), lineage.rows.len());
 
     let index = lineage.outputs_per_source_row(source_idx, source_len);

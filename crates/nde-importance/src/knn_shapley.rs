@@ -9,7 +9,7 @@ use crate::common::ImportanceScores;
 use crate::{ImportanceError, Result};
 use nde_ml::batch::DistanceTable;
 use nde_ml::dataset::Dataset;
-use nde_robust::par::{effective_threads, par_map_indexed_scratch, WorkerFailure};
+use nde_robust::par::{CostHint, WorkerFailure, WorkerPool};
 use std::sync::atomic::AtomicBool;
 
 /// Validation points are processed in fixed-size chunks whose partial sums
@@ -54,6 +54,7 @@ pub(crate) fn knn_engine(
     valid: &Dataset,
     k: usize,
     threads: usize,
+    pool: &WorkerPool,
 ) -> Result<ImportanceScores> {
     if k == 0 {
         return Err(ImportanceError::InvalidArgument("k must be >= 1".into()));
@@ -74,71 +75,74 @@ pub(crate) fn knn_engine(
     let m = valid.len();
     let kf = k as f64;
     let chunks = m.div_ceil(VALID_CHUNK) as u64;
-    let threads = effective_threads(threads, chunks as usize);
     let stop = AtomicBool::new(false);
+    // One chunk ranks every training row for VALID_CHUNK validation points.
+    let cost = CostHint::PerItemNanos((VALID_CHUNK * n.max(1)) as u64 * 100);
     // One distance matrix for the whole run, shared read-only by every
     // worker (row floats are exactly `squared_distance`'s, so the ordering
     // is unchanged from the per-chunk computation this replaces).
     let table = DistanceTable::new(train, valid);
 
-    let chunk_totals = par_map_indexed_scratch(
-        threads,
-        0..chunks,
-        &stop,
-        || KnnScratch {
-            order: Vec::with_capacity(n),
-            s: vec![0.0; n],
-        },
-        |scratch, c| {
-            let mut totals = vec![0.0; n];
-            let start = c as usize * VALID_CHUNK;
-            let end = (start + VALID_CHUNK).min(m);
-            for v in start..end {
-                let vy = valid.y[v];
-                let dists = table.row(v);
-                let by_distance = |&a: &usize, &b: &usize| {
-                    dists[a]
-                        .partial_cmp(&dists[b])
-                        .expect("finite distances")
-                        .then(a.cmp(&b))
-                };
-                scratch.order.clear();
-                scratch.order.extend(0..n);
-                if k < n {
-                    // Partition at the k-boundary, then order each side.
-                    let (near, _, far) = scratch.order.select_nth_unstable_by(k, by_distance);
-                    near.sort_unstable_by(by_distance);
-                    far.sort_unstable_by(by_distance);
-                } else {
-                    scratch.order.sort_unstable_by(by_distance);
-                }
-                // Recursion over the sorted order (position p is 1-indexed
-                // as p+1).
-                let order = &scratch.order;
-                let matches = |p: usize| -> f64 {
-                    if train.y[order[p]] == vy {
-                        1.0
+    let chunk_totals = pool
+        .map_indexed_scratch(
+            threads,
+            0..chunks,
+            &stop,
+            cost,
+            || KnnScratch {
+                order: Vec::with_capacity(n),
+                s: vec![0.0; n],
+            },
+            |scratch, c| {
+                let mut totals = vec![0.0; n];
+                let start = c as usize * VALID_CHUNK;
+                let end = (start + VALID_CHUNK).min(m);
+                for v in start..end {
+                    let vy = valid.y[v];
+                    let dists = table.row(v);
+                    let by_distance = |&a: &usize, &b: &usize| {
+                        dists[a]
+                            .partial_cmp(&dists[b])
+                            .expect("finite distances")
+                            .then(a.cmp(&b))
+                    };
+                    scratch.order.clear();
+                    scratch.order.extend(0..n);
+                    if k < n {
+                        // Partition at the k-boundary, then order each side.
+                        let (near, _, far) = scratch.order.select_nth_unstable_by(k, by_distance);
+                        near.sort_unstable_by(by_distance);
+                        far.sort_unstable_by(by_distance);
                     } else {
-                        0.0
+                        scratch.order.sort_unstable_by(by_distance);
                     }
-                };
-                scratch.s[n - 1] = matches(n - 1) / n as f64;
-                for p in (0..n - 1).rev() {
-                    let i = (p + 1) as f64; // 1-indexed position
-                    scratch.s[p] =
-                        scratch.s[p + 1] + (matches(p) - matches(p + 1)) / kf * kf.min(i) / i;
+                    // Recursion over the sorted order (position p is 1-indexed
+                    // as p+1).
+                    let order = &scratch.order;
+                    let matches = |p: usize| -> f64 {
+                        if train.y[order[p]] == vy {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    };
+                    scratch.s[n - 1] = matches(n - 1) / n as f64;
+                    for p in (0..n - 1).rev() {
+                        let i = (p + 1) as f64; // 1-indexed position
+                        scratch.s[p] =
+                            scratch.s[p + 1] + (matches(p) - matches(p + 1)) / kf * kf.min(i) / i;
+                    }
+                    for p in 0..n {
+                        totals[order[p]] += scratch.s[p];
+                    }
                 }
-                for p in 0..n {
-                    totals[order[p]] += scratch.s[p];
-                }
-            }
-            Ok::<_, ImportanceError>(totals)
-        },
-    )
-    .map_err(|fail| match fail {
-        WorkerFailure::Err(_, e) => e,
-        WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
-    })?;
+                Ok::<_, ImportanceError>(totals)
+            },
+        )
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+        })?;
 
     // Fold partial sums in chunk order (schedule-independent).
     let mut totals = vec![0.0; n];
@@ -161,7 +165,7 @@ mod tests {
     // The behavioral suite pins the engine through a thin wrapper matching
     // the removed free functions' signature.
     fn knn_shapley(train: &Dataset, valid: &Dataset, k: usize) -> Result<ImportanceScores> {
-        knn_engine(train, valid, k, 1)
+        knn_engine(train, valid, k, 1, &WorkerPool::shared())
     }
 
     fn toy() -> (Dataset, Dataset) {
@@ -278,7 +282,7 @@ mod tests {
         let valid = all.subset(&(150..300).collect::<Vec<_>>());
         let seq = knn_shapley(&train, &valid, 5).unwrap();
         for threads in [2, 4, 7] {
-            let par = knn_engine(&train, &valid, 5, threads).unwrap();
+            let par = knn_engine(&train, &valid, 5, threads, &WorkerPool::shared()).unwrap();
             assert_eq!(seq, par, "threads={threads}");
         }
     }

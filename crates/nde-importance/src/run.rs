@@ -74,11 +74,12 @@ use nde_data::fxhash::FxHasher;
 use nde_data::json::Json;
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
-use nde_robust::par::MemoCache;
+use nde_robust::par::{MemoCache, WorkerPool};
 use nde_robust::{
     ConvergenceDiagnostics, Exhaustion, McCheckpoint, RunBudget, RunFingerprint, RunStore,
 };
 use std::hash::Hasher;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Run-wide options shared by every importance method.
@@ -124,6 +125,10 @@ pub struct ImportanceRun<'a> {
     /// How coalition evaluations are grouped into batches. Purely physical:
     /// scores are bit-identical under every policy.
     pub batch: BatchPolicy,
+    /// Worker pool the engines run on; `None` uses the resident
+    /// process-wide pool ([`WorkerPool::shared`]). Purely physical:
+    /// scores are bit-identical under every pool.
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl<'a> ImportanceRun<'a> {
@@ -140,6 +145,7 @@ impl<'a> ImportanceRun<'a> {
             store: None,
             auto_checkpoint_every: None,
             batch: BatchPolicy::default(),
+            pool: None,
         }
     }
 
@@ -147,6 +153,19 @@ impl<'a> ImportanceRun<'a> {
     pub fn with_threads(mut self, threads: usize) -> ImportanceRun<'a> {
         self.threads = threads;
         self
+    }
+
+    /// Run the engines on a dedicated [`WorkerPool`] instead of the
+    /// process-wide shared one. Scheduling only — scores are bit-identical
+    /// under every pool.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> ImportanceRun<'a> {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool this run's engines execute on.
+    pub(crate) fn pool_handle(&self) -> Arc<WorkerPool> {
+        self.pool.clone().unwrap_or_else(WorkerPool::shared)
     }
 
     /// Set a resource budget.
@@ -537,7 +556,15 @@ where
         resume,
         |budget, resume| {
             let (result, stats) = tmc_engine(
-                template, train, valid, &config, budget, resume, run.cache, run.batch,
+                template,
+                train,
+                valid,
+                &config,
+                budget,
+                resume,
+                run.cache,
+                run.batch,
+                &run.pool_handle(),
             )?;
             Ok((result.scores, result.diagnostics, result.checkpoint, stats))
         },
@@ -596,7 +623,15 @@ where
         resume,
         |budget, resume| {
             let (result, stats) = banzhaf_engine_budgeted(
-                template, train, valid, &config, budget, resume, run.cache, run.batch,
+                template,
+                train,
+                valid,
+                &config,
+                budget,
+                resume,
+                run.cache,
+                run.batch,
+                &run.pool_handle(),
             )?;
             Ok((result.scores, result.diagnostics, result.checkpoint, stats))
         },
@@ -659,7 +694,15 @@ where
         resume,
         |budget, resume| {
             let (result, stats) = beta_shapley_engine_budgeted(
-                template, train, valid, &config, budget, resume, run.cache, run.batch,
+                template,
+                train,
+                valid,
+                &config,
+                budget,
+                resume,
+                run.cache,
+                run.batch,
+                &run.pool_handle(),
             )?;
             Ok((result.scores, result.diagnostics, result.checkpoint, stats))
         },
@@ -685,7 +728,7 @@ pub fn knn_shapley(
     k: usize,
 ) -> Result<ImportanceOutcome> {
     run.reject_resumability("knn_shapley")?;
-    let scores = knn_engine(train, valid, k, run.threads.max(1))?;
+    let scores = knn_engine(train, valid, k, run.threads.max(1), &run.pool_handle())?;
     Ok(ImportanceOutcome {
         scores,
         report: RunReport::default(),
@@ -747,6 +790,7 @@ mod tests {
             None,
             None,
             BatchPolicy::Unbatched,
+            &WorkerPool::shared(),
         )
         .unwrap();
         let run = ImportanceRun::new(9).with_threads(4);
@@ -827,6 +871,7 @@ mod tests {
             },
             None,
             BatchPolicy::Unbatched,
+            &WorkerPool::shared(),
         )
         .unwrap();
         let params = BanzhafParams { samples: 100 };
@@ -869,6 +914,7 @@ mod tests {
             },
             None,
             BatchPolicy::Unbatched,
+            &WorkerPool::shared(),
         )
         .unwrap();
         let params = BetaShapleyParams {
@@ -1061,7 +1107,8 @@ mod tests {
     #[test]
     fn knn_matches_engine_and_reports_no_calls() {
         let (train, valid) = toy();
-        let legacy = crate::knn_shapley::knn_engine(&train, &valid, 2, 3).unwrap();
+        let legacy =
+            crate::knn_shapley::knn_engine(&train, &valid, 2, 3, &WorkerPool::shared()).unwrap();
         let unified =
             knn_shapley(&ImportanceRun::new(0).with_threads(3), &train, &valid, 2).unwrap();
         assert_eq!(unified.scores, legacy);

@@ -51,9 +51,7 @@ use nde_data::rng::SliceRandom;
 use nde_data::rng::{child_seed, seeded};
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
-use nde_robust::par::{
-    effective_threads, par_map_indexed_scratch, AtomicBudgetClock, MemoCache, WorkerFailure,
-};
+use nde_robust::par::{AtomicBudgetClock, CostHint, MemoCache, WorkerFailure, WorkerPool};
 use nde_robust::{
     BudgetClock, ConvergenceDiagnostics, InflightPermutation, McCheckpoint, RunBudget,
 };
@@ -123,6 +121,7 @@ pub(crate) fn tmc_engine<C>(
     resume: Option<&McCheckpoint>,
     cache: Option<&MemoCache>,
     policy: BatchPolicy,
+    pool: &WorkerPool,
 ) -> Result<(BudgetedShapley, BatchStats)>
 where
     C: Classifier + Send + Sync,
@@ -202,36 +201,48 @@ where
         }
 
         // Speculative parallel rounds + authoritative sequential settlement.
-        let threads = effective_threads(config.threads, config.permutations);
+        // A permutation walk retrains a model per coalition: firmly past
+        // the sequential cutoff, so hint "expensive" instead of probing.
+        let cost = CostHint::PerItemNanos(1_000_000);
         while state.inflight.is_none() && state.cursor < total && clock.exhausted().is_none() {
             let shared =
                 AtomicBudgetClock::resume(budget, clock.iterations(), clock.utility_calls());
             let stop = AtomicBool::new(false);
-            let round = par_map_indexed_scratch(
-                threads,
-                state.cursor..total,
-                &stop,
-                || WalkScratch::new(n),
-                |ws, p| -> Result<(Vec<f64>, u64)> {
-                    let outcome =
-                        walk_permutation(&batcher, full_utility, config, p, ws, None, None, None)?;
-                    match outcome {
-                        WalkOutcome::Complete { marginals, calls } => {
-                            shared.record_iteration();
-                            shared.record_utility_calls(calls);
-                            shared.arm_stop(&stop);
-                            Ok((marginals, calls))
+            let round = pool
+                .map_indexed_scratch(
+                    config.threads,
+                    state.cursor..total,
+                    &stop,
+                    cost,
+                    || WalkScratch::new(n),
+                    |ws, p| -> Result<(Vec<f64>, u64)> {
+                        let outcome = walk_permutation(
+                            &batcher,
+                            full_utility,
+                            config,
+                            p,
+                            ws,
+                            None,
+                            None,
+                            None,
+                        )?;
+                        match outcome {
+                            WalkOutcome::Complete { marginals, calls } => {
+                                shared.record_iteration();
+                                shared.record_utility_calls(calls);
+                                shared.arm_stop(&stop);
+                                Ok((marginals, calls))
+                            }
+                            WalkOutcome::Tripped { .. } => {
+                                unreachable!("speculative walks run without a clock")
+                            }
                         }
-                        WalkOutcome::Tripped { .. } => {
-                            unreachable!("speculative walks run without a clock")
-                        }
-                    }
-                },
-            )
-            .map_err(|fail| match fail {
-                WorkerFailure::Err(_, e) => e,
-                WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
-            })?;
+                    },
+                )
+                .map_err(|fail| match fail {
+                    WorkerFailure::Err(_, e) => e,
+                    WorkerFailure::Panic(_, msg) => ImportanceError::WorkerPanic(msg),
+                })?;
 
             for (p, (marginals, calls)) in round {
                 if p != state.cursor || clock.exhausted().is_some() {
@@ -517,6 +528,7 @@ mod tests {
             resume,
             cache,
             BatchPolicy::Unbatched,
+            &WorkerPool::shared(),
         )
         .map(|(run, _)| run)
     }
@@ -616,6 +628,7 @@ mod tests {
             None,
             None,
             BatchPolicy::Unbatched,
+            &WorkerPool::shared(),
         )
         .unwrap();
         assert_eq!(plain_stats.batched_evals, 0);
@@ -629,6 +642,7 @@ mod tests {
                 None,
                 None,
                 BatchPolicy::Grouped { size },
+                &WorkerPool::shared(),
             )
             .unwrap();
             assert_eq!(batched.scores, plain.scores, "size={size}");
@@ -844,6 +858,7 @@ mod tests {
             None,
             None,
             BatchPolicy::Unbatched,
+            &WorkerPool::shared(),
         )
         .unwrap();
         let full_calls = uninterrupted.checkpoint.utility_calls;
@@ -858,6 +873,7 @@ mod tests {
                 None,
                 None,
                 BatchPolicy::Unbatched,
+                &WorkerPool::shared(),
             )
             .unwrap();
             let (batched, _) = tmc_engine(
@@ -869,6 +885,7 @@ mod tests {
                 None,
                 None,
                 BatchPolicy::Grouped { size: 4 },
+                &WorkerPool::shared(),
             )
             .unwrap();
             assert_eq!(

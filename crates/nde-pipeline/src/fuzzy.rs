@@ -8,7 +8,8 @@
 //! so provenance tracking extends to fuzzy matching unchanged.
 
 use crate::Result;
-use nde_data::par::{effective_threads, par_map_indexed, WorkerFailure};
+use nde_data::par::{CostHint, WorkerFailure};
+use nde_data::pool::WorkerPool;
 use nde_data::{Column, Field, Table, Value};
 use std::sync::atomic::AtomicBool;
 
@@ -100,35 +101,37 @@ pub fn fuzzy_join_par(
     })?;
 
     let chunks = lvals.len().div_ceil(ROW_CHUNK) as u64;
-    let workers = effective_threads(threads, chunks as usize);
     let stop = AtomicBool::new(false);
-    let parts = par_map_indexed(workers, 0..chunks, &stop, |c| {
-        let start = c as usize * ROW_CHUNK;
-        let end = (start + ROW_CHUNK).min(lvals.len());
-        let mut part: Vec<(usize, usize)> = Vec::new();
-        for (li, lv) in lvals.iter().enumerate().take(end).skip(start) {
-            let Some(lv) = lv else { continue };
-            let mut best: Option<(usize, f64)> = None;
-            for (ri, rv) in rvals.iter().enumerate() {
-                let Some(rv) = rv else { continue };
-                let sim = similarity(lv, rv);
-                if sim >= threshold && best.is_none_or(|(_, b)| sim > b) {
-                    best = Some((ri, sim));
+    // Each chunk scores 64 left rows against every right row.
+    let cost = CostHint::PerItemNanos((ROW_CHUNK * rvals.len().max(1)) as u64 * 200);
+    let parts = WorkerPool::shared()
+        .map_indexed(threads, 0..chunks, &stop, cost, |c| {
+            let start = c as usize * ROW_CHUNK;
+            let end = (start + ROW_CHUNK).min(lvals.len());
+            let mut part: Vec<(usize, usize)> = Vec::new();
+            for (li, lv) in lvals.iter().enumerate().take(end).skip(start) {
+                let Some(lv) = lv else { continue };
+                let mut best: Option<(usize, f64)> = None;
+                for (ri, rv) in rvals.iter().enumerate() {
+                    let Some(rv) = rv else { continue };
+                    let sim = similarity(lv, rv);
+                    if sim >= threshold && best.is_none_or(|(_, b)| sim > b) {
+                        best = Some((ri, sim));
+                    }
+                }
+                if let Some((ri, _)) = best {
+                    part.push((li, ri));
                 }
             }
-            if let Some((ri, _)) = best {
-                part.push((li, ri));
+            Ok::<_, PipelineError>(part)
+        })
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            // Unreachable in practice: similarity scoring does not panic.
+            WorkerFailure::Panic(_, msg) => {
+                PipelineError::InvalidPlan(format!("fuzzy join worker panicked: {msg}"))
             }
-        }
-        Ok::<_, PipelineError>(part)
-    })
-    .map_err(|fail| match fail {
-        WorkerFailure::Err(_, e) => e,
-        // Unreachable in practice: similarity scoring does not panic.
-        WorkerFailure::Panic(_, msg) => {
-            PipelineError::InvalidPlan(format!("fuzzy join worker panicked: {msg}"))
-        }
-    })?;
+        })?;
     let mut lineage: Vec<(usize, usize)> = Vec::new();
     for (_, part) in parts {
         lineage.extend(part);

@@ -12,7 +12,8 @@ use crate::interval::Interval;
 use crate::soa::{self, IntervalMatrix};
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
-use nde_data::par::{effective_threads, par_map_indexed, WorkerFailure};
+use nde_data::par::{CostHint, WorkerFailure};
+use nde_data::pool::WorkerPool;
 use nde_ml::linalg::Matrix;
 use std::sync::atomic::AtomicBool;
 
@@ -172,21 +173,25 @@ impl CertainKnnIndex {
 
     /// Classify a batch of queries on `threads` workers. Queries are
     /// independent, so the outcome vector is bit-identical at every thread
-    /// count ([`par_map_indexed`] returns results sorted by query index).
+    /// count (the pooled map returns results sorted by query index).
     pub fn classify_batch(&self, queries: &Matrix, threads: usize) -> Result<Vec<CertainOutcome>> {
         let stop = AtomicBool::new(false);
-        let out = par_map_indexed::<CertainOutcome, UncertainError, _>(
-            effective_threads(threads, queries.rows()),
-            0..queries.rows() as u64,
-            &stop,
-            |q| self.classify(queries.row(q as usize)),
-        )
-        .map_err(|fail| match fail {
-            WorkerFailure::Err(_, e) => e,
-            WorkerFailure::Panic(q, msg) => {
-                panic!("certain-KNN worker panicked at query {q}: {msg}")
-            }
-        })?;
+        // Each query scans every symbolic training row.
+        let cost = CostHint::PerItemNanos(self.labels.len().max(1) as u64 * 100);
+        let out = WorkerPool::shared()
+            .map_indexed::<CertainOutcome, UncertainError, _>(
+                threads,
+                0..queries.rows() as u64,
+                &stop,
+                cost,
+                |q| self.classify(queries.row(q as usize)),
+            )
+            .map_err(|fail| match fail {
+                WorkerFailure::Err(_, e) => e,
+                WorkerFailure::Panic(q, msg) => {
+                    panic!("certain-KNN worker panicked at query {q}: {msg}")
+                }
+            })?;
         Ok(out.into_iter().map(|(_, o)| o).collect())
     }
 

@@ -4,7 +4,8 @@
 use crate::soa::IntervalMatrix;
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
-use nde_data::par::{effective_threads, par_map_indexed_scratch, WorkerFailure};
+use nde_data::par::{CostHint, WorkerFailure};
+use nde_data::pool::WorkerPool;
 use nde_data::rng::{child_seed, seeded, Rng};
 use nde_ml::dataset::Dataset;
 use nde_ml::linalg::Matrix;
@@ -93,52 +94,56 @@ where
             train_y.len()
         )));
     }
-    let threads = effective_threads(threads, worlds);
     let stop = AtomicBool::new(false);
+    // A world samples a full matrix and fits a model: always way past the
+    // sequential cutoff, so hint "expensive" rather than probing.
+    let cost = CostHint::PerItemNanos(1_000_000);
     // Re-lay the symbolic matrix into SoA planes once, outside the world
     // loop: every world then samples from two contiguous slices per row
     // instead of chasing per-row `Vec<Interval>` pointers. Cell order (and
     // hence the per-world RNG stream) is unchanged — row-major, one draw
     // per non-point cell.
     let planes = IntervalMatrix::from_symbolic(train_x);
-    let per_world = par_map_indexed_scratch(
-        threads,
-        0..worlds as u64,
-        &stop,
-        || Matrix::zeros(train_x.len(), train_x.cols()),
-        |world_x, w| {
-            let mut rng = seeded(child_seed(seed, w));
-            for r in 0..planes.rows() {
-                let (lo, hi) = (planes.row_lo(r), planes.row_hi(r));
-                for c in 0..planes.cols() {
-                    let v = if lo[c] == hi[c] {
-                        lo[c]
-                    } else {
-                        lo[c] + rng.gen::<f64>() * (hi[c] - lo[c])
-                    };
-                    world_x.set(r, c, v);
+    let per_world = WorkerPool::shared()
+        .map_indexed_scratch(
+            threads,
+            0..worlds as u64,
+            &stop,
+            cost,
+            || Matrix::zeros(train_x.len(), train_x.cols()),
+            |world_x, w| {
+                let mut rng = seeded(child_seed(seed, w));
+                for r in 0..planes.rows() {
+                    let (lo, hi) = (planes.row_lo(r), planes.row_hi(r));
+                    for c in 0..planes.cols() {
+                        let v = if lo[c] == hi[c] {
+                            lo[c]
+                        } else {
+                            lo[c] + rng.gen::<f64>() * (hi[c] - lo[c])
+                        };
+                        world_x.set(r, c, v);
+                    }
                 }
-            }
-            let data = Dataset::new(world_x.clone(), train_y.to_vec(), n_classes)?;
-            let mut model = template.clone();
-            model.fit(&data)?;
-            // Flat per-world vote counts: `votes[t * n_classes + p]`.
-            let mut votes = vec![0usize; test_x.rows() * n_classes];
-            for (t, row) in test_x.iter_rows().enumerate() {
-                let p = model.predict_one(row);
-                if p < n_classes {
-                    votes[t * n_classes + p] += 1;
+                let data = Dataset::new(world_x.clone(), train_y.to_vec(), n_classes)?;
+                let mut model = template.clone();
+                model.fit(&data)?;
+                // Flat per-world vote counts: `votes[t * n_classes + p]`.
+                let mut votes = vec![0usize; test_x.rows() * n_classes];
+                for (t, row) in test_x.iter_rows().enumerate() {
+                    let p = model.predict_one(row);
+                    if p < n_classes {
+                        votes[t * n_classes + p] += 1;
+                    }
                 }
+                Ok::<_, UncertainError>(votes)
+            },
+        )
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            WorkerFailure::Panic(_, msg) => {
+                UncertainError::InvalidArgument(format!("world sampling worker panicked: {msg}"))
             }
-            Ok::<_, UncertainError>(votes)
-        },
-    )
-    .map_err(|fail| match fail {
-        WorkerFailure::Err(_, e) => e,
-        WorkerFailure::Panic(_, msg) => {
-            UncertainError::InvalidArgument(format!("world sampling worker panicked: {msg}"))
-        }
-    })?;
+        })?;
 
     let mut counts = vec![vec![0usize; n_classes]; test_x.rows()];
     for (_, votes) in &per_world {

@@ -16,10 +16,12 @@ use crate::soa::{self, IntervalMatrix, IntervalVec};
 use crate::symbolic::SymbolicMatrix;
 use crate::{Result, UncertainError};
 use nde_data::json::{Json, ToJson};
-use nde_data::par::{effective_threads, par_map_indexed, tree_reduce, WorkerFailure};
+use nde_data::par::{tree_reduce, CostHint, WorkerFailure};
+use nde_data::pool::WorkerPool;
 use nde_ml::linalg::Matrix;
 use nde_robust::{ConvergenceDiagnostics, RunBudget};
 use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Rows per gradient block. Every trainer in this module — the SoA engine,
 /// the AoS reference, and the concrete GD — accumulates per-block partial
@@ -44,6 +46,10 @@ pub struct ZorroConfig {
     /// Worker threads for the per-epoch gradient blocks. Output is
     /// bit-identical for every value (see [`GRADIENT_BLOCK`]).
     pub threads: usize,
+    /// Worker pool the gradient blocks run on; `None` uses the resident
+    /// process-wide pool ([`WorkerPool::shared`]). Scheduling only — the
+    /// pool can never affect the fitted weights.
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl Default for ZorroConfig {
@@ -54,6 +60,7 @@ impl Default for ZorroConfig {
             l2: 1e-3,
             divergence_threshold: 1e6,
             threads: 1,
+            pool: None,
         }
     }
 }
@@ -63,6 +70,17 @@ impl ZorroConfig {
     pub fn with_threads(mut self, threads: usize) -> ZorroConfig {
         self.threads = threads;
         self
+    }
+
+    /// Run gradient blocks on a dedicated pool instead of the shared one.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> ZorroConfig {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool gradient blocks run on.
+    fn pool(&self) -> Arc<WorkerPool> {
+        self.pool.clone().unwrap_or_else(WorkerPool::shared)
     }
 }
 
@@ -274,12 +292,13 @@ impl ZorroRegressor {
             None => (IntervalVec::zeros(d + 1), 0),
         };
         let mut clock = budget.resume(done, 0);
+        let pool = self.config.pool();
 
         for _epoch in done as usize..self.config.epochs {
             if clock.exhausted().is_some() {
                 break; // keep the best-so-far weights
             }
-            let grad = epoch_gradient_soa(&sx, &sy, &w, self.config.threads)?;
+            let grad = epoch_gradient_soa(&sx, &sy, &w, self.config.threads, &pool)?;
             update_weights(&mut w, &grad, n, &self.config)?;
             clock.record_iteration();
         }
@@ -426,46 +445,52 @@ fn epoch_gradient_soa(
     sy: &IntervalVec,
     w: &IntervalVec,
     threads: usize,
+    pool: &WorkerPool,
 ) -> Result<IntervalVec> {
     let rows = sx.rows();
     let d = sx.cols();
     let n_blocks = rows.div_ceil(GRADIENT_BLOCK);
     let stop = AtomicBool::new(false);
-    let partials = par_map_indexed::<IntervalVec, UncertainError, _>(
-        effective_threads(threads, n_blocks),
-        0..n_blocks as u64,
-        &stop,
-        |b| {
-            let start = b as usize * GRADIENT_BLOCK;
-            let end = (start + GRADIENT_BLOCK).min(rows);
-            let mut grad = IntervalVec::zeros(d + 1);
-            for r in start..end {
-                let (x_lo, x_hi) = (sx.row_lo(r), sx.row_hi(r));
-                // err = w·x + b − y, fused over the planes in the exact
-                // operation order of the AoS reference path.
-                let (mut e_lo, mut e_hi) = soa::dot(&w.lo[..d], &w.hi[..d], x_lo, x_hi);
-                e_lo += w.lo[d];
-                e_hi += w.hi[d];
-                let err_lo = e_lo - sy.hi[r];
-                let err_hi = e_hi - sy.lo[r];
-                soa::axpy(
-                    err_lo,
-                    err_hi,
-                    x_lo,
-                    x_hi,
-                    &mut grad.lo[..d],
-                    &mut grad.hi[..d],
-                );
-                grad.lo[d] += err_lo;
-                grad.hi[d] += err_hi;
-            }
-            Ok(grad)
-        },
-    )
-    .map_err(|fail| match fail {
-        WorkerFailure::Err(_, e) => e,
-        WorkerFailure::Panic(b, msg) => panic!("gradient worker panicked at block {b}: {msg}"),
-    })?;
+    // Interval ops per block scale with the feature count; the hint keeps
+    // narrow small fits sequential and skips the timing probe per epoch.
+    let cost = CostHint::PerItemNanos((GRADIENT_BLOCK * (d + 1)) as u64 * 30);
+    let partials = pool
+        .map_indexed::<IntervalVec, UncertainError, _>(
+            threads,
+            0..n_blocks as u64,
+            &stop,
+            cost,
+            |b| {
+                let start = b as usize * GRADIENT_BLOCK;
+                let end = (start + GRADIENT_BLOCK).min(rows);
+                let mut grad = IntervalVec::zeros(d + 1);
+                for r in start..end {
+                    let (x_lo, x_hi) = (sx.row_lo(r), sx.row_hi(r));
+                    // err = w·x + b − y, fused over the planes in the exact
+                    // operation order of the AoS reference path.
+                    let (mut e_lo, mut e_hi) = soa::dot(&w.lo[..d], &w.hi[..d], x_lo, x_hi);
+                    e_lo += w.lo[d];
+                    e_hi += w.hi[d];
+                    let err_lo = e_lo - sy.hi[r];
+                    let err_hi = e_hi - sy.lo[r];
+                    soa::axpy(
+                        err_lo,
+                        err_hi,
+                        x_lo,
+                        x_hi,
+                        &mut grad.lo[..d],
+                        &mut grad.hi[..d],
+                    );
+                    grad.lo[d] += err_lo;
+                    grad.hi[d] += err_hi;
+                }
+                Ok(grad)
+            },
+        )
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            WorkerFailure::Panic(b, msg) => panic!("gradient worker panicked at block {b}: {msg}"),
+        })?;
     Ok(reduce_gradients(
         partials.into_iter().map(|(_, g)| g).collect(),
         d,

@@ -37,6 +37,19 @@ bench-uncertain:
     grep -q '"end_to_end_speedup"' BENCH_uncertain.json
     grep -q '"runner"' BENCH_uncertain.json
 
+# Thread-scaling gate (E13 pipeline exec + E14 Zorro fit): at the largest
+# smoke size, max-threads must strictly beat one thread on multi-core
+# hardware; on a single-core runner the gate degrades to a bounded
+# pool-overhead check. Both binaries exit non-zero when the gate fails;
+# the greps double-check the gate actually ran.
+bench-scaling:
+    cargo build --release --offline -p nde-bench --bin exp_pipeline_scaling --bin exp_uncertain_scaling
+    ./target/release/exp_pipeline_scaling --smoke --threads=1,4 --check=40 | tee /tmp/nde_scaling_e13.txt
+    grep -q 'scaling gate OK' /tmp/nde_scaling_e13.txt
+    ./target/release/exp_uncertain_scaling --smoke --threads=1,4 --check=40 | tee /tmp/nde_scaling_e14.txt
+    grep -q 'scaling gate OK' /tmp/nde_scaling_e14.txt
+    cargo test -q --release --offline -p nde-tests --test pool_lifecycle
+
 # Durability smoke: checkpoint overhead + crash recovery (clean and
 # torn-record) with bit-identity asserted, appended to the
 # BENCH_durability.json trajectory with the regression gate armed. Also

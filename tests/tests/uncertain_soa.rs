@@ -68,6 +68,7 @@ fn zorro_soa_equals_aos_reference_across_seeds_and_threads() {
             l2: 1e-3,
             divergence_threshold: 1e9,
             threads: 1,
+            pool: None,
         };
         let mut reference = ZorroRegressor::new(config.clone());
         reference
