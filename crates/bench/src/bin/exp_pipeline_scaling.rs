@@ -19,11 +19,14 @@
 //! Smoke mode also arms the **thread-scaling gate**: at the largest size
 //! the max-thread exec must strictly beat the min-thread exec on
 //! multi-core hardware (bounded overhead on a single-core runner) — a
-//! resident worker pool that loses on real cores fails the run.
+//! resident worker pool that loses on real cores fails the run. It arms
+//! the **storage-backend gate** too: the typed columnar backend must beat
+//! the Value-per-cell reference backend on exec ms/output-row after both
+//! are verified to produce bit-identical output and lineage.
 use nde_bench::experiments::pipeline_scaling;
 use nde_bench::report::{
-    append_trajectory, check_scaling_win, check_trajectory, hardware_threads, trajectory_delta,
-    TextTable,
+    append_trajectory, check_backend_win, check_scaling_win, check_trajectory, hardware_threads,
+    trajectory_delta, TextTable,
 };
 
 struct Args {
@@ -135,6 +138,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.end_to_end_speedup,
     );
     println!(
+        "columnar vs reference backend at n={}: {:.5} vs {:.5} exec ms/output-row ({:.2}x), \
+         outputs verified identical",
+        args.rows.last().unwrap(),
+        r.columnar_ms_per_row,
+        r.reference_ms_per_row,
+        r.backend_speedup,
+    );
+    println!(
         "pool: {} jobs, {} chunks, {} parks, {} wakes on {} hardware threads",
         r.pool.jobs, r.pool.chunks, r.pool.parks, r.pool.wakes, r.pool.hw_threads,
     );
@@ -160,6 +171,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     eprintln!("{report}");
                     std::process::exit(1);
                 }
+            }
+        }
+        // Storage-backend gate: the typed columnar planes must beat the
+        // Value-per-cell reference on the same bit-identical workload.
+        let label = format!("E13 pipeline exec, {largest} rows, columnar vs reference");
+        match check_backend_win(&label, r.reference_ms_per_row, r.columnar_ms_per_row) {
+            Ok(summary) => println!("{summary}"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
             }
         }
     }

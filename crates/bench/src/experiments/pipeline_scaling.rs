@@ -87,6 +87,15 @@ pub struct PipelineScalingReport {
     pub par_arena_ms_per_row: f64,
     /// `seq_tree_ms_per_row / par_arena_ms_per_row`.
     pub end_to_end_speedup: f64,
+    /// Exec ms/output-row at the largest scale on the typed columnar
+    /// backend (the default storage).
+    pub columnar_ms_per_row: f64,
+    /// The same workload with every source table converted to the
+    /// Value-per-cell reference backend. The outputs (table + lineage) are
+    /// verified bit-identical before either path is timed.
+    pub reference_ms_per_row: f64,
+    /// `reference_ms_per_row / columnar_ms_per_row`.
+    pub backend_speedup: f64,
     /// Shared worker-pool activity over the whole run (jobs, chunks,
     /// park/wake churn) plus the hardware thread count of the machine.
     pub pool: PoolActivity,
@@ -99,6 +108,9 @@ nde_data::json_struct!(PipelineScalingReport {
     seq_tree_ms_per_row,
     par_arena_ms_per_row,
     end_to_end_speedup,
+    columnar_ms_per_row,
+    reference_ms_per_row,
+    backend_speedup,
     pool
 });
 
@@ -159,6 +171,8 @@ pub fn run(
     let mut whatif = Vec::new();
     let mut seq_tree_ms_per_row = 0.0;
     let mut par_arena_ms_per_row = 0.0;
+    let mut columnar_ms_per_row = 0.0;
+    let mut reference_ms_per_row = 0.0;
     for &n in sizes {
         let s = load_recommendation_letters(n, seed);
         let inputs = s.pipeline_inputs(&s.train);
@@ -234,6 +248,37 @@ pub fn run(
                 .unwrap_or(seq_exec);
             seq_tree_ms_per_row = (seq_exec + tree_ms) / rows;
             par_arena_ms_per_row = (par_exec + arena_ms) / rows;
+
+            // Columnar-vs-reference differential: the same pipeline over
+            // Value-per-cell source tables must produce a bit-identical
+            // output (table and lineage) — and lose on wall time.
+            let ref_tables: Vec<(&str, nde_data::Table)> = inputs
+                .iter()
+                .map(|&(name, t)| (name, t.to_reference()))
+                .collect();
+            let ref_inputs: Vec<(&str, &nde_data::Table)> =
+                ref_tables.iter().map(|(name, t)| (*name, t)).collect();
+            let ex = Executor::new()
+                .with_provenance(true)
+                .with_threads(max_threads);
+            let out_c = ex.run(&plan, root, &inputs)?;
+            let out_r = ex.run(&plan, root, &ref_inputs)?;
+            assert_eq!(
+                out_c.table, out_r.table,
+                "backends must produce identical pipeline output at n={n}"
+            );
+            assert_eq!(
+                out_c.provenance, out_r.provenance,
+                "backends must produce identical lineage at n={n}"
+            );
+            // The columnar timing is the max-thread exec already measured.
+            columnar_ms_per_row = par_exec / rows;
+            let reference_ms = best_of(&mut || {
+                let out = ex.run(&plan, root, &ref_inputs)?;
+                std::hint::black_box(out.table.n_rows());
+                Ok(())
+            })?;
+            reference_ms_per_row = reference_ms / rows;
         }
     }
 
@@ -244,6 +289,9 @@ pub fn run(
         seq_tree_ms_per_row,
         par_arena_ms_per_row,
         end_to_end_speedup: seq_tree_ms_per_row / par_arena_ms_per_row.max(1e-9),
+        columnar_ms_per_row,
+        reference_ms_per_row,
+        backend_speedup: reference_ms_per_row / columnar_ms_per_row.max(1e-9),
         pool: PoolActivity::since(pool_before),
     })
 }
@@ -272,5 +320,10 @@ mod tests {
             r.par_arena_ms_per_row < r.seq_tree_ms_per_row,
             "optimized path must win end-to-end: {r:?}"
         );
+        // The backend differential ran (equality asserted inside run) and
+        // recorded timings for both storage layouts.
+        assert!(r.columnar_ms_per_row > 0.0);
+        assert!(r.reference_ms_per_row > 0.0);
+        assert!(r.backend_speedup > 0.0);
     }
 }

@@ -202,6 +202,30 @@ pub fn check_scaling_win(
     }
 }
 
+/// The storage-backend gate for the E13 smoke bench: the typed columnar
+/// backend must **strictly beat** the Value-per-cell reference backend on
+/// exec ms/output-row for the same (bit-identical) workload. Unlike
+/// [`check_scaling_win`] this holds on any core count — the plane kernels
+/// and dictionary fast paths win sequentially, not just in parallel.
+pub fn check_backend_win(
+    label: &str,
+    reference_ms: f64,
+    columnar_ms: f64,
+) -> Result<String, String> {
+    if columnar_ms < reference_ms {
+        Ok(format!(
+            "backend gate OK ({label}): columnar {columnar_ms:.5} ms/row beats reference \
+             {reference_ms:.5} ms/row ({:.2}x)",
+            reference_ms / columnar_ms.max(1e-12)
+        ))
+    } else {
+        Err(format!(
+            "backend gate FAILED ({label}): columnar {columnar_ms:.5} ms/row does not beat \
+             reference {reference_ms:.5} ms/row"
+        ))
+    }
+}
+
 fn unix_timestamp() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)

@@ -1,0 +1,830 @@
+//! Storage backends behind [`crate::Table`].
+//!
+//! Two backends implement the [`TableBackend`] trait:
+//!
+//! * [`ColumnarStore`] — the default: typed planes (`i64`, `f64`, `bool`,
+//!   dictionary-encoded strings) with null bitmaps, plus fast-path hooks
+//!   (`stats_sum`, `distinct_count`, `dictionary_values`, `filter_eq`) that
+//!   operators use to skip per-row `Value` materialization entirely.
+//! * [`RefStore`] — the original `Value`-per-cell [`Column`] representation,
+//!   retained as the differential-testing reference; every fast-path hook
+//!   returns `None`, so operators fall back to the per-row path that shipped
+//!   with the seed.
+//!
+//! Both backends hold the same logical cells; `Table` equality and every
+//! relational operator are backend-agnostic, which is what the differential
+//! property tests in `tests/tests/columnar_backend.rs` exercise.
+
+use crate::column::Column;
+use crate::planes::{BoolPlane, F64Plane, I64Plane, StrPlane};
+use crate::schema::{DataType, Schema};
+use crate::value::{Value, ValueRef};
+use crate::{DataError, Result};
+
+/// Which storage representation a table uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Typed planes with dictionary-encoded strings (default).
+    Columnar,
+    /// `Value`-per-cell columns (differential-testing reference).
+    Reference,
+}
+
+/// Read-oriented storage abstraction with optional acceleration hooks.
+///
+/// The required methods describe the cells; the `stats_*`/`filter_eq`/
+/// `dictionary_values` hooks default to `None`, meaning "no fast path —
+/// compute it row by row". Callers must treat a `None` as *unknown*, never
+/// as an empty result.
+pub trait TableBackend {
+    /// Number of rows.
+    fn row_count(&self) -> usize;
+    /// Number of columns.
+    fn column_count(&self) -> usize;
+    /// Data type of column `col`.
+    fn data_type(&self, col: usize) -> DataType;
+    /// Owned cell value at (`row`, `col`).
+    fn value(&self, row: usize, col: usize) -> Value;
+    /// Borrowed cell value at (`row`, `col`).
+    fn value_ref(&self, row: usize, col: usize) -> ValueRef<'_>;
+    /// Number of null cells in column `col`.
+    fn null_count(&self, col: usize) -> usize;
+
+    /// Sum of the non-null cells of a numeric column, if the backend can
+    /// produce it without row iteration over `Value`s.
+    fn stats_sum(&self, _col: usize) -> Option<f64> {
+        None
+    }
+    /// Number of distinct non-null values in the column, when cheap.
+    fn distinct_count(&self, _col: usize) -> Option<usize> {
+        None
+    }
+    /// The dictionary of a dictionary-encoded string column, in code order.
+    /// May include values no surviving row references (dictionaries are
+    /// shared across row-subset tables).
+    fn dictionary_values(&self, _col: usize) -> Option<&[String]> {
+        None
+    }
+    /// Row indices whose cell equals `value` under SQL equality (nulls never
+    /// match, `Int`/`Float` compare numerically), in ascending order.
+    fn filter_eq(&self, _col: usize, _value: &Value) -> Option<Vec<usize>> {
+        None
+    }
+}
+
+/// One typed column plane of a [`ColumnarStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plane {
+    /// Integer plane.
+    I64(I64Plane),
+    /// Float plane.
+    F64(F64Plane),
+    /// Dictionary-encoded string plane.
+    Str(StrPlane),
+    /// Boolean plane.
+    Bool(BoolPlane),
+}
+
+impl Plane {
+    /// An empty plane of the given type.
+    pub fn empty(dtype: DataType) -> Plane {
+        match dtype {
+            DataType::Int => Plane::I64(I64Plane::new()),
+            DataType::Float => Plane::F64(F64Plane::new()),
+            DataType::Str => Plane::Str(StrPlane::new()),
+            DataType::Bool => Plane::Bool(BoolPlane::new()),
+        }
+    }
+
+    /// The plane's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Plane::I64(_) => DataType::Int,
+            Plane::F64(_) => DataType::Float,
+            Plane::Str(_) => DataType::Str,
+            Plane::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Plane::I64(p) => p.len(),
+            Plane::F64(p) => p.len(),
+            Plane::Str(p) => p.len(),
+            Plane::Bool(p) => p.len(),
+        }
+    }
+
+    /// `true` if the plane has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Plane::I64(p) => p.null_count(),
+            Plane::F64(p) => p.null_count(),
+            Plane::Str(p) => p.null_count(),
+            Plane::Bool(p) => p.null_count(),
+        }
+    }
+
+    /// Owned cell value at `row`.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Plane::I64(p) => p.get(row).map(Value::Int).unwrap_or(Value::Null),
+            Plane::F64(p) => p.get(row).map(Value::Float).unwrap_or(Value::Null),
+            Plane::Str(p) => p
+                .get(row)
+                .map(|s| Value::Str(s.to_owned()))
+                .unwrap_or(Value::Null),
+            Plane::Bool(p) => p.get(row).map(Value::Bool).unwrap_or(Value::Null),
+        }
+    }
+
+    /// Borrowed cell value at `row`.
+    pub fn value_ref(&self, row: usize) -> ValueRef<'_> {
+        match self {
+            Plane::I64(p) => p.get(row).map(ValueRef::Int).unwrap_or(ValueRef::Null),
+            Plane::F64(p) => p.get(row).map(ValueRef::Float).unwrap_or(ValueRef::Null),
+            Plane::Str(p) => p.get(row).map(ValueRef::Str).unwrap_or(ValueRef::Null),
+            Plane::Bool(p) => p.get(row).map(ValueRef::Bool).unwrap_or(ValueRef::Null),
+        }
+    }
+
+    /// Append a value, checking type compatibility (`Null` fits any plane;
+    /// ints widen into float planes) — same contract as [`Column::push`].
+    pub fn push_value(&mut self, value: Value) -> Result<()> {
+        match (self, value) {
+            (Plane::I64(p), Value::Int(x)) => p.push(x),
+            (Plane::I64(p), Value::Null) => p.push_null(),
+            (Plane::F64(p), Value::Float(x)) => p.push(x),
+            (Plane::F64(p), Value::Int(x)) => p.push(x as f64),
+            (Plane::F64(p), Value::Null) => p.push_null(),
+            (Plane::Str(p), Value::Str(x)) => p.push(&x),
+            (Plane::Str(p), Value::Null) => p.push_null(),
+            (Plane::Bool(p), Value::Bool(x)) => p.push(x),
+            (Plane::Bool(p), Value::Null) => p.push_null(),
+            (plane, value) => {
+                return Err(DataError::TypeMismatch {
+                    column: String::new(),
+                    expected: plane.data_type().name(),
+                    got: format!("{value:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrite the cell at `row`, checking bounds and type — same contract
+    /// as [`Column::set`].
+    pub fn set_value(&mut self, row: usize, value: Value) -> Result<()> {
+        let len = self.len();
+        if row >= len {
+            return Err(DataError::RowOutOfBounds { index: row, len });
+        }
+        match (self, value) {
+            (Plane::I64(p), Value::Int(x)) => p.set(row, Some(x)),
+            (Plane::I64(p), Value::Null) => p.set(row, None),
+            (Plane::F64(p), Value::Float(x)) => p.set(row, Some(x)),
+            (Plane::F64(p), Value::Int(x)) => p.set(row, Some(x as f64)),
+            (Plane::F64(p), Value::Null) => p.set(row, None),
+            (Plane::Str(p), Value::Str(x)) => p.set(row, Some(&x)),
+            (Plane::Str(p), Value::Null) => p.set(row, None),
+            (Plane::Bool(p), Value::Bool(x)) => p.set(row, Some(x)),
+            (Plane::Bool(p), Value::Null) => p.set(row, None),
+            (plane, value) => {
+                return Err(DataError::TypeMismatch {
+                    column: String::new(),
+                    expected: plane.data_type().name(),
+                    got: format!("{value:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Plane with the rows at `indices` (callers bounds-check).
+    pub fn take(&self, indices: &[usize]) -> Plane {
+        match self {
+            Plane::I64(p) => Plane::I64(p.take(indices)),
+            Plane::F64(p) => Plane::F64(p.take(indices)),
+            Plane::Str(p) => Plane::Str(p.take(indices)),
+            Plane::Bool(p) => Plane::Bool(p.take(indices)),
+        }
+    }
+
+    /// Plane gathering `indices` with nulls for `None` slots.
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Plane {
+        match self {
+            Plane::I64(p) => Plane::I64(p.take_opt(indices)),
+            Plane::F64(p) => Plane::F64(p.take_opt(indices)),
+            Plane::Str(p) => Plane::Str(p.take_opt(indices)),
+            Plane::Bool(p) => Plane::Bool(p.take_opt(indices)),
+        }
+    }
+
+    /// Append all rows of `other` (must have the same type).
+    pub fn extend_from(&mut self, other: &Plane) -> Result<()> {
+        match (self, other) {
+            (Plane::I64(a), Plane::I64(b)) => a.extend_from(b),
+            (Plane::F64(a), Plane::F64(b)) => a.extend_from(b),
+            (Plane::Str(a), Plane::Str(b)) => a.extend_from(b),
+            (Plane::Bool(a), Plane::Bool(b)) => a.extend_from(b),
+            (a, b) => {
+                return Err(DataError::SchemaMismatch(format!(
+                    "cannot append {} column to {} column",
+                    b.data_type(),
+                    a.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert an owned [`Column`] into a plane (interning strings).
+    pub fn from_column(col: Column) -> Plane {
+        match col {
+            Column::Int(v) => {
+                let mut p = I64Plane::with_capacity(v.len());
+                for c in v {
+                    match c {
+                        Some(x) => p.push(x),
+                        None => p.push_null(),
+                    }
+                }
+                Plane::I64(p)
+            }
+            Column::Float(v) => {
+                let mut p = F64Plane::with_capacity(v.len());
+                for c in v {
+                    match c {
+                        Some(x) => p.push(x),
+                        None => p.push_null(),
+                    }
+                }
+                Plane::F64(p)
+            }
+            Column::Str(v) => {
+                let mut p = StrPlane::with_capacity(v.len());
+                for c in v {
+                    match c {
+                        Some(s) => p.push(&s),
+                        None => p.push_null(),
+                    }
+                }
+                Plane::Str(p)
+            }
+            Column::Bool(v) => {
+                let mut p = BoolPlane::with_capacity(v.len());
+                for c in v {
+                    match c {
+                        Some(b) => p.push(b),
+                        None => p.push_null(),
+                    }
+                }
+                Plane::Bool(p)
+            }
+        }
+    }
+
+    /// Materialize the plane as a `Value`-per-cell [`Column`].
+    pub fn to_column(&self) -> Column {
+        match self {
+            Plane::I64(p) => Column::Int((0..p.len()).map(|r| p.get(r)).collect()),
+            Plane::F64(p) => Column::Float((0..p.len()).map(|r| p.get(r)).collect()),
+            Plane::Str(p) => {
+                Column::Str((0..p.len()).map(|r| p.get(r).map(str::to_owned)).collect())
+            }
+            Plane::Bool(p) => Column::Bool((0..p.len()).map(|r| p.get(r)).collect()),
+        }
+    }
+}
+
+/// Typed-plane storage: the default backend.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnarStore {
+    planes: Vec<Plane>,
+}
+
+impl ColumnarStore {
+    /// Empty store matching `schema`.
+    pub fn empty(schema: &Schema) -> ColumnarStore {
+        ColumnarStore {
+            planes: schema
+                .fields()
+                .iter()
+                .map(|f| Plane::empty(f.dtype))
+                .collect(),
+        }
+    }
+
+    /// Store built directly from planes (used by plane-wise gathers).
+    pub fn from_planes(planes: Vec<Plane>) -> ColumnarStore {
+        ColumnarStore { planes }
+    }
+
+    /// The plane of column `col`.
+    pub fn plane(&self, col: usize) -> &Plane {
+        &self.planes[col]
+    }
+
+    /// Mutable plane of column `col`.
+    pub fn plane_mut(&mut self, col: usize) -> &mut Plane {
+        &mut self.planes[col]
+    }
+
+    /// All planes in column order.
+    pub fn planes(&self) -> &[Plane] {
+        &self.planes
+    }
+}
+
+impl TableBackend for ColumnarStore {
+    fn row_count(&self) -> usize {
+        self.planes.first().map_or(0, Plane::len)
+    }
+
+    fn column_count(&self) -> usize {
+        self.planes.len()
+    }
+
+    fn data_type(&self, col: usize) -> DataType {
+        self.planes[col].data_type()
+    }
+
+    fn value(&self, row: usize, col: usize) -> Value {
+        self.planes[col].value(row)
+    }
+
+    fn value_ref(&self, row: usize, col: usize) -> ValueRef<'_> {
+        self.planes[col].value_ref(row)
+    }
+
+    fn null_count(&self, col: usize) -> usize {
+        self.planes[col].null_count()
+    }
+
+    fn stats_sum(&self, col: usize) -> Option<f64> {
+        match &self.planes[col] {
+            Plane::I64(p) => Some(
+                (0..p.len())
+                    .filter(|&r| !p.nulls.get(r))
+                    .map(|r| p.values[r] as f64)
+                    .sum(),
+            ),
+            Plane::F64(p) => Some(
+                (0..p.len())
+                    .filter(|&r| !p.nulls.get(r))
+                    .map(|r| p.values[r])
+                    .sum(),
+            ),
+            _ => None,
+        }
+    }
+
+    fn distinct_count(&self, col: usize) -> Option<usize> {
+        match &self.planes[col] {
+            Plane::Str(p) => {
+                let mut seen = vec![false; p.dict().len()];
+                let mut distinct = 0usize;
+                for row in 0..p.len() {
+                    if !p.nulls.get(row) {
+                        let c = p.codes[row] as usize;
+                        if !seen[c] {
+                            seen[c] = true;
+                            distinct += 1;
+                        }
+                    }
+                }
+                Some(distinct)
+            }
+            _ => None,
+        }
+    }
+
+    fn dictionary_values(&self, col: usize) -> Option<&[String]> {
+        match &self.planes[col] {
+            Plane::Str(p) => Some(p.dict().values()),
+            _ => None,
+        }
+    }
+
+    fn filter_eq(&self, col: usize, value: &Value) -> Option<Vec<usize>> {
+        if value.is_null() {
+            return Some(Vec::new()); // SQL equality: null matches nothing
+        }
+        let rows = match &self.planes[col] {
+            Plane::I64(p) => {
+                let target = match value {
+                    Value::Int(x) => Target::Int(*x),
+                    Value::Float(f) => Target::Float(*f),
+                    _ => return Some(Vec::new()),
+                };
+                (0..p.len())
+                    .filter(|&r| {
+                        !p.nulls.get(r)
+                            && match target {
+                                Target::Int(x) => p.values[r] == x,
+                                Target::Float(f) => p.values[r] as f64 == f,
+                            }
+                    })
+                    .collect()
+            }
+            Plane::F64(p) => {
+                let target = match value {
+                    Value::Float(f) => *f,
+                    Value::Int(x) => *x as f64,
+                    _ => return Some(Vec::new()),
+                };
+                (0..p.len())
+                    .filter(|&r| !p.nulls.get(r) && p.values[r] == target)
+                    .collect()
+            }
+            Plane::Str(p) => {
+                let Some(code) = value.as_str().and_then(|s| p.dict().code_of(s)) else {
+                    return Some(Vec::new());
+                };
+                (0..p.len())
+                    .filter(|&r| !p.nulls.get(r) && p.codes[r] == code)
+                    .collect()
+            }
+            Plane::Bool(p) => {
+                let Some(target) = value.as_bool() else {
+                    return Some(Vec::new());
+                };
+                (0..p.len())
+                    .filter(|&r| !p.nulls.get(r) && p.values[r] == target)
+                    .collect()
+            }
+        };
+        Some(rows)
+    }
+}
+
+/// Lit target for numeric `filter_eq` scans over an integer plane.
+#[derive(Clone, Copy)]
+enum Target {
+    Int(i64),
+    Float(f64),
+}
+
+/// `Value`-per-cell storage: the seed representation, kept as the
+/// differential-testing reference. All acceleration hooks stay `None`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RefStore {
+    columns: Vec<Column>,
+}
+
+impl RefStore {
+    /// Empty store matching `schema`.
+    pub fn empty(schema: &Schema) -> RefStore {
+        RefStore {
+            columns: schema
+                .fields()
+                .iter()
+                .map(|f| Column::empty(f.dtype))
+                .collect(),
+        }
+    }
+
+    /// The column at `col`.
+    pub fn column(&self, col: usize) -> &Column {
+        &self.columns[col]
+    }
+}
+
+impl TableBackend for RefStore {
+    fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn data_type(&self, col: usize) -> DataType {
+        self.columns[col].data_type()
+    }
+
+    fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row).unwrap_or(Value::Null)
+    }
+
+    fn value_ref(&self, row: usize, col: usize) -> ValueRef<'_> {
+        match &self.columns[col] {
+            Column::Int(v) => v[row].map(ValueRef::Int).unwrap_or(ValueRef::Null),
+            Column::Float(v) => v[row].map(ValueRef::Float).unwrap_or(ValueRef::Null),
+            Column::Str(v) => v[row]
+                .as_deref()
+                .map(ValueRef::Str)
+                .unwrap_or(ValueRef::Null),
+            Column::Bool(v) => v[row].map(ValueRef::Bool).unwrap_or(ValueRef::Null),
+        }
+    }
+
+    fn null_count(&self, col: usize) -> usize {
+        self.columns[col].null_count()
+    }
+}
+
+/// The dispatching storage of a [`crate::Table`].
+#[derive(Debug, Clone)]
+pub enum Store {
+    /// Typed planes (default).
+    Columnar(ColumnarStore),
+    /// `Value`-per-cell reference.
+    Reference(RefStore),
+}
+
+impl Store {
+    /// Empty store of the requested kind matching `schema`.
+    pub fn empty(schema: &Schema, kind: BackendKind) -> Store {
+        match kind {
+            BackendKind::Columnar => Store::Columnar(ColumnarStore::empty(schema)),
+            BackendKind::Reference => Store::Reference(RefStore::empty(schema)),
+        }
+    }
+
+    /// Columnar store built by converting owned columns into planes.
+    pub fn from_columns(columns: Vec<Column>) -> Store {
+        Store::Columnar(ColumnarStore {
+            planes: columns.into_iter().map(Plane::from_column).collect(),
+        })
+    }
+
+    /// Store of the requested kind built from owned columns.
+    pub fn from_columns_with_kind(columns: Vec<Column>, kind: BackendKind) -> Store {
+        match kind {
+            BackendKind::Columnar => Store::from_columns(columns),
+            BackendKind::Reference => Store::Reference(RefStore { columns }),
+        }
+    }
+
+    /// Which backend this store is.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            Store::Columnar(_) => BackendKind::Columnar,
+            Store::Reference(_) => BackendKind::Reference,
+        }
+    }
+
+    /// The trait object view of the active backend.
+    pub fn backend(&self) -> &dyn TableBackend {
+        match self {
+            Store::Columnar(s) => s,
+            Store::Reference(s) => s,
+        }
+    }
+
+    /// The columnar store, when active.
+    pub fn as_columnar(&self) -> Option<&ColumnarStore> {
+        match self {
+            Store::Columnar(s) => Some(s),
+            Store::Reference(_) => None,
+        }
+    }
+
+    /// Append one pre-validated row of values.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        match self {
+            Store::Columnar(s) => {
+                for (plane, value) in s.planes.iter_mut().zip(row) {
+                    plane
+                        .push_value(value)
+                        .expect("validated by Table::push_row");
+                }
+            }
+            Store::Reference(s) => {
+                for (col, value) in s.columns.iter_mut().zip(row) {
+                    col.push(value).expect("validated by Table::push_row");
+                }
+            }
+        }
+    }
+
+    /// Overwrite a cell, checking bounds and type.
+    pub fn set(&mut self, row: usize, col: usize, value: Value) -> Result<()> {
+        match self {
+            Store::Columnar(s) => s.planes[col].set_value(row, value),
+            Store::Reference(s) => s.columns[col].set(row, value),
+        }
+    }
+
+    /// Store with the rows at `indices` (callers bounds-check).
+    pub fn take(&self, indices: &[usize]) -> Store {
+        match self {
+            Store::Columnar(s) => Store::Columnar(ColumnarStore {
+                planes: s.planes.iter().map(|p| p.take(indices)).collect(),
+            }),
+            Store::Reference(s) => Store::Reference(RefStore {
+                columns: s.columns.iter().map(|c| c.take(indices)).collect(),
+            }),
+        }
+    }
+
+    /// Store keeping only the columns at `cols`, in that order.
+    pub fn select_columns(&self, cols: &[usize]) -> Store {
+        match self {
+            Store::Columnar(s) => Store::Columnar(ColumnarStore {
+                planes: cols.iter().map(|&c| s.planes[c].clone()).collect(),
+            }),
+            Store::Reference(s) => Store::Reference(RefStore {
+                columns: cols.iter().map(|&c| s.columns[c].clone()).collect(),
+            }),
+        }
+    }
+
+    /// Add a column on the right (converted to a plane when columnar).
+    pub fn add_column(&mut self, column: Column) {
+        match self {
+            Store::Columnar(s) => s.planes.push(Plane::from_column(column)),
+            Store::Reference(s) => s.columns.push(column),
+        }
+    }
+
+    /// Materialize column `col` as an owned [`Column`].
+    pub fn materialize(&self, col: usize) -> Column {
+        match self {
+            Store::Columnar(s) => s.planes[col].to_column(),
+            Store::Reference(s) => s.columns[col].clone(),
+        }
+    }
+
+    /// Append all rows of `other` column-wise. Schemas must already match;
+    /// cross-backend appends convert cell by cell.
+    pub fn extend_from(&mut self, other: &Store) -> Result<()> {
+        match (&mut *self, other) {
+            (Store::Columnar(a), Store::Columnar(b)) => {
+                for (pa, pb) in a.planes.iter_mut().zip(&b.planes) {
+                    pa.extend_from(pb)?;
+                }
+            }
+            (Store::Reference(a), Store::Reference(b)) => {
+                for (ca, cb) in a.columns.iter_mut().zip(&b.columns) {
+                    ca.extend_from(cb)?;
+                }
+            }
+            (a, b) => {
+                let (rows, cols) = (b.backend().row_count(), b.backend().column_count());
+                for row in 0..rows {
+                    for col in 0..cols {
+                        match a {
+                            Store::Columnar(s) => {
+                                s.planes[col].push_value(b.backend().value(row, col))?
+                            }
+                            Store::Reference(s) => {
+                                s.columns[col].push(b.backend().value(row, col))?
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert to the requested backend (no-op clone if already there).
+    pub fn convert_to(&self, kind: BackendKind) -> Store {
+        match (self, kind) {
+            (Store::Columnar(_), BackendKind::Columnar)
+            | (Store::Reference(_), BackendKind::Reference) => self.clone(),
+            (Store::Columnar(s), BackendKind::Reference) => Store::Reference(RefStore {
+                columns: s.planes.iter().map(Plane::to_column).collect(),
+            }),
+            (Store::Reference(s), BackendKind::Columnar) => Store::Columnar(ColumnarStore {
+                planes: s
+                    .columns
+                    .iter()
+                    .map(|c| Plane::from_column(c.clone()))
+                    .collect(),
+            }),
+        }
+    }
+}
+
+/// Stores are equal iff they hold the same logical cells — the backends
+/// compare interchangeably, which is what lets differential tests
+/// `assert_eq!` a columnar result against the reference path.
+impl PartialEq for Store {
+    fn eq(&self, other: &Self) -> bool {
+        let (a, b) = (self.backend(), other.backend());
+        if a.row_count() != b.row_count() || a.column_count() != b.column_count() {
+            return false;
+        }
+        for col in 0..a.column_count() {
+            if a.data_type(col) != b.data_type(col) {
+                return false;
+            }
+            for row in 0..a.row_count() {
+                if a.value_ref(row, col) != b.value_ref(row, col) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("s", DataType::Str),
+            Field::new("b", DataType::Bool),
+        ])
+        .unwrap()
+    }
+
+    fn filled(kind: BackendKind) -> Store {
+        let mut s = Store::empty(&schema(), kind);
+        s.push_row(vec![1.into(), 1.5.into(), "a".into(), true.into()]);
+        s.push_row(vec![Value::Null, Value::Null, Value::Null, Value::Null]);
+        s.push_row(vec![2.into(), 2.5.into(), "a".into(), false.into()]);
+        s.push_row(vec![1.into(), 1.5.into(), "b".into(), true.into()]);
+        s
+    }
+
+    #[test]
+    fn backends_hold_identical_cells() {
+        let c = filled(BackendKind::Columnar);
+        let r = filled(BackendKind::Reference);
+        assert_eq!(c, r);
+        assert_eq!(c.backend().value(0, 2), Value::Str("a".into()));
+        assert_eq!(c.backend().value(1, 2), Value::Null);
+        assert_eq!(c.backend().value_ref(3, 2), ValueRef::Str("b"));
+        assert_eq!(c.backend().null_count(1), r.backend().null_count(1));
+    }
+
+    #[test]
+    fn columnar_hooks_fire_and_reference_hooks_dont() {
+        let c = filled(BackendKind::Columnar);
+        let r = filled(BackendKind::Reference);
+        assert_eq!(c.backend().stats_sum(0), Some(4.0));
+        assert_eq!(c.backend().stats_sum(1), Some(5.5));
+        assert_eq!(c.backend().stats_sum(2), None);
+        assert_eq!(c.backend().distinct_count(2), Some(2));
+        assert_eq!(
+            c.backend().dictionary_values(2),
+            Some(&["a".to_string(), "b".to_string()][..])
+        );
+        for col in 0..4 {
+            assert_eq!(r.backend().stats_sum(col), None);
+            assert_eq!(r.backend().distinct_count(col), None);
+            assert_eq!(r.backend().dictionary_values(col), None);
+            assert_eq!(r.backend().filter_eq(col, &Value::Int(1)), None);
+        }
+    }
+
+    #[test]
+    fn filter_eq_matches_sql_equality() {
+        let c = filled(BackendKind::Columnar);
+        assert_eq!(c.backend().filter_eq(0, &Value::Int(1)), Some(vec![0, 3]));
+        // Numeric cross-type equality.
+        assert_eq!(c.backend().filter_eq(0, &Value::Float(2.0)), Some(vec![2]));
+        assert_eq!(c.backend().filter_eq(1, &Value::Float(2.5)), Some(vec![2]));
+        assert_eq!(
+            c.backend().filter_eq(2, &Value::Str("a".into())),
+            Some(vec![0, 2])
+        );
+        assert_eq!(
+            c.backend().filter_eq(2, &Value::Str("zzz".into())),
+            Some(vec![])
+        );
+        assert_eq!(
+            c.backend().filter_eq(3, &Value::Bool(true)),
+            Some(vec![0, 3])
+        );
+        // Nulls never match; type-mismatched literals match nothing.
+        assert_eq!(c.backend().filter_eq(0, &Value::Null), Some(vec![]));
+        assert_eq!(c.backend().filter_eq(2, &Value::Int(1)), Some(vec![]));
+    }
+
+    #[test]
+    fn conversion_roundtrips() {
+        let c = filled(BackendKind::Columnar);
+        let r = c.convert_to(BackendKind::Reference);
+        assert_eq!(r.kind(), BackendKind::Reference);
+        assert_eq!(c, r);
+        let back = r.convert_to(BackendKind::Columnar);
+        assert_eq!(back.kind(), BackendKind::Columnar);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn cross_backend_extend() {
+        let mut c = filled(BackendKind::Columnar);
+        let r = filled(BackendKind::Reference);
+        c.extend_from(&r).unwrap();
+        assert_eq!(c.backend().row_count(), 8);
+        assert_eq!(c.backend().value(4, 2), Value::Str("a".into()));
+        assert_eq!(c.backend().value(5, 3), Value::Null);
+    }
+}

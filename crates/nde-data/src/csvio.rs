@@ -7,7 +7,7 @@
 
 use crate::schema::{DataType, Field, Schema};
 use crate::table::Table;
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use crate::{DataError, Result};
 use std::io::{Read, Write};
 
@@ -23,11 +23,13 @@ pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> std::io::Result<()> {
     for row in 0..table.n_rows() {
         let mut parts = Vec::with_capacity(table.n_cols());
         for ci in 0..table.n_cols() {
-            let v = table.column_at(ci).get(row).expect("in bounds");
+            let v = table.value_ref_at(row, ci).expect("in bounds");
             parts.push(match v {
-                Value::Null => String::new(),
-                Value::Str(s) => quote(&s),
-                other => other.to_string(),
+                ValueRef::Null => String::new(),
+                ValueRef::Str(s) => quote(s),
+                ValueRef::Int(x) => x.to_string(),
+                ValueRef::Float(x) => x.to_string(),
+                ValueRef::Bool(b) => b.to_string(),
             });
         }
         writeln!(out, "{}", parts.join(","))?;

@@ -1,0 +1,103 @@
+//! Interned string dictionaries for dictionary-encoded columns.
+//!
+//! A [`Dict`] maps distinct strings to dense `u32` codes in first-insertion
+//! order. String planes store one code per row and share the dictionary via
+//! `Arc`, so `take`/`filter`/`join` gather 4-byte codes instead of cloning
+//! heap strings.
+
+use crate::fxhash::FxHashMap;
+
+/// An insertion-ordered set of distinct strings with dense `u32` codes.
+///
+/// Codes are assigned `0, 1, 2, ...` as new strings are interned; a string's
+/// code never changes once assigned, so planes referencing the same `Dict`
+/// can compare cells by code alone.
+#[derive(Debug, Clone, Default)]
+pub struct Dict {
+    values: Vec<String>,
+    index: FxHashMap<String, u32>,
+}
+
+impl Dict {
+    /// An empty dictionary.
+    pub fn new() -> Dict {
+        Dict::default()
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Intern `s`, returning its code (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(s.to_owned());
+        self.index.insert(s.to_owned(), code);
+        code
+    }
+
+    /// The code of `s`, if it has been interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string for `code`. Panics if the code was never assigned.
+    pub fn value(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// All distinct strings in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+/// Dictionaries are equal iff they assign the same codes to the same
+/// strings (i.e. identical insertion order).
+impl PartialEq for Dict {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes_in_order() {
+        let mut d = Dict::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(1), "b");
+        assert_eq!(d.code_of("b"), Some(1));
+        assert_eq!(d.code_of("zzz"), None);
+        assert_eq!(d.values(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn equality_is_by_code_assignment() {
+        let mut a = Dict::new();
+        a.intern("x");
+        a.intern("y");
+        let mut b = Dict::new();
+        b.intern("x");
+        b.intern("y");
+        assert_eq!(a, b);
+        let mut c = Dict::new();
+        c.intern("y");
+        c.intern("x");
+        assert_ne!(a, c);
+    }
+}

@@ -15,25 +15,30 @@
 //! assert_eq!(scenario.letters.n_rows(), 200);
 //! ```
 
+pub mod backend;
 pub mod column;
 pub mod csvio;
+pub mod dict;
 pub mod error;
 pub mod fxhash;
 pub mod generate;
 pub mod inject;
 pub mod json;
 pub mod par;
+pub mod planes;
 pub mod pool;
 pub mod rng;
 pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use backend::{BackendKind, TableBackend};
 pub use column::Column;
+pub use dict::Dict;
 pub use error::DataError;
 pub use schema::{DataType, Field, Schema};
 pub use table::Table;
-pub use value::Value;
+pub use value::{Value, ValueRef};
 
 /// Convenience result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,11 +1,21 @@
 //! In-memory columnar tables with relational operations.
+//!
+//! Storage lives behind [`crate::backend::TableBackend`]: the default
+//! [`BackendKind::Columnar`] backend keeps typed planes with dictionary-
+//! encoded strings, while [`BackendKind::Reference`] retains the seed
+//! `Value`-per-cell representation as a differential-testing reference.
+//! Every relational operation is backend-agnostic and bit-identical across
+//! backends and thread counts; the columnar backend additionally unlocks
+//! radix-partitioned joins and vectorized scans.
 
+use crate::backend::{BackendKind, ColumnarStore, Plane, Store};
 use crate::column::Column;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{hash_u64, FxHashMap};
 use crate::par::{CostHint, WorkerFailure};
+use crate::planes::{BoolPlane, F64Plane, I64Plane, StrPlane};
 use crate::pool::WorkerPool;
 use crate::schema::{DataType, Field, Schema};
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use crate::{DataError, Result};
 use std::fmt;
 use std::sync::atomic::AtomicBool;
@@ -15,6 +25,17 @@ use std::sync::atomic::AtomicBool;
 /// lineage) for every thread count. The chunking is independent of
 /// `threads`.
 const ROW_CHUNK: usize = 256;
+
+/// Build-side partitions of the radix join. Fixed (never derived from the
+/// thread count) so the partition a key lands in — and therefore the whole
+/// join output — is identical for every `threads` value.
+const RADIX_PARTITIONS: usize = 16;
+
+/// The radix partition of a canonical join key: top bits of its Fx hash.
+#[inline]
+fn radix_partition(key: u64) -> usize {
+    (hash_u64(key) >> 60) as usize
+}
 
 /// Join output plus per-output-row `(left_row, right_row)` lineage.
 pub type JoinResult = (Table, Vec<(usize, usize)>);
@@ -27,26 +48,39 @@ pub type LeftJoinResult = (Table, Vec<(usize, Option<usize>)>);
 /// or combine rows also report the *row lineage* (which input positions each
 /// output row came from) so that the pipeline crate can assemble fine-grained
 /// provenance without re-deriving it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    columns: Vec<Column>,
+    store: Store,
     n_rows: usize,
 }
 
+/// Tables are equal iff name, schema, and logical cell contents match —
+/// regardless of storage backend, so a columnar result can be `assert_eq!`d
+/// against the `Value`-per-cell reference path.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.schema == other.schema
+            && self.n_rows == other.n_rows
+            && self.store == other.store
+    }
+}
+
 impl Table {
-    /// Create an empty table with the given schema.
+    /// Create an empty table with the given schema (columnar backend).
     pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
-        let columns = schema
-            .fields()
-            .iter()
-            .map(|f| Column::empty(f.dtype))
-            .collect();
+        Table::empty_with_backend(name, schema, BackendKind::Columnar)
+    }
+
+    /// Create an empty table on an explicit storage backend.
+    pub fn empty_with_backend(name: impl Into<String>, schema: Schema, kind: BackendKind) -> Self {
+        let store = Store::empty(&schema, kind);
         Table {
             name: name.into(),
             schema,
-            columns,
+            store,
             n_rows: 0,
         }
     }
@@ -84,9 +118,18 @@ impl Table {
         Ok(Table {
             name: name.into(),
             schema: Schema::new(fields)?,
-            columns,
+            store: Store::from_columns(columns),
             n_rows,
         })
+    }
+
+    fn from_store(name: String, schema: Schema, store: Store, n_rows: usize) -> Table {
+        Table {
+            name,
+            schema,
+            store,
+            n_rows,
+        }
     }
 
     /// Table name (used in plan rendering and provenance source labels).
@@ -111,33 +154,130 @@ impl Table {
 
     /// Number of columns.
     pub fn n_cols(&self) -> usize {
-        self.columns.len()
+        self.schema.len()
     }
 
-    /// Borrow a column by name.
-    pub fn column(&self, name: &str) -> Result<&Column> {
+    /// Which storage backend this table uses.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.store.kind()
+    }
+
+    /// The table converted to the requested backend (clone when already there).
+    pub fn with_backend(&self, kind: BackendKind) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            store: self.store.convert_to(kind),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// The table on the `Value`-per-cell reference backend.
+    pub fn to_reference(&self) -> Table {
+        self.with_backend(BackendKind::Reference)
+    }
+
+    /// The table on the typed-plane columnar backend.
+    pub fn to_columnar(&self) -> Table {
+        self.with_backend(BackendKind::Columnar)
+    }
+
+    /// Materialize a column by name as an owned [`Column`].
+    ///
+    /// This is the compatibility path for cold code (fit-time encoders,
+    /// injection sweeps): it copies the column once. Hot loops should use
+    /// [`Table::get_ref`] or the typed plane views ([`Table::col_i64`],
+    /// [`Table::col_f64`], [`Table::col_str`], [`Table::col_bool`]) instead.
+    pub fn column(&self, name: &str) -> Result<Column> {
         let idx = self.schema.index_of(name)?;
-        Ok(&self.columns[idx])
+        Ok(self.store.materialize(idx))
     }
 
-    /// Borrow a column by position.
-    pub fn column_at(&self, idx: usize) -> &Column {
-        &self.columns[idx]
+    /// Materialize a column by position as an owned [`Column`].
+    pub fn column_at(&self, idx: usize) -> Column {
+        self.store.materialize(idx)
+    }
+
+    /// Borrow the `i64` plane of a column: `None` if the column is missing,
+    /// not an `Int` column, or the table is on the reference backend.
+    pub fn col_i64(&self, name: &str) -> Option<&I64Plane> {
+        match self.plane_of(name)? {
+            Plane::I64(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Borrow the `f64` plane of a column (see [`Table::col_i64`]).
+    pub fn col_f64(&self, name: &str) -> Option<&F64Plane> {
+        match self.plane_of(name)? {
+            Plane::F64(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Borrow the dictionary-encoded string plane of a column
+    /// (see [`Table::col_i64`]).
+    pub fn col_str(&self, name: &str) -> Option<&StrPlane> {
+        match self.plane_of(name)? {
+            Plane::Str(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Borrow the `bool` plane of a column (see [`Table::col_i64`]).
+    pub fn col_bool(&self, name: &str) -> Option<&BoolPlane> {
+        match self.plane_of(name)? {
+            Plane::Bool(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    fn plane_of(&self, name: &str) -> Option<&Plane> {
+        let idx = self.schema.index_of(name).ok()?;
+        Some(self.store.as_columnar()?.plane(idx))
+    }
+
+    /// Sum of the non-null cells of a numeric column, when the backend can
+    /// produce it without a per-row `Value` scan (columnar fast path).
+    pub fn stats_sum(&self, name: &str) -> Result<Option<f64>> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.store.backend().stats_sum(idx))
+    }
+
+    /// Number of distinct non-null values of a column, when cheap
+    /// (dictionary-encoded string columns).
+    pub fn distinct_count(&self, name: &str) -> Result<Option<usize>> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.store.backend().distinct_count(idx))
+    }
+
+    /// The dictionary of a dictionary-encoded string column, in code order.
+    pub fn dictionary_values(&self, name: &str) -> Result<Option<&[String]>> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.store.backend().dictionary_values(idx))
+    }
+
+    /// Rows whose cell equals `value` under SQL equality, in ascending
+    /// order, when the backend has a vectorized scan for it. `None` means
+    /// "no fast path — evaluate per row", never "no matches".
+    pub fn filter_eq_rows(&self, name: &str, value: &Value) -> Result<Option<Vec<usize>>> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.store.backend().filter_eq(idx, value))
     }
 
     /// Append a row of values (arity- and type-checked).
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
-        if row.len() != self.columns.len() {
+        if row.len() != self.schema.len() {
             return Err(DataError::ArityMismatch {
-                expected: self.columns.len(),
+                expected: self.schema.len(),
                 got: row.len(),
             });
         }
         // Validate all cells first so a failed push cannot leave ragged columns.
-        for (i, (col, value)) in self.columns.iter().zip(&row).enumerate() {
+        for (field, value) in self.schema.fields().iter().zip(&row) {
             let ok = value.is_null()
                 || matches!(
-                    (col.data_type(), value),
+                    (field.dtype, value),
                     (DataType::Int, Value::Int(_))
                         | (DataType::Float, Value::Float(_))
                         | (DataType::Float, Value::Int(_))
@@ -146,32 +286,54 @@ impl Table {
                 );
             if !ok {
                 return Err(DataError::TypeMismatch {
-                    column: self.schema.fields()[i].name.clone(),
-                    expected: col.data_type().name(),
+                    column: field.name.clone(),
+                    expected: field.dtype.name(),
                     got: format!("{value:?}"),
                 });
             }
         }
-        for (col, value) in self.columns.iter_mut().zip(row) {
-            col.push(value).expect("validated above");
-        }
+        self.store.push_row(row);
         self.n_rows += 1;
         Ok(())
     }
 
-    /// Get the cell at (`row`, `col_name`).
+    /// Get the cell at (`row`, `col_name`) as an owned [`Value`].
     pub fn get(&self, row: usize, col_name: &str) -> Result<Value> {
-        let col = self.column(col_name)?;
-        col.get(row).ok_or(DataError::RowOutOfBounds {
-            index: row,
-            len: self.n_rows,
-        })
+        let idx = self.schema.index_of(col_name)?;
+        if row >= self.n_rows {
+            return Err(DataError::RowOutOfBounds {
+                index: row,
+                len: self.n_rows,
+            });
+        }
+        Ok(self.store.backend().value(row, idx))
+    }
+
+    /// Get the cell at (`row`, `col_name`) as a borrowed [`ValueRef`] —
+    /// string cells borrow the backing storage instead of cloning.
+    pub fn get_ref(&self, row: usize, col_name: &str) -> Result<ValueRef<'_>> {
+        let idx = self.schema.index_of(col_name)?;
+        if row >= self.n_rows {
+            return Err(DataError::RowOutOfBounds {
+                index: row,
+                len: self.n_rows,
+            });
+        }
+        Ok(self.store.backend().value_ref(row, idx))
+    }
+
+    /// Borrowed cell at (`row`, column position `idx`); `None` out of bounds.
+    pub fn value_ref_at(&self, row: usize, idx: usize) -> Option<ValueRef<'_>> {
+        if row >= self.n_rows || idx >= self.schema.len() {
+            return None;
+        }
+        Some(self.store.backend().value_ref(row, idx))
     }
 
     /// Overwrite the cell at (`row`, `col_name`).
     pub fn set(&mut self, row: usize, col_name: &str, value: Value) -> Result<()> {
         let idx = self.schema.index_of(col_name)?;
-        self.columns[idx].set(row, value).map_err(|e| match e {
+        self.store.set(row, idx, value).map_err(|e| match e {
             DataError::TypeMismatch { expected, got, .. } => DataError::TypeMismatch {
                 column: col_name.to_owned(),
                 expected,
@@ -189,10 +351,8 @@ impl Table {
                 len: self.n_rows,
             });
         }
-        Ok(self
-            .columns
-            .iter()
-            .map(|c| c.get(row).expect("bounds checked"))
+        Ok((0..self.schema.len())
+            .map(|ci| self.store.backend().value(row, ci))
             .collect())
     }
 
@@ -209,7 +369,7 @@ impl Table {
         Ok(Table {
             name: self.name.clone(),
             schema: self.schema.clone(),
-            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            store: self.store.take(indices),
             n_rows: indices.len(),
         })
     }
@@ -225,13 +385,19 @@ impl Table {
     /// New table with only the named columns, in the given order.
     pub fn select(&self, names: &[&str]) -> Result<Table> {
         let mut fields = Vec::with_capacity(names.len());
-        let mut columns = Vec::with_capacity(names.len());
+        let mut idxs = Vec::with_capacity(names.len());
         for &n in names {
             let idx = self.schema.index_of(n)?;
             fields.push(self.schema.fields()[idx].clone());
-            columns.push(self.columns[idx].clone());
+            idxs.push(idx);
         }
-        Table::from_columns(self.name.clone(), fields, columns)
+        let n_rows = if idxs.is_empty() { 0 } else { self.n_rows };
+        Ok(Table {
+            name: self.name.clone(),
+            schema: Schema::new(fields)?,
+            store: self.store.select_columns(&idxs),
+            n_rows,
+        })
     }
 
     /// Drop the named columns.
@@ -266,7 +432,7 @@ impl Table {
             });
         }
         self.schema.push(field)?;
-        self.columns.push(column);
+        self.store.add_column(column);
         Ok(())
     }
 
@@ -278,9 +444,7 @@ impl Table {
                 other.name, self.name
             )));
         }
-        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
-            a.extend_from(b)?;
-        }
+        self.store.extend_from(&other.store)?;
         self.n_rows += other.n_rows;
         Ok(())
     }
@@ -295,10 +459,11 @@ impl Table {
         self.hash_join_par(right, left_key, right_key, 1)
     }
 
-    /// [`Table::hash_join`] with a chunk-parallel probe phase: the build
-    /// side is hashed once, probe rows are partitioned into fixed chunks,
-    /// and chunk outputs are merged in index order — the joined table and
-    /// lineage are bit-identical for every `threads` value.
+    /// [`Table::hash_join`] with a parallel probe phase. On the columnar
+    /// backend the build side is radix-partitioned on the key's hash prefix
+    /// (partitions claimed through the resident worker pool); probe rows are
+    /// processed in fixed chunks merged in index order — the joined table
+    /// and lineage are bit-identical for every `threads` value.
     pub fn hash_join_par(
         &self,
         right: &Table,
@@ -329,7 +494,7 @@ impl Table {
         self.left_join_par(right, left_key, right_key, 1)
     }
 
-    /// [`Table::left_join`] with the chunk-parallel probe phase of
+    /// [`Table::left_join`] with the parallel probe phase of
     /// [`Table::hash_join_par`]; output is thread-count invariant.
     pub fn left_join_par(
         &self,
@@ -359,11 +524,32 @@ impl Table {
             )));
         }
 
+        let lineage = match (self.store.as_columnar(), right.store.as_columnar()) {
+            (Some(ls), Some(rs)) => {
+                self.probe_radix(ls, rs, lk, rk, right.n_rows, outer, threads)?
+            }
+            _ => self.probe_reference(right, lk, rk, outer, threads)?,
+        };
+        let out = self.materialize_join(right, &lineage, rk)?;
+        Ok((out, lineage))
+    }
+
+    /// Seed join kernel: build one `JoinKey` hash map over the right side,
+    /// probe in chunks. Used whenever either side is on the reference
+    /// backend; its output defines the contract the radix kernel must match
+    /// bit for bit.
+    fn probe_reference(
+        &self,
+        right: &Table,
+        lk: usize,
+        rk: usize,
+        outer: bool,
+        threads: usize,
+    ) -> Result<Vec<(usize, Option<usize>)>> {
         // Build phase: hash right side on the key.
         let mut index: FxHashMap<JoinKey, Vec<usize>> = FxHashMap::default();
         for row in 0..right.n_rows {
-            if let Some(key) = JoinKey::from_value(&right.columns[rk].get(row).expect("in bounds"))
-            {
+            if let Some(key) = JoinKey::from_value(&right.store.backend().value(row, rk)) {
                 index.entry(key).or_default().push(row);
             }
         }
@@ -373,7 +559,7 @@ impl Table {
         // runs inline for one thread), so lineage is schedule-independent.
         let chunks = self.n_rows.div_ceil(ROW_CHUNK) as u64;
         let stop = AtomicBool::new(false);
-        // ~10µs per 64-row probe chunk: small joins stay sequential.
+        // ~10µs per probe chunk: small joins stay sequential.
         let cost = CostHint::PerItemNanos(10_000);
         let parts = WorkerPool::shared()
             .map_indexed(threads, 0..chunks, &stop, cost, |c| {
@@ -381,7 +567,7 @@ impl Table {
                 let end = (start + ROW_CHUNK).min(self.n_rows);
                 let mut part: Vec<(usize, Option<usize>)> = Vec::with_capacity(end - start);
                 for row in start..end {
-                    let key = JoinKey::from_value(&self.columns[lk].get(row).expect("in bounds"));
+                    let key = JoinKey::from_value(&self.store.backend().value(row, lk));
                     match key.and_then(|k| index.get(&k)) {
                         Some(rows) => part.extend(rows.iter().map(|&r| (row, Some(r)))),
                         None if outer => part.push((row, None)),
@@ -402,14 +588,132 @@ impl Table {
         for (_, part) in parts {
             lineage.extend(part);
         }
+        Ok(lineage)
+    }
 
-        // Materialize output columns.
-        let left_idx: Vec<usize> = lineage.iter().map(|&(l, _)| l).collect();
+    /// Columnar join kernel: canonical `u64` keys are read plane-to-plane
+    /// (string keys join by dictionary-code remapping, never by string
+    /// comparison), the build side is radix-partitioned on the key's hash
+    /// prefix with partitions claimed through the resident worker pool, and
+    /// the probe phase is chunked exactly like the reference kernel. Both
+    /// the partition count and chunk size are independent of `threads`, and
+    /// every per-partition row list is collected in ascending row order, so
+    /// the lineage is bit-identical to [`Table::probe_reference`].
+    #[allow(clippy::too_many_arguments)]
+    fn probe_radix(
+        &self,
+        left_store: &ColumnarStore,
+        right_store: &ColumnarStore,
+        lk: usize,
+        rk: usize,
+        right_rows: usize,
+        outer: bool,
+        threads: usize,
+    ) -> Result<Vec<(usize, Option<usize>)>> {
+        // For string keys, remap left dictionary codes into the right
+        // dictionary's code space: one hash lookup per *distinct* left
+        // value, not per row. A left value absent on the right can never
+        // match, which is exactly how a null key behaves in both join types.
+        let remap: Option<Vec<Option<u32>>> = match (left_store.plane(lk), right_store.plane(rk)) {
+            (Plane::Str(lp), Plane::Str(rp)) => Some(
+                lp.dict()
+                    .values()
+                    .iter()
+                    .map(|s| rp.dict().code_of(s))
+                    .collect(),
+            ),
+            _ => None,
+        };
+        let (lkeys, lvalid) = plane_join_keys(left_store.plane(lk), remap.as_deref());
+        let (rkeys, rvalid) = plane_join_keys(right_store.plane(rk), None);
+
+        // Build phase: workers claim whole partitions; each scans the right
+        // key plane and keeps the rows hashing into its partition, in
+        // ascending row order.
+        let stop = AtomicBool::new(false);
+        // Each partition task scans every right key (~2ns per u64 read).
+        let build_cost = CostHint::PerItemNanos((right_rows as u64).max(1) * 2);
+        let parts = WorkerPool::shared()
+            .map_indexed(
+                threads,
+                0..RADIX_PARTITIONS as u64,
+                &stop,
+                build_cost,
+                |p| {
+                    let p = p as usize;
+                    let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+                    for row in 0..right_rows {
+                        if rvalid[row] && radix_partition(rkeys[row]) == p {
+                            map.entry(rkeys[row]).or_default().push(row as u32);
+                        }
+                    }
+                    Ok::<_, DataError>(map)
+                },
+            )
+            .map_err(|fail| match fail {
+                WorkerFailure::Err(_, e) => e,
+                WorkerFailure::Panic(_, msg) => {
+                    DataError::InvalidArgument(format!("radix build worker panicked: {msg}"))
+                }
+            })?;
+        let partitions: Vec<FxHashMap<u64, Vec<u32>>> = parts.into_iter().map(|(_, m)| m).collect();
+
+        // Probe phase: chunked over left rows, merged in chunk order.
+        let chunks = self.n_rows.div_ceil(ROW_CHUNK) as u64;
+        let stop = AtomicBool::new(false);
+        // ~2µs per probe chunk of u64 lookups.
+        let cost = CostHint::PerItemNanos(2_000);
+        let parts = WorkerPool::shared()
+            .map_indexed(threads, 0..chunks, &stop, cost, |c| {
+                let start = c as usize * ROW_CHUNK;
+                let end = (start + ROW_CHUNK).min(self.n_rows);
+                let mut part: Vec<(usize, Option<usize>)> = Vec::with_capacity(end - start);
+                for row in start..end {
+                    if lvalid[row] {
+                        let key = lkeys[row];
+                        match partitions[radix_partition(key)].get(&key) {
+                            Some(rows) => {
+                                part.extend(rows.iter().map(|&r| (row, Some(r as usize))))
+                            }
+                            None if outer => part.push((row, None)),
+                            None => {}
+                        }
+                    } else if outer {
+                        part.push((row, None));
+                    }
+                }
+                Ok::<_, DataError>(part)
+            })
+            .map_err(|fail| match fail {
+                WorkerFailure::Err(_, e) => e,
+                WorkerFailure::Panic(_, msg) => {
+                    DataError::InvalidArgument(format!("radix probe worker panicked: {msg}"))
+                }
+            })?;
+        let mut lineage: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.n_rows);
+        for (_, part) in parts {
+            lineage.extend(part);
+        }
+        Ok(lineage)
+    }
+
+    /// Materialize a join output from its `(left_row, right_row)` lineage:
+    /// all left columns gathered at the left rows, then the right columns
+    /// (minus the join key at position `right_key`, name clashes suffixed
+    /// `_right`) gathered at the right rows with nulls for `None`.
+    ///
+    /// On the columnar backend this gathers planes — string columns copy
+    /// 4-byte dictionary codes and share the dictionary. Used by the hash
+    /// joins and by `nde-pipeline`'s fuzzy join.
+    pub fn materialize_join(
+        &self,
+        right: &Table,
+        lineage: &[(usize, Option<usize>)],
+        right_key: usize,
+    ) -> Result<Table> {
         let mut fields: Vec<Field> = self.schema.fields().to_vec();
-        let mut columns: Vec<Column> = self.columns.iter().map(|c| c.take(&left_idx)).collect();
-
         for (ci, f) in right.schema.fields().iter().enumerate() {
-            if ci == rk {
+            if ci == right_key {
                 continue; // drop duplicate join key
             }
             let name = if self.schema.contains(&f.name) {
@@ -417,20 +721,54 @@ impl Table {
             } else {
                 f.name.clone()
             };
+            fields.push(Field::new(name, f.dtype));
+        }
+        let left_idx: Vec<usize> = lineage.iter().map(|&(l, _)| l).collect();
+
+        if let (Some(ls), Some(rs)) = (self.store.as_columnar(), right.store.as_columnar()) {
+            let right_idx: Vec<Option<usize>> = lineage.iter().map(|&(_, r)| r).collect();
+            let mut planes: Vec<Plane> = ls.planes().iter().map(|p| p.take(&left_idx)).collect();
+            for (ci, p) in rs.planes().iter().enumerate() {
+                if ci == right_key {
+                    continue;
+                }
+                planes.push(p.take_opt(&right_idx));
+            }
+            let store = Store::Columnar(ColumnarStore::from_planes(planes));
+            return Ok(Table::from_store(
+                self.name.clone(),
+                Schema::new(fields)?,
+                store,
+                lineage.len(),
+            ));
+        }
+
+        // Reference (or mixed-backend) path: the seed per-cell materializer.
+        let mut columns: Vec<Column> = (0..self.schema.len())
+            .map(|ci| self.column_at(ci).take(&left_idx))
+            .collect();
+        for (ci, f) in right.schema.fields().iter().enumerate() {
+            if ci == right_key {
+                continue;
+            }
+            let rcol = right.column_at(ci);
             let mut col = Column::with_capacity(f.dtype, lineage.len());
-            for &(_, r) in &lineage {
+            for &(_, r) in lineage {
                 let v = match r {
-                    Some(r) => right.columns[ci].get(r).expect("in bounds"),
+                    Some(r) => rcol.get(r).expect("in bounds"),
                     None => Value::Null,
                 };
                 col.push(v).expect("type preserved");
             }
-            fields.push(Field::new(name, f.dtype));
             columns.push(col);
         }
-
-        let out = Table::from_columns(self.name.clone(), fields, columns)?;
-        Ok((out, lineage))
+        let store = Store::from_columns_with_kind(columns, self.store.kind());
+        Ok(Table::from_store(
+            self.name.clone(),
+            Schema::new(fields)?,
+            store,
+            lineage.len(),
+        ))
     }
 
     /// Group rows by a key column, keeping the first occurrence of each
@@ -440,21 +778,43 @@ impl Table {
     /// first-occurrence order, and `owner[row]` is the `kept` slot every
     /// input row collapsed into. Keys use hash-join equality (floats by bit
     /// pattern; all nulls form one class — within a typed column this is
-    /// exactly `total_cmp == Equal` on same-typed values). Key extraction is
-    /// chunk-parallel; the grouping scan folds chunks in index order, so the
-    /// result is bit-identical for every `threads` value.
+    /// exactly `total_cmp == Equal` on same-typed values). On the columnar
+    /// backend keys are read plane-to-plane (string columns group by
+    /// dictionary code, no string materialization); on the reference
+    /// backend key extraction is chunk-parallel. The grouping scan folds
+    /// rows in index order, so the result is bit-identical for every
+    /// `threads` value and backend.
     pub fn distinct_by(&self, key: &str, threads: usize) -> Result<(Vec<usize>, Vec<usize>)> {
         let k = self.schema.index_of(key)?;
+        if let Some(cs) = self.store.as_columnar() {
+            // Plane-to-plane: canonical u64 keys, no Value materialization.
+            // Extraction is a single linear scan of primitive values — too
+            // cheap to outweigh chunk scheduling, so it runs sequentially.
+            let (keys, valid) = plane_join_keys(cs.plane(k), None);
+            let mut kept: Vec<usize> = Vec::new();
+            let mut owner: Vec<usize> = Vec::with_capacity(self.n_rows);
+            let mut slot_of: FxHashMap<Option<u64>, usize> = FxHashMap::default();
+            for row in 0..self.n_rows {
+                let key = valid[row].then_some(keys[row]);
+                let next = kept.len();
+                let slot = *slot_of.entry(key).or_insert(next);
+                if slot == next {
+                    kept.push(row);
+                }
+                owner.push(slot);
+            }
+            return Ok((kept, owner));
+        }
         let chunks = self.n_rows.div_ceil(ROW_CHUNK) as u64;
         let stop = AtomicBool::new(false);
-        // ~6µs per 64-row key-extraction chunk.
+        // ~6µs per key-extraction chunk.
         let cost = CostHint::PerItemNanos(6_000);
         let parts = WorkerPool::shared()
             .map_indexed(threads, 0..chunks, &stop, cost, |c| {
                 let start = c as usize * ROW_CHUNK;
                 let end = (start + ROW_CHUNK).min(self.n_rows);
                 let keys: Vec<Option<JoinKey>> = (start..end)
-                    .map(|row| JoinKey::from_value(&self.columns[k].get(row).expect("in bounds")))
+                    .map(|row| JoinKey::from_value(&self.store.backend().value(row, k)))
                     .collect();
                 Ok::<_, DataError>(keys)
             })
@@ -495,21 +855,51 @@ impl Table {
         Ok((table, idx))
     }
 
-    /// Count of rows per distinct value of a column (nulls grouped under `Value::Null`).
+    /// Count of rows per distinct value of a column (nulls grouped under
+    /// `Value::Null`), sorted by count descending with ties broken by value
+    /// ascending.
+    ///
+    /// Counting goes through a hash map (one probe per row, not one scan per
+    /// distinct value); dictionary-encoded string columns count per code
+    /// with no hashing at all. The output order is deterministic: groups are
+    /// accumulated in first-occurrence order and the final sort is stable.
     pub fn value_counts(&self, col_name: &str) -> Result<Vec<(Value, usize)>> {
-        let col = self.column(col_name)?;
-        let mut counts: Vec<(Value, usize)> = Vec::new();
-        'rows: for row in 0..self.n_rows {
-            let v = col.get(row).expect("in bounds");
-            for (seen, c) in counts.iter_mut() {
-                if seen.total_cmp(&v) == std::cmp::Ordering::Equal
-                    && seen.data_type() == v.data_type()
-                {
-                    *c += 1;
-                    continue 'rows;
+        let idx = self.schema.index_of(col_name)?;
+
+        // Dictionary fast path: count per code into a dense vector.
+        if let Some(cs) = self.store.as_columnar() {
+            if let Plane::Str(p) = cs.plane(idx) {
+                let (code_counts, nulls) = p.code_counts();
+                let mut counts: Vec<(Value, usize)> = Vec::new();
+                if nulls > 0 {
+                    counts.push((Value::Null, nulls));
                 }
+                for (code, &n) in code_counts.iter().enumerate() {
+                    if n > 0 {
+                        counts.push((Value::Str(p.dict().value(code as u32).to_owned()), n));
+                    }
+                }
+                counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
+                return Ok(counts);
             }
-            counts.push((v, 1));
+        }
+
+        // General path: group through a hash map keyed on a canonical form
+        // of the cell (floats canonicalize -0.0 to 0.0, matching the
+        // `total_cmp == Equal` grouping of the seed implementation), keeping
+        // the first-seen value as the group representative.
+        let mut counts: Vec<(Value, usize)> = Vec::new();
+        let mut slot_of: FxHashMap<Option<CountKey>, usize> = FxHashMap::default();
+        for row in 0..self.n_rows {
+            let v = self.store.backend().value(row, idx);
+            let key = CountKey::from_value(&v);
+            let next = counts.len();
+            let slot = *slot_of.entry(key).or_insert(next);
+            if slot == next {
+                counts.push((v, 1));
+            } else {
+                counts[slot].1 += 1;
+            }
         }
         counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
         Ok(counts)
@@ -520,12 +910,12 @@ impl Table {
         self.schema
             .fields()
             .iter()
-            .zip(&self.columns)
-            .map(|(f, c)| {
+            .enumerate()
+            .map(|(ci, f)| {
                 let frac = if self.n_rows == 0 {
                     0.0
                 } else {
-                    c.null_count() as f64 / self.n_rows as f64
+                    self.store.backend().null_count(ci) as f64 / self.n_rows as f64
                 };
                 (f.name.clone(), frac)
             })
@@ -540,13 +930,20 @@ impl Table {
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(n);
         for row in 0..n {
             let mut r = Vec::with_capacity(self.n_cols());
-            for (ci, col) in self.columns.iter().enumerate() {
-                let mut s = col.get(row).expect("in bounds").to_string();
+            for (ci, width) in widths.iter_mut().enumerate() {
+                let v = self.store.backend().value_ref(row, ci);
+                let mut s = match v {
+                    ValueRef::Null => "null".to_string(),
+                    ValueRef::Int(x) => x.to_string(),
+                    ValueRef::Float(x) => x.to_string(),
+                    ValueRef::Str(x) => x.to_string(),
+                    ValueRef::Bool(x) => x.to_string(),
+                };
                 if s.len() > 40 {
                     s.truncate(37);
                     s.push_str("...");
                 }
-                widths[ci] = widths[ci].max(s.len());
+                *width = (*width).max(s.len());
                 r.push(s);
             }
             cells.push(r);
@@ -574,6 +971,58 @@ impl Table {
         }
         out
     }
+}
+
+/// Canonical `u64` join keys for one plane, plus per-row validity (`false`
+/// for null rows, and for string values that cannot exist on the build side
+/// when a `remap` into the build dictionary is supplied).
+///
+/// The canonical forms match [`JoinKey`] equality exactly: `i64` by value
+/// (bijective into `u64`), floats by bit pattern, bools as 0/1, strings by
+/// dictionary code.
+fn plane_join_keys(plane: &Plane, remap: Option<&[Option<u32>]>) -> (Vec<u64>, Vec<bool>) {
+    let n = plane.len();
+    let mut keys = vec![0u64; n];
+    let mut valid = vec![false; n];
+    match plane {
+        Plane::I64(p) => {
+            for row in 0..n {
+                keys[row] = p.values[row] as u64;
+                valid[row] = !p.nulls.get(row);
+            }
+        }
+        Plane::F64(p) => {
+            for row in 0..n {
+                keys[row] = p.values[row].to_bits();
+                valid[row] = !p.nulls.get(row);
+            }
+        }
+        Plane::Bool(p) => {
+            for row in 0..n {
+                keys[row] = p.values[row] as u64;
+                valid[row] = !p.nulls.get(row);
+            }
+        }
+        Plane::Str(p) => match remap {
+            None => {
+                for row in 0..n {
+                    keys[row] = p.codes[row] as u64;
+                    valid[row] = !p.nulls.get(row);
+                }
+            }
+            Some(remap) => {
+                for row in 0..n {
+                    if !p.nulls.get(row) {
+                        if let Some(code) = remap[p.codes[row] as usize] {
+                            keys[row] = code as u64;
+                            valid[row] = true;
+                        }
+                    }
+                }
+            }
+        },
+    }
+    (keys, valid)
 }
 
 impl fmt::Display for Table {
@@ -609,6 +1058,32 @@ impl JoinKey {
             Value::Float(x) => Some(JoinKey::FloatBits(x.to_bits())),
             Value::Str(s) => Some(JoinKey::Str(s.clone())),
             Value::Bool(b) => Some(JoinKey::Bool(*b)),
+        }
+    }
+}
+
+/// Grouping key for [`Table::value_counts`]: like [`JoinKey`] but floats
+/// canonicalize `-0.0` to `0.0`, so grouping matches `total_cmp == Equal`
+/// (which treats the two zero representations as the same value).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CountKey {
+    Int(i64),
+    FloatBits(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl CountKey {
+    fn from_value(v: &Value) -> Option<CountKey> {
+        match v {
+            Value::Null => None,
+            Value::Int(x) => Some(CountKey::Int(*x)),
+            Value::Float(x) => {
+                let x = if *x == 0.0 { 0.0 } else { *x };
+                Some(CountKey::FloatBits(x.to_bits()))
+            }
+            Value::Str(s) => Some(CountKey::Str(s.clone())),
+            Value::Bool(b) => Some(CountKey::Bool(*b)),
         }
     }
 }
@@ -659,6 +1134,67 @@ mod tests {
         assert_eq!(t.get(1, "age").unwrap(), Value::Null);
         assert!(t.get(0, "nope").is_err());
         assert!(t.get(9, "name").is_err());
+    }
+
+    #[test]
+    fn get_ref_borrows_without_cloning() {
+        let t = people();
+        assert_eq!(t.get_ref(0, "name").unwrap(), ValueRef::Str("ada"));
+        assert_eq!(t.get_ref(1, "age").unwrap(), ValueRef::Null);
+        assert_eq!(t.get_ref(2, "id").unwrap(), ValueRef::Int(3));
+        assert!(t.get_ref(0, "nope").is_err());
+        assert!(t.get_ref(9, "name").is_err());
+        // By-position access for serializers.
+        assert_eq!(t.value_ref_at(0, 1), Some(ValueRef::Str("ada")));
+        assert_eq!(t.value_ref_at(9, 0), None);
+        assert_eq!(t.value_ref_at(0, 9), None);
+    }
+
+    #[test]
+    fn plane_views_expose_typed_columns() {
+        let t = people();
+        let ids = t.col_i64("id").unwrap();
+        assert_eq!(ids.values, vec![1, 2, 3]);
+        assert_eq!(ids.null_count(), 0);
+        let ages = t.col_f64("age").unwrap();
+        assert_eq!(ages.get(0), Some(36.0));
+        assert_eq!(ages.get(1), None);
+        let names = t.col_str("name").unwrap();
+        assert_eq!(names.get(2), Some("eve"));
+        assert_eq!(names.dict().len(), 3);
+        // Wrong type, unknown column, and reference backend all yield None.
+        assert!(t.col_f64("id").is_none());
+        assert!(t.col_i64("nope").is_none());
+        assert!(t.to_reference().col_i64("id").is_none());
+    }
+
+    #[test]
+    fn backend_conversion_preserves_equality() {
+        let t = people();
+        assert_eq!(t.backend_kind(), BackendKind::Columnar);
+        let r = t.to_reference();
+        assert_eq!(r.backend_kind(), BackendKind::Reference);
+        assert_eq!(t, r);
+        assert_eq!(r.to_columnar(), t);
+    }
+
+    #[test]
+    fn columnar_stat_hooks() {
+        let t = people();
+        assert_eq!(t.stats_sum("id").unwrap(), Some(6.0));
+        assert_eq!(t.stats_sum("age").unwrap(), Some(65.0));
+        assert_eq!(t.stats_sum("name").unwrap(), None);
+        assert_eq!(t.distinct_count("name").unwrap(), Some(3));
+        assert!(t.dictionary_values("name").unwrap().is_some());
+        assert_eq!(
+            t.filter_eq_rows("id", &Value::Int(3)).unwrap(),
+            Some(vec![2])
+        );
+        assert!(t.stats_sum("nope").is_err());
+        // Reference backend: no fast paths.
+        let r = t.to_reference();
+        assert_eq!(r.stats_sum("id").unwrap(), None);
+        assert_eq!(r.filter_eq_rows("id", &Value::Int(3)).unwrap(), None);
     }
 
     #[test]
@@ -742,6 +1278,53 @@ mod tests {
     }
 
     #[test]
+    fn string_key_join_matches_across_dictionaries() {
+        // Left and right dictionaries intern in different orders; the radix
+        // kernel must join by remapped codes, not raw code values.
+        let mut left = Table::empty(
+            "l",
+            Schema::new(vec![
+                Field::new("k", DataType::Str),
+                Field::new("i", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        for (i, s) in ["b", "a", "c", "b"].iter().enumerate() {
+            left.push_row(vec![(*s).into(), (i as i64).into()]).unwrap();
+        }
+        left.push_row(vec![Value::Null, 9.into()]).unwrap();
+        let mut right = Table::empty(
+            "r",
+            Schema::new(vec![
+                Field::new("k", DataType::Str),
+                Field::new("tag", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        for (s, t) in [("a", "ta"), ("b", "tb"), ("z", "tz")] {
+            right.push_row(vec![s.into(), t.into()]).unwrap();
+        }
+        let (joined, lineage) = left.hash_join(&right, "k", "k").unwrap();
+        assert_eq!(lineage, vec![(0, 1), (1, 0), (3, 1)]);
+        assert_eq!(joined.get(0, "tag").unwrap(), Value::Str("tb".into()));
+        assert_eq!(joined.get(1, "tag").unwrap(), Value::Str("ta".into()));
+        // Identical to the reference kernel, including the left-outer case.
+        let (ref_joined, ref_lineage) = left
+            .to_reference()
+            .hash_join(&right.to_reference(), "k", "k")
+            .unwrap();
+        assert_eq!(joined, ref_joined);
+        assert_eq!(lineage, ref_lineage);
+        let (lj, ll) = left.left_join(&right, "k", "k").unwrap();
+        let (rlj, rll) = left
+            .to_reference()
+            .left_join(&right.to_reference(), "k", "k")
+            .unwrap();
+        assert_eq!(lj, rlj);
+        assert_eq!(ll, rll);
+    }
+
+    #[test]
     fn sort_nulls_first() {
         let (sorted, perm) = people().sort_by("age").unwrap();
         assert_eq!(perm, vec![1, 2, 0]);
@@ -754,6 +1337,32 @@ mod tests {
         let counts = t.value_counts("id").unwrap();
         assert_eq!(counts[0], (Value::Int(3), 2));
         assert_eq!(counts[1], (Value::Int(1), 1));
+    }
+
+    #[test]
+    fn value_counts_groups_nulls_and_sorts_ties_by_value() {
+        let mut t = Table::empty(
+            "t",
+            Schema::new(vec![Field::new("s", DataType::Str)]).unwrap(),
+        );
+        for v in ["b", "a", "b", "a", "c"] {
+            t.push_row(vec![v.into()]).unwrap();
+        }
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        let counts = t.value_counts("s").unwrap();
+        // a and b tie at 2: value-ascending order; null group counted.
+        assert_eq!(
+            counts,
+            vec![
+                (Value::Null, 2),
+                (Value::Str("a".into()), 2),
+                (Value::Str("b".into()), 2),
+                (Value::Str("c".into()), 1),
+            ]
+        );
+        // Identical on the reference backend (general hash-map path).
+        assert_eq!(t.to_reference().value_counts("s").unwrap(), counts);
     }
 
     #[test]
@@ -858,6 +1467,22 @@ mod tests {
     }
 
     #[test]
+    fn radix_join_is_bit_identical_to_reference_kernel() {
+        let (left, right) = wide_tables();
+        let (lref, rref) = (left.to_reference(), right.to_reference());
+        for threads in [1, 2, 4, 7] {
+            let (col, col_lineage) = left.hash_join_par(&right, "k", "k", threads).unwrap();
+            let (refr, ref_lineage) = lref.hash_join_par(&rref, "k", "k", threads).unwrap();
+            assert_eq!(col, refr, "threads={threads}");
+            assert_eq!(col_lineage, ref_lineage, "threads={threads}");
+            let (lcol, lcol_lineage) = left.left_join_par(&right, "k", "k", threads).unwrap();
+            let (lrefr, lref_lineage) = lref.left_join_par(&rref, "k", "k", threads).unwrap();
+            assert_eq!(lcol, lrefr, "threads={threads}");
+            assert_eq!(lcol_lineage, lref_lineage, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn distinct_by_keeps_first_occurrence_and_is_thread_invariant() {
         let (left, _) = wide_tables();
         let (kept, owner) = left.distinct_by("k", 1).unwrap();
@@ -883,6 +1508,9 @@ mod tests {
             let par = left.distinct_by("k", threads).unwrap();
             assert_eq!(par, (kept.clone(), owner.clone()), "threads={threads}");
         }
+        // And identical on the reference backend.
+        let r = left.to_reference();
+        assert_eq!(r.distinct_by("k", 1).unwrap(), (kept, owner));
     }
 
     #[test]

@@ -98,6 +98,90 @@ impl Value {
     }
 }
 
+/// A borrowed view of a cell value: like [`Value`] but with `Str` borrowing
+/// the backing storage, so inspecting string cells allocates nothing.
+///
+/// Produced by `Table::get_ref`; convert with [`ValueRef::to_value`] when an
+/// owned [`Value`] is genuinely needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Borrowed UTF-8 string.
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl<'a> ValueRef<'a> {
+    /// `true` iff this is [`ValueRef::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Extract a string slice, if this value is a `Str`.
+    pub fn as_str(&self) -> Option<&'a str> {
+        match self {
+            ValueRef::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a float; integers are widened to `f64`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ValueRef::Float(v) => Some(*v),
+            ValueRef::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Materialize an owned [`Value`] (clones `Str` payloads).
+    pub fn to_value(&self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(v) => Value::Int(*v),
+            ValueRef::Float(v) => Value::Float(*v),
+            ValueRef::Str(s) => Value::Str((*s).to_owned()),
+            ValueRef::Bool(b) => Value::Bool(*b),
+        }
+    }
+
+    /// Borrow a [`Value`] as a `ValueRef`.
+    pub fn from_value(v: &'a Value) -> ValueRef<'a> {
+        match v {
+            Value::Null => ValueRef::Null,
+            Value::Int(x) => ValueRef::Int(*x),
+            Value::Float(x) => ValueRef::Float(*x),
+            Value::Str(s) => ValueRef::Str(s.as_str()),
+            Value::Bool(b) => ValueRef::Bool(*b),
+        }
+    }
+}
+
+impl PartialEq<Value> for ValueRef<'_> {
+    fn eq(&self, other: &Value) -> bool {
+        *self == ValueRef::from_value(other)
+    }
+}
+
+impl fmt::Display for ValueRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueRef::Null => write!(f, "null"),
+            ValueRef::Int(v) => write!(f, "{v}"),
+            ValueRef::Float(v) => write!(f, "{v}"),
+            ValueRef::Str(s) => write!(f, "{s}"),
+            ValueRef::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -187,10 +187,36 @@ impl LabelEncoder {
     }
 
     /// Encode a whole label column (nulls are rejected).
+    ///
+    /// On the columnar backend each *distinct* label is looked up once
+    /// through a lazy per-dictionary-code memo; rows then copy encoded ids.
+    /// Errors (null label, unseen label) surface at the same row as the
+    /// per-row path, since codes are memoized in row order.
     pub fn encode_column(&self, table: &Table, column: &str) -> Result<Vec<usize>> {
         let mut out = Vec::with_capacity(table.n_rows());
+        if let Some(p) = table.col_str(column) {
+            let mut memo: Vec<Option<usize>> = vec![None; p.dict().len()];
+            for row in 0..table.n_rows() {
+                if p.nulls.get(row) {
+                    return Err(MlError::InvalidArgument(format!(
+                        "null or non-string label at row {row}"
+                    )));
+                }
+                let code = p.codes[row] as usize;
+                let id = match memo[code] {
+                    Some(id) => id,
+                    None => {
+                        let id = self.encode(p.dict().value(code as u32))?;
+                        memo[code] = Some(id);
+                        id
+                    }
+                };
+                out.push(id);
+            }
+            return Ok(out);
+        }
         for row in 0..table.n_rows() {
-            let v = table.get(row, column)?;
+            let v = table.get_ref(row, column)?;
             let s = v.as_str().ok_or_else(|| {
                 MlError::InvalidArgument(format!("null or non-string label at row {row}"))
             })?;

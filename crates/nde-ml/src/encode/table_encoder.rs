@@ -6,7 +6,7 @@ use crate::encode::scaler::StandardScaler;
 use crate::encode::text_hash::HashedTextEncoder;
 use crate::linalg::Matrix;
 use crate::{MlError, Result};
-use nde_data::Table;
+use nde_data::{DataType, Table};
 
 /// Per-column encoding strategy.
 #[derive(Debug, Clone)]
@@ -102,10 +102,9 @@ impl TableEncoder {
         }
         let mut fitted = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
-            let col = table.column(&spec.column)?;
             let state = match &spec.encoder {
                 ColumnEncoder::Numeric { impute, scale } => {
-                    let values = col.to_f64_vec();
+                    let values = numeric_values(table, &spec.column)?;
                     let mut imputer = NumericImputer::new(*impute);
                     imputer.fit(&values)?;
                     let scaler = if *scale {
@@ -117,6 +116,7 @@ impl TableEncoder {
                     FittedColumn::Numeric { imputer, scaler }
                 }
                 ColumnEncoder::OneHot { fill } => {
+                    let col = table.column(&spec.column)?;
                     let values = col.as_str_slice().ok_or_else(|| {
                         MlError::InvalidArgument(format!(
                             "one-hot column `{}` must be a string column",
@@ -138,7 +138,8 @@ impl TableEncoder {
                     FittedColumn::OneHot { imputer, encoder }
                 }
                 ColumnEncoder::TextHash { dims } => {
-                    if col.as_str_slice().is_none() {
+                    // Type-check via the schema; no need to materialize text.
+                    if table.schema().field(&spec.column)?.dtype != DataType::Str {
                         return Err(MlError::InvalidArgument(format!(
                             "text column `{}` must be a string column",
                             spec.column
@@ -147,7 +148,7 @@ impl TableEncoder {
                     FittedColumn::TextHash(HashedTextEncoder::new(*dims))
                 }
                 ColumnEncoder::Bool => {
-                    if col.as_bool_slice().is_none() {
+                    if table.schema().field(&spec.column)?.dtype != DataType::Bool {
                         return Err(MlError::InvalidArgument(format!(
                             "bool column `{}` must be a bool column",
                             spec.column
@@ -205,59 +206,130 @@ impl TableEncoder {
         let mut out = Matrix::zeros(n, d);
         let mut offset = 0;
         for (spec, f) in self.specs.iter().zip(&self.fitted) {
-            let col = table.column(&spec.column)?;
             match f {
                 FittedColumn::Numeric { imputer, scaler } => {
-                    let values = col.to_f64_vec();
-                    for (i, v) in values.iter().enumerate() {
-                        let mut x = imputer.transform_one(*v)?;
-                        if let Some(s) = scaler {
-                            x = s.transform_one(x);
+                    // Columnar fast path: copy straight off the typed plane,
+                    // filling nulls from the imputer; no Vec<Option<f64>>.
+                    let fill = imputer.fill_value()?;
+                    let apply = |x: f64| match scaler {
+                        Some(s) => s.transform_one(x),
+                        None => x,
+                    };
+                    if let Some(p) = table.col_f64(&spec.column) {
+                        for i in 0..n {
+                            let x = if p.nulls.get(i) { fill } else { p.values[i] };
+                            out.row_mut(i)[offset] = apply(x);
                         }
-                        out.row_mut(i)[offset] = x;
+                    } else if let Some(p) = table.col_i64(&spec.column) {
+                        for i in 0..n {
+                            let x = if p.nulls.get(i) {
+                                fill
+                            } else {
+                                p.values[i] as f64
+                            };
+                            out.row_mut(i)[offset] = apply(x);
+                        }
+                    } else {
+                        let values = table.column(&spec.column)?.to_f64_vec();
+                        for (i, v) in values.iter().enumerate() {
+                            out.row_mut(i)[offset] = apply(imputer.transform_one(*v)?);
+                        }
                     }
                     offset += 1;
                 }
                 FittedColumn::Bool => {
-                    let values = col.as_bool_slice().ok_or_else(|| {
-                        MlError::InvalidArgument(format!(
-                            "bool column `{}` changed type",
-                            spec.column
-                        ))
-                    })?;
-                    for (i, v) in values.iter().enumerate() {
-                        out.row_mut(i)[offset] = match v {
-                            Some(true) => 1.0,
-                            _ => 0.0,
-                        };
+                    if let Some(p) = table.col_bool(&spec.column) {
+                        for i in 0..n {
+                            let set = !p.nulls.get(i) && p.values[i];
+                            out.row_mut(i)[offset] = if set { 1.0 } else { 0.0 };
+                        }
+                    } else {
+                        let col = table.column(&spec.column)?;
+                        let values = col.as_bool_slice().ok_or_else(|| {
+                            MlError::InvalidArgument(format!(
+                                "bool column `{}` changed type",
+                                spec.column
+                            ))
+                        })?;
+                        for (i, v) in values.iter().enumerate() {
+                            out.row_mut(i)[offset] = match v {
+                                Some(true) => 1.0,
+                                _ => 0.0,
+                            };
+                        }
                     }
                     offset += 1;
                 }
                 FittedColumn::OneHot { imputer, encoder } => {
-                    let values = col.as_str_slice().ok_or_else(|| {
-                        MlError::InvalidArgument(format!(
-                            "one-hot column `{}` changed type",
-                            spec.column
-                        ))
-                    })?;
                     let w = encoder.dim();
-                    for (i, v) in values.iter().enumerate() {
-                        let cat = imputer.transform_one(v.as_deref())?;
-                        encoder.encode_into(cat, &mut out.row_mut(i)[offset..offset + w]);
+                    if let Some(p) = table.col_str(&spec.column) {
+                        // Encode each distinct dictionary code once; rows then
+                        // memcpy the cached one-hot vector.
+                        let mut by_code: Vec<Option<Vec<f64>>> = vec![None; p.dict().len()];
+                        let mut null_enc: Option<Vec<f64>> = None;
+                        for i in 0..n {
+                            let enc: &[f64] = if p.nulls.get(i) {
+                                if null_enc.is_none() {
+                                    null_enc = Some(encoder.encode(imputer.transform_one(None)?));
+                                }
+                                null_enc.as_deref().expect("just filled")
+                            } else {
+                                let code = p.codes[i] as usize;
+                                if by_code[code].is_none() {
+                                    let cat =
+                                        imputer.transform_one(Some(p.dict().value(code as u32)))?;
+                                    by_code[code] = Some(encoder.encode(cat));
+                                }
+                                by_code[code].as_deref().expect("just filled")
+                            };
+                            out.row_mut(i)[offset..offset + w].copy_from_slice(enc);
+                        }
+                    } else {
+                        let col = table.column(&spec.column)?;
+                        let values = col.as_str_slice().ok_or_else(|| {
+                            MlError::InvalidArgument(format!(
+                                "one-hot column `{}` changed type",
+                                spec.column
+                            ))
+                        })?;
+                        for (i, v) in values.iter().enumerate() {
+                            let cat = imputer.transform_one(v.as_deref())?;
+                            encoder.encode_into(cat, &mut out.row_mut(i)[offset..offset + w]);
+                        }
                     }
                     offset += w;
                 }
                 FittedColumn::TextHash(enc) => {
-                    let values = col.as_str_slice().ok_or_else(|| {
-                        MlError::InvalidArgument(format!(
-                            "text column `{}` changed type",
-                            spec.column
-                        ))
-                    })?;
                     let w = enc.dim();
-                    for (i, v) in values.iter().enumerate() {
-                        let text = v.as_deref().unwrap_or("");
-                        enc.encode_into(text, &mut out.row_mut(i)[offset..offset + w]);
+                    if let Some(p) = table.col_str(&spec.column) {
+                        // Hash each distinct text once via its dictionary code;
+                        // nulls take the zero vector (`""` hashes to zeros).
+                        let mut by_code: Vec<Option<Vec<f64>>> = vec![None; p.dict().len()];
+                        let zeros = vec![0.0; w];
+                        for i in 0..n {
+                            let v: &[f64] = if p.nulls.get(i) {
+                                &zeros
+                            } else {
+                                let code = p.codes[i] as usize;
+                                if by_code[code].is_none() {
+                                    by_code[code] = Some(enc.encode(p.dict().value(code as u32)));
+                                }
+                                by_code[code].as_deref().expect("just filled")
+                            };
+                            out.row_mut(i)[offset..offset + w].copy_from_slice(v);
+                        }
+                    } else {
+                        let col = table.column(&spec.column)?;
+                        let values = col.as_str_slice().ok_or_else(|| {
+                            MlError::InvalidArgument(format!(
+                                "text column `{}` changed type",
+                                spec.column
+                            ))
+                        })?;
+                        for (i, v) in values.iter().enumerate() {
+                            let text = v.as_deref().unwrap_or("");
+                            enc.encode_into(text, &mut out.row_mut(i)[offset..offset + w]);
+                        }
                     }
                     offset += w;
                 }
@@ -295,6 +367,22 @@ impl TableEncoder {
             ),
         ])
     }
+}
+
+/// Optional-f64 view of a column, widened like [`nde_data::Column::to_f64_vec`]
+/// but copied straight from the typed plane when the backend is columnar.
+fn numeric_values(table: &Table, column: &str) -> Result<Vec<Option<f64>>> {
+    if let Some(p) = table.col_f64(column) {
+        return Ok((0..p.values.len())
+            .map(|i| (!p.nulls.get(i)).then_some(p.values[i]))
+            .collect());
+    }
+    if let Some(p) = table.col_i64(column) {
+        return Ok((0..p.values.len())
+            .map(|i| (!p.nulls.get(i)).then_some(p.values[i] as f64))
+            .collect());
+    }
+    Ok(table.column(column)?.to_f64_vec())
 }
 
 #[cfg(test)]

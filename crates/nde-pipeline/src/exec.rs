@@ -390,22 +390,35 @@ impl Executor {
                 let (t, p) =
                     self.eval(plan, *input, source_names, inputs, arena, memo, quarantined)?;
                 let operator = format!("filter({})", crate::render::expr_label(predicate));
-                // Evaluate the predicate once per row (chunk-parallel),
-                // propagating errors and isolating panics per the
-                // executor's policy.
-                let verdicts = self.guarded_rows(
-                    id.index(),
-                    &operator,
-                    t.n_rows(),
-                    p.as_deref().map(|ids| (&*arena, ids)),
-                    quarantined,
-                    |row| predicate.eval_predicate(&t, row),
-                )?;
-                let kept: Vec<usize> = verdicts
-                    .into_iter()
-                    .filter(|&(_, keep)| keep)
-                    .map(|(row, _)| row)
-                    .collect();
+                // Vectorized fast path: a `col == literal` predicate over an
+                // existing column runs as one columnar scan with the exact
+                // semantics of the per-row evaluator (nulls never match,
+                // numeric cross-type equality), and these expressions cannot
+                // error or panic per row — so guard, policy, and quarantine
+                // behavior are unaffected. Anything else (including a
+                // missing column, whose error the per-row path must report)
+                // falls through to the guarded evaluator.
+                let kept: Vec<usize> = match filter_eq_fast_path(&t, predicate) {
+                    Some(rows) => rows,
+                    None => {
+                        // Evaluate the predicate once per row
+                        // (chunk-parallel), propagating errors and isolating
+                        // panics per the executor's policy.
+                        let verdicts = self.guarded_rows(
+                            id.index(),
+                            &operator,
+                            t.n_rows(),
+                            p.as_deref().map(|ids| (&*arena, ids)),
+                            quarantined,
+                            |row| predicate.eval_predicate(&t, row),
+                        )?;
+                        verdicts
+                            .into_iter()
+                            .filter(|&(_, keep)| keep)
+                            .map(|(row, _)| row)
+                            .collect()
+                    }
+                };
                 let table = t.take(&kept)?;
                 let prov = p.map(|p| kept.iter().map(|&r| p[r]).collect());
                 (table, prov)
@@ -424,6 +437,16 @@ impl Executor {
                 } else {
                     expr.output_type(&t)?
                 };
+                // Vectorized fast path: `col IS [NOT] NULL` over an existing
+                // column reads the null bitmap directly — no per-row
+                // expression walk, no guard needed (these expressions keep
+                // every row and cannot error or panic).
+                if let Some(col) = null_test_fast_path(&t, expr) {
+                    let mut t = t;
+                    t.add_column(Field::new(column.clone(), DataType::Bool), col)?;
+                    memo.insert(id.index(), (t.clone(), p.clone()));
+                    return Ok((t, p));
+                }
                 // Evaluate per row under the panic guard (chunk-parallel);
                 // rows whose evaluation panics are quarantined
                 // (skip-and-record) and dropped from the output.
@@ -497,6 +520,45 @@ impl Executor {
         memo.insert(id.index(), result.clone());
         Ok(result)
     }
+}
+
+/// Kept rows for a `col == literal` filter via the backend's vectorized
+/// equality scan. `None` (shape mismatch, unknown column, or no columnar
+/// fast path) means "use the per-row evaluator" — including for the unknown
+/// column case, where the per-row path owns the error report.
+fn filter_eq_fast_path(t: &Table, predicate: &crate::expr::Expr) -> Option<Vec<usize>> {
+    let (col, lit) = predicate.as_col_eq_lit()?;
+    t.filter_eq_rows(col, lit).ok().flatten()
+}
+
+/// A `col IS [NOT] NULL` projection read straight off the column's null
+/// bitmap (columnar backend only). `None` falls back to per-row evaluation.
+fn null_test_fast_path(t: &Table, expr: &crate::expr::Expr) -> Option<Column> {
+    let (name, not_null) = expr.as_null_test()?;
+    let dtype = t.schema().field(name).ok()?.dtype;
+    let mask: Vec<bool> = match dtype {
+        DataType::Int => {
+            let p = t.col_i64(name)?;
+            (0..p.len()).map(|r| p.nulls.get(r)).collect()
+        }
+        DataType::Float => {
+            let p = t.col_f64(name)?;
+            (0..p.len()).map(|r| p.nulls.get(r)).collect()
+        }
+        DataType::Str => {
+            let p = t.col_str(name)?;
+            (0..p.len()).map(|r| p.nulls.get(r)).collect()
+        }
+        DataType::Bool => {
+            let p = t.col_bool(name)?;
+            (0..p.len()).map(|r| p.nulls.get(r)).collect()
+        }
+    };
+    Some(Column::Bool(
+        mask.into_iter()
+            .map(|is_null| Some(is_null != not_null))
+            .collect(),
+    ))
 }
 
 #[cfg(test)]

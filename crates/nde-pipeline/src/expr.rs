@@ -230,6 +230,39 @@ impl Expr {
         }
     }
 
+    /// Match the shape `col == literal` (either operand order), the form
+    /// the executor can evaluate with one vectorized column scan instead of
+    /// a per-row expression walk. The scan must agree with [`Expr::eval`]'s
+    /// equality exactly: nulls never match, `Int`/`Float` compare
+    /// numerically, a type-mismatched literal matches nothing.
+    pub fn as_col_eq_lit(&self) -> Option<(&str, &Value)> {
+        match self {
+            Expr::Eq(a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(name), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(name)) => {
+                    Some((name.as_str(), v))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Match `col IS NULL` / `col IS NOT NULL`; the returned flag is `true`
+    /// for the `IS NOT NULL` form. Evaluable straight off a null bitmap.
+    pub fn as_null_test(&self) -> Option<(&str, bool)> {
+        match self {
+            Expr::IsNull(a) => match a.as_ref() {
+                Expr::Col(name) => Some((name.as_str(), false)),
+                _ => None,
+            },
+            Expr::IsNotNull(a) => match a.as_ref() {
+                Expr::Col(name) => Some((name.as_str(), true)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
     /// All column names referenced by this expression.
     pub fn columns(&self) -> Vec<&str> {
         let mut out = Vec::new();

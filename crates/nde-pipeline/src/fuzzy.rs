@@ -10,7 +10,7 @@
 use crate::Result;
 use nde_data::par::{CostHint, WorkerFailure};
 use nde_data::pool::WorkerPool;
-use nde_data::{Column, Field, Table, Value};
+use nde_data::Table;
 use std::sync::atomic::AtomicBool;
 
 /// Left rows are matched in fixed-size chunks merged in index order, so
@@ -70,9 +70,15 @@ pub fn fuzzy_join(
     fuzzy_join_par(left, right, left_key, right_key, threshold, 1)
 }
 
-/// [`fuzzy_join`] with the left side matched in chunk-parallel fashion:
-/// each left row's best match depends only on that row, so chunks merged in
-/// index order give bit-identical output for every `threads` value.
+/// [`fuzzy_join`] with parallel matching: each left value's best match
+/// depends only on that value, so work merged in index order gives
+/// bit-identical output for every `threads` value.
+///
+/// On the columnar backend both key columns are dictionary-encoded, and the
+/// expensive similarity scan runs once per **distinct** left value against
+/// the **distinct** right values (parallel over left dictionary codes) — a
+/// per-row lookup table replaces the per-row `O(|R|)` scan. The reference
+/// backend keeps the seed per-row kernel; both produce identical lineage.
 pub fn fuzzy_join_par(
     left: &Table,
     right: &Table,
@@ -87,6 +93,97 @@ pub fn fuzzy_join_par(
             "fuzzy threshold must be in [0,1], got {threshold}"
         )));
     }
+    let lineage = match (left.col_str(left_key), right.col_str(right_key)) {
+        (Some(lp), Some(rp)) => match_by_dictionary(lp, rp, threshold, threads)?,
+        _ => match_by_rows(left, right, left_key, right_key, threshold, threads)?,
+    };
+
+    // Materialize with the hash-join conventions (right key dropped, name
+    // clashes suffixed `_right`); plane-wise gather on the columnar backend.
+    let rk = right.schema().index_of(right_key)?;
+    let opt_lineage: Vec<(usize, Option<usize>)> =
+        lineage.iter().map(|&(l, r)| (l, Some(r))).collect();
+    let out = left.materialize_join(right, &opt_lineage, rk)?;
+    Ok((out, lineage))
+}
+
+/// Columnar kernel: score distinct left values (dictionary codes) against
+/// distinct right values, then expand per-row lineage through the code
+/// lookup table. Right candidates are visited in first-occurrence row order
+/// with a strict `>` improvement test — exactly the tie-breaking (lowest
+/// right row wins) of the per-row kernel.
+fn match_by_dictionary(
+    lp: &nde_data::planes::StrPlane,
+    rp: &nde_data::planes::StrPlane,
+    threshold: f64,
+    threads: usize,
+) -> Result<Vec<(usize, usize)>> {
+    use crate::PipelineError;
+    // Distinct right candidates as (first_row, code), in first-occurrence
+    // order. Rows after a code's first carry equal similarity and can never
+    // win a strict-improvement test, so they are skipped entirely.
+    let mut seen = vec![false; rp.dict().len()];
+    let mut candidates: Vec<(usize, u32)> = Vec::new();
+    for row in 0..rp.len() {
+        if !rp.nulls.get(row) {
+            let code = rp.codes[row];
+            if !seen[code as usize] {
+                seen[code as usize] = true;
+                candidates.push((row, code));
+            }
+        }
+    }
+
+    // Best right row per left dictionary code, parallel over codes. The
+    // dictionary may hold values no surviving row references (shared across
+    // row subsets); scoring them is wasted-but-bounded work.
+    let n_codes = lp.dict().len() as u64;
+    let stop = AtomicBool::new(false);
+    // Each item scores one left value against every distinct right value.
+    let cost = CostHint::PerItemNanos((candidates.len().max(1)) as u64 * 200);
+    let parts = WorkerPool::shared()
+        .map_indexed(threads, 0..n_codes, &stop, cost, |code| {
+            let lv = lp.dict().value(code as u32);
+            let mut best: Option<(usize, f64)> = None;
+            for &(ri, rcode) in &candidates {
+                let sim = similarity(lv, rp.dict().value(rcode));
+                if sim >= threshold && best.is_none_or(|(_, b)| sim > b) {
+                    best = Some((ri, sim));
+                }
+            }
+            Ok::<_, PipelineError>(best.map(|(ri, _)| ri))
+        })
+        .map_err(|fail| match fail {
+            WorkerFailure::Err(_, e) => e,
+            // Unreachable in practice: similarity scoring does not panic.
+            WorkerFailure::Panic(_, msg) => {
+                PipelineError::InvalidPlan(format!("fuzzy join worker panicked: {msg}"))
+            }
+        })?;
+    let best_of_code: Vec<Option<usize>> = parts.into_iter().map(|(_, b)| b).collect();
+
+    let mut lineage: Vec<(usize, usize)> = Vec::new();
+    for row in 0..lp.len() {
+        if !lp.nulls.get(row) {
+            if let Some(ri) = best_of_code[lp.codes[row] as usize] {
+                lineage.push((row, ri));
+            }
+        }
+    }
+    Ok(lineage)
+}
+
+/// Reference kernel: the seed per-row scan over materialized key columns,
+/// chunk-parallel over left rows.
+fn match_by_rows(
+    left: &Table,
+    right: &Table,
+    left_key: &str,
+    right_key: &str,
+    threshold: f64,
+    threads: usize,
+) -> Result<Vec<(usize, usize)>> {
+    use crate::PipelineError;
     let lcol = left.column(left_key)?;
     let rcol = right.column(right_key)?;
     let lvals = lcol.as_str_slice().ok_or_else(|| {
@@ -136,36 +233,13 @@ pub fn fuzzy_join_par(
     for (_, part) in parts {
         lineage.extend(part);
     }
-
-    // Materialize: left columns for matched rows, then right columns
-    // (dropping the right key, suffixing clashes) — same conventions as
-    // `Table::hash_join`.
-    let left_idx: Vec<usize> = lineage.iter().map(|&(l, _)| l).collect();
-    let mut out = left.take(&left_idx)?;
-    let rk = right.schema().index_of(right_key)?;
-    for (ci, f) in right.schema().fields().iter().enumerate() {
-        if ci == rk {
-            continue;
-        }
-        let name = if out.schema().contains(&f.name) {
-            format!("{}_right", f.name)
-        } else {
-            f.name.clone()
-        };
-        let mut col = Column::with_capacity(f.dtype, lineage.len());
-        for &(_, ri) in &lineage {
-            col.push(right.column_at(ci).get(ri).unwrap_or(Value::Null))
-                .map_err(crate::PipelineError::from)?;
-        }
-        out.add_column(Field::new(name, f.dtype), col)?;
-    }
-    Ok((out, lineage))
+    Ok(lineage)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nde_data::{DataType, Schema};
+    use nde_data::{DataType, Field, Schema, Value};
 
     fn companies() -> Table {
         let mut t = Table::empty(

@@ -5,7 +5,7 @@
 use crate::provenance::Lineage;
 use crate::Result;
 use nde_data::fxhash::FxHashSet;
-use nde_data::{Table, Value};
+use nde_data::{Table, Value, ValueRef};
 
 /// Severity of an inspection finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,8 +83,13 @@ pub fn check_leakage(train: &Table, test: &Table, key: &str) -> Result<Vec<Findi
     let train_keys: FxHashSet<String> = collect_keys(train, key)?;
     let mut overlap = 0usize;
     for row in 0..test.n_rows() {
-        let v = test.get(row, key)?;
-        if !v.is_null() && train_keys.contains(&v.to_string()) {
+        // Borrowed cells: string keys probe the set without cloning.
+        let hit = match test.get_ref(row, key)? {
+            ValueRef::Null => false,
+            ValueRef::Str(s) => train_keys.contains(s),
+            v => train_keys.contains(&v.to_string()),
+        };
+        if hit {
             overlap += 1;
         }
     }
@@ -208,7 +213,7 @@ pub fn check_provenance_coverage(
 fn collect_keys(table: &Table, key: &str) -> Result<FxHashSet<String>> {
     let mut set = FxHashSet::default();
     for row in 0..table.n_rows() {
-        let v = table.get(row, key)?;
+        let v = table.get_ref(row, key)?;
         if !v.is_null() {
             set.insert(v.to_string());
         }

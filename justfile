@@ -28,6 +28,18 @@ bench-pipeline:
     grep -q '"end_to_end_speedup"' BENCH_pipeline.json
     grep -q '"git_commit"' BENCH_pipeline.json
 
+# Storage-backend smoke: typed columnar planes vs the Value-per-cell
+# reference backend on the E13 pipeline workload. The bench verifies
+# bit-identical output/lineage, gates on columnar winning exec
+# ms/output-row, and appends both timings to BENCH_pipeline.json; the
+# differential property suite re-proves operation-level equivalence.
+bench-columnar:
+    cargo build --release --offline -p nde-bench --bin exp_pipeline_scaling
+    ./target/release/exp_pipeline_scaling --smoke --threads=1,4 | tee /tmp/nde_backend_e13.txt
+    grep -q 'backend gate OK' /tmp/nde_backend_e13.txt
+    grep -q '"backend_speedup"' BENCH_pipeline.json
+    cargo test -q --release --offline -p nde-tests --test columnar_backend
+
 # Learn-pillar engine smoke: SoA interval kernels vs the AoS reference
 # (Zorro fit, certain-KNN, possible worlds), appended to the
 # BENCH_uncertain.json trajectory with the regression gate armed.
