@@ -1,4 +1,4 @@
-//! One module per experiment in the DESIGN.md index (E1–E15).
+//! One module per experiment in the DESIGN.md index (E1–E16).
 
 pub mod ablations;
 pub mod certain_models;
@@ -10,6 +10,7 @@ pub mod fig2_identify;
 pub mod fig3_pipeline;
 pub mod fig4_zorro;
 pub mod importance_compare;
+pub mod incremental;
 pub mod multiplicity;
 pub mod pipeline_scaling;
 pub mod provenance_overhead;

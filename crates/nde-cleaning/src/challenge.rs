@@ -5,8 +5,11 @@
 use crate::oracle::LabelOracle;
 use crate::{CleaningError, Result};
 use nde_data::json::{Json, ToJson};
+use nde_ml::batch::IncrementalLabelEval;
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
+use nde_pipeline::MaintenanceMode;
+use std::fmt;
 
 /// One scored submission.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,7 +104,6 @@ impl Leaderboard {
 /// The challenge harness: owns the dirty data, the hidden test set, the
 /// ground-truth oracle and the budget. Participants see only validation data
 /// and submission feedback.
-#[derive(Debug, Clone)]
 pub struct DebugChallenge<C: Classifier> {
     template: C,
     dirty: Dataset,
@@ -109,6 +111,42 @@ pub struct DebugChallenge<C: Classifier> {
     oracle: LabelOracle,
     budget: usize,
     leaderboard: Leaderboard,
+    maintenance: MaintenanceMode,
+    /// Lazily-built incremental evaluator over the *pristine* dirty labels;
+    /// every submission applies its fixes, reads the score, and reverts
+    /// them, so submissions stay independent exactly as in rerun mode.
+    evaluator: Option<Box<dyn IncrementalLabelEval>>,
+}
+
+impl<C: Classifier + fmt::Debug> fmt::Debug for DebugChallenge<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DebugChallenge")
+            .field("template", &self.template)
+            .field("dirty", &self.dirty)
+            .field("hidden_test", &self.hidden_test)
+            .field("oracle", &self.oracle)
+            .field("budget", &self.budget)
+            .field("leaderboard", &self.leaderboard)
+            .field("maintenance", &self.maintenance)
+            .field("evaluator", &self.evaluator.as_ref().map(|_| "<built>"))
+            .finish()
+    }
+}
+
+impl<C: Classifier> Clone for DebugChallenge<C> {
+    fn clone(&self) -> Self {
+        DebugChallenge {
+            template: self.template.clone(),
+            dirty: self.dirty.clone(),
+            hidden_test: self.hidden_test.clone(),
+            oracle: self.oracle.clone(),
+            budget: self.budget,
+            leaderboard: self.leaderboard.clone(),
+            maintenance: self.maintenance,
+            // The evaluator is a cache; the clone rebuilds it on demand.
+            evaluator: None,
+        }
+    }
 }
 
 impl<C: Classifier> DebugChallenge<C> {
@@ -135,7 +173,24 @@ impl<C: Classifier> DebugChallenge<C> {
             oracle,
             budget,
             leaderboard: Leaderboard::default(),
+            maintenance: MaintenanceMode::Rerun,
+            evaluator: None,
         })
+    }
+
+    /// Select how submissions are scored: [`MaintenanceMode::Rerun`] refits
+    /// the template per submission; [`MaintenanceMode::Incremental`] keeps
+    /// one incremental evaluator and patches only the submitted labels
+    /// (apply → score → revert). Scores are **bit-identical** either way;
+    /// models without an incremental hook silently fall back to refitting.
+    pub fn with_maintenance(mut self, mode: MaintenanceMode) -> DebugChallenge<C> {
+        self.maintenance = mode;
+        self
+    }
+
+    /// The active maintenance mode.
+    pub fn maintenance(&self) -> MaintenanceMode {
+        self.maintenance
     }
 
     /// The cleaning budget per submission.
@@ -167,17 +222,66 @@ impl<C: Classifier> DebugChallenge<C> {
                 budget: self.budget,
             });
         }
-        let mut repaired = self.dirty.clone();
-        self.oracle.repair(&mut repaired.y, rows)?;
-        let mut model = self.template.clone();
-        model.fit(&repaired)?;
-        let score = model.accuracy(&self.hidden_test);
+        let mut repaired_y = self.dirty.y.clone();
+        self.oracle.repair(&mut repaired_y, rows)?;
+        let score = match self.incremental_score(&repaired_y, rows)? {
+            Some(score) => score,
+            None => {
+                let mut repaired = self.dirty.clone();
+                repaired.y = repaired_y;
+                let mut model = self.template.clone();
+                model.fit(&repaired)?;
+                model.accuracy(&self.hidden_test)
+            }
+        };
         self.leaderboard.record(LeaderboardEntry {
             name: name.to_owned(),
             score,
             cleaned: rows.len(),
         });
         Ok(score)
+    }
+
+    /// Score a submission through the incremental evaluator: apply the
+    /// changed labels, read the accuracy, revert. Returns `None` when the
+    /// rerun path must be used (mode off, or no hook for this model).
+    fn incremental_score(&mut self, repaired_y: &[usize], rows: &[usize]) -> Result<Option<f64>> {
+        if self.maintenance != MaintenanceMode::Incremental {
+            return Ok(None);
+        }
+        if self.evaluator.is_none() {
+            self.evaluator = self
+                .template
+                .incremental_eval(&self.dirty, &self.hidden_test);
+        }
+        if self.evaluator.is_none() {
+            return Ok(None);
+        }
+        let changed: Vec<usize> = rows
+            .iter()
+            .copied()
+            .filter(|&i| repaired_y[i] != self.dirty.y[i])
+            .collect();
+        let scored = (|| -> Result<f64> {
+            let hook = self.evaluator.as_mut().expect("checked above");
+            for &i in &changed {
+                hook.set_label(i, repaired_y[i])?;
+            }
+            let score = hook.accuracy();
+            for &i in &changed {
+                hook.set_label(i, self.dirty.y[i])?;
+            }
+            Ok(score)
+        })();
+        match scored {
+            Ok(score) => Ok(Some(score)),
+            Err(e) => {
+                // A failed patch leaves the hook half-applied; drop it so
+                // the next submission rebuilds from the pristine labels.
+                self.evaluator = None;
+                Err(e)
+            }
+        }
     }
 
     /// The live leaderboard.
@@ -251,6 +355,36 @@ mod tests {
         let a = ch.submit("a", &picks).unwrap();
         let b = ch.submit("b", &picks).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_submissions_match_rerun_bit_for_bit() {
+        let (ch, flips, valid) = challenge();
+        let mut rerun = ch.clone();
+        let mut inc = ch.with_maintenance(MaintenanceMode::Incremental);
+        assert_eq!(inc.maintenance(), MaintenanceMode::Incremental);
+        let scores = knn_shapley(&ImportanceRun::new(0), inc.dirty_data(), &valid, 3)
+            .unwrap()
+            .scores;
+        let submissions: Vec<Vec<usize>> = vec![
+            scores.bottom_k(25),
+            (0..25).map(|i| i * 7 % 180).collect(),
+            flips.iter().copied().take(20).collect(),
+            vec![],              // empty submission
+            scores.bottom_k(25), // repeat: must be independent
+            vec![3, 3, 3],       // duplicate rows
+        ];
+        for (s, rows) in submissions.iter().enumerate() {
+            let a = rerun.submit(&format!("s{s}"), rows).unwrap();
+            let b = inc.submit(&format!("s{s}"), rows).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "submission {s}");
+        }
+        assert_eq!(rerun.leaderboard(), inc.leaderboard());
+        // Cloning resets the cached evaluator but not the semantics.
+        let mut cloned = inc.clone();
+        let a = cloned.submit("clone", &submissions[0]).unwrap();
+        let b = inc.submit("clone", &submissions[0]).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub enum CleaningError {
     Ml(String),
     /// A wrapped data-substrate error.
     Data(String),
+    /// A wrapped pipeline error (plan execution or delta propagation).
+    Pipeline(String),
     /// Leaderboard (de)serialization failed.
     Serde(String),
     /// The cleaning oracle was transiently unavailable (a flaky
@@ -51,6 +53,7 @@ impl fmt::Display for CleaningError {
             CleaningError::Importance(m) => write!(f, "importance error: {m}"),
             CleaningError::Ml(m) => write!(f, "ml error: {m}"),
             CleaningError::Data(m) => write!(f, "data error: {m}"),
+            CleaningError::Pipeline(m) => write!(f, "pipeline error: {m}"),
             CleaningError::Serde(m) => write!(f, "serialization error: {m}"),
             CleaningError::OracleUnavailable { call } => {
                 write!(f, "cleaning oracle unavailable on call {call}")
@@ -94,6 +97,12 @@ impl From<nde_ml::MlError> for CleaningError {
 impl From<nde_data::DataError> for CleaningError {
     fn from(e: nde_data::DataError) -> Self {
         CleaningError::Data(e.to_string())
+    }
+}
+
+impl From<nde_pipeline::PipelineError> for CleaningError {
+    fn from(e: nde_pipeline::PipelineError) -> Self {
+        CleaningError::Pipeline(e.to_string())
     }
 }
 

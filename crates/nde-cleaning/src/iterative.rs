@@ -10,8 +10,10 @@ use crate::oracle::{CleaningOracle, LabelOracle};
 use crate::strategy::Strategy;
 use crate::{CleaningError, Result};
 use nde_data::json::{Json, ToJson};
+use nde_ml::batch::IncrementalLabelEval;
 use nde_ml::dataset::Dataset;
 use nde_ml::model::Classifier;
+use nde_pipeline::MaintenanceMode;
 use nde_robust::{retry_with_backoff, ConvergenceDiagnostics, RetryPolicy, RunBudget};
 
 /// Trace of an iterative cleaning run.
@@ -257,6 +259,13 @@ pub struct RobustCleaningRun {
 /// `template` and records validation accuracy. When `rescore` is true the
 /// strategy is re-ranked after every round (scores change as data is
 /// repaired); otherwise the initial ranking is consumed front to back.
+///
+/// `mode` selects how the post-round accuracy is maintained:
+/// [`MaintenanceMode::Rerun`] refits `template` from scratch every round;
+/// [`MaintenanceMode::Incremental`] asks the template for an
+/// [`IncrementalLabelEval`] hook once and then patches only the labels each
+/// round actually repaired. The two modes are **bit-identical** (the hook's
+/// contract); models without a hook silently fall back to refitting.
 #[allow(clippy::too_many_arguments)] // the loop’s knobs are individually meaningful
 pub fn prioritized_cleaning<C: Classifier>(
     template: &C,
@@ -267,6 +276,7 @@ pub fn prioritized_cleaning<C: Classifier>(
     batch: usize,
     rounds: usize,
     rescore: bool,
+    mode: MaintenanceMode,
 ) -> Result<CleaningRun> {
     prioritized_cleaning_robust(
         template,
@@ -277,6 +287,7 @@ pub fn prioritized_cleaning<C: Classifier>(
         batch,
         rounds,
         rescore,
+        mode,
         &RunBudget::unlimited(),
         &RetryPolicy::none(),
     )
@@ -305,11 +316,12 @@ pub fn prioritized_cleaning_robust<C: Classifier>(
     batch: usize,
     rounds: usize,
     rescore: bool,
+    mode: MaintenanceMode,
     budget: &RunBudget,
     retry: &RetryPolicy,
 ) -> Result<RobustCleaningRun> {
     prioritized_cleaning_resumable(
-        template, dirty, oracle, valid, strategy, batch, rounds, rescore, budget, retry, None,
+        template, dirty, oracle, valid, strategy, batch, rounds, rescore, mode, budget, retry, None,
     )
     .map(|(run, _)| run)
 }
@@ -332,6 +344,7 @@ pub fn prioritized_cleaning_resumable<C: Classifier>(
     batch: usize,
     rounds: usize,
     rescore: bool,
+    mode: MaintenanceMode,
     budget: &RunBudget,
     retry: &RetryPolicy,
     resume: Option<&CleaningCheckpoint>,
@@ -377,14 +390,34 @@ pub fn prioritized_cleaning_resumable<C: Classifier>(
             cleaned_set = vec![false; current.len()];
             cleaned_total = 0;
             oracle_retries = 0;
-            clock.record_utility_calls(1);
             run = CleaningRun {
                 strategy: strategy.name(),
-                cleaned: vec![0],
-                accuracy: vec![eval(&current)?],
+                cleaned: vec![],
+                accuracy: vec![],
             };
             order = strategy.rank(&current, valid)?;
         }
+    }
+
+    // Incremental maintenance: build the hook once over the working labels
+    // (after any resumed repairs are applied) and patch it per round. The
+    // hook's contract is that its accuracy is always bit-identical to
+    // refitting `template` on the same labels, so checkpoints written by
+    // either mode resume interchangeably in the other. A `None` hook
+    // (model without incremental support) falls back to refitting.
+    let mut incremental: Option<Box<dyn IncrementalLabelEval>> = match mode {
+        MaintenanceMode::Rerun => None,
+        MaintenanceMode::Incremental => template.incremental_eval(&current, valid),
+    };
+    if run.accuracy.is_empty() {
+        // Fresh run: record the dirty baseline.
+        clock.record_utility_calls(1);
+        let baseline = match incremental.as_ref() {
+            Some(hook) => hook.accuracy(),
+            None => eval(&current)?,
+        };
+        run.cleaned.push(0);
+        run.accuracy.push(baseline);
     }
 
     let start_round = run.cleaned.len() - 1;
@@ -404,6 +437,7 @@ pub fn prioritized_cleaning_resumable<C: Classifier>(
         if picks.is_empty() {
             break; // everything has been cleaned
         }
+        let before: Vec<usize> = picks.iter().map(|&i| current.y[i]).collect();
         let outcome = retry_with_backoff(
             retry,
             |e| matches!(e, CleaningError::OracleUnavailable { .. }),
@@ -426,7 +460,19 @@ pub fn prioritized_cleaning_resumable<C: Classifier>(
         cleaned_total += picks.len();
         run.cleaned.push(cleaned_total);
         clock.record_utility_calls(1);
-        run.accuracy.push(eval(&current)?);
+        let accuracy = match incremental.as_mut() {
+            Some(hook) => {
+                // Only the labels the oracle actually changed need work.
+                for (&i, &old) in picks.iter().zip(&before) {
+                    if current.y[i] != old {
+                        hook.set_label(i, current.y[i])?;
+                    }
+                }
+                hook.accuracy()
+            }
+            None => eval(&current)?,
+        };
+        run.accuracy.push(accuracy);
         clock.record_iteration();
     }
     let diagnostics = clock.diagnostics(None);
@@ -484,6 +530,7 @@ mod tests {
             5,
             4,
             false,
+            MaintenanceMode::Rerun,
         )
         .unwrap();
         assert_eq!(run.cleaned, vec![0, 5, 10, 15, 20]);
@@ -511,6 +558,7 @@ mod tests {
             10,
             2,
             false,
+            MaintenanceMode::Rerun,
         )
         .unwrap();
         // Average random over seeds to dodge luck.
@@ -525,6 +573,7 @@ mod tests {
                 10,
                 2,
                 false,
+                MaintenanceMode::Rerun,
             )
             .unwrap();
             random_final += run.final_accuracy();
@@ -549,6 +598,7 @@ mod tests {
             100,
             10,
             false,
+            MaintenanceMode::Rerun,
         )
         .unwrap();
         // 150 rows / batch 100 ⇒ two rounds, then exhaustion.
@@ -567,6 +617,7 @@ mod tests {
             5,
             2,
             true,
+            MaintenanceMode::Rerun,
         )
         .unwrap();
         assert_eq!(run.cleaned.last(), Some(&10));
@@ -577,8 +628,18 @@ mod tests {
         let (dirty, valid, oracle) = setup();
         let knn = KnnClassifier::new(3);
         let strategy = Strategy::KnnShapley { k: 3 };
-        let plain =
-            prioritized_cleaning(&knn, &dirty, &oracle, &valid, &strategy, 5, 4, false).unwrap();
+        let plain = prioritized_cleaning(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &strategy,
+            5,
+            4,
+            false,
+            MaintenanceMode::Rerun,
+        )
+        .unwrap();
         let robust = prioritized_cleaning_robust(
             &knn,
             &dirty,
@@ -588,6 +649,7 @@ mod tests {
             5,
             4,
             false,
+            MaintenanceMode::Rerun,
             &RunBudget::unlimited(),
             &RetryPolicy::none(),
         )
@@ -612,6 +674,7 @@ mod tests {
             5,
             10,
             false,
+            MaintenanceMode::Rerun,
             &RunBudget::unlimited().with_max_iterations(2),
             &RetryPolicy::none(),
         )
@@ -631,8 +694,18 @@ mod tests {
         let (dirty, valid, oracle) = setup();
         let strategy = Strategy::Random { seed: 1 };
         let knn = KnnClassifier::new(3);
-        let healthy =
-            prioritized_cleaning(&knn, &dirty, &oracle, &valid, &strategy, 5, 3, false).unwrap();
+        let healthy = prioritized_cleaning(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &strategy,
+            5,
+            3,
+            false,
+            MaintenanceMode::Rerun,
+        )
+        .unwrap();
         // Every other oracle call fails once; one retry rides it out.
         let flaky = FlakyOracle::new(oracle.clone(), FaultSchedule::every_nth(2));
         let robust = prioritized_cleaning_robust(
@@ -644,6 +717,7 @@ mod tests {
             5,
             3,
             false,
+            MaintenanceMode::Rerun,
             &RunBudget::unlimited(),
             &RetryPolicy::immediate(3),
         )
@@ -657,8 +731,18 @@ mod tests {
         let (dirty, valid, oracle) = setup();
         let knn = KnnClassifier::new(3);
         let strategy = Strategy::KnnShapley { k: 3 };
-        let plain =
-            prioritized_cleaning(&knn, &dirty, &oracle, &valid, &strategy, 5, 4, false).unwrap();
+        let plain = prioritized_cleaning(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &strategy,
+            5,
+            4,
+            false,
+            MaintenanceMode::Rerun,
+        )
+        .unwrap();
 
         // Cut the loop after 2 of 4 rounds.
         let (partial, snap) = prioritized_cleaning_resumable(
@@ -670,6 +754,7 @@ mod tests {
             5,
             4,
             false,
+            MaintenanceMode::Rerun,
             &RunBudget::unlimited().with_max_iterations(2),
             &RetryPolicy::none(),
             None,
@@ -694,6 +779,7 @@ mod tests {
             5,
             4,
             false,
+            MaintenanceMode::Rerun,
             &RunBudget::unlimited(),
             &RetryPolicy::none(),
             Some(&snap),
@@ -716,6 +802,7 @@ mod tests {
             5,
             4,
             false,
+            MaintenanceMode::Rerun,
             &RunBudget::unlimited(),
             &RetryPolicy::none(),
             Some(&done),
@@ -738,6 +825,7 @@ mod tests {
             5,
             4,
             false,
+            MaintenanceMode::Rerun,
             &RunBudget::unlimited().with_max_iterations(2),
             &RetryPolicy::none(),
             None,
@@ -754,6 +842,7 @@ mod tests {
                 5,
                 4,
                 false,
+                MaintenanceMode::Rerun,
                 &RunBudget::unlimited(),
                 &RetryPolicy::none(),
                 Some(snap),
@@ -818,6 +907,7 @@ mod tests {
             5,
             3,
             false,
+            MaintenanceMode::Rerun,
             &RunBudget::unlimited(),
             &RetryPolicy::immediate(4),
         )
@@ -826,6 +916,88 @@ mod tests {
             matches!(err, CleaningError::OracleFailed { attempts: 4, .. }),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn incremental_mode_is_bit_identical_to_rerun() {
+        let (dirty, valid, oracle) = setup();
+        let knn = KnnClassifier::new(3);
+        for (strategy, rescore) in [
+            (Strategy::KnnShapley { k: 3 }, false),
+            (Strategy::KnnShapley { k: 3 }, true),
+            (Strategy::Random { seed: 7 }, false),
+        ] {
+            let args = |mode| {
+                prioritized_cleaning(
+                    &knn, &dirty, &oracle, &valid, &strategy, 5, 4, rescore, mode,
+                )
+                .unwrap()
+            };
+            let rerun = args(MaintenanceMode::Rerun);
+            let inc = args(MaintenanceMode::Incremental);
+            assert_eq!(rerun.cleaned, inc.cleaned);
+            for (a, b) in rerun.accuracy.iter().zip(&inc.accuracy) {
+                assert_eq!(a.to_bits(), b.to_bits(), "rescore={rescore} {rerun:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_resume_across_maintenance_modes() {
+        // A snapshot written by one mode must resume in the other and still
+        // land bit-identical to the uncut Rerun loop: the hook's accuracy
+        // contract makes the modes indistinguishable on disk.
+        let (dirty, valid, oracle) = setup();
+        let knn = KnnClassifier::new(3);
+        let strategy = Strategy::KnnShapley { k: 3 };
+        let uncut = prioritized_cleaning(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &strategy,
+            5,
+            4,
+            false,
+            MaintenanceMode::Rerun,
+        )
+        .unwrap();
+        for (cut_mode, resume_mode) in [
+            (MaintenanceMode::Incremental, MaintenanceMode::Rerun),
+            (MaintenanceMode::Rerun, MaintenanceMode::Incremental),
+        ] {
+            let (_, snap) = prioritized_cleaning_resumable(
+                &knn,
+                &dirty,
+                &oracle,
+                &valid,
+                &strategy,
+                5,
+                4,
+                false,
+                cut_mode,
+                &RunBudget::unlimited().with_max_iterations(2),
+                &RetryPolicy::none(),
+                None,
+            )
+            .unwrap();
+            let (resumed, _) = prioritized_cleaning_resumable(
+                &knn,
+                &dirty,
+                &oracle,
+                &valid,
+                &strategy,
+                5,
+                4,
+                false,
+                resume_mode,
+                &RunBudget::unlimited(),
+                &RetryPolicy::none(),
+                Some(&snap),
+            )
+            .unwrap();
+            assert_eq!(resumed.run, uncut, "{cut_mode:?} -> {resume_mode:?}");
+        }
     }
 
     #[test]
@@ -844,11 +1016,42 @@ mod tests {
         let (dirty, valid, oracle) = setup();
         let knn = KnnClassifier::new(1);
         let s = Strategy::Random { seed: 0 };
-        assert!(prioritized_cleaning(&knn, &dirty, &oracle, &valid, &s, 0, 1, false).is_err());
-        assert!(prioritized_cleaning(&knn, &dirty, &oracle, &valid, &s, 1, 0, false).is_err());
+        assert!(prioritized_cleaning(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &s,
+            0,
+            1,
+            false,
+            MaintenanceMode::Rerun
+        )
+        .is_err());
+        assert!(prioritized_cleaning(
+            &knn,
+            &dirty,
+            &oracle,
+            &valid,
+            &s,
+            1,
+            0,
+            false,
+            MaintenanceMode::Rerun
+        )
+        .is_err());
         let wrong_oracle = LabelOracle::new(vec![0; 3]);
-        assert!(
-            prioritized_cleaning(&knn, &dirty, &wrong_oracle, &valid, &s, 1, 1, false).is_err()
-        );
+        assert!(prioritized_cleaning(
+            &knn,
+            &dirty,
+            &wrong_oracle,
+            &valid,
+            &s,
+            1,
+            1,
+            false,
+            MaintenanceMode::Rerun
+        )
+        .is_err());
     }
 }

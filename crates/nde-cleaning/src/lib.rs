@@ -7,16 +7,19 @@
 
 pub mod challenge;
 pub mod error;
+pub mod incremental;
 pub mod iterative;
 pub mod oracle;
 pub mod strategy;
 
 pub use challenge::{DebugChallenge, Leaderboard, LeaderboardEntry};
 pub use error::CleaningError;
+pub use incremental::{FixReport, IncrementalDebugSession};
 pub use iterative::{
     prioritized_cleaning, prioritized_cleaning_resumable, prioritized_cleaning_robust,
     CleaningCheckpoint, CleaningRun, RobustCleaningRun,
 };
+pub use nde_pipeline::MaintenanceMode;
 pub use oracle::{CleaningOracle, FlakyOracle, LabelOracle, TableOracle};
 pub use strategy::Strategy;
 

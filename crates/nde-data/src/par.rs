@@ -335,6 +335,15 @@ pub fn subset_fingerprint(indices: &[usize], scratch: &mut Vec<usize>) -> u64 {
 /// Shard count for [`MemoCache`] (power of two; keyed by low fingerprint bits).
 const CACHE_SHARDS: usize = 16;
 
+/// 64-bit membership bloom signature of an index set: bit `i % 64` is set
+/// for every member `i`. Two sets with disjoint signatures are provably
+/// disjoint; overlapping signatures may or may not share members — exactly
+/// the one-sided test [`MemoCache::invalidate_members`] needs (it may
+/// evict a still-valid entry, never keep a stale one).
+pub fn member_signature(members: &[usize]) -> u64 {
+    members.iter().fold(0u64, |sig, &i| sig | 1u64 << (i % 64))
+}
+
 /// A sharded, thread-safe memoization cache for utility evaluations.
 ///
 /// Keys are [`subset_fingerprint`]s; values are the utility of that
@@ -349,7 +358,9 @@ const CACHE_SHARDS: usize = 16;
 /// writers insert the same value.
 #[derive(Debug, Default)]
 pub struct MemoCache {
-    shards: [Mutex<FxHashMap<u64, f64>>; CACHE_SHARDS],
+    // Value plus the coalition's membership bloom signature (`!0` when the
+    // membership is unknown, so unknown entries survive no invalidation).
+    shards: [Mutex<FxHashMap<u64, (f64, u64)>>; CACHE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -360,7 +371,7 @@ impl MemoCache {
         MemoCache::default()
     }
 
-    fn shard(&self, key: u64) -> &Mutex<FxHashMap<u64, f64>> {
+    fn shard(&self, key: u64) -> &Mutex<FxHashMap<u64, (f64, u64)>> {
         &self.shards[(key as usize) & (CACHE_SHARDS - 1)]
     }
 
@@ -371,7 +382,7 @@ impl MemoCache {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .get(&key)
-            .copied();
+            .map(|&(v, _)| v);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -379,12 +390,49 @@ impl MemoCache {
         found
     }
 
-    /// Store a computed utility under its fingerprint.
+    /// Store a computed utility under its fingerprint, with an unknown
+    /// membership signature: the entry is treated as possibly containing
+    /// *every* training row, so any [`MemoCache::invalidate_members`] call
+    /// evicts it. Callers that know the coalition should prefer
+    /// [`MemoCache::insert_with_members`].
     pub fn insert(&self, key: u64, value: f64) {
         self.shard(key)
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .insert(key, value);
+            .insert(key, (value, !0u64));
+    }
+
+    /// Store a computed utility tagged with the coalition's
+    /// [`member_signature`], enabling selective invalidation when training
+    /// rows change.
+    pub fn insert_with_members(&self, key: u64, value: f64, members: &[usize]) {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key, (value, member_signature(members)));
+    }
+
+    /// Evict every entry whose coalition may contain one of the `changed`
+    /// training rows (signature overlap — conservative: an entry is only
+    /// kept when its coalition provably avoids all changed rows). Returns
+    /// the number of evicted entries. The hit/miss counters are untouched.
+    ///
+    /// This is what keeps a shared cache sound across accepted cleaning
+    /// fixes: a fix to row `i` changes `U(S)` only for coalitions with
+    /// `i ∈ S`, so entries provably excluding `i` stay valid.
+    pub fn invalidate_members(&self, changed: &[usize]) -> usize {
+        if changed.is_empty() {
+            return 0;
+        }
+        let dirty = member_signature(changed);
+        let mut evicted = 0;
+        for s in &self.shards {
+            let mut map = s.lock().unwrap_or_else(|p| p.into_inner());
+            let before = map.len();
+            map.retain(|_, &mut (_, sig)| sig & dirty == 0);
+            evicted += before - map.len();
+        }
+        evicted
     }
 
     /// Lookups served from cache so far.
@@ -441,7 +489,7 @@ impl MemoCache {
                 s.lock()
                     .unwrap_or_else(|p| p.into_inner())
                     .iter()
-                    .map(|(&k, &v)| (k, v))
+                    .map(|(&k, &(v, _))| (k, v))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -626,6 +674,38 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn memo_cache_membership_invalidation_is_selective_and_sound() {
+        let cache = MemoCache::new();
+        let a = subset_fingerprint_sorted(&[1, 2]);
+        let b = subset_fingerprint_sorted(&[3, 4]);
+        let c = subset_fingerprint_sorted(&[2, 3]);
+        cache.insert_with_members(a, 0.1, &[1, 2]);
+        cache.insert_with_members(b, 0.2, &[3, 4]);
+        cache.insert_with_members(c, 0.3, &[2, 3]);
+        // Plain insert = unknown membership: evicted by any invalidation.
+        let d = subset_fingerprint_sorted(&[9]);
+        cache.insert(d, 0.4);
+        // Nothing changed → nothing evicted.
+        assert_eq!(cache.invalidate_members(&[]), 0);
+        assert_eq!(cache.len(), 4);
+        // Row 2 changed: coalitions containing (or possibly containing) it
+        // go; {3, 4} provably avoids it and survives.
+        let evicted = cache.invalidate_members(&[2]);
+        assert_eq!(evicted, 3);
+        assert_eq!(cache.get(b), Some(0.2));
+        assert_eq!(cache.get(a), None);
+        assert_eq!(cache.get(c), None);
+        assert_eq!(cache.get(d), None);
+        // Signature aliasing (i % 64) is conservative, never unsound: row
+        // 66 aliases row 2's bit, so a {66} coalition is evicted by a
+        // change to row 2 — a spurious eviction, not a stale survival.
+        let e = subset_fingerprint_sorted(&[66]);
+        cache.insert_with_members(e, 0.5, &[66]);
+        assert_eq!(cache.invalidate_members(&[2]), 1);
+        assert_eq!(cache.get(e), None);
     }
 
     #[test]

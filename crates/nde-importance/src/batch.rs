@@ -237,7 +237,9 @@ impl<'a, C: Classifier> UtilityBatcher<'a, C> {
         for (pos, (&slot, &v)) in miss_slots.iter().zip(&values).enumerate() {
             out[slot] = v;
             if let Some(cache) = self.cache {
-                cache.insert(miss_keys[pos], v);
+                // Membership-tagged, so cleaning fixes can invalidate only
+                // the coalitions that contain a repaired row.
+                cache.insert_with_members(miss_keys[pos], v, misses[pos]);
             }
         }
         Ok(out)

@@ -42,7 +42,9 @@ pub fn coalition_utility<C: Classifier>(
         return Ok(v);
     }
     let v = evaluate()?;
-    cache.insert(key, v);
+    // Tag the entry with its coalition so an accepted cleaning fix can
+    // evict exactly the utilities it stales (MemoCache::invalidate_members).
+    cache.insert_with_members(key, v, sorted);
     Ok(v)
 }
 

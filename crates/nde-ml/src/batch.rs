@@ -28,6 +28,7 @@
 
 use crate::dataset::Dataset;
 use crate::linalg::squared_distance;
+use crate::{MlError, Result};
 
 /// Scores batches of coalitions against a fixed (train, valid) pair in one
 /// validation pass, bit-identical to per-coalition retraining.
@@ -78,6 +79,46 @@ impl DistanceTable {
             n_valid,
             dists,
         }
+    }
+
+    /// Recompute the distance columns of the given training rows in place,
+    /// after their feature vectors changed (incremental maintenance: a
+    /// cleaning fix that touches features moves a handful of training
+    /// points, not the whole matrix).
+    ///
+    /// `train` and `valid` must have the shape the table was built from.
+    /// The patched table is **bit-identical** to a fresh
+    /// [`DistanceTable::new(train, valid)`](DistanceTable::new): every
+    /// refreshed cell is produced by the same [`squared_distance`] call,
+    /// and untouched cells are untouched floats.
+    pub fn update_rows(
+        &mut self,
+        changed: &[usize],
+        train: &Dataset,
+        valid: &Dataset,
+    ) -> Result<()> {
+        if train.len() != self.n_train || valid.len() != self.n_valid {
+            return Err(MlError::InvalidArgument(format!(
+                "distance table is {}x{} but got {} train / {} valid rows",
+                self.n_valid,
+                self.n_train,
+                train.len(),
+                valid.len()
+            )));
+        }
+        if let Some(&bad) = changed.iter().find(|&&i| i >= self.n_train) {
+            return Err(MlError::InvalidArgument(format!(
+                "changed row {bad} out of bounds for {} training rows",
+                self.n_train
+            )));
+        }
+        for (v, vx) in valid.x.iter_rows().enumerate() {
+            let row = &mut self.dists[v * self.n_train..(v + 1) * self.n_train];
+            for &i in changed {
+                row[i] = squared_distance(train.x.row(i), vx);
+            }
+        }
+        Ok(())
     }
 
     /// Squared distances from validation point `v` to every training point.
@@ -186,6 +227,212 @@ impl CoalitionScorer for KnnCoalitionScorer {
     }
 }
 
+/// Maintains a model's validation accuracy across single-example edits to
+/// the training data, without refitting from scratch.
+///
+/// This is the model-side half of incremental cleaning: the iterative loop
+/// accepts one fix at a time (a label flip, a feature repair), and a
+/// prepared evaluator folds that fix into its cached state instead of
+/// re-paying the full fit + evaluation sweep.
+///
+/// # Bit-identity contract
+///
+/// After any sequence of [`set_label`](IncrementalLabelEval::set_label) /
+/// [`update_features`](IncrementalLabelEval::update_features) calls,
+/// [`accuracy`](IncrementalLabelEval::accuracy) must return *exactly* the
+/// `f64` that fitting a fresh clone of the model on the current training
+/// data and calling [`crate::model::Classifier::accuracy`] on the
+/// evaluation set would — incremental maintenance is a physical
+/// optimization only, never observable in the score.
+pub trait IncrementalLabelEval: Send {
+    /// Accuracy on the evaluation set under the current training data.
+    fn accuracy(&self) -> f64;
+
+    /// Record a label change for one training example and refresh only the
+    /// evaluation points that can see it.
+    fn set_label(&mut self, row: usize, label: usize) -> Result<()>;
+
+    /// Record feature changes: `train` is the full updated training
+    /// dataset (same shape and labels as currently held), `changed` the
+    /// rows whose feature vectors moved.
+    fn update_features(&mut self, changed: &[usize], train: &Dataset) -> Result<()>;
+}
+
+/// [`IncrementalLabelEval`] for KNN.
+///
+/// KNN's "fit" only remembers the training set, so its accuracy sweep is
+/// dominated by the train→valid distance computation — which label fixes
+/// never touch. The evaluator keeps the [`DistanceTable`], each validation
+/// point's k-nearest neighbor list, and an inverted index (training row →
+/// validation points holding it among their neighbors):
+///
+/// - a **label** fix re-votes only the validation points in the inverted
+///   index entry — O(k) each, microseconds against the full sweep's
+///   O(m·n·d);
+/// - a **feature** fix patches the changed distance columns via
+///   [`DistanceTable::update_rows`] and re-selects neighbors without
+///   recomputing any unchanged distance.
+#[derive(Debug, Clone)]
+pub struct IncrementalKnnEval {
+    table: DistanceTable,
+    k: usize,
+    train: Dataset,
+    valid: Dataset,
+    /// Per validation point: the k nearest training rows, closest first,
+    /// ties by index — exactly `KnnClassifier::neighbors`.
+    neighbors: Vec<Vec<usize>>,
+    /// Training row → validation points with it among their neighbors.
+    touching: Vec<Vec<usize>>,
+    correct: Vec<bool>,
+    n_correct: usize,
+}
+
+impl IncrementalKnnEval {
+    /// Prepare the evaluator (computes the distance table and all neighbor
+    /// lists once). Rejects an empty training set, matching
+    /// [`crate::model::Classifier::fit`] for KNN.
+    pub fn new(k: usize, train: &Dataset, valid: &Dataset) -> Result<IncrementalKnnEval> {
+        if train.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let mut eval = IncrementalKnnEval {
+            table: DistanceTable::new(train, valid),
+            k: k.max(1),
+            train: train.clone(),
+            valid: valid.clone(),
+            neighbors: Vec::new(),
+            touching: Vec::new(),
+            correct: vec![false; valid.len()],
+            n_correct: 0,
+        };
+        eval.reselect_all();
+        Ok(eval)
+    }
+
+    /// Re-derive neighbor lists, the inverted index, and every vote from
+    /// the (current) distance table.
+    fn reselect_all(&mut self) {
+        let n = self.train.len();
+        self.neighbors = (0..self.valid.len())
+            .map(|v| {
+                let row = self.table.row(v);
+                // Full sort by (distance, index), then take k — the same
+                // order `KnnClassifier::neighbors` produces.
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.sort_by(|&a, &b| {
+                    row[a]
+                        .partial_cmp(&row[b])
+                        .expect("finite distances")
+                        .then(a.cmp(&b))
+                });
+                idx.truncate(self.k.min(n));
+                idx
+            })
+            .collect();
+        self.touching = vec![Vec::new(); n];
+        for (v, nb) in self.neighbors.iter().enumerate() {
+            for &i in nb {
+                self.touching[i].push(v);
+            }
+        }
+        self.n_correct = 0;
+        for v in 0..self.valid.len() {
+            self.correct[v] = self.vote(v) == self.valid.y[v];
+            self.n_correct += usize::from(self.correct[v]);
+        }
+    }
+
+    /// Majority vote over the cached neighbor list (ties toward the
+    /// smaller class id, like `KnnClassifier::predict_one`).
+    fn vote(&self, v: usize) -> usize {
+        let mut votes = vec![0usize; self.train.n_classes];
+        for &i in &self.neighbors[v] {
+            votes[self.train.y[i]] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn revote(&mut self, v: usize) {
+        let now = self.vote(v) == self.valid.y[v];
+        if now != self.correct[v] {
+            self.correct[v] = now;
+            if now {
+                self.n_correct += 1;
+            } else {
+                self.n_correct -= 1;
+            }
+        }
+    }
+
+    /// The maintained distance table.
+    pub fn table(&self) -> &DistanceTable {
+        &self.table
+    }
+
+    /// The current training labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.train.y
+    }
+}
+
+impl IncrementalLabelEval for IncrementalKnnEval {
+    fn accuracy(&self) -> f64 {
+        if self.valid.is_empty() {
+            return 0.0;
+        }
+        self.n_correct as f64 / self.valid.len() as f64
+    }
+
+    fn set_label(&mut self, row: usize, label: usize) -> Result<()> {
+        if row >= self.train.len() {
+            return Err(MlError::InvalidArgument(format!(
+                "label fix row {row} out of bounds for {} training rows",
+                self.train.len()
+            )));
+        }
+        if label >= self.train.n_classes {
+            return Err(MlError::InvalidLabel {
+                label,
+                n_classes: self.train.n_classes,
+            });
+        }
+        if self.train.y[row] == label {
+            return Ok(());
+        }
+        self.train.y[row] = label;
+        // Distances are untouched, so neighbor sets are untouched: only
+        // the votes of validation points seeing this row can change.
+        let viewers = std::mem::take(&mut self.touching[row]);
+        for &v in &viewers {
+            self.revote(v);
+        }
+        self.touching[row] = viewers;
+        Ok(())
+    }
+
+    fn update_features(&mut self, changed: &[usize], train: &Dataset) -> Result<()> {
+        if train.len() != self.train.len()
+            || train.dim() != self.train.dim()
+            || train.n_classes != self.train.n_classes
+        {
+            return Err(MlError::InvalidArgument(
+                "feature update must keep the training set's shape".into(),
+            ));
+        }
+        self.table.update_rows(changed, train, &self.valid)?;
+        self.train = train.clone();
+        // A moved training point can enter or leave any neighbor list;
+        // re-select from the patched table (no distance is recomputed).
+        self.reselect_all();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +485,93 @@ mod tests {
                 assert_eq!(got, want, "k={k} coalition={c:?}");
             }
         }
+    }
+
+    #[test]
+    fn update_rows_matches_fresh_table_bit_for_bit() {
+        let (mut train, valid) = workload(20, 9, 7);
+        let mut table = DistanceTable::new(&train, &valid);
+        // Move a few training points, patch, and compare to a fresh build.
+        let changed = [0usize, 7, 13, 19];
+        for &i in &changed {
+            let mut rows: Vec<Vec<f64>> = train.x.iter_rows().map(<[f64]>::to_vec).collect();
+            for v in &mut rows[i] {
+                *v = *v * 1.5 + 0.25;
+            }
+            train.x = crate::linalg::Matrix::from_rows(rows).unwrap();
+        }
+        table.update_rows(&changed, &train, &valid).unwrap();
+        let fresh = DistanceTable::new(&train, &valid);
+        for v in 0..valid.len() {
+            for i in 0..train.len() {
+                assert_eq!(
+                    table.row(v)[i].to_bits(),
+                    fresh.row(v)[i].to_bits(),
+                    "cell ({v},{i})"
+                );
+            }
+        }
+        // Shape and bounds are validated.
+        assert!(table.update_rows(&[99], &train, &valid).is_err());
+        let short = train.subset(&(0..5).collect::<Vec<_>>());
+        assert!(table.update_rows(&[0], &short, &valid).is_err());
+    }
+
+    #[test]
+    fn incremental_knn_eval_matches_refit_exactly() {
+        let (mut train, valid) = workload(24, 11, 5);
+        let mut eval = IncrementalKnnEval::new(3, &train, &valid).unwrap();
+        let refit = |train: &Dataset| utility(&KnnClassifier::new(3), train, &valid).unwrap();
+        assert_eq!(eval.accuracy(), refit(&train));
+        // A sequence of label fixes, each checked bit-identical to refit.
+        for row in [0, 5, 9, 5, 17, 23] {
+            let new_label = 1 - train.y[row];
+            train.y[row] = new_label;
+            eval.set_label(row, new_label).unwrap();
+            assert_eq!(eval.accuracy(), refit(&train), "after fixing row {row}");
+        }
+        // Feature fixes route through update_rows + re-selection.
+        let moved = [2usize, 11, 20];
+        let mut rows: Vec<Vec<f64>> = train.x.iter_rows().map(<[f64]>::to_vec).collect();
+        for &i in &moved {
+            for v in &mut rows[i] {
+                *v = -*v;
+            }
+        }
+        train.x = crate::linalg::Matrix::from_rows(rows).unwrap();
+        eval.update_features(&moved, &train).unwrap();
+        assert_eq!(eval.accuracy(), refit(&train), "after feature update");
+        // And label fixes keep working on the patched geometry.
+        train.y[2] = 1 - train.y[2];
+        eval.set_label(2, train.y[2]).unwrap();
+        assert_eq!(eval.accuracy(), refit(&train));
+        // Redundant fix is a no-op.
+        eval.set_label(2, train.y[2]).unwrap();
+        assert_eq!(eval.accuracy(), refit(&train));
+    }
+
+    #[test]
+    fn incremental_knn_eval_validates() {
+        let (train, valid) = workload(8, 4, 9);
+        assert!(IncrementalKnnEval::new(1, &train.subset(&[]), &valid).is_err());
+        let mut eval = IncrementalKnnEval::new(1, &train, &valid).unwrap();
+        assert!(eval.set_label(99, 0).is_err());
+        assert!(eval.set_label(0, 99).is_err());
+        let short = train.subset(&(0..4).collect::<Vec<_>>());
+        assert!(eval.update_features(&[0], &short).is_err());
+        // Empty eval set scores 0.0, like `Classifier::accuracy`.
+        let empty = valid.subset(&[]);
+        let eval = IncrementalKnnEval::new(1, &train, &empty).unwrap();
+        assert_eq!(eval.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn incremental_hook_returns_evaluator_for_knn_only() {
+        let (train, valid) = workload(8, 4, 6);
+        let knn = KnnClassifier::new(2);
+        assert!(knn.incremental_eval(&train, &valid).is_some());
+        let majority = crate::models::majority::MajorityClassifier::new();
+        assert!(majority.incremental_eval(&train, &valid).is_none());
     }
 
     #[test]

@@ -60,6 +60,22 @@ pub trait Classifier: Clone {
         None
     }
 
+    /// A prepared incremental evaluator for this model over `(train,
+    /// valid)`, if it supports one (see
+    /// [`crate::batch::IncrementalLabelEval`]).
+    ///
+    /// The default returns `None`: generic classifiers are refit from
+    /// scratch after every accepted fix. Models that override this (KNN)
+    /// must return an evaluator whose maintained accuracy is
+    /// **bit-identical** to the refit-and-evaluate path.
+    fn incremental_eval(
+        &self,
+        _train: &Dataset,
+        _valid: &Dataset,
+    ) -> Option<Box<dyn crate::batch::IncrementalLabelEval>> {
+        None
+    }
+
     /// Accuracy on a labeled dataset.
     fn accuracy(&self, data: &Dataset) -> f64 {
         if data.is_empty() {

@@ -111,6 +111,16 @@ impl Classifier for KnnClassifier {
             self.k, train, valid,
         )))
     }
+
+    fn incremental_eval(
+        &self,
+        train: &Dataset,
+        valid: &Dataset,
+    ) -> Option<Box<dyn crate::batch::IncrementalLabelEval>> {
+        crate::batch::IncrementalKnnEval::new(self.k, train, valid)
+            .ok()
+            .map(|e| Box::new(e) as Box<dyn crate::batch::IncrementalLabelEval>)
+    }
 }
 
 #[cfg(test)]

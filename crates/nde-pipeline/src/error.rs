@@ -17,6 +17,10 @@ pub enum PipelineError {
     Ml(String),
     /// The plan was structurally invalid (cycle, wrong arity, ...).
     InvalidPlan(String),
+    /// An incremental-maintenance request could not be applied to a
+    /// [`crate::delta::PipelineSession`] (unknown source, row out of
+    /// bounds, unsupported session configuration).
+    Delta(String),
     /// A user-defined operator panicked while processing a tuple. The
     /// executor converts the panic into this typed error (fail-fast policy)
     /// or a quarantine record (skip-and-record policy) instead of letting
@@ -44,6 +48,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Data(msg) => write!(f, "data error: {msg}"),
             PipelineError::Ml(msg) => write!(f, "ml error: {msg}"),
             PipelineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            PipelineError::Delta(msg) => write!(f, "delta maintenance error: {msg}"),
             PipelineError::OperatorPanic {
                 node,
                 operator,

@@ -98,7 +98,69 @@ impl Default for Executor {
 /// Per-node result: the table plus (when tracking) one arena node id per
 /// row. Polynomials live in the run's shared [`ProvArena`]; cloning a memo
 /// entry clones 4-byte ids, not trees.
-type NodeResult = (Table, Option<Vec<ProvId>>);
+pub(crate) type NodeResult = (Table, Option<Vec<ProvId>>);
+
+/// The routing decisions one operator made during a traced run: which
+/// input rows reached which output rows. Re-playing these decisions (and
+/// re-deciding only where a delta could change them) is what lets
+/// [`crate::delta::PipelineSession`] maintain a run without re-executing
+/// the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTrace {
+    /// Source node: index into the run's source-name table.
+    Source {
+        /// Position in [`crate::provenance::Lineage::sources`].
+        source: u32,
+    },
+    /// Hash/left join: per-output-row `(left_row, right_row)` pairs in
+    /// output order (`None` = left-join null pad).
+    Join {
+        /// Per-output-row row pairs.
+        pairs: Vec<(usize, Option<usize>)>,
+    },
+    /// Fuzzy join: per-output-row `(left_row, right_row)` best-match pairs.
+    FuzzyJoin {
+        /// Per-output-row row pairs.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// Filter: surviving input rows, ascending.
+    Filter {
+        /// Kept input rows.
+        kept: Vec<usize>,
+    },
+    /// Projection: surviving input rows, ascending (all rows under
+    /// [`PanicPolicy::FailFast`]).
+    Project {
+        /// Kept input rows.
+        kept: Vec<usize>,
+    },
+    /// Column selection — pure schema change, no routing.
+    Select,
+    /// Distinct: the [`Table::distinct_by`] grouping.
+    Distinct {
+        /// Surviving input rows in first-occurrence order.
+        first_of: Vec<usize>,
+        /// Slot each input row collapsed into.
+        owner: Vec<usize>,
+    },
+    /// Concat: how many output rows the left input contributed.
+    Concat {
+        /// Left input row count.
+        left_rows: usize,
+    },
+}
+
+/// Everything a traced run records beyond its output: per-node routing
+/// decisions and the order nodes were first evaluated in (children before
+/// parents — replaying arena interning in this order reproduces the
+/// execution's [`ProvArena`] bit for bit).
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    /// Node ids in first-evaluation order.
+    pub order: Vec<usize>,
+    /// Routing decisions per node id.
+    pub nodes: FxHashMap<usize, NodeTrace>,
+}
 
 // Panics we catch per row must not spam stderr through the default panic
 // hook, but hooks are process-global: install a delegating hook once and
@@ -119,8 +181,10 @@ fn install_quiet_hook() {
     });
 }
 
-/// Run `f`, converting a panic into its stringified payload.
-fn catch_tuple_panic<T>(f: impl FnOnce() -> T) -> std::result::Result<T, String> {
+/// Run `f`, converting a panic into its stringified payload. Shared with
+/// [`crate::delta`], which re-evaluates operators on spliced rows under the
+/// same isolation guarantees as the executor.
+pub(crate) fn catch_tuple_panic<T>(f: impl FnOnce() -> T) -> std::result::Result<T, String> {
     install_quiet_hook();
     SUPPRESS_PANIC_OUTPUT.with(|s| s.set(s.get() + 1));
     let outcome = panic::catch_unwind(AssertUnwindSafe(f));
@@ -170,8 +234,49 @@ impl Executor {
         self
     }
 
+    /// Worker-thread count this executor evaluates with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether provenance tracking is enabled.
+    pub fn tracks_provenance(&self) -> bool {
+        self.track_provenance
+    }
+
+    /// The configured panic policy.
+    pub fn panic_policy(&self) -> PanicPolicy {
+        self.panic_policy
+    }
+
     /// Execute `root` of `plan` over the named `inputs`.
     pub fn run(&self, plan: &Plan, root: NodeId, inputs: &[(&str, &Table)]) -> Result<ExecOutput> {
+        self.run_impl(plan, root, inputs, &mut None)
+            .map(|(out, _)| out)
+    }
+
+    /// Execute like [`Executor::run`] while recording every operator's
+    /// routing decisions, the node evaluation order, and each node's
+    /// intermediate table/provenance — the starting state for incremental
+    /// maintenance via [`crate::delta::PipelineSession`].
+    pub(crate) fn run_traced(
+        &self,
+        plan: &Plan,
+        root: NodeId,
+        inputs: &[(&str, &Table)],
+    ) -> Result<(ExecOutput, ExecTrace, FxHashMap<usize, NodeResult>)> {
+        let mut trace = Some(ExecTrace::default());
+        let (out, memo) = self.run_impl(plan, root, inputs, &mut trace)?;
+        Ok((out, trace.expect("trace present"), memo))
+    }
+
+    fn run_impl(
+        &self,
+        plan: &Plan,
+        root: NodeId,
+        inputs: &[(&str, &Table)],
+        trace: &mut Option<ExecTrace>,
+    ) -> Result<(ExecOutput, FxHashMap<usize, NodeResult>)> {
         let source_names: Vec<String> =
             plan.source_names().into_iter().map(str::to_owned).collect();
         let mut input_map: FxHashMap<&str, &Table> = FxHashMap::default();
@@ -194,16 +299,16 @@ impl Executor {
             &mut arena,
             &mut memo,
             &mut quarantined,
+            trace,
         )?;
-        Ok(ExecOutput {
-            table,
-            provenance: prov.map(|rows| Lineage {
-                sources: source_names,
-                arena,
-                rows,
-            }),
-            quarantined,
-        })
+        Ok((
+            ExecOutput {
+                table,
+                provenance: prov.map(|rows| Lineage::new(source_names, arena, rows)),
+                quarantined,
+            },
+            memo,
+        ))
     }
 
     /// Evaluate `eval(row)` for every row under the panic guard, in
@@ -294,22 +399,32 @@ impl Executor {
         arena: &mut ProvArena,
         memo: &mut FxHashMap<usize, NodeResult>,
         quarantined: &mut Vec<QuarantinedTuple>,
+        trace: &mut Option<ExecTrace>,
     ) -> Result<NodeResult> {
         if let Some(cached) = memo.get(&id.index()) {
             return Ok(cached.clone());
         }
+        // Routing decisions recorded on first evaluation (memo hits above
+        // never re-record); `record` also logs the evaluation order.
+        fn record(trace: &mut Option<ExecTrace>, id: NodeId, node: NodeTrace) {
+            if let Some(tr) = trace {
+                tr.order.push(id.index());
+                tr.nodes.insert(id.index(), node);
+            }
+        }
+        let tracing = trace.is_some();
         let result: NodeResult = match plan.node(id)? {
             PlanNode::Source { name } => {
                 let table = (*inputs
                     .get(name.as_str())
                     .ok_or_else(|| PipelineError::MissingInput(name.clone()))?)
                 .clone();
+                let src = source_names
+                    .iter()
+                    .position(|s| s == name)
+                    .ok_or_else(|| PipelineError::MissingInput(name.clone()))?
+                    as u32;
                 let prov = if self.track_provenance {
-                    let src = source_names
-                        .iter()
-                        .position(|s| s == name)
-                        .ok_or_else(|| PipelineError::MissingInput(name.clone()))?
-                        as u32;
                     Some(
                         (0..table.n_rows())
                             .map(|r| arena.var(TupleId::new(src, r as u32)))
@@ -318,6 +433,7 @@ impl Executor {
                 } else {
                     None
                 };
+                record(trace, id, NodeTrace::Source { source: src });
                 (table, prov)
             }
             PlanNode::Join {
@@ -327,10 +443,26 @@ impl Executor {
                 right_key,
                 how,
             } => {
-                let (lt, lp) =
-                    self.eval(plan, *left, source_names, inputs, arena, memo, quarantined)?;
-                let (rt, rp) =
-                    self.eval(plan, *right, source_names, inputs, arena, memo, quarantined)?;
+                let (lt, lp) = self.eval(
+                    plan,
+                    *left,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
+                let (rt, rp) = self.eval(
+                    plan,
+                    *right,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
                 // Chunk-parallel probe; lineage comes back in index order,
                 // so the provenance ids interned below are identical for
                 // every thread count.
@@ -354,6 +486,13 @@ impl Executor {
                     ),
                     _ => None,
                 };
+                record(
+                    trace,
+                    id,
+                    NodeTrace::Join {
+                        pairs: if tracing { lineage } else { Vec::new() },
+                    },
+                );
                 (table, prov)
             }
             PlanNode::FuzzyJoin {
@@ -363,10 +502,26 @@ impl Executor {
                 right_key,
                 threshold,
             } => {
-                let (lt, lp) =
-                    self.eval(plan, *left, source_names, inputs, arena, memo, quarantined)?;
-                let (rt, rp) =
-                    self.eval(plan, *right, source_names, inputs, arena, memo, quarantined)?;
+                let (lt, lp) = self.eval(
+                    plan,
+                    *left,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
+                let (rt, rp) = self.eval(
+                    plan,
+                    *right,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
                 let (table, lineage) = crate::fuzzy::fuzzy_join_par(
                     &lt,
                     &rt,
@@ -384,11 +539,26 @@ impl Executor {
                     ),
                     _ => None,
                 };
+                record(
+                    trace,
+                    id,
+                    NodeTrace::FuzzyJoin {
+                        pairs: if tracing { lineage } else { Vec::new() },
+                    },
+                );
                 (table, prov)
             }
             PlanNode::Filter { input, predicate } => {
-                let (t, p) =
-                    self.eval(plan, *input, source_names, inputs, arena, memo, quarantined)?;
+                let (t, p) = self.eval(
+                    plan,
+                    *input,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
                 let operator = format!("filter({})", crate::render::expr_label(predicate));
                 // Vectorized fast path: a `col == literal` predicate over an
                 // existing column runs as one columnar scan with the exact
@@ -421,6 +591,13 @@ impl Executor {
                 };
                 let table = t.take(&kept)?;
                 let prov = p.map(|p| kept.iter().map(|&r| p[r]).collect());
+                record(
+                    trace,
+                    id,
+                    NodeTrace::Filter {
+                        kept: if tracing { kept } else { Vec::new() },
+                    },
+                );
                 (table, prov)
             }
             PlanNode::Project {
@@ -428,8 +605,16 @@ impl Executor {
                 column,
                 expr,
             } => {
-                let (t, p) =
-                    self.eval(plan, *input, source_names, inputs, arena, memo, quarantined)?;
+                let (t, p) = self.eval(
+                    plan,
+                    *input,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
                 let operator =
                     format!("project({} := {})", column, crate::render::expr_label(expr));
                 let dtype = if t.n_rows() == 0 {
@@ -444,6 +629,17 @@ impl Executor {
                 if let Some(col) = null_test_fast_path(&t, expr) {
                     let mut t = t;
                     t.add_column(Field::new(column.clone(), DataType::Bool), col)?;
+                    record(
+                        trace,
+                        id,
+                        NodeTrace::Project {
+                            kept: if tracing {
+                                (0..t.n_rows()).collect()
+                            } else {
+                                Vec::new()
+                            },
+                        },
+                    );
                     memo.insert(id.index(), (t.clone(), p.clone()));
                     return Ok((t, p));
                 }
@@ -476,17 +672,41 @@ impl Executor {
                 }
                 t.add_column(Field::new(column.clone(), dtype), col)?;
                 let prov = p.map(|p| kept.iter().map(|&r| p[r]).collect::<Vec<_>>());
+                record(
+                    trace,
+                    id,
+                    NodeTrace::Project {
+                        kept: if tracing { kept } else { Vec::new() },
+                    },
+                );
                 (t, prov)
             }
             PlanNode::SelectColumns { input, columns } => {
-                let (t, p) =
-                    self.eval(plan, *input, source_names, inputs, arena, memo, quarantined)?;
+                let (t, p) = self.eval(
+                    plan,
+                    *input,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
                 let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                record(trace, id, NodeTrace::Select);
                 (t.select(&cols)?, p)
             }
             PlanNode::Distinct { input, key } => {
-                let (t, p) =
-                    self.eval(plan, *input, source_names, inputs, arena, memo, quarantined)?;
+                let (t, p) = self.eval(
+                    plan,
+                    *input,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
                 // First occurrence of each key value survives; its provenance
                 // absorbs the duplicates as Plus alternatives. Key grouping
                 // is chunk-parallel and thread-count invariant.
@@ -499,13 +719,42 @@ impl Executor {
                     }
                     alts.into_iter().map(|a| arena.plus(&a)).collect::<Vec<_>>()
                 });
+                record(
+                    trace,
+                    id,
+                    if tracing {
+                        NodeTrace::Distinct { first_of, owner }
+                    } else {
+                        NodeTrace::Distinct {
+                            first_of: Vec::new(),
+                            owner: Vec::new(),
+                        }
+                    },
+                );
                 (table, prov)
             }
             PlanNode::Concat { left, right } => {
-                let (mut lt, lp) =
-                    self.eval(plan, *left, source_names, inputs, arena, memo, quarantined)?;
-                let (rt, rp) =
-                    self.eval(plan, *right, source_names, inputs, arena, memo, quarantined)?;
+                let (mut lt, lp) = self.eval(
+                    plan,
+                    *left,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
+                let (rt, rp) = self.eval(
+                    plan,
+                    *right,
+                    source_names,
+                    inputs,
+                    arena,
+                    memo,
+                    quarantined,
+                    trace,
+                )?;
+                let left_rows = lt.n_rows();
                 lt.append(&rt)?;
                 let prov = match (lp, rp) {
                     (Some(mut lp), Some(rp)) => {
@@ -514,6 +763,7 @@ impl Executor {
                     }
                     _ => None,
                 };
+                record(trace, id, NodeTrace::Concat { left_rows });
                 (lt, prov)
             }
         };

@@ -116,6 +116,26 @@ impl FeaturePipeline {
         })
     }
 
+    /// Encode only the given rows of a plan-output table with the **already
+    /// fitted** encoders. Result row `j` holds the features and label of
+    /// `table` row `rows[j]`.
+    ///
+    /// All fitted encoders are row-wise at transform time (stored means,
+    /// scales, categories, hash dims), so the result is bit-identical to
+    /// the corresponding rows of a full-table transform — this is what lets
+    /// incremental maintenance re-encode just the rows a fix touched.
+    pub fn encode_rows(
+        &self,
+        table: &Table,
+        rows: &[usize],
+    ) -> Result<(nde_ml::linalg::Matrix, Vec<usize>)> {
+        let label_encoder = self.label_encoder()?;
+        let sub = table.take(rows)?;
+        let x = self.encoder.transform(&sub)?;
+        let y = label_encoder.encode_column(&sub, &self.label_column)?;
+        Ok((x, y))
+    }
+
     /// Run the plan over (different) inputs and encode with the **already
     /// fitted** encoders — e.g. for validation or test source tables.
     pub fn transform_run(
@@ -175,6 +195,26 @@ mod tests {
         assert_eq!(train_out.dataset.dim(), valid_out.dataset.dim());
         assert_eq!(valid_out.dataset.n_classes, 2);
         assert!(fp.label_encoder().is_ok());
+    }
+
+    #[test]
+    fn encode_rows_matches_full_transform_bitwise() {
+        let s = HiringScenario::generate(90, 8);
+        let mut fp = FeaturePipeline::hiring(8);
+        let out = fp.fit_run(&inputs(&s), false).unwrap();
+        let rows = [0usize, 3, 7, out.table.n_rows() - 1];
+        let (x, y) = fp.encode_rows(&out.table, &rows).unwrap();
+        assert_eq!(x.rows(), rows.len());
+        for (j, &r) in rows.iter().enumerate() {
+            assert_eq!(y[j], out.dataset.y[r]);
+            for (a, b) in x.row(j).iter().zip(out.dataset.x.row(r)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+            }
+        }
+        // Unfitted pipeline refuses.
+        assert!(FeaturePipeline::hiring(8)
+            .encode_rows(&out.table, &rows)
+            .is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! assert_eq!(out.table.n_rows(), out.provenance.as_ref().unwrap().rows.len());
 //! ```
 
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -48,6 +49,7 @@ pub mod render;
 pub mod semiring;
 pub mod whatif;
 
+pub use delta::{Delta, DeltaOutcome, DeltaPath, DeltaStats, MaintenanceMode, PipelineSession};
 pub use error::PipelineError;
 pub use exec::{ExecOutput, Executor};
 pub use plan::{JoinType, NodeId, Plan};

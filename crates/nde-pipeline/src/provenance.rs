@@ -12,6 +12,7 @@
 
 use crate::semiring::{why_var, Semiring, WhySemiring};
 use nde_data::fxhash::{FxHashMap, FxHashSet};
+use std::sync::OnceLock;
 
 /// Identifies one tuple of one source table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -480,7 +481,7 @@ impl TupleIndex {
 /// Provenance for an executed pipeline: the arena holding every interned
 /// polynomial, one node id per output row, plus the source-name table that
 /// [`TupleId::source`] indexes into.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Lineage {
     /// Names of the source tables, in `TupleId.source` order.
     pub sources: Vec<String>,
@@ -488,19 +489,43 @@ pub struct Lineage {
     pub arena: ProvArena,
     /// One arena node id per output row.
     pub rows: Vec<ProvId>,
+    /// Memoized per-node tuple sets (built on first use, shared by every
+    /// row-level query afterwards).
+    index_cache: OnceLock<TupleIndex>,
+    /// Memoized inverted index: per source, the sorted
+    /// `(source_row, output_row)` pairs. Like `index_cache` this is derived
+    /// state — both are ignored by `PartialEq` and rebuilt lazily.
+    inverted_cache: OnceLock<Vec<Vec<(u32, u32)>>>,
 }
 
+/// Equality ignores the lazily-built caches: two lineages are equal when
+/// they record the same sources, arena, and per-row ids.
+impl PartialEq for Lineage {
+    fn eq(&self, other: &Self) -> bool {
+        self.sources == other.sources && self.arena == other.arena && self.rows == other.rows
+    }
+}
+
+impl Eq for Lineage {}
+
 impl Lineage {
+    /// Assemble a lineage from its parts (caches start empty).
+    pub fn new(sources: Vec<String>, arena: ProvArena, rows: Vec<ProvId>) -> Lineage {
+        Lineage {
+            sources,
+            arena,
+            rows,
+            index_cache: OnceLock::new(),
+            inverted_cache: OnceLock::new(),
+        }
+    }
+
     /// Build a lineage from reference trees (test/bench convenience; the
     /// executor interns directly during execution).
     pub fn from_exprs(sources: Vec<String>, exprs: &[ProvExpr]) -> Lineage {
         let mut arena = ProvArena::new();
         let rows = exprs.iter().map(|e| arena.intern_expr(e)).collect();
-        Lineage {
-            sources,
-            arena,
-            rows,
-        }
+        Lineage::new(sources, arena, rows)
     }
 
     /// Number of output rows covered.
@@ -535,9 +560,40 @@ impl Lineage {
             .collect()
     }
 
+    /// The memoized per-node tuple index, built once on first use (the
+    /// arena is immutable after execution, so the index never goes stale).
+    pub fn tuple_index(&self) -> &TupleIndex {
+        self.index_cache.get_or_init(|| self.arena.tuple_index())
+    }
+
+    /// The memoized inverted index over *all* sources: for each source, the
+    /// `(source_row, output_row)` dependency pairs sorted by source row.
+    /// Built with one arena pass on first use; every later
+    /// [`Lineage::outputs_per_source_row`] call is a cheap per-source scan.
+    fn inverted_pairs(&self) -> &Vec<Vec<(u32, u32)>> {
+        self.inverted_cache.get_or_init(|| {
+            let index = self.tuple_index();
+            let mut inv: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.sources.len()];
+            for (out_row, id) in self.rows.iter().enumerate() {
+                for t in index.of(*id) {
+                    if let Some(pairs) = inv.get_mut(t.source as usize) {
+                        pairs.push((t.row, out_row as u32));
+                    }
+                }
+            }
+            // Pairs arrive in output-row order; sorting by (source_row,
+            // output_row) groups each source row while keeping its output
+            // list ascending — exactly the uncached construction order.
+            for pairs in &mut inv {
+                pairs.sort_unstable();
+            }
+            inv
+        })
+    }
+
     /// For each output row, the rows of source `source_idx` it depends on.
     pub fn rows_from_source(&self, source_idx: u32) -> Vec<Vec<u32>> {
-        let index = self.arena.tuple_index();
+        let index = self.tuple_index();
         self.rows
             .iter()
             .map(|id| {
@@ -552,14 +608,16 @@ impl Lineage {
     }
 
     /// Inverted index: for each row of source `source_idx` (up to
-    /// `source_len`), the output rows that depend on it.
+    /// `source_len`), the output rows that depend on it. The underlying
+    /// source→output pairs are memoized on the lineage, so repeated calls
+    /// (inspections, DataScope grouping, delta propagation) pay one arena
+    /// pass total instead of one per call.
     pub fn outputs_per_source_row(&self, source_idx: u32, source_len: usize) -> Vec<Vec<usize>> {
-        let index = self.arena.tuple_index();
         let mut inv = vec![Vec::new(); source_len];
-        for (out_row, id) in self.rows.iter().enumerate() {
-            for t in index.of(*id) {
-                if t.source == source_idx && (t.row as usize) < source_len {
-                    inv[t.row as usize].push(out_row);
+        if let Some(pairs) = self.inverted_pairs().get(source_idx as usize) {
+            for &(row, out) in pairs {
+                if (row as usize) < source_len {
+                    inv[row as usize].push(out as usize);
                 }
             }
         }
@@ -763,5 +821,38 @@ mod tests {
         assert_eq!(lineage.row_expr(2), ProvExpr::Var(t(1, 1)));
         // Shared var node `a2` is interned once across rows 0 and 1.
         assert_eq!(lineage.arena.len(), 4);
+    }
+
+    #[test]
+    fn inverted_index_cache_matches_uncached_semantics() {
+        let lineage = Lineage::from_exprs(
+            vec!["a".into(), "b".into()],
+            &[
+                ProvExpr::times(ProvExpr::Var(t(0, 2)), ProvExpr::Var(t(1, 0))),
+                ProvExpr::Var(t(0, 2)),
+                ProvExpr::Var(t(1, 1)),
+            ],
+        );
+        let first = lineage.outputs_per_source_row(0, 3);
+        assert_eq!(first[2], vec![0, 1]);
+        // Repeated calls hit the memoized pairs and agree exactly.
+        assert_eq!(lineage.outputs_per_source_row(0, 3), first);
+        // A longer source view reuses the same cache, padding with empties.
+        let longer = lineage.outputs_per_source_row(0, 5);
+        assert_eq!(&longer[..3], &first[..]);
+        assert!(longer[3].is_empty() && longer[4].is_empty());
+        // A shorter view truncates out-of-range source rows.
+        let shorter = lineage.outputs_per_source_row(0, 2);
+        assert!(shorter.iter().all(Vec::is_empty));
+        // Equality ignores whether the cache has been built.
+        let fresh = Lineage::from_exprs(
+            vec!["a".into(), "b".into()],
+            &[
+                ProvExpr::times(ProvExpr::Var(t(0, 2)), ProvExpr::Var(t(1, 0))),
+                ProvExpr::Var(t(0, 2)),
+                ProvExpr::Var(t(1, 1)),
+            ],
+        );
+        assert_eq!(lineage, fresh);
     }
 }

@@ -29,7 +29,7 @@
 //! the sequential unbudgeted ones.
 
 pub use nde_data::par::{
-    effective_threads, panic_message, par_map_indexed, par_map_indexed_scoped,
+    effective_threads, member_signature, panic_message, par_map_indexed, par_map_indexed_scoped,
     par_map_indexed_scratch, par_map_indexed_scratch_scoped, subset_fingerprint,
     subset_fingerprint_sorted, tree_reduce, CostHint, MemoCache, WorkerFailure,
     SEQUENTIAL_CUTOFF_NANOS,

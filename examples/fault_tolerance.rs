@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example fault_tolerance`
 
-use nde_cleaning::{prioritized_cleaning_robust, FlakyOracle, LabelOracle, Strategy};
+use nde_cleaning::{
+    prioritized_cleaning_robust, FlakyOracle, LabelOracle, MaintenanceMode, Strategy,
+};
 use nde_data::generate::blobs::two_gaussians;
 use nde_importance::{tmc_shapley, ImportanceRun, TmcParams};
 use nde_ml::dataset::Dataset;
@@ -119,6 +121,7 @@ fn main() {
         10,
         3,
         false,
+        MaintenanceMode::Rerun,
         &RunBudget::unlimited(),
         &RetryPolicy::immediate(3),
     )

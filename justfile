@@ -73,6 +73,18 @@ bench-durable:
     grep -q '"runner"' BENCH_durability.json
     cargo test -q --release --offline -p nde-tests --test durability
 
+# Incremental-maintenance smoke: delta propagation vs full re-execution
+# per fix path plus the cleaning loop under both maintenance modes, with
+# bit-identity asserted and the incremental-wins criterion enforced,
+# appended to the BENCH_incremental.json trajectory with the regression
+# gate armed. Also runs the differential property suite.
+bench-incremental:
+    cargo build --release --offline -p nde-bench --bin exp_incremental
+    ./target/release/exp_incremental --smoke --check=40
+    grep -q '"incremental_us"' BENCH_incremental.json
+    grep -q '"runner"' BENCH_incremental.json
+    cargo test -q --release --offline -p nde-tests --test incremental_delta
+
 # Format and lint.
 lint:
     cargo fmt --all

@@ -6,7 +6,7 @@
 
 use nde_cleaning::{
     prioritized_cleaning, prioritized_cleaning_resumable, CleaningCheckpoint, CleaningError,
-    LabelOracle, Strategy,
+    LabelOracle, MaintenanceMode, Strategy,
 };
 use nde_data::generate::blobs::{linear_regression, two_gaussians};
 use nde_importance::{
@@ -278,6 +278,7 @@ fn supervised_cleaning_loop_resumes_bit_identically_after_kills() {
         5,
         ROUNDS as usize,
         false,
+        MaintenanceMode::Rerun,
     )
     .unwrap();
 
@@ -306,6 +307,7 @@ fn supervised_cleaning_loop_resumes_bit_identically_after_kills() {
                     5,
                     ROUNDS as usize,
                     false,
+                    MaintenanceMode::Rerun,
                     &budget,
                     &RetryPolicy::none(),
                     resume.as_ref(),
@@ -342,6 +344,7 @@ fn supervised_cleaning_loop_resumes_bit_identically_after_kills() {
         5,
         ROUNDS as usize,
         false,
+        MaintenanceMode::Rerun,
         &RunBudget::unlimited(),
         &RetryPolicy::none(),
         None,

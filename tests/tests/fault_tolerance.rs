@@ -5,7 +5,7 @@
 
 use nde_cleaning::{
     prioritized_cleaning, prioritized_cleaning_robust, CleaningError, FlakyOracle, LabelOracle,
-    Strategy,
+    MaintenanceMode, Strategy,
 };
 use nde_data::generate::blobs::two_gaussians;
 use nde_data::generate::hiring::HiringScenario;
@@ -207,8 +207,18 @@ fn cleaning_rides_out_a_flaky_oracle_and_types_a_dead_one() {
     let strategy = Strategy::Random { seed: 3 };
     let knn = KnnClassifier::new(3);
 
-    let healthy =
-        prioritized_cleaning(&knn, &train, &oracle, &valid, &strategy, 10, 3, false).unwrap();
+    let healthy = prioritized_cleaning(
+        &knn,
+        &train,
+        &oracle,
+        &valid,
+        &strategy,
+        10,
+        3,
+        false,
+        MaintenanceMode::Rerun,
+    )
+    .unwrap();
 
     // A 1-in-2 outage schedule with retries: same trace, nonzero retries.
     let flaky = FlakyOracle::new(oracle.clone(), FaultSchedule::every_nth(2));
@@ -221,6 +231,7 @@ fn cleaning_rides_out_a_flaky_oracle_and_types_a_dead_one() {
         10,
         3,
         false,
+        MaintenanceMode::Rerun,
         &RunBudget::unlimited(),
         &RetryPolicy::immediate(3),
     )
@@ -240,6 +251,7 @@ fn cleaning_rides_out_a_flaky_oracle_and_types_a_dead_one() {
         10,
         3,
         false,
+        MaintenanceMode::Rerun,
         &RunBudget::unlimited(),
         &RetryPolicy::immediate(3),
     )
